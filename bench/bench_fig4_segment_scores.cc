@@ -1,0 +1,97 @@
+// Reproduces Fig. 4: per-segment anomaly scores of a *normal* trajectory
+// with an unseen (OOD) SD pair, under a biased baseline (VSAE) and under
+// CausalTAD's decomposition (likelihood NLL plus centred scaling factor).
+//
+// Paper reference (Fig. 4): the baseline assigns extreme scores (> 5) to
+// the unpopular segments an OOD trip must traverse, flagging a normal trip
+// as anomalous; CausalTAD's scaling factor compensates exactly those
+// segments, keeping its per-segment scores flat.
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "core/causal_tad.h"
+#include "eval/datasets.h"
+#include "eval/harness.h"
+
+namespace {
+
+using causaltad::core::CausalTad;
+using causaltad::eval::ExperimentData;
+
+// Per-segment score under an RnnVae-style scorer: marginal increase of the
+// prefix score when the segment arrives.
+std::vector<double> MarginalScores(
+    const causaltad::models::TrajectoryScorer& scorer,
+    const causaltad::traj::Trip& trip) {
+  std::vector<double> out;
+  double prev = 0.0;
+  for (int64_t k = 1; k <= trip.route.size(); ++k) {
+    const double cur = scorer.Score(trip, k);
+    out.push_back(cur - prev);
+    prev = cur;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const causaltad::eval::Scale scale = causaltad::eval::ScaleFromEnv();
+  const auto config = causaltad::eval::XianConfig(scale);
+  const ExperimentData data = causaltad::eval::BuildExperiment(config);
+
+  const auto vsae =
+      causaltad::eval::FitOrLoad("VSAE", data, config.name, scale);
+  const auto causal = causaltad::eval::FitOrLoad(
+      causaltad::eval::kCausalTadName, data, config.name, scale);
+  const auto* model = dynamic_cast<const CausalTad*>(causal.get());
+
+  // Pick the OOD normal trip the baseline considers most anomalous — the
+  // paper's motivating case of a false positive on an unseen SD pair.
+  const causaltad::traj::Trip* worst = nullptr;
+  double worst_score = -1e18;
+  for (const auto& trip : data.ood_test) {
+    const double per_seg =
+        vsae->ScoreFull(trip) / static_cast<double>(trip.route.size());
+    if (per_seg > worst_score) {
+      worst_score = per_seg;
+      worst = &trip;
+    }
+  }
+
+  std::printf("== Fig. 4 — per-segment scores of a normal OOD trajectory "
+              "(%s, scale=%s) ==\n",
+              config.name.c_str(), causaltad::eval::ScaleName(scale));
+  std::printf("trip: %lld segments, unseen SD pair (%d -> %d)\n\n",
+              static_cast<long long>(worst->route.size()),
+              worst->source_node, worst->dest_node);
+
+  const std::vector<double> vsae_scores = MarginalScores(*vsae, *worst);
+  const auto decomp = model->Decompose(*worst);
+
+  std::printf("%-5s %-12s %-14s %-16s %-16s\n", "idx", "VSAE(a)",
+              "CausalTAD nll", "centred scaling", "CausalTAD(b)");
+  for (size_t i = 0; i < worst->route.segments.size(); ++i) {
+    const double nll = i == 0 ? 0.0 : decomp.step_nll[i - 1];
+    const double scaling = decomp.centered_scaling[i];
+    const double debiased = nll - model->lambda() * scaling;
+    std::printf("%-5zu %-12.3f %-14.3f %-16.3f %-16.3f\n", i,
+                vsae_scores[i], nll, scaling, debiased);
+  }
+
+  const double vsae_max =
+      *std::max_element(vsae_scores.begin(), vsae_scores.end());
+  double causal_max = -1e18;
+  for (size_t i = 0; i < worst->route.segments.size(); ++i) {
+    const double nll = i == 0 ? 0.0 : decomp.step_nll[i - 1];
+    causal_max = std::max(causal_max,
+                          nll - model->lambda() * decomp.centered_scaling[i]);
+  }
+  std::printf("\nmax per-segment score: VSAE=%.3f  CausalTAD=%.3f "
+              "(paper: baseline spikes >5 on unpopular segments; CausalTAD "
+              "stays flat)\n",
+              vsae_max, causal_max);
+  return 0;
+}

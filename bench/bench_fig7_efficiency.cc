@@ -1,0 +1,139 @@
+// Reproduces Fig. 7: (a) training scalability — wall-clock time of one
+// training epoch as the training-set fraction grows from 20% to 100%
+// (linear in the paper); (b) average inference runtime per trajectory at
+// different observed ratios (iBOAT is far slower than the learned methods;
+// CausalTAD ≈ TG-VAE thanks to the O(1) debiased updates and the
+// successor-masked softmax).
+//
+// Part (b) is registered through google-benchmark so timing gets proper
+// repetition handling; part (a) prints a table from single timed epochs.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/causal_tad.h"
+#include "eval/datasets.h"
+#include "eval/harness.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using causaltad::core::CausalTad;
+using causaltad::core::CausalTadVariant;
+using causaltad::core::ScoreVariant;
+using causaltad::eval::ExperimentData;
+using causaltad::eval::Scale;
+using causaltad::eval::Subsample;
+using causaltad::eval::TablePrinter;
+
+const ExperimentData& Data() {
+  static const ExperimentData* data = [] {
+    return new ExperimentData(causaltad::eval::BuildExperiment(
+        causaltad::eval::XianConfig(causaltad::eval::ScaleFromEnv())));
+  }();
+  return *data;
+}
+
+void TrainingScalabilityTable(Scale scale) {
+  std::printf("== Fig. 7(a) — one-epoch training time vs training-set "
+              "fraction (Xi'an, scale=%s) ==\n\n",
+              causaltad::eval::ScaleName(scale));
+  const std::vector<std::string> names = {"SAE", "VSAE", "GM-VSAE",
+                                          "DeepTEA", "CausalTAD"};
+  const std::vector<double> fractions = {0.2, 0.4, 0.6, 0.8, 1.0};
+  TablePrinter table(
+      {"Method", "20%", "40%", "60%", "80%", "100%"});
+  table.PrintHeader();
+  causaltad::models::FitOptions options =
+      causaltad::eval::FitOptionsFor(scale);
+  options.epochs = 1;
+  for (const std::string& name : names) {
+    std::vector<std::string> cells = {name};
+    for (const double frac : fractions) {
+      const auto subset = Subsample(
+          Data().train,
+          static_cast<int64_t>(frac * Data().train.size()), 41);
+      auto scorer = causaltad::eval::MakeScorer(name, Data(), scale);
+      causaltad::util::Stopwatch watch;
+      scorer->Fit(subset, options);
+      cells.push_back(TablePrinter::Fmt(watch.ElapsedSeconds(), 2) + "s");
+    }
+    table.PrintRow(cells);
+  }
+  std::printf("\n");
+}
+
+// One online pass over a fixed batch of trajectories, prefix-limited to the
+// observed ratio. state.counters report the per-trajectory latency.
+void OnlineInference(benchmark::State& state,
+                     const causaltad::models::TrajectoryScorer* scorer,
+                     double ratio) {
+  const auto trips = Subsample(Data().id_test, 40, 42);
+  for (auto _ : state) {
+    for (const auto& trip : trips) {
+      auto session = scorer->BeginTrip(trip);
+      const int64_t prefix = std::max<int64_t>(
+          1, static_cast<int64_t>(ratio * trip.route.size()));
+      double score = 0.0;
+      for (int64_t k = 0; k < prefix; ++k) {
+        score = session->Update(trip.route.segments[k]);
+      }
+      benchmark::DoNotOptimize(score);
+    }
+  }
+  state.counters["us_per_traj"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * trips.size(),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Scale scale = causaltad::eval::ScaleFromEnv();
+  TrainingScalabilityTable(scale);
+
+  std::printf("== Fig. 7(b) — online inference runtime per trajectory "
+              "(google-benchmark; us_per_traj counter) ==\n");
+  const auto config = causaltad::eval::XianConfig(scale);
+  // Fitted models shared across registered benchmarks.
+  static auto iboat =
+      causaltad::eval::FitOrLoad("iBOAT", Data(), config.name, scale);
+  static auto gmvsae =
+      causaltad::eval::FitOrLoad("GM-VSAE", Data(), config.name, scale);
+  static auto causal = causaltad::eval::FitOrLoad(
+      causaltad::eval::kCausalTadName, Data(), config.name, scale);
+  static CausalTadVariant tg_only(dynamic_cast<CausalTad*>(causal.get()),
+                                  ScoreVariant::kLikelihoodOnly);
+
+  for (const double ratio : {0.2, 0.6, 1.0}) {
+    const std::string suffix = "/ratio=" + TablePrinter::Fmt(ratio, 1);
+    benchmark::RegisterBenchmark(
+        ("iBOAT" + suffix).c_str(),
+        [&, ratio](benchmark::State& s) {
+          OnlineInference(s, iboat.get(), ratio);
+        });
+    benchmark::RegisterBenchmark(
+        ("GM-VSAE" + suffix).c_str(),
+        [&, ratio](benchmark::State& s) {
+          OnlineInference(s, gmvsae.get(), ratio);
+        });
+    benchmark::RegisterBenchmark(
+        ("TG-VAE" + suffix).c_str(),
+        [&, ratio](benchmark::State& s) {
+          OnlineInference(s, &tg_only, ratio);
+        });
+    benchmark::RegisterBenchmark(
+        ("CausalTAD" + suffix).c_str(),
+        [&, ratio](benchmark::State& s) {
+          OnlineInference(s, causal.get(), ratio);
+        });
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Online monitoring: stream an ongoing trip through CausalTAD's O(1)
+// incremental session — the deployment mode the paper targets, where a
+// ride-hailing platform must flag a detour while the trip is still in
+// progress.
+//
+// The example streams a normal trip and a detoured variant of the same trip
+// side by side and reports when the detour's score crosses an alarm
+// threshold calibrated from held-out normal trips.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/causal_tad.h"
+#include "eval/datasets.h"
+#include "eval/threshold.h"
+#include "traj/anomaly.h"
+
+int main() {
+  using namespace causaltad;
+
+  const eval::ExperimentData data =
+      eval::BuildExperiment(eval::XianConfig(eval::Scale::kSmoke));
+
+  core::CausalTadConfig model_config;
+  model_config.tg.emb_dim = 24;
+  model_config.tg.hidden_dim = 32;
+  model_config.tg.latent_dim = 16;
+  model_config.rp.emb_dim = 16;
+  model_config.rp.hidden_dim = 32;
+  model_config.rp.latent_dim = 8;
+  core::CausalTad model(&data.city.network, model_config);
+  models::FitOptions options;
+  options.epochs = 5;
+  options.lr = 3e-3f;
+  std::printf("Training...\n");
+  model.Fit(data.train, options);
+
+  // Alarm threshold calibrated for a 5% false-positive rate on held-out
+  // normal trips.
+  std::vector<double> normal_scores;
+  for (const auto& t : data.id_test) {
+    normal_scores.push_back(model.ScoreFull(t));
+  }
+  const double threshold = causaltad::eval::ThresholdAtFpr(normal_scores,
+                                                           /*target_fpr=*/0.05);
+  std::printf("Alarm threshold (5%% FPR on held-out normals): %.3f\n\n",
+              threshold);
+
+  // Pick a test trip and fabricate a detour mid-way.
+  const traj::Trip& normal = data.id_test[3];
+  traj::AnomalyGenerator anomaly_gen(&data.city.network, /*seed=*/99);
+  const auto detour = anomaly_gen.MakeDetour(normal, traj::DetourConfig{});
+  if (!detour.has_value()) {
+    std::printf("could not fabricate a detour for the demo trip\n");
+    return 1;
+  }
+
+  auto stream = [&](const traj::Trip& trip, const char* label) {
+    std::printf("Streaming %s (%lld segments):\n", label,
+                static_cast<long long>(trip.route.size()));
+    auto session = model.BeginTrip(trip);
+    bool alarmed = false;
+    for (int64_t k = 0; k < trip.route.size(); ++k) {
+      const double score = session->Update(trip.route.segments[k]);
+      const bool alarm = score > threshold;
+      if (k % 3 == 0 || (alarm && !alarmed)) {
+        std::printf("  seg %2lld  score %7.3f %s\n",
+                    static_cast<long long>(k), score,
+                    alarm ? "  << ALARM" : "");
+      }
+      if (alarm && !alarmed) alarmed = true;
+    }
+    if (!alarmed) std::printf("  (no alarm raised)\n");
+    std::printf("\n");
+  };
+
+  stream(normal, "NORMAL trip");
+  stream(*detour, "DETOURED trip");
+  std::printf("Each update costs O(1): one GRU step over the successor-"
+              "masked softmax plus a precomputed scaling-table lookup.\n");
+  return 0;
+}

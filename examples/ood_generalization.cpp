@@ -1,0 +1,75 @@
+// OOD generalization: the paper's core claim, as a runnable demo.
+//
+// A biased baseline (VSAE) and CausalTAD are trained on the same confounded
+// corpus (SD pairs concentrated near POIs, routes concentrated on preferred
+// roads). Both are then asked to judge trips with *unseen* SD pairs. The
+// baseline over-scores normal OOD trips (spurious correlation via the road
+// preference confounder E); CausalTAD's do-calculus-derived scaling factor
+// compensates, keeping normal OOD trips separable from actual anomalies.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/causal_tad.h"
+#include "eval/datasets.h"
+#include "eval/metrics.h"
+#include "models/rnn_vae.h"
+
+int main() {
+  using namespace causaltad;
+
+  const eval::ExperimentData data =
+      eval::BuildExperiment(eval::XianConfig(eval::Scale::kSmoke));
+  models::FitOptions options;
+  options.epochs = 6;
+  options.lr = 3e-3f;
+
+  std::printf("Training the biased baseline (VSAE)...\n");
+  models::RnnVaeConfig vsae_config;
+  vsae_config.vocab = data.vocab();
+  vsae_config.emb_dim = 24;
+  vsae_config.hidden_dim = 32;
+  vsae_config.latent_dim = 16;
+  auto vsae = models::MakeVsae(vsae_config);
+  vsae->Fit(data.train, options);
+
+  std::printf("Training CausalTAD...\n");
+  core::CausalTadConfig causal_config;
+  causal_config.tg.emb_dim = 24;
+  causal_config.tg.hidden_dim = 32;
+  causal_config.tg.latent_dim = 16;
+  causal_config.rp.emb_dim = 16;
+  causal_config.rp.hidden_dim = 32;
+  causal_config.rp.latent_dim = 8;
+  core::CausalTad causal(&data.city.network, causal_config);
+  causal.Fit(data.train, options);
+
+  auto evaluate = [&](const models::TrajectoryScorer& scorer,
+                      const std::vector<traj::Trip>& normals,
+                      const std::vector<traj::Trip>& anomalies) {
+    std::vector<double> ns, as;
+    for (const auto& t : normals) ns.push_back(scorer.ScoreFull(t));
+    for (const auto& t : anomalies) as.push_back(scorer.ScoreFull(t));
+    return eval::EvaluateScores(ns, as);
+  };
+
+  std::printf("\n%-12s %-22s %-22s\n", "", "ID detour ROC-AUC",
+              "OOD detour ROC-AUC");
+  const auto v_id = evaluate(*vsae, data.id_test, data.id_detour);
+  const auto v_ood = evaluate(*vsae, data.ood_test, data.ood_detour);
+  const auto c_id = evaluate(causal, data.id_test, data.id_detour);
+  const auto c_ood = evaluate(causal, data.ood_test, data.ood_detour);
+  std::printf("%-12s %-22.4f %-22.4f\n", "VSAE", v_id.roc_auc,
+              v_ood.roc_auc);
+  std::printf("%-12s %-22.4f %-22.4f\n", "CausalTAD", c_id.roc_auc,
+              c_ood.roc_auc);
+
+  std::printf("\nVSAE drop ID->OOD:      %+.1f%%\n",
+              100.0 * (v_ood.roc_auc - v_id.roc_auc) / v_id.roc_auc);
+  std::printf("CausalTAD drop ID->OOD: %+.1f%%\n",
+              100.0 * (c_ood.roc_auc - c_id.roc_auc) / c_id.roc_auc);
+  std::printf("\nThe debiased criterion P(T|do(C)) should lose much less "
+              "accuracy than the\nbiased criterion P(T|C) when SD pairs "
+              "shift away from the training set.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Quickstart: build a synthetic city, generate ride-hailing trips, train
+// CausalTAD, and score a normal trajectory against an injected detour.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/causal_tad.h"
+#include "eval/datasets.h"
+#include "traj/anomaly.h"
+
+int main() {
+  using namespace causaltad;
+
+  // 1. A small synthetic city with POI hot-spots and a confounded trip
+  //    generator (see DESIGN.md for how this stands in for the DiDi data).
+  eval::CityExperimentConfig config = eval::XianConfig(eval::Scale::kSmoke);
+  std::printf("Building city and trip corpus...\n");
+  const eval::ExperimentData data = eval::BuildExperiment(config);
+  std::printf("  %lld road segments, %zu training trips, %zu candidate SD "
+              "pairs\n",
+              static_cast<long long>(data.vocab()), data.train.size(),
+              data.pairs.size());
+
+  // 2. Train CausalTAD (TG-VAE + RP-VAE jointly, Eq. 9 of the paper).
+  core::CausalTadConfig model_config;
+  model_config.tg.emb_dim = 24;
+  model_config.tg.hidden_dim = 32;
+  model_config.tg.latent_dim = 16;
+  model_config.rp.emb_dim = 16;
+  model_config.rp.hidden_dim = 32;
+  model_config.rp.latent_dim = 8;
+  core::CausalTad model(&data.city.network, model_config);
+
+  models::FitOptions options;
+  options.epochs = 5;
+  options.lr = 3e-3f;
+  options.verbose = true;
+  std::printf("Training CausalTAD (%d epochs)...\n", options.epochs);
+  model.Fit(data.train, options);
+
+  // 3. Score a held-out normal trip and a synthetic detour of it.
+  const traj::Trip& normal = data.id_test.front();
+  traj::AnomalyGenerator anomaly(&data.city.network, /*seed=*/7);
+  const auto detour = anomaly.MakeDetour(normal, traj::DetourConfig{});
+
+  std::printf("\nNormal trip   (%2lld segments): score = %.3f\n",
+              static_cast<long long>(normal.route.size()),
+              model.ScoreFull(normal));
+  if (detour.has_value()) {
+    std::printf("Detoured trip (%2lld segments): score = %.3f\n",
+                static_cast<long long>(detour->route.size()),
+                model.ScoreFull(*detour));
+    std::printf("\nHigher score = more anomalous; the detour should score "
+                "clearly above the normal trip.\n");
+  }
+
+  // 4. Persist the model for later use.
+  const util::Status saved = model.Save("/tmp/causaltad_quickstart.bin");
+  std::printf("Checkpoint saved: %s\n", saved.ToString().c_str());
+  return 0;
+}

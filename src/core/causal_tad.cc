@@ -1,0 +1,250 @@
+#include "core/causal_tad.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/checkpoint.h"
+#include "nn/ops.h"
+#include "nn/optim.h"
+#include "util/logging.h"
+
+namespace causaltad {
+namespace core {
+
+const char* ScoreVariantName(ScoreVariant variant) {
+  switch (variant) {
+    case ScoreVariant::kFull:
+      return "CausalTAD";
+    case ScoreVariant::kLikelihoodOnly:
+      return "TG-VAE";
+    case ScoreVariant::kScalingOnly:
+      return "RP-VAE";
+  }
+  return "unknown";
+}
+
+/// Wrapper module so one checkpoint carries both VAEs.
+struct CausalTad::Net : nn::Module {
+  Net(const roadnet::RoadNetwork* network, const CausalTadConfig& cfg,
+      util::Rng* rng)
+      : nn::Module("causaltad"), tg(network, cfg.tg, rng), rp(cfg.rp, rng) {
+    RegisterSubmodule(&tg);
+    RegisterSubmodule(&rp);
+  }
+  TgVae tg;
+  RpVae rp;
+};
+
+CausalTad::CausalTad(const roadnet::RoadNetwork* network,
+                     const CausalTadConfig& config)
+    : network_(network), config_(config) {
+  CAUSALTAD_CHECK(network != nullptr);
+  config_.tg.vocab = network->num_segments();
+  config_.rp.vocab = network->num_segments();
+  config_.rp.num_time_slots =
+      config_.time_aware_scaling ? config_.num_time_slots : 0;
+  util::Rng rng(0xCA05A1);
+  net_ = std::make_unique<Net>(network, config_, &rng);
+  tg_ = &net_->tg;
+  rp_ = &net_->rp;
+}
+
+CausalTad::~CausalTad() = default;
+
+void CausalTad::Fit(const std::vector<traj::Trip>& trips,
+                    const models::FitOptions& options) {
+  CAUSALTAD_CHECK(!trips.empty());
+  util::Rng rng(options.seed);
+  std::vector<nn::Var> params = net_->Parameters();
+  nn::Adam opt(params, {.lr = options.lr});
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    const std::vector<int64_t> order =
+        rng.Permutation(static_cast<int64_t>(trips.size()));
+    double epoch_loss = 0.0;
+    int in_batch = 0;
+    opt.ZeroGrad();
+    for (const int64_t idx : order) {
+      const traj::Trip& trip = trips[idx];
+      // Joint objective of Eq. (9): L1(c,t) + L2(t).
+      const nn::Var loss =
+          nn::Add(tg_->Loss(trip, &rng),
+                  rp_->Loss(trip.route.segments, &rng, trip.time_slot));
+      epoch_loss += loss.value().Item();
+      nn::Backward(loss);
+      if (++in_batch == options.batch_size) {
+        nn::ClipGradNorm(params, options.grad_clip);
+        opt.Step();
+        opt.ZeroGrad();
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) {
+      nn::ClipGradNorm(params, options.grad_clip);
+      opt.Step();
+      opt.ZeroGrad();
+    }
+    if (options.verbose) {
+      std::fprintf(stderr, "[CausalTAD] epoch %d loss %.3f\n", epoch,
+                   epoch_loss / trips.size());
+    }
+  }
+  RebuildScalingTable();
+}
+
+void CausalTad::RebuildScalingTable() {
+  scaling_table_ = ScalingTable::Build(*rp_, config_.rp.vocab,
+                                       config_.scaling_samples,
+                                       config_.scaling_seed);
+  if (config_.center_scaling) scaling_table_.CenterInPlace();
+}
+
+double CausalTad::RpOnlyScore(const traj::Trip& trip,
+                              int64_t prefix_len) const {
+  const int slot = rp_->time_conditioned() ? trip.time_slot : 0;
+  double total = 0.0;
+  for (int64_t i = 0; i < prefix_len; ++i) {
+    total += rp_->SegmentNll(trip.route.segments[i], slot);
+  }
+  return total;
+}
+
+double CausalTad::ScoreVariantLambda(const traj::Trip& trip,
+                                     int64_t prefix_len, ScoreVariant variant,
+                                     double lambda) const {
+  const int64_t n = trip.route.size();
+  if (prefix_len <= 0 || prefix_len > n) prefix_len = n;
+  if (variant == ScoreVariant::kScalingOnly) {
+    return RpOnlyScore(trip, prefix_len);
+  }
+  const TgVae::ScoreParts parts = tg_->Score(trip);
+  double score = parts.PrefixScore(prefix_len);
+  if (variant == ScoreVariant::kFull) {
+    CAUSALTAD_CHECK(!scaling_table_.empty()) << "call Fit() or Load() first";
+    const int slot = scaling_table_.num_slots() > 1 ? trip.time_slot : 0;
+    for (int64_t i = 0; i < prefix_len; ++i) {
+      score -=
+          lambda * scaling_table_.log_scaling(trip.route.segments[i], slot);
+    }
+  }
+  return score;
+}
+
+double CausalTad::Score(const traj::Trip& trip, int64_t prefix_len) const {
+  return ScoreVariantLambda(trip, prefix_len, ScoreVariant::kFull,
+                            config_.lambda);
+}
+
+CausalTad::SegmentDecomposition CausalTad::Decompose(
+    const traj::Trip& trip) const {
+  SegmentDecomposition out;
+  const TgVae::ScoreParts parts = tg_->Score(trip);
+  out.sd_nll = parts.sd_nll;
+  out.kl = parts.kl;
+  out.step_nll = parts.step_nll;
+  const int slot = scaling_table_.num_slots() > 1 ? trip.time_slot : 0;
+  const std::vector<double> centered = scaling_table_.Centered(slot);
+  out.log_scaling.reserve(trip.route.size());
+  out.centered_scaling.reserve(trip.route.size());
+  for (const roadnet::SegmentId s : trip.route.segments) {
+    out.log_scaling.push_back(scaling_table_.log_scaling(s, slot));
+    out.centered_scaling.push_back(centered[s]);
+  }
+  return out;
+}
+
+namespace {
+
+/// O(1)-per-segment online session (paper §V-D): per update, one GRU step,
+/// one successor-masked softmax, and one scaling-table lookup. With a null
+/// `table` (or λ = 0) this is the TG-VAE-only session.
+class CausalTadOnlineSession : public models::OnlineScorer {
+ public:
+  CausalTadOnlineSession(const TgVae* tg, const ScalingTable* table,
+                         double lambda, roadnet::SegmentId source,
+                         roadnet::SegmentId destination, int slot)
+      : tg_(tg), table_(table), lambda_(lambda), slot_(slot) {
+    ctx_ = tg->BeginTrip(source, destination);
+    hidden_ = ctx_.h0;
+  }
+
+  double Update(roadnet::SegmentId segment) override {
+    if (has_last_) {
+      nll_ += tg_->StepNll(last_, segment, &hidden_);
+    }
+    if (table_ != nullptr) scaling_ += table_->log_scaling(segment, slot_);
+    last_ = segment;
+    has_last_ = true;
+    return ctx_.sd_nll + ctx_.kl + nll_ - lambda_ * scaling_;
+  }
+
+ private:
+  const TgVae* tg_;
+  const ScalingTable* table_;
+  double lambda_;
+  int slot_ = 0;
+  TgVae::TripContext ctx_;
+  nn::Var hidden_;
+  roadnet::SegmentId last_ = roadnet::kInvalidSegment;
+  bool has_last_ = false;
+  double nll_ = 0.0;
+  double scaling_ = 0.0;
+};
+
+/// Incremental RP-VAE-only session: one per-segment ELBO per update.
+class RpOnlineSession : public models::OnlineScorer {
+ public:
+  RpOnlineSession(const RpVae* rp, int slot) : rp_(rp), slot_(slot) {}
+
+  double Update(roadnet::SegmentId segment) override {
+    total_ += rp_->SegmentNll(segment, slot_);
+    return total_;
+  }
+
+ private:
+  const RpVae* rp_;
+  int slot_ = 0;
+  double total_ = 0.0;
+};
+
+}  // namespace
+
+std::unique_ptr<models::OnlineScorer> CausalTad::BeginTripVariant(
+    const traj::Trip& trip, ScoreVariant variant, double lambda) const {
+  CAUSALTAD_CHECK(!trip.route.empty());
+  const int rp_slot = rp_->time_conditioned() ? trip.time_slot : 0;
+  switch (variant) {
+    case ScoreVariant::kScalingOnly:
+      return std::make_unique<RpOnlineSession>(rp_, rp_slot);
+    case ScoreVariant::kLikelihoodOnly:
+      return std::make_unique<CausalTadOnlineSession>(
+          tg_, nullptr, 0.0, trip.route.segments.front(),
+          trip.route.segments.back(), 0);
+    case ScoreVariant::kFull:
+      break;
+  }
+  CAUSALTAD_CHECK(!scaling_table_.empty()) << "call Fit() or Load() first";
+  const int slot = scaling_table_.num_slots() > 1 ? trip.time_slot : 0;
+  return std::make_unique<CausalTadOnlineSession>(
+      tg_, &scaling_table_, lambda, trip.route.segments.front(),
+      trip.route.segments.back(), slot);
+}
+
+std::unique_ptr<models::OnlineScorer> CausalTad::BeginTrip(
+    const traj::Trip& trip) const {
+  return BeginTripVariant(trip, ScoreVariant::kFull, config_.lambda);
+}
+
+util::Status CausalTad::Save(const std::string& path) const {
+  return nn::SaveCheckpoint(path, *net_);
+}
+
+util::Status CausalTad::Load(const std::string& path) {
+  CAUSALTAD_RETURN_IF_ERROR(nn::LoadCheckpoint(path, net_.get()));
+  // The scaling table is derived state; rebuild it from the restored RP-VAE.
+  RebuildScalingTable();
+  return util::Status::Ok();
+}
+
+}  // namespace core
+}  // namespace causaltad

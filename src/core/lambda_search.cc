@@ -1,0 +1,76 @@
+#include "core/lambda_search.h"
+
+#include "eval/metrics.h"
+#include "util/logging.h"
+
+namespace causaltad {
+namespace core {
+namespace {
+
+struct Decomposed {
+  std::vector<double> likelihood;
+  std::vector<double> scaling;
+};
+
+Decomposed DecomposeAll(const CausalTad& model,
+                        std::span<const traj::Trip> trips) {
+  Decomposed out;
+  out.likelihood.reserve(trips.size());
+  out.scaling.reserve(trips.size());
+  for (const traj::Trip& trip : trips) {
+    out.likelihood.push_back(model.ScoreVariantLambda(
+        trip, trip.route.size(), ScoreVariant::kLikelihoodOnly, 0.0));
+    const int slot =
+        model.scaling_table().num_slots() > 1 ? trip.time_slot : 0;
+    double scaling = 0.0;
+    for (const roadnet::SegmentId s : trip.route.segments) {
+      scaling += model.scaling_table().log_scaling(s, slot);
+    }
+    out.scaling.push_back(scaling);
+  }
+  return out;
+}
+
+std::vector<double> ScoresAt(const Decomposed& d, double lambda) {
+  std::vector<double> out(d.likelihood.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = d.likelihood[i] - lambda * d.scaling[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> DefaultLambdaGrid() {
+  return {0.0, 0.01, 0.05, 0.1, 0.2, 0.5, 1.0};
+}
+
+LambdaSearchResult SelectLambda(
+    const CausalTad& model, std::span<const traj::Trip> validation_normals,
+    std::span<const traj::Trip> validation_anomalies,
+    std::span<const double> grid) {
+  CAUSALTAD_CHECK(!validation_normals.empty());
+  CAUSALTAD_CHECK(!validation_anomalies.empty());
+  const std::vector<double> default_grid = DefaultLambdaGrid();
+  if (grid.empty()) grid = default_grid;
+
+  const Decomposed normals = DecomposeAll(model, validation_normals);
+  const Decomposed anomalies = DecomposeAll(model, validation_anomalies);
+
+  LambdaSearchResult result;
+  for (const double lambda : grid) {
+    const double auc =
+        eval::EvaluateScores(ScoresAt(normals, lambda),
+                             ScoresAt(anomalies, lambda))
+            .roc_auc;
+    result.grid.push_back({lambda, auc});
+    if (result.grid.size() == 1 || auc > result.best_roc_auc) {
+      result.best_roc_auc = auc;
+      result.best_lambda = lambda;
+    }
+  }
+  return result;
+}
+
+}  // namespace core
+}  // namespace causaltad

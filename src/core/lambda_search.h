@@ -1,0 +1,40 @@
+#ifndef CAUSALTAD_CORE_LAMBDA_SEARCH_H_
+#define CAUSALTAD_CORE_LAMBDA_SEARCH_H_
+
+#include <span>
+#include <vector>
+
+#include "core/causal_tad.h"
+#include "traj/trajectory.h"
+
+namespace causaltad {
+namespace core {
+
+/// Validation-based selection of the balance constant λ (paper §VI-H: "we
+/// recommend conducting the grid search on the validation dataset to
+/// determine the best value of λ for other datasets").
+///
+/// Because score(λ) = likelihood − λ·Σ scaling is linear in λ, each
+/// validation trip is decomposed once and the whole grid is evaluated from
+/// the cached parts — no retraining, no re-scoring.
+struct LambdaSearchResult {
+  double best_lambda = 0.0;
+  double best_roc_auc = 0.0;
+  /// (λ, ROC-AUC) for every grid point, in grid order.
+  std::vector<std::pair<double, double>> grid;
+};
+
+/// Default grid: the values the paper sweeps in Fig. 8 plus 0.2.
+std::vector<double> DefaultLambdaGrid();
+
+/// Evaluates the grid on validation normals vs anomalies and returns the
+/// ROC-AUC-maximizing λ. The model must already be fitted.
+LambdaSearchResult SelectLambda(
+    const CausalTad& model, std::span<const traj::Trip> validation_normals,
+    std::span<const traj::Trip> validation_anomalies,
+    std::span<const double> grid = {});
+
+}  // namespace core
+}  // namespace causaltad
+
+#endif  // CAUSALTAD_CORE_LAMBDA_SEARCH_H_

@@ -1,0 +1,151 @@
+#include "core/rp_vae.h"
+
+#include <cmath>
+
+#include "nn/init.h"
+#include "nn/ops.h"
+#include "util/logging.h"
+
+namespace causaltad {
+namespace core {
+
+RpVae::RpVae(const RpVaeConfig& config, util::Rng* rng)
+    : nn::Module("rpvae"),
+      config_(config),
+      emb_("emb", config.vocab, config.emb_dim, rng),
+      enc_fc_("enc_fc",
+              config.emb_dim +
+                  (config.num_time_slots > 0 ? config.slot_emb_dim : 0),
+              config.hidden_dim, rng),
+      mu_head_("mu_head", config.hidden_dim, config.latent_dim, rng),
+      lv_head_("lv_head", config.hidden_dim, config.latent_dim, rng),
+      dec_("dec", config.latent_dim, config.vocab, rng) {
+  CAUSALTAD_CHECK_GT(config.vocab, 0);
+  RegisterSubmodule(&emb_);
+  RegisterSubmodule(&enc_fc_);
+  RegisterSubmodule(&mu_head_);
+  RegisterSubmodule(&lv_head_);
+  RegisterSubmodule(&dec_);
+  if (config.num_time_slots > 0) {
+    slot_emb_ = std::make_unique<nn::Embedding>(
+        "slot_emb", config.num_time_slots, config.slot_emb_dim, rng);
+    RegisterSubmodule(slot_emb_.get());
+  }
+}
+
+RpVae::Posterior RpVae::Encode(std::span<const int32_t> ids,
+                               int time_slot) const {
+  nn::Var x = emb_.Forward(ids);  // [n, emb]
+  if (time_conditioned()) {
+    const std::vector<int32_t> slots(ids.size(),
+                                     static_cast<int32_t>(time_slot));
+    x = nn::ConcatCols({x, slot_emb_->Forward(slots)});
+  }
+  const nn::Var hidden = nn::Tanh(enc_fc_.Forward(x));
+  Posterior p;
+  p.mu = mu_head_.Forward(hidden);
+  p.logvar = lv_head_.Forward(hidden);
+  return p;
+}
+
+nn::Var RpVae::Loss(std::span<const roadnet::SegmentId> segments,
+                    util::Rng* rng, int time_slot) const {
+  CAUSALTAD_CHECK(!segments.empty());
+  std::vector<int32_t> ids(segments.begin(), segments.end());
+  const Posterior post = Encode(ids, time_slot);
+  const nn::Var z =
+      rng != nullptr ? nn::Reparameterize(post.mu, post.logvar, rng) : post.mu;
+  const nn::Var logits = dec_.Forward(z);  // [n, vocab]
+  return nn::Add(nn::SoftmaxCrossEntropy(logits, ids),
+                 nn::KlStandardNormal(post.mu, post.logvar));
+}
+
+double RpVae::SegmentNll(roadnet::SegmentId segment, int time_slot) const {
+  const std::vector<roadnet::SegmentId> one = {segment};
+  return Loss(one, /*rng=*/nullptr, time_slot).value().Item();
+}
+
+double RpVae::LogScalingFactor(roadnet::SegmentId segment, int num_samples,
+                               util::Rng* rng, int time_slot) const {
+  CAUSALTAD_CHECK_GT(num_samples, 0);
+  const std::vector<int32_t> id = {segment};
+  const Posterior post = Encode(id, time_slot);
+  const float* mu = post.mu.value().data();
+  const float* lv = post.logvar.value().data();
+  const int64_t latent = config_.latent_dim;
+
+  // Draw all samples as one [S, latent] batch and decode together.
+  nn::Tensor z({num_samples, latent});
+  for (int s = 0; s < num_samples; ++s) {
+    for (int64_t i = 0; i < latent; ++i) {
+      z.At(s, i) = mu[i] + std::exp(0.5f * lv[i]) *
+                               static_cast<float>(rng->Gaussian());
+    }
+  }
+  const nn::Var logits = dec_.Forward(nn::Constant(std::move(z)));
+
+  // log E[1/p] = logsumexp_s( -log p_s ) - log S, with
+  // log p_s = logit[s, segment] - logsumexp_j logit[s, j].
+  const nn::Tensor& lg = logits.value();
+  std::vector<double> neg_log_p(num_samples);
+  for (int s = 0; s < num_samples; ++s) {
+    const float* row = lg.data() + s * config_.vocab;
+    double max_v = row[0];
+    for (int64_t j = 1; j < config_.vocab; ++j) {
+      max_v = std::max<double>(max_v, row[j]);
+    }
+    double total = 0.0;
+    for (int64_t j = 0; j < config_.vocab; ++j) {
+      total += std::exp(row[j] - max_v);
+    }
+    const double log_p = row[segment] - max_v - std::log(total);
+    neg_log_p[s] = -log_p;
+  }
+  double max_nlp = neg_log_p[0];
+  for (double v : neg_log_p) max_nlp = std::max(max_nlp, v);
+  double acc = 0.0;
+  for (double v : neg_log_p) acc += std::exp(v - max_nlp);
+  return max_nlp + std::log(acc) - std::log(num_samples);
+}
+
+ScalingTable ScalingTable::Build(const RpVae& rp_vae, int64_t vocab,
+                                 int num_samples, uint64_t seed) {
+  ScalingTable table;
+  table.vocab_ = vocab;
+  table.num_slots_ =
+      rp_vae.time_conditioned() ? rp_vae.config().num_time_slots : 1;
+  table.values_.resize(vocab * table.num_slots_);
+  util::Rng rng(seed);
+  for (int slot = 0; slot < table.num_slots_; ++slot) {
+    for (int64_t s = 0; s < vocab; ++s) {
+      table.values_[slot * vocab + s] = rp_vae.LogScalingFactor(
+          static_cast<roadnet::SegmentId>(s), num_samples, &rng,
+          rp_vae.time_conditioned() ? slot : 0);
+    }
+  }
+  return table;
+}
+
+void ScalingTable::CenterInPlace() {
+  for (int slot = 0; slot < num_slots_; ++slot) {
+    double* begin = values_.data() + slot * vocab_;
+    double mean = 0.0;
+    for (int64_t i = 0; i < vocab_; ++i) mean += begin[i];
+    mean /= static_cast<double>(vocab_);
+    for (int64_t i = 0; i < vocab_; ++i) begin[i] -= mean;
+  }
+}
+
+std::vector<double> ScalingTable::Centered(int slot) const {
+  CAUSALTAD_CHECK(slot >= 0 && slot < num_slots_);
+  const double* begin = values_.data() + slot * vocab_;
+  double mean = 0.0;
+  for (int64_t i = 0; i < vocab_; ++i) mean += begin[i];
+  mean /= static_cast<double>(vocab_);
+  std::vector<double> out(vocab_);
+  for (int64_t i = 0; i < vocab_; ++i) out[i] = begin[i] - mean;
+  return out;
+}
+
+}  // namespace core
+}  // namespace causaltad

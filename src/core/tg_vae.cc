@@ -1,0 +1,157 @@
+#include "core/tg_vae.h"
+
+#include <algorithm>
+
+#include "nn/init.h"
+#include "nn/ops.h"
+#include "util/logging.h"
+
+namespace causaltad {
+namespace core {
+
+TgVae::TgVae(const roadnet::RoadNetwork* network, const TgVaeConfig& config,
+             util::Rng* rng)
+    : nn::Module("tgvae"),
+      network_(network),
+      config_(config),
+      sd_emb_("sd_emb", config.vocab, config.emb_dim, rng),
+      route_emb_("route_emb", config.vocab, config.emb_dim, rng),
+      enc_fc_("enc_fc", 2 * config.emb_dim, config.hidden_dim, rng),
+      mu_head_("mu_head", config.hidden_dim, config.latent_dim, rng),
+      lv_head_("lv_head", config.hidden_dim, config.latent_dim, rng),
+      dec_fc_("dec_fc", config.latent_dim, config.hidden_dim, rng),
+      head_s_("head_s", config.hidden_dim, config.vocab, rng),
+      head_d_("head_d", config.hidden_dim, config.vocab, rng),
+      h0_proj_("h0_proj", config.latent_dim, config.hidden_dim, rng),
+      gru_("gru", config.emb_dim, config.hidden_dim, rng),
+      out_("out", config.hidden_dim, config.vocab, rng) {
+  CAUSALTAD_CHECK(network != nullptr);
+  CAUSALTAD_CHECK_EQ(config.vocab, network->num_segments());
+  RegisterSubmodule(&sd_emb_);
+  RegisterSubmodule(&route_emb_);
+  RegisterSubmodule(&enc_fc_);
+  RegisterSubmodule(&mu_head_);
+  RegisterSubmodule(&lv_head_);
+  RegisterSubmodule(&dec_fc_);
+  RegisterSubmodule(&head_s_);
+  RegisterSubmodule(&head_d_);
+  RegisterSubmodule(&h0_proj_);
+  RegisterSubmodule(&gru_);
+  RegisterSubmodule(&out_);
+}
+
+TgVae::Forwarded TgVae::EncodeSd(roadnet::SegmentId s, roadnet::SegmentId d,
+                                 util::Rng* rng) const {
+  const std::vector<int32_t> s_id = {s};
+  const std::vector<int32_t> d_id = {d};
+  const nn::Var joint = nn::ConcatCols(
+      {sd_emb_.Forward(s_id), sd_emb_.Forward(d_id)});  // [1, 2*emb]
+  const nn::Var hidden = nn::Tanh(enc_fc_.Forward(joint));
+  Forwarded f;
+  f.mu = mu_head_.Forward(hidden);
+  f.logvar = lv_head_.Forward(hidden);
+  f.r = rng != nullptr ? nn::Reparameterize(f.mu, f.logvar, rng) : f.mu;
+  return f;
+}
+
+nn::Var TgVae::SdDecoderNll(const nn::Var& r, roadnet::SegmentId s,
+                            roadnet::SegmentId d) const {
+  const nn::Var hidden = nn::Tanh(dec_fc_.Forward(r));
+  const std::vector<int32_t> st = {s};
+  const std::vector<int32_t> dt = {d};
+  return nn::Add(nn::SoftmaxCrossEntropy(head_s_.Forward(hidden), st),
+                 nn::SoftmaxCrossEntropy(head_d_.Forward(hidden), dt));
+}
+
+nn::Var TgVae::StepCe(const nn::Var& hidden, roadnet::SegmentId current,
+                      roadnet::SegmentId next) const {
+  if (config_.road_constrained) {
+    const auto successors = network_->Successors(current);
+    std::vector<int32_t> ids(successors.begin(), successors.end());
+    int32_t target_pos = -1;
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (ids[i] == next) target_pos = static_cast<int32_t>(i);
+    }
+    CAUSALTAD_CHECK_GE(target_pos, 0) << "route is not network-valid";
+    const nn::Var logits =
+        nn::GatherColsDot(hidden, out_.w(), out_.b(), ids);
+    const std::vector<int32_t> target = {target_pos};
+    return nn::SoftmaxCrossEntropy(logits, target);
+  }
+  const std::vector<int32_t> target = {next};
+  return nn::SoftmaxCrossEntropy(out_.Forward(hidden), target);
+}
+
+nn::Var TgVae::Loss(const traj::Trip& trip, util::Rng* rng) const {
+  const auto& segs = trip.route.segments;
+  CAUSALTAD_CHECK_GE(segs.size(), 2u);
+  const roadnet::SegmentId s = segs.front();
+  const roadnet::SegmentId d = segs.back();
+
+  const Forwarded f = EncodeSd(s, d, rng);
+  nn::Var loss = nn::KlStandardNormal(f.mu, f.logvar);
+  if (config_.use_sd_decoder) {
+    loss = nn::Add(loss, SdDecoderNll(f.r, s, d));
+  }
+
+  nn::Var h = nn::Tanh(h0_proj_.Forward(f.r));
+  const std::vector<int32_t> ids(segs.begin(), segs.end() - 1);
+  const nn::Var inputs = route_emb_.Forward(ids);  // [n-1, emb]
+  for (size_t j = 0; j + 1 < segs.size(); ++j) {
+    const std::vector<int32_t> row = {static_cast<int32_t>(j)};
+    h = gru_.Step(nn::GatherRows(inputs, row), h);
+    loss = nn::Add(loss, StepCe(h, segs[j], segs[j + 1]));
+  }
+  return loss;
+}
+
+double TgVae::ScoreParts::PrefixScore(int64_t prefix_len) const {
+  double total = sd_nll + kl;
+  const int64_t steps = std::min<int64_t>(
+      prefix_len - 1, static_cast<int64_t>(step_nll.size()));
+  for (int64_t j = 0; j < steps; ++j) total += step_nll[j];
+  return total;
+}
+
+TgVae::ScoreParts TgVae::Score(const traj::Trip& trip) const {
+  const auto& segs = trip.route.segments;
+  CAUSALTAD_CHECK_GE(segs.size(), 1u);
+  ScoreParts parts;
+  const roadnet::SegmentId s = segs.front();
+  const roadnet::SegmentId d = segs.back();
+
+  const Forwarded f = EncodeSd(s, d, /*rng=*/nullptr);
+  parts.kl = nn::KlStandardNormal(f.mu, f.logvar).value().Item();
+  parts.sd_nll = config_.use_sd_decoder
+                     ? SdDecoderNll(f.r, s, d).value().Item()
+                     : 0.0;
+
+  nn::Var h = nn::Tanh(h0_proj_.Forward(f.r));
+  parts.step_nll.reserve(segs.size() - 1);
+  for (size_t j = 0; j + 1 < segs.size(); ++j) {
+    parts.step_nll.push_back(StepNll(segs[j], segs[j + 1], &h));
+  }
+  return parts;
+}
+
+TgVae::TripContext TgVae::BeginTrip(roadnet::SegmentId source,
+                                    roadnet::SegmentId destination) const {
+  TripContext ctx;
+  const Forwarded f = EncodeSd(source, destination, /*rng=*/nullptr);
+  ctx.kl = nn::KlStandardNormal(f.mu, f.logvar).value().Item();
+  ctx.sd_nll = config_.use_sd_decoder
+                   ? SdDecoderNll(f.r, source, destination).value().Item()
+                   : 0.0;
+  ctx.h0 = nn::Tanh(h0_proj_.Forward(f.r));
+  return ctx;
+}
+
+double TgVae::StepNll(roadnet::SegmentId current, roadnet::SegmentId next,
+                      nn::Var* hidden) const {
+  const std::vector<int32_t> id = {current};
+  *hidden = gru_.Step(route_emb_.Forward(id), *hidden);
+  return StepCe(*hidden, current, next).value().Item();
+}
+
+}  // namespace core
+}  // namespace causaltad

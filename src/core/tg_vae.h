@@ -1,0 +1,110 @@
+#ifndef CAUSALTAD_CORE_TG_VAE_H_
+#define CAUSALTAD_CORE_TG_VAE_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/modules.h"
+#include "roadnet/road_network.h"
+#include "traj/trajectory.h"
+#include "util/random.h"
+
+namespace causaltad {
+namespace core {
+
+/// Trajectory Generation VAE configuration (paper §V-B).
+struct TgVaeConfig {
+  int64_t vocab = 0;  // number of road segments; required
+  int64_t emb_dim = 48;
+  int64_t hidden_dim = 64;
+  int64_t latent_dim = 32;
+  /// Ablation: reconstruct the SD pair from the posterior (guards against
+  /// posterior collapse; paper §V-B(1)).
+  bool use_sd_decoder = true;
+  /// Ablation: mask next-segment prediction to road-network successors
+  /// (paper §V-B(2)). When false a full-vocabulary softmax is used.
+  bool road_constrained = true;
+};
+
+/// TG-VAE: estimates the likelihood P(c, t) of Eq. (2).
+///
+/// Architecture (paper Fig. 3, upper-left):
+///  * SD encoder Φe    — Q1(R | c): MLP over [Ec(s); Ec(d)] → (μ_r, σ_r).
+///  * SD decoder Φc    — P(c | r): predicts ŝ and d̂ from r.
+///  * Trajectory decoder Φt — P(t | r): GRU over Er(t_j) with h_0 = f(r);
+///    the state after consuming t_j predicts t_{j+1} over the successors of
+///    t_j only (road-constrained prediction).
+///
+/// s and d are the first and last road segments of the trajectory (the trip
+/// endpoints fixed when the ride-hailing order is placed).
+class TgVae : public nn::Module {
+ public:
+  TgVae(const roadnet::RoadNetwork* network, const TgVaeConfig& config,
+        util::Rng* rng);
+
+  /// Training loss L1(c,t) = H(ŝ,s) + H(d̂,d) + Σ H(t̂_j, t_j) + KL.
+  /// The latent is sampled via reparameterization from `rng`.
+  nn::Var Loss(const traj::Trip& trip, util::Rng* rng) const;
+
+  /// Inference-time score decomposition with r = posterior mean.
+  struct ScoreParts {
+    double sd_nll = 0.0;  // H(ŝ,s) + H(d̂,d)
+    double kl = 0.0;
+    /// step_nll[j] = -log P(t_{j+1} | r, t_{<=j}); size n-1.
+    std::vector<double> step_nll;
+
+    /// Negative ELBO of the first `prefix_len` segments.
+    double PrefixScore(int64_t prefix_len) const;
+  };
+  ScoreParts Score(const traj::Trip& trip) const;
+
+  /// --- Online pieces (used by CausalTad::OnlineSession) ---
+
+  /// Per-trip constant part: posterior mean r from the SD pair, the initial
+  /// decoder state h0, and sd_nll + kl.
+  struct TripContext {
+    nn::Var h0;
+    double sd_nll = 0.0;
+    double kl = 0.0;
+  };
+  TripContext BeginTrip(roadnet::SegmentId source,
+                        roadnet::SegmentId destination) const;
+
+  /// One O(d² + deg·d) decoder step: consumes `current` and returns
+  /// -log P(next | ·) plus the updated hidden state.
+  double StepNll(roadnet::SegmentId current, roadnet::SegmentId next,
+                 nn::Var* hidden) const;
+
+  const TgVaeConfig& config() const { return config_; }
+
+ private:
+  struct Forwarded {
+    nn::Var mu, logvar, r;
+  };
+  Forwarded EncodeSd(roadnet::SegmentId s, roadnet::SegmentId d,
+                     util::Rng* rng) const;
+  nn::Var SdDecoderNll(const nn::Var& r, roadnet::SegmentId s,
+                       roadnet::SegmentId d) const;
+  /// CE of predicting `next` from `hidden` after consuming `current`.
+  nn::Var StepCe(const nn::Var& hidden, roadnet::SegmentId current,
+                 roadnet::SegmentId next) const;
+
+  const roadnet::RoadNetwork* network_;
+  TgVaeConfig config_;
+  nn::Embedding sd_emb_;     // Ec
+  nn::Embedding route_emb_;  // Er
+  nn::Linear enc_fc_;
+  nn::Linear mu_head_;
+  nn::Linear lv_head_;
+  nn::Linear dec_fc_;
+  nn::Linear head_s_;
+  nn::Linear head_d_;
+  nn::Linear h0_proj_;
+  nn::GruCell gru_;
+  nn::Linear out_;
+};
+
+}  // namespace core
+}  // namespace causaltad
+
+#endif  // CAUSALTAD_CORE_TG_VAE_H_

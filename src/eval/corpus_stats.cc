@@ -1,0 +1,84 @@
+#include "eval/corpus_stats.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "util/logging.h"
+
+namespace causaltad {
+namespace eval {
+
+CorpusStats ComputeCorpusStats(const roadnet::RoadNetwork& network,
+                               const std::vector<traj::Trip>& trips) {
+  CorpusStats stats;
+  stats.num_trips = static_cast<int64_t>(trips.size());
+  if (trips.empty()) return stats;
+
+  std::vector<int64_t> visits(network.num_segments(), 0);
+  std::set<std::pair<roadnet::NodeId, roadnet::NodeId>> pairs;
+  stats.min_trip_len = trips.front().route.size();
+  for (const traj::Trip& trip : trips) {
+    const int64_t n = trip.route.size();
+    stats.num_segments_total += n;
+    stats.min_trip_len = std::min(stats.min_trip_len, n);
+    stats.max_trip_len = std::max(stats.max_trip_len, n);
+    pairs.insert({trip.source_node, trip.dest_node});
+    for (const roadnet::SegmentId s : trip.route.segments) {
+      CAUSALTAD_DCHECK(s >= 0 && s < network.num_segments());
+      visits[s]++;
+    }
+  }
+  stats.mean_trip_len =
+      static_cast<double>(stats.num_segments_total) / stats.num_trips;
+  stats.distinct_sd_pairs = static_cast<int64_t>(pairs.size());
+
+  int64_t covered = 0;
+  double class_visits[3] = {0, 0, 0};
+  for (int64_t s = 0; s < network.num_segments(); ++s) {
+    if (visits[s] > 0) ++covered;
+    class_visits[static_cast<int>(network.segment(s).road_class)] +=
+        static_cast<double>(visits[s]);
+  }
+  stats.coverage =
+      static_cast<double>(covered) / static_cast<double>(network.num_segments());
+  stats.mean_visits =
+      covered > 0
+          ? static_cast<double>(stats.num_segments_total) / covered
+          : 0.0;
+  for (int c = 0; c < 3; ++c) {
+    stats.class_share[c] =
+        class_visits[c] / static_cast<double>(stats.num_segments_total);
+  }
+
+  // Gini over visit counts (including zero-visit segments).
+  std::vector<int64_t> sorted = visits;
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+  double weighted = 0.0, total = 0.0;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    weighted += (2.0 * (static_cast<double>(i) + 1) - n - 1) * sorted[i];
+    total += sorted[i];
+  }
+  stats.visit_gini = total > 0 ? weighted / (n * total) : 0.0;
+  return stats;
+}
+
+std::string FormatCorpusStats(const CorpusStats& stats) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "trips=%lld  sd_pairs=%lld  len(mean/min/max)=%.1f/%lld/%lld\n"
+      "coverage=%.1f%%  mean_visits=%.1f  visit_gini=%.3f\n"
+      "class share: arterial %.1f%%  collector %.1f%%  local %.1f%%",
+      static_cast<long long>(stats.num_trips),
+      static_cast<long long>(stats.distinct_sd_pairs), stats.mean_trip_len,
+      static_cast<long long>(stats.min_trip_len),
+      static_cast<long long>(stats.max_trip_len), 100.0 * stats.coverage,
+      stats.mean_visits, stats.visit_gini, 100.0 * stats.class_share[0],
+      100.0 * stats.class_share[1], 100.0 * stats.class_share[2]);
+  return buf;
+}
+
+}  // namespace eval
+}  // namespace causaltad

@@ -1,0 +1,48 @@
+#ifndef CAUSALTAD_EVAL_CORPUS_STATS_H_
+#define CAUSALTAD_EVAL_CORPUS_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "roadnet/road_network.h"
+#include "traj/trajectory.h"
+
+namespace causaltad {
+namespace eval {
+
+/// Descriptive statistics of a trip corpus relative to a road network.
+/// These are the quantities that control whether the paper's confounding
+/// phenomenon exists in a dataset (DESIGN.md §5b): how concentrated traffic
+/// is, how much of the network is covered, and how long trips are.
+struct CorpusStats {
+  int64_t num_trips = 0;
+  int64_t num_segments_total = 0;  // sum of route lengths
+  double mean_trip_len = 0.0;
+  int64_t min_trip_len = 0;
+  int64_t max_trip_len = 0;
+
+  /// Fraction of network segments visited at least once.
+  double coverage = 0.0;
+  /// Mean visits per *visited* segment.
+  double mean_visits = 0.0;
+  /// Gini coefficient of per-segment visit counts (0 = uniform traffic,
+  /// -> 1 = all traffic on a few corridors). The confounded generator
+  /// should produce clearly nonzero values.
+  double visit_gini = 0.0;
+  /// Share of segment visits on each road class (arterial/collector/local).
+  double class_share[3] = {0.0, 0.0, 0.0};
+  /// Number of distinct SD (source,dest) node pairs.
+  int64_t distinct_sd_pairs = 0;
+};
+
+/// Computes stats over `trips` on `network`.
+CorpusStats ComputeCorpusStats(const roadnet::RoadNetwork& network,
+                               const std::vector<traj::Trip>& trips);
+
+/// Multi-line human-readable rendering (used by benches and examples).
+std::string FormatCorpusStats(const CorpusStats& stats);
+
+}  // namespace eval
+}  // namespace causaltad
+
+#endif  // CAUSALTAD_EVAL_CORPUS_STATS_H_

@@ -1,0 +1,225 @@
+#include "eval/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+
+#include "util/logging.h"
+
+namespace causaltad {
+namespace eval {
+
+Scale ScaleFromEnv() {
+  const char* env = std::getenv("CAUSALTAD_BENCH_SCALE");
+  if (env == nullptr) return Scale::kDefault;
+  const std::string v(env);
+  if (v == "smoke") return Scale::kSmoke;
+  if (v == "full") return Scale::kFull;
+  return Scale::kDefault;
+}
+
+const char* ScaleName(Scale scale) {
+  switch (scale) {
+    case Scale::kSmoke:
+      return "smoke";
+    case Scale::kDefault:
+      return "default";
+    case Scale::kFull:
+      return "full";
+  }
+  return "unknown";
+}
+
+namespace {
+
+CityExperimentConfig BaseConfig(Scale scale) {
+  CityExperimentConfig cfg;
+  // Anomaly reroutes use the same generalized cost drivers do, so detours
+  // stay on plausible streets (see DetourConfig::preference_gamma).
+  cfg.detour.preference_gamma = cfg.router.preference_gamma;
+  cfg.route_switch.preference_gamma = cfg.router.preference_gamma;
+  switch (scale) {
+    case Scale::kSmoke:
+      cfg.city.rows = 8;
+      cfg.city.cols = 8;
+      cfg.city.num_pois = 3;
+      cfg.gen.num_candidate_pairs = 10;
+      cfg.gen.min_hops = 7;
+      cfg.trips_per_pair = 12;
+      cfg.min_trips_per_pair = 6;
+      cfg.num_ood = 60;
+      break;
+    case Scale::kDefault:
+      cfg.city.rows = 13;
+      cfg.city.cols = 13;
+      cfg.city.num_pois = 6;
+      cfg.gen.num_candidate_pairs = 45;
+      cfg.gen.min_hops = 11;
+      cfg.trips_per_pair = 40;
+      cfg.min_trips_per_pair = 8;
+      cfg.num_ood = 500;
+      break;
+    case Scale::kFull:
+      cfg.city.rows = 18;
+      cfg.city.cols = 18;
+      cfg.city.num_pois = 10;
+      cfg.gen.num_candidate_pairs = 100;
+      cfg.gen.min_hops = 14;
+      cfg.trips_per_pair = 100;
+      cfg.min_trips_per_pair = 12;
+      cfg.num_ood = 1500;
+      break;
+  }
+  return cfg;
+}
+
+}  // namespace
+
+CityExperimentConfig XianConfig(Scale scale) {
+  CityExperimentConfig cfg = BaseConfig(scale);
+  cfg.name = "xian";
+  cfg.city.origin = {34.26, 108.94};
+  cfg.city.seed = 20240101;
+  cfg.gen.seed = 20240102;
+  cfg.seed = 20240103;
+  return cfg;
+}
+
+CityExperimentConfig ChengduConfig(Scale scale) {
+  CityExperimentConfig cfg = BaseConfig(scale);
+  cfg.name = "chengdu";
+  cfg.city.origin = {30.66, 104.06};
+  cfg.city.seed = 20240201;
+  cfg.gen.seed = 20240202;
+  cfg.seed = 20240203;
+  // Chengdu: denser city, larger corpus (the real dataset is ~2x Xi'an's).
+  cfg.city.rows += 2;
+  cfg.city.cols += 2;
+  cfg.city.num_pois += 2;
+  cfg.trips_per_pair = cfg.trips_per_pair * 3 / 2;
+  return cfg;
+}
+
+ExperimentData BuildExperiment(const CityExperimentConfig& config) {
+  ExperimentData data;
+  data.city = roadnet::BuildGridCity(config.city);
+  const traj::PreferenceRouter router(&data.city, config.router);
+  traj::TripGenerator gen(&data.city, &router, config.gen);
+  data.pairs = gen.SampleCandidatePairs();
+
+  // Zipf allocation of trips per pair (popular pairs dominate training —
+  // the imbalance that creates the confounding bias).
+  const int num_pairs = static_cast<int>(data.pairs.size());
+  const int64_t total_trips =
+      static_cast<int64_t>(config.trips_per_pair) * num_pairs;
+  double weight_sum = 0.0;
+  for (const traj::SdPair& p : data.pairs) weight_sum += p.weight;
+  std::vector<int64_t> quota(num_pairs);
+  for (int i = 0; i < num_pairs; ++i) {
+    quota[i] = std::max<int64_t>(
+        config.min_trips_per_pair,
+        static_cast<int64_t>(std::llround(
+            total_trips * data.pairs[i].weight / weight_sum)));
+  }
+
+  // Per-pair trip generation and half/half split; keep per-pair route pools
+  // for the Switch generator.
+  std::map<int32_t, std::vector<traj::Route>> pair_pools;
+  for (int32_t pid = 0; pid < num_pairs; ++pid) {
+    std::vector<traj::Trip> trips;
+    trips.reserve(quota[pid]);
+    for (int64_t i = 0; i < quota[pid]; ++i) {
+      trips.push_back(gen.GenerateTrip(data.pairs, pid));
+      pair_pools[pid].push_back(trips.back().route);
+    }
+    const size_t half = trips.size() / 2;
+    for (size_t i = 0; i < trips.size(); ++i) {
+      (i < half ? data.train : data.id_test).push_back(std::move(trips[i]));
+    }
+  }
+
+  // OOD normal trips + per-trip route pools for OOD Switch anomalies.
+  std::vector<std::vector<traj::Route>> ood_pools;
+  for (int i = 0; i < config.num_ood; ++i) {
+    data.ood_test.push_back(gen.GenerateOodTrip(data.pairs));
+    const traj::Trip& trip = data.ood_test.back();
+    std::vector<traj::Route> pool;
+    for (int r = 0; r < config.ood_pool_routes; ++r) {
+      pool.push_back(router.Sample(trip.source_node, trip.dest_node,
+                                   trip.time_slot, gen.rng()));
+    }
+    ood_pools.push_back(std::move(pool));
+  }
+
+  // Anomaly sets (paper §VI-A2). Failures (short routes etc.) are skipped;
+  // counts stay close to the normal sets.
+  traj::AnomalyGenerator anomaly(&data.city.network, config.seed ^ 0xA11);
+  for (const traj::Trip& trip : data.id_test) {
+    if (auto detour = anomaly.MakeDetour(trip, config.detour)) {
+      data.id_detour.push_back(std::move(*detour));
+    }
+    if (auto sw = anomaly.MakeSwitch(trip, pair_pools[trip.sd_pair_id],
+                                     config.route_switch)) {
+      data.id_switch.push_back(std::move(*sw));
+    }
+  }
+  for (size_t i = 0; i < data.ood_test.size(); ++i) {
+    const traj::Trip& trip = data.ood_test[i];
+    if (auto detour = anomaly.MakeDetour(trip, config.detour)) {
+      data.ood_detour.push_back(std::move(*detour));
+    }
+    if (auto sw = anomaly.MakeSwitch(trip, ood_pools[i],
+                                     config.route_switch)) {
+      data.ood_switch.push_back(std::move(*sw));
+    }
+  }
+
+  CAUSALTAD_CHECK(!data.train.empty());
+  CAUSALTAD_CHECK(!data.id_detour.empty());
+  CAUSALTAD_CHECK(!data.ood_switch.empty());
+  return data;
+}
+
+std::vector<traj::Trip> MixShift(const std::vector<traj::Trip>& id_set,
+                                 const std::vector<traj::Trip>& ood_set,
+                                 double alpha, uint64_t seed) {
+  CAUSALTAD_CHECK(alpha >= 0.0 && alpha <= 1.0);
+  const int64_t total = std::min<int64_t>(
+      static_cast<int64_t>(id_set.size()) + static_cast<int64_t>(
+                                                ood_set.size()),
+      std::max<int64_t>(static_cast<int64_t>(id_set.size()),
+                        static_cast<int64_t>(ood_set.size())));
+  // Clamp each side independently so the ID:OOD *ratio* follows alpha even
+  // when one pool is exhausted (alpha=1 must mean pure OOD).
+  int64_t num_ood = static_cast<int64_t>(std::llround(alpha * total));
+  num_ood = std::min<int64_t>(num_ood, static_cast<int64_t>(ood_set.size()));
+  int64_t num_id =
+      static_cast<int64_t>(std::llround((1.0 - alpha) * total));
+  num_id = std::min<int64_t>(num_id, static_cast<int64_t>(id_set.size()));
+
+  std::vector<traj::Trip> mixed;
+  util::Rng rng(seed);
+  const auto id_order = rng.Permutation(static_cast<int64_t>(id_set.size()));
+  const auto ood_order =
+      rng.Permutation(static_cast<int64_t>(ood_set.size()));
+  for (int64_t i = 0; i < num_id; ++i) mixed.push_back(id_set[id_order[i]]);
+  for (int64_t i = 0; i < num_ood; ++i) {
+    mixed.push_back(ood_set[ood_order[i]]);
+  }
+  return mixed;
+}
+
+std::vector<traj::Trip> Subsample(const std::vector<traj::Trip>& trips,
+                                  int64_t max_count, uint64_t seed) {
+  if (static_cast<int64_t>(trips.size()) <= max_count) return trips;
+  util::Rng rng(seed);
+  const auto order = rng.Permutation(static_cast<int64_t>(trips.size()));
+  std::vector<traj::Trip> out;
+  out.reserve(max_count);
+  for (int64_t i = 0; i < max_count; ++i) out.push_back(trips[order[i]]);
+  return out;
+}
+
+}  // namespace eval
+}  // namespace causaltad

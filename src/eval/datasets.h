@@ -1,0 +1,88 @@
+#ifndef CAUSALTAD_EVAL_DATASETS_H_
+#define CAUSALTAD_EVAL_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "roadnet/grid_city.h"
+#include "traj/anomaly.h"
+#include "traj/router.h"
+#include "traj/trip_generator.h"
+
+namespace causaltad {
+namespace eval {
+
+/// Experiment size presets. kSmoke is for unit tests, kDefault sizes the
+/// single-core bench suite, kFull approaches the paper's corpus sizes
+/// (select via the CAUSALTAD_BENCH_SCALE environment variable).
+enum class Scale {
+  kSmoke,
+  kDefault,
+  kFull,
+};
+
+Scale ScaleFromEnv();
+const char* ScaleName(Scale scale);
+
+/// Everything needed to regenerate one city's evaluation data.
+struct CityExperimentConfig {
+  std::string name;  // "xian" or "chengdu"
+  roadnet::GridCityConfig city;
+  traj::RouterConfig router;
+  traj::TripGeneratorConfig gen;
+  /// Average trips per candidate pair; actual counts are Zipf-allocated
+  /// with a floor so every pair keeps enough trips for a train/test split.
+  int trips_per_pair = 40;
+  int min_trips_per_pair = 8;
+  /// OOD normal trips (unseen SD pairs).
+  int num_ood = 500;
+  /// Extra same-SD routes sampled per OOD trip to build Switch pools.
+  int ood_pool_routes = 6;
+  traj::DetourConfig detour;
+  traj::SwitchConfig route_switch;
+  uint64_t seed = 1;
+};
+
+/// The paper's two cities, rescaled per Scale. The "Chengdu" stand-in is
+/// larger and denser than "Xi'an", mirroring the corpus-size relation of
+/// the real datasets (~20k vs ~10k trips).
+CityExperimentConfig XianConfig(Scale scale);
+CityExperimentConfig ChengduConfig(Scale scale);
+
+/// A fully materialized evaluation corpus: splits and anomaly sets for the
+/// four dataset combinations of Tables I/II.
+struct ExperimentData {
+  roadnet::City city;
+  std::vector<traj::SdPair> pairs;
+  std::vector<traj::Trip> train;
+  std::vector<traj::Trip> id_test;
+  std::vector<traj::Trip> ood_test;
+  std::vector<traj::Trip> id_detour;
+  std::vector<traj::Trip> id_switch;
+  std::vector<traj::Trip> ood_detour;
+  std::vector<traj::Trip> ood_switch;
+
+  int64_t vocab() const { return city.network.num_segments(); }
+};
+
+/// Deterministically builds the corpus from the config: samples candidate
+/// pairs (E→C), generates Zipf-allocated trips per pair, splits half/half
+/// into train and ID test (the paper's protocol), draws OOD trips from
+/// uniform unseen pairs, and derives Detour/Switch anomaly sets from each
+/// test split.
+ExperimentData BuildExperiment(const CityExperimentConfig& config);
+
+/// Mixes ID and OOD normal test sets at shift ratio alpha (Fig. 5):
+/// (1-alpha) ID : alpha OOD, deterministic subsampling.
+std::vector<traj::Trip> MixShift(const std::vector<traj::Trip>& id_set,
+                                 const std::vector<traj::Trip>& ood_set,
+                                 double alpha, uint64_t seed);
+
+/// Deterministic subsample of at most `max_count` trips (keeps order).
+std::vector<traj::Trip> Subsample(const std::vector<traj::Trip>& trips,
+                                  int64_t max_count, uint64_t seed);
+
+}  // namespace eval
+}  // namespace causaltad
+
+#endif  // CAUSALTAD_EVAL_DATASETS_H_

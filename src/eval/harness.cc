@@ -1,0 +1,194 @@
+#include "eval/harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "models/iboat.h"
+#include "models/rnn_vae.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace causaltad {
+namespace eval {
+namespace {
+
+models::RnnVaeConfig BaseRnnConfig(const ExperimentData& data, Scale scale) {
+  models::RnnVaeConfig cfg;
+  cfg.vocab = data.vocab();
+  switch (scale) {
+    case Scale::kSmoke:
+      cfg.emb_dim = 16;
+      cfg.hidden_dim = 24;
+      cfg.latent_dim = 12;
+      break;
+    case Scale::kDefault:
+      cfg.emb_dim = 32;
+      cfg.hidden_dim = 48;
+      cfg.latent_dim = 24;
+      break;
+    case Scale::kFull:
+      cfg.emb_dim = 64;
+      cfg.hidden_dim = 96;
+      cfg.latent_dim = 48;
+      break;
+  }
+  return cfg;
+}
+
+core::CausalTadConfig CausalConfig(const ExperimentData& data, Scale scale) {
+  core::CausalTadConfig cfg;
+  const models::RnnVaeConfig base = BaseRnnConfig(data, scale);
+  cfg.tg.vocab = data.vocab();
+  cfg.tg.emb_dim = base.emb_dim;
+  cfg.tg.hidden_dim = base.hidden_dim;
+  cfg.tg.latent_dim = base.latent_dim;
+  cfg.rp.vocab = data.vocab();
+  cfg.rp.emb_dim = base.emb_dim;
+  cfg.rp.hidden_dim = base.hidden_dim;
+  cfg.rp.latent_dim = base.latent_dim;
+  return cfg;
+}
+
+std::string CacheDir() {
+  const char* env = std::getenv("CAUSALTAD_CACHE_DIR");
+  return env != nullptr ? env : ".causaltad_cache";
+}
+
+bool CacheDisabled() {
+  const char* env = std::getenv("CAUSALTAD_NO_CACHE");
+  return env != nullptr && std::string(env) == "1";
+}
+
+}  // namespace
+
+std::vector<std::string> BaselineNames() {
+  return {"iBOAT", "VSAE",    "SAE",     "BetaVAE",
+          "FactorVAE", "GM-VSAE", "DeepTEA"};
+}
+
+std::unique_ptr<models::TrajectoryScorer> MakeScorer(
+    const std::string& name, const ExperimentData& data, Scale scale) {
+  const models::RnnVaeConfig base = BaseRnnConfig(data, scale);
+  if (name == "iBOAT") {
+    return std::make_unique<models::Iboat>(&data.city.network);
+  }
+  if (name == "SAE") return models::MakeSae(base);
+  if (name == "VSAE") return models::MakeVsae(base);
+  if (name == "BetaVAE") return models::MakeBetaVae(base);
+  if (name == "FactorVAE") return models::MakeFactorVae(base);
+  if (name == "GM-VSAE") return models::MakeGmVsae(base);
+  if (name == "DeepTEA") return models::MakeDeepTea(base);
+  if (name == kCausalTadName) {
+    return std::make_unique<core::CausalTad>(&data.city.network,
+                                             CausalConfig(data, scale));
+  }
+  CAUSALTAD_CHECK(false) << "unknown scorer " << name;
+  return nullptr;
+}
+
+models::FitOptions FitOptionsFor(Scale scale) {
+  models::FitOptions options;
+  options.lr = 3e-3f;
+  options.batch_size = 16;
+  switch (scale) {
+    case Scale::kSmoke:
+      options.epochs = 3;
+      break;
+    case Scale::kDefault:
+      options.epochs = 12;
+      break;
+    case Scale::kFull:
+      options.epochs = 20;
+      break;
+  }
+  return options;
+}
+
+std::unique_ptr<models::TrajectoryScorer> FitOrLoad(
+    const std::string& name, const ExperimentData& data,
+    const std::string& city_name, Scale scale) {
+  auto scorer = MakeScorer(name, data, scale);
+  const std::string dir = CacheDir();
+  const std::string path = dir + "/" + city_name + "_" + ScaleName(scale) +
+                           "_" + name + ".bin";
+  if (!CacheDisabled() && std::filesystem::exists(path)) {
+    const util::Status status = scorer->Load(path);
+    if (status.ok()) return scorer;
+    std::fprintf(stderr, "cache load failed (%s), retraining: %s\n",
+                 path.c_str(), status.ToString().c_str());
+  }
+  util::Stopwatch watch;
+  scorer->Fit(data.train, FitOptionsFor(scale));
+  std::fprintf(stderr, "[train] %s/%s: %.1fs\n", city_name.c_str(),
+               name.c_str(), watch.ElapsedSeconds());
+  if (!CacheDisabled()) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    const util::Status status = scorer->Save(path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "cache save failed: %s\n",
+                   status.ToString().c_str());
+    }
+  }
+  return scorer;
+}
+
+std::vector<double> ScoreSet(const models::TrajectoryScorer& scorer,
+                             const std::vector<traj::Trip>& trips,
+                             double observed_ratio) {
+  std::vector<double> scores;
+  scores.reserve(trips.size());
+  for (const traj::Trip& trip : trips) {
+    const int64_t n = trip.route.size();
+    int64_t prefix = static_cast<int64_t>(std::ceil(observed_ratio * n));
+    prefix = std::max<int64_t>(1, std::min(prefix, n));
+    scores.push_back(scorer.Score(trip, prefix));
+  }
+  return scores;
+}
+
+EvalResult EvaluateCombo(const models::TrajectoryScorer& scorer,
+                         const std::vector<traj::Trip>& normals,
+                         const std::vector<traj::Trip>& anomalies,
+                         double observed_ratio) {
+  const std::vector<double> normal_scores =
+      ScoreSet(scorer, normals, observed_ratio);
+  const std::vector<double> anomaly_scores =
+      ScoreSet(scorer, anomalies, observed_ratio);
+  return EvaluateScores(normal_scores, anomaly_scores);
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {}
+
+void TablePrinter::PrintHeader() const {
+  std::string line = "|";
+  std::string rule = "|";
+  for (const std::string& c : columns_) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), " %-11s|", c.c_str());
+    line += buf;
+    rule += "------------|";
+  }
+  std::printf("%s\n%s\n", line.c_str(), rule.c_str());
+}
+
+void TablePrinter::PrintRow(const std::vector<std::string>& cells) const {
+  std::string line = "|";
+  for (const std::string& c : cells) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), " %-11s|", c.c_str());
+    line += buf;
+  }
+  std::printf("%s\n", line.c_str());
+}
+
+std::string TablePrinter::Fmt(double v, int precision) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace eval
+}  // namespace causaltad

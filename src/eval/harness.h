@@ -1,0 +1,65 @@
+#ifndef CAUSALTAD_EVAL_HARNESS_H_
+#define CAUSALTAD_EVAL_HARNESS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/causal_tad.h"
+#include "eval/datasets.h"
+#include "eval/metrics.h"
+#include "models/scorer.h"
+
+namespace causaltad {
+namespace eval {
+
+/// All method names of the paper's evaluation, in table order.
+std::vector<std::string> BaselineNames();  // iBOAT .. DeepTEA
+inline const char* kCausalTadName = "CausalTAD";
+
+/// Constructs an untrained scorer by paper name ("iBOAT", "VSAE", "SAE",
+/// "BetaVAE", "FactorVAE", "GM-VSAE", "DeepTEA", "CausalTAD"). Model dims
+/// are sized for the given scale.
+std::unique_ptr<models::TrajectoryScorer> MakeScorer(
+    const std::string& name, const ExperimentData& data, Scale scale);
+
+/// Training options per scale (epochs/lr tuned for the single-core bench).
+models::FitOptions FitOptionsFor(Scale scale);
+
+/// Trains `name` on data.train, or restores it from the on-disk cache
+/// (directory from CAUSALTAD_CACHE_DIR, default ".causaltad_cache"). The
+/// cache key encodes city, scale, and model, so the nine bench binaries
+/// share one training run per model. Set CAUSALTAD_NO_CACHE=1 to disable.
+std::unique_ptr<models::TrajectoryScorer> FitOrLoad(
+    const std::string& name, const ExperimentData& data,
+    const std::string& city_name, Scale scale);
+
+/// Scores normals-vs-anomalies at an observed ratio (1.0 = offline).
+/// The prefix length of trip t is ceil(ratio * |t|), at least 1.
+EvalResult EvaluateCombo(const models::TrajectoryScorer& scorer,
+                         const std::vector<traj::Trip>& normals,
+                         const std::vector<traj::Trip>& anomalies,
+                         double observed_ratio = 1.0);
+
+/// Scores one set of trips at an observed ratio.
+std::vector<double> ScoreSet(const models::TrajectoryScorer& scorer,
+                             const std::vector<traj::Trip>& trips,
+                             double observed_ratio);
+
+/// Markdown-ish fixed-width table printer used by all bench binaries.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> columns);
+  void PrintHeader() const;
+  void PrintRow(const std::vector<std::string>& cells) const;
+
+  static std::string Fmt(double v, int precision = 4);
+
+ private:
+  std::vector<std::string> columns_;
+};
+
+}  // namespace eval
+}  // namespace causaltad
+
+#endif  // CAUSALTAD_EVAL_HARNESS_H_

@@ -1,0 +1,103 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace causaltad {
+namespace eval {
+
+double RocAuc(std::span<const double> scores,
+              std::span<const uint8_t> labels) {
+  CAUSALTAD_CHECK_EQ(scores.size(), labels.size());
+  const int64_t n = static_cast<int64_t>(scores.size());
+  int64_t num_pos = 0;
+  for (uint8_t l : labels) num_pos += (l != 0);
+  const int64_t num_neg = n - num_pos;
+  CAUSALTAD_CHECK_GT(num_pos, 0);
+  CAUSALTAD_CHECK_GT(num_neg, 0);
+
+  std::vector<int64_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    return scores[a] < scores[b];
+  });
+
+  // Sum of positive ranks with average ranks for ties.
+  double pos_rank_sum = 0.0;
+  int64_t i = 0;
+  while (i < n) {
+    int64_t j = i;
+    while (j < n && scores[order[j]] == scores[order[i]]) ++j;
+    const double avg_rank = 0.5 * static_cast<double>(i + 1 + j);  // 1-based
+    for (int64_t k = i; k < j; ++k) {
+      if (labels[order[k]] != 0) pos_rank_sum += avg_rank;
+    }
+    i = j;
+  }
+  const double u = pos_rank_sum -
+                   static_cast<double>(num_pos) * (num_pos + 1) / 2.0;
+  return u / (static_cast<double>(num_pos) * static_cast<double>(num_neg));
+}
+
+double PrAuc(std::span<const double> scores,
+             std::span<const uint8_t> labels) {
+  CAUSALTAD_CHECK_EQ(scores.size(), labels.size());
+  const int64_t n = static_cast<int64_t>(scores.size());
+  int64_t num_pos = 0;
+  for (uint8_t l : labels) num_pos += (l != 0);
+  CAUSALTAD_CHECK_GT(num_pos, 0);
+
+  std::vector<int64_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    return scores[a] > scores[b];  // descending: most anomalous first
+  });
+
+  // Average precision with tie groups handled atomically.
+  double ap = 0.0;
+  int64_t tp = 0, fp = 0;
+  int64_t i = 0;
+  while (i < n) {
+    int64_t j = i;
+    int64_t group_tp = 0;
+    while (j < n && scores[order[j]] == scores[order[i]]) {
+      group_tp += (labels[order[j]] != 0);
+      ++j;
+    }
+    const int64_t group_size = j - i;
+    tp += group_tp;
+    fp += group_size - group_tp;
+    const double precision =
+        static_cast<double>(tp) / static_cast<double>(tp + fp);
+    ap += precision * static_cast<double>(group_tp);
+    i = j;
+  }
+  return ap / static_cast<double>(num_pos);
+}
+
+EvalResult EvaluateScores(std::span<const double> normal_scores,
+                          std::span<const double> anomaly_scores) {
+  std::vector<double> scores;
+  std::vector<uint8_t> labels;
+  scores.reserve(normal_scores.size() + anomaly_scores.size());
+  labels.reserve(scores.capacity());
+  for (double s : normal_scores) {
+    scores.push_back(s);
+    labels.push_back(0);
+  }
+  for (double s : anomaly_scores) {
+    scores.push_back(s);
+    labels.push_back(1);
+  }
+  EvalResult result;
+  result.num_normal = static_cast<int64_t>(normal_scores.size());
+  result.num_anomaly = static_cast<int64_t>(anomaly_scores.size());
+  result.roc_auc = RocAuc(scores, labels);
+  result.pr_auc = PrAuc(scores, labels);
+  return result;
+}
+
+}  // namespace eval
+}  // namespace causaltad

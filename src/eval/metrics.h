@@ -1,0 +1,36 @@
+#ifndef CAUSALTAD_EVAL_METRICS_H_
+#define CAUSALTAD_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace causaltad {
+namespace eval {
+
+/// ROC-AUC via the rank statistic (Mann-Whitney U), with ties receiving
+/// average ranks — exact, not trapezoid-approximated. labels: 1 = anomaly
+/// (positive), 0 = normal. Higher scores should indicate anomalies.
+double RocAuc(std::span<const double> scores, std::span<const uint8_t> labels);
+
+/// PR-AUC computed as average precision (step-wise integral of the
+/// precision-recall curve, sklearn-style), with score ties processed as
+/// atomic groups so the result is permutation-invariant.
+double PrAuc(std::span<const double> scores, std::span<const uint8_t> labels);
+
+/// Both metrics for a normal-vs-anomaly score split (the form every
+/// experiment in the paper reports).
+struct EvalResult {
+  double roc_auc = 0.0;
+  double pr_auc = 0.0;
+  int64_t num_normal = 0;
+  int64_t num_anomaly = 0;
+};
+
+EvalResult EvaluateScores(std::span<const double> normal_scores,
+                          std::span<const double> anomaly_scores);
+
+}  // namespace eval
+}  // namespace causaltad
+
+#endif  // CAUSALTAD_EVAL_METRICS_H_

@@ -1,0 +1,75 @@
+#include "eval/threshold.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace causaltad {
+namespace eval {
+
+double ThresholdAtFpr(std::span<const double> normal_scores,
+                      double target_fpr) {
+  CAUSALTAD_CHECK(!normal_scores.empty());
+  CAUSALTAD_CHECK(target_fpr >= 0.0 && target_fpr <= 1.0);
+  std::vector<double> sorted(normal_scores.begin(), normal_scores.end());
+  std::sort(sorted.begin(), sorted.end());
+  // Flag scores strictly above the threshold. To keep FPR <= target, the
+  // threshold is the smallest normal score with at most target_fpr·N
+  // normals strictly above it.
+  const auto n = static_cast<int64_t>(sorted.size());
+  const int64_t allowed =
+      static_cast<int64_t>(std::floor(target_fpr * static_cast<double>(n)));
+  const int64_t index = std::max<int64_t>(0, n - 1 - allowed);
+  return sorted[index];
+}
+
+double DetectionReport::Precision() const {
+  const int64_t flagged = true_positives + false_positives;
+  return flagged == 0 ? 0.0
+                      : static_cast<double>(true_positives) / flagged;
+}
+
+double DetectionReport::Recall() const {
+  const int64_t positives = true_positives + false_negatives;
+  return positives == 0 ? 0.0
+                        : static_cast<double>(true_positives) / positives;
+}
+
+double DetectionReport::F1() const {
+  const double p = Precision();
+  const double r = Recall();
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double DetectionReport::FalsePositiveRate() const {
+  const int64_t negatives = false_positives + true_negatives;
+  return negatives == 0 ? 0.0
+                        : static_cast<double>(false_positives) / negatives;
+}
+
+DetectionReport EvaluateAtThreshold(std::span<const double> normal_scores,
+                                    std::span<const double> anomaly_scores,
+                                    double threshold) {
+  DetectionReport report;
+  report.threshold = threshold;
+  for (const double s : normal_scores) {
+    if (s > threshold) {
+      report.false_positives++;
+    } else {
+      report.true_negatives++;
+    }
+  }
+  for (const double s : anomaly_scores) {
+    if (s > threshold) {
+      report.true_positives++;
+    } else {
+      report.false_negatives++;
+    }
+  }
+  return report;
+}
+
+}  // namespace eval
+}  // namespace causaltad

@@ -1,0 +1,44 @@
+#ifndef CAUSALTAD_EVAL_THRESHOLD_H_
+#define CAUSALTAD_EVAL_THRESHOLD_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace causaltad {
+namespace eval {
+
+/// Deployment-side utilities: AUC metrics rank score distributions, but a
+/// production detector must pick an operating point. These helpers
+/// calibrate an alarm threshold on held-out *normal* scores and evaluate
+/// the resulting detector.
+
+/// Threshold whose false-positive rate on `normal_scores` is at most
+/// `target_fpr` (e.g. 0.05 → the 95th percentile of normal scores).
+/// Scores above the threshold are flagged anomalous.
+double ThresholdAtFpr(std::span<const double> normal_scores,
+                      double target_fpr);
+
+/// Confusion-matrix summary of a thresholded detector.
+struct DetectionReport {
+  double threshold = 0.0;
+  int64_t true_positives = 0;
+  int64_t false_positives = 0;
+  int64_t true_negatives = 0;
+  int64_t false_negatives = 0;
+
+  double Precision() const;
+  double Recall() const;
+  double F1() const;
+  double FalsePositiveRate() const;
+};
+
+/// Applies `threshold` to the two score sets.
+DetectionReport EvaluateAtThreshold(std::span<const double> normal_scores,
+                                    std::span<const double> anomaly_scores,
+                                    double threshold);
+
+}  // namespace eval
+}  // namespace causaltad
+
+#endif  // CAUSALTAD_EVAL_THRESHOLD_H_

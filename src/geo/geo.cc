@@ -1,0 +1,78 @@
+#include "geo/geo.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace causaltad {
+namespace geo {
+namespace {
+constexpr double kDegToRad = M_PI / 180.0;
+}
+
+double HaversineMeters(const LatLon& a, const LatLon& b) {
+  const double lat1 = a.lat * kDegToRad;
+  const double lat2 = b.lat * kDegToRad;
+  const double dlat = (b.lat - a.lat) * kDegToRad;
+  const double dlon = (b.lon - a.lon) * kDegToRad;
+  const double s1 = std::sin(dlat / 2.0);
+  const double s2 = std::sin(dlon / 2.0);
+  const double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  return 2.0 * kEarthRadiusMeters * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+LocalProjection::LocalProjection(const LatLon& origin) : origin_(origin) {
+  meters_per_deg_lat_ = kEarthRadiusMeters * kDegToRad;
+  meters_per_deg_lon_ =
+      kEarthRadiusMeters * kDegToRad * std::cos(origin.lat * kDegToRad);
+}
+
+Vec2 LocalProjection::Project(const LatLon& p) const {
+  return {(p.lon - origin_.lon) * meters_per_deg_lon_,
+          (p.lat - origin_.lat) * meters_per_deg_lat_};
+}
+
+LatLon LocalProjection::Unproject(const Vec2& v) const {
+  return {origin_.lat + v.y / meters_per_deg_lat_,
+          origin_.lon + v.x / meters_per_deg_lon_};
+}
+
+double ProjectOntoSegment(const Vec2& p, const Vec2& a, const Vec2& b) {
+  const Vec2 ab = b - a;
+  const double len2 = ab.Dot(ab);
+  if (len2 <= 0.0) return 0.0;
+  const double t = (p - a).Dot(ab) / len2;
+  return std::clamp(t, 0.0, 1.0);
+}
+
+double PointSegmentDistance(const Vec2& p, const Vec2& a, const Vec2& b) {
+  const double t = ProjectOntoSegment(p, a, b);
+  const Vec2 closest = a + (b - a) * t;
+  return (p - closest).Norm();
+}
+
+double PolylineLength(const std::vector<Vec2>& pts) {
+  double total = 0.0;
+  for (size_t i = 1; i < pts.size(); ++i) {
+    total += (pts[i] - pts[i - 1]).Norm();
+  }
+  return total;
+}
+
+Vec2 InterpolateAlong(const std::vector<Vec2>& pts, double s) {
+  CAUSALTAD_CHECK(!pts.empty());
+  if (pts.size() == 1 || s <= 0.0) return pts.front();
+  double remaining = s;
+  for (size_t i = 1; i < pts.size(); ++i) {
+    const double seg = (pts[i] - pts[i - 1]).Norm();
+    if (remaining <= seg && seg > 0.0) {
+      const double t = remaining / seg;
+      return pts[i - 1] + (pts[i] - pts[i - 1]) * t;
+    }
+    remaining -= seg;
+  }
+  return pts.back();
+}
+
+}  // namespace geo
+}  // namespace causaltad

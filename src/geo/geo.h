@@ -1,0 +1,70 @@
+#ifndef CAUSALTAD_GEO_GEO_H_
+#define CAUSALTAD_GEO_GEO_H_
+
+#include <cmath>
+#include <vector>
+
+namespace causaltad {
+namespace geo {
+
+/// WGS84-style geographic coordinate (degrees).
+struct LatLon {
+  double lat = 0.0;
+  double lon = 0.0;
+};
+
+/// Point in a local planar (metric) frame, meters.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+  Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+  Vec2 operator*(double s) const { return {x * s, y * s}; }
+  double Dot(const Vec2& o) const { return x * o.x + y * o.y; }
+  double Norm() const { return std::sqrt(x * x + y * y); }
+};
+
+/// Mean Earth radius (meters), as used by the haversine formula.
+inline constexpr double kEarthRadiusMeters = 6371008.8;
+
+/// Great-circle distance between two geographic points, in meters.
+double HaversineMeters(const LatLon& a, const LatLon& b);
+
+/// Equirectangular projection anchored at an origin; accurate to well under
+/// 0.1% over city-scale extents, which is all the road-network substrate
+/// needs. Projection is invertible (Unproject ∘ Project = identity up to
+/// floating point).
+class LocalProjection {
+ public:
+  explicit LocalProjection(const LatLon& origin);
+
+  Vec2 Project(const LatLon& p) const;
+  LatLon Unproject(const Vec2& v) const;
+
+  const LatLon& origin() const { return origin_; }
+
+ private:
+  LatLon origin_;
+  double meters_per_deg_lat_;
+  double meters_per_deg_lon_;
+};
+
+/// Euclidean distance from point `p` to segment [a, b] in the local frame.
+double PointSegmentDistance(const Vec2& p, const Vec2& a, const Vec2& b);
+
+/// Closest point on segment [a, b] to `p`, returned as the interpolation
+/// parameter in [0, 1] along a->b.
+double ProjectOntoSegment(const Vec2& p, const Vec2& a, const Vec2& b);
+
+/// Total length of a polyline (consecutive-point Euclidean distances).
+double PolylineLength(const std::vector<Vec2>& pts);
+
+/// Interpolates a point at arclength `s` (clamped to [0, length]) along a
+/// polyline with at least one point.
+Vec2 InterpolateAlong(const std::vector<Vec2>& pts, double s);
+
+}  // namespace geo
+}  // namespace causaltad
+
+#endif  // CAUSALTAD_GEO_GEO_H_

@@ -1,0 +1,61 @@
+#ifndef CAUSALTAD_MODELS_IBOAT_H_
+#define CAUSALTAD_MODELS_IBOAT_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "models/scorer.h"
+#include "roadnet/road_network.h"
+
+namespace causaltad {
+namespace models {
+
+/// iBOAT parameters (Chen et al. 2013).
+struct IboatConfig {
+  /// A working window is "supported" when at least this fraction of the
+  /// reference trajectories contain it as a contiguous sub-sequence.
+  double support_threshold = 0.05;
+  /// Minimum reference count before a pair's own references are trusted;
+  /// below this the nearest pair's references are borrowed.
+  int min_references = 2;
+};
+
+/// The metric/isolation-based baseline. Training just indexes the normal
+/// routes per SD pair; scoring maintains iBOAT's adaptive working window
+/// over the incoming segments and accumulates (1 - support) for points
+/// whose window support collapses below the threshold.
+///
+/// For an unseen (OOD) SD pair, the references of the *closest* candidate
+/// pair (by endpoint distance) are used, as described in the paper's OOD
+/// evaluation protocol — which is exactly why iBOAT degrades there.
+class Iboat : public TrajectoryScorer {
+ public:
+  Iboat(const roadnet::RoadNetwork* network, const IboatConfig& config = {});
+
+  std::string Name() const override { return "iBOAT"; }
+  void Fit(const std::vector<traj::Trip>& trips,
+           const FitOptions& options) override;
+  double Score(const traj::Trip& trip, int64_t prefix_len) const override;
+  std::unique_ptr<OnlineScorer> BeginTrip(const traj::Trip& trip) const
+      override;
+  util::Status Save(const std::string& path) const override;
+  util::Status Load(const std::string& path) override;
+
+ private:
+  using PairKey = std::pair<roadnet::NodeId, roadnet::NodeId>;
+
+  /// References to use for this SD pair: its own if it has enough, else the
+  /// nearest indexed pair's.
+  const std::vector<std::vector<roadnet::SegmentId>>* ReferencesFor(
+      const PairKey& key) const;
+
+  const roadnet::RoadNetwork* network_;
+  IboatConfig config_;
+  std::map<PairKey, std::vector<std::vector<roadnet::SegmentId>>> references_;
+};
+
+}  // namespace models
+}  // namespace causaltad
+
+#endif  // CAUSALTAD_MODELS_IBOAT_H_

@@ -1,0 +1,377 @@
+#include "models/rnn_vae.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/init.h"
+#include "nn/ops.h"
+#include "util/logging.h"
+
+namespace causaltad {
+namespace models {
+namespace {
+constexpr float kLog2Pi = 1.8378770664093453f;
+}
+
+/// All trainable components. The TC discriminator is a submodule (so it is
+/// checkpointed) but is optimized separately from the generative parameters.
+struct RnnVae::Net : nn::Module {
+  Net(const std::string& name, const RnnVaeConfig& cfg, util::Rng* rng)
+      : nn::Module(name),
+        emb("emb", cfg.vocab, cfg.emb_dim, rng),
+        enc_gru("enc_gru",
+                cfg.emb_dim + (cfg.time_conditioned ? cfg.slot_emb_dim : 0),
+                cfg.hidden_dim, rng),
+        dec_gru("dec_gru", cfg.emb_dim, cfg.hidden_dim, rng),
+        out("out", cfg.hidden_dim, cfg.vocab, rng) {
+    RegisterSubmodule(&emb);
+    RegisterSubmodule(&enc_gru);
+    RegisterSubmodule(&dec_gru);
+    RegisterSubmodule(&out);
+    bos = RegisterParameter("bos", nn::GaussianInit({1, cfg.emb_dim}, 0.1, rng));
+
+    const int64_t z_dim = cfg.variational ? cfg.latent_dim : cfg.hidden_dim;
+    const int64_t dec_in_dim =
+        z_dim + (cfg.time_conditioned ? cfg.slot_emb_dim : 0);
+    dec_in = std::make_unique<nn::Linear>("dec_in", dec_in_dim,
+                                          cfg.hidden_dim, rng);
+    RegisterSubmodule(dec_in.get());
+
+    if (cfg.time_conditioned) {
+      slot_emb = std::make_unique<nn::Embedding>(
+          "slot_emb", cfg.num_time_slots, cfg.slot_emb_dim, rng);
+      RegisterSubmodule(slot_emb.get());
+    }
+    if (cfg.variational) {
+      mu_head = std::make_unique<nn::Linear>("mu_head", cfg.hidden_dim,
+                                             cfg.latent_dim, rng);
+      lv_head = std::make_unique<nn::Linear>("lv_head", cfg.hidden_dim,
+                                             cfg.latent_dim, rng);
+      RegisterSubmodule(mu_head.get());
+      RegisterSubmodule(lv_head.get());
+    }
+    if (cfg.mixture_k > 0) {
+      mix_means = RegisterParameter(
+          "mix_means",
+          nn::GaussianInit({cfg.mixture_k, cfg.latent_dim}, 0.5, rng));
+    }
+    if (cfg.factor_tc) {
+      disc = std::make_unique<nn::Mlp>(
+          "tc_disc", std::vector<int64_t>{cfg.latent_dim, 32, 2}, rng);
+      RegisterSubmodule(disc.get());
+    }
+  }
+
+  /// Generative parameters only (excludes the TC discriminator, which has
+  /// its own optimizer and an adversarial objective).
+  std::vector<nn::Var> GenerativeParameters() const {
+    std::vector<nn::Var> all = Parameters();
+    if (!disc) return all;
+    std::vector<nn::Var> disc_params = disc->Parameters();
+    std::vector<nn::Var> keep;
+    for (const nn::Var& p : all) {
+      bool is_disc = false;
+      for (const nn::Var& d : disc_params) {
+        if (p.node().get() == d.node().get()) is_disc = true;
+      }
+      if (!is_disc) keep.push_back(p);
+    }
+    return keep;
+  }
+
+  nn::Embedding emb;
+  nn::GruCell enc_gru;
+  nn::GruCell dec_gru;
+  nn::Linear out;
+  nn::Var bos;
+  std::unique_ptr<nn::Linear> dec_in;
+  std::unique_ptr<nn::Embedding> slot_emb;
+  std::unique_ptr<nn::Linear> mu_head;
+  std::unique_ptr<nn::Linear> lv_head;
+  nn::Var mix_means;
+  std::unique_ptr<nn::Mlp> disc;
+};
+
+RnnVae::RnnVae(std::string name, const RnnVaeConfig& config)
+    : name_(std::move(name)), config_(config) {
+  CAUSALTAD_CHECK_GT(config_.vocab, 0);
+  util::Rng rng(0xBEEF ^ std::hash<std::string>{}(name_));
+  net_ = std::make_unique<Net>(name_, config_, &rng);
+}
+
+RnnVae::~RnnVae() = default;
+
+nn::Var RnnVae::EncodePrefix(const traj::Trip& trip,
+                             int64_t prefix_len) const {
+  std::vector<int32_t> ids(trip.route.segments.begin(),
+                           trip.route.segments.begin() + prefix_len);
+  const nn::Var inputs = net_->emb.Forward(ids);  // [n, emb]
+  nn::Var slot_vec;
+  if (config_.time_conditioned) {
+    const std::vector<int32_t> slot_id = {
+        static_cast<int32_t>(trip.time_slot)};
+    slot_vec = net_->slot_emb->Forward(slot_id);  // [1, slot_emb]
+  }
+  nn::Var h = nn::Constant(nn::Tensor::Zeros({1, config_.hidden_dim}));
+  for (int64_t j = 0; j < prefix_len; ++j) {
+    std::vector<int32_t> row = {static_cast<int32_t>(j)};
+    nn::Var x = nn::GatherRows(inputs, row);  // [1, emb]
+    if (config_.time_conditioned) x = nn::ConcatCols({x, slot_vec});
+    h = net_->enc_gru.Step(x, h);
+  }
+  return h;
+}
+
+nn::Var RnnVae::DecodeNll(const traj::Trip& trip, int64_t prefix_len,
+                          const nn::Var& h0) const {
+  // Teacher forcing: input j is the embedding of t_{j-1} (BOS for j=0),
+  // the state after input j predicts t_j.
+  std::vector<int32_t> targets(trip.route.segments.begin(),
+                               trip.route.segments.begin() + prefix_len);
+  std::vector<int32_t> prev_ids(targets.begin(), targets.end() - 1);
+  nn::Var prev_emb;
+  if (!prev_ids.empty()) prev_emb = net_->emb.Forward(prev_ids);
+
+  nn::Var h = h0;
+  std::vector<nn::Var> states;
+  states.reserve(prefix_len);
+  for (int64_t j = 0; j < prefix_len; ++j) {
+    nn::Var x;
+    if (j == 0) {
+      x = net_->bos;
+    } else {
+      std::vector<int32_t> row = {static_cast<int32_t>(j - 1)};
+      x = nn::GatherRows(prev_emb, row);
+    }
+    h = net_->dec_gru.Step(x, h);
+    states.push_back(h);
+  }
+  const nn::Var all_states = nn::ConcatRows(states);        // [n, hidden]
+  const nn::Var logits = net_->out.Forward(all_states);     // [n, vocab]
+  return nn::SoftmaxCrossEntropy(logits, targets);
+}
+
+nn::Var RnnVae::GaussianLogPdf(const nn::Var& z, const nn::Var& mu,
+                               const nn::Var& logvar) const {
+  const nn::Var diff = nn::Sub(z, mu);
+  const nn::Var quad = nn::Mul(nn::Mul(diff, diff), nn::Exp(nn::Neg(logvar)));
+  const nn::Var inner = nn::Add(quad, logvar);
+  return nn::ScalarMul(
+      nn::ScalarAdd(nn::Sum(inner),
+                    kLog2Pi * static_cast<float>(config_.latent_dim)),
+      -0.5f);
+}
+
+nn::Var RnnVae::MixturePriorLogPdf(const nn::Var& z) const {
+  const int k = config_.mixture_k;
+  std::vector<nn::Var> comp_logits;
+  comp_logits.reserve(k);
+  for (int c = 0; c < k; ++c) {
+    std::vector<int32_t> row = {c};
+    const nn::Var mean = nn::GatherRows(net_->mix_means, row);  // [1, latent]
+    const nn::Var diff = nn::Sub(z, mean);
+    const nn::Var logit = nn::ScalarAdd(
+        nn::ScalarMul(
+            nn::ScalarAdd(nn::Sum(nn::Mul(diff, diff)),
+                          kLog2Pi * static_cast<float>(config_.latent_dim)),
+            -0.5f),
+        -std::log(static_cast<float>(k)));
+    comp_logits.push_back(logit);
+  }
+  return nn::LogSumExpRow(nn::ConcatCols(comp_logits));
+}
+
+nn::Var RnnVae::Loss(const traj::Trip& trip, int64_t prefix_len,
+                     util::Rng* rng) const {
+  const int64_t n = trip.route.size();
+  if (prefix_len <= 0 || prefix_len > n) prefix_len = n;
+  CAUSALTAD_CHECK_GT(prefix_len, 0);
+
+  const nn::Var enc_h = EncodePrefix(trip, prefix_len);
+
+  nn::Var h0_input;
+  nn::Var kl;
+  if (config_.variational) {
+    const nn::Var mu = net_->mu_head->Forward(enc_h);
+    const nn::Var logvar = net_->lv_head->Forward(enc_h);
+    const nn::Var z =
+        rng != nullptr ? nn::Reparameterize(mu, logvar, rng) : mu;
+    if (config_.mixture_k > 0) {
+      // MC estimate of KL(q || p_mix): log q(z|x) - log p_mix(z).
+      kl = nn::Sub(GaussianLogPdf(z, mu, logvar), MixturePriorLogPdf(z));
+    } else {
+      kl = nn::KlStandardNormal(mu, logvar);
+    }
+    h0_input = z;
+  } else {
+    h0_input = enc_h;
+  }
+  if (config_.time_conditioned) {
+    const std::vector<int32_t> slot_id = {
+        static_cast<int32_t>(trip.time_slot)};
+    h0_input = nn::ConcatCols({h0_input, net_->slot_emb->Forward(slot_id)});
+  }
+  const nn::Var h0 = nn::Tanh(net_->dec_in->Forward(h0_input));
+  const nn::Var recon = DecodeNll(trip, prefix_len, h0);
+
+  if (!kl.defined()) return recon;
+  return nn::Add(recon, nn::ScalarMul(kl, config_.beta));
+}
+
+void RnnVae::TrainDiscriminatorStep(const std::vector<float>& z_value,
+                                    nn::Adam* disc_opt, util::Rng* rng) {
+  if (z_buffer_.size() < 8) return;
+  // Permuted sample: each dimension drawn from an independent past latent.
+  std::vector<float> permuted(z_value.size());
+  for (size_t d = 0; d < permuted.size(); ++d) {
+    const auto& donor =
+        z_buffer_[rng->UniformInt(static_cast<int64_t>(z_buffer_.size()))];
+    permuted[d] = donor[d];
+  }
+  disc_opt->ZeroGrad();
+  const int64_t latent = static_cast<int64_t>(z_value.size());
+  const nn::Var real =
+      nn::Constant(nn::Tensor::FromVector({1, latent}, z_value));
+  const nn::Var fake =
+      nn::Constant(nn::Tensor::FromVector({1, latent}, std::move(permuted)));
+  const std::vector<int32_t> label_real = {0};
+  const std::vector<int32_t> label_fake = {1};
+  const nn::Var loss =
+      nn::Add(nn::SoftmaxCrossEntropy(net_->disc->Forward(real), label_real),
+              nn::SoftmaxCrossEntropy(net_->disc->Forward(fake), label_fake));
+  nn::Backward(loss);
+  disc_opt->Step();
+}
+
+void RnnVae::Fit(const std::vector<traj::Trip>& trips,
+                 const FitOptions& options) {
+  CAUSALTAD_CHECK(!trips.empty());
+  util::Rng rng(options.seed);
+  std::vector<nn::Var> params = net_->GenerativeParameters();
+  nn::Adam opt(params, {.lr = options.lr});
+  std::unique_ptr<nn::Adam> disc_opt;
+  if (config_.factor_tc) {
+    disc_opt = std::make_unique<nn::Adam>(net_->disc->Parameters(),
+                                          nn::AdamConfig{.lr = options.lr});
+  }
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    const std::vector<int64_t> order =
+        rng.Permutation(static_cast<int64_t>(trips.size()));
+    double epoch_loss = 0.0;
+    int in_batch = 0;
+    opt.ZeroGrad();
+    for (const int64_t idx : order) {
+      const traj::Trip& trip = trips[idx];
+      nn::Var loss = Loss(trip, trip.route.size(), &rng);
+
+      if (config_.factor_tc) {
+        // Re-derive z deterministically for the TC term and buffer.
+        const nn::Var enc_h = EncodePrefix(trip, trip.route.size());
+        const nn::Var mu = net_->mu_head->Forward(enc_h);
+        const nn::Var logits = net_->disc->Forward(mu);  // [1,2]
+        // TC estimate: logit(real) - logit(permuted), encouraged downward.
+        const nn::Var tc = nn::Sum(nn::Mul(
+            logits,
+            nn::Constant(nn::Tensor::FromVector({1, 2}, {1.0f, -1.0f}))));
+        loss = nn::Add(loss, nn::ScalarMul(tc, config_.tc_gamma));
+        const auto& zv = mu.value().vec();
+        z_buffer_.push_back(zv);
+        if (z_buffer_.size() > 256) z_buffer_.pop_front();
+        TrainDiscriminatorStep(zv, disc_opt.get(), &rng);
+      }
+
+      epoch_loss += loss.value().Item();
+      nn::Backward(loss);
+      if (++in_batch == options.batch_size) {
+        nn::ClipGradNorm(params, options.grad_clip);
+        opt.Step();
+        opt.ZeroGrad();
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) {
+      nn::ClipGradNorm(params, options.grad_clip);
+      opt.Step();
+      opt.ZeroGrad();
+    }
+    if (options.verbose) {
+      std::fprintf(stderr, "[%s] epoch %d loss %.3f\n", name_.c_str(),
+                   epoch, epoch_loss / trips.size());
+    }
+  }
+}
+
+double RnnVae::Score(const traj::Trip& trip, int64_t prefix_len) const {
+  return Loss(trip, prefix_len, /*rng=*/nullptr).value().Item();
+}
+
+util::Status RnnVae::Save(const std::string& path) const {
+  return nn::SaveCheckpoint(path, *net_);
+}
+
+util::Status RnnVae::Load(const std::string& path) {
+  return nn::LoadCheckpoint(path, net_.get());
+}
+
+namespace {
+std::unique_ptr<TrajectoryScorer> Make(std::string name, RnnVaeConfig cfg) {
+  return std::make_unique<RnnVae>(std::move(name), cfg);
+}
+}  // namespace
+
+std::unique_ptr<TrajectoryScorer> MakeSae(RnnVaeConfig base) {
+  base.variational = false;
+  base.mixture_k = 0;
+  base.time_conditioned = false;
+  base.factor_tc = false;
+  return Make("SAE", base);
+}
+
+std::unique_ptr<TrajectoryScorer> MakeVsae(RnnVaeConfig base) {
+  base.variational = true;
+  base.beta = 1.0f;
+  base.mixture_k = 0;
+  base.time_conditioned = false;
+  base.factor_tc = false;
+  return Make("VSAE", base);
+}
+
+std::unique_ptr<TrajectoryScorer> MakeBetaVae(RnnVaeConfig base) {
+  base.variational = true;
+  base.beta = 4.0f;
+  base.mixture_k = 0;
+  base.time_conditioned = false;
+  base.factor_tc = false;
+  return Make("BetaVAE", base);
+}
+
+std::unique_ptr<TrajectoryScorer> MakeFactorVae(RnnVaeConfig base) {
+  base.variational = true;
+  base.beta = 1.0f;
+  base.factor_tc = true;
+  base.mixture_k = 0;
+  base.time_conditioned = false;
+  return Make("FactorVAE", base);
+}
+
+std::unique_ptr<TrajectoryScorer> MakeGmVsae(RnnVaeConfig base) {
+  base.variational = true;
+  base.beta = 1.0f;
+  base.mixture_k = 5;
+  base.time_conditioned = false;
+  base.factor_tc = false;
+  return Make("GM-VSAE", base);
+}
+
+std::unique_ptr<TrajectoryScorer> MakeDeepTea(RnnVaeConfig base) {
+  base.variational = true;
+  base.beta = 1.0f;
+  base.time_conditioned = true;
+  base.mixture_k = 0;
+  base.factor_tc = false;
+  return Make("DeepTEA", base);
+}
+
+}  // namespace models
+}  // namespace causaltad

@@ -1,0 +1,98 @@
+#ifndef CAUSALTAD_MODELS_RNN_VAE_H_
+#define CAUSALTAD_MODELS_RNN_VAE_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/scorer.h"
+#include "nn/checkpoint.h"
+#include "nn/modules.h"
+#include "nn/optim.h"
+
+namespace causaltad {
+namespace models {
+
+/// One configurable sequence model covering the paper's learned baselines:
+///
+///   SAE       — variational=false (plain seq2seq reconstruction)
+///   VSAE      — defaults
+///   β-VAE     — beta > 1
+///   FactorVAE — factor_tc=true (total-correlation discriminator)
+///   GM-VSAE   — mixture_k > 0 (Gaussian-mixture latent prior)
+///   DeepTEA   — time_conditioned=true (departure-slot conditioning)
+///
+/// All variants share: a GRU encoder over the observed prefix, a latent (or
+/// deterministic) bottleneck, and an autoregressive GRU decoder with a
+/// full-vocabulary softmax. The anomaly score is the negative ELBO
+/// (reconstruction NLL + beta·KL), i.e. -log P(T|C) estimated from the
+/// observed trajectory, which is exactly the biased criterion the paper
+/// argues against.
+struct RnnVaeConfig {
+  int64_t vocab = 0;  // number of road segments; required
+  int num_time_slots = 8;
+  int64_t emb_dim = 48;
+  int64_t hidden_dim = 64;
+  int64_t latent_dim = 32;
+  int64_t slot_emb_dim = 8;
+  bool variational = true;
+  float beta = 1.0f;
+  int mixture_k = 0;
+  bool time_conditioned = false;
+  bool factor_tc = false;
+  float tc_gamma = 2.0f;
+};
+
+class RnnVae : public TrajectoryScorer {
+ public:
+  RnnVae(std::string name, const RnnVaeConfig& config);
+  ~RnnVae() override;
+
+  std::string Name() const override { return name_; }
+  void Fit(const std::vector<traj::Trip>& trips,
+           const FitOptions& options) override;
+  double Score(const traj::Trip& trip, int64_t prefix_len) const override;
+  util::Status Save(const std::string& path) const override;
+  util::Status Load(const std::string& path) override;
+
+  const RnnVaeConfig& config() const { return config_; }
+
+ private:
+  struct Net;
+
+  /// Builds the (negative) ELBO for a prefix. When `rng` is non-null the
+  /// latent is sampled (training); otherwise the posterior mean is used.
+  nn::Var Loss(const traj::Trip& trip, int64_t prefix_len,
+               util::Rng* rng) const;
+
+  nn::Var EncodePrefix(const traj::Trip& trip, int64_t prefix_len) const;
+  nn::Var DecodeNll(const traj::Trip& trip, int64_t prefix_len,
+                    const nn::Var& h0) const;
+  nn::Var MixturePriorLogPdf(const nn::Var& z) const;
+  nn::Var GaussianLogPdf(const nn::Var& z, const nn::Var& mu,
+                         const nn::Var& logvar) const;
+
+  void TrainDiscriminatorStep(const std::vector<float>& z_value,
+                              nn::Adam* disc_opt, util::Rng* rng);
+
+  std::string name_;
+  RnnVaeConfig config_;
+  std::unique_ptr<Net> net_;
+  // FactorVAE: replay buffer of recent latents for the permutation trick.
+  std::deque<std::vector<float>> z_buffer_;
+};
+
+// Factories configuring each named baseline. `base` carries shared dims
+// (vocab is required); flags are overridden per model.
+std::unique_ptr<TrajectoryScorer> MakeSae(RnnVaeConfig base);
+std::unique_ptr<TrajectoryScorer> MakeVsae(RnnVaeConfig base);
+std::unique_ptr<TrajectoryScorer> MakeBetaVae(RnnVaeConfig base);
+std::unique_ptr<TrajectoryScorer> MakeFactorVae(RnnVaeConfig base);
+std::unique_ptr<TrajectoryScorer> MakeGmVsae(RnnVaeConfig base);
+std::unique_ptr<TrajectoryScorer> MakeDeepTea(RnnVaeConfig base);
+
+}  // namespace models
+}  // namespace causaltad
+
+#endif  // CAUSALTAD_MODELS_RNN_VAE_H_

@@ -1,0 +1,33 @@
+#include "models/scorer.h"
+
+namespace causaltad {
+namespace models {
+namespace {
+
+/// Fallback online scorer: replays the growing prefix through Score().
+class RescoringOnlineScorer : public OnlineScorer {
+ public:
+  RescoringOnlineScorer(const TrajectoryScorer* scorer, traj::Trip trip)
+      : scorer_(scorer), trip_(std::move(trip)) {
+    trip_.route.segments.clear();
+  }
+
+  double Update(roadnet::SegmentId segment) override {
+    trip_.route.segments.push_back(segment);
+    return scorer_->Score(trip_, trip_.route.size());
+  }
+
+ private:
+  const TrajectoryScorer* scorer_;
+  traj::Trip trip_;
+};
+
+}  // namespace
+
+std::unique_ptr<OnlineScorer> TrajectoryScorer::BeginTrip(
+    const traj::Trip& trip) const {
+  return std::make_unique<RescoringOnlineScorer>(this, trip);
+}
+
+}  // namespace models
+}  // namespace causaltad

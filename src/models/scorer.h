@@ -1,0 +1,74 @@
+#ifndef CAUSALTAD_MODELS_SCORER_H_
+#define CAUSALTAD_MODELS_SCORER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "roadnet/road_network.h"
+#include "traj/trajectory.h"
+#include "util/status.h"
+
+namespace causaltad {
+namespace models {
+
+/// Training options shared by all learned scorers.
+struct FitOptions {
+  int epochs = 10;
+  int batch_size = 16;
+  float lr = 1e-3f;
+  double grad_clip = 5.0;
+  uint64_t seed = 7;
+  /// Print per-epoch loss to stderr.
+  bool verbose = false;
+};
+
+/// Incremental scorer for one ongoing trip (the paper's online setting).
+/// Segments are fed in order; Update returns the anomaly score of the
+/// prefix observed so far. Implementations document their per-update cost.
+class OnlineScorer {
+ public:
+  virtual ~OnlineScorer() = default;
+
+  /// Feeds the next observed road segment, returns the current score.
+  virtual double Update(roadnet::SegmentId segment) = 0;
+};
+
+/// Common interface for every anomaly detector in the evaluation: the
+/// CausalTAD core and all baselines. Higher scores mean more anomalous.
+class TrajectoryScorer {
+ public:
+  virtual ~TrajectoryScorer() = default;
+
+  virtual std::string Name() const = 0;
+
+  /// Trains on normal trips. Deterministic given options.seed.
+  virtual void Fit(const std::vector<traj::Trip>& trips,
+                   const FitOptions& options) = 0;
+
+  /// Anomaly score of the first `prefix_len` segments of the trip. The SD
+  /// pair and departure slot are known upfront (set when the order is
+  /// placed), so models may use them even for short prefixes.
+  /// prefix_len <= 0 or beyond the route scores the full trajectory.
+  virtual double Score(const traj::Trip& trip, int64_t prefix_len) const = 0;
+
+  /// Score of the complete trajectory.
+  double ScoreFull(const traj::Trip& trip) const {
+    return Score(trip, trip.route.size());
+  }
+
+  /// Starts incremental scoring of one trip (context only; segments are fed
+  /// via OnlineScorer::Update). The base implementation re-scores the prefix
+  /// on every update — O(prefix) per point; models with recurrent state
+  /// override it with O(1)-per-point sessions.
+  virtual std::unique_ptr<OnlineScorer> BeginTrip(const traj::Trip& trip) const;
+
+  /// Persists / restores the fitted model.
+  virtual util::Status Save(const std::string& path) const = 0;
+  virtual util::Status Load(const std::string& path) = 0;
+};
+
+}  // namespace models
+}  // namespace causaltad
+
+#endif  // CAUSALTAD_MODELS_SCORER_H_

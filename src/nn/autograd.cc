@@ -1,0 +1,71 @@
+#include "nn/autograd.h"
+
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace causaltad {
+namespace nn {
+
+namespace internal {
+
+Var MakeOp(Tensor value, std::vector<Var> parents,
+           std::function<void()>** backward_slot, Node** self) {
+  Var out(std::move(value), /*requires_grad=*/false);
+  Node* node = out.node().get();
+  for (const Var& p : parents) {
+    if (p.defined()) {
+      node->parents.push_back(p.node());
+      node->requires_grad |= p.requires_grad();
+    }
+  }
+  *self = node;
+  *backward_slot = node->requires_grad ? &node->backward : nullptr;
+  return out;
+}
+
+}  // namespace internal
+
+void Backward(const Var& root) {
+  CAUSALTAD_CHECK(root.defined());
+  CAUSALTAD_CHECK_EQ(root.value().numel(), 1);
+
+  // Iterative post-order DFS to get a reverse-topological order.
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  struct Frame {
+    Node* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  Node* root_node = root.node().get();
+  if (visited.insert(root_node).second) stack.push_back({root_node, 0});
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.next_parent < top.node->parents.size()) {
+      Node* parent = top.node->parents[top.next_parent++].get();
+      if (parent->requires_grad && visited.insert(parent).second) {
+        stack.push_back({parent, 0});
+      }
+    } else {
+      order.push_back(top.node);
+      stack.pop_back();
+    }
+  }
+
+  root_node->EnsureGrad();
+  root_node->grad[0] += 1.0f;
+
+  // order is post-order (children after parents’ dependencies), so iterate
+  // in reverse for the backward sweep.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* node = *it;
+    if (node->backward && node->requires_grad) {
+      node->EnsureGrad();
+      node->backward();
+    }
+  }
+}
+
+}  // namespace nn
+}  // namespace causaltad

@@ -1,0 +1,86 @@
+#ifndef CAUSALTAD_NN_AUTOGRAD_H_
+#define CAUSALTAD_NN_AUTOGRAD_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace causaltad {
+namespace nn {
+
+/// A node in the dynamically-built computation graph.
+///
+/// Users interact with Var handles; Node is exposed so the optimizer can key
+/// per-parameter state on stable node pointers.
+struct Node {
+  Tensor value;
+  Tensor grad;  // allocated on first use, same shape as value
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<Node>> parents;
+  /// Propagates this->grad into parents' grads. Null for leaves and
+  /// gradient-free nodes.
+  std::function<void()> backward;
+
+  /// Allocates (zeroed) grad storage if absent.
+  void EnsureGrad() {
+    if (!grad.defined()) grad = Tensor::Zeros(value.shape());
+  }
+};
+
+/// Reference-counted handle to a graph node. Cheap to copy; the graph stays
+/// alive as long as some handle (or a descendant node) references it.
+class Var {
+ public:
+  Var() = default;
+  explicit Var(Tensor value, bool requires_grad = false)
+      : node_(std::make_shared<Node>()) {
+    node_->value = std::move(value);
+    node_->requires_grad = requires_grad;
+  }
+
+  bool defined() const { return node_ != nullptr; }
+  const Tensor& value() const { return node_->value; }
+  Tensor& mutable_value() { return node_->value; }
+  bool requires_grad() const { return node_ && node_->requires_grad; }
+
+  /// Gradient tensor (allocated on demand).
+  Tensor& grad() {
+    node_->EnsureGrad();
+    return node_->grad;
+  }
+  const Tensor& grad() const {
+    node_->EnsureGrad();
+    return node_->grad;
+  }
+
+  /// Clears accumulated gradient (keeps storage).
+  void ZeroGrad() {
+    if (node_ && node_->grad.defined()) node_->grad.Fill(0.0f);
+  }
+
+  const std::shared_ptr<Node>& node() const { return node_; }
+
+ private:
+  std::shared_ptr<Node> node_;
+};
+
+/// Runs reverse-mode accumulation from `root`, which must be a scalar
+/// (1-element) tensor. Gradients accumulate (+=) into every
+/// requires_grad node reachable from root; leaves keep them until ZeroGrad.
+void Backward(const Var& root);
+
+namespace internal {
+/// Creates an op output node: value, parents, and requires_grad inferred
+/// from parents. Returns the Var plus a pointer to the node's backward slot
+/// (null when no parent requires grad, in which case the op must not install
+/// a backward closure).
+Var MakeOp(Tensor value, std::vector<Var> parents,
+           std::function<void()>** backward_slot, Node** self);
+}  // namespace internal
+
+}  // namespace nn
+}  // namespace causaltad
+
+#endif  // CAUSALTAD_NN_AUTOGRAD_H_

@@ -1,0 +1,67 @@
+#include "nn/checkpoint.h"
+
+#include <map>
+
+#include "util/binary_io.h"
+
+namespace causaltad {
+namespace nn {
+namespace {
+constexpr uint32_t kMagic = 0xCA057AD0;
+constexpr uint32_t kVersion = 1;
+}  // namespace
+
+util::Status SaveCheckpoint(const std::string& path, const Module& module) {
+  util::BinaryWriter writer(path, kMagic, kVersion);
+  if (!writer.ok()) return util::Status::IoError("cannot open " + path);
+  const auto params = module.NamedParameters();
+  writer.WriteU64(params.size());
+  for (const NamedParam& p : params) {
+    writer.WriteString(p.name);
+    const auto& shape = p.var.value().shape();
+    writer.WriteU64(shape.size());
+    for (int64_t d : shape) writer.WriteI64(d);
+    writer.WriteFloats(p.var.value().vec());
+  }
+  return writer.Close();
+}
+
+util::Status LoadCheckpoint(const std::string& path, Module* module) {
+  util::BinaryReader reader(path, kMagic, kVersion);
+  if (!reader.ok()) return reader.status();
+
+  std::map<std::string, std::pair<std::vector<int64_t>, std::vector<float>>>
+      records;
+  const uint64_t count = reader.ReadU64();
+  for (uint64_t i = 0; i < count && reader.ok(); ++i) {
+    const std::string name = reader.ReadString();
+    const uint64_t ndim = reader.ReadU64();
+    std::vector<int64_t> shape(ndim);
+    for (uint64_t d = 0; d < ndim; ++d) shape[d] = reader.ReadI64();
+    records[name] = {std::move(shape), reader.ReadFloats()};
+  }
+  if (!reader.ok()) return reader.status();
+
+  auto params = module->NamedParameters();
+  if (params.size() != records.size()) {
+    return util::Status::InvalidArgument(
+        "checkpoint/module parameter count mismatch for " + path);
+  }
+  // Validate everything before mutating anything.
+  for (const NamedParam& p : params) {
+    auto it = records.find(p.name);
+    if (it == records.end()) {
+      return util::Status::InvalidArgument("missing parameter " + p.name);
+    }
+    if (it->second.first != p.var.value().shape()) {
+      return util::Status::InvalidArgument("shape mismatch for " + p.name);
+    }
+  }
+  for (NamedParam& p : params) {
+    p.var.mutable_value().vec() = records[p.name].second;
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace nn
+}  // namespace causaltad

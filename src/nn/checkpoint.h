@@ -1,0 +1,25 @@
+#ifndef CAUSALTAD_NN_CHECKPOINT_H_
+#define CAUSALTAD_NN_CHECKPOINT_H_
+
+#include <string>
+
+#include "nn/modules.h"
+#include "util/status.h"
+
+namespace causaltad {
+namespace nn {
+
+/// Writes all named parameters of `module` to a binary checkpoint at `path`.
+/// Format: magic/version header, param count, then (name, shape, float data)
+/// records. Deterministic given the module's parameter values.
+util::Status SaveCheckpoint(const std::string& path, const Module& module);
+
+/// Restores parameters from `path` into `module`, matching records by name
+/// and shape. Fails (without partial mutation of mismatched entries) when a
+/// record is missing, extra, or shape-mismatched.
+util::Status LoadCheckpoint(const std::string& path, Module* module);
+
+}  // namespace nn
+}  // namespace causaltad
+
+#endif  // CAUSALTAD_NN_CHECKPOINT_H_

@@ -1,0 +1,35 @@
+#ifndef CAUSALTAD_NN_INIT_H_
+#define CAUSALTAD_NN_INIT_H_
+
+#include <cmath>
+
+#include "nn/tensor.h"
+#include "util/random.h"
+
+namespace causaltad {
+namespace nn {
+
+/// Xavier/Glorot uniform init for a [fan_in, fan_out] weight matrix.
+inline Tensor XavierUniform(int64_t fan_in, int64_t fan_out, util::Rng* rng) {
+  Tensor t({fan_in, fan_out});
+  const double limit = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng->Uniform(-limit, limit));
+  }
+  return t;
+}
+
+/// Gaussian init with the given stddev.
+inline Tensor GaussianInit(std::vector<int64_t> shape, double stddev,
+                           util::Rng* rng) {
+  Tensor t(std::move(shape));
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng->Gaussian(0, stddev));
+  }
+  return t;
+}
+
+}  // namespace nn
+}  // namespace causaltad
+
+#endif  // CAUSALTAD_NN_INIT_H_

@@ -1,0 +1,107 @@
+#include "nn/modules.h"
+
+#include "nn/init.h"
+#include "util/logging.h"
+
+namespace causaltad {
+namespace nn {
+
+std::vector<Var> Module::Parameters() const {
+  std::vector<Var> out;
+  for (const NamedParam& p : params_) out.push_back(p.var);
+  for (const Module* m : submodules_) {
+    auto sub = m->Parameters();
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+void Module::CollectNamed(const std::string& prefix,
+                          std::vector<NamedParam>* out) const {
+  const std::string base = prefix.empty() ? name_ : prefix + "." + name_;
+  for (const NamedParam& p : params_) {
+    out->push_back({base + "." + p.name, p.var});
+  }
+  for (const Module* m : submodules_) m->CollectNamed(base, out);
+}
+
+std::vector<NamedParam> Module::NamedParameters() const {
+  std::vector<NamedParam> out;
+  CollectNamed("", &out);
+  return out;
+}
+
+int64_t Module::NumParams() const {
+  int64_t total = 0;
+  for (const Var& p : Parameters()) total += p.value().numel();
+  return total;
+}
+
+Var Module::RegisterParameter(const std::string& name, Tensor init) {
+  Var v(std::move(init), /*requires_grad=*/true);
+  params_.push_back({name, v});
+  return v;
+}
+
+void Module::RegisterSubmodule(Module* module) {
+  CAUSALTAD_CHECK(module != nullptr);
+  submodules_.push_back(module);
+}
+
+Linear::Linear(std::string name, int64_t in_dim, int64_t out_dim,
+               util::Rng* rng)
+    : Module(std::move(name)) {
+  w_ = RegisterParameter("w", XavierUniform(in_dim, out_dim, rng));
+  b_ = RegisterParameter("b", Tensor::Zeros({1, out_dim}));
+}
+
+Embedding::Embedding(std::string name, int64_t vocab, int64_t dim,
+                     util::Rng* rng)
+    : Module(std::move(name)) {
+  table_ = RegisterParameter("table", GaussianInit({vocab, dim}, 0.1, rng));
+}
+
+GruCell::GruCell(std::string name, int64_t in_dim, int64_t hidden_dim,
+                 util::Rng* rng)
+    : Module(std::move(name)), hidden_dim_(hidden_dim) {
+  wz_ = RegisterParameter("wz", XavierUniform(in_dim, hidden_dim, rng));
+  uz_ = RegisterParameter("uz", XavierUniform(hidden_dim, hidden_dim, rng));
+  bz_ = RegisterParameter("bz", Tensor::Zeros({1, hidden_dim}));
+  wr_ = RegisterParameter("wr", XavierUniform(in_dim, hidden_dim, rng));
+  ur_ = RegisterParameter("ur", XavierUniform(hidden_dim, hidden_dim, rng));
+  br_ = RegisterParameter("br", Tensor::Zeros({1, hidden_dim}));
+  wh_ = RegisterParameter("wh", XavierUniform(in_dim, hidden_dim, rng));
+  uh_ = RegisterParameter("uh", XavierUniform(hidden_dim, hidden_dim, rng));
+  bh_ = RegisterParameter("bh", Tensor::Zeros({1, hidden_dim}));
+}
+
+Var GruCell::Step(const Var& x, const Var& h) const {
+  const Var z = Sigmoid(Add(Add(MatMul(x, wz_), MatMul(h, uz_)), bz_));
+  const Var r = Sigmoid(Add(Add(MatMul(x, wr_), MatMul(h, ur_)), br_));
+  const Var candidate =
+      Tanh(Add(Add(MatMul(x, wh_), MatMul(Mul(r, h), uh_)), bh_));
+  // h' = h + z ⊙ (candidate - h)
+  return Add(h, Mul(z, Sub(candidate, h)));
+}
+
+Mlp::Mlp(std::string name, const std::vector<int64_t>& dims, util::Rng* rng)
+    : Module(std::move(name)) {
+  CAUSALTAD_CHECK_GE(dims.size(), 2u);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.push_back(std::make_unique<Linear>("fc" + std::to_string(i),
+                                               dims[i], dims[i + 1], rng));
+    RegisterSubmodule(layers_.back().get());
+  }
+}
+
+Var Mlp::Forward(const Var& x) const {
+  Var h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i]->Forward(h);
+    if (i + 1 < layers_.size()) h = Tanh(h);
+  }
+  return h;
+}
+
+}  // namespace nn
+}  // namespace causaltad

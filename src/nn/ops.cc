@@ -1,0 +1,662 @@
+#include "nn/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace causaltad {
+namespace nn {
+namespace {
+
+using internal::MakeOp;
+
+// True when b should be broadcast across a's rows: b is [1, a.cols] (or a
+// has rank 2 and b is a 1-element scalar).
+enum class BroadcastMode { kNone, kRow, kScalar };
+
+BroadcastMode BroadcastOf(const Tensor& a, const Tensor& b) {
+  if (a.SameShape(b)) return BroadcastMode::kNone;
+  if (b.numel() == 1) return BroadcastMode::kScalar;
+  if (a.ndim() == 2 && b.ndim() == 2 && b.dim(0) == 1 &&
+      b.dim(1) == a.dim(1)) {
+    return BroadcastMode::kRow;
+  }
+  if (a.ndim() == 2 && b.ndim() == 1 && b.dim(0) == a.dim(1)) {
+    return BroadcastMode::kRow;
+  }
+  CAUSALTAD_CHECK(false) << "incompatible shapes for broadcast op";
+  return BroadcastMode::kNone;
+}
+
+// Accumulates `g` (shaped like the op output / lhs) into rhs grad under the
+// given broadcast mode.
+void AccumulateBroadcastGrad(const Tensor& g, BroadcastMode mode, float sign,
+                             Tensor* db) {
+  if (mode == BroadcastMode::kNone) {
+    for (int64_t i = 0; i < g.numel(); ++i) (*db)[i] += sign * g[i];
+  } else if (mode == BroadcastMode::kScalar) {
+    float total = 0.0f;
+    for (int64_t i = 0; i < g.numel(); ++i) total += g[i];
+    (*db)[0] += sign * total;
+  } else {
+    const int64_t rows = g.dim(0), cols = g.dim(1);
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* gr = g.data() + r * cols;
+      for (int64_t c = 0; c < cols; ++c) (*db)[c] += sign * gr[c];
+    }
+  }
+}
+
+Var AddLike(const Var& a, const Var& b, float sign_b) {
+  const Tensor& ta = a.value();
+  const Tensor& tb = b.value();
+  const BroadcastMode mode = BroadcastOf(ta, tb);
+  Tensor out = ta;
+  if (mode == BroadcastMode::kNone) {
+    for (int64_t i = 0; i < out.numel(); ++i) out[i] += sign_b * tb[i];
+  } else if (mode == BroadcastMode::kScalar) {
+    const float v = sign_b * tb[0];
+    for (int64_t i = 0; i < out.numel(); ++i) out[i] += v;
+  } else {
+    const int64_t rows = ta.dim(0), cols = ta.dim(1);
+    for (int64_t r = 0; r < rows; ++r) {
+      float* orow = out.data() + r * cols;
+      for (int64_t c = 0; c < cols; ++c) orow[c] += sign_b * tb[c];
+    }
+  }
+
+  std::function<void()>* slot = nullptr;
+  Node* self = nullptr;
+  Var result = MakeOp(std::move(out), {a, b}, &slot, &self);
+  if (slot) {
+    Node* na = a.node().get();
+    Node* nb = b.node().get();
+    *slot = [self, na, nb, mode, sign_b]() {
+      if (na->requires_grad) {
+        na->EnsureGrad();
+        for (int64_t i = 0; i < self->grad.numel(); ++i) {
+          na->grad[i] += self->grad[i];
+        }
+      }
+      if (nb->requires_grad) {
+        nb->EnsureGrad();
+        AccumulateBroadcastGrad(self->grad, mode, sign_b, &nb->grad);
+      }
+    };
+  }
+  return result;
+}
+
+// out = f(a) elementwise with derivative expressed from (input, output).
+template <typename Fwd, typename Bwd>
+Var ElementwiseUnary(const Var& a, Fwd fwd, Bwd bwd_factor) {
+  Tensor out = a.value();
+  for (int64_t i = 0; i < out.numel(); ++i) out[i] = fwd(out[i]);
+
+  std::function<void()>* slot = nullptr;
+  Node* self = nullptr;
+  Var result = MakeOp(std::move(out), {a}, &slot, &self);
+  if (slot) {
+    Node* na = a.node().get();
+    *slot = [self, na, bwd_factor]() {
+      na->EnsureGrad();
+      for (int64_t i = 0; i < self->grad.numel(); ++i) {
+        na->grad[i] +=
+            self->grad[i] * bwd_factor(na->value[i], self->value[i]);
+      }
+    };
+  }
+  return result;
+}
+
+void SoftmaxRow(const float* logits, int64_t n, float* out) {
+  float max_v = logits[0];
+  for (int64_t i = 1; i < n; ++i) max_v = std::max(max_v, logits[i]);
+  float total = 0.0f;
+  for (int64_t i = 0; i < n; ++i) {
+    out[i] = std::exp(logits[i] - max_v);
+    total += out[i];
+  }
+  const float inv = 1.0f / total;
+  for (int64_t i = 0; i < n; ++i) out[i] *= inv;
+}
+
+}  // namespace
+
+Var Constant(Tensor value) { return Var(std::move(value), false); }
+
+Var Add(const Var& a, const Var& b) { return AddLike(a, b, 1.0f); }
+Var Sub(const Var& a, const Var& b) { return AddLike(a, b, -1.0f); }
+
+Var Mul(const Var& a, const Var& b) {
+  CAUSALTAD_CHECK(a.value().SameShape(b.value()));
+  Tensor out = a.value();
+  for (int64_t i = 0; i < out.numel(); ++i) out[i] *= b.value()[i];
+
+  std::function<void()>* slot = nullptr;
+  Node* self = nullptr;
+  Var result = MakeOp(std::move(out), {a, b}, &slot, &self);
+  if (slot) {
+    Node* na = a.node().get();
+    Node* nb = b.node().get();
+    *slot = [self, na, nb]() {
+      if (na->requires_grad) {
+        na->EnsureGrad();
+        for (int64_t i = 0; i < self->grad.numel(); ++i) {
+          na->grad[i] += self->grad[i] * nb->value[i];
+        }
+      }
+      if (nb->requires_grad) {
+        nb->EnsureGrad();
+        for (int64_t i = 0; i < self->grad.numel(); ++i) {
+          nb->grad[i] += self->grad[i] * na->value[i];
+        }
+      }
+    };
+  }
+  return result;
+}
+
+Var ScalarMul(const Var& a, float scalar) {
+  Tensor out = a.value();
+  for (int64_t i = 0; i < out.numel(); ++i) out[i] *= scalar;
+  std::function<void()>* slot = nullptr;
+  Node* self = nullptr;
+  Var result = MakeOp(std::move(out), {a}, &slot, &self);
+  if (slot) {
+    Node* na = a.node().get();
+    *slot = [self, na, scalar]() {
+      na->EnsureGrad();
+      for (int64_t i = 0; i < self->grad.numel(); ++i) {
+        na->grad[i] += self->grad[i] * scalar;
+      }
+    };
+  }
+  return result;
+}
+
+Var ScalarAdd(const Var& a, float scalar) {
+  Tensor out = a.value();
+  for (int64_t i = 0; i < out.numel(); ++i) out[i] += scalar;
+  std::function<void()>* slot = nullptr;
+  Node* self = nullptr;
+  Var result = MakeOp(std::move(out), {a}, &slot, &self);
+  if (slot) {
+    Node* na = a.node().get();
+    *slot = [self, na]() {
+      na->EnsureGrad();
+      for (int64_t i = 0; i < self->grad.numel(); ++i) {
+        na->grad[i] += self->grad[i];
+      }
+    };
+  }
+  return result;
+}
+
+Var MatMul(const Var& a, const Var& b) {
+  const Tensor& ta = a.value();
+  const Tensor& tb = b.value();
+  CAUSALTAD_CHECK_EQ(ta.ndim(), 2);
+  CAUSALTAD_CHECK_EQ(tb.ndim(), 2);
+  CAUSALTAD_CHECK_EQ(ta.dim(1), tb.dim(0));
+  const int64_t m = ta.dim(0), k = ta.dim(1), n = tb.dim(1);
+  Tensor out({m, n});
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = ta.data() + i * k;
+    float* orow = out.data() + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = tb.data() + p * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+
+  std::function<void()>* slot = nullptr;
+  Node* self = nullptr;
+  Var result = MakeOp(std::move(out), {a, b}, &slot, &self);
+  if (slot) {
+    Node* na = a.node().get();
+    Node* nb = b.node().get();
+    *slot = [self, na, nb, m, k, n]() {
+      const Tensor& g = self->grad;
+      if (na->requires_grad) {
+        na->EnsureGrad();
+        // dA = G · Bᵀ  → dA[i,p] += Σ_j G[i,j]·B[p,j]
+        for (int64_t i = 0; i < m; ++i) {
+          const float* grow = g.data() + i * n;
+          float* darow = na->grad.data() + i * k;
+          for (int64_t p = 0; p < k; ++p) {
+            const float* brow = nb->value.data() + p * n;
+            float acc = 0.0f;
+            for (int64_t j = 0; j < n; ++j) acc += grow[j] * brow[j];
+            darow[p] += acc;
+          }
+        }
+      }
+      if (nb->requires_grad) {
+        nb->EnsureGrad();
+        // dB = Aᵀ · G  → dB[p,j] += Σ_i A[i,p]·G[i,j]
+        for (int64_t i = 0; i < m; ++i) {
+          const float* arow = na->value.data() + i * k;
+          const float* grow = g.data() + i * n;
+          for (int64_t p = 0; p < k; ++p) {
+            const float av = arow[p];
+            if (av == 0.0f) continue;
+            float* dbrow = nb->grad.data() + p * n;
+            for (int64_t j = 0; j < n; ++j) dbrow[j] += av * grow[j];
+          }
+        }
+      }
+    };
+  }
+  return result;
+}
+
+Var Affine(const Var& x, const Var& w, const Var& b) {
+  Var y = MatMul(x, w);
+  if (!b.defined()) return y;
+  return Add(y, b);
+}
+
+Var Tanh(const Var& a) {
+  return ElementwiseUnary(
+      a, [](float v) { return std::tanh(v); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+Var Sigmoid(const Var& a) {
+  return ElementwiseUnary(
+      a, [](float v) { return 1.0f / (1.0f + std::exp(-v)); },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Var Relu(const Var& a) {
+  return ElementwiseUnary(
+      a, [](float v) { return v > 0.0f ? v : 0.0f; },
+      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+Var Exp(const Var& a) {
+  return ElementwiseUnary(
+      a, [](float v) { return std::exp(v); },
+      [](float, float y) { return y; });
+}
+
+Var Neg(const Var& a) { return ScalarMul(a, -1.0f); }
+
+Var Sum(const Var& a) {
+  float total = 0.0f;
+  for (int64_t i = 0; i < a.value().numel(); ++i) total += a.value()[i];
+  Tensor out({1, 1});
+  out[0] = total;
+  std::function<void()>* slot = nullptr;
+  Node* self = nullptr;
+  Var result = MakeOp(std::move(out), {a}, &slot, &self);
+  if (slot) {
+    Node* na = a.node().get();
+    *slot = [self, na]() {
+      na->EnsureGrad();
+      const float g = self->grad[0];
+      for (int64_t i = 0; i < na->grad.numel(); ++i) na->grad[i] += g;
+    };
+  }
+  return result;
+}
+
+Var Mean(const Var& a) {
+  return ScalarMul(Sum(a), 1.0f / static_cast<float>(a.value().numel()));
+}
+
+Var ConcatRows(const std::vector<Var>& parts) {
+  CAUSALTAD_CHECK(!parts.empty());
+  const int64_t cols = parts[0].value().dim(1);
+  int64_t rows = 0;
+  for (const Var& p : parts) {
+    CAUSALTAD_CHECK_EQ(p.value().ndim(), 2);
+    CAUSALTAD_CHECK_EQ(p.value().dim(1), cols);
+    rows += p.value().dim(0);
+  }
+  Tensor out({rows, cols});
+  int64_t offset = 0;
+  for (const Var& p : parts) {
+    std::copy(p.value().data(), p.value().data() + p.value().numel(),
+              out.data() + offset);
+    offset += p.value().numel();
+  }
+
+  std::function<void()>* slot = nullptr;
+  Node* self = nullptr;
+  Var result = MakeOp(std::move(out), parts, &slot, &self);
+  if (slot) {
+    std::vector<Node*> nodes;
+    nodes.reserve(parts.size());
+    for (const Var& p : parts) nodes.push_back(p.node().get());
+    *slot = [self, nodes]() {
+      int64_t offset = 0;
+      for (Node* n : nodes) {
+        const int64_t count = n->value.numel();
+        if (n->requires_grad) {
+          n->EnsureGrad();
+          for (int64_t i = 0; i < count; ++i) {
+            n->grad[i] += self->grad[offset + i];
+          }
+        }
+        offset += count;
+      }
+    };
+  }
+  return result;
+}
+
+Var ConcatCols(const std::vector<Var>& parts) {
+  CAUSALTAD_CHECK(!parts.empty());
+  const int64_t rows = parts[0].value().dim(0);
+  int64_t cols = 0;
+  for (const Var& p : parts) {
+    CAUSALTAD_CHECK_EQ(p.value().ndim(), 2);
+    CAUSALTAD_CHECK_EQ(p.value().dim(0), rows);
+    cols += p.value().dim(1);
+  }
+  Tensor out({rows, cols});
+  int64_t col_offset = 0;
+  for (const Var& p : parts) {
+    const int64_t pc = p.value().dim(1);
+    for (int64_t r = 0; r < rows; ++r) {
+      std::copy(p.value().data() + r * pc, p.value().data() + (r + 1) * pc,
+                out.data() + r * cols + col_offset);
+    }
+    col_offset += pc;
+  }
+
+  std::function<void()>* slot = nullptr;
+  Node* self = nullptr;
+  Var result = MakeOp(std::move(out), parts, &slot, &self);
+  if (slot) {
+    std::vector<Node*> nodes;
+    nodes.reserve(parts.size());
+    for (const Var& p : parts) nodes.push_back(p.node().get());
+    *slot = [self, nodes, rows, cols]() {
+      int64_t col_offset = 0;
+      for (Node* n : nodes) {
+        const int64_t pc = n->value.dim(1);
+        if (n->requires_grad) {
+          n->EnsureGrad();
+          for (int64_t r = 0; r < rows; ++r) {
+            for (int64_t c = 0; c < pc; ++c) {
+              n->grad[r * pc + c] += self->grad[r * cols + col_offset + c];
+            }
+          }
+        }
+        col_offset += pc;
+      }
+    };
+  }
+  return result;
+}
+
+Var GatherRows(const Var& table, std::span<const int32_t> ids) {
+  const Tensor& t = table.value();
+  CAUSALTAD_CHECK_EQ(t.ndim(), 2);
+  const int64_t d = t.dim(1);
+  Tensor out({static_cast<int64_t>(ids.size()), d});
+  for (size_t i = 0; i < ids.size(); ++i) {
+    CAUSALTAD_DCHECK(ids[i] >= 0 && ids[i] < t.dim(0));
+    std::copy(t.data() + ids[i] * d, t.data() + (ids[i] + 1) * d,
+              out.data() + static_cast<int64_t>(i) * d);
+  }
+
+  std::function<void()>* slot = nullptr;
+  Node* self = nullptr;
+  Var result = MakeOp(std::move(out), {table}, &slot, &self);
+  if (slot) {
+    Node* nt = table.node().get();
+    std::vector<int32_t> ids_copy(ids.begin(), ids.end());
+    *slot = [self, nt, ids_copy, d]() {
+      nt->EnsureGrad();
+      for (size_t i = 0; i < ids_copy.size(); ++i) {
+        const float* g = self->grad.data() + static_cast<int64_t>(i) * d;
+        float* dst = nt->grad.data() + ids_copy[i] * d;
+        for (int64_t c = 0; c < d; ++c) dst[c] += g[c];
+      }
+    };
+  }
+  return result;
+}
+
+Var Softmax(const Var& a) {
+  const Tensor& t = a.value();
+  CAUSALTAD_CHECK_EQ(t.ndim(), 2);
+  const int64_t rows = t.dim(0), cols = t.dim(1);
+  Tensor out({rows, cols});
+  for (int64_t r = 0; r < rows; ++r) {
+    SoftmaxRow(t.data() + r * cols, cols, out.data() + r * cols);
+  }
+
+  std::function<void()>* slot = nullptr;
+  Node* self = nullptr;
+  Var result = MakeOp(std::move(out), {a}, &slot, &self);
+  if (slot) {
+    Node* na = a.node().get();
+    *slot = [self, na, rows, cols]() {
+      na->EnsureGrad();
+      for (int64_t r = 0; r < rows; ++r) {
+        const float* y = self->value.data() + r * cols;
+        const float* g = self->grad.data() + r * cols;
+        float dot = 0.0f;
+        for (int64_t c = 0; c < cols; ++c) dot += y[c] * g[c];
+        float* da = na->grad.data() + r * cols;
+        for (int64_t c = 0; c < cols; ++c) da[c] += y[c] * (g[c] - dot);
+      }
+    };
+  }
+  return result;
+}
+
+Var SoftmaxCrossEntropy(const Var& logits, std::span<const int32_t> targets) {
+  const Tensor& t = logits.value();
+  CAUSALTAD_CHECK_EQ(t.ndim(), 2);
+  const int64_t rows = t.dim(0), cols = t.dim(1);
+  CAUSALTAD_CHECK_EQ(rows, static_cast<int64_t>(targets.size()));
+
+  // Store probabilities for the backward pass.
+  auto probs = std::make_shared<Tensor>(Tensor({rows, cols}));
+  float loss = 0.0f;
+  for (int64_t r = 0; r < rows; ++r) {
+    SoftmaxRow(t.data() + r * cols, cols, probs->data() + r * cols);
+    const int32_t target = targets[r];
+    CAUSALTAD_DCHECK(target >= 0 && target < cols);
+    const float p = std::max((*probs)[r * cols + target], 1e-12f);
+    loss -= std::log(p);
+  }
+  Tensor out({1, 1});
+  out[0] = loss;
+
+  std::function<void()>* slot = nullptr;
+  Node* self = nullptr;
+  Var result = MakeOp(std::move(out), {logits}, &slot, &self);
+  if (slot) {
+    Node* nl = logits.node().get();
+    std::vector<int32_t> tgt(targets.begin(), targets.end());
+    *slot = [self, nl, probs, tgt, rows, cols]() {
+      nl->EnsureGrad();
+      const float g = self->grad[0];
+      for (int64_t r = 0; r < rows; ++r) {
+        const float* p = probs->data() + r * cols;
+        float* dl = nl->grad.data() + r * cols;
+        for (int64_t c = 0; c < cols; ++c) dl[c] += g * p[c];
+        dl[tgt[r]] -= g;
+      }
+    };
+  }
+  return result;
+}
+
+Var GatherColsDot(const Var& h, const Var& w, const Var& b,
+                  std::span<const int32_t> ids) {
+  const Tensor& th = h.value();
+  const Tensor& tw = w.value();
+  CAUSALTAD_CHECK_EQ(th.ndim(), 2);
+  CAUSALTAD_CHECK_EQ(th.dim(0), 1);
+  CAUSALTAD_CHECK_EQ(tw.ndim(), 2);
+  CAUSALTAD_CHECK_EQ(th.dim(1), tw.dim(0));
+  const int64_t d = th.dim(1);
+  const int64_t big_c = tw.dim(1);
+  const int64_t k = static_cast<int64_t>(ids.size());
+  Tensor out({1, k});
+  for (int64_t j = 0; j < k; ++j) {
+    const int32_t col = ids[j];
+    CAUSALTAD_DCHECK(col >= 0 && col < big_c);
+    float acc = b.defined() ? b.value()[col] : 0.0f;
+    const float* hv = th.data();
+    for (int64_t i = 0; i < d; ++i) acc += hv[i] * tw.data()[i * big_c + col];
+    out[j] = acc;
+  }
+
+  std::function<void()>* slot = nullptr;
+  Node* self = nullptr;
+  Var result = MakeOp(std::move(out), {h, w, b}, &slot, &self);
+  if (slot) {
+    Node* nh = h.node().get();
+    Node* nw = w.node().get();
+    Node* nb = b.defined() ? b.node().get() : nullptr;
+    std::vector<int32_t> ids_copy(ids.begin(), ids.end());
+    *slot = [self, nh, nw, nb, ids_copy, d, big_c]() {
+      const Tensor& g = self->grad;
+      if (nh->requires_grad) {
+        nh->EnsureGrad();
+        for (size_t j = 0; j < ids_copy.size(); ++j) {
+          const float gj = g[static_cast<int64_t>(j)];
+          if (gj == 0.0f) continue;
+          const int32_t col = ids_copy[j];
+          for (int64_t i = 0; i < d; ++i) {
+            nh->grad[i] += gj * nw->value[i * big_c + col];
+          }
+        }
+      }
+      if (nw->requires_grad) {
+        nw->EnsureGrad();
+        for (size_t j = 0; j < ids_copy.size(); ++j) {
+          const float gj = g[static_cast<int64_t>(j)];
+          if (gj == 0.0f) continue;
+          const int32_t col = ids_copy[j];
+          for (int64_t i = 0; i < d; ++i) {
+            nw->grad[i * big_c + col] += gj * nh->value[i];
+          }
+        }
+      }
+      if (nb != nullptr && nb->requires_grad) {
+        nb->EnsureGrad();
+        for (size_t j = 0; j < ids_copy.size(); ++j) {
+          nb->grad[ids_copy[j]] += g[static_cast<int64_t>(j)];
+        }
+      }
+    };
+  }
+  return result;
+}
+
+Var KlStandardNormal(const Var& mu, const Var& logvar) {
+  const Tensor& tm = mu.value();
+  const Tensor& tv = logvar.value();
+  CAUSALTAD_CHECK(tm.SameShape(tv));
+  float total = 0.0f;
+  for (int64_t i = 0; i < tm.numel(); ++i) {
+    total += tm[i] * tm[i] + std::exp(tv[i]) - 1.0f - tv[i];
+  }
+  Tensor out({1, 1});
+  out[0] = 0.5f * total;
+
+  std::function<void()>* slot = nullptr;
+  Node* self = nullptr;
+  Var result = MakeOp(std::move(out), {mu, logvar}, &slot, &self);
+  if (slot) {
+    Node* nm = mu.node().get();
+    Node* nv = logvar.node().get();
+    *slot = [self, nm, nv]() {
+      const float g = self->grad[0];
+      if (nm->requires_grad) {
+        nm->EnsureGrad();
+        for (int64_t i = 0; i < nm->grad.numel(); ++i) {
+          nm->grad[i] += g * nm->value[i];
+        }
+      }
+      if (nv->requires_grad) {
+        nv->EnsureGrad();
+        for (int64_t i = 0; i < nv->grad.numel(); ++i) {
+          nv->grad[i] += g * 0.5f * (std::exp(nv->value[i]) - 1.0f);
+        }
+      }
+    };
+  }
+  return result;
+}
+
+Var Reparameterize(const Var& mu, const Var& logvar, util::Rng* rng) {
+  CAUSALTAD_CHECK(rng != nullptr);
+  const Tensor& tm = mu.value();
+  const Tensor& tv = logvar.value();
+  CAUSALTAD_CHECK(tm.SameShape(tv));
+  auto eps = std::make_shared<Tensor>(tm.shape());
+  Tensor out = tm;
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    (*eps)[i] = static_cast<float>(rng->Gaussian());
+    out[i] += std::exp(0.5f * tv[i]) * (*eps)[i];
+  }
+
+  std::function<void()>* slot = nullptr;
+  Node* self = nullptr;
+  Var result = MakeOp(std::move(out), {mu, logvar}, &slot, &self);
+  if (slot) {
+    Node* nm = mu.node().get();
+    Node* nv = logvar.node().get();
+    *slot = [self, nm, nv, eps]() {
+      const Tensor& g = self->grad;
+      if (nm->requires_grad) {
+        nm->EnsureGrad();
+        for (int64_t i = 0; i < g.numel(); ++i) nm->grad[i] += g[i];
+      }
+      if (nv->requires_grad) {
+        nv->EnsureGrad();
+        for (int64_t i = 0; i < g.numel(); ++i) {
+          nv->grad[i] +=
+              g[i] * 0.5f * std::exp(0.5f * nv->value[i]) * (*eps)[i];
+        }
+      }
+    };
+  }
+  return result;
+}
+
+Var LogSumExpRow(const Var& a) {
+  const Tensor& t = a.value();
+  CAUSALTAD_CHECK_EQ(t.ndim(), 2);
+  CAUSALTAD_CHECK_EQ(t.dim(0), 1);
+  const int64_t n = t.dim(1);
+  float max_v = t[0];
+  for (int64_t i = 1; i < n; ++i) max_v = std::max(max_v, t[i]);
+  float total = 0.0f;
+  for (int64_t i = 0; i < n; ++i) total += std::exp(t[i] - max_v);
+  Tensor out({1, 1});
+  out[0] = max_v + std::log(total);
+
+  std::function<void()>* slot = nullptr;
+  Node* self = nullptr;
+  Var result = MakeOp(std::move(out), {a}, &slot, &self);
+  if (slot) {
+    Node* na = a.node().get();
+    *slot = [self, na, n]() {
+      na->EnsureGrad();
+      const float g = self->grad[0];
+      const float lse = self->value[0];
+      for (int64_t i = 0; i < n; ++i) {
+        na->grad[i] += g * std::exp(na->value[i] - lse);
+      }
+    };
+  }
+  return result;
+}
+
+}  // namespace nn
+}  // namespace causaltad

@@ -1,0 +1,96 @@
+#ifndef CAUSALTAD_NN_OPS_H_
+#define CAUSALTAD_NN_OPS_H_
+
+#include <span>
+#include <vector>
+
+#include "nn/autograd.h"
+#include "util/random.h"
+
+namespace causaltad {
+namespace nn {
+
+// ---------------------------------------------------------------------------
+// Differentiable operators. Shapes are rank-2 [rows, cols] unless stated.
+// Every op propagates requires_grad from its inputs and installs a backward
+// closure only when needed, so inference-time forwards are allocation-light.
+// ---------------------------------------------------------------------------
+
+/// Elementwise a + b. b may also be [1, a.cols] (or a 1-element scalar) and
+/// is then broadcast across a's rows.
+Var Add(const Var& a, const Var& b);
+
+/// Elementwise a - b (same broadcast rules as Add).
+Var Sub(const Var& a, const Var& b);
+
+/// Elementwise (Hadamard) a * b; shapes must match exactly.
+Var Mul(const Var& a, const Var& b);
+
+/// a * scalar.
+Var ScalarMul(const Var& a, float scalar);
+
+/// a + scalar (elementwise).
+Var ScalarAdd(const Var& a, float scalar);
+
+/// Matrix product [m,k] x [k,n] -> [m,n].
+Var MatMul(const Var& a, const Var& b);
+
+/// x @ w + b. x:[m,k], w:[k,n], b:[1,n] (b may be undefined to skip bias).
+Var Affine(const Var& x, const Var& w, const Var& b);
+
+Var Tanh(const Var& a);
+Var Sigmoid(const Var& a);
+Var Relu(const Var& a);
+Var Exp(const Var& a);
+Var Neg(const Var& a);
+
+/// Sum of all elements -> scalar [1,1].
+Var Sum(const Var& a);
+
+/// Mean of all elements -> scalar [1,1].
+Var Mean(const Var& a);
+
+/// Stacks same-width blocks vertically: [r1,c],[r2,c].. -> [Σr,c].
+Var ConcatRows(const std::vector<Var>& parts);
+
+/// Concatenates same-height blocks horizontally: [m,c1],[m,c2].. -> [m,Σc].
+Var ConcatCols(const std::vector<Var>& parts);
+
+/// Gathers rows `ids` of `table` ([V,d]) -> [n,d]. This is the embedding
+/// lookup; gradients scatter-add back into the table rows.
+Var GatherRows(const Var& table, std::span<const int32_t> ids);
+
+/// Row-wise softmax of [m,C] -> [m,C].
+Var Softmax(const Var& a);
+
+/// Sum over rows of the cross-entropy between row-softmax(logits) and the
+/// integer targets: -Σ_i log softmax(logits_i)[target_i]. Returns scalar.
+/// Numerically stabilized (max-shifted). targets.size() == logits.rows().
+Var SoftmaxCrossEntropy(const Var& logits, std::span<const int32_t> targets);
+
+/// Logits restricted to a column subset: out[0,j] = h · W[:,ids[j]] + b[ids[j]].
+/// h:[1,d], w:[d,C], b:[1,C] (optional). This powers the paper's
+/// road-constrained prediction: the output softmax runs only over the
+/// successors of the current road segment, so one decode step is
+/// O(d·|neighbors|) instead of O(d·|V|).
+Var GatherColsDot(const Var& h, const Var& w, const Var& b,
+                  std::span<const int32_t> ids);
+
+/// KL( N(mu, diag(exp(logvar))) || N(0, I) ) summed over all elements:
+/// 0.5 Σ (mu² + exp(logvar) - 1 - logvar). Returns scalar.
+Var KlStandardNormal(const Var& mu, const Var& logvar);
+
+/// Reparameterization z = mu + exp(0.5·logvar) ⊙ eps with eps ~ N(0, I)
+/// drawn from `rng` (stored, so backward is deterministic).
+Var Reparameterize(const Var& mu, const Var& logvar, util::Rng* rng);
+
+/// log Σ_j exp(a[0,j]) for a row vector [1,C] -> scalar.
+Var LogSumExpRow(const Var& a);
+
+/// Convenience: wraps a constant (no-grad) tensor.
+Var Constant(Tensor value);
+
+}  // namespace nn
+}  // namespace causaltad
+
+#endif  // CAUSALTAD_NN_OPS_H_

@@ -1,0 +1,70 @@
+#include "nn/optim.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace causaltad {
+namespace nn {
+
+Adam::Adam(std::vector<Var> params, const AdamConfig& config)
+    : params_(std::move(params)), config_(config) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Var& p : params_) {
+    CAUSALTAD_CHECK(p.requires_grad());
+    m_.push_back(Tensor::Zeros(p.value().shape()));
+    v_.push_back(Tensor::Zeros(p.value().shape()));
+  }
+}
+
+void Adam::Step() {
+  ++step_;
+  const float b1 = config_.beta1;
+  const float b2 = config_.beta2;
+  const float bias1 = 1.0f - std::pow(b1, static_cast<float>(step_));
+  const float bias2 = 1.0f - std::pow(b2, static_cast<float>(step_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Tensor& value = params_[i].mutable_value();
+    const Tensor& grad = params_[i].grad();
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    for (int64_t j = 0; j < value.numel(); ++j) {
+      float g = grad[j];
+      if (config_.weight_decay != 0.0f) g += config_.weight_decay * value[j];
+      m[j] = b1 * m[j] + (1.0f - b1) * g;
+      v[j] = b2 * v[j] + (1.0f - b2) * g * g;
+      const float m_hat = m[j] / bias1;
+      const float v_hat = v[j] / bias2;
+      value[j] -= config_.lr * m_hat / (std::sqrt(v_hat) + config_.eps);
+    }
+  }
+}
+
+void Adam::ZeroGrad() {
+  for (Var& p : params_) p.ZeroGrad();
+}
+
+double GlobalGradNorm(std::span<const Var> params) {
+  double total = 0.0;
+  for (const Var& p : params) {
+    const Tensor& g = p.grad();
+    for (int64_t i = 0; i < g.numel(); ++i) {
+      total += static_cast<double>(g[i]) * g[i];
+    }
+  }
+  return std::sqrt(total);
+}
+
+void ClipGradNorm(std::span<const Var> params, double max_norm) {
+  const double norm = GlobalGradNorm(params);
+  if (norm <= max_norm || norm == 0.0) return;
+  const float scale = static_cast<float>(max_norm / norm);
+  for (const Var& p : params) {
+    Tensor& g = const_cast<Var&>(p).grad();
+    for (int64_t i = 0; i < g.numel(); ++i) g[i] *= scale;
+  }
+}
+
+}  // namespace nn
+}  // namespace causaltad

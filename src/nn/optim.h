@@ -1,0 +1,54 @@
+#ifndef CAUSALTAD_NN_OPTIM_H_
+#define CAUSALTAD_NN_OPTIM_H_
+
+#include <span>
+#include <vector>
+
+#include "nn/autograd.h"
+
+namespace causaltad {
+namespace nn {
+
+/// Adam hyperparameters (Kingma & Ba 2015), the optimizer the paper trains
+/// all models with.
+struct AdamConfig {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 0.0f;
+};
+
+/// Adam optimizer over a fixed parameter list.
+class Adam {
+ public:
+  Adam(std::vector<Var> params, const AdamConfig& config = {});
+
+  /// Applies one update from the accumulated gradients.
+  void Step();
+
+  /// Clears all parameter gradients.
+  void ZeroGrad();
+
+  void set_lr(float lr) { config_.lr = lr; }
+  float lr() const { return config_.lr; }
+  int64_t step_count() const { return step_; }
+
+ private:
+  std::vector<Var> params_;
+  AdamConfig config_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  int64_t step_ = 0;
+};
+
+/// L2 norm of all gradients concatenated.
+double GlobalGradNorm(std::span<const Var> params);
+
+/// Scales gradients so the global norm is at most `max_norm`.
+void ClipGradNorm(std::span<const Var> params, double max_norm);
+
+}  // namespace nn
+}  // namespace causaltad
+
+#endif  // CAUSALTAD_NN_OPTIM_H_

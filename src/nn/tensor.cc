@@ -1,0 +1,49 @@
+#include "nn/tensor.h"
+
+#include <numeric>
+
+namespace causaltad {
+namespace nn {
+namespace {
+int64_t NumelOf(const std::vector<int64_t>& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    CAUSALTAD_CHECK_GT(d, 0);
+    n *= d;
+  }
+  return n;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<int64_t> shape) : shape_(std::move(shape)) {
+  data_.assign(NumelOf(shape_), 0.0f);
+}
+
+Tensor Tensor::Full(std::vector<int64_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::Scalar(float value) {
+  Tensor t({1});
+  t.data_[0] = value;
+  return t;
+}
+
+Tensor Tensor::FromVector(std::vector<int64_t> shape,
+                          std::vector<float> values) {
+  Tensor t;
+  t.shape_ = std::move(shape);
+  CAUSALTAD_CHECK_EQ(NumelOf(t.shape_),
+                     static_cast<int64_t>(values.size()));
+  t.data_ = std::move(values);
+  return t;
+}
+
+void Tensor::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+}  // namespace nn
+}  // namespace causaltad

@@ -1,0 +1,81 @@
+#ifndef CAUSALTAD_NN_TENSOR_H_
+#define CAUSALTAD_NN_TENSOR_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace causaltad {
+namespace nn {
+
+/// Dense row-major float32 tensor with value semantics (copies are deep).
+///
+/// The nn substrate only needs rank-1/rank-2 tensors; rank-2 convenience
+/// accessors (rows/cols/At) CHECK the rank.
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<int64_t> shape);
+
+  static Tensor Zeros(std::vector<int64_t> shape) {
+    return Tensor(std::move(shape));
+  }
+  static Tensor Full(std::vector<int64_t> shape, float value);
+  static Tensor Scalar(float value);
+  static Tensor FromVector(std::vector<int64_t> shape,
+                           std::vector<float> values);
+
+  const std::vector<int64_t>& shape() const { return shape_; }
+  int ndim() const { return static_cast<int>(shape_.size()); }
+  int64_t dim(int i) const { return shape_[i]; }
+  int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+  bool defined() const { return !shape_.empty(); }
+
+  /// Rows/cols of a rank-2 tensor ([n] counts as n rows of 1 column? No —
+  /// rank-1 is rejected; reshape first).
+  int64_t rows() const {
+    CAUSALTAD_DCHECK_EQ(ndim(), 2);
+    return shape_[0];
+  }
+  int64_t cols() const {
+    CAUSALTAD_DCHECK_EQ(ndim(), 2);
+    return shape_[1];
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& vec() { return data_; }
+  const std::vector<float>& vec() const { return data_; }
+
+  float& operator[](int64_t i) { return data_[i]; }
+  float operator[](int64_t i) const { return data_[i]; }
+
+  float& At(int64_t r, int64_t c) {
+    CAUSALTAD_DCHECK_EQ(ndim(), 2);
+    return data_[r * shape_[1] + c];
+  }
+  float At(int64_t r, int64_t c) const {
+    CAUSALTAD_DCHECK_EQ(ndim(), 2);
+    return data_[r * shape_[1] + c];
+  }
+
+  void Fill(float value);
+  bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  /// Scalar value of a single-element tensor.
+  float Item() const {
+    CAUSALTAD_CHECK_EQ(numel(), 1);
+    return data_[0];
+  }
+
+ private:
+  std::vector<int64_t> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace nn
+}  // namespace causaltad
+
+#endif  // CAUSALTAD_NN_TENSOR_H_

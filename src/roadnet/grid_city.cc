@@ -1,0 +1,170 @@
+#include "roadnet/grid_city.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/geo.h"
+#include "util/logging.h"
+
+namespace causaltad {
+namespace roadnet {
+namespace {
+
+struct StreetSpec {
+  RoadClass road_class;
+  double speed;
+  double base_pref;
+};
+
+// Classifies a grid line index into arterial / collector / local. Every
+// arterial_every-th line is arterial and the line halfway between two
+// arterials is a collector.
+StreetSpec ClassifyLine(int index, const GridCityConfig& cfg) {
+  const int k = cfg.arterial_every;
+  if (k > 0 && index % k == 0) {
+    return {RoadClass::kArterial, cfg.arterial_speed_mps, cfg.arterial_pref};
+  }
+  if (k > 1 && index % k == k / 2) {
+    return {RoadClass::kCollector, cfg.collector_speed_mps,
+            cfg.collector_pref};
+  }
+  return {RoadClass::kLocal, cfg.local_speed_mps, cfg.local_pref};
+}
+
+}  // namespace
+
+City BuildGridCity(const GridCityConfig& config) {
+  CAUSALTAD_CHECK_GE(config.rows, 2);
+  CAUSALTAD_CHECK_GE(config.cols, 2);
+  util::Rng rng(config.seed);
+  util::Rng jitter_rng = rng.Fork();
+  util::Rng pref_rng = rng.Fork();
+  util::Rng poi_rng = rng.Fork();
+  util::Rng drop_rng = rng.Fork();
+
+  const geo::LocalProjection proj(config.origin);
+  auto node_at = [&](int r, int c) {
+    return static_cast<NodeId>(r * config.cols + c);
+  };
+
+  // Node positions on a jittered grid.
+  std::vector<geo::LatLon> node_pos;
+  node_pos.reserve(static_cast<size_t>(config.rows) * config.cols);
+  for (int r = 0; r < config.rows; ++r) {
+    for (int c = 0; c < config.cols; ++c) {
+      const geo::Vec2 p{
+          c * config.block_m + jitter_rng.Gaussian(0, config.jitter_m),
+          r * config.block_m + jitter_rng.Gaussian(0, config.jitter_m)};
+      node_pos.push_back(proj.Unproject(p));
+    }
+  }
+
+  // Candidate two-way streets. A horizontal edge lies on a row line, a
+  // vertical edge on a column line; the line determines the street class.
+  struct EdgeRecord {
+    NodeId a, b;
+    StreetSpec spec;
+    double pref;
+  };
+  std::vector<EdgeRecord> edges;
+  auto jittered_pref = [&](double base) {
+    return base * std::exp(pref_rng.Gaussian(0, config.pref_jitter_sigma));
+  };
+  for (int r = 0; r < config.rows; ++r) {
+    const StreetSpec spec = ClassifyLine(r, config);
+    for (int c = 0; c + 1 < config.cols; ++c) {
+      edges.push_back({node_at(r, c), node_at(r, c + 1), spec,
+                       jittered_pref(spec.base_pref)});
+    }
+  }
+  for (int c = 0; c < config.cols; ++c) {
+    const StreetSpec spec = ClassifyLine(c, config);
+    for (int r = 0; r + 1 < config.rows; ++r) {
+      edges.push_back({node_at(r, c), node_at(r + 1, c), spec,
+                       jittered_pref(spec.base_pref)});
+    }
+  }
+
+  // Mark local streets for removal (imperfect grid).
+  std::vector<uint8_t> dropped(edges.size(), 0);
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (edges[i].spec.road_class == RoadClass::kLocal &&
+        drop_rng.Bernoulli(config.drop_local_street_prob)) {
+      dropped[i] = 1;
+    }
+  }
+
+  auto assemble = [&]() {
+    RoadNetworkBuilder b;
+    for (const auto& pos : node_pos) b.AddNode(pos);
+    for (size_t i = 0; i < edges.size(); ++i) {
+      if (dropped[i]) continue;
+      const auto& e = edges[i];
+      b.AddTwoWaySegment(e.a, e.b, e.spec.road_class,
+                         static_cast<float>(e.spec.speed),
+                         static_cast<float>(e.pref));
+    }
+    return b.Build();
+  };
+
+  City city;
+  city.config = config;
+  city.network = assemble();
+  // Restore dropped streets until the network is strongly connected. The
+  // grid minus a few local streets is almost always fine; this loop is a
+  // correctness guarantee, not a hot path.
+  while (!city.network.IsStronglyConnected()) {
+    bool restored = false;
+    for (size_t i = 0; i < edges.size(); ++i) {
+      if (dropped[i]) {
+        dropped[i] = 0;
+        restored = true;
+        break;
+      }
+    }
+    CAUSALTAD_CHECK(restored) << "grid city unexpectedly disconnected";
+    city.network = assemble();
+  }
+
+  // Place POIs, preferring arterial intersections (the E -> C edge of the
+  // causal graph: popular destinations sit on preferred roads).
+  std::vector<NodeId> arterial_nodes;
+  for (NodeId n = 0; n < city.network.num_nodes(); ++n) {
+    for (SegmentId s : city.network.OutSegments(n)) {
+      if (city.network.segment(s).road_class == RoadClass::kArterial) {
+        arterial_nodes.push_back(n);
+        break;
+      }
+    }
+  }
+  for (int i = 0; i < config.num_pois; ++i) {
+    NodeId node;
+    if (!arterial_nodes.empty() &&
+        poi_rng.Bernoulli(config.poi_on_arterial_prob)) {
+      node = arterial_nodes[poi_rng.UniformInt(
+          static_cast<int64_t>(arterial_nodes.size()))];
+    } else {
+      node =
+          static_cast<NodeId>(poi_rng.UniformInt(city.network.num_nodes()));
+    }
+    city.pois.push_back(
+        {node, config.poi_popularity * poi_rng.Uniform(0.6, 1.4)});
+  }
+
+  // Node popularity = base + sum of POI Gaussian kernels.
+  city.node_popularity.assign(city.network.num_nodes(),
+                              config.base_popularity);
+  for (const Poi& poi : city.pois) {
+    const geo::LatLon center = city.network.node(poi.node).pos;
+    for (NodeId n = 0; n < city.network.num_nodes(); ++n) {
+      const double d = geo::HaversineMeters(center, city.network.node(n).pos);
+      const double k = d / config.poi_reach_m;
+      city.node_popularity[n] += poi.popularity * std::exp(-0.5 * k * k);
+    }
+  }
+
+  return city;
+}
+
+}  // namespace roadnet
+}  // namespace causaltad

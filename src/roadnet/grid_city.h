@@ -1,0 +1,89 @@
+#ifndef CAUSALTAD_ROADNET_GRID_CITY_H_
+#define CAUSALTAD_ROADNET_GRID_CITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "roadnet/road_network.h"
+#include "util/random.h"
+
+namespace causaltad {
+namespace roadnet {
+
+/// Parameters of the synthetic city used as the stand-in for the DiDi
+/// Xi'an/Chengdu road networks (see DESIGN.md §2).
+///
+/// The city is a jittered grid of two-way streets. Every `arterial_every`-th
+/// row/column is an arterial, the ones halfway between are collectors, the
+/// rest are local streets. Road class determines speed and, crucially, the
+/// ground-truth *driver preference* — the hidden confounder E in the paper's
+/// causal graph. A handful of POI hot-spots (malls, office parks) make nearby
+/// nodes popular trip endpoints, which realizes the causal edge E → C.
+struct GridCityConfig {
+  int rows = 12;
+  int cols = 12;
+  double block_m = 250.0;
+  /// Every k-th grid line is an arterial and the line halfway between two
+  /// arterials is a collector. k=3 gives the A-C-L-A pattern of real street
+  /// grids, where a blocked corridor segment has a *popular* parallel
+  /// alternative one block away (the p2-p4 road of the paper's Fig. 1).
+  int arterial_every = 3;
+
+  double arterial_pref = 4.0;
+  double collector_pref = 1.9;
+  double local_pref = 1.0;
+  /// Lognormal jitter applied per segment to the class preference, so E is
+  /// heterogeneous within each class.
+  double pref_jitter_sigma = 0.15;
+
+  double arterial_speed_mps = 16.7;
+  double collector_speed_mps = 11.1;
+  double local_speed_mps = 8.3;
+
+  /// Number of POI hot-spots that attract trip endpoints.
+  int num_pois = 6;
+  /// Probability that a POI lands on an arterial intersection (E → C).
+  double poi_on_arterial_prob = 0.85;
+  /// Spatial reach (meters) of a POI's popularity kernel.
+  double poi_reach_m = 450.0;
+  /// Peak popularity mass a POI adds to its own node.
+  double poi_popularity = 30.0;
+  /// Baseline popularity of every node (keeps all pairs possible).
+  double base_popularity = 1.0;
+
+  /// Fraction of *local* two-way streets removed, making the grid imperfect.
+  /// Removals that would break strong connectivity are skipped.
+  double drop_local_street_prob = 0.06;
+
+  /// Node position jitter in meters (realistic, non-degenerate geometry).
+  double jitter_m = 15.0;
+
+  geo::LatLon origin{30.66, 104.06};
+  uint64_t seed = 17;
+};
+
+/// A POI hot-spot anchored at a node.
+struct Poi {
+  NodeId node = kInvalidNode;
+  double popularity = 1.0;
+};
+
+/// A synthetic city: the road network plus the ground-truth popularity
+/// distribution over trip endpoints induced by POIs.
+struct City {
+  RoadNetwork network;
+  std::vector<Poi> pois;
+  /// Per-node endpoint attractiveness; trip generation samples sources and
+  /// destinations proportionally to this (the paper's E → C edge).
+  std::vector<double> node_popularity;
+  GridCityConfig config;
+};
+
+/// Synthesizes a city from the config. Deterministic given config.seed.
+/// The returned network is guaranteed strongly connected.
+City BuildGridCity(const GridCityConfig& config);
+
+}  // namespace roadnet
+}  // namespace causaltad
+
+#endif  // CAUSALTAD_ROADNET_GRID_CITY_H_

@@ -1,0 +1,248 @@
+#include "roadnet/road_network.h"
+
+#include <algorithm>
+#include <deque>
+#include <string>
+
+#include "util/csv.h"
+#include "util/logging.h"
+
+namespace causaltad {
+namespace roadnet {
+
+const char* RoadClassName(RoadClass road_class) {
+  switch (road_class) {
+    case RoadClass::kArterial:
+      return "arterial";
+    case RoadClass::kCollector:
+      return "collector";
+    case RoadClass::kLocal:
+      return "local";
+  }
+  return "unknown";
+}
+
+std::span<const SegmentId> RoadNetwork::OutSegments(NodeId node) const {
+  CAUSALTAD_DCHECK(node >= 0 && node < num_nodes());
+  return {out_ids_.data() + out_offsets_[node],
+          static_cast<size_t>(out_offsets_[node + 1] - out_offsets_[node])};
+}
+
+std::span<const SegmentId> RoadNetwork::InSegments(NodeId node) const {
+  CAUSALTAD_DCHECK(node >= 0 && node < num_nodes());
+  return {in_ids_.data() + in_offsets_[node],
+          static_cast<size_t>(in_offsets_[node + 1] - in_offsets_[node])};
+}
+
+std::span<const SegmentId> RoadNetwork::Successors(SegmentId seg) const {
+  CAUSALTAD_DCHECK(seg >= 0 && seg < num_segments());
+  return {succ_ids_.data() + succ_offsets_[seg],
+          static_cast<size_t>(succ_offsets_[seg + 1] - succ_offsets_[seg])};
+}
+
+bool RoadNetwork::IsSuccessor(SegmentId seg, SegmentId next) const {
+  for (SegmentId s : Successors(seg)) {
+    if (s == next) return true;
+  }
+  return false;
+}
+
+SegmentId RoadNetwork::FindSegment(NodeId from, NodeId to) const {
+  for (SegmentId s : OutSegments(from)) {
+    if (segments_[s].to == to) return s;
+  }
+  return kInvalidSegment;
+}
+
+geo::LatLon RoadNetwork::SegmentMidpoint(SegmentId seg) const {
+  const Segment& s = segments_[seg];
+  return {(nodes_[s.from].pos.lat + nodes_[s.to].pos.lat) / 2.0,
+          (nodes_[s.from].pos.lon + nodes_[s.to].pos.lon) / 2.0};
+}
+
+namespace {
+
+// BFS over nodes following `forward` (out) or backward (in) segments.
+int64_t CountReachable(const RoadNetwork& net, NodeId start, bool forward) {
+  std::vector<uint8_t> seen(net.num_nodes(), 0);
+  std::deque<NodeId> queue{start};
+  seen[start] = 1;
+  int64_t count = 1;
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    const auto segs = forward ? net.OutSegments(u) : net.InSegments(u);
+    for (SegmentId s : segs) {
+      const NodeId v = forward ? net.segment(s).to : net.segment(s).from;
+      if (!seen[v]) {
+        seen[v] = 1;
+        ++count;
+        queue.push_back(v);
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+bool RoadNetwork::IsStronglyConnected() const {
+  if (num_nodes() == 0) return true;
+  return CountReachable(*this, 0, /*forward=*/true) == num_nodes() &&
+         CountReachable(*this, 0, /*forward=*/false) == num_nodes();
+}
+
+void RoadNetwork::BuildIndexes() {
+  const int64_t n = num_nodes();
+  const int64_t m = num_segments();
+
+  auto build_csr = [n](const std::vector<NodeId>& key, int64_t count,
+                       std::vector<int64_t>* offsets,
+                       std::vector<SegmentId>* ids) {
+    offsets->assign(n + 1, 0);
+    for (int64_t i = 0; i < count; ++i) (*offsets)[key[i] + 1]++;
+    for (int64_t i = 0; i < n; ++i) (*offsets)[i + 1] += (*offsets)[i];
+    ids->resize(count);
+    std::vector<int64_t> cursor(offsets->begin(), offsets->end() - 1);
+    for (int64_t i = 0; i < count; ++i) {
+      (*ids)[cursor[key[i]]++] = static_cast<SegmentId>(i);
+    }
+  };
+
+  std::vector<NodeId> from_keys(m), to_keys(m);
+  for (int64_t i = 0; i < m; ++i) {
+    from_keys[i] = segments_[i].from;
+    to_keys[i] = segments_[i].to;
+  }
+  build_csr(from_keys, m, &out_offsets_, &out_ids_);
+  build_csr(to_keys, m, &in_offsets_, &in_ids_);
+
+  // Successor CSR: out-segments of seg.to, excluding the reverse twin.
+  succ_offsets_.assign(m + 1, 0);
+  for (int64_t s = 0; s < m; ++s) {
+    for (SegmentId nxt : OutSegments(segments_[s].to)) {
+      if (nxt != segments_[s].reverse) succ_offsets_[s + 1]++;
+    }
+  }
+  for (int64_t s = 0; s < m; ++s) succ_offsets_[s + 1] += succ_offsets_[s];
+  succ_ids_.resize(succ_offsets_[m]);
+  for (int64_t s = 0; s < m; ++s) {
+    int64_t cursor = succ_offsets_[s];
+    for (SegmentId nxt : OutSegments(segments_[s].to)) {
+      if (nxt != segments_[s].reverse) succ_ids_[cursor++] = nxt;
+    }
+  }
+}
+
+util::Status RoadNetwork::SaveCsv(const std::string& base_path) const {
+  util::CsvTable nodes;
+  nodes.header = {"id", "lat", "lon"};
+  for (int64_t i = 0; i < num_nodes(); ++i) {
+    nodes.rows.push_back({std::to_string(i), std::to_string(nodes_[i].pos.lat),
+                          std::to_string(nodes_[i].pos.lon)});
+  }
+  CAUSALTAD_RETURN_IF_ERROR(util::WriteCsv(base_path + ".nodes.csv", nodes));
+
+  util::CsvTable segs;
+  segs.header = {"id",     "from",  "to",         "length_m",
+                 "speed",  "pref",  "road_class", "reverse"};
+  for (int64_t i = 0; i < num_segments(); ++i) {
+    const Segment& s = segments_[i];
+    segs.rows.push_back({std::to_string(i), std::to_string(s.from),
+                         std::to_string(s.to), std::to_string(s.length_m),
+                         std::to_string(s.speed_mps),
+                         std::to_string(s.preference),
+                         std::to_string(static_cast<int>(s.road_class)),
+                         std::to_string(s.reverse)});
+  }
+  return util::WriteCsv(base_path + ".segments.csv", segs);
+}
+
+util::StatusOr<RoadNetwork> RoadNetwork::LoadCsv(const std::string& base_path) {
+  auto nodes_or = util::ReadCsv(base_path + ".nodes.csv");
+  if (!nodes_or.ok()) return nodes_or.status();
+  auto segs_or = util::ReadCsv(base_path + ".segments.csv");
+  if (!segs_or.ok()) return segs_or.status();
+
+  RoadNetwork net;
+  net.nodes_.reserve(nodes_or->rows.size());
+  for (const auto& row : nodes_or->rows) {
+    if (row.size() != 3) return util::Status::InvalidArgument("bad node row");
+    net.nodes_.push_back({{std::stod(row[1]), std::stod(row[2])}});
+  }
+  net.segments_.reserve(segs_or->rows.size());
+  for (const auto& row : segs_or->rows) {
+    if (row.size() != 8) {
+      return util::Status::InvalidArgument("bad segment row");
+    }
+    Segment s;
+    s.from = static_cast<NodeId>(std::stol(row[1]));
+    s.to = static_cast<NodeId>(std::stol(row[2]));
+    s.length_m = std::stof(row[3]);
+    s.speed_mps = std::stof(row[4]);
+    s.preference = std::stof(row[5]);
+    const int rc = std::stoi(row[6]);
+    if (rc < 0 || rc > 2) {
+      return util::Status::InvalidArgument("bad road class");
+    }
+    s.road_class = static_cast<RoadClass>(rc);
+    s.reverse = static_cast<SegmentId>(std::stol(row[7]));
+    if (s.from < 0 || s.from >= net.num_nodes() || s.to < 0 ||
+        s.to >= net.num_nodes()) {
+      return util::Status::InvalidArgument("segment endpoint out of range");
+    }
+    net.segments_.push_back(s);
+  }
+  net.BuildIndexes();
+  return net;
+}
+
+NodeId RoadNetworkBuilder::AddNode(const geo::LatLon& pos) {
+  nodes_.push_back({pos});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+SegmentId RoadNetworkBuilder::AddSegment(NodeId from, NodeId to,
+                                         RoadClass road_class, float speed_mps,
+                                         float preference, float length_m) {
+  CAUSALTAD_CHECK(from >= 0 && from < num_nodes());
+  CAUSALTAD_CHECK(to >= 0 && to < num_nodes());
+  CAUSALTAD_CHECK_NE(from, to);
+  Segment s;
+  s.from = from;
+  s.to = to;
+  s.road_class = road_class;
+  s.speed_mps = speed_mps;
+  s.preference = preference;
+  s.length_m =
+      length_m > 0.0f
+          ? length_m
+          : static_cast<float>(
+                geo::HaversineMeters(nodes_[from].pos, nodes_[to].pos));
+  segments_.push_back(s);
+  return static_cast<SegmentId>(segments_.size() - 1);
+}
+
+SegmentId RoadNetworkBuilder::AddTwoWaySegment(NodeId a, NodeId b,
+                                               RoadClass road_class,
+                                               float speed_mps,
+                                               float preference) {
+  const SegmentId fwd = AddSegment(a, b, road_class, speed_mps, preference);
+  const SegmentId bwd = AddSegment(b, a, road_class, speed_mps, preference);
+  segments_[fwd].reverse = bwd;
+  segments_[bwd].reverse = fwd;
+  return fwd;
+}
+
+RoadNetwork RoadNetworkBuilder::Build() {
+  RoadNetwork net;
+  net.nodes_ = std::move(nodes_);
+  net.segments_ = std::move(segments_);
+  nodes_.clear();
+  segments_.clear();
+  net.BuildIndexes();
+  return net;
+}
+
+}  // namespace roadnet
+}  // namespace causaltad

@@ -1,0 +1,142 @@
+#ifndef CAUSALTAD_ROADNET_ROAD_NETWORK_H_
+#define CAUSALTAD_ROADNET_ROAD_NETWORK_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "geo/geo.h"
+#include "util/status.h"
+
+namespace causaltad {
+namespace roadnet {
+
+using NodeId = int32_t;
+using SegmentId = int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr SegmentId kInvalidSegment = -1;
+
+/// Functional class of a road segment; drives speed and driver preference in
+/// the synthetic city (the hidden confounder E of the paper).
+enum class RoadClass : uint8_t {
+  kArterial = 0,
+  kCollector = 1,
+  kLocal = 2,
+};
+
+const char* RoadClassName(RoadClass road_class);
+
+/// A road-network node (intersection).
+struct Node {
+  geo::LatLon pos;
+};
+
+/// A directed road segment between two nodes.
+struct Segment {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  float length_m = 0.0f;
+  float speed_mps = 8.0f;
+  /// Driver preference weight (the ground-truth confounder E); higher means
+  /// drivers favour this segment when several routes are feasible.
+  float preference = 1.0f;
+  RoadClass road_class = RoadClass::kLocal;
+  /// The opposite-direction twin, or kInvalidSegment for one-way segments.
+  SegmentId reverse = kInvalidSegment;
+};
+
+/// Immutable directed road network with O(1) successor queries.
+///
+/// Built via RoadNetworkBuilder. Successors of segment s are the segments
+/// leaving s.to, excluding s's reverse twin (no immediate U-turns), stored in
+/// CSR form. Map-matched trajectories (Definition 2 in the paper) are
+/// sequences of segments where each consecutive pair is a successor pair.
+class RoadNetwork {
+ public:
+  int64_t num_nodes() const { return static_cast<int64_t>(nodes_.size()); }
+  int64_t num_segments() const {
+    return static_cast<int64_t>(segments_.size());
+  }
+
+  const Node& node(NodeId id) const { return nodes_[id]; }
+  const Segment& segment(SegmentId id) const { return segments_[id]; }
+
+  /// Segments leaving `node`.
+  std::span<const SegmentId> OutSegments(NodeId node) const;
+
+  /// Segments entering `node`.
+  std::span<const SegmentId> InSegments(NodeId node) const;
+
+  /// Legal continuations of `seg` (out-segments of seg.to minus the reverse
+  /// twin). A trajectory <t1..tn> is valid iff t_{i+1} ∈ Successors(t_i).
+  std::span<const SegmentId> Successors(SegmentId seg) const;
+
+  /// True if `next` is a legal continuation of `seg`.
+  bool IsSuccessor(SegmentId seg, SegmentId next) const;
+
+  /// The segment from `from` to `to`, or kInvalidSegment.
+  SegmentId FindSegment(NodeId from, NodeId to) const;
+
+  /// Midpoint of a segment's straight-line geometry.
+  geo::LatLon SegmentMidpoint(SegmentId seg) const;
+
+  /// True if every node can reach every other node (needed by trip
+  /// generation and the detour generator).
+  bool IsStronglyConnected() const;
+
+  /// Serializes nodes and segments to `<base>.nodes.csv` /
+  /// `<base>.segments.csv`.
+  util::Status SaveCsv(const std::string& base_path) const;
+  static util::StatusOr<RoadNetwork> LoadCsv(const std::string& base_path);
+
+ private:
+  friend class RoadNetworkBuilder;
+
+  void BuildIndexes();
+
+  std::vector<Node> nodes_;
+  std::vector<Segment> segments_;
+  // CSR adjacency.
+  std::vector<int64_t> out_offsets_;
+  std::vector<SegmentId> out_ids_;
+  std::vector<int64_t> in_offsets_;
+  std::vector<SegmentId> in_ids_;
+  std::vector<int64_t> succ_offsets_;
+  std::vector<SegmentId> succ_ids_;
+};
+
+/// Incremental constructor for RoadNetwork.
+class RoadNetworkBuilder {
+ public:
+  NodeId AddNode(const geo::LatLon& pos);
+
+  /// Adds a one-way segment; length defaults to the haversine distance
+  /// between endpoints when `length_m` <= 0.
+  SegmentId AddSegment(NodeId from, NodeId to, RoadClass road_class,
+                       float speed_mps, float preference,
+                       float length_m = -1.0f);
+
+  /// Adds both directions and links them as reverse twins; returns the
+  /// forward id (the backward id is the returned value + 1).
+  SegmentId AddTwoWaySegment(NodeId a, NodeId b, RoadClass road_class,
+                             float speed_mps, float preference);
+
+  int64_t num_nodes() const { return static_cast<int64_t>(nodes_.size()); }
+  int64_t num_segments() const {
+    return static_cast<int64_t>(segments_.size());
+  }
+
+  /// Finalizes the network (builds CSR indexes). The builder is left empty.
+  RoadNetwork Build();
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Segment> segments_;
+};
+
+}  // namespace roadnet
+}  // namespace causaltad
+
+#endif  // CAUSALTAD_ROADNET_ROAD_NETWORK_H_

@@ -1,0 +1,191 @@
+#include "roadnet/shortest_path.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/logging.h"
+
+namespace causaltad {
+namespace roadnet {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct QueueEntry {
+  double dist;
+  int32_t id;
+  bool operator>(const QueueEntry& o) const { return dist > o.dist; }
+};
+
+using MinQueue =
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                        std::greater<QueueEntry>>;
+
+double SegmentCost(const RoadNetwork& net, std::span<const double> costs,
+                   SegmentId s) {
+  if (costs.empty()) return net.segment(s).length_m;
+  return costs[s];
+}
+
+bool IsBlocked(const std::vector<uint8_t>* blocked, SegmentId s) {
+  return blocked != nullptr && (*blocked)[s] != 0;
+}
+
+}  // namespace
+
+ShortestPathEngine::ShortestPathEngine(const RoadNetwork* network)
+    : network_(network) {
+  CAUSALTAD_CHECK(network != nullptr);
+}
+
+RouteResult ShortestPathEngine::NodeToNode(
+    NodeId src, NodeId dst, std::span<const double> costs,
+    const std::vector<uint8_t>* blocked) const {
+  const RoadNetwork& net = *network_;
+  CAUSALTAD_CHECK(costs.empty() ||
+                  static_cast<int64_t>(costs.size()) == net.num_segments());
+  RouteResult result;
+  if (src == dst) {
+    result.found = true;
+    return result;
+  }
+
+  std::vector<double> dist(net.num_nodes(), kInf);
+  std::vector<SegmentId> via(net.num_nodes(), kInvalidSegment);
+  MinQueue queue;
+  dist[src] = 0.0;
+  queue.push({0.0, src});
+
+  while (!queue.empty()) {
+    const auto [d, u] = queue.top();
+    queue.pop();
+    if (d > dist[u]) continue;
+    if (u == dst) break;
+    for (SegmentId s : net.OutSegments(u)) {
+      if (IsBlocked(blocked, s)) continue;
+      const double w = SegmentCost(net, costs, s);
+      const NodeId v = net.segment(s).to;
+      if (dist[u] + w < dist[v]) {
+        dist[v] = dist[u] + w;
+        via[v] = s;
+        queue.push({dist[v], v});
+      }
+    }
+  }
+
+  if (dist[dst] == kInf) return result;
+  result.found = true;
+  result.cost = dist[dst];
+  for (NodeId u = dst; u != src;) {
+    const SegmentId s = via[u];
+    result.segments.push_back(s);
+    u = net.segment(s).from;
+  }
+  std::reverse(result.segments.begin(), result.segments.end());
+  return result;
+}
+
+RouteResult ShortestPathEngine::SegmentToSegment(
+    SegmentId src_seg, SegmentId dst_seg, std::span<const double> costs,
+    const std::vector<uint8_t>* blocked) const {
+  const RoadNetwork& net = *network_;
+  CAUSALTAD_CHECK(costs.empty() ||
+                  static_cast<int64_t>(costs.size()) == net.num_segments());
+  RouteResult result;
+  if (IsBlocked(blocked, src_seg) || IsBlocked(blocked, dst_seg)) {
+    return result;
+  }
+  if (src_seg == dst_seg) {
+    result.found = true;
+    result.segments = {src_seg};
+    return result;
+  }
+
+  std::vector<double> dist(net.num_segments(), kInf);
+  std::vector<SegmentId> prev(net.num_segments(), kInvalidSegment);
+  MinQueue queue;
+  dist[src_seg] = 0.0;
+  queue.push({0.0, src_seg});
+
+  while (!queue.empty()) {
+    const auto [d, s] = queue.top();
+    queue.pop();
+    if (d > dist[s]) continue;
+    if (s == dst_seg) break;
+    for (SegmentId nxt : net.Successors(s)) {
+      if (IsBlocked(blocked, nxt)) continue;
+      const double w = SegmentCost(net, costs, nxt);
+      if (dist[s] + w < dist[nxt]) {
+        dist[nxt] = dist[s] + w;
+        prev[nxt] = s;
+        queue.push({dist[nxt], nxt});
+      }
+    }
+  }
+
+  if (dist[dst_seg] == kInf) return result;
+  result.found = true;
+  result.cost = dist[dst_seg];
+  for (SegmentId s = dst_seg; s != kInvalidSegment; s = prev[s]) {
+    result.segments.push_back(s);
+  }
+  std::reverse(result.segments.begin(), result.segments.end());
+  return result;
+}
+
+ShortestPathEngine::SegmentSearchTree ShortestPathEngine::SegmentSearch(
+    SegmentId src_seg, std::span<const double> costs,
+    const std::vector<uint8_t>* blocked, double max_cost) const {
+  const RoadNetwork& net = *network_;
+  CAUSALTAD_CHECK(costs.empty() ||
+                  static_cast<int64_t>(costs.size()) == net.num_segments());
+  SegmentSearchTree tree;
+  tree.source = src_seg;
+  tree.dist.assign(net.num_segments(), kInf);
+  tree.prev.assign(net.num_segments(), kInvalidSegment);
+  if (IsBlocked(blocked, src_seg)) return tree;
+
+  MinQueue queue;
+  tree.dist[src_seg] = 0.0;
+  queue.push({0.0, src_seg});
+  while (!queue.empty()) {
+    const auto [d, s] = queue.top();
+    queue.pop();
+    if (d > tree.dist[s]) continue;
+    if (max_cost > 0.0 && d > max_cost) continue;
+    for (SegmentId nxt : net.Successors(s)) {
+      if (IsBlocked(blocked, nxt)) continue;
+      const double w = SegmentCost(net, costs, nxt);
+      if (tree.dist[s] + w < tree.dist[nxt]) {
+        tree.dist[nxt] = tree.dist[s] + w;
+        tree.prev[nxt] = s;
+        queue.push({tree.dist[nxt], nxt});
+      }
+    }
+  }
+  return tree;
+}
+
+std::vector<SegmentId> ShortestPathEngine::ReconstructPath(
+    const SegmentSearchTree& tree, SegmentId dst) {
+  std::vector<SegmentId> path;
+  if (dst < 0 || dst >= static_cast<SegmentId>(tree.dist.size()) ||
+      tree.dist[dst] == kInf) {
+    return path;
+  }
+  for (SegmentId s = dst; s != kInvalidSegment; s = tree.prev[s]) {
+    path.push_back(s);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+int64_t ShortestPathEngine::HopDistance(NodeId src, NodeId dst) const {
+  const RouteResult r = NodeToNode(src, dst);
+  if (!r.found) return -1;
+  return static_cast<int64_t>(r.segments.size());
+}
+
+}  // namespace roadnet
+}  // namespace causaltad

@@ -1,0 +1,78 @@
+#ifndef CAUSALTAD_ROADNET_SHORTEST_PATH_H_
+#define CAUSALTAD_ROADNET_SHORTEST_PATH_H_
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "roadnet/road_network.h"
+
+namespace causaltad {
+namespace roadnet {
+
+/// A shortest-path answer: the segment sequence and its total cost.
+struct RouteResult {
+  bool found = false;
+  double cost = 0.0;
+  std::vector<SegmentId> segments;
+};
+
+/// Dijkstra over a road network with per-segment costs and an optional
+/// blocked-segment overlay.
+///
+/// Two query shapes are provided:
+///  * NodeToNode       — classic node-based route planning.
+///  * SegmentToSegment — path in the *segment graph* (states are segments,
+///    transitions follow RoadNetwork::Successors). This is what the paper's
+///    Detour generator needs: reroute from t_i to t_j after temporarily
+///    deleting t_k from the network (§VI-A2).
+///
+/// Costs: if `costs` is empty, segment lengths are used; otherwise
+/// costs.size() must equal num_segments(). Blocked: optional bitmap of size
+/// num_segments(); blocked segments are never traversed.
+class ShortestPathEngine {
+ public:
+  explicit ShortestPathEngine(const RoadNetwork* network);
+
+  RouteResult NodeToNode(NodeId src, NodeId dst,
+                         std::span<const double> costs = {},
+                         const std::vector<uint8_t>* blocked = nullptr) const;
+
+  /// Shortest segment path starting at `src_seg` (whose own cost is not
+  /// counted — it has already been traversed) and ending at `dst_seg`.
+  RouteResult SegmentToSegment(SegmentId src_seg, SegmentId dst_seg,
+                               std::span<const double> costs = {},
+                               const std::vector<uint8_t>* blocked =
+                                   nullptr) const;
+
+  /// Hop count (number of segments) of the length-optimal node path, or -1
+  /// if unreachable. Used by trip generation to enforce minimum trip length.
+  int64_t HopDistance(NodeId src, NodeId dst) const;
+
+  /// A full single-source search tree in the segment graph.
+  struct SegmentSearchTree {
+    SegmentId source = kInvalidSegment;
+    std::vector<double> dist;      // +inf where unreachable
+    std::vector<SegmentId> prev;   // kInvalidSegment at the source/unreached
+  };
+
+  /// Dijkstra from `src_seg` to every segment (cost of src_seg itself not
+  /// counted). `max_cost` (if > 0) prunes the search beyond that radius.
+  SegmentSearchTree SegmentSearch(SegmentId src_seg,
+                                  std::span<const double> costs = {},
+                                  const std::vector<uint8_t>* blocked = nullptr,
+                                  double max_cost = -1.0) const;
+
+  /// Reconstructs the path source..dst from a search tree; empty when dst is
+  /// unreachable.
+  static std::vector<SegmentId> ReconstructPath(const SegmentSearchTree& tree,
+                                                SegmentId dst);
+
+ private:
+  const RoadNetwork* network_;
+};
+
+}  // namespace roadnet
+}  // namespace causaltad
+
+#endif  // CAUSALTAD_ROADNET_SHORTEST_PATH_H_

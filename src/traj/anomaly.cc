@@ -1,0 +1,171 @@
+#include "traj/anomaly.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace causaltad {
+namespace traj {
+namespace {
+
+// Samples an integer index in [lo_frac*n, hi_frac*n), clamped to [lo, hi].
+int64_t SampleIndex(int64_t n, double lo_frac, double hi_frac, int64_t lo,
+                    int64_t hi, util::Rng* rng) {
+  int64_t a = std::max<int64_t>(lo, static_cast<int64_t>(lo_frac * n));
+  int64_t b = std::min<int64_t>(hi, static_cast<int64_t>(hi_frac * n));
+  if (b < a) return -1;
+  return a + rng->UniformInt(b - a + 1);
+}
+
+// Generalized reroute cost: length / preference^gamma per segment.
+std::vector<double> RerouteCosts(const roadnet::RoadNetwork& network,
+                                 double gamma) {
+  std::vector<double> costs(network.num_segments());
+  for (int64_t s = 0; s < network.num_segments(); ++s) {
+    const roadnet::Segment& seg = network.segment(s);
+    costs[s] = seg.length_m / std::pow(seg.preference, gamma);
+  }
+  return costs;
+}
+
+}  // namespace
+
+AnomalyGenerator::AnomalyGenerator(const roadnet::RoadNetwork* network,
+                                   uint64_t seed)
+    : network_(network), engine_(network), rng_(seed) {
+  CAUSALTAD_CHECK(network != nullptr);
+}
+
+std::optional<Trip> AnomalyGenerator::MakeDetour(const Trip& base,
+                                                 const DetourConfig& config) {
+  const Route& route = base.route;
+  const int64_t n = route.size();
+  if (n < 8) return std::nullopt;
+  const double base_len = route.LengthMeters(*network_);
+  const std::vector<double> costs =
+      RerouteCosts(*network_, config.preference_gamma);
+
+  for (int attempt = 0; attempt < config.max_tries; ++attempt) {
+    const int64_t i =
+        SampleIndex(n, config.i_lo, config.i_hi, 0, n - 3, &rng_);
+    const int64_t j =
+        SampleIndex(n, config.j_lo, config.j_hi, i + 2, n - 1, &rng_);
+    if (i < 0 || j < 0 || j <= i + 1) continue;
+    const int64_t k = i + 1 + rng_.UniformInt(j - i - 1);
+
+    // Temporarily delete t_k (both directions of the road).
+    std::vector<uint8_t> blocked(network_->num_segments(), 0);
+    const roadnet::SegmentId tk = route.segments[k];
+    blocked[tk] = 1;
+    const roadnet::SegmentId twin = network_->segment(tk).reverse;
+    if (twin != roadnet::kInvalidSegment) blocked[twin] = 1;
+
+    const roadnet::RouteResult reroute = engine_.SegmentToSegment(
+        route.segments[i], route.segments[j], costs, &blocked);
+    if (!reroute.found) continue;
+
+    Route detoured;
+    detoured.segments.assign(route.segments.begin(),
+                             route.segments.begin() + i);
+    detoured.segments.insert(detoured.segments.end(),
+                             reroute.segments.begin(), reroute.segments.end());
+    detoured.segments.insert(detoured.segments.end(),
+                             route.segments.begin() + j + 1,
+                             route.segments.end());
+    if (detoured.segments == route.segments) continue;
+
+    const double extra =
+        (detoured.LengthMeters(*network_) - base_len) / base_len;
+    if (extra < config.min_extra_ratio || extra > config.max_extra_ratio) {
+      continue;
+    }
+    CAUSALTAD_DCHECK(detoured.IsValid(*network_));
+
+    Trip anomaly = base;
+    anomaly.route = std::move(detoured);
+    anomaly.anomaly = AnomalyKind::kDetour;
+    return anomaly;
+  }
+  return std::nullopt;
+}
+
+std::optional<Trip> AnomalyGenerator::MakeSwitch(
+    const Trip& base, std::span<const Route> same_sd_pool,
+    const SwitchConfig& config) {
+  const Route& route = base.route;
+  const int64_t n = route.size();
+  if (n < 6 || same_sd_pool.empty()) return std::nullopt;
+  const double base_len = route.LengthMeters(*network_);
+  const std::vector<double> costs =
+      RerouteCosts(*network_, config.preference_gamma);
+
+  // Rank pool candidates by similarity; prefer those under the threshold,
+  // falling back to the least similar one (as in the paper: "sample a
+  // trajectory from those with a low similarity score").
+  std::vector<std::pair<double, size_t>> ranked;
+  for (size_t idx = 0; idx < same_sd_pool.size(); ++idx) {
+    if (same_sd_pool[idx].segments == route.segments) continue;
+    ranked.push_back({RouteJaccard(route, same_sd_pool[idx]), idx});
+  }
+  if (ranked.empty()) return std::nullopt;
+  std::sort(ranked.begin(), ranked.end());
+  size_t num_eligible = 0;
+  while (num_eligible < ranked.size() &&
+         ranked[num_eligible].first <= config.max_similarity) {
+    ++num_eligible;
+  }
+  if (num_eligible == 0) num_eligible = 1;
+
+  for (int attempt = 0; attempt < config.max_tries; ++attempt) {
+    const Route& alt =
+        same_sd_pool[ranked[rng_.UniformInt(num_eligible)].second];
+    const int64_t m =
+        SampleIndex(n, config.switch_lo, config.switch_hi, 1, n - 2, &rng_);
+    if (m < 0) continue;
+
+    // Connect the abandoned prefix to the alternative route: search from
+    // t_m and join alt at the cheapest segment in its latter portion.
+    const auto tree = engine_.SegmentSearch(route.segments[m], costs);
+    const int64_t alt_n = alt.size();
+    int64_t best_q = -1;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (int64_t q = alt_n / 3; q < alt_n; ++q) {
+      const double c = tree.dist[alt.segments[q]];
+      if (c < best_cost) {
+        best_cost = c;
+        best_q = q;
+      }
+    }
+    if (best_q < 0 ||
+        best_cost == std::numeric_limits<double>::infinity()) {
+      continue;
+    }
+
+    const std::vector<roadnet::SegmentId> connector =
+        roadnet::ShortestPathEngine::ReconstructPath(tree,
+                                                     alt.segments[best_q]);
+    Route switched;
+    switched.segments.assign(route.segments.begin(),
+                             route.segments.begin() + m);
+    switched.segments.insert(switched.segments.end(), connector.begin(),
+                             connector.end());
+    switched.segments.insert(switched.segments.end(),
+                             alt.segments.begin() + best_q + 1,
+                             alt.segments.end());
+    if (switched.segments == route.segments) continue;
+    const double len = switched.LengthMeters(*network_);
+    if (len > config.max_length_ratio * base_len) continue;
+    CAUSALTAD_DCHECK(switched.IsValid(*network_));
+
+    Trip anomaly = base;
+    anomaly.route = std::move(switched);
+    anomaly.anomaly = AnomalyKind::kSwitch;
+    return anomaly;
+  }
+  return std::nullopt;
+}
+
+}  // namespace traj
+}  // namespace causaltad

@@ -1,0 +1,88 @@
+#ifndef CAUSALTAD_TRAJ_ANOMALY_H_
+#define CAUSALTAD_TRAJ_ANOMALY_H_
+
+#include <optional>
+#include <span>
+
+#include "roadnet/road_network.h"
+#include "roadnet/shortest_path.h"
+#include "traj/trajectory.h"
+#include "util/random.h"
+
+namespace causaltad {
+namespace traj {
+
+/// Parameters of the Detour anomaly generator (paper §VI-A2).
+struct DetourConfig {
+  /// Accept a detour only if it lengthens the whole route by a ratio within
+  /// this window (relative to the original route length). The window is kept
+  /// modest so detours are not trivially detectable by length alone.
+  double min_extra_ratio = 0.10;
+  double max_extra_ratio = 0.45;
+  /// Exponent on segment preference in the reroute cost
+  /// (length / preference^gamma). The paper reroutes with Dijkstra on the
+  /// real network, where shortest paths are still plausible streets; on the
+  /// synthetic grid a pure-length reroute would single out never-driven
+  /// alleys and make detours trivially detectable by token rarity, so the
+  /// reroute mimics a real driver's generalized cost instead.
+  double preference_gamma = 1.0;
+  /// The anchor indexes i < k < j are sampled from these fractional ranges,
+  /// placing detours mid-trip (matching the paper's online evaluation, where
+  /// anomalies mostly occur in the middle of trajectories).
+  double i_lo = 0.15;
+  double i_hi = 0.45;
+  double j_lo = 0.55;
+  double j_hi = 0.90;
+  int max_tries = 60;
+};
+
+/// Parameters of the Switch anomaly generator (paper §VI-A2).
+struct SwitchConfig {
+  /// Prefer alternatives whose Jaccard similarity with the base route is at
+  /// most this; if none qualifies the least-similar candidate is used.
+  double max_similarity = 0.5;
+  /// Fractional position on the base route where the driver switches.
+  double switch_lo = 0.30;
+  double switch_hi = 0.60;
+  /// Reject results longer than this multiple of the base route (keeps the
+  /// synthetic anomaly a plausible trajectory rather than a tour).
+  double max_length_ratio = 2.5;
+  /// Reroute-cost preference exponent for the connector path (see
+  /// DetourConfig::preference_gamma).
+  double preference_gamma = 1.0;
+  int max_tries = 30;
+};
+
+/// Implements the paper's two anomaly-generation strategies on road-network
+/// trajectories:
+///
+///  * Detour — pick 1 <= i < k < j <= n, temporarily delete segment t_k from
+///    the network, replace <t_i..t_j> with the Dijkstra shortest path from
+///    t_i to t_j, retry (i, k, j) until the added distance is "appropriate".
+///  * Switch — pick an alternative route t' of the same SD pair with low
+///    Jaccard similarity, follow the base route up to a switch point, then
+///    connect to t' with a shortest path and follow t' to the destination.
+class AnomalyGenerator {
+ public:
+  AnomalyGenerator(const roadnet::RoadNetwork* network, uint64_t seed);
+
+  /// Builds a detour variant of `base`; nullopt if no acceptable detour was
+  /// found within max_tries (short routes, or nothing to reroute around).
+  std::optional<Trip> MakeDetour(const Trip& base, const DetourConfig& config);
+
+  /// Builds a switch variant of `base` given a pool of routes with the same
+  /// SD pair; nullopt if the pool is empty or no valid switch was found.
+  std::optional<Trip> MakeSwitch(const Trip& base,
+                                 std::span<const Route> same_sd_pool,
+                                 const SwitchConfig& config);
+
+ private:
+  const roadnet::RoadNetwork* network_;
+  roadnet::ShortestPathEngine engine_;
+  util::Rng rng_;
+};
+
+}  // namespace traj
+}  // namespace causaltad
+
+#endif  // CAUSALTAD_TRAJ_ANOMALY_H_

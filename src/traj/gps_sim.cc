@@ -1,0 +1,47 @@
+#include "traj/gps_sim.h"
+
+#include "geo/geo.h"
+#include "util/logging.h"
+
+namespace causaltad {
+namespace traj {
+
+GpsTrace SimulateGps(const roadnet::RoadNetwork& network, const Route& route,
+                     const GpsSimConfig& config, util::Rng* rng) {
+  CAUSALTAD_CHECK(rng != nullptr);
+  CAUSALTAD_CHECK(!route.empty());
+  const geo::LocalProjection proj(network.node(
+      network.segment(route.segments.front()).from).pos);
+
+  GpsTrace trace;
+  double clock_s = 0.0;
+  double next_fix_s = 0.0;
+  for (const roadnet::SegmentId sid : route.segments) {
+    const roadnet::Segment& seg = network.segment(sid);
+    const geo::Vec2 a = proj.Project(network.node(seg.from).pos);
+    const geo::Vec2 b = proj.Project(network.node(seg.to).pos);
+    const double speed =
+        std::max(1.0, seg.speed_mps * config.speed_factor);
+    const double duration = seg.length_m / speed;
+    // Emit every fix falling inside this segment's time window.
+    while (next_fix_s < clock_s + duration) {
+      const double t = (next_fix_s - clock_s) / duration;
+      geo::Vec2 p = a + (b - a) * t;
+      p.x += rng->Gaussian(0, config.noise_sigma_m);
+      p.y += rng->Gaussian(0, config.noise_sigma_m);
+      trace.points.push_back({proj.Unproject(p), next_fix_s});
+      next_fix_s += config.interval_s;
+    }
+    clock_s += duration;
+  }
+  // Always emit a final fix at the destination.
+  const roadnet::Segment& last = network.segment(route.segments.back());
+  geo::Vec2 end = proj.Project(network.node(last.to).pos);
+  end.x += rng->Gaussian(0, config.noise_sigma_m);
+  end.y += rng->Gaussian(0, config.noise_sigma_m);
+  trace.points.push_back({proj.Unproject(end), clock_s});
+  return trace;
+}
+
+}  // namespace traj
+}  // namespace causaltad

@@ -1,0 +1,31 @@
+#ifndef CAUSALTAD_TRAJ_GPS_SIM_H_
+#define CAUSALTAD_TRAJ_GPS_SIM_H_
+
+#include "roadnet/road_network.h"
+#include "traj/trajectory.h"
+#include "util/random.h"
+
+namespace causaltad {
+namespace traj {
+
+/// GPS sampling model for the simulator.
+struct GpsSimConfig {
+  /// Fix interval in seconds.
+  double interval_s = 5.0;
+  /// Isotropic Gaussian position noise (meters).
+  double noise_sigma_m = 15.0;
+  /// Multiplier on segment speeds (traffic slack).
+  double speed_factor = 1.0;
+};
+
+/// Simulates the GPS trace a vehicle driving `route` would emit: constant
+/// speed per segment (segment speed × speed_factor), one fix every
+/// interval_s, Gaussian position noise. Substitutes for the real GPS data
+/// feeding the paper's map-matching preprocessing step.
+GpsTrace SimulateGps(const roadnet::RoadNetwork& network, const Route& route,
+                     const GpsSimConfig& config, util::Rng* rng);
+
+}  // namespace traj
+}  // namespace causaltad
+
+#endif  // CAUSALTAD_TRAJ_GPS_SIM_H_

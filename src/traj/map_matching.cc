@@ -1,0 +1,222 @@
+#include "traj/map_matching.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace causaltad {
+namespace traj {
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+}
+
+HmmMapMatcher::HmmMapMatcher(const roadnet::RoadNetwork* network,
+                             const MapMatcherConfig& config)
+    : network_(network),
+      config_(config),
+      engine_(network),
+      proj_(network->num_nodes() > 0 ? network->node(0).pos
+                                     : geo::LatLon{0, 0}) {
+  CAUSALTAD_CHECK(network != nullptr);
+  CAUSALTAD_CHECK_GT(network->num_segments(), 0);
+
+  // Project all segment endpoints and compute the bounding box.
+  const int64_t m = network->num_segments();
+  seg_a_.resize(m);
+  seg_b_.resize(m);
+  min_x_ = min_y_ = std::numeric_limits<double>::infinity();
+  double max_x = -min_x_, max_y = -min_y_;
+  for (int64_t s = 0; s < m; ++s) {
+    const roadnet::Segment& seg = network->segment(s);
+    seg_a_[s] = proj_.Project(network->node(seg.from).pos);
+    seg_b_[s] = proj_.Project(network->node(seg.to).pos);
+    min_x_ = std::min({min_x_, seg_a_[s].x, seg_b_[s].x});
+    min_y_ = std::min({min_y_, seg_a_[s].y, seg_b_[s].y});
+    max_x = std::max({max_x, seg_a_[s].x, seg_b_[s].x});
+    max_y = std::max({max_y, seg_a_[s].y, seg_b_[s].y});
+  }
+
+  cell_size_m_ = std::max(50.0, config_.candidate_radius_m);
+  nx_ = std::max(1, static_cast<int>((max_x - min_x_) / cell_size_m_) + 1);
+  ny_ = std::max(1, static_cast<int>((max_y - min_y_) / cell_size_m_) + 1);
+  cells_.assign(static_cast<size_t>(nx_) * ny_, {});
+
+  auto cell_of = [this](double x, double y) {
+    int cx = std::clamp(static_cast<int>((x - min_x_) / cell_size_m_), 0,
+                        nx_ - 1);
+    int cy = std::clamp(static_cast<int>((y - min_y_) / cell_size_m_), 0,
+                        ny_ - 1);
+    return std::pair<int, int>{cx, cy};
+  };
+  for (int64_t s = 0; s < m; ++s) {
+    const auto [ax, ay] = cell_of(seg_a_[s].x, seg_a_[s].y);
+    const auto [bx, by] = cell_of(seg_b_[s].x, seg_b_[s].y);
+    for (int cx = std::min(ax, bx); cx <= std::max(ax, bx); ++cx) {
+      for (int cy = std::min(ay, by); cy <= std::max(ay, by); ++cy) {
+        cells_[static_cast<size_t>(cy) * nx_ + cx].push_back(
+            static_cast<roadnet::SegmentId>(s));
+      }
+    }
+  }
+}
+
+double HmmMapMatcher::SegmentDistanceMeters(const geo::LatLon& p,
+                                            roadnet::SegmentId seg) const {
+  const geo::Vec2 q = proj_.Project(p);
+  return geo::PointSegmentDistance(q, seg_a_[seg], seg_b_[seg]);
+}
+
+std::vector<roadnet::SegmentId> HmmMapMatcher::Candidates(
+    const geo::LatLon& p) const {
+  const geo::Vec2 q = proj_.Project(p);
+  const int cx0 = std::clamp(
+      static_cast<int>((q.x - config_.candidate_radius_m - min_x_) /
+                       cell_size_m_),
+      0, nx_ - 1);
+  const int cx1 = std::clamp(
+      static_cast<int>((q.x + config_.candidate_radius_m - min_x_) /
+                       cell_size_m_),
+      0, nx_ - 1);
+  const int cy0 = std::clamp(
+      static_cast<int>((q.y - config_.candidate_radius_m - min_y_) /
+                       cell_size_m_),
+      0, ny_ - 1);
+  const int cy1 = std::clamp(
+      static_cast<int>((q.y + config_.candidate_radius_m - min_y_) /
+                       cell_size_m_),
+      0, ny_ - 1);
+
+  std::vector<std::pair<double, roadnet::SegmentId>> found;
+  for (int cy = cy0; cy <= cy1; ++cy) {
+    for (int cx = cx0; cx <= cx1; ++cx) {
+      for (roadnet::SegmentId s : cells_[static_cast<size_t>(cy) * nx_ + cx]) {
+        const double d = geo::PointSegmentDistance(q, seg_a_[s], seg_b_[s]);
+        if (d <= config_.candidate_radius_m) found.push_back({d, s});
+      }
+    }
+  }
+  std::sort(found.begin(), found.end());
+  found.erase(std::unique(found.begin(), found.end()), found.end());
+  std::vector<roadnet::SegmentId> out;
+  for (const auto& [d, s] : found) {
+    if (static_cast<int>(out.size()) >= config_.max_candidates) break;
+    if (std::find(out.begin(), out.end(), s) == out.end()) out.push_back(s);
+  }
+  return out;
+}
+
+util::StatusOr<Route> HmmMapMatcher::Match(const GpsTrace& trace) const {
+  if (trace.points.empty()) {
+    return util::Status::InvalidArgument("empty GPS trace");
+  }
+
+  // Candidate sets per fix; fixes with no candidates are dropped.
+  std::vector<std::vector<roadnet::SegmentId>> cands;
+  std::vector<const GpsPoint*> fixes;
+  for (const GpsPoint& pt : trace.points) {
+    auto c = Candidates(pt.pos);
+    if (!c.empty()) {
+      cands.push_back(std::move(c));
+      fixes.push_back(&pt);
+    }
+  }
+  if (cands.empty()) {
+    return util::Status::NotFound("no fix has candidate segments");
+  }
+
+  // Viterbi.
+  const size_t num_steps = cands.size();
+  std::vector<std::vector<double>> score(num_steps);
+  std::vector<std::vector<int>> back(num_steps);
+  auto emission = [this](const GpsPoint& pt, roadnet::SegmentId s) {
+    const double d = SegmentDistanceMeters(pt.pos, s);
+    const double z = d / config_.gps_sigma_m;
+    return -0.5 * z * z;
+  };
+  score[0].resize(cands[0].size());
+  back[0].assign(cands[0].size(), -1);
+  for (size_t a = 0; a < cands[0].size(); ++a) {
+    score[0][a] = emission(*fixes[0], cands[0][a]);
+  }
+
+  for (size_t step = 1; step < num_steps; ++step) {
+    const double gps_disp =
+        geo::HaversineMeters(fixes[step - 1]->pos, fixes[step]->pos);
+    const double search_radius =
+        std::max(500.0, config_.search_radius_factor * (gps_disp + 50.0));
+    score[step].assign(cands[step].size(), kNegInf);
+    back[step].assign(cands[step].size(), -1);
+    // One bounded network search per previous candidate.
+    for (size_t a = 0; a < cands[step - 1].size(); ++a) {
+      if (score[step - 1][a] == kNegInf) continue;
+      const auto tree =
+          engine_.SegmentSearch(cands[step - 1][a], /*costs=*/{},
+                                /*blocked=*/nullptr, search_radius);
+      for (size_t b = 0; b < cands[step].size(); ++b) {
+        const roadnet::SegmentId sb = cands[step][b];
+        double net_dist = tree.dist[sb];
+        if (net_dist == std::numeric_limits<double>::infinity()) continue;
+        const double trans =
+            -std::abs(net_dist - gps_disp) / config_.transition_beta_m;
+        const double cand_score =
+            score[step - 1][a] + trans + emission(*fixes[step], sb);
+        if (cand_score > score[step][b]) {
+          score[step][b] = cand_score;
+          back[step][b] = static_cast<int>(a);
+        }
+      }
+    }
+    // If every transition was pruned (GPS gap), restart the chain here.
+    bool any = false;
+    for (double v : score[step]) any |= (v != kNegInf);
+    if (!any) {
+      for (size_t b = 0; b < cands[step].size(); ++b) {
+        score[step][b] = emission(*fixes[step], cands[step][b]);
+        back[step][b] = -1;
+      }
+    }
+  }
+
+  // Backtrack chosen segments.
+  std::vector<roadnet::SegmentId> chosen(num_steps);
+  int best = 0;
+  for (size_t b = 1; b < score.back().size(); ++b) {
+    if (score.back()[b] > score.back()[best]) best = static_cast<int>(b);
+  }
+  for (size_t step = num_steps; step-- > 0;) {
+    chosen[step] = cands[step][best];
+    best = back[step][best];
+    if (best < 0 && step > 0) {
+      // Chain restart: greedily pick the best-scoring candidate upstream.
+      best = 0;
+      for (size_t b = 1; b < score[step - 1].size(); ++b) {
+        if (score[step - 1][b] > score[step - 1][best]) {
+          best = static_cast<int>(b);
+        }
+      }
+    }
+  }
+
+  // Stitch consecutive chosen segments into a valid route.
+  Route route;
+  route.segments.push_back(chosen[0]);
+  for (size_t step = 1; step < num_steps; ++step) {
+    const roadnet::SegmentId prev_seg = route.segments.back();
+    const roadnet::SegmentId next_seg = chosen[step];
+    if (next_seg == prev_seg) continue;
+    const roadnet::RouteResult gap =
+        engine_.SegmentToSegment(prev_seg, next_seg);
+    if (!gap.found) {
+      return util::Status::NotFound("cannot stitch matched segments");
+    }
+    route.segments.insert(route.segments.end(), gap.segments.begin() + 1,
+                          gap.segments.end());
+  }
+  CAUSALTAD_DCHECK(route.IsValid(*network_));
+  return route;
+}
+
+}  // namespace traj
+}  // namespace causaltad

@@ -1,0 +1,70 @@
+#ifndef CAUSALTAD_TRAJ_MAP_MATCHING_H_
+#define CAUSALTAD_TRAJ_MAP_MATCHING_H_
+
+#include <vector>
+
+#include "geo/geo.h"
+#include "roadnet/road_network.h"
+#include "roadnet/shortest_path.h"
+#include "traj/trajectory.h"
+#include "util/status.h"
+
+namespace causaltad {
+namespace traj {
+
+/// HMM map-matcher parameters (Newson–Krumm style).
+struct MapMatcherConfig {
+  /// GPS noise scale for the Gaussian emission model (meters).
+  double gps_sigma_m = 20.0;
+  /// Candidate segments are those within this radius of a fix (meters).
+  double candidate_radius_m = 80.0;
+  /// Scale of the exponential transition model over
+  /// |network_distance - great_circle_distance| (meters).
+  double transition_beta_m = 60.0;
+  /// Maximum candidates kept per fix (nearest first).
+  int max_candidates = 8;
+  /// Network-distance search radius multiplier (times the GPS displacement)
+  /// when evaluating transitions.
+  double search_radius_factor = 6.0;
+};
+
+/// Viterbi HMM map matcher: emission = Gaussian on point-to-segment
+/// distance, transition = exponential on the difference between network
+/// travel distance and great-circle displacement. Gaps between consecutive
+/// chosen segments are stitched with shortest paths, so the output is a
+/// valid map-matched trajectory (Definition 2 of the paper).
+class HmmMapMatcher {
+ public:
+  HmmMapMatcher(const roadnet::RoadNetwork* network,
+                const MapMatcherConfig& config);
+
+  /// Matches a GPS trace to a route. Fails (Status) when the trace is empty,
+  /// no fix has candidate segments, or the Viterbi path cannot be stitched.
+  util::StatusOr<Route> Match(const GpsTrace& trace) const;
+
+  /// Candidate segments within the configured radius of `p`, nearest first.
+  std::vector<roadnet::SegmentId> Candidates(const geo::LatLon& p) const;
+
+ private:
+  struct CellIndex;
+
+  double SegmentDistanceMeters(const geo::LatLon& p,
+                               roadnet::SegmentId seg) const;
+
+  const roadnet::RoadNetwork* network_;
+  MapMatcherConfig config_;
+  roadnet::ShortestPathEngine engine_;
+  geo::LocalProjection proj_;
+  // Uniform-grid spatial index over segment bounding boxes.
+  double cell_size_m_;
+  double min_x_, min_y_;
+  int nx_ = 0, ny_ = 0;
+  std::vector<std::vector<roadnet::SegmentId>> cells_;
+  // Projected segment endpoints, by segment id.
+  std::vector<geo::Vec2> seg_a_, seg_b_;
+};
+
+}  // namespace traj
+}  // namespace causaltad
+
+#endif  // CAUSALTAD_TRAJ_MAP_MATCHING_H_

@@ -1,0 +1,67 @@
+#include "traj/router.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace causaltad {
+namespace traj {
+
+PreferenceRouter::PreferenceRouter(const roadnet::City* city,
+                                   const RouterConfig& config)
+    : city_(city), config_(config), engine_(&city->network) {
+  CAUSALTAD_CHECK(city != nullptr);
+  offpeak_costs_ = BaseCosts(/*time_slot=*/0);
+  rush_costs_ = BaseCosts(/*time_slot=*/2);
+}
+
+bool PreferenceRouter::IsRushSlot(int slot) {
+  return slot == 2 || slot == 3 || slot == 6 || slot == 7;
+}
+
+std::vector<double> PreferenceRouter::BaseCosts(int time_slot) const {
+  const roadnet::RoadNetwork& net = city_->network;
+  std::vector<double> costs(net.num_segments());
+  const bool rush = IsRushSlot(time_slot);
+  for (int64_t s = 0; s < net.num_segments(); ++s) {
+    const roadnet::Segment& seg = net.segment(s);
+    double cost =
+        seg.length_m / std::pow(seg.preference, config_.preference_gamma);
+    if (rush && seg.road_class == roadnet::RoadClass::kArterial) {
+      cost *= 1.0 + config_.rush_arterial_penalty;
+    }
+    costs[s] = cost;
+  }
+  return costs;
+}
+
+Route PreferenceRouter::Sample(roadnet::NodeId src, roadnet::NodeId dst,
+                               int time_slot, util::Rng* rng) const {
+  CAUSALTAD_CHECK(rng != nullptr);
+  const std::vector<double>& base =
+      IsRushSlot(time_slot) ? rush_costs_ : offpeak_costs_;
+  const double sigma = rng->Bernoulli(config_.explore_prob)
+                           ? config_.explore_sigma
+                           : config_.noise_sigma;
+  std::vector<double> costs(base.size());
+  for (size_t i = 0; i < base.size(); ++i) {
+    costs[i] = base[i] * std::exp(rng->Gaussian(0, sigma));
+  }
+  roadnet::RouteResult r = engine_.NodeToNode(src, dst, costs);
+  Route route;
+  if (r.found) route.segments = std::move(r.segments);
+  return route;
+}
+
+Route PreferenceRouter::Best(roadnet::NodeId src, roadnet::NodeId dst,
+                             int time_slot) const {
+  const std::vector<double>& base =
+      IsRushSlot(time_slot) ? rush_costs_ : offpeak_costs_;
+  roadnet::RouteResult r = engine_.NodeToNode(src, dst, base);
+  Route route;
+  if (r.found) route.segments = std::move(r.segments);
+  return route;
+}
+
+}  // namespace traj
+}  // namespace causaltad

@@ -1,0 +1,77 @@
+#ifndef CAUSALTAD_TRAJ_ROUTER_H_
+#define CAUSALTAD_TRAJ_ROUTER_H_
+
+#include <vector>
+
+#include "roadnet/grid_city.h"
+#include "roadnet/shortest_path.h"
+#include "traj/trajectory.h"
+#include "util/random.h"
+
+namespace causaltad {
+namespace traj {
+
+/// Route-choice model parameters. The router implements the causal edges
+/// C → T and E → T of the paper's Fig. 2(a): the trip must connect the SD
+/// pair (C → T), but among feasible routes drivers prefer high-preference
+/// segments (E → T), with per-trip random-utility noise producing a
+/// realistic diversity of "normal" routes per SD pair.
+struct RouterConfig {
+  /// Exponent on segment preference in the generalized cost
+  /// length / preference^gamma. Higher = stronger road-preference confound.
+  double preference_gamma = 1.6;
+  /// Lognormal sigma of per-trip, per-segment cost perturbation for typical
+  /// (corridor-following) trips.
+  double noise_sigma = 0.15;
+  /// Real taxi corpora show long-tailed route diversity per SD pair: most
+  /// trips follow the corridor, a minority take idiosyncratic routes
+  /// (driver knowledge, transient congestion). Each trip is an "explorer"
+  /// with this probability and then uses explore_sigma noise instead.
+  /// Explorers give the road network thin but broad coverage: most streets
+  /// are *seen* in training yet cold, which is the regime the paper's OOD
+  /// collapse of likelihood-based baselines lives in.
+  double explore_prob = 0.20;
+  double explore_sigma = 0.9;
+  /// Extra multiplicative cost on arterials during rush-hour slots, making
+  /// the environment mildly time-dependent (exercised by DeepTEA).
+  double rush_arterial_penalty = 0.35;
+};
+
+/// Samples routes from the preference-weighted random-utility model.
+class PreferenceRouter {
+ public:
+  PreferenceRouter(const roadnet::City* city, const RouterConfig& config);
+
+  /// Samples one route from `src` to `dst` departing in `time_slot`.
+  /// Returns an empty route if unreachable (cannot happen on a strongly
+  /// connected network).
+  Route Sample(roadnet::NodeId src, roadnet::NodeId dst, int time_slot,
+               util::Rng* rng) const;
+
+  /// The deterministic preference-optimal route (no noise), i.e. the modal
+  /// "normal" route for the SD pair.
+  Route Best(roadnet::NodeId src, roadnet::NodeId dst, int time_slot) const;
+
+  /// True if `slot` is a rush-hour slot (slots 2,3 and 6,7 of 8 by default:
+  /// morning and evening peaks).
+  static bool IsRushSlot(int slot);
+
+  const RouterConfig& config() const { return config_; }
+
+ private:
+  /// Deterministic per-segment generalized cost for a time slot.
+  std::vector<double> BaseCosts(int time_slot) const;
+
+  const roadnet::City* city_;
+  RouterConfig config_;
+  roadnet::ShortestPathEngine engine_;
+  // Cached per-slot base costs (built lazily would need sync; small, so
+  // built eagerly for the two regimes: rush / off-peak).
+  std::vector<double> offpeak_costs_;
+  std::vector<double> rush_costs_;
+};
+
+}  // namespace traj
+}  // namespace causaltad
+
+#endif  // CAUSALTAD_TRAJ_ROUTER_H_

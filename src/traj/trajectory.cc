@@ -1,0 +1,53 @@
+#include "traj/trajectory.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace causaltad {
+namespace traj {
+
+bool Route::IsValid(const roadnet::RoadNetwork& network) const {
+  if (segments.empty()) return false;
+  for (const roadnet::SegmentId s : segments) {
+    if (s < 0 || s >= network.num_segments()) return false;
+  }
+  for (size_t i = 1; i < segments.size(); ++i) {
+    if (!network.IsSuccessor(segments[i - 1], segments[i])) return false;
+  }
+  return true;
+}
+
+double Route::LengthMeters(const roadnet::RoadNetwork& network) const {
+  double total = 0.0;
+  for (const roadnet::SegmentId s : segments) {
+    total += network.segment(s).length_m;
+  }
+  return total;
+}
+
+double RouteJaccard(const Route& a, const Route& b) {
+  std::unordered_set<roadnet::SegmentId> sa(a.segments.begin(),
+                                            a.segments.end());
+  std::unordered_set<roadnet::SegmentId> sb(b.segments.begin(),
+                                            b.segments.end());
+  if (sa.empty() && sb.empty()) return 1.0;
+  int64_t inter = 0;
+  for (const roadnet::SegmentId s : sa) inter += sb.count(s);
+  const int64_t uni = static_cast<int64_t>(sa.size() + sb.size()) - inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / uni;
+}
+
+const char* AnomalyKindName(AnomalyKind kind) {
+  switch (kind) {
+    case AnomalyKind::kNone:
+      return "none";
+    case AnomalyKind::kDetour:
+      return "detour";
+    case AnomalyKind::kSwitch:
+      return "switch";
+  }
+  return "unknown";
+}
+
+}  // namespace traj
+}  // namespace causaltad

@@ -1,0 +1,76 @@
+#ifndef CAUSALTAD_TRAJ_TRAJECTORY_H_
+#define CAUSALTAD_TRAJ_TRAJECTORY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/geo.h"
+#include "roadnet/road_network.h"
+
+namespace causaltad {
+namespace traj {
+
+/// A raw GPS point (Definition 1 in the paper): position plus timestamp.
+struct GpsPoint {
+  geo::LatLon pos;
+  double time_s = 0.0;
+};
+
+/// A raw GPS trace, the input to map matching.
+struct GpsTrace {
+  std::vector<GpsPoint> points;
+};
+
+/// A map-matched trajectory (Definition 2): an ordered sequence of road
+/// segments where consecutive segments are adjacent in the road network.
+struct Route {
+  std::vector<roadnet::SegmentId> segments;
+
+  bool empty() const { return segments.empty(); }
+  int64_t size() const { return static_cast<int64_t>(segments.size()); }
+  roadnet::SegmentId source() const { return segments.front(); }
+  roadnet::SegmentId destination() const { return segments.back(); }
+
+  /// True iff every consecutive pair is a successor pair in `network` (and
+  /// the route is non-empty).
+  bool IsValid(const roadnet::RoadNetwork& network) const;
+
+  /// Sum of segment lengths in meters.
+  double LengthMeters(const roadnet::RoadNetwork& network) const;
+};
+
+/// Jaccard similarity |a ∩ b| / |a ∪ b| over the *sets* of segments, the
+/// similarity the paper's Switch anomaly generator thresholds on.
+double RouteJaccard(const Route& a, const Route& b);
+
+/// The kind of synthetic anomaly injected into a trip, if any.
+enum class AnomalyKind : uint8_t {
+  kNone = 0,
+  kDetour = 1,
+  kSwitch = 2,
+};
+
+const char* AnomalyKindName(AnomalyKind kind);
+
+/// One ride-hailing trip: the map-matched route, its SD pair context, the
+/// departure time slot (used by the DeepTEA baseline), and ground truth.
+struct Trip {
+  Route route;
+  /// Source/destination *nodes* — the SD pair C is fixed when the order is
+  /// placed, before the route exists.
+  roadnet::NodeId source_node = roadnet::kInvalidNode;
+  roadnet::NodeId dest_node = roadnet::kInvalidNode;
+  /// Departure time-of-day slot in [0, num_slots).
+  int time_slot = 0;
+  /// Index into the experiment's candidate-pair table, or -1 for OOD trips
+  /// whose SD pair never occurs in training.
+  int32_t sd_pair_id = -1;
+  AnomalyKind anomaly = AnomalyKind::kNone;
+
+  bool is_anomaly() const { return anomaly != AnomalyKind::kNone; }
+};
+
+}  // namespace traj
+}  // namespace causaltad
+
+#endif  // CAUSALTAD_TRAJ_TRAJECTORY_H_

@@ -1,0 +1,107 @@
+#include "traj/trip_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "roadnet/shortest_path.h"
+#include "util/logging.h"
+
+namespace causaltad {
+namespace traj {
+
+TripGenerator::TripGenerator(const roadnet::City* city,
+                             const PreferenceRouter* router,
+                             const TripGeneratorConfig& config)
+    : city_(city), router_(router), config_(config), rng_(config.seed) {
+  CAUSALTAD_CHECK(city != nullptr);
+  CAUSALTAD_CHECK(router != nullptr);
+}
+
+roadnet::NodeId TripGenerator::SamplePopularNode() {
+  return static_cast<roadnet::NodeId>(
+      rng_.Categorical(city_->node_popularity));
+}
+
+bool TripGenerator::PairTooClose(roadnet::NodeId a, roadnet::NodeId b) {
+  if (a == b) return true;
+  const roadnet::ShortestPathEngine engine(&city_->network);
+  const int64_t hops = engine.HopDistance(a, b);
+  return hops < config_.min_hops;
+}
+
+std::vector<SdPair> TripGenerator::SampleCandidatePairs() {
+  std::set<std::pair<roadnet::NodeId, roadnet::NodeId>> seen;
+  std::vector<SdPair> pairs;
+  int attempts = 0;
+  const int max_attempts = config_.num_candidate_pairs * 200;
+  while (static_cast<int>(pairs.size()) < config_.num_candidate_pairs) {
+    CAUSALTAD_CHECK_LT(attempts++, max_attempts)
+        << "cannot find enough candidate SD pairs; relax min_hops";
+    const roadnet::NodeId s = SamplePopularNode();
+    const roadnet::NodeId d = SamplePopularNode();
+    if (PairTooClose(s, d)) continue;
+    if (!seen.insert({s, d}).second) continue;
+    pairs.push_back({s, d, 1.0});
+  }
+  // Zipf demand weights over a random permutation of the pairs.
+  const std::vector<int64_t> order =
+      rng_.Permutation(static_cast<int64_t>(pairs.size()));
+  for (size_t rank = 0; rank < order.size(); ++rank) {
+    pairs[order[rank]].weight =
+        1.0 / std::pow(static_cast<double>(rank + 1), config_.pair_zipf_s);
+  }
+  return pairs;
+}
+
+int TripGenerator::SampleTimeSlot() {
+  CAUSALTAD_CHECK_EQ(config_.num_time_slots, 8);
+  // Slots 2,3,6,7 are rush (see PreferenceRouter::IsRushSlot).
+  static constexpr int kRush[] = {2, 3, 6, 7};
+  static constexpr int kOff[] = {0, 1, 4, 5};
+  if (rng_.Bernoulli(config_.rush_prob)) {
+    return kRush[rng_.UniformInt(4)];
+  }
+  return kOff[rng_.UniformInt(4)];
+}
+
+Trip TripGenerator::GenerateTrip(const std::vector<SdPair>& pairs,
+                                 int32_t pair_id) {
+  CAUSALTAD_CHECK_GE(pair_id, 0);
+  CAUSALTAD_CHECK_LT(pair_id, static_cast<int32_t>(pairs.size()));
+  const SdPair& pair = pairs[pair_id];
+  Trip trip;
+  trip.source_node = pair.source;
+  trip.dest_node = pair.dest;
+  trip.time_slot = SampleTimeSlot();
+  trip.sd_pair_id = pair_id;
+  trip.route = router_->Sample(pair.source, pair.dest, trip.time_slot, &rng_);
+  CAUSALTAD_CHECK(!trip.route.empty());
+  return trip;
+}
+
+Trip TripGenerator::GenerateOodTrip(const std::vector<SdPair>& avoid) {
+  std::set<std::pair<roadnet::NodeId, roadnet::NodeId>> avoid_set;
+  for (const SdPair& p : avoid) avoid_set.insert({p.source, p.dest});
+  int attempts = 0;
+  while (true) {
+    CAUSALTAD_CHECK_LT(attempts++, 10000) << "cannot sample an OOD pair";
+    const roadnet::NodeId s =
+        static_cast<roadnet::NodeId>(rng_.UniformInt(city_->network.num_nodes()));
+    const roadnet::NodeId d =
+        static_cast<roadnet::NodeId>(rng_.UniformInt(city_->network.num_nodes()));
+    if (PairTooClose(s, d)) continue;
+    if (avoid_set.count({s, d})) continue;
+    Trip trip;
+    trip.source_node = s;
+    trip.dest_node = d;
+    trip.time_slot = SampleTimeSlot();
+    trip.sd_pair_id = -1;
+    trip.route = router_->Sample(s, d, trip.time_slot, &rng_);
+    CAUSALTAD_CHECK(!trip.route.empty());
+    return trip;
+  }
+}
+
+}  // namespace traj
+}  // namespace causaltad

@@ -1,0 +1,80 @@
+#ifndef CAUSALTAD_TRAJ_TRIP_GENERATOR_H_
+#define CAUSALTAD_TRAJ_TRIP_GENERATOR_H_
+
+#include <vector>
+
+#include "roadnet/grid_city.h"
+#include "traj/router.h"
+#include "traj/trajectory.h"
+#include "util/random.h"
+
+namespace causaltad {
+namespace traj {
+
+/// An SD pair of nodes, the conditioning context C of the paper.
+struct SdPair {
+  roadnet::NodeId source = roadnet::kInvalidNode;
+  roadnet::NodeId dest = roadnet::kInvalidNode;
+  /// Relative demand weight across candidate pairs (Zipf-skewed).
+  double weight = 1.0;
+};
+
+/// Configuration of the confounded trip generator. Mirrors the paper's data
+/// prep: pick `num_candidate_pairs` popular SD pairs, generate many trips
+/// per pair for training/ID testing, and sample fresh unseen pairs for the
+/// OOD test set.
+struct TripGeneratorConfig {
+  int num_candidate_pairs = 60;
+  /// Minimum hop distance (segments) between a pair's endpoints.
+  int min_hops = 10;
+  /// Zipf exponent over candidate pairs: demand concentrates on a few pairs,
+  /// which is what makes the confounding bias bite.
+  double pair_zipf_s = 1.0;
+  int num_time_slots = 8;
+  /// Probability a trip departs in a rush-hour slot.
+  double rush_prob = 0.45;
+  uint64_t seed = 1234;
+};
+
+/// Generates trips from the causal model of Fig. 2(a):
+///   E -> C : candidate SD pairs are sampled proportionally to POI-driven
+///            node popularity;
+///   C -> T and E -> T : routes come from the PreferenceRouter.
+/// OOD trips are drawn uniformly over nodes (min-hop constrained), so their
+/// SD pairs do not follow E -> C — exactly the distribution shift the paper
+/// evaluates.
+class TripGenerator {
+ public:
+  TripGenerator(const roadnet::City* city, const PreferenceRouter* router,
+                const TripGeneratorConfig& config);
+
+  /// Samples the candidate SD-pair table (deterministic given config seed).
+  /// Pairs are distinct, respect min_hops, and carry Zipf demand weights.
+  std::vector<SdPair> SampleCandidatePairs();
+
+  /// One trip for candidate pair `pair_id` of `pairs`.
+  Trip GenerateTrip(const std::vector<SdPair>& pairs, int32_t pair_id);
+
+  /// One trip whose SD pair is sampled uniformly (an OOD pair). `avoid`
+  /// lists pairs that must not be produced (the candidate pairs).
+  Trip GenerateOodTrip(const std::vector<SdPair>& avoid);
+
+  /// Samples a departure slot (rush-biased per config).
+  int SampleTimeSlot();
+
+  util::Rng* rng() { return &rng_; }
+
+ private:
+  roadnet::NodeId SamplePopularNode();
+  bool PairTooClose(roadnet::NodeId a, roadnet::NodeId b);
+
+  const roadnet::City* city_;
+  const PreferenceRouter* router_;
+  TripGeneratorConfig config_;
+  util::Rng rng_;
+};
+
+}  // namespace traj
+}  // namespace causaltad
+
+#endif  // CAUSALTAD_TRAJ_TRIP_GENERATOR_H_

@@ -1,0 +1,146 @@
+#include "traj/trip_io.h"
+
+#include <sstream>
+
+#include "util/binary_io.h"
+#include "util/csv.h"
+
+namespace causaltad {
+namespace traj {
+namespace {
+
+constexpr uint32_t kMagic = 0x7219CAFE;
+constexpr uint32_t kVersion = 1;
+
+util::Status ValidateTrip(const Trip& trip,
+                          const roadnet::RoadNetwork* network,
+                          size_t index) {
+  if (trip.route.empty()) {
+    return util::Status::InvalidArgument("trip " + std::to_string(index) +
+                                         " has an empty route");
+  }
+  if (network != nullptr && !trip.route.IsValid(*network)) {
+    return util::Status::InvalidArgument(
+        "trip " + std::to_string(index) +
+        " is not a valid route of the given network");
+  }
+  return util::Status::Ok();
+}
+
+std::string EncodeRoute(const Route& route) {
+  std::ostringstream out;
+  for (size_t i = 0; i < route.segments.size(); ++i) {
+    if (i) out << ' ';
+    out << route.segments[i];
+  }
+  return out.str();
+}
+
+util::StatusOr<Route> DecodeRoute(const std::string& text) {
+  Route route;
+  std::istringstream in(text);
+  long long value;
+  while (in >> value) {
+    route.segments.push_back(static_cast<roadnet::SegmentId>(value));
+  }
+  if (!in.eof()) return util::Status::InvalidArgument("bad route cell");
+  return route;
+}
+
+}  // namespace
+
+util::Status SaveTripsCsv(const std::string& path,
+                          const std::vector<Trip>& trips) {
+  util::CsvTable table;
+  table.header = {"source_node", "dest_node", "time_slot",
+                  "sd_pair_id",  "anomaly",   "route"};
+  table.rows.reserve(trips.size());
+  for (const Trip& trip : trips) {
+    table.rows.push_back({std::to_string(trip.source_node),
+                          std::to_string(trip.dest_node),
+                          std::to_string(trip.time_slot),
+                          std::to_string(trip.sd_pair_id),
+                          std::to_string(static_cast<int>(trip.anomaly)),
+                          EncodeRoute(trip.route)});
+  }
+  return util::WriteCsv(path, table);
+}
+
+util::StatusOr<std::vector<Trip>> LoadTripsCsv(
+    const std::string& path, const roadnet::RoadNetwork* network) {
+  auto table_or = util::ReadCsv(path);
+  if (!table_or.ok()) return table_or.status();
+  const util::CsvTable& table = *table_or;
+  if (table.header !=
+      std::vector<std::string>{"source_node", "dest_node", "time_slot",
+                               "sd_pair_id", "anomaly", "route"}) {
+    return util::Status::InvalidArgument("unexpected trip CSV header");
+  }
+  std::vector<Trip> trips;
+  trips.reserve(table.rows.size());
+  for (size_t i = 0; i < table.rows.size(); ++i) {
+    const auto& row = table.rows[i];
+    Trip trip;
+    trip.source_node = static_cast<roadnet::NodeId>(std::stol(row[0]));
+    trip.dest_node = static_cast<roadnet::NodeId>(std::stol(row[1]));
+    trip.time_slot = std::stoi(row[2]);
+    trip.sd_pair_id = static_cast<int32_t>(std::stol(row[3]));
+    const int kind = std::stoi(row[4]);
+    if (kind < 0 || kind > 2) {
+      return util::Status::InvalidArgument("bad anomaly kind");
+    }
+    trip.anomaly = static_cast<AnomalyKind>(kind);
+    auto route_or = DecodeRoute(row[5]);
+    if (!route_or.ok()) return route_or.status();
+    trip.route = std::move(*route_or);
+    CAUSALTAD_RETURN_IF_ERROR(ValidateTrip(trip, network, i));
+    trips.push_back(std::move(trip));
+  }
+  return trips;
+}
+
+util::Status SaveTripsBinary(const std::string& path,
+                             const std::vector<Trip>& trips) {
+  util::BinaryWriter writer(path, kMagic, kVersion);
+  if (!writer.ok()) return util::Status::IoError("cannot open " + path);
+  writer.WriteU64(trips.size());
+  for (const Trip& trip : trips) {
+    writer.WriteI64(trip.source_node);
+    writer.WriteI64(trip.dest_node);
+    writer.WriteI64(trip.time_slot);
+    writer.WriteI64(trip.sd_pair_id);
+    writer.WriteU32(static_cast<uint32_t>(trip.anomaly));
+    writer.WriteInts(std::vector<int32_t>(trip.route.segments.begin(),
+                                          trip.route.segments.end()));
+  }
+  return writer.Close();
+}
+
+util::StatusOr<std::vector<Trip>> LoadTripsBinary(
+    const std::string& path, const roadnet::RoadNetwork* network) {
+  util::BinaryReader reader(path, kMagic, kVersion);
+  if (!reader.ok()) return reader.status();
+  const uint64_t count = reader.ReadU64();
+  std::vector<Trip> trips;
+  trips.reserve(count);
+  for (uint64_t i = 0; i < count && reader.ok(); ++i) {
+    Trip trip;
+    trip.source_node = static_cast<roadnet::NodeId>(reader.ReadI64());
+    trip.dest_node = static_cast<roadnet::NodeId>(reader.ReadI64());
+    trip.time_slot = static_cast<int>(reader.ReadI64());
+    trip.sd_pair_id = static_cast<int32_t>(reader.ReadI64());
+    const uint32_t kind = reader.ReadU32();
+    if (kind > 2) return util::Status::InvalidArgument("bad anomaly kind");
+    trip.anomaly = static_cast<AnomalyKind>(kind);
+    const std::vector<int32_t> segments = reader.ReadInts();
+    trip.route.segments.assign(segments.begin(), segments.end());
+    if (!reader.ok()) break;
+    CAUSALTAD_RETURN_IF_ERROR(ValidateTrip(trip, network, i));
+    trips.push_back(std::move(trip));
+  }
+  if (!reader.ok()) return reader.status();
+  return trips;
+}
+
+}  // namespace traj
+}  // namespace causaltad

@@ -1,0 +1,39 @@
+#ifndef CAUSALTAD_TRAJ_TRIP_IO_H_
+#define CAUSALTAD_TRAJ_TRIP_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "roadnet/road_network.h"
+#include "traj/trajectory.h"
+#include "util/status.h"
+
+namespace causaltad {
+namespace traj {
+
+/// Persistence for trip corpora, so generated datasets can be inspected,
+/// shipped, or swapped for externally map-matched data.
+///
+/// Two formats:
+///  * CSV  — one row per trip: metadata columns plus the route as a
+///    space-separated segment-id list. Human-inspectable, diff-friendly.
+///  * Binary — compact length-prefixed records (util::BinaryWriter framing),
+///    ~5x smaller and faster; used for corpus caching.
+///
+/// Both round-trip every Trip field. Loading validates the route against
+/// `network` when one is supplied (segment ids in range, successor-valid).
+
+util::Status SaveTripsCsv(const std::string& path,
+                          const std::vector<Trip>& trips);
+util::StatusOr<std::vector<Trip>> LoadTripsCsv(
+    const std::string& path, const roadnet::RoadNetwork* network = nullptr);
+
+util::Status SaveTripsBinary(const std::string& path,
+                             const std::vector<Trip>& trips);
+util::StatusOr<std::vector<Trip>> LoadTripsBinary(
+    const std::string& path, const roadnet::RoadNetwork* network = nullptr);
+
+}  // namespace traj
+}  // namespace causaltad
+
+#endif  // CAUSALTAD_TRAJ_TRIP_IO_H_

@@ -1,0 +1,155 @@
+#include "util/binary_io.h"
+
+#include <limits>
+
+namespace causaltad {
+namespace util {
+namespace {
+constexpr uint64_t kMaxContainer = 1ULL << 32;  // sanity bound on lengths
+}
+
+BinaryWriter::BinaryWriter(const std::string& path, uint32_t magic,
+                           uint32_t version)
+    : out_(path, std::ios::binary | std::ios::trunc), path_(path) {
+  if (out_.good()) {
+    WriteU32(magic);
+    WriteU32(version);
+  }
+}
+
+void BinaryWriter::WriteRaw(const void* data, size_t n) {
+  out_.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
+}
+
+void BinaryWriter::WriteString(const std::string& s) {
+  WriteU64(s.size());
+  WriteRaw(s.data(), s.size());
+}
+
+void BinaryWriter::WriteFloats(const std::vector<float>& v) {
+  WriteU64(v.size());
+  WriteRaw(v.data(), v.size() * sizeof(float));
+}
+
+void BinaryWriter::WriteInts(const std::vector<int32_t>& v) {
+  WriteU64(v.size());
+  WriteRaw(v.data(), v.size() * sizeof(int32_t));
+}
+
+void BinaryWriter::WriteI64s(const std::vector<int64_t>& v) {
+  WriteU64(v.size());
+  WriteRaw(v.data(), v.size() * sizeof(int64_t));
+}
+
+Status BinaryWriter::Close() {
+  out_.flush();
+  if (!out_.good()) return Status::IoError("write failed for " + path_);
+  out_.close();
+  return Status::Ok();
+}
+
+BinaryReader::BinaryReader(const std::string& path, uint32_t magic,
+                           uint32_t expected_version)
+    : in_(path, std::ios::binary), path_(path) {
+  if (!in_.good()) {
+    Fail("cannot open");
+    return;
+  }
+  ok_ = true;
+  const uint32_t got_magic = ReadU32();
+  version_ = ReadU32();
+  if (!ok_) return;
+  if (got_magic != magic) {
+    Fail("bad magic");
+  } else if (version_ != expected_version) {
+    Fail("unsupported version");
+  }
+}
+
+void BinaryReader::ReadRaw(void* data, size_t n) {
+  if (!ok_) return;
+  in_.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+  if (!in_.good() && n > 0) Fail("truncated read");
+}
+
+void BinaryReader::Fail(const std::string& msg) {
+  ok_ = false;
+  status_ = Status::IoError(msg + " (" + path_ + ")");
+}
+
+uint32_t BinaryReader::ReadU32() {
+  uint32_t v = 0;
+  ReadRaw(&v, sizeof(v));
+  return v;
+}
+
+uint64_t BinaryReader::ReadU64() {
+  uint64_t v = 0;
+  ReadRaw(&v, sizeof(v));
+  return v;
+}
+
+int64_t BinaryReader::ReadI64() {
+  int64_t v = 0;
+  ReadRaw(&v, sizeof(v));
+  return v;
+}
+
+float BinaryReader::ReadF32() {
+  float v = 0;
+  ReadRaw(&v, sizeof(v));
+  return v;
+}
+
+double BinaryReader::ReadF64() {
+  double v = 0;
+  ReadRaw(&v, sizeof(v));
+  return v;
+}
+
+std::string BinaryReader::ReadString() {
+  const uint64_t n = ReadU64();
+  if (!ok_ || n > kMaxContainer) {
+    Fail("bad string length");
+    return "";
+  }
+  std::string s(n, '\0');
+  ReadRaw(s.data(), n);
+  return s;
+}
+
+std::vector<float> BinaryReader::ReadFloats() {
+  const uint64_t n = ReadU64();
+  if (!ok_ || n > kMaxContainer) {
+    Fail("bad vector length");
+    return {};
+  }
+  std::vector<float> v(n);
+  ReadRaw(v.data(), n * sizeof(float));
+  return v;
+}
+
+std::vector<int32_t> BinaryReader::ReadInts() {
+  const uint64_t n = ReadU64();
+  if (!ok_ || n > kMaxContainer) {
+    Fail("bad vector length");
+    return {};
+  }
+  std::vector<int32_t> v(n);
+  ReadRaw(v.data(), n * sizeof(int32_t));
+  return v;
+}
+
+std::vector<int64_t> BinaryReader::ReadI64s() {
+  const uint64_t n = ReadU64();
+  if (!ok_ || n > kMaxContainer) {
+    Fail("bad vector length");
+    return {};
+  }
+  std::vector<int64_t> v(n);
+  ReadRaw(v.data(), n * sizeof(int64_t));
+  return v;
+}
+
+}  // namespace util
+}  // namespace causaltad

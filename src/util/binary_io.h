@@ -1,0 +1,79 @@
+#ifndef CAUSALTAD_UTIL_BINARY_IO_H_
+#define CAUSALTAD_UTIL_BINARY_IO_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace causaltad {
+namespace util {
+
+/// Little-endian binary writer used for model checkpoints and cached corpora.
+/// Format primitives: fixed-width ints/floats, length-prefixed strings and
+/// vectors. All writers go through this class so checkpoints stay portable.
+class BinaryWriter {
+ public:
+  /// Opens `path` for truncating binary write and emits `magic` + `version`.
+  BinaryWriter(const std::string& path, uint32_t magic, uint32_t version);
+
+  bool ok() const { return out_.good(); }
+
+  void WriteU32(uint32_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteU64(uint64_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteI64(int64_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteF32(float v) { WriteRaw(&v, sizeof(v)); }
+  void WriteF64(double v) { WriteRaw(&v, sizeof(v)); }
+
+  void WriteString(const std::string& s);
+  void WriteFloats(const std::vector<float>& v);
+  void WriteInts(const std::vector<int32_t>& v);
+  void WriteI64s(const std::vector<int64_t>& v);
+
+  /// Flushes and reports any accumulated stream error.
+  Status Close();
+
+ private:
+  void WriteRaw(const void* data, size_t n);
+
+  std::ofstream out_;
+  std::string path_;
+};
+
+/// Reader counterpart of BinaryWriter; validates magic and version on open.
+class BinaryReader {
+ public:
+  BinaryReader(const std::string& path, uint32_t magic,
+               uint32_t expected_version);
+
+  bool ok() const { return ok_; }
+  const Status& status() const { return status_; }
+  uint32_t version() const { return version_; }
+
+  uint32_t ReadU32();
+  uint64_t ReadU64();
+  int64_t ReadI64();
+  float ReadF32();
+  double ReadF64();
+  std::string ReadString();
+  std::vector<float> ReadFloats();
+  std::vector<int32_t> ReadInts();
+  std::vector<int64_t> ReadI64s();
+
+ private:
+  void ReadRaw(void* data, size_t n);
+  void Fail(const std::string& msg);
+
+  std::ifstream in_;
+  std::string path_;
+  bool ok_ = false;
+  uint32_t version_ = 0;
+  Status status_;
+};
+
+}  // namespace util
+}  // namespace causaltad
+
+#endif  // CAUSALTAD_UTIL_BINARY_IO_H_

@@ -1,0 +1,112 @@
+#include "util/csv.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace causaltad {
+namespace util {
+
+int CsvTable::ColumnIndex(const std::string& column) const {
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == column) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      cells.push_back(std::move(cell));
+      cell.clear();
+    } else if (c != '\r') {
+      cell += c;
+    }
+  }
+  cells.push_back(std::move(cell));
+  return cells;
+}
+
+std::string EscapeCsvCell(const std::string& cell) {
+  bool needs_quotes = false;
+  for (char c : cell) {
+    if (c == ',' || c == '"' || c == '\n') needs_quotes = true;
+  }
+  if (!cell.empty() &&
+      (std::isspace(static_cast<unsigned char>(cell.front())) ||
+       std::isspace(static_cast<unsigned char>(cell.back())))) {
+    needs_quotes = true;
+  }
+  if (!needs_quotes) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+StatusOr<CsvTable> ReadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IoError("cannot open " + path);
+  CsvTable table;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto cells = SplitCsvLine(line);
+    if (first) {
+      table.header = std::move(cells);
+      first = false;
+    } else {
+      if (cells.size() != table.header.size()) {
+        return Status::InvalidArgument("ragged CSV row in " + path);
+      }
+      table.rows.push_back(std::move(cells));
+    }
+  }
+  if (first) return Status::InvalidArgument("empty CSV file " + path);
+  return table;
+}
+
+Status WriteCsv(const std::string& path, const CsvTable& table) {
+  std::ofstream out(path);
+  if (!out.is_open()) return Status::IoError("cannot open " + path);
+  auto write_row = [&out](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) out << ',';
+      out << EscapeCsvCell(row[i]);
+    }
+    out << '\n';
+  };
+  write_row(table.header);
+  for (const auto& row : table.rows) {
+    if (row.size() != table.header.size()) {
+      return Status::InvalidArgument("row width mismatch");
+    }
+    write_row(row);
+  }
+  if (!out.good()) return Status::IoError("write failed for " + path);
+  return Status::Ok();
+}
+
+}  // namespace util
+}  // namespace causaltad

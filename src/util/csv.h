@@ -1,0 +1,38 @@
+#ifndef CAUSALTAD_UTIL_CSV_H_
+#define CAUSALTAD_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace causaltad {
+namespace util {
+
+/// A parsed CSV document: a header row plus data rows of string cells.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of `column` in the header, or -1 if absent.
+  int ColumnIndex(const std::string& column) const;
+};
+
+/// Splits one CSV line on commas. Supports double-quoted cells containing
+/// commas and doubled quotes; does not support embedded newlines.
+std::vector<std::string> SplitCsvLine(const std::string& line);
+
+/// Escapes a cell for CSV output (quotes iff it contains , " or whitespace
+/// edges).
+std::string EscapeCsvCell(const std::string& cell);
+
+/// Reads a CSV file with a header row.
+StatusOr<CsvTable> ReadCsv(const std::string& path);
+
+/// Writes a CSV file; `header.size()` must match every row.
+Status WriteCsv(const std::string& path, const CsvTable& table);
+
+}  // namespace util
+}  // namespace causaltad
+
+#endif  // CAUSALTAD_UTIL_CSV_H_

@@ -1,0 +1,76 @@
+#ifndef CAUSALTAD_UTIL_LOGGING_H_
+#define CAUSALTAD_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace causaltad {
+namespace util {
+namespace internal {
+
+/// Collects a fatal-check message via operator<< and aborts on destruction.
+class CheckFailStream {
+ public:
+  CheckFailStream(const char* file, int line, const char* condition) {
+    stream_ << file << ":" << line << " CHECK failed: " << condition << " ";
+  }
+  [[noreturn]] ~CheckFailStream() {
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    std::abort();
+  }
+  template <typename T>
+  CheckFailStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace util
+}  // namespace causaltad
+
+/// Aborts with a diagnostic if `cond` is false. For invariants and programming
+/// errors only; recoverable failures use util::Status. Supports streaming
+/// extra context: CAUSALTAD_CHECK(x) << "details".
+#define CAUSALTAD_CHECK(cond)                                             \
+  while (!(cond))                                                         \
+  ::causaltad::util::internal::CheckFailStream(__FILE__, __LINE__, #cond)
+
+#define CAUSALTAD_CHECK_OP(a, b, op)                                      \
+  while (!((a)op(b)))                                                     \
+  ::causaltad::util::internal::CheckFailStream(__FILE__, __LINE__,        \
+                                               #a " " #op " " #b)         \
+      << "(" << (a) << " vs " << (b) << ") "
+
+#define CAUSALTAD_CHECK_EQ(a, b) CAUSALTAD_CHECK_OP(a, b, ==)
+#define CAUSALTAD_CHECK_NE(a, b) CAUSALTAD_CHECK_OP(a, b, !=)
+#define CAUSALTAD_CHECK_LT(a, b) CAUSALTAD_CHECK_OP(a, b, <)
+#define CAUSALTAD_CHECK_LE(a, b) CAUSALTAD_CHECK_OP(a, b, <=)
+#define CAUSALTAD_CHECK_GT(a, b) CAUSALTAD_CHECK_OP(a, b, >)
+#define CAUSALTAD_CHECK_GE(a, b) CAUSALTAD_CHECK_OP(a, b, >=)
+
+/// Debug-only checks, compiled out under NDEBUG.
+#ifdef NDEBUG
+#define CAUSALTAD_DCHECK(cond) \
+  while (false) ::causaltad::util::internal::NullStream()
+#define CAUSALTAD_DCHECK_EQ(a, b) CAUSALTAD_DCHECK((a) == (b))
+#define CAUSALTAD_DCHECK_LT(a, b) CAUSALTAD_DCHECK((a) < (b))
+#else
+#define CAUSALTAD_DCHECK(cond) CAUSALTAD_CHECK(cond)
+#define CAUSALTAD_DCHECK_EQ(a, b) CAUSALTAD_CHECK_EQ(a, b)
+#define CAUSALTAD_DCHECK_LT(a, b) CAUSALTAD_CHECK_LT(a, b)
+#endif
+
+#endif  // CAUSALTAD_UTIL_LOGGING_H_

@@ -1,0 +1,33 @@
+#ifndef CAUSALTAD_UTIL_STOPWATCH_H_
+#define CAUSALTAD_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace causaltad {
+namespace util {
+
+/// Monotonic wall-clock stopwatch used by the efficiency benchmarks.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start time to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace util
+}  // namespace causaltad
+
+#endif  // CAUSALTAD_UTIL_STOPWATCH_H_

@@ -1,0 +1,329 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <memory>
+
+#include "core/causal_tad.h"
+#include "eval/datasets.h"
+#include "eval/metrics.h"
+
+namespace causaltad {
+namespace core {
+namespace {
+
+using eval::BuildExperiment;
+using eval::ExperimentData;
+using eval::Scale;
+using eval::XianConfig;
+
+const ExperimentData& Data() {
+  static const ExperimentData* data =
+      new ExperimentData(BuildExperiment(XianConfig(Scale::kSmoke)));
+  return *data;
+}
+
+CausalTadConfig TinyConfig() {
+  CausalTadConfig cfg;
+  cfg.tg.emb_dim = 16;
+  cfg.tg.hidden_dim = 24;
+  cfg.tg.latent_dim = 12;
+  cfg.rp.emb_dim = 12;
+  cfg.rp.hidden_dim = 24;
+  cfg.rp.latent_dim = 8;
+  cfg.scaling_samples = 6;
+  return cfg;
+}
+
+models::FitOptions QuickFit(int epochs = 5) {
+  models::FitOptions options;
+  options.epochs = epochs;
+  options.lr = 3e-3f;
+  options.seed = 21;
+  return options;
+}
+
+class CausalTadTest : public ::testing::Test {
+ protected:
+  static CausalTad& Fitted() {
+    static CausalTad* model = [] {
+      auto* m = new CausalTad(&Data().city.network, TinyConfig());
+      m->Fit(Data().train, QuickFit());
+      return m;
+    }();
+    return *model;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// TG-VAE mechanics.
+// ---------------------------------------------------------------------------
+
+TEST(TgVaeTest, LossIsFiniteAndPositive) {
+  util::Rng rng(5);
+  TgVaeConfig cfg = TinyConfig().tg;
+  cfg.vocab = Data().vocab();
+  TgVae tg(&Data().city.network, cfg, &rng);
+  util::Rng sample_rng(6);
+  const nn::Var loss = tg.Loss(Data().train.front(), &sample_rng);
+  EXPECT_TRUE(std::isfinite(loss.value().Item()));
+  EXPECT_GT(loss.value().Item(), 0.0f);
+}
+
+TEST(TgVaeTest, RoadConstrainedStepNllBoundedByLogSuccessors) {
+  // At initialization the masked softmax runs over <= max-degree logits, so
+  // every step NLL is at most ~log(max successors) + slack; a full-vocab
+  // softmax would start near log(V) instead. This is the paper's
+  // road-constrained prediction property.
+  util::Rng rng(7);
+  TgVaeConfig cfg = TinyConfig().tg;
+  cfg.vocab = Data().vocab();
+  TgVae tg(&Data().city.network, cfg, &rng);
+  int64_t max_deg = 0;
+  for (roadnet::SegmentId s = 0; s < Data().city.network.num_segments();
+       ++s) {
+    max_deg = std::max<int64_t>(
+        max_deg,
+        static_cast<int64_t>(Data().city.network.Successors(s).size()));
+  }
+  const auto parts = tg.Score(Data().train.front());
+  for (const double nll : parts.step_nll) {
+    EXPECT_LT(nll, std::log(static_cast<double>(max_deg)) + 2.0);
+  }
+  EXPECT_GT(std::log(static_cast<double>(Data().vocab())),
+            std::log(static_cast<double>(max_deg)) + 2.0);
+}
+
+TEST(TgVaeTest, ScorePartsShape) {
+  util::Rng rng(8);
+  TgVaeConfig cfg = TinyConfig().tg;
+  cfg.vocab = Data().vocab();
+  TgVae tg(&Data().city.network, cfg, &rng);
+  const traj::Trip& trip = Data().train[2];
+  const auto parts = tg.Score(trip);
+  EXPECT_EQ(static_cast<int64_t>(parts.step_nll.size()),
+            trip.route.size() - 1);
+  EXPECT_GE(parts.kl, 0.0);
+  // PrefixScore is non-decreasing in the prefix length.
+  double prev = parts.PrefixScore(1);
+  for (int64_t k = 2; k <= trip.route.size(); ++k) {
+    const double cur = parts.PrefixScore(k);
+    EXPECT_GE(cur, prev - 1e-9);
+    prev = cur;
+  }
+}
+
+TEST(TgVaeTest, SdDecoderCanBeDisabled) {
+  util::Rng rng(9);
+  TgVaeConfig cfg = TinyConfig().tg;
+  cfg.vocab = Data().vocab();
+  cfg.use_sd_decoder = false;
+  TgVae tg(&Data().city.network, cfg, &rng);
+  const auto parts = tg.Score(Data().train.front());
+  EXPECT_EQ(parts.sd_nll, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// RP-VAE and the scaling table.
+// ---------------------------------------------------------------------------
+
+TEST(RpVaeTest, SegmentNllFinite) {
+  util::Rng rng(10);
+  RpVaeConfig cfg = TinyConfig().rp;
+  cfg.vocab = Data().vocab();
+  RpVae rp(cfg, &rng);
+  for (roadnet::SegmentId s = 0; s < 5; ++s) {
+    EXPECT_TRUE(std::isfinite(rp.SegmentNll(s)));
+  }
+}
+
+TEST(RpVaeTest, LogScalingFactorIsNonNegativeAndFinite) {
+  // 1/P >= 1 always, so log E[1/P] >= 0; the MC estimator must keep it
+  // finite even for rare segments (log-sum-exp aggregation).
+  util::Rng rng(11);
+  RpVaeConfig cfg = TinyConfig().rp;
+  cfg.vocab = Data().vocab();
+  RpVae rp(cfg, &rng);
+  util::Rng mc(12);
+  for (roadnet::SegmentId s = 0; s < 10; ++s) {
+    const double v = rp.LogScalingFactor(s, 8, &mc);
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GE(v, 0.0);
+  }
+}
+
+TEST(RpVaeTest, ScalingEstimatorVarianceShrinksWithSamples) {
+  util::Rng rng(13);
+  RpVaeConfig cfg = TinyConfig().rp;
+  cfg.vocab = Data().vocab();
+  RpVae rp(cfg, &rng);
+  auto spread = [&](int num_samples) {
+    std::vector<double> estimates;
+    for (uint64_t seed = 0; seed < 8; ++seed) {
+      util::Rng mc(100 + seed);
+      estimates.push_back(rp.LogScalingFactor(3, num_samples, &mc));
+    }
+    double lo = estimates[0], hi = estimates[0];
+    for (double e : estimates) {
+      lo = std::min(lo, e);
+      hi = std::max(hi, e);
+    }
+    return hi - lo;
+  };
+  EXPECT_LT(spread(64), spread(2) + 1e-9);
+}
+
+TEST(ScalingTableTest, DeterministicGivenSeed) {
+  util::Rng rng(14);
+  RpVaeConfig cfg = TinyConfig().rp;
+  cfg.vocab = Data().vocab();
+  RpVae rp(cfg, &rng);
+  const ScalingTable a = ScalingTable::Build(rp, cfg.vocab, 4, 99);
+  const ScalingTable b = ScalingTable::Build(rp, cfg.vocab, 4, 99);
+  EXPECT_EQ(a.values(), b.values());
+}
+
+TEST(ScalingTableTest, CenteredHasZeroMean) {
+  util::Rng rng(15);
+  RpVaeConfig cfg = TinyConfig().rp;
+  cfg.vocab = Data().vocab();
+  RpVae rp(cfg, &rng);
+  const ScalingTable table = ScalingTable::Build(rp, cfg.vocab, 4, 99);
+  const auto centered = table.Centered();
+  double mean = 0;
+  for (double v : centered) mean += v;
+  EXPECT_NEAR(mean / centered.size(), 0.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// CausalTAD end to end.
+// ---------------------------------------------------------------------------
+
+TEST_F(CausalTadTest, DetectsDetoursInDistribution) {
+  std::vector<double> normal, anomaly;
+  for (const auto& t : Data().id_test) normal.push_back(Fitted().ScoreFull(t));
+  for (const auto& t : Data().id_detour) {
+    anomaly.push_back(Fitted().ScoreFull(t));
+  }
+  EXPECT_GT(eval::EvaluateScores(normal, anomaly).roc_auc, 0.7);
+}
+
+TEST_F(CausalTadTest, LambdaZeroEqualsLikelihoodOnly) {
+  const traj::Trip& trip = Data().id_test.front();
+  const double full_l0 = Fitted().ScoreVariantLambda(
+      trip, trip.route.size(), ScoreVariant::kFull, 0.0);
+  const double tg_only = Fitted().ScoreVariantLambda(
+      trip, trip.route.size(), ScoreVariant::kLikelihoodOnly, 0.1);
+  EXPECT_NEAR(full_l0, tg_only, 1e-9);
+}
+
+TEST_F(CausalTadTest, ScoreIsLinearInLambda) {
+  // score(λ) = likelihood - λ · Σ scaling, so λ enters linearly: the slope
+  // inferred from any two λ values must predict a third exactly.
+  const traj::Trip& trip = Data().ood_test.front();
+  const auto at = [&](double lambda) {
+    return Fitted().ScoreVariantLambda(trip, trip.route.size(),
+                                       ScoreVariant::kFull, lambda);
+  };
+  const double s0 = at(0.0);
+  const double slope = (at(1.0) - s0) / 1.0;
+  EXPECT_NEAR(at(0.3), s0 + 0.3 * slope, 1e-6);
+  EXPECT_NEAR(at(0.7), s0 + 0.7 * slope, 1e-6);
+}
+
+TEST_F(CausalTadTest, OnlineSessionMatchesBatchPrefixScores) {
+  // The O(1)-per-segment online session must reproduce the batch prefix
+  // scores exactly (paper §V-D). This is the key online-correctness
+  // invariant.
+  for (int trip_idx : {0, 3, 7}) {
+    const traj::Trip& trip = Data().id_test[trip_idx];
+    auto online = Fitted().BeginTrip(trip);
+    for (int64_t k = 1; k <= trip.route.size(); ++k) {
+      const double incremental = online->Update(trip.route.segments[k - 1]);
+      const double batch = Fitted().Score(trip, k);
+      EXPECT_NEAR(incremental, batch, 1e-4)
+          << "trip " << trip_idx << " prefix " << k;
+    }
+  }
+}
+
+TEST_F(CausalTadTest, PopularSegmentsGetSmallerScalingThanRareOnes) {
+  // The debiasing mechanism: rare segments must receive larger
+  // log E[1/P(t|e)] than popular ones, which is what compensates the
+  // likelihood's underestimation of unpopular roads (paper §V-E1).
+  std::map<roadnet::SegmentId, int64_t> usage;
+  for (const auto& t : Data().train) {
+    for (const auto s : t.route.segments) usage[s]++;
+  }
+  std::vector<std::pair<int64_t, roadnet::SegmentId>> by_usage;
+  for (roadnet::SegmentId s = 0; s < Data().vocab(); ++s) {
+    by_usage.push_back({usage.count(s) ? usage[s] : 0, s});
+  }
+  std::sort(by_usage.begin(), by_usage.end());
+  const size_t decile = by_usage.size() / 10;
+  ASSERT_GT(decile, 0u);
+  double rare_mean = 0, popular_mean = 0;
+  for (size_t i = 0; i < decile; ++i) {
+    rare_mean += Fitted().scaling_table().log_scaling(by_usage[i].second);
+    popular_mean += Fitted().scaling_table().log_scaling(
+        by_usage[by_usage.size() - 1 - i].second);
+  }
+  EXPECT_GT(rare_mean / decile, popular_mean / decile);
+}
+
+TEST_F(CausalTadTest, DecomposeShapesAndConsistency) {
+  const traj::Trip& trip = Data().id_test[2];
+  const auto decomp = Fitted().Decompose(trip);
+  EXPECT_EQ(static_cast<int64_t>(decomp.step_nll.size()),
+            trip.route.size() - 1);
+  EXPECT_EQ(static_cast<int64_t>(decomp.log_scaling.size()),
+            trip.route.size());
+  // Reassemble the full score from the decomposition.
+  double score = decomp.sd_nll + decomp.kl;
+  for (double v : decomp.step_nll) score += v;
+  for (double v : decomp.log_scaling) score -= Fitted().lambda() * v;
+  EXPECT_NEAR(score, Fitted().ScoreFull(trip), 1e-6);
+}
+
+TEST_F(CausalTadTest, SaveLoadPreservesScores) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "causaltad_core.bin")
+          .string();
+  ASSERT_TRUE(Fitted().Save(path).ok());
+  CausalTad restored(&Data().city.network, TinyConfig());
+  ASSERT_TRUE(restored.Load(path).ok());
+  for (int i = 0; i < 5; ++i) {
+    const traj::Trip& t = Data().id_test[i];
+    EXPECT_NEAR(restored.ScoreFull(t), Fitted().ScoreFull(t), 1e-6);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(CausalTadTest, VariantViewsReportPaperNames) {
+  const CausalTadVariant tg(&Fitted(), ScoreVariant::kLikelihoodOnly);
+  const CausalTadVariant rp(&Fitted(), ScoreVariant::kScalingOnly);
+  EXPECT_EQ(tg.Name(), "TG-VAE");
+  EXPECT_EQ(rp.Name(), "RP-VAE");
+  const traj::Trip& trip = Data().id_test.front();
+  EXPECT_NEAR(tg.ScoreFull(trip),
+              Fitted().ScoreVariantLambda(trip, trip.route.size(),
+                                          ScoreVariant::kLikelihoodOnly, 0),
+              1e-9);
+  EXPECT_TRUE(std::isfinite(rp.ScoreFull(trip)));
+}
+
+TEST_F(CausalTadTest, RpVariantIgnoresRouteShape) {
+  // RP-VAE scores depend only on which segments are visited; two routes
+  // over identical segment multisets score identically.
+  const traj::Trip& trip = Data().id_test.front();
+  traj::Trip reversed_meta = trip;  // same segments, metadata irrelevant
+  reversed_meta.time_slot = (trip.time_slot + 1) % 8;
+  const CausalTadVariant rp(&Fitted(), ScoreVariant::kScalingOnly);
+  EXPECT_DOUBLE_EQ(rp.ScoreFull(trip), rp.ScoreFull(reversed_meta));
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace causaltad

@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "eval/datasets.h"
+#include "eval/metrics.h"
+
+namespace causaltad {
+namespace eval {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Metrics.
+// ---------------------------------------------------------------------------
+
+TEST(RocAucTest, PerfectSeparation) {
+  const std::vector<double> scores = {0.1, 0.2, 0.8, 0.9};
+  const std::vector<uint8_t> labels = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(RocAuc(scores, labels), 1.0);
+}
+
+TEST(RocAucTest, PerfectInversion) {
+  const std::vector<double> scores = {0.9, 0.8, 0.1, 0.2};
+  const std::vector<uint8_t> labels = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(RocAuc(scores, labels), 0.0);
+}
+
+TEST(RocAucTest, AllTiedIsHalf) {
+  const std::vector<double> scores = {1.0, 1.0, 1.0, 1.0};
+  const std::vector<uint8_t> labels = {0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(RocAuc(scores, labels), 0.5);
+}
+
+TEST(RocAucTest, KnownHandComputedValue) {
+  // scores: N=1, A=2, N=3, A=4  => pairs won: (1<2),(1<4),(3<4) = 3 of 4.
+  const std::vector<double> scores = {1, 2, 3, 4};
+  const std::vector<uint8_t> labels = {0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(RocAuc(scores, labels), 0.75);
+}
+
+TEST(RocAucTest, InvariantUnderMonotonicTransform) {
+  util::Rng rng(3);
+  std::vector<double> scores;
+  std::vector<uint8_t> labels;
+  for (int i = 0; i < 200; ++i) {
+    scores.push_back(rng.Gaussian(labels.empty() ? 0 : 1, 1));
+    labels.push_back(static_cast<uint8_t>(rng.Bernoulli(0.4)));
+  }
+  labels[0] = 0;
+  labels[1] = 1;
+  const double base = RocAuc(scores, labels);
+  std::vector<double> transformed = scores;
+  for (double& s : transformed) s = std::exp(0.3 * s) + 7.0;
+  EXPECT_NEAR(RocAuc(transformed, labels), base, 1e-12);
+}
+
+TEST(PrAucTest, PerfectSeparationIsOne) {
+  const std::vector<double> scores = {0.1, 0.2, 0.8, 0.9};
+  const std::vector<uint8_t> labels = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(PrAuc(scores, labels), 1.0);
+}
+
+TEST(PrAucTest, KnownHandComputedValue) {
+  // Descending: 4(A) p=1 -> AP += 1; 3(N); 2(A) p=2/3 -> AP += 2/3.
+  const std::vector<double> scores = {1, 2, 3, 4};
+  const std::vector<uint8_t> labels = {0, 1, 0, 1};
+  EXPECT_NEAR(PrAuc(scores, labels), (1.0 + 2.0 / 3.0) / 2.0, 1e-12);
+}
+
+TEST(PrAucTest, AllTiedEqualsPositiveRate) {
+  const std::vector<double> scores = {5, 5, 5, 5, 5};
+  const std::vector<uint8_t> labels = {1, 0, 0, 1, 0};
+  EXPECT_NEAR(PrAuc(scores, labels), 0.4, 1e-12);
+}
+
+TEST(PrAucTest, PermutationInvariantWithTies) {
+  std::vector<double> scores = {1, 1, 2, 2, 3, 3};
+  std::vector<uint8_t> labels = {0, 1, 1, 0, 1, 0};
+  const double base = PrAuc(scores, labels);
+  // Swap within tie groups.
+  std::swap(labels[0], labels[1]);
+  std::swap(scores[0], scores[1]);
+  EXPECT_NEAR(PrAuc(scores, labels), base, 1e-12);
+}
+
+TEST(EvaluateScoresTest, CombinesSets) {
+  const std::vector<double> normal = {0.1, 0.2};
+  const std::vector<double> anomaly = {0.8, 0.9};
+  const EvalResult r = EvaluateScores(normal, anomaly);
+  EXPECT_DOUBLE_EQ(r.roc_auc, 1.0);
+  EXPECT_DOUBLE_EQ(r.pr_auc, 1.0);
+  EXPECT_EQ(r.num_normal, 2);
+  EXPECT_EQ(r.num_anomaly, 2);
+}
+
+// Property sweep: AUC of random scores is near 0.5, AUC of shifted scores is
+// clearly above it, for several seeds.
+class MetricPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MetricPropertyTest, RandomScoresNearHalfShiftedAboveIt) {
+  util::Rng rng(GetParam());
+  std::vector<double> normal, anomaly, shifted;
+  for (int i = 0; i < 400; ++i) {
+    normal.push_back(rng.Gaussian());
+    anomaly.push_back(rng.Gaussian());
+    shifted.push_back(rng.Gaussian(1.5, 1.0));
+  }
+  const double random_auc = EvaluateScores(normal, anomaly).roc_auc;
+  EXPECT_NEAR(random_auc, 0.5, 0.08);
+  const double shifted_auc = EvaluateScores(normal, shifted).roc_auc;
+  EXPECT_GT(shifted_auc, 0.75);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricPropertyTest,
+                         ::testing::Values(1, 7, 19, 77));
+
+// ---------------------------------------------------------------------------
+// Experiment protocol.
+// ---------------------------------------------------------------------------
+
+class ExperimentDataTest : public ::testing::Test {
+ protected:
+  static const ExperimentData& Data() {
+    static const ExperimentData* data = [] {
+      auto cfg = XianConfig(Scale::kSmoke);
+      return new ExperimentData(BuildExperiment(cfg));
+    }();
+    return *data;
+  }
+};
+
+TEST_F(ExperimentDataTest, SplitsAreNonEmptyAndValid) {
+  const auto& d = Data();
+  EXPECT_FALSE(d.train.empty());
+  EXPECT_FALSE(d.id_test.empty());
+  EXPECT_FALSE(d.ood_test.empty());
+  for (const auto* split :
+       {&d.train, &d.id_test, &d.ood_test, &d.id_detour, &d.id_switch,
+        &d.ood_detour, &d.ood_switch}) {
+    for (const traj::Trip& t : *split) {
+      EXPECT_TRUE(t.route.IsValid(d.city.network));
+    }
+  }
+}
+
+TEST_F(ExperimentDataTest, TrainAndIdTestShareSdPairs) {
+  const auto& d = Data();
+  std::set<int32_t> train_pairs, id_pairs;
+  for (const auto& t : d.train) train_pairs.insert(t.sd_pair_id);
+  for (const auto& t : d.id_test) id_pairs.insert(t.sd_pair_id);
+  EXPECT_EQ(train_pairs, id_pairs);
+  EXPECT_EQ(train_pairs.count(-1), 0u);
+}
+
+TEST_F(ExperimentDataTest, OodPairsUnseenInTraining) {
+  const auto& d = Data();
+  std::set<std::pair<roadnet::NodeId, roadnet::NodeId>> train_sd;
+  for (const auto& t : d.train) train_sd.insert({t.source_node, t.dest_node});
+  for (const auto& t : d.ood_test) {
+    EXPECT_EQ(train_sd.count({t.source_node, t.dest_node}), 0u);
+    EXPECT_EQ(t.sd_pair_id, -1);
+  }
+}
+
+TEST_F(ExperimentDataTest, AnomalySetsAreLabeled) {
+  const auto& d = Data();
+  for (const auto& t : d.id_detour) {
+    EXPECT_EQ(t.anomaly, traj::AnomalyKind::kDetour);
+  }
+  for (const auto& t : d.ood_switch) {
+    EXPECT_EQ(t.anomaly, traj::AnomalyKind::kSwitch);
+  }
+  for (const auto& t : d.id_test) EXPECT_FALSE(t.is_anomaly());
+}
+
+TEST_F(ExperimentDataTest, AnomalyCountsCloseToNormalCounts) {
+  const auto& d = Data();
+  EXPECT_GT(d.id_detour.size(), d.id_test.size() / 2);
+  EXPECT_GT(d.ood_detour.size(), d.ood_test.size() / 2);
+  EXPECT_GT(d.id_switch.size(), d.id_test.size() / 3);
+  EXPECT_GT(d.ood_switch.size(), d.ood_test.size() / 3);
+}
+
+TEST_F(ExperimentDataTest, DeterministicRebuild) {
+  const auto& d = Data();
+  const ExperimentData d2 = BuildExperiment(XianConfig(Scale::kSmoke));
+  ASSERT_EQ(d.train.size(), d2.train.size());
+  for (size_t i = 0; i < d.train.size(); ++i) {
+    EXPECT_EQ(d.train[i].route.segments, d2.train[i].route.segments);
+  }
+  ASSERT_EQ(d.ood_switch.size(), d2.ood_switch.size());
+  for (size_t i = 0; i < d.ood_switch.size(); ++i) {
+    EXPECT_EQ(d.ood_switch[i].route.segments,
+              d2.ood_switch[i].route.segments);
+  }
+}
+
+TEST_F(ExperimentDataTest, ZipfAllocationIsSkewed) {
+  const auto& d = Data();
+  std::map<int32_t, int> counts;
+  for (const auto& t : d.train) counts[t.sd_pair_id]++;
+  int max_c = 0, min_c = 1 << 30;
+  for (const auto& [pid, c] : counts) {
+    max_c = std::max(max_c, c);
+    min_c = std::min(min_c, c);
+  }
+  EXPECT_GT(max_c, min_c);  // popular pairs dominate
+}
+
+TEST(MixShiftTest, AlphaControlsComposition) {
+  const ExperimentData d = BuildExperiment(XianConfig(Scale::kSmoke));
+  for (double alpha : {0.0, 0.5, 1.0}) {
+    const auto mixed = MixShift(d.id_test, d.ood_test, alpha, 9);
+    ASSERT_FALSE(mixed.empty());
+    int64_t ood = 0;
+    for (const auto& t : mixed) ood += (t.sd_pair_id == -1);
+    const double frac = static_cast<double>(ood) / mixed.size();
+    EXPECT_NEAR(frac, alpha, 0.1) << "alpha=" << alpha;
+  }
+}
+
+TEST(SubsampleTest, RespectsBoundAndIsDeterministic) {
+  const ExperimentData d = BuildExperiment(XianConfig(Scale::kSmoke));
+  const auto a = Subsample(d.id_test, 10, 5);
+  const auto b = Subsample(d.id_test, 10, 5);
+  ASSERT_EQ(a.size(), 10u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].route.segments, b[i].route.segments);
+  }
+  const auto all = Subsample(d.id_test, 1 << 20, 5);
+  EXPECT_EQ(all.size(), d.id_test.size());
+}
+
+TEST(ConfigTest, CitiesDiffer) {
+  const auto xian = XianConfig(Scale::kDefault);
+  const auto chengdu = ChengduConfig(Scale::kDefault);
+  EXPECT_NE(xian.city.seed, chengdu.city.seed);
+  EXPECT_GT(chengdu.city.rows, xian.city.rows);
+  EXPECT_GT(chengdu.trips_per_pair, xian.trips_per_pair);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace causaltad

@@ -1,0 +1,304 @@
+// Tests for the library extensions: trip corpus IO, corpus statistics,
+// threshold calibration, validation-based lambda search, and the paper's
+// future-work time-aware scaling factors.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/causal_tad.h"
+#include "core/lambda_search.h"
+#include "eval/corpus_stats.h"
+#include "eval/datasets.h"
+#include "eval/metrics.h"
+#include "eval/threshold.h"
+#include "traj/trip_io.h"
+
+namespace causaltad {
+namespace {
+
+const eval::ExperimentData& Data() {
+  static const eval::ExperimentData* data = new eval::ExperimentData(
+      eval::BuildExperiment(eval::XianConfig(eval::Scale::kSmoke)));
+  return *data;
+}
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// ---------------------------------------------------------------------------
+// Trip IO.
+// ---------------------------------------------------------------------------
+
+class TripIoTest : public ::testing::TestWithParam<bool> {
+ protected:
+  // Round-trips through CSV (param=false) or binary (param=true).
+  util::StatusOr<std::vector<traj::Trip>> RoundTrip(
+      const std::vector<traj::Trip>& trips,
+      const roadnet::RoadNetwork* network) {
+    const std::string path = TempPath(GetParam() ? "ct_trips.bin"
+                                                 : "ct_trips.csv");
+    const util::Status saved = GetParam()
+                                   ? traj::SaveTripsBinary(path, trips)
+                                   : traj::SaveTripsCsv(path, trips);
+    if (!saved.ok()) return saved;
+    auto loaded = GetParam() ? traj::LoadTripsBinary(path, network)
+                             : traj::LoadTripsCsv(path, network);
+    std::remove(path.c_str());
+    return loaded;
+  }
+};
+
+TEST_P(TripIoTest, RoundTripPreservesEverything) {
+  std::vector<traj::Trip> subset(Data().id_detour.begin(),
+                                 Data().id_detour.begin() + 10);
+  subset.insert(subset.end(), Data().ood_test.begin(),
+                Data().ood_test.begin() + 5);
+  auto loaded = RoundTrip(subset, &Data().city.network);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), subset.size());
+  for (size_t i = 0; i < subset.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].route.segments, subset[i].route.segments);
+    EXPECT_EQ((*loaded)[i].source_node, subset[i].source_node);
+    EXPECT_EQ((*loaded)[i].dest_node, subset[i].dest_node);
+    EXPECT_EQ((*loaded)[i].time_slot, subset[i].time_slot);
+    EXPECT_EQ((*loaded)[i].sd_pair_id, subset[i].sd_pair_id);
+    EXPECT_EQ((*loaded)[i].anomaly, subset[i].anomaly);
+  }
+}
+
+TEST_P(TripIoTest, ValidatesRoutesAgainstNetwork) {
+  std::vector<traj::Trip> bad(Data().id_test.begin(),
+                              Data().id_test.begin() + 2);
+  std::swap(bad[0].route.segments.front(), bad[0].route.segments.back());
+  auto loaded = RoundTrip(bad, &Data().city.network);
+  EXPECT_FALSE(loaded.ok());
+  // Without a network, structural validation is skipped.
+  auto lenient = RoundTrip(bad, nullptr);
+  EXPECT_TRUE(lenient.ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, TripIoTest, ::testing::Bool());
+
+TEST(TripIoTest2, LoadMissingFileFails) {
+  EXPECT_FALSE(traj::LoadTripsCsv("/nonexistent/trips.csv").ok());
+  EXPECT_FALSE(traj::LoadTripsBinary("/nonexistent/trips.bin").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Corpus statistics.
+// ---------------------------------------------------------------------------
+
+TEST(CorpusStatsTest, BasicInvariants) {
+  const auto stats =
+      eval::ComputeCorpusStats(Data().city.network, Data().train);
+  EXPECT_EQ(stats.num_trips, static_cast<int64_t>(Data().train.size()));
+  EXPECT_GT(stats.coverage, 0.0);
+  EXPECT_LE(stats.coverage, 1.0);
+  EXPECT_GE(stats.min_trip_len, 1);
+  EXPECT_LE(stats.min_trip_len, stats.max_trip_len);
+  EXPECT_GE(stats.mean_trip_len, stats.min_trip_len);
+  EXPECT_LE(stats.mean_trip_len, stats.max_trip_len);
+  double share = 0.0;
+  for (double c : stats.class_share) share += c;
+  EXPECT_NEAR(share, 1.0, 1e-9);
+  EXPECT_GT(stats.distinct_sd_pairs, 0);
+}
+
+TEST(CorpusStatsTest, ConfoundedCorpusHasSkewedTraffic) {
+  const auto stats =
+      eval::ComputeCorpusStats(Data().city.network, Data().train);
+  // The whole point of the generator: traffic concentrates on corridors.
+  EXPECT_GT(stats.visit_gini, 0.3);
+  // Arterials carry a disproportionate share relative to their prevalence.
+  EXPECT_GT(stats.class_share[0], 0.4);
+}
+
+TEST(CorpusStatsTest, UniformSyntheticGiniNearZero) {
+  // One trip per segment -> perfectly uniform visit counts.
+  std::vector<traj::Trip> uniform;
+  for (roadnet::SegmentId s = 0; s < Data().city.network.num_segments();
+       ++s) {
+    traj::Trip t;
+    t.route.segments = {s};
+    uniform.push_back(t);
+  }
+  const auto stats = eval::ComputeCorpusStats(Data().city.network, uniform);
+  EXPECT_NEAR(stats.visit_gini, 0.0, 1e-9);
+  EXPECT_NEAR(stats.coverage, 1.0, 1e-9);
+}
+
+TEST(CorpusStatsTest, FormatMentionsKeyNumbers) {
+  const auto stats =
+      eval::ComputeCorpusStats(Data().city.network, Data().train);
+  const std::string text = eval::FormatCorpusStats(stats);
+  EXPECT_NE(text.find("coverage"), std::string::npos);
+  EXPECT_NE(text.find("gini"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Threshold calibration.
+// ---------------------------------------------------------------------------
+
+TEST(ThresholdTest, FprIsRespectedOnCalibrationSet) {
+  std::vector<double> normal;
+  for (int i = 0; i < 1000; ++i) normal.push_back(i * 0.01);
+  for (double fpr : {0.0, 0.05, 0.2}) {
+    const double thr = eval::ThresholdAtFpr(normal, fpr);
+    int64_t above = 0;
+    for (double s : normal) above += (s > thr);
+    EXPECT_LE(static_cast<double>(above) / normal.size(), fpr + 1e-12)
+        << "fpr=" << fpr;
+  }
+}
+
+TEST(ThresholdTest, ZeroFprFlagsNothingOnCalibrationSet) {
+  const std::vector<double> normal = {1.0, 5.0, 3.0};
+  const double thr = eval::ThresholdAtFpr(normal, 0.0);
+  EXPECT_GE(thr, 5.0);
+}
+
+TEST(ThresholdTest, ReportCountsAndDerivedMetrics) {
+  const std::vector<double> normal = {1, 2, 3, 4};
+  const std::vector<double> anomaly = {3.5, 5, 6};
+  const auto report = eval::EvaluateAtThreshold(normal, anomaly, 3.0);
+  EXPECT_EQ(report.false_positives, 1);  // the 4
+  EXPECT_EQ(report.true_negatives, 3);
+  EXPECT_EQ(report.true_positives, 3);
+  EXPECT_EQ(report.false_negatives, 0);
+  EXPECT_NEAR(report.Precision(), 3.0 / 4.0, 1e-12);
+  EXPECT_NEAR(report.Recall(), 1.0, 1e-12);
+  EXPECT_NEAR(report.FalsePositiveRate(), 0.25, 1e-12);
+  EXPECT_GT(report.F1(), 0.85);
+}
+
+TEST(ThresholdTest, DegenerateReportsAreZeroNotNan) {
+  const std::vector<double> normal = {1, 2};
+  const std::vector<double> anomaly = {0.1};
+  const auto report = eval::EvaluateAtThreshold(normal, anomaly, 10.0);
+  EXPECT_EQ(report.Precision(), 0.0);
+  EXPECT_EQ(report.Recall(), 0.0);
+  EXPECT_EQ(report.F1(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Lambda search + time-aware scaling.
+// ---------------------------------------------------------------------------
+
+core::CausalTadConfig TinyConfig() {
+  core::CausalTadConfig cfg;
+  cfg.tg.emb_dim = 16;
+  cfg.tg.hidden_dim = 24;
+  cfg.tg.latent_dim = 12;
+  cfg.rp.emb_dim = 12;
+  cfg.rp.hidden_dim = 24;
+  cfg.rp.latent_dim = 8;
+  cfg.scaling_samples = 4;
+  return cfg;
+}
+
+TEST(LambdaSearchTest, AgreesWithDirectScoring) {
+  core::CausalTad model(&Data().city.network, TinyConfig());
+  models::FitOptions options;
+  options.epochs = 3;
+  options.lr = 3e-3f;
+  model.Fit(Data().train, options);
+
+  const std::vector<double> grid = {0.0, 0.1, 0.5};
+  const auto result =
+      core::SelectLambda(model, Data().id_test, Data().id_detour, grid);
+  ASSERT_EQ(result.grid.size(), 3u);
+  // Cross-check one grid point against direct EvaluateCombo-style scoring.
+  std::vector<double> normal, anomaly;
+  for (const auto& t : Data().id_test) {
+    normal.push_back(model.ScoreVariantLambda(t, t.route.size(),
+                                              core::ScoreVariant::kFull,
+                                              0.1));
+  }
+  for (const auto& t : Data().id_detour) {
+    anomaly.push_back(model.ScoreVariantLambda(t, t.route.size(),
+                                               core::ScoreVariant::kFull,
+                                               0.1));
+  }
+  const double direct = eval::EvaluateScores(normal, anomaly).roc_auc;
+  EXPECT_NEAR(result.grid[1].second, direct, 1e-9);
+  // Best is the max of the grid.
+  for (const auto& [lambda, auc] : result.grid) {
+    EXPECT_LE(auc, result.best_roc_auc + 1e-12);
+  }
+}
+
+TEST(LambdaSearchTest, DefaultGridContainsPaperValue) {
+  const auto grid = core::DefaultLambdaGrid();
+  EXPECT_NE(std::find(grid.begin(), grid.end(), 0.1), grid.end());
+  EXPECT_EQ(grid.front(), 0.0);
+}
+
+TEST(TimeAwareScalingTest, TablePerSlotAndScoreUsesTripSlot) {
+  core::CausalTadConfig cfg = TinyConfig();
+  cfg.time_aware_scaling = true;
+  core::CausalTad model(&Data().city.network, cfg);
+  models::FitOptions options;
+  options.epochs = 2;
+  options.lr = 3e-3f;
+  model.Fit(Data().train, options);
+
+  EXPECT_EQ(model.scaling_table().num_slots(), cfg.num_time_slots);
+  // Scores differ across slots for the same route (time-dependent E).
+  traj::Trip trip = Data().id_test.front();
+  trip.time_slot = 0;
+  const double s0 = model.ScoreFull(trip);
+  trip.time_slot = 3;
+  const double s3 = model.ScoreFull(trip);
+  EXPECT_NE(s0, s3);
+
+  // Online session matches batch under time-aware scaling too.
+  auto session = model.BeginTrip(trip);
+  double last = 0;
+  for (const auto seg : trip.route.segments) last = session->Update(seg);
+  EXPECT_NEAR(last, model.ScoreFull(trip), 1e-4);
+}
+
+TEST(TimeAwareScalingTest, StaticModelHasOneSlot) {
+  core::CausalTad model(&Data().city.network, TinyConfig());
+  models::FitOptions options;
+  options.epochs = 1;
+  options.lr = 3e-3f;
+  model.Fit(Data().train, options);
+  EXPECT_EQ(model.scaling_table().num_slots(), 1);
+}
+
+TEST(CenteredScalingTest, TableIsZeroMeanByDefault) {
+  core::CausalTad model(&Data().city.network, TinyConfig());
+  models::FitOptions options;
+  options.epochs = 1;
+  options.lr = 3e-3f;
+  model.Fit(Data().train, options);
+  double mean = 0;
+  for (double v : model.scaling_table().values()) mean += v;
+  mean /= static_cast<double>(model.scaling_table().values().size());
+  EXPECT_NEAR(mean, 0.0, 1e-9);
+}
+
+TEST(CenteredScalingTest, CanBeDisabled) {
+  core::CausalTadConfig cfg = TinyConfig();
+  cfg.center_scaling = false;
+  core::CausalTad model(&Data().city.network, cfg);
+  models::FitOptions options;
+  options.epochs = 1;
+  options.lr = 3e-3f;
+  model.Fit(Data().train, options);
+  // Raw log E[1/P] values are all >= 0 and clearly not zero-mean.
+  double mean = 0;
+  for (double v : model.scaling_table().values()) {
+    EXPECT_GE(v, 0.0);
+    mean += v;
+  }
+  mean /= static_cast<double>(model.scaling_table().values().size());
+  EXPECT_GT(mean, 0.5);
+}
+
+}  // namespace
+}  // namespace causaltad

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "geo/geo.h"
+
+namespace causaltad {
+namespace geo {
+namespace {
+
+TEST(HaversineTest, ZeroDistanceForSamePoint) {
+  LatLon p{30.0, 104.0};
+  EXPECT_DOUBLE_EQ(HaversineMeters(p, p), 0.0);
+}
+
+TEST(HaversineTest, OneDegreeLatitudeIsAbout111Km) {
+  const double d = HaversineMeters({30.0, 104.0}, {31.0, 104.0});
+  EXPECT_NEAR(d, 111195.0, 200.0);
+}
+
+TEST(HaversineTest, Symmetric) {
+  LatLon a{30.2, 104.1}, b{30.9, 103.4};
+  EXPECT_DOUBLE_EQ(HaversineMeters(a, b), HaversineMeters(b, a));
+}
+
+TEST(LocalProjectionTest, RoundTripsNearOrigin) {
+  LocalProjection proj({30.66, 104.06});
+  for (double dlat = -0.05; dlat <= 0.05; dlat += 0.025) {
+    for (double dlon = -0.05; dlon <= 0.05; dlon += 0.025) {
+      const LatLon p{30.66 + dlat, 104.06 + dlon};
+      const LatLon back = proj.Unproject(proj.Project(p));
+      EXPECT_NEAR(back.lat, p.lat, 1e-9);
+      EXPECT_NEAR(back.lon, p.lon, 1e-9);
+    }
+  }
+}
+
+TEST(LocalProjectionTest, MatchesHaversineOverCityScale) {
+  LocalProjection proj({30.66, 104.06});
+  const LatLon a{30.66, 104.06}, b{30.70, 104.10};
+  const Vec2 pa = proj.Project(a), pb = proj.Project(b);
+  const double planar = (pb - pa).Norm();
+  const double sphere = HaversineMeters(a, b);
+  EXPECT_NEAR(planar / sphere, 1.0, 1e-3);
+}
+
+TEST(PointSegmentDistanceTest, PerpendicularFoot) {
+  const double d = PointSegmentDistance({0, 1}, {-1, 0}, {1, 0});
+  EXPECT_DOUBLE_EQ(d, 1.0);
+}
+
+TEST(PointSegmentDistanceTest, ClampsToEndpoints) {
+  const double d = PointSegmentDistance({3, 4}, {-1, 0}, {1, 0});
+  EXPECT_NEAR(d, std::hypot(2.0, 4.0), 1e-12);
+}
+
+TEST(PointSegmentDistanceTest, DegenerateSegment) {
+  const double d = PointSegmentDistance({3, 4}, {0, 0}, {0, 0});
+  EXPECT_DOUBLE_EQ(d, 5.0);
+}
+
+TEST(ProjectOntoSegmentTest, ParameterInRange) {
+  EXPECT_DOUBLE_EQ(ProjectOntoSegment({0, 5}, {-1, 0}, {1, 0}), 0.5);
+  EXPECT_DOUBLE_EQ(ProjectOntoSegment({-9, 5}, {-1, 0}, {1, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(ProjectOntoSegment({9, 5}, {-1, 0}, {1, 0}), 1.0);
+}
+
+TEST(PolylineTest, LengthAndInterpolation) {
+  std::vector<Vec2> line = {{0, 0}, {3, 0}, {3, 4}};
+  EXPECT_DOUBLE_EQ(PolylineLength(line), 7.0);
+  Vec2 mid = InterpolateAlong(line, 3.0);
+  EXPECT_DOUBLE_EQ(mid.x, 3.0);
+  EXPECT_DOUBLE_EQ(mid.y, 0.0);
+  Vec2 p = InterpolateAlong(line, 5.0);
+  EXPECT_DOUBLE_EQ(p.x, 3.0);
+  EXPECT_DOUBLE_EQ(p.y, 2.0);
+  // Clamps beyond the ends.
+  EXPECT_DOUBLE_EQ(InterpolateAlong(line, 100.0).y, 4.0);
+  EXPECT_DOUBLE_EQ(InterpolateAlong(line, -5.0).x, 0.0);
+}
+
+}  // namespace
+}  // namespace geo
+}  // namespace causaltad

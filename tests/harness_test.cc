@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "eval/datasets.h"
+#include "eval/harness.h"
+
+namespace causaltad {
+namespace eval {
+namespace {
+
+const ExperimentData& Data() {
+  static const ExperimentData* data =
+      new ExperimentData(BuildExperiment(XianConfig(Scale::kSmoke)));
+  return *data;
+}
+
+TEST(MakeScorerTest, CoversAllPaperMethods) {
+  std::vector<std::string> names = BaselineNames();
+  names.push_back(kCausalTadName);
+  ASSERT_EQ(names.size(), 8u);  // 7 baselines + CausalTAD, as in the tables
+  for (const std::string& name : names) {
+    auto scorer = MakeScorer(name, Data(), Scale::kSmoke);
+    ASSERT_NE(scorer, nullptr) << name;
+    EXPECT_EQ(scorer->Name(), name);
+  }
+}
+
+TEST(FitOptionsTest, ScalesEpochs) {
+  EXPECT_LT(FitOptionsFor(Scale::kSmoke).epochs,
+            FitOptionsFor(Scale::kDefault).epochs);
+  EXPECT_LT(FitOptionsFor(Scale::kDefault).epochs,
+            FitOptionsFor(Scale::kFull).epochs);
+}
+
+TEST(FitOrLoadTest, SecondCallHitsTheCache) {
+  const std::string cache =
+      (std::filesystem::temp_directory_path() / "causaltad_cache_test")
+          .string();
+  std::filesystem::remove_all(cache);
+  setenv("CAUSALTAD_CACHE_DIR", cache.c_str(), 1);
+  unsetenv("CAUSALTAD_NO_CACHE");
+
+  auto first = FitOrLoad("VSAE", Data(), "testcity", Scale::kSmoke);
+  ASSERT_TRUE(std::filesystem::exists(cache + "/testcity_smoke_VSAE.bin"));
+  auto second = FitOrLoad("VSAE", Data(), "testcity", Scale::kSmoke);
+  // Cached reload must reproduce the fitted model's scores exactly.
+  for (int i = 0; i < 5; ++i) {
+    const traj::Trip& t = Data().id_test[i];
+    EXPECT_NEAR(first->ScoreFull(t), second->ScoreFull(t), 1e-6);
+  }
+  unsetenv("CAUSALTAD_CACHE_DIR");
+  std::filesystem::remove_all(cache);
+}
+
+TEST(FitOrLoadTest, NoCacheEnvSkipsDisk) {
+  const std::string cache =
+      (std::filesystem::temp_directory_path() / "causaltad_cache_test2")
+          .string();
+  std::filesystem::remove_all(cache);
+  setenv("CAUSALTAD_CACHE_DIR", cache.c_str(), 1);
+  setenv("CAUSALTAD_NO_CACHE", "1", 1);
+  auto scorer = FitOrLoad("iBOAT", Data(), "testcity", Scale::kSmoke);
+  EXPECT_FALSE(std::filesystem::exists(cache + "/testcity_smoke_iBOAT.bin"));
+  unsetenv("CAUSALTAD_NO_CACHE");
+  unsetenv("CAUSALTAD_CACHE_DIR");
+  std::filesystem::remove_all(cache);
+}
+
+TEST(ScoreSetTest, ObservedRatioShortensPrefixes) {
+  auto scorer = MakeScorer("iBOAT", Data(), Scale::kSmoke);
+  scorer->Fit(Data().train, FitOptionsFor(Scale::kSmoke));
+  // Detour anomalies are mid-trip, so a 10% prefix must score differently
+  // from the full trajectory for most of them (normal trips may score 0 at
+  // both prefixes under iBOAT, hence the anomaly set).
+  const auto full = ScoreSet(*scorer, Data().id_detour, 1.0);
+  const auto tiny = ScoreSet(*scorer, Data().id_detour, 0.1);
+  ASSERT_EQ(full.size(), tiny.size());
+  int64_t differing = 0;
+  for (size_t i = 0; i < full.size(); ++i) {
+    differing += (full[i] != tiny[i]);
+  }
+  EXPECT_GT(differing, static_cast<int64_t>(full.size()) / 2);
+}
+
+TEST(EvaluateComboTest, ProducesSaneMetrics) {
+  auto scorer = MakeScorer("iBOAT", Data(), Scale::kSmoke);
+  scorer->Fit(Data().train, FitOptionsFor(Scale::kSmoke));
+  const EvalResult r =
+      EvaluateCombo(*scorer, Data().id_test, Data().id_detour, 1.0);
+  EXPECT_GT(r.roc_auc, 0.0);
+  EXPECT_LE(r.roc_auc, 1.0);
+  EXPECT_GT(r.pr_auc, 0.0);
+  EXPECT_LE(r.pr_auc, 1.0);
+  EXPECT_EQ(r.num_normal, static_cast<int64_t>(Data().id_test.size()));
+  EXPECT_EQ(r.num_anomaly, static_cast<int64_t>(Data().id_detour.size()));
+}
+
+TEST(TablePrinterTest, FormatsNumbers) {
+  EXPECT_EQ(TablePrinter::Fmt(0.93714, 4), "0.9371");
+  EXPECT_EQ(TablePrinter::Fmt(0.5, 1), "0.5");
+  EXPECT_EQ(TablePrinter::Fmt(12.3456, 2), "12.35");
+}
+
+TEST(ScaleTest, EnvParsing) {
+  setenv("CAUSALTAD_BENCH_SCALE", "smoke", 1);
+  EXPECT_EQ(ScaleFromEnv(), Scale::kSmoke);
+  setenv("CAUSALTAD_BENCH_SCALE", "full", 1);
+  EXPECT_EQ(ScaleFromEnv(), Scale::kFull);
+  setenv("CAUSALTAD_BENCH_SCALE", "anything-else", 1);
+  EXPECT_EQ(ScaleFromEnv(), Scale::kDefault);
+  unsetenv("CAUSALTAD_BENCH_SCALE");
+  EXPECT_EQ(ScaleFromEnv(), Scale::kDefault);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace causaltad

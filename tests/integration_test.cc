@@ -1,0 +1,101 @@
+// End-to-end integration: every method of the paper's evaluation trained on
+// one shared smoke-scale corpus, with cross-cutting invariants that the
+// bench harness relies on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "eval/datasets.h"
+#include "eval/harness.h"
+#include "eval/metrics.h"
+
+namespace causaltad {
+namespace {
+
+using eval::BuildExperiment;
+using eval::ExperimentData;
+using eval::Scale;
+
+const ExperimentData& Data() {
+  static const ExperimentData* data =
+      new ExperimentData(BuildExperiment(eval::ChengduConfig(Scale::kSmoke)));
+  return *data;
+}
+
+class AllModelsTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  static models::TrajectoryScorer& Fitted(const std::string& name) {
+    static std::map<std::string, std::unique_ptr<models::TrajectoryScorer>>
+        cache;
+    auto it = cache.find(name);
+    if (it == cache.end()) {
+      auto scorer = eval::MakeScorer(name, Data(), Scale::kSmoke);
+      scorer->Fit(Data().train, eval::FitOptionsFor(Scale::kSmoke));
+      it = cache.emplace(name, std::move(scorer)).first;
+    }
+    return *it->second;
+  }
+};
+
+TEST_P(AllModelsTest, FiniteScoresOnEverySplit) {
+  auto& scorer = Fitted(GetParam());
+  for (const auto* split :
+       {&Data().train, &Data().id_test, &Data().ood_test, &Data().id_detour,
+        &Data().id_switch, &Data().ood_detour, &Data().ood_switch}) {
+    for (size_t i = 0; i < std::min<size_t>(split->size(), 10); ++i) {
+      EXPECT_TRUE(std::isfinite(scorer.ScoreFull((*split)[i])));
+    }
+  }
+}
+
+TEST_P(AllModelsTest, OnlineSessionFinalScoreMatchesBatch) {
+  auto& scorer = Fitted(GetParam());
+  for (int idx : {0, 5}) {
+    const traj::Trip& trip = Data().id_detour[idx];
+    auto session = scorer.BeginTrip(trip);
+    double final_score = 0.0;
+    for (const auto seg : trip.route.segments) {
+      final_score = session->Update(seg);
+    }
+    EXPECT_NEAR(final_score, scorer.ScoreFull(trip), 1e-4)
+        << GetParam() << " trip " << idx;
+  }
+}
+
+TEST_P(AllModelsTest, PrefixScoresAreDeterministic) {
+  auto& scorer = Fitted(GetParam());
+  const traj::Trip& trip = Data().ood_test[2];
+  for (int64_t k : {int64_t{1}, trip.route.size() / 2, trip.route.size()}) {
+    EXPECT_DOUBLE_EQ(scorer.Score(trip, k), scorer.Score(trip, k));
+  }
+}
+
+TEST_P(AllModelsTest, BetterThanRandomOnIdDetours) {
+  auto& scorer = Fitted(GetParam());
+  const auto result =
+      eval::EvaluateCombo(scorer, Data().id_test, Data().id_detour, 1.0);
+  EXPECT_GT(result.roc_auc, 0.55) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, AllModelsTest,
+                         ::testing::Values("iBOAT", "SAE", "VSAE", "BetaVAE",
+                                           "FactorVAE", "GM-VSAE", "DeepTEA",
+                                           "CausalTAD"));
+
+TEST(RefitDeterminismTest, SameSeedSameModel) {
+  auto a = eval::MakeScorer("VSAE", Data(), Scale::kSmoke);
+  auto b = eval::MakeScorer("VSAE", Data(), Scale::kSmoke);
+  const auto options = eval::FitOptionsFor(Scale::kSmoke);
+  a->Fit(Data().train, options);
+  b->Fit(Data().train, options);
+  for (int i = 0; i < 5; ++i) {
+    const traj::Trip& t = Data().id_test[i];
+    EXPECT_DOUBLE_EQ(a->ScoreFull(t), b->ScoreFull(t));
+  }
+}
+
+}  // namespace
+}  // namespace causaltad

@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+
+#include "eval/datasets.h"
+#include "eval/harness.h"
+#include "eval/metrics.h"
+#include "models/iboat.h"
+#include "models/rnn_vae.h"
+#include "models/scorer.h"
+
+namespace causaltad {
+namespace models {
+namespace {
+
+using eval::BuildExperiment;
+using eval::ExperimentData;
+using eval::Scale;
+using eval::XianConfig;
+
+const ExperimentData& Data() {
+  static const ExperimentData* data =
+      new ExperimentData(BuildExperiment(XianConfig(Scale::kSmoke)));
+  return *data;
+}
+
+RnnVaeConfig TinyConfig() {
+  RnnVaeConfig cfg;
+  cfg.vocab = Data().vocab();
+  cfg.emb_dim = 16;
+  cfg.hidden_dim = 24;
+  cfg.latent_dim = 12;
+  return cfg;
+}
+
+FitOptions QuickFit() {
+  FitOptions options;
+  options.epochs = 3;
+  options.lr = 3e-3f;
+  options.seed = 11;
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// Factory coverage.
+// ---------------------------------------------------------------------------
+
+TEST(FactoryTest, NamesMatchThePaper) {
+  const RnnVaeConfig base = TinyConfig();
+  EXPECT_EQ(MakeSae(base)->Name(), "SAE");
+  EXPECT_EQ(MakeVsae(base)->Name(), "VSAE");
+  EXPECT_EQ(MakeBetaVae(base)->Name(), "BetaVAE");
+  EXPECT_EQ(MakeFactorVae(base)->Name(), "FactorVAE");
+  EXPECT_EQ(MakeGmVsae(base)->Name(), "GM-VSAE");
+  EXPECT_EQ(MakeDeepTea(base)->Name(), "DeepTEA");
+}
+
+// Every learned variant must fit and produce finite, deterministic scores.
+class RnnVaeVariantTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RnnVaeVariantTest, FitsAndScoresDeterministically) {
+  const std::string which = GetParam();
+  const RnnVaeConfig base = TinyConfig();
+  std::unique_ptr<TrajectoryScorer> scorer;
+  if (which == "SAE") scorer = MakeSae(base);
+  if (which == "VSAE") scorer = MakeVsae(base);
+  if (which == "BetaVAE") scorer = MakeBetaVae(base);
+  if (which == "FactorVAE") scorer = MakeFactorVae(base);
+  if (which == "GM-VSAE") scorer = MakeGmVsae(base);
+  if (which == "DeepTEA") scorer = MakeDeepTea(base);
+  ASSERT_NE(scorer, nullptr);
+
+  scorer->Fit(Data().train, QuickFit());
+  const traj::Trip& trip = Data().id_test.front();
+  const double s1 = scorer->ScoreFull(trip);
+  const double s2 = scorer->ScoreFull(trip);
+  EXPECT_TRUE(std::isfinite(s1));
+  EXPECT_DOUBLE_EQ(s1, s2);  // inference uses the posterior mean
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, RnnVaeVariantTest,
+                         ::testing::Values("SAE", "VSAE", "BetaVAE",
+                                           "FactorVAE", "GM-VSAE",
+                                           "DeepTEA"));
+
+// ---------------------------------------------------------------------------
+// VSAE behavioural checks.
+// ---------------------------------------------------------------------------
+
+class VsaeTest : public ::testing::Test {
+ protected:
+  static TrajectoryScorer& Fitted() {
+    static std::unique_ptr<TrajectoryScorer> scorer = [] {
+      auto s = MakeVsae(TinyConfig());
+      FitOptions options = QuickFit();
+      options.epochs = 6;
+      s->Fit(Data().train, options);
+      return s;
+    }();
+    return *scorer;
+  }
+};
+
+TEST_F(VsaeTest, SeparatesDetoursFromNormalsInDistribution) {
+  const auto& d = Data();
+  std::vector<double> normal, anomaly;
+  for (const auto& t : d.id_test) normal.push_back(Fitted().ScoreFull(t));
+  for (const auto& t : d.id_detour) anomaly.push_back(Fitted().ScoreFull(t));
+  const double auc = eval::EvaluateScores(normal, anomaly).roc_auc;
+  EXPECT_GT(auc, 0.7) << "VSAE should detect detours on trained pairs";
+}
+
+TEST_F(VsaeTest, PrefixScoreEqualsScoreOfTruncatedTrip) {
+  const traj::Trip& trip = Data().id_test.front();
+  const int64_t k = trip.route.size() / 2;
+  ASSERT_GE(k, 2);
+  traj::Trip truncated = trip;
+  truncated.route.segments.resize(k);
+  EXPECT_NEAR(Fitted().Score(trip, k), Fitted().ScoreFull(truncated), 1e-6);
+}
+
+TEST_F(VsaeTest, DefaultOnlineScorerMatchesBatchPrefixScores) {
+  const traj::Trip& trip = Data().id_test[1];
+  auto online = Fitted().BeginTrip(trip);
+  for (int64_t k = 1; k <= trip.route.size(); ++k) {
+    const double incremental = online->Update(trip.route.segments[k - 1]);
+    EXPECT_NEAR(incremental, Fitted().Score(trip, k), 1e-6) << "k=" << k;
+  }
+}
+
+TEST_F(VsaeTest, SaveLoadPreservesScores) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "causaltad_vsae.bin")
+          .string();
+  ASSERT_TRUE(Fitted().Save(path).ok());
+  auto restored = MakeVsae(TinyConfig());
+  ASSERT_TRUE(restored->Load(path).ok());
+  for (int i = 0; i < 5; ++i) {
+    const traj::Trip& t = Data().id_test[i];
+    EXPECT_NEAR(restored->ScoreFull(t), Fitted().ScoreFull(t), 1e-6);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(VsaeTest, LoadRejectsWrongArchitecture) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "causaltad_vsae2.bin")
+          .string();
+  ASSERT_TRUE(Fitted().Save(path).ok());
+  RnnVaeConfig other = TinyConfig();
+  other.hidden_dim += 8;
+  auto restored = MakeVsae(other);
+  EXPECT_FALSE(restored->Load(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(RnnVaeTrainingTest, LossDecreasesOverEpochs) {
+  auto probe = [&](int epochs) {
+    auto s = MakeVsae(TinyConfig());
+    FitOptions options = QuickFit();
+    options.epochs = epochs;
+    s->Fit(Data().train, options);
+    double total = 0;
+    for (const auto& t : Data().train) total += s->ScoreFull(t);
+    return total / Data().train.size();
+  };
+  EXPECT_LT(probe(6), probe(1));
+}
+
+// ---------------------------------------------------------------------------
+// iBOAT.
+// ---------------------------------------------------------------------------
+
+class IboatTest : public ::testing::Test {
+ protected:
+  static Iboat& Fitted() {
+    static Iboat* scorer = [] {
+      auto* s = new Iboat(&Data().city.network);
+      s->Fit(Data().train, FitOptions{});
+      return s;
+    }();
+    return *scorer;
+  }
+};
+
+TEST_F(IboatTest, TrainingRouteScoresNearZero) {
+  // A trip whose exact route appears in the references is fully supported.
+  const traj::Trip& trip = Data().train.front();
+  EXPECT_LT(Fitted().ScoreFull(trip), 0.2);
+}
+
+TEST_F(IboatTest, ScoreIsInUnitInterval) {
+  for (const auto* split : {&Data().id_test, &Data().id_detour}) {
+    for (const auto& t : *split) {
+      const double s = Fitted().ScoreFull(t);
+      EXPECT_GE(s, 0.0);
+      EXPECT_LE(s, 1.0);
+    }
+  }
+}
+
+TEST_F(IboatTest, DetectsDetoursOnTrainedPairs) {
+  std::vector<double> normal, anomaly;
+  for (const auto& t : Data().id_test) normal.push_back(Fitted().ScoreFull(t));
+  for (const auto& t : Data().id_detour) {
+    anomaly.push_back(Fitted().ScoreFull(t));
+  }
+  EXPECT_GT(eval::EvaluateScores(normal, anomaly).roc_auc, 0.6);
+}
+
+TEST_F(IboatTest, OnlineScorerMatchesBatch) {
+  const traj::Trip& trip = Data().id_detour.front();
+  auto online = Fitted().BeginTrip(trip);
+  double last = 0;
+  for (const auto seg : trip.route.segments) last = online->Update(seg);
+  EXPECT_NEAR(last, Fitted().ScoreFull(trip), 1e-12);
+}
+
+TEST_F(IboatTest, SaveLoadRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "causaltad_iboat.bin")
+          .string();
+  ASSERT_TRUE(Fitted().Save(path).ok());
+  Iboat restored(&Data().city.network);
+  ASSERT_TRUE(restored.Load(path).ok());
+  for (int i = 0; i < 5; ++i) {
+    const traj::Trip& t = Data().id_test[i];
+    EXPECT_DOUBLE_EQ(restored.ScoreFull(t), Fitted().ScoreFull(t));
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(IboatTest, OodPairBorrowsNearestReferences) {
+  // Scores for OOD trips must still be defined (references borrowed).
+  for (int i = 0; i < 5; ++i) {
+    const double s = Fitted().ScoreFull(Data().ood_test[i]);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace models
+}  // namespace causaltad

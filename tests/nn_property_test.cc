@@ -1,0 +1,211 @@
+// Parameterized property sweeps over the autodiff substrate: gradient
+// correctness and algebraic identities across shapes and seeds, beyond the
+// fixed-shape cases in nn_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "nn/init.h"
+#include "nn/modules.h"
+#include "nn/ops.h"
+#include "nn/optim.h"
+
+namespace causaltad {
+namespace nn {
+namespace {
+
+// Shared finite-difference checker (duplicated signature from nn_test.cc by
+// design: each binary is self-contained).
+void CheckGrads(const std::function<Var()>& forward, std::vector<Var> params,
+                float eps = 1e-3f, float atol = 3e-3f, float rtol = 6e-2f) {
+  Var loss = forward();
+  ASSERT_EQ(loss.value().numel(), 1);
+  for (Var& p : params) p.ZeroGrad();
+  Backward(loss);
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    Var& p = params[pi];
+    for (int64_t i = 0; i < p.value().numel(); ++i) {
+      const float orig = p.value()[i];
+      p.mutable_value()[i] = orig + eps;
+      const float fp = forward().value().Item();
+      p.mutable_value()[i] = orig - eps;
+      const float fm = forward().value().Item();
+      p.mutable_value()[i] = orig;
+      const float numeric = (fp - fm) / (2 * eps);
+      const float analytic = p.grad()[i];
+      const float tol =
+          atol + rtol * std::max(std::abs(numeric), std::abs(analytic));
+      EXPECT_NEAR(analytic, numeric, tol)
+          << "param " << pi << " element " << i;
+    }
+  }
+}
+
+Var Param(std::vector<int64_t> shape, uint64_t seed) {
+  util::Rng rng(seed);
+  return Var(GaussianInit(std::move(shape), 0.4, &rng), true);
+}
+
+// ---------------------------------------------------------------------------
+// MatMul gradcheck across shapes.
+// ---------------------------------------------------------------------------
+
+class MatMulShapeTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatMulShapeTest, GradCheck) {
+  const auto [m, k, n] = GetParam();
+  Var a = Param({m, k}, 100 + m);
+  Var b = Param({k, n}, 200 + n);
+  util::Rng wrng(300 + k);
+  Var w = Constant(GaussianInit({m, n}, 1.0, &wrng));
+  CheckGrads([&] { return Sum(Mul(MatMul(a, b), w)); }, {a, b});
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatMulShapeTest,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(1, 7, 3),
+                      std::make_tuple(4, 2, 5), std::make_tuple(3, 8, 1),
+                      std::make_tuple(2, 3, 9)));
+
+// ---------------------------------------------------------------------------
+// Softmax cross-entropy identities across widths.
+// ---------------------------------------------------------------------------
+
+class SoftmaxWidthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SoftmaxWidthTest, CrossEntropyAtLeastLogOfUniform) {
+  const int width = GetParam();
+  // With all-equal logits, CE is exactly log(width) per row.
+  Var logits = Var(Tensor::Zeros({2, width}), false);
+  const std::vector<int32_t> targets = {0, width - 1};
+  const float ce = SoftmaxCrossEntropy(logits, targets).value().Item();
+  EXPECT_NEAR(ce, 2.0f * std::log(static_cast<float>(width)), 1e-4);
+}
+
+TEST_P(SoftmaxWidthTest, SoftmaxRowsSumToOne) {
+  const int width = GetParam();
+  Var a = Param({3, width}, 400 + width);
+  const Var soft = Softmax(a);
+  const Tensor& y = soft.value();
+  for (int64_t r = 0; r < 3; ++r) {
+    float total = 0;
+    for (int64_t c = 0; c < width; ++c) total += y.At(r, c);
+    EXPECT_NEAR(total, 1.0f, 1e-5);
+  }
+}
+
+TEST_P(SoftmaxWidthTest, GatherColsDotConsistentWithAffine) {
+  const int width = GetParam();
+  Var h = Param({1, 5}, 500 + width);
+  Var w = Param({5, width}, 600 + width);
+  Var b = Param({1, width}, 700 + width);
+  std::vector<int32_t> ids;
+  for (int i = 0; i < width; i += 2) ids.push_back(i);
+  const Tensor partial = GatherColsDot(h, w, b, ids).value();
+  const Tensor full = Affine(h, w, b).value();
+  for (size_t j = 0; j < ids.size(); ++j) {
+    EXPECT_NEAR(partial[static_cast<int64_t>(j)], full[ids[j]], 1e-4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SoftmaxWidthTest,
+                         ::testing::Values(2, 3, 8, 33, 128));
+
+// ---------------------------------------------------------------------------
+// GRU state-size sweep: gradients through multi-step unrolls.
+// ---------------------------------------------------------------------------
+
+class GruDimTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(GruDimTest, ThreeStepUnrollGradCheck) {
+  const auto [in_dim, hidden] = GetParam();
+  util::Rng rng(31);
+  GruCell cell("gru", in_dim, hidden, &rng);
+  Var x1 = Param({1, in_dim}, 800);
+  Var x2 = Param({1, in_dim}, 801);
+  Var x3 = Param({1, in_dim}, 802);
+  std::vector<Var> params = cell.Parameters();
+  params.push_back(x2);  // checking a subset keeps the sweep fast
+  CheckGrads(
+      [&] {
+        Var h = Constant(Tensor::Zeros({1, hidden}));
+        h = cell.Step(x1, h);
+        h = cell.Step(x2, h);
+        h = cell.Step(x3, h);
+        return Sum(Mul(h, h));
+      },
+      params);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, GruDimTest,
+                         ::testing::Values(std::make_tuple(1, 1),
+                                           std::make_tuple(2, 5),
+                                           std::make_tuple(6, 3)));
+
+// ---------------------------------------------------------------------------
+// KL and reparameterization identities across seeds.
+// ---------------------------------------------------------------------------
+
+class SeededVaeOpsTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SeededVaeOpsTest, KlIsNonNegative) {
+  Var mu = Param({2, 6}, GetParam());
+  Var logvar = Param({2, 6}, GetParam() + 1);
+  EXPECT_GE(KlStandardNormal(mu, logvar).value().Item(), 0.0f);
+}
+
+TEST_P(SeededVaeOpsTest, ReparameterizedSamplesHaveRightMoments) {
+  const int64_t n = 4000;
+  Var mu = Constant(Tensor::Full({1, n}, 2.0f));
+  Var logvar = Constant(Tensor::Full({1, n}, std::log(0.25f)));
+  util::Rng rng(GetParam());
+  const Var sample = Reparameterize(mu, logvar, &rng);
+  const Tensor& z = sample.value();
+  double sum = 0, sum2 = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    sum += z[i];
+    sum2 += (z[i] - 2.0) * (z[i] - 2.0);
+  }
+  EXPECT_NEAR(sum / n, 2.0, 0.05);
+  EXPECT_NEAR(sum2 / n, 0.25, 0.03);
+}
+
+TEST_P(SeededVaeOpsTest, AdamReducesQuadraticLoss) {
+  util::Rng rng(GetParam());
+  Var x = Var(GaussianInit({1, 8}, 2.0, &rng), true);
+  Adam opt({x}, {.lr = 0.1f});
+  auto loss_value = [&] { return Sum(Mul(x, x)).value().Item(); };
+  const float before = loss_value();
+  for (int step = 0; step < 50; ++step) {
+    opt.ZeroGrad();
+    Backward(Sum(Mul(x, x)));
+    opt.Step();
+  }
+  EXPECT_LT(loss_value(), before * 0.1f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededVaeOpsTest,
+                         ::testing::Values(11, 29, 47, 83));
+
+// ---------------------------------------------------------------------------
+// ConcatRows/GatherRows inverse relationship.
+// ---------------------------------------------------------------------------
+
+TEST(ConcatGatherTest, GatherAfterConcatRecoversParts) {
+  Var a = Param({2, 3}, 900);
+  Var b = Param({1, 3}, 901);
+  const Var cat = ConcatRows({a, b});
+  const std::vector<int32_t> last_row = {2};
+  const Var gathered = GatherRows(cat, last_row);
+  const Tensor& back = gathered.value();
+  for (int64_t c = 0; c < 3; ++c) {
+    EXPECT_FLOAT_EQ(back[c], b.value()[c]);
+  }
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace causaltad

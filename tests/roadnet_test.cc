@@ -1,0 +1,296 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+
+#include "roadnet/grid_city.h"
+#include "roadnet/road_network.h"
+#include "roadnet/shortest_path.h"
+
+namespace causaltad {
+namespace roadnet {
+namespace {
+
+// A 2x2 square of two-way streets:
+//   2 --- 3
+//   |     |
+//   0 --- 1
+RoadNetwork MakeSquare() {
+  RoadNetworkBuilder b;
+  const geo::LatLon base{30.0, 104.0};
+  b.AddNode(base);
+  b.AddNode({30.0, 104.003});
+  b.AddNode({30.003, 104.0});
+  b.AddNode({30.003, 104.003});
+  b.AddTwoWaySegment(0, 1, RoadClass::kLocal, 8.0f, 1.0f);
+  b.AddTwoWaySegment(0, 2, RoadClass::kLocal, 8.0f, 1.0f);
+  b.AddTwoWaySegment(1, 3, RoadClass::kLocal, 8.0f, 1.0f);
+  b.AddTwoWaySegment(2, 3, RoadClass::kLocal, 8.0f, 1.0f);
+  return b.Build();
+}
+
+TEST(RoadNetworkTest, BasicCounts) {
+  RoadNetwork net = MakeSquare();
+  EXPECT_EQ(net.num_nodes(), 4);
+  EXPECT_EQ(net.num_segments(), 8);
+}
+
+TEST(RoadNetworkTest, TwoWaySegmentsAreReverseTwins) {
+  RoadNetwork net = MakeSquare();
+  for (SegmentId s = 0; s < net.num_segments(); ++s) {
+    const Segment& seg = net.segment(s);
+    ASSERT_NE(seg.reverse, kInvalidSegment);
+    const Segment& twin = net.segment(seg.reverse);
+    EXPECT_EQ(twin.from, seg.to);
+    EXPECT_EQ(twin.to, seg.from);
+    EXPECT_EQ(twin.reverse, s);
+  }
+}
+
+TEST(RoadNetworkTest, OutSegmentsLeaveTheNode) {
+  RoadNetwork net = MakeSquare();
+  for (NodeId n = 0; n < net.num_nodes(); ++n) {
+    for (SegmentId s : net.OutSegments(n)) {
+      EXPECT_EQ(net.segment(s).from, n);
+    }
+  }
+}
+
+TEST(RoadNetworkTest, InSegmentsEnterTheNode) {
+  RoadNetwork net = MakeSquare();
+  for (NodeId n = 0; n < net.num_nodes(); ++n) {
+    for (SegmentId s : net.InSegments(n)) {
+      EXPECT_EQ(net.segment(s).to, n);
+    }
+  }
+}
+
+TEST(RoadNetworkTest, SuccessorsExcludeUTurn) {
+  RoadNetwork net = MakeSquare();
+  for (SegmentId s = 0; s < net.num_segments(); ++s) {
+    for (SegmentId nxt : net.Successors(s)) {
+      EXPECT_EQ(net.segment(nxt).from, net.segment(s).to);
+      EXPECT_NE(nxt, net.segment(s).reverse);
+    }
+  }
+}
+
+TEST(RoadNetworkTest, IsSuccessorAgreesWithList) {
+  RoadNetwork net = MakeSquare();
+  for (SegmentId a = 0; a < net.num_segments(); ++a) {
+    std::set<SegmentId> succ(net.Successors(a).begin(),
+                             net.Successors(a).end());
+    for (SegmentId b = 0; b < net.num_segments(); ++b) {
+      EXPECT_EQ(net.IsSuccessor(a, b), succ.count(b) > 0);
+    }
+  }
+}
+
+TEST(RoadNetworkTest, FindSegment) {
+  RoadNetwork net = MakeSquare();
+  const SegmentId s = net.FindSegment(0, 1);
+  ASSERT_NE(s, kInvalidSegment);
+  EXPECT_EQ(net.segment(s).from, 0);
+  EXPECT_EQ(net.segment(s).to, 1);
+  EXPECT_EQ(net.FindSegment(0, 3), kInvalidSegment);
+}
+
+TEST(RoadNetworkTest, StronglyConnected) {
+  EXPECT_TRUE(MakeSquare().IsStronglyConnected());
+}
+
+TEST(RoadNetworkTest, OneWayOnlyBreaksStrongConnectivity) {
+  RoadNetworkBuilder b;
+  b.AddNode({30.0, 104.0});
+  b.AddNode({30.0, 104.003});
+  b.AddSegment(0, 1, RoadClass::kLocal, 8.0f, 1.0f);
+  EXPECT_FALSE(b.Build().IsStronglyConnected());
+}
+
+TEST(RoadNetworkTest, CsvRoundTrip) {
+  RoadNetwork net = MakeSquare();
+  const std::string base =
+      (std::filesystem::temp_directory_path() / "causaltad_net_test").string();
+  ASSERT_TRUE(net.SaveCsv(base).ok());
+  auto loaded = RoadNetwork::LoadCsv(base);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_nodes(), net.num_nodes());
+  EXPECT_EQ(loaded->num_segments(), net.num_segments());
+  for (SegmentId s = 0; s < net.num_segments(); ++s) {
+    EXPECT_EQ(loaded->segment(s).from, net.segment(s).from);
+    EXPECT_EQ(loaded->segment(s).to, net.segment(s).to);
+    EXPECT_EQ(loaded->segment(s).reverse, net.segment(s).reverse);
+    EXPECT_NEAR(loaded->segment(s).length_m, net.segment(s).length_m, 1e-2);
+  }
+  std::remove((base + ".nodes.csv").c_str());
+  std::remove((base + ".segments.csv").c_str());
+}
+
+TEST(ShortestPathTest, DirectNeighbor) {
+  RoadNetwork net = MakeSquare();
+  ShortestPathEngine engine(&net);
+  auto r = engine.NodeToNode(0, 1);
+  ASSERT_TRUE(r.found);
+  ASSERT_EQ(r.segments.size(), 1u);
+  EXPECT_EQ(net.segment(r.segments[0]).from, 0);
+  EXPECT_EQ(net.segment(r.segments[0]).to, 1);
+}
+
+TEST(ShortestPathTest, SameNodeIsEmptyRoute) {
+  RoadNetwork net = MakeSquare();
+  ShortestPathEngine engine(&net);
+  auto r = engine.NodeToNode(2, 2);
+  EXPECT_TRUE(r.found);
+  EXPECT_TRUE(r.segments.empty());
+  EXPECT_EQ(r.cost, 0.0);
+}
+
+TEST(ShortestPathTest, RespectsBlockedSegments) {
+  RoadNetwork net = MakeSquare();
+  ShortestPathEngine engine(&net);
+  // Block 0->1 (and reverse); path to 1 must go around via 2,3.
+  std::vector<uint8_t> blocked(net.num_segments(), 0);
+  const SegmentId direct = net.FindSegment(0, 1);
+  blocked[direct] = 1;
+  blocked[net.segment(direct).reverse] = 1;
+  auto r = engine.NodeToNode(0, 1, {}, &blocked);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.segments.size(), 3u);
+}
+
+TEST(ShortestPathTest, CustomCostsChangeTheRoute) {
+  RoadNetwork net = MakeSquare();
+  ShortestPathEngine engine(&net);
+  std::vector<double> costs(net.num_segments(), 1.0);
+  costs[net.FindSegment(0, 1)] = 100.0;  // make the direct hop expensive
+  auto r = engine.NodeToNode(0, 1, costs);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.segments.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.cost, 3.0);
+}
+
+TEST(ShortestPathTest, SegmentToSegmentRespectsSuccessorRelation) {
+  RoadNetwork net = MakeSquare();
+  ShortestPathEngine engine(&net);
+  const SegmentId a = net.FindSegment(0, 1);
+  const SegmentId b = net.FindSegment(3, 2);
+  auto r = engine.SegmentToSegment(a, b);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.segments.front(), a);
+  EXPECT_EQ(r.segments.back(), b);
+  for (size_t i = 1; i < r.segments.size(); ++i) {
+    EXPECT_TRUE(net.IsSuccessor(r.segments[i - 1], r.segments[i]));
+  }
+}
+
+TEST(ShortestPathTest, SegmentSearchTreeConsistentWithPointQuery) {
+  RoadNetwork net = MakeSquare();
+  ShortestPathEngine engine(&net);
+  const SegmentId src = net.FindSegment(0, 1);
+  const auto tree = engine.SegmentSearch(src);
+  for (SegmentId dst = 0; dst < net.num_segments(); ++dst) {
+    auto direct = engine.SegmentToSegment(src, dst);
+    if (!direct.found) {
+      EXPECT_TRUE(std::isinf(tree.dist[dst]));
+      continue;
+    }
+    EXPECT_NEAR(tree.dist[dst], direct.cost, 1e-6);
+    auto path = ShortestPathEngine::ReconstructPath(tree, dst);
+    EXPECT_EQ(path.size(), direct.segments.size());
+  }
+}
+
+TEST(ShortestPathTest, HopDistance) {
+  RoadNetwork net = MakeSquare();
+  ShortestPathEngine engine(&net);
+  EXPECT_EQ(engine.HopDistance(0, 3), 2);
+  EXPECT_EQ(engine.HopDistance(0, 0), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Grid city properties over several configurations.
+// ---------------------------------------------------------------------------
+
+class GridCityPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GridCityPropertyTest, ConnectedAndWellFormed) {
+  GridCityConfig cfg;
+  cfg.rows = 8;
+  cfg.cols = 9;
+  cfg.seed = GetParam();
+  cfg.drop_local_street_prob = 0.10;
+  City city = BuildGridCity(cfg);
+  EXPECT_EQ(city.network.num_nodes(), 72);
+  EXPECT_TRUE(city.network.IsStronglyConnected());
+  // All preferences positive, node popularity positive.
+  for (SegmentId s = 0; s < city.network.num_segments(); ++s) {
+    EXPECT_GT(city.network.segment(s).preference, 0.0f);
+    EXPECT_GT(city.network.segment(s).length_m, 0.0f);
+  }
+  for (double p : city.node_popularity) EXPECT_GT(p, 0.0);
+  EXPECT_EQ(static_cast<int>(city.pois.size()), cfg.num_pois);
+}
+
+TEST_P(GridCityPropertyTest, ArterialsPreferredOverLocals) {
+  GridCityConfig cfg;
+  cfg.rows = 10;
+  cfg.cols = 10;
+  cfg.seed = GetParam();
+  City city = BuildGridCity(cfg);
+  double arterial_sum = 0, local_sum = 0;
+  int arterial_n = 0, local_n = 0;
+  for (SegmentId s = 0; s < city.network.num_segments(); ++s) {
+    const Segment& seg = city.network.segment(s);
+    if (seg.road_class == RoadClass::kArterial) {
+      arterial_sum += seg.preference;
+      arterial_n++;
+    } else if (seg.road_class == RoadClass::kLocal) {
+      local_sum += seg.preference;
+      local_n++;
+    }
+  }
+  ASSERT_GT(arterial_n, 0);
+  ASSERT_GT(local_n, 0);
+  EXPECT_GT(arterial_sum / arterial_n, 1.5 * (local_sum / local_n));
+}
+
+TEST_P(GridCityPropertyTest, PopularityPeaksNearPois) {
+  GridCityConfig cfg;
+  cfg.rows = 10;
+  cfg.cols = 10;
+  cfg.seed = GetParam();
+  City city = BuildGridCity(cfg);
+  double mean_pop = 0;
+  for (double p : city.node_popularity) mean_pop += p;
+  mean_pop /= city.node_popularity.size();
+  for (const Poi& poi : city.pois) {
+    EXPECT_GT(city.node_popularity[poi.node], mean_pop);
+  }
+}
+
+TEST_P(GridCityPropertyTest, DeterministicGivenSeed) {
+  GridCityConfig cfg;
+  cfg.rows = 6;
+  cfg.cols = 6;
+  cfg.seed = GetParam();
+  City a = BuildGridCity(cfg);
+  City b = BuildGridCity(cfg);
+  ASSERT_EQ(a.network.num_segments(), b.network.num_segments());
+  for (SegmentId s = 0; s < a.network.num_segments(); ++s) {
+    EXPECT_EQ(a.network.segment(s).from, b.network.segment(s).from);
+    EXPECT_FLOAT_EQ(a.network.segment(s).preference,
+                    b.network.segment(s).preference);
+  }
+  EXPECT_EQ(a.pois.size(), b.pois.size());
+  for (size_t i = 0; i < a.pois.size(); ++i) {
+    EXPECT_EQ(a.pois[i].node, b.pois[i].node);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GridCityPropertyTest,
+                         ::testing::Values(1, 2, 17, 42, 1234));
+
+}  // namespace
+}  // namespace roadnet
+}  // namespace causaltad

@@ -1,0 +1,341 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "roadnet/grid_city.h"
+#include "traj/anomaly.h"
+#include "traj/gps_sim.h"
+#include "traj/map_matching.h"
+#include "traj/router.h"
+#include "traj/trajectory.h"
+#include "traj/trip_generator.h"
+
+namespace causaltad {
+namespace traj {
+namespace {
+
+roadnet::City TestCity(uint64_t seed = 17) {
+  roadnet::GridCityConfig cfg;
+  cfg.rows = 10;
+  cfg.cols = 10;
+  cfg.seed = seed;
+  cfg.drop_local_street_prob = 0.05;
+  return roadnet::BuildGridCity(cfg);
+}
+
+TEST(RouteTest, ValidityChecksAdjacency) {
+  roadnet::City city = TestCity();
+  PreferenceRouter router(&city, {});
+  util::Rng rng(1);
+  Route r = router.Sample(0, static_cast<roadnet::NodeId>(
+                                 city.network.num_nodes() - 1),
+                          0, &rng);
+  ASSERT_FALSE(r.empty());
+  EXPECT_TRUE(r.IsValid(city.network));
+  // Corrupting the route breaks validity.
+  if (r.size() >= 3) {
+    std::swap(r.segments[0], r.segments[r.size() - 1]);
+    EXPECT_FALSE(r.IsValid(city.network));
+  }
+  EXPECT_FALSE(Route{}.IsValid(city.network));
+}
+
+TEST(RouteTest, JaccardBounds) {
+  Route a{{1, 2, 3}};
+  Route b{{3, 4, 5}};
+  EXPECT_DOUBLE_EQ(RouteJaccard(a, a), 1.0);
+  EXPECT_NEAR(RouteJaccard(a, b), 1.0 / 5.0, 1e-12);
+  EXPECT_DOUBLE_EQ(RouteJaccard(Route{}, Route{}), 1.0);
+}
+
+TEST(RouterTest, ConnectsSourceToDestination) {
+  roadnet::City city = TestCity();
+  PreferenceRouter router(&city, {});
+  util::Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto s = static_cast<roadnet::NodeId>(
+        rng.UniformInt(city.network.num_nodes()));
+    const auto d = static_cast<roadnet::NodeId>(
+        rng.UniformInt(city.network.num_nodes()));
+    if (s == d) continue;
+    Route r = router.Sample(s, d, 0, &rng);
+    ASSERT_FALSE(r.empty());
+    EXPECT_TRUE(r.IsValid(city.network));
+    EXPECT_EQ(city.network.segment(r.segments.front()).from, s);
+    EXPECT_EQ(city.network.segment(r.segments.back()).to, d);
+  }
+}
+
+TEST(RouterTest, PrefersArterialsOnAverage) {
+  roadnet::City city = TestCity();
+  RouterConfig rcfg;
+  rcfg.preference_gamma = 1.2;
+  PreferenceRouter router(&city, rcfg);
+  util::Rng rng(3);
+  int64_t arterial = 0, local = 0;
+  // Long diagonal trips, many samples.
+  for (int trial = 0; trial < 60; ++trial) {
+    Route r = router.Sample(0, static_cast<roadnet::NodeId>(
+                                   city.network.num_nodes() - 1),
+                            0, &rng);
+    for (roadnet::SegmentId s : r.segments) {
+      const auto rc = city.network.segment(s).road_class;
+      arterial += (rc == roadnet::RoadClass::kArterial);
+      local += (rc == roadnet::RoadClass::kLocal);
+    }
+  }
+  // With preference weighting, arterials should dominate local streets even
+  // though local streets are ~2x more numerous.
+  EXPECT_GT(arterial, local);
+}
+
+TEST(RouterTest, NoiseCreatesRouteDiversity) {
+  roadnet::City city = TestCity();
+  PreferenceRouter router(&city, {});
+  util::Rng rng(4);
+  std::map<std::vector<roadnet::SegmentId>, int> distinct;
+  for (int trial = 0; trial < 30; ++trial) {
+    Route r = router.Sample(2, static_cast<roadnet::NodeId>(
+                                   city.network.num_nodes() - 3),
+                            0, &rng);
+    distinct[r.segments]++;
+  }
+  EXPECT_GE(distinct.size(), 2u);
+}
+
+TEST(RouterTest, BestRouteIsDeterministic) {
+  roadnet::City city = TestCity();
+  PreferenceRouter router(&city, {});
+  Route a = router.Best(0, 37, 0);
+  Route b = router.Best(0, 37, 0);
+  EXPECT_EQ(a.segments, b.segments);
+}
+
+TEST(TripGeneratorTest, CandidatePairsRespectConstraints) {
+  roadnet::City city = TestCity();
+  PreferenceRouter router(&city, {});
+  TripGeneratorConfig cfg;
+  cfg.num_candidate_pairs = 20;
+  cfg.min_hops = 6;
+  TripGenerator gen(&city, &router, cfg);
+  auto pairs = gen.SampleCandidatePairs();
+  ASSERT_EQ(pairs.size(), 20u);
+  roadnet::ShortestPathEngine engine(&city.network);
+  std::set<std::pair<roadnet::NodeId, roadnet::NodeId>> seen;
+  for (const SdPair& p : pairs) {
+    EXPECT_NE(p.source, p.dest);
+    EXPECT_GE(engine.HopDistance(p.source, p.dest), 6);
+    EXPECT_TRUE(seen.insert({p.source, p.dest}).second) << "duplicate pair";
+    EXPECT_GT(p.weight, 0.0);
+  }
+}
+
+TEST(TripGeneratorTest, TripsMatchTheirPair) {
+  roadnet::City city = TestCity();
+  PreferenceRouter router(&city, {});
+  TripGeneratorConfig cfg;
+  cfg.num_candidate_pairs = 10;
+  cfg.min_hops = 6;
+  TripGenerator gen(&city, &router, cfg);
+  auto pairs = gen.SampleCandidatePairs();
+  for (int32_t id = 0; id < 10; ++id) {
+    Trip t = gen.GenerateTrip(pairs, id);
+    EXPECT_EQ(t.sd_pair_id, id);
+    EXPECT_EQ(t.source_node, pairs[id].source);
+    EXPECT_EQ(t.dest_node, pairs[id].dest);
+    EXPECT_TRUE(t.route.IsValid(city.network));
+    EXPECT_EQ(city.network.segment(t.route.segments.front()).from,
+              t.source_node);
+    EXPECT_EQ(city.network.segment(t.route.segments.back()).to, t.dest_node);
+    EXPECT_FALSE(t.is_anomaly());
+  }
+}
+
+TEST(TripGeneratorTest, OodTripsAvoidCandidatePairs) {
+  roadnet::City city = TestCity();
+  PreferenceRouter router(&city, {});
+  TripGeneratorConfig cfg;
+  cfg.num_candidate_pairs = 15;
+  cfg.min_hops = 6;
+  TripGenerator gen(&city, &router, cfg);
+  auto pairs = gen.SampleCandidatePairs();
+  std::set<std::pair<roadnet::NodeId, roadnet::NodeId>> candidate_set;
+  for (const SdPair& p : pairs) candidate_set.insert({p.source, p.dest});
+  for (int i = 0; i < 25; ++i) {
+    Trip t = gen.GenerateOodTrip(pairs);
+    EXPECT_EQ(t.sd_pair_id, -1);
+    EXPECT_EQ(candidate_set.count({t.source_node, t.dest_node}), 0u);
+    EXPECT_TRUE(t.route.IsValid(city.network));
+  }
+}
+
+TEST(TripGeneratorTest, PopularPairsGetMoreDemandWeight) {
+  roadnet::City city = TestCity();
+  PreferenceRouter router(&city, {});
+  TripGeneratorConfig cfg;
+  cfg.num_candidate_pairs = 30;
+  cfg.pair_zipf_s = 1.0;
+  TripGenerator gen(&city, &router, cfg);
+  auto pairs = gen.SampleCandidatePairs();
+  double max_w = 0, min_w = 1e9;
+  for (const SdPair& p : pairs) {
+    max_w = std::max(max_w, p.weight);
+    min_w = std::min(min_w, p.weight);
+  }
+  EXPECT_GT(max_w / min_w, 5.0);  // 1/1 vs 1/30 under s=1
+}
+
+class AnomalyPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AnomalyPropertyTest, DetourIsValidLongerAndSharesEndpoints) {
+  roadnet::City city = TestCity(GetParam());
+  PreferenceRouter router(&city, {});
+  TripGeneratorConfig cfg;
+  cfg.num_candidate_pairs = 10;
+  cfg.min_hops = 10;
+  cfg.seed = GetParam();
+  TripGenerator gen(&city, &router, cfg);
+  auto pairs = gen.SampleCandidatePairs();
+  AnomalyGenerator anomaly(&city.network, GetParam());
+  int made = 0;
+  for (int i = 0; i < 20; ++i) {
+    Trip base = gen.GenerateTrip(pairs, static_cast<int32_t>(i % 10));
+    auto detour = anomaly.MakeDetour(base, DetourConfig{});
+    if (!detour.has_value()) continue;
+    ++made;
+    EXPECT_EQ(detour->anomaly, AnomalyKind::kDetour);
+    EXPECT_TRUE(detour->route.IsValid(city.network));
+    EXPECT_EQ(detour->route.segments.front(), base.route.segments.front());
+    EXPECT_EQ(detour->route.segments.back(), base.route.segments.back());
+    const double extra = detour->route.LengthMeters(city.network) /
+                             base.route.LengthMeters(city.network) -
+                         1.0;
+    EXPECT_GE(extra, DetourConfig{}.min_extra_ratio - 1e-9);
+    EXPECT_LE(extra, DetourConfig{}.max_extra_ratio + 1e-9);
+    EXPECT_NE(detour->route.segments, base.route.segments);
+  }
+  EXPECT_GT(made, 10);
+}
+
+TEST_P(AnomalyPropertyTest, SwitchIsValidAndEndsAtDestination) {
+  roadnet::City city = TestCity(GetParam());
+  PreferenceRouter router(&city, {});
+  TripGeneratorConfig cfg;
+  cfg.num_candidate_pairs = 6;
+  cfg.min_hops = 10;
+  cfg.seed = GetParam();
+  TripGenerator gen(&city, &router, cfg);
+  auto pairs = gen.SampleCandidatePairs();
+  AnomalyGenerator anomaly(&city.network, GetParam() + 1);
+
+  // Build a pool of routes per pair.
+  std::vector<std::vector<Route>> pools(pairs.size());
+  std::vector<std::vector<Trip>> trips(pairs.size());
+  for (size_t pid = 0; pid < pairs.size(); ++pid) {
+    for (int i = 0; i < 8; ++i) {
+      Trip t = gen.GenerateTrip(pairs, static_cast<int32_t>(pid));
+      pools[pid].push_back(t.route);
+      trips[pid].push_back(std::move(t));
+    }
+  }
+  int made = 0;
+  for (size_t pid = 0; pid < pairs.size(); ++pid) {
+    for (const Trip& base : trips[pid]) {
+      auto switched = anomaly.MakeSwitch(base, pools[pid], SwitchConfig{});
+      if (!switched.has_value()) continue;
+      ++made;
+      EXPECT_EQ(switched->anomaly, AnomalyKind::kSwitch);
+      EXPECT_TRUE(switched->route.IsValid(city.network));
+      EXPECT_EQ(switched->route.segments.front(),
+                base.route.segments.front());
+      EXPECT_EQ(city.network.segment(switched->route.segments.back()).to,
+                base.dest_node);
+      EXPECT_NE(switched->route.segments, base.route.segments);
+    }
+  }
+  EXPECT_GT(made, 12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnomalyPropertyTest,
+                         ::testing::Values(5, 23, 99));
+
+TEST(GpsSimTest, EmitsOrderedFixesAlongRoute) {
+  roadnet::City city = TestCity();
+  PreferenceRouter router(&city, {});
+  util::Rng rng(9);
+  Route route = router.Sample(0, 87, 0, &rng);
+  GpsSimConfig cfg;
+  cfg.noise_sigma_m = 0.0;
+  GpsTrace trace = SimulateGps(city.network, route, cfg, &rng);
+  ASSERT_GT(trace.points.size(), 3u);
+  for (size_t i = 1; i < trace.points.size(); ++i) {
+    EXPECT_GT(trace.points[i].time_s, trace.points[i - 1].time_s - 1e-9);
+  }
+  // Noise-free fixes lie on the route polyline (distance ~ 0 to some seg).
+  for (const GpsPoint& pt : trace.points) {
+    double best = 1e18;
+    const geo::LocalProjection proj(city.network.node(0).pos);
+    for (roadnet::SegmentId s : route.segments) {
+      const auto& seg = city.network.segment(s);
+      best = std::min(
+          best, geo::PointSegmentDistance(
+                    proj.Project(pt.pos),
+                    proj.Project(city.network.node(seg.from).pos),
+                    proj.Project(city.network.node(seg.to).pos)));
+    }
+    EXPECT_LT(best, 25.0);  // node jitter makes straight-line approx inexact
+  }
+}
+
+TEST(MapMatchingTest, RecoversRouteFromNoisyGps) {
+  roadnet::City city = TestCity();
+  PreferenceRouter router(&city, {});
+  util::Rng rng(10);
+  MapMatcherConfig mcfg;
+  HmmMapMatcher matcher(&city.network, mcfg);
+  GpsSimConfig gcfg;
+  gcfg.interval_s = 4.0;
+  gcfg.noise_sigma_m = 10.0;
+
+  int total = 0, good = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto s = static_cast<roadnet::NodeId>(
+        rng.UniformInt(city.network.num_nodes()));
+    const auto d = static_cast<roadnet::NodeId>(
+        rng.UniformInt(city.network.num_nodes()));
+    if (s == d) continue;
+    Route truth = router.Sample(s, d, 0, &rng);
+    if (truth.size() < 5) continue;
+    GpsTrace trace = SimulateGps(city.network, truth, gcfg, &rng);
+    auto matched = matcher.Match(trace);
+    ASSERT_TRUE(matched.ok()) << matched.status().ToString();
+    EXPECT_TRUE(matched->IsValid(city.network));
+    ++total;
+    if (RouteJaccard(truth, *matched) > 0.75) ++good;
+  }
+  ASSERT_GT(total, 4);
+  EXPECT_GE(static_cast<double>(good) / total, 0.8);
+}
+
+TEST(MapMatchingTest, EmptyTraceFails) {
+  roadnet::City city = TestCity();
+  HmmMapMatcher matcher(&city.network, {});
+  EXPECT_FALSE(matcher.Match(GpsTrace{}).ok());
+}
+
+TEST(MapMatchingTest, CandidatesAreWithinRadius) {
+  roadnet::City city = TestCity();
+  MapMatcherConfig mcfg;
+  mcfg.candidate_radius_m = 60.0;
+  HmmMapMatcher matcher(&city.network, mcfg);
+  const geo::LatLon probe = city.network.SegmentMidpoint(0);
+  auto cands = matcher.Candidates(probe);
+  ASSERT_FALSE(cands.empty());
+  // Segment 0 itself must be among the candidates.
+  EXPECT_NE(std::find(cands.begin(), cands.end(), 0), cands.end());
+}
+
+}  // namespace
+}  // namespace traj
+}  // namespace causaltad

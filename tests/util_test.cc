@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "util/binary_io.h"
+#include "util/csv.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace causaltad {
+namespace util {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad thing");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("nope");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(7), b(8);
+  int differing = 0;
+  for (int i = 0; i < 10; ++i) differing += (a.NextU64() != b.NextU64());
+  EXPECT_GT(differing, 5);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntInRangeAndCoversAll) {
+  Rng rng(5);
+  std::vector<int> hits(10, 0);
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t v = rng.UniformInt(10);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 10);
+    hits[v]++;
+  }
+  for (int h : hits) EXPECT_GT(h, 300);  // ~500 expected each
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(11);
+  double sum = 0, sum2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(13);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  std::vector<int> hits(3, 0);
+  for (int i = 0; i < 8000; ++i) hits[rng.Categorical(w)]++;
+  EXPECT_EQ(hits[1], 0);
+  EXPECT_NEAR(static_cast<double>(hits[2]) / hits[0], 3.0, 0.4);
+}
+
+TEST(RngTest, PermutationIsAPermutation) {
+  Rng rng(17);
+  auto p = rng.Permutation(50);
+  std::vector<bool> seen(50, false);
+  for (int64_t v : p) {
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 50);
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(21);
+  Rng child = a.Fork();
+  // The child stream should not replay the parent stream.
+  Rng b(21);
+  b.Fork();
+  EXPECT_EQ(a.NextU64(), b.NextU64());  // parent streams stay in sync
+  int differing = 0;
+  for (int i = 0; i < 10; ++i) differing += (child.NextU64() != a.NextU64());
+  EXPECT_GT(differing, 5);
+}
+
+TEST(CsvTest, SplitPlain) {
+  auto cells = SplitCsvLine("a,b,c");
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(cells[0], "a");
+  EXPECT_EQ(cells[2], "c");
+}
+
+TEST(CsvTest, SplitQuotedWithCommaAndQuote) {
+  auto cells = SplitCsvLine(R"(x,"a,b","he said ""hi""")");
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(cells[1], "a,b");
+  EXPECT_EQ(cells[2], "he said \"hi\"");
+}
+
+TEST(CsvTest, EscapeRoundTrip) {
+  const std::string nasty = "a,\"b\" c";
+  auto cells = SplitCsvLine(EscapeCsvCell(nasty));
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0], nasty);
+}
+
+TEST(CsvTest, WriteReadRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "causaltad_csv_test.csv")
+          .string();
+  CsvTable table;
+  table.header = {"id", "name"};
+  table.rows = {{"1", "alpha,beta"}, {"2", "plain"}};
+  ASSERT_TRUE(WriteCsv(path, table).ok());
+  auto loaded = ReadCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->header, table.header);
+  EXPECT_EQ(loaded->rows, table.rows);
+  EXPECT_EQ(loaded->ColumnIndex("name"), 1);
+  EXPECT_EQ(loaded->ColumnIndex("missing"), -1);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  EXPECT_FALSE(ReadCsv("/nonexistent/dir/nope.csv").ok());
+}
+
+TEST(BinaryIoTest, RoundTripAllTypes) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "causaltad_bin_test.bin")
+          .string();
+  {
+    BinaryWriter w(path, 0xABCD1234u, 3);
+    w.WriteU32(7);
+    w.WriteI64(-42);
+    w.WriteF64(3.5);
+    w.WriteString("hello");
+    w.WriteFloats({1.0f, 2.0f, 3.0f});
+    w.WriteInts({9, -9});
+    ASSERT_TRUE(w.Close().ok());
+  }
+  BinaryReader r(path, 0xABCD1234u, 3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ReadU32(), 7u);
+  EXPECT_EQ(r.ReadI64(), -42);
+  EXPECT_EQ(r.ReadF64(), 3.5);
+  EXPECT_EQ(r.ReadString(), "hello");
+  EXPECT_EQ(r.ReadFloats(), (std::vector<float>{1.0f, 2.0f, 3.0f}));
+  EXPECT_EQ(r.ReadInts(), (std::vector<int32_t>{9, -9}));
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, RejectsBadMagicAndVersion) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "causaltad_bin_test2.bin")
+          .string();
+  {
+    BinaryWriter w(path, 0x11111111u, 1);
+    ASSERT_TRUE(w.Close().ok());
+  }
+  EXPECT_FALSE(BinaryReader(path, 0x22222222u, 1).ok());
+  EXPECT_FALSE(BinaryReader(path, 0x11111111u, 2).ok());
+  EXPECT_TRUE(BinaryReader(path, 0x11111111u, 1).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace causaltad
