@@ -5,12 +5,26 @@
 // CausalTAD ≈ TG-VAE thanks to the O(1) debiased updates and the
 // successor-masked softmax).
 //
-// Part (b) is registered through google-benchmark so timing gets proper
-// repetition handling; part (a) prints a table from single timed epochs.
+// Part (b) is measured two ways:
+//   * google-benchmark timings of the O(1)-per-segment online sessions
+//     (the paper's per-trajectory latency protocol), and
+//   * a per-trip-vs-batched comparison — the seed per-trip tape path
+//     (Score(), which builds an autograd tape per trajectory) against the
+//     batched no-grad fast path (ScoreBatch(), [B, hidden] fused GRU rolls)
+//     — written to BENCH_fig7.json so later PRs have a perf trajectory.
+//
+// Environment knobs:
+//   CAUSALTAD_BENCH_SCALE=smoke|default|full   experiment scale
+//   CAUSALTAD_FIG7_SKIP_TRAIN_TABLE=1          skip part (a)
+//   CAUSALTAD_BENCH_MIN_TIME=<seconds>         google-benchmark MinTime
+//   CAUSALTAD_BENCH_JSON=<path>                output path (BENCH_fig7.json)
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -90,14 +104,107 @@ void OnlineInference(benchmark::State& state,
       benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
 }
 
+// ---------------------------------------------------------------------------
+// Per-trip tape path vs batched no-grad fast path (emitted as JSON).
+// ---------------------------------------------------------------------------
+
+struct BatchedRow {
+  std::string method;
+  double ratio = 0.0;
+  double per_trip_us = 0.0;
+  double batched_us = 0.0;
+  double speedup = 0.0;
+  double max_abs_diff = 0.0;  // parity guard: batched vs per-trip scores
+};
+
+// Best-of-`reps` wall-clock of `fn`, in seconds.
+template <typename Fn>
+double BestOf(int reps, const Fn& fn) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    causaltad::util::Stopwatch watch;
+    fn();
+    const double elapsed = watch.ElapsedSeconds();
+    if (r == 0 || elapsed < best) best = elapsed;
+  }
+  return best;
+}
+
+BatchedRow MeasureBatched(const std::string& method,
+                          const causaltad::models::TrajectoryScorer* scorer,
+                          const std::vector<causaltad::traj::Trip>& trips,
+                          double ratio) {
+  std::vector<int64_t> prefixes;
+  prefixes.reserve(trips.size());
+  for (const auto& trip : trips) {
+    const int64_t n = trip.route.size();
+    prefixes.push_back(std::max<int64_t>(
+        1, std::min<int64_t>(n, static_cast<int64_t>(std::ceil(ratio * n)))));
+  }
+
+  std::vector<double> per_trip_scores(trips.size());
+  const double per_trip_s = BestOf(5, [&] {
+    for (size_t i = 0; i < trips.size(); ++i) {
+      per_trip_scores[i] = scorer->Score(trips[i], prefixes[i]);
+    }
+  });
+  std::vector<double> batched_scores;
+  const double batched_s = BestOf(5, [&] {
+    batched_scores = scorer->ScoreBatch(trips, prefixes);
+  });
+
+  BatchedRow row;
+  row.method = method;
+  row.ratio = ratio;
+  row.per_trip_us = per_trip_s * 1e6 / trips.size();
+  row.batched_us = batched_s * 1e6 / trips.size();
+  row.speedup = row.batched_us > 0.0 ? row.per_trip_us / row.batched_us : 0.0;
+  for (size_t i = 0; i < trips.size(); ++i) {
+    row.max_abs_diff = std::max(
+        row.max_abs_diff, std::abs(batched_scores[i] - per_trip_scores[i]));
+  }
+  return row;
+}
+
+void WriteJson(const std::string& path, Scale scale,
+               const std::vector<BatchedRow>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"figure\": \"fig7b\",\n  \"scale\": \"%s\",\n",
+               causaltad::eval::ScaleName(scale));
+  std::fprintf(f, "  \"units\": \"us_per_traj\",\n");
+  std::fprintf(f, "  \"per_trip_vs_batched\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const BatchedRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\"method\": \"%s\", \"ratio\": %.1f, "
+                 "\"per_trip_us\": %.2f, \"batched_us\": %.2f, "
+                 "\"speedup\": %.2f, \"max_abs_diff\": %.3g}%s\n",
+                 r.method.c_str(), r.ratio, r.per_trip_us, r.batched_us,
+                 r.speedup, r.max_abs_diff,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+bool EnvFlag(const char* name) {
+  const char* env = std::getenv(name);
+  return env != nullptr && std::string(env) == "1";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Scale scale = causaltad::eval::ScaleFromEnv();
-  TrainingScalabilityTable(scale);
+  if (!EnvFlag("CAUSALTAD_FIG7_SKIP_TRAIN_TABLE")) {
+    TrainingScalabilityTable(scale);
+  }
 
-  std::printf("== Fig. 7(b) — online inference runtime per trajectory "
-              "(google-benchmark; us_per_traj counter) ==\n");
   const auto config = causaltad::eval::XianConfig(scale);
   // Fitted models shared across registered benchmarks.
   static auto iboat =
@@ -109,28 +216,67 @@ int main(int argc, char** argv) {
   static CausalTadVariant tg_only(dynamic_cast<CausalTad*>(causal.get()),
                                   ScoreVariant::kLikelihoodOnly);
 
+  // Part (b), comparison 1: seed per-trip tape path vs batched no-grad fast
+  // path, emitted as BENCH_fig7.json.
+  std::printf("== Fig. 7(b) — per-trip tape path vs batched no-grad fast "
+              "path (40 trips) ==\n\n");
+  const auto batch_trips = Subsample(Data().id_test, 40, 42);
+  std::vector<BatchedRow> rows;
+  TablePrinter batched_table(
+      {"Method", "ratio", "tape us", "batched us", "speedup"});
+  batched_table.PrintHeader();
+  for (const double ratio : {0.2, 0.6, 1.0}) {
+    for (const auto& [name, scorer] :
+         std::vector<std::pair<std::string,
+                               const causaltad::models::TrajectoryScorer*>>{
+             {"GM-VSAE", gmvsae.get()},
+             {"TG-VAE", &tg_only},
+             {"CausalTAD", causal.get()}}) {
+      rows.push_back(MeasureBatched(name, scorer, batch_trips, ratio));
+      const BatchedRow& r = rows.back();
+      batched_table.PrintRow({r.method, TablePrinter::Fmt(r.ratio, 1),
+                              TablePrinter::Fmt(r.per_trip_us, 1),
+                              TablePrinter::Fmt(r.batched_us, 1),
+                              TablePrinter::Fmt(r.speedup, 1) + "x"});
+    }
+  }
+  std::printf("\n");
+  const char* json_env = std::getenv("CAUSALTAD_BENCH_JSON");
+  WriteJson(json_env != nullptr ? json_env : "BENCH_fig7.json", scale, rows);
+
+  // Part (b), comparison 2: the paper's online-session latency protocol.
+  std::printf("\n== Fig. 7(b) — online inference runtime per trajectory "
+              "(google-benchmark; us_per_traj counter) ==\n");
+  double min_time = 0.0;
+  if (const char* env = std::getenv("CAUSALTAD_BENCH_MIN_TIME")) {
+    min_time = std::atof(env);
+  }
   for (const double ratio : {0.2, 0.6, 1.0}) {
     const std::string suffix = "/ratio=" + TablePrinter::Fmt(ratio, 1);
-    benchmark::RegisterBenchmark(
-        ("iBOAT" + suffix).c_str(),
-        [&, ratio](benchmark::State& s) {
-          OnlineInference(s, iboat.get(), ratio);
-        });
-    benchmark::RegisterBenchmark(
-        ("GM-VSAE" + suffix).c_str(),
-        [&, ratio](benchmark::State& s) {
-          OnlineInference(s, gmvsae.get(), ratio);
-        });
-    benchmark::RegisterBenchmark(
-        ("TG-VAE" + suffix).c_str(),
-        [&, ratio](benchmark::State& s) {
-          OnlineInference(s, &tg_only, ratio);
-        });
-    benchmark::RegisterBenchmark(
-        ("CausalTAD" + suffix).c_str(),
-        [&, ratio](benchmark::State& s) {
-          OnlineInference(s, causal.get(), ratio);
-        });
+    std::vector<benchmark::internal::Benchmark*> registered = {
+        benchmark::RegisterBenchmark(
+            ("iBOAT" + suffix).c_str(),
+            [&, ratio](benchmark::State& s) {
+              OnlineInference(s, iboat.get(), ratio);
+            }),
+        benchmark::RegisterBenchmark(
+            ("GM-VSAE" + suffix).c_str(),
+            [&, ratio](benchmark::State& s) {
+              OnlineInference(s, gmvsae.get(), ratio);
+            }),
+        benchmark::RegisterBenchmark(
+            ("TG-VAE" + suffix).c_str(),
+            [&, ratio](benchmark::State& s) {
+              OnlineInference(s, &tg_only, ratio);
+            }),
+        benchmark::RegisterBenchmark(
+            ("CausalTAD" + suffix).c_str(),
+            [&, ratio](benchmark::State& s) {
+              OnlineInference(s, causal.get(), ratio);
+            })};
+    if (min_time > 0.0) {
+      for (auto* b : registered) b->MinTime(min_time);
+    }
   }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

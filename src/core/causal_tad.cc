@@ -135,6 +135,79 @@ double CausalTad::Score(const traj::Trip& trip, int64_t prefix_len) const {
                             config_.lambda);
 }
 
+std::vector<double> CausalTad::ScoreBatchVariantLambda(
+    std::span<const traj::Trip> trips, std::span<const int64_t> prefix_lens,
+    ScoreVariant variant, double lambda) const {
+  const size_t batch = trips.size();
+  std::vector<double> scores(batch, 0.0);
+  if (batch == 0) return scores;
+
+  // Clamp prefixes exactly like the per-trip path.
+  std::vector<int64_t> prefixes(batch);
+  for (size_t i = 0; i < batch; ++i) {
+    const int64_t n = trips[i].route.size();
+    int64_t p = i < prefix_lens.size() ? prefix_lens[i] : n;
+    if (p <= 0 || p > n) p = n;
+    prefixes[i] = p;
+  }
+
+  if (variant == ScoreVariant::kScalingOnly) {
+    // One RP-VAE batch per departure slot (segments of same-slot trips are
+    // scored together; slot is irrelevant without time conditioning).
+    std::vector<std::vector<roadnet::SegmentId>> slot_segments;
+    std::vector<std::vector<size_t>> slot_owners;
+    std::vector<int> slot_of;  // dense slot index -> time slot value
+    for (size_t i = 0; i < batch; ++i) {
+      const int slot = rp_->time_conditioned() ? trips[i].time_slot : 0;
+      size_t dense = 0;
+      while (dense < slot_of.size() && slot_of[dense] != slot) ++dense;
+      if (dense == slot_of.size()) {
+        slot_of.push_back(slot);
+        slot_segments.emplace_back();
+        slot_owners.emplace_back();
+      }
+      for (int64_t j = 0; j < prefixes[i]; ++j) {
+        slot_segments[dense].push_back(trips[i].route.segments[j]);
+        slot_owners[dense].push_back(i);
+      }
+    }
+    for (size_t dense = 0; dense < slot_of.size(); ++dense) {
+      const std::vector<double> nll =
+          rp_->SegmentNllBatch(slot_segments[dense], slot_of[dense]);
+      for (size_t k = 0; k < nll.size(); ++k) {
+        scores[slot_owners[dense][k]] += nll[k];
+      }
+    }
+    return scores;
+  }
+
+  const std::vector<TgVae::ScoreParts> parts =
+      tg_->ScoreBatch(trips, prefixes);
+  for (size_t i = 0; i < batch; ++i) {
+    scores[i] = parts[i].PrefixScore(prefixes[i]);
+  }
+  if (variant == ScoreVariant::kFull) {
+    CAUSALTAD_CHECK(!scaling_table_.empty()) << "call Fit() or Load() first";
+    for (size_t i = 0; i < batch; ++i) {
+      const int slot =
+          scaling_table_.num_slots() > 1 ? trips[i].time_slot : 0;
+      for (int64_t j = 0; j < prefixes[i]; ++j) {
+        scores[i] -=
+            lambda * scaling_table_.log_scaling(trips[i].route.segments[j],
+                                                slot);
+      }
+    }
+  }
+  return scores;
+}
+
+std::vector<double> CausalTad::ScoreBatch(
+    std::span<const traj::Trip> trips,
+    std::span<const int64_t> prefix_lens) const {
+  return ScoreBatchVariantLambda(trips, prefix_lens, ScoreVariant::kFull,
+                                 config_.lambda);
+}
+
 CausalTad::SegmentDecomposition CausalTad::Decompose(
     const traj::Trip& trip) const {
   SegmentDecomposition out;

@@ -2,6 +2,7 @@
 #define CAUSALTAD_CORE_CAUSAL_TAD_H_
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -63,6 +64,9 @@ class CausalTad : public models::TrajectoryScorer {
   void Fit(const std::vector<traj::Trip>& trips,
            const models::FitOptions& options) override;
   double Score(const traj::Trip& trip, int64_t prefix_len) const override;
+  std::vector<double> ScoreBatch(
+      std::span<const traj::Trip> trips,
+      std::span<const int64_t> prefix_lens) const override;
   std::unique_ptr<models::OnlineScorer> BeginTrip(
       const traj::Trip& trip) const override;
   util::Status Save(const std::string& path) const override;
@@ -73,6 +77,13 @@ class CausalTad : public models::TrajectoryScorer {
   /// retraining needed, only re-scoring.
   double ScoreVariantLambda(const traj::Trip& trip, int64_t prefix_len,
                             ScoreVariant variant, double lambda) const;
+
+  /// Batched twin of ScoreVariantLambda on the no-grad fast path: one
+  /// [B, hidden] TG-VAE roll (and one RP-VAE batch per time slot for the
+  /// scaling ablation) instead of B separate taped loops.
+  std::vector<double> ScoreBatchVariantLambda(
+      std::span<const traj::Trip> trips, std::span<const int64_t> prefix_lens,
+      ScoreVariant variant, double lambda) const;
 
   /// Incremental session for an ablation variant (kLikelihoodOnly sessions
   /// are what the paper times as "TG-VAE" in Fig. 7(b)).
@@ -128,6 +139,12 @@ class CausalTadVariant : public models::TrajectoryScorer {
   double Score(const traj::Trip& trip, int64_t prefix_len) const override {
     return model_->ScoreVariantLambda(trip, prefix_len, variant_,
                                       model_->lambda());
+  }
+  std::vector<double> ScoreBatch(
+      std::span<const traj::Trip> trips,
+      std::span<const int64_t> prefix_lens) const override {
+    return model_->ScoreBatchVariantLambda(trips, prefix_lens, variant_,
+                                           model_->lambda());
   }
   std::unique_ptr<models::OnlineScorer> BeginTrip(
       const traj::Trip& trip) const override {

@@ -1,5 +1,6 @@
 #include "core/rp_vae.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "nn/init.h"
@@ -63,6 +64,34 @@ nn::Var RpVae::Loss(std::span<const roadnet::SegmentId> segments,
 double RpVae::SegmentNll(roadnet::SegmentId segment, int time_slot) const {
   const std::vector<roadnet::SegmentId> one = {segment};
   return Loss(one, /*rng=*/nullptr, time_slot).value().Item();
+}
+
+std::vector<double> RpVae::SegmentNllBatch(
+    std::span<const roadnet::SegmentId> segments, int time_slot) const {
+  std::vector<double> out(segments.size());
+  const nn::InferenceGuard no_grad;
+  const int64_t latent = config_.latent_dim;
+  // Chunked so the [chunk, vocab] decoder logits stay bounded no matter how
+  // many segments the caller batches (the eval harness passes whole test
+  // sets at once).
+  constexpr size_t kChunk = 2048;
+  for (size_t begin = 0; begin < segments.size(); begin += kChunk) {
+    const size_t count = std::min(kChunk, segments.size() - begin);
+    const std::vector<int32_t> ids(segments.begin() + begin,
+                                   segments.begin() + begin + count);
+    const Posterior post = Encode(ids, time_slot);
+    const nn::Var logits = dec_.Forward(post.mu);  // [count, vocab]
+    for (size_t i = 0; i < count; ++i) {
+      out[begin + i] =
+          static_cast<double>(nn::internal::SoftmaxNllRow(
+              logits.value().data() + i * config_.vocab, config_.vocab,
+              ids[i])) +
+          static_cast<double>(nn::internal::KlStandardNormalRow(
+              post.mu.value().data() + i * latent,
+              post.logvar.value().data() + i * latent, latent));
+    }
+  }
+  return out;
 }
 
 double RpVae::LogScalingFactor(roadnet::SegmentId segment, int num_samples,

@@ -47,6 +47,12 @@ class RpVae : public nn::Module {
   /// This is the standalone RP-VAE anomaly score of the paper's ablation.
   double SegmentNll(roadnet::SegmentId segment, int time_slot = 0) const;
 
+  /// Batched SegmentNll on the no-grad fast path: one encoder/decoder pass
+  /// over all segments (repeats allowed). out[i] == SegmentNll(segments[i],
+  /// time_slot).
+  std::vector<double> SegmentNllBatch(
+      std::span<const roadnet::SegmentId> segments, int time_slot = 0) const;
+
   /// Monte-Carlo estimate of log E_{e ~ Q2(E|s)}[ 1 / P(s|e) ] with
   /// `num_samples` posterior samples (log-sum-exp aggregated, so large
   /// 1/P values cannot overflow).

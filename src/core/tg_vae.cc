@@ -1,6 +1,9 @@
 #include "core/tg_vae.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
 
 #include "nn/init.h"
 #include "nn/ops.h"
@@ -8,6 +11,9 @@
 
 namespace causaltad {
 namespace core {
+
+using nn::internal::KlStandardNormalRow;
+using nn::internal::SoftmaxNllRow;
 
 TgVae::TgVae(const roadnet::RoadNetwork* network, const TgVaeConfig& config,
              util::Rng* rng)
@@ -130,6 +136,193 @@ TgVae::ScoreParts TgVae::Score(const traj::Trip& trip) const {
   parts.step_nll.reserve(segs.size() - 1);
   for (size_t j = 0; j + 1 < segs.size(); ++j) {
     parts.step_nll.push_back(StepNll(segs[j], segs[j + 1], &h));
+  }
+  return parts;
+}
+
+std::vector<TgVae::ScoreParts> TgVae::ScoreBatch(
+    std::span<const traj::Trip> trips,
+    std::span<const int64_t> prefix_lens) const {
+  const int64_t batch = static_cast<int64_t>(trips.size());
+  std::vector<ScoreParts> parts(trips.size());
+  if (batch == 0) return parts;
+  const nn::InferenceGuard no_grad;
+
+  // SD encode, deduplicated: trips sharing an SD pair (common under the
+  // paper's ride-hailing workload — many concurrent orders between the same
+  // endpoints) get one posterior, one SD-decoder CE, and one h0 row. The
+  // expensive [U, vocab] head logits then scale with unique pairs U, not
+  // batch size.
+  std::vector<int32_t> s_ids(batch), d_ids(batch);
+  std::vector<int64_t> pair_of(batch);  // trip -> unique-pair index
+  std::unordered_map<int64_t, int64_t> pair_index;
+  std::vector<int32_t> u_s, u_d;  // unique pair endpoints
+  int64_t max_steps = 0;
+  for (int64_t i = 0; i < batch; ++i) {
+    const auto& segs = trips[i].route.segments;
+    CAUSALTAD_CHECK_GE(segs.size(), 1u);
+    s_ids[i] = segs.front();
+    d_ids[i] = segs.back();
+    const int64_t key =
+        (static_cast<int64_t>(s_ids[i]) << 32) | static_cast<uint32_t>(d_ids[i]);
+    const auto [it, inserted] =
+        pair_index.try_emplace(key, static_cast<int64_t>(u_s.size()));
+    if (inserted) {
+      u_s.push_back(s_ids[i]);
+      u_d.push_back(d_ids[i]);
+    }
+    pair_of[i] = it->second;
+  }
+  const int64_t unique = static_cast<int64_t>(u_s.size());
+  const nn::Var joint = nn::ConcatCols(
+      {sd_emb_.Forward(u_s), sd_emb_.Forward(u_d)});  // [U, 2*emb]
+  const nn::Var hidden = nn::Tanh(enc_fc_.Forward(joint));
+  const nn::Var mu = mu_head_.Forward(hidden);      // [U, latent]
+  const nn::Var logvar = lv_head_.Forward(hidden);  // [U, latent]
+  const int64_t latent = config_.latent_dim;
+  std::vector<double> pair_kl(unique), pair_sd_nll(unique, 0.0);
+  for (int64_t u = 0; u < unique; ++u) {
+    pair_kl[u] = KlStandardNormalRow(mu.value().data() + u * latent,
+                                     logvar.value().data() + u * latent,
+                                     latent);
+  }
+  if (config_.use_sd_decoder) {
+    const nn::Var dec_hidden = nn::Tanh(dec_fc_.Forward(mu));
+    const nn::Var logits_s = head_s_.Forward(dec_hidden);  // [U, vocab]
+    const nn::Var logits_d = head_d_.Forward(dec_hidden);  // [U, vocab]
+    for (int64_t u = 0; u < unique; ++u) {
+      pair_sd_nll[u] =
+          SoftmaxNllRow(logits_s.value().data() + u * config_.vocab,
+                        config_.vocab, u_s[u]) +
+          SoftmaxNllRow(logits_d.value().data() + u * config_.vocab,
+                        config_.vocab, u_d[u]);
+    }
+  }
+  for (int64_t i = 0; i < batch; ++i) {
+    parts[i].kl = pair_kl[pair_of[i]];
+    parts[i].sd_nll = pair_sd_nll[pair_of[i]];
+  }
+
+  // Roll all rows through one [B, hidden] decoder state, compacting the
+  // batch as short rows finish so long rows stop paying for dead ones.
+  // The output weights are transposed once up front so every
+  // successor-masked logit is a contiguous dot instead of a vocab-strided
+  // column walk — the same O(d·|successors|) step cost as GatherColsDot,
+  // but cache-friendly.
+  const int64_t hd = config_.hidden_dim;
+  nn::internal::ArenaScope decode_scope;
+  float* wt = nullptr;  // out_.w() transposed: [vocab, hidden]
+  if (config_.road_constrained) {
+    wt = nn::internal::ArenaAlloc(config_.vocab * hd);
+    nn::internal::PackTranspose(out_.w().value().data(), hd, config_.vocab,
+                                wt);
+  }
+
+  // steps[i] = number of step NLLs row i needs (per-row prefix budget);
+  // rows leave the batch once their count is reached.
+  std::vector<int64_t> steps(batch);
+  std::vector<int64_t> active(batch);  // position -> original row
+  for (int64_t i = 0; i < batch; ++i) {
+    steps[i] = static_cast<int64_t>(trips[i].route.segments.size()) - 1;
+    if (i < static_cast<int64_t>(prefix_lens.size()) && prefix_lens[i] > 0) {
+      steps[i] = std::min(steps[i], prefix_lens[i] - 1);
+    }
+    max_steps = std::max(max_steps, steps[i]);
+    active[i] = i;
+    parts[i].step_nll.reserve(steps[i]);
+  }
+
+  // Project every unique input segment through the gate input weights once;
+  // the recurrent loop then just gathers [3*hidden] rows per step instead
+  // of re-running the input matmuls.
+  std::vector<int32_t> dense_of(config_.vocab, -1);
+  std::vector<int32_t> unique_segs;
+  for (int64_t i = 0; i < batch; ++i) {
+    const auto& segs = trips[i].route.segments;
+    for (int64_t j = 0; j < steps[i]; ++j) {
+      if (dense_of[segs[j]] < 0) {
+        dense_of[segs[j]] = static_cast<int32_t>(unique_segs.size());
+        unique_segs.push_back(segs[j]);
+      }
+    }
+  }
+  const nn::Tensor xw_table = gru_.ProjectInputs(
+      nn::GatherRows(route_emb_.table(), unique_segs).value());
+
+  const nn::Var pair_h0 = nn::Tanh(h0_proj_.Forward(mu));  // [U, hidden]
+  nn::Tensor h0_rows({batch, hd});
+  for (int64_t i = 0; i < batch; ++i) {
+    std::copy(pair_h0.value().data() + pair_of[i] * hd,
+              pair_h0.value().data() + (pair_of[i] + 1) * hd,
+              h0_rows.data() + i * hd);
+  }
+  nn::Var h = nn::Constant(std::move(h0_rows));  // [B, hidden]
+  for (int64_t j = 0; j < max_steps; ++j) {
+    // Compact: drop rows whose step budget is exhausted.
+    size_t keep = 0;
+    for (size_t a = 0; a < active.size(); ++a) {
+      if (steps[active[a]] > j) ++keep;
+    }
+    if (keep != active.size()) {
+      nn::Tensor compact({static_cast<int64_t>(keep), hd});
+      size_t pos = 0, write = 0;
+      for (size_t a = 0; a < active.size(); ++a) {
+        if (steps[active[a]] > j) {
+          std::copy(h.value().data() + a * hd, h.value().data() + (a + 1) * hd,
+                    compact.data() + pos * hd);
+          ++pos;
+          active[write++] = active[a];
+        }
+      }
+      active.resize(keep);
+      h = nn::Constant(std::move(compact));
+    }
+
+    const int64_t three_h = 3 * hd;
+    nn::internal::ArenaScope step_scope;
+    float* xw = nn::internal::ArenaAlloc(
+        static_cast<int64_t>(active.size()) * three_h);
+    for (size_t a = 0; a < active.size(); ++a) {
+      const int32_t dense = dense_of[trips[active[a]].route.segments[j]];
+      std::copy(xw_table.data() + dense * three_h,
+                xw_table.data() + (dense + 1) * three_h, xw + a * three_h);
+    }
+    h = gru_.StepFusedProjected(xw, static_cast<int64_t>(active.size()), h);
+    const float* b = out_.b().value().data();
+    float* full_logits = nullptr;  // unconstrained ablation: [A, vocab]
+    if (!config_.road_constrained) {
+      full_logits = nn::internal::ArenaAlloc(
+          static_cast<int64_t>(active.size()) * config_.vocab);
+      nn::internal::MatMulPacked(h.value().data(), out_.w().value().data(),
+                                 full_logits,
+                                 static_cast<int64_t>(active.size()), hd,
+                                 config_.vocab);
+    }
+    for (size_t a = 0; a < active.size(); ++a) {
+      const int64_t i = active[a];
+      const auto& segs = trips[i].route.segments;
+      const float* hrow = h.value().data() + a * hd;
+      if (config_.road_constrained) {
+        const auto successors = network_->Successors(segs[j]);
+        const int64_t k = static_cast<int64_t>(successors.size());
+        nn::internal::ArenaScope scope;
+        float* logits = nn::internal::ArenaAlloc(k);
+        int64_t target_pos = -1;
+        for (int64_t c = 0; c < k; ++c) {
+          const int32_t col = successors[c];
+          if (col == segs[j + 1]) target_pos = c;
+          logits[c] =
+              b[col] + nn::internal::DotUnrolled(hrow, wt + col * hd, hd);
+        }
+        CAUSALTAD_CHECK_GE(target_pos, 0) << "route is not network-valid";
+        parts[i].step_nll.push_back(SoftmaxNllRow(logits, k, target_pos));
+      } else {
+        float* logits = full_logits + a * config_.vocab;
+        for (int64_t c = 0; c < config_.vocab; ++c) logits[c] += b[c];
+        parts[i].step_nll.push_back(
+            SoftmaxNllRow(logits, config_.vocab, segs[j + 1]));
+      }
+    }
   }
   return parts;
 }

@@ -2,6 +2,7 @@
 #define CAUSALTAD_CORE_TG_VAE_H_
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "nn/modules.h"
@@ -57,6 +58,17 @@ class TgVae : public nn::Module {
     double PrefixScore(int64_t prefix_len) const;
   };
   ScoreParts Score(const traj::Trip& trip) const;
+
+  /// Batched inference scoring on the no-grad fast path: encodes all SD
+  /// pairs as one batch (deduplicated) and rolls every trip through one
+  /// [B, hidden] decoder state (fused GRU steps) with per-row
+  /// successor-masked next-segment prediction. parts[i] matches
+  /// Score(trips[i]). A non-empty `prefix_lens` caps row i's decoding at
+  /// the steps PrefixScore(prefix_lens[i]) needs (rows leave the batch
+  /// once their budget is spent); empty decodes full routes.
+  std::vector<ScoreParts> ScoreBatch(
+      std::span<const traj::Trip> trips,
+      std::span<const int64_t> prefix_lens = {}) const;
 
   /// --- Online pieces (used by CausalTad::OnlineSession) ---
 

@@ -137,15 +137,16 @@ std::unique_ptr<models::TrajectoryScorer> FitOrLoad(
 std::vector<double> ScoreSet(const models::TrajectoryScorer& scorer,
                              const std::vector<traj::Trip>& trips,
                              double observed_ratio) {
-  std::vector<double> scores;
-  scores.reserve(trips.size());
+  // One batched call: models with a no-grad fast path roll the whole set
+  // through [B, hidden] states; everything else falls back to a Score loop.
+  std::vector<int64_t> prefixes;
+  prefixes.reserve(trips.size());
   for (const traj::Trip& trip : trips) {
     const int64_t n = trip.route.size();
     int64_t prefix = static_cast<int64_t>(std::ceil(observed_ratio * n));
-    prefix = std::max<int64_t>(1, std::min(prefix, n));
-    scores.push_back(scorer.Score(trip, prefix));
+    prefixes.push_back(std::max<int64_t>(1, std::min(prefix, n)));
   }
-  return scores;
+  return scorer.ScoreBatch(trips, prefixes);
 }
 
 EvalResult EvaluateCombo(const models::TrajectoryScorer& scorer,

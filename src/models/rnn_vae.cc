@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_set>
 
+#include "nn/fastmath.h"
 #include "nn/init.h"
 #include "nn/ops.h"
 #include "util/logging.h"
@@ -67,14 +69,14 @@ struct RnnVae::Net : nn::Module {
   std::vector<nn::Var> GenerativeParameters() const {
     std::vector<nn::Var> all = Parameters();
     if (!disc) return all;
-    std::vector<nn::Var> disc_params = disc->Parameters();
+    std::unordered_set<const nn::Node*> disc_nodes;
+    for (const nn::Var& d : disc->Parameters()) {
+      disc_nodes.insert(d.node().get());
+    }
     std::vector<nn::Var> keep;
+    keep.reserve(all.size());
     for (const nn::Var& p : all) {
-      bool is_disc = false;
-      for (const nn::Var& d : disc_params) {
-        if (p.node().get() == d.node().get()) is_disc = true;
-      }
-      if (!is_disc) keep.push_back(p);
+      if (!disc_nodes.contains(p.node().get())) keep.push_back(p);
     }
     return keep;
   }
@@ -304,6 +306,231 @@ void RnnVae::Fit(const std::vector<traj::Trip>& trips,
 
 double RnnVae::Score(const traj::Trip& trip, int64_t prefix_len) const {
   return Loss(trip, prefix_len, /*rng=*/nullptr).value().Item();
+}
+
+std::vector<double> RnnVae::ScoreBatch(
+    std::span<const traj::Trip> trips,
+    std::span<const int64_t> prefix_lens) const {
+  const int64_t batch = static_cast<int64_t>(trips.size());
+  std::vector<double> scores(batch, 0.0);
+  if (batch == 0) return scores;
+  const nn::InferenceGuard no_grad;
+
+  std::vector<int64_t> prefixes(batch);
+  int64_t max_prefix = 0;
+  for (int64_t i = 0; i < batch; ++i) {
+    const int64_t n = trips[i].route.size();
+    int64_t p = i < static_cast<int64_t>(prefix_lens.size()) ? prefix_lens[i]
+                                                             : n;
+    if (p <= 0 || p > n) p = n;
+    CAUSALTAD_CHECK_GT(p, 0);
+    prefixes[i] = p;
+    max_prefix = std::max(max_prefix, p);
+  }
+
+  const int64_t hd = config_.hidden_dim;
+  nn::Var slot_vecs;  // [B, slot_emb] (time-conditioned models only)
+  if (config_.time_conditioned) {
+    std::vector<int32_t> slot_ids(batch);
+    for (int64_t i = 0; i < batch; ++i) {
+      slot_ids[i] = static_cast<int32_t>(trips[i].time_slot);
+    }
+    slot_vecs = net_->slot_emb->Forward(slot_ids);
+  }
+
+  // Compacts `h` down to the rows of `active` whose prefix outlives step j,
+  // shrinking `active` in place. Shared by the encoder and decoder rolls so
+  // mixed-length batches stop paying max-length gate flops for dead rows.
+  std::vector<int64_t> active(batch);
+  const auto compact_to_live_rows = [&](nn::Var* h, int64_t j) {
+    size_t keep = 0;
+    for (size_t a = 0; a < active.size(); ++a) {
+      if (prefixes[active[a]] > j) ++keep;
+    }
+    if (keep == active.size()) return;
+    nn::Tensor compact({static_cast<int64_t>(keep), hd});
+    size_t pos = 0, write = 0;
+    for (size_t a = 0; a < active.size(); ++a) {
+      if (prefixes[active[a]] > j) {
+        std::copy(h->value().data() + a * hd,
+                  h->value().data() + (a + 1) * hd,
+                  compact.data() + pos * hd);
+        ++pos;
+        active[write++] = active[a];
+      }
+    }
+    active.resize(keep);
+    *h = nn::Constant(std::move(compact));
+  };
+  const auto gather_slot_vecs = [&]() {
+    std::vector<int32_t> slot_ids(active.size());
+    for (size_t a = 0; a < active.size(); ++a) {
+      slot_ids[a] = static_cast<int32_t>(trips[active[a]].time_slot);
+    }
+    return net_->slot_emb->Forward(slot_ids);
+  };
+
+  // Project every unique input segment through each GRU's gate input
+  // weights once; the rolls below gather [3*hidden] rows per step instead
+  // of re-running the input matmuls. (The time-conditioned encoder
+  // concatenates a slot embedding onto its input, so it keeps the general
+  // fused step; the decoder input is always a bare embedding row.)
+  std::vector<int32_t> dense_of(config_.vocab, -1);
+  std::vector<int32_t> unique_segs;
+  for (int64_t i = 0; i < batch; ++i) {
+    const auto& segs = trips[i].route.segments;
+    for (int64_t j = 0; j < prefixes[i]; ++j) {
+      if (dense_of[segs[j]] < 0) {
+        dense_of[segs[j]] = static_cast<int32_t>(unique_segs.size());
+        unique_segs.push_back(segs[j]);
+      }
+    }
+  }
+  const nn::Var emb_rows = nn::GatherRows(net_->emb.table(), unique_segs);
+  nn::Tensor enc_xw_table;
+  if (!config_.time_conditioned) {
+    enc_xw_table = net_->enc_gru.ProjectInputs(emb_rows.value());
+  }
+  const nn::Tensor dec_xw_table =
+      net_->dec_gru.ProjectInputs(emb_rows.value());
+  const nn::Tensor bos_xw = net_->dec_gru.ProjectInputs(net_->bos.value());
+
+  // Gathers the pre-projected input rows for the current active set into
+  // arena scratch (valid until the enclosing scope ends).
+  const auto gather_xw = [&](const nn::Tensor& table, int64_t j) {
+    const int64_t width = table.cols();
+    float* xw = nn::internal::ArenaAlloc(
+        static_cast<int64_t>(active.size()) * width);
+    for (size_t a = 0; a < active.size(); ++a) {
+      const int32_t dense = dense_of[trips[active[a]].route.segments[j]];
+      std::copy(table.data() + dense * width,
+                table.data() + (dense + 1) * width, xw + a * width);
+    }
+    return xw;
+  };
+
+  // Encoder: roll every trip through one [B, hidden] state, freezing each
+  // row's result the step its own prefix ends.
+  std::vector<int32_t> step_ids;
+  nn::Tensor enc_h_rows({batch * hd});  // flat row-capture buffer
+  nn::Var h = nn::Constant(nn::Tensor::Zeros({batch, hd}));
+  active.resize(batch);
+  for (int64_t i = 0; i < batch; ++i) active[i] = i;
+  for (int64_t j = 0; j < max_prefix; ++j) {
+    compact_to_live_rows(&h, j);
+    if (config_.time_conditioned) {
+      step_ids.resize(active.size());
+      for (size_t a = 0; a < active.size(); ++a) {
+        step_ids[a] = trips[active[a]].route.segments[j];
+      }
+      nn::Var x =
+          nn::ConcatCols({net_->emb.Forward(step_ids), gather_slot_vecs()});
+      h = net_->enc_gru.StepFused(x, h);
+    } else {
+      nn::internal::ArenaScope step_scope;
+      h = net_->enc_gru.StepFusedProjected(
+          gather_xw(enc_xw_table, j), static_cast<int64_t>(active.size()), h);
+    }
+    for (size_t a = 0; a < active.size(); ++a) {
+      const int64_t i = active[a];
+      if (prefixes[i] == j + 1) {
+        std::copy(h.value().data() + a * hd, h.value().data() + (a + 1) * hd,
+                  enc_h_rows.data() + i * hd);
+      }
+    }
+  }
+  const nn::Var enc_h =
+      nn::Constant(std::move(enc_h_rows.Reshape({batch, hd})));
+
+  // Latent bottleneck (posterior mean at inference) and per-row KL.
+  const int64_t latent = config_.latent_dim;
+  nn::Var h0_input;
+  std::vector<float> kl(batch, 0.0f);
+  if (config_.variational) {
+    const nn::Var mu = net_->mu_head->Forward(enc_h);
+    const nn::Var logvar = net_->lv_head->Forward(enc_h);
+    for (int64_t i = 0; i < batch; ++i) {
+      const float* mu_row = mu.value().data() + i * latent;
+      const float* lv_row = logvar.value().data() + i * latent;
+      if (config_.mixture_k > 0) {
+        // MC estimate with z = mu: log q(z|x) - log p_mix(z). The quadratic
+        // term of log q vanishes because z is exactly the posterior mean.
+        float sum_lv = 0.0f;
+        for (int64_t d = 0; d < latent; ++d) sum_lv += lv_row[d];
+        const float log_q =
+            -0.5f * (sum_lv + kLog2Pi * static_cast<float>(latent));
+        nn::internal::ArenaScope scope;
+        float* comp = nn::internal::ArenaAlloc(config_.mixture_k);
+        for (int c = 0; c < config_.mixture_k; ++c) {
+          const float* mean = net_->mix_means.value().data() + c * latent;
+          float ss = 0.0f;
+          for (int64_t d = 0; d < latent; ++d) {
+            const float diff = mu_row[d] - mean[d];
+            ss += diff * diff;
+          }
+          comp[c] =
+              -0.5f * (ss + kLog2Pi * static_cast<float>(latent)) -
+              std::log(static_cast<float>(config_.mixture_k));
+        }
+        float max_v = comp[0];
+        for (int c = 1; c < config_.mixture_k; ++c) {
+          max_v = std::max(max_v, comp[c]);
+        }
+        float total = 0.0f;
+        for (int c = 0; c < config_.mixture_k; ++c) {
+          total += nn::fastmath::Exp(comp[c] - max_v);
+        }
+        kl[i] = log_q - (max_v + std::log(total));
+      } else {
+        kl[i] = nn::internal::KlStandardNormalRow(mu_row, lv_row, latent);
+      }
+    }
+    h0_input = mu;
+  } else {
+    h0_input = enc_h;
+  }
+  if (config_.time_conditioned) {
+    h0_input = nn::ConcatCols({h0_input, slot_vecs});
+  }
+
+  // Decoder: teacher-forced batch roll with a full-vocabulary softmax per
+  // step, accumulating each row's NLL while its prefix is live and
+  // compacting finished rows out of the batch.
+  nn::Var dh = nn::Tanh(net_->dec_in->Forward(h0_input));
+  std::vector<float> recon(batch, 0.0f);
+  active.resize(batch);
+  for (int64_t i = 0; i < batch; ++i) active[i] = i;
+  for (int64_t j = 0; j < max_prefix; ++j) {
+    compact_to_live_rows(&dh, j);
+    nn::internal::ArenaScope step_scope;
+    float* xw;
+    if (j == 0) {
+      const int64_t width = 3 * hd;
+      xw = nn::internal::ArenaAlloc(
+          static_cast<int64_t>(active.size()) * width);
+      for (size_t a = 0; a < active.size(); ++a) {
+        std::copy(bos_xw.data(), bos_xw.data() + width, xw + a * width);
+      }
+    } else {
+      xw = gather_xw(dec_xw_table, j - 1);
+    }
+    dh = net_->dec_gru.StepFusedProjected(
+        xw, static_cast<int64_t>(active.size()), dh);
+    const nn::Var logits = net_->out.Forward(dh);  // [A, vocab]
+    for (size_t a = 0; a < active.size(); ++a) {
+      const int64_t i = active[a];
+      recon[i] += nn::internal::SoftmaxNllRow(
+          logits.value().data() + a * config_.vocab, config_.vocab,
+          trips[i].route.segments[j]);
+    }
+  }
+
+  for (int64_t i = 0; i < batch; ++i) {
+    scores[i] = config_.variational
+                    ? static_cast<double>(recon[i] + config_.beta * kl[i])
+                    : static_cast<double>(recon[i]);
+  }
+  return scores;
 }
 
 util::Status RnnVae::Save(const std::string& path) const {

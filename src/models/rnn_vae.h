@@ -53,6 +53,12 @@ class RnnVae : public TrajectoryScorer {
   void Fit(const std::vector<traj::Trip>& trips,
            const FitOptions& options) override;
   double Score(const traj::Trip& trip, int64_t prefix_len) const override;
+  /// No-grad fast path: encodes and decodes all trips as one [B, hidden]
+  /// GRU batch (fused steps, packed matmuls, no tape). Matches Score
+  /// per element for every model variant.
+  std::vector<double> ScoreBatch(
+      std::span<const traj::Trip> trips,
+      std::span<const int64_t> prefix_lens) const override;
   util::Status Save(const std::string& path) const override;
   util::Status Load(const std::string& path) override;
 

@@ -29,5 +29,18 @@ std::unique_ptr<OnlineScorer> TrajectoryScorer::BeginTrip(
   return std::make_unique<RescoringOnlineScorer>(this, trip);
 }
 
+std::vector<double> TrajectoryScorer::ScoreBatch(
+    std::span<const traj::Trip> trips,
+    std::span<const int64_t> prefix_lens) const {
+  std::vector<double> scores;
+  scores.reserve(trips.size());
+  for (size_t i = 0; i < trips.size(); ++i) {
+    const int64_t prefix =
+        i < prefix_lens.size() ? prefix_lens[i] : trips[i].route.size();
+    scores.push_back(Score(trips[i], prefix));
+  }
+  return scores;
+}
+
 }  // namespace models
 }  // namespace causaltad

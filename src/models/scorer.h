@@ -2,6 +2,7 @@
 #define CAUSALTAD_MODELS_SCORER_H_
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -56,6 +57,16 @@ class TrajectoryScorer {
   double ScoreFull(const traj::Trip& trip) const {
     return Score(trip, trip.route.size());
   }
+
+  /// Batched scoring: element i is Score(trips[i], prefix_lens[i]) (the
+  /// same <=0 / beyond-route clamping applies). `prefix_lens` may be empty,
+  /// meaning full trajectories. The base implementation loops over Score;
+  /// recurrent models override it with a no-grad fast path that rolls all
+  /// trips through one [B, hidden] state, which is how the evaluation
+  /// harness and the serving path amortize per-step costs.
+  virtual std::vector<double> ScoreBatch(
+      std::span<const traj::Trip> trips,
+      std::span<const int64_t> prefix_lens) const;
 
   /// Starts incremental scoring of one trip (context only; segments are fed
   /// via OnlineScorer::Update). The base implementation re-scores the prefix

@@ -1,5 +1,6 @@
 #include "nn/autograd.h"
 
+#include <algorithm>
 #include <unordered_set>
 
 #include "util/logging.h"
@@ -7,19 +8,99 @@
 namespace causaltad {
 namespace nn {
 
+namespace {
+
+thread_local int inference_depth = 0;
+thread_local int64_t tape_nodes_created = 0;
+
+// Thread-local slab arena for inference scratch. Slabs are stable
+// (never reallocated), so nested scopes can bump/restore freely while
+// earlier pointers stay valid.
+struct Arena {
+  static constexpr int64_t kMinSlabFloats = 1 << 16;
+
+  struct Slab {
+    std::unique_ptr<float[]> data;
+    int64_t size = 0;
+  };
+
+  std::vector<Slab> slabs;
+  size_t slab = 0;       // index of the slab being bumped
+  int64_t offset = 0;    // floats consumed in that slab
+
+  float* Alloc(int64_t n) {
+    while (slab < slabs.size() && slabs[slab].size - offset < n) {
+      ++slab;
+      offset = 0;
+    }
+    if (slab == slabs.size()) {
+      const int64_t size = std::max(n, kMinSlabFloats);
+      slabs.push_back({std::make_unique<float[]>(size), size});
+      offset = 0;
+    }
+    float* out = slabs[slab].data.get() + offset;
+    offset += n;
+    return out;
+  }
+};
+
+Arena& ThreadArena() {
+  thread_local Arena arena;
+  return arena;
+}
+
+}  // namespace
+
+InferenceGuard::InferenceGuard() {
+  ++inference_depth;
+  Arena& arena = ThreadArena();
+  arena_slab_ = arena.slab;
+  arena_offset_ = arena.offset;
+}
+
+InferenceGuard::~InferenceGuard() {
+  --inference_depth;
+  Arena& arena = ThreadArena();
+  arena.slab = arena_slab_;
+  arena.offset = arena_offset_;
+}
+
+bool InferenceGuard::active() { return inference_depth > 0; }
+
+int64_t TapeNodesCreated() { return tape_nodes_created; }
+
 namespace internal {
+
+float* ArenaAlloc(int64_t n) { return ThreadArena().Alloc(n); }
+
+ArenaScope::ArenaScope() {
+  Arena& arena = ThreadArena();
+  slab_ = arena.slab;
+  offset_ = arena.offset;
+}
+
+ArenaScope::~ArenaScope() {
+  Arena& arena = ThreadArena();
+  arena.slab = slab_;
+  arena.offset = offset_;
+}
 
 Var MakeOp(Tensor value, std::vector<Var> parents,
            std::function<void()>** backward_slot, Node** self) {
   Var out(std::move(value), /*requires_grad=*/false);
   Node* node = out.node().get();
+  *self = node;
+  if (InferenceGuard::active()) {
+    *backward_slot = nullptr;
+    return out;
+  }
   for (const Var& p : parents) {
     if (p.defined()) {
       node->parents.push_back(p.node());
       node->requires_grad |= p.requires_grad();
     }
   }
-  *self = node;
+  if (!node->parents.empty()) ++tape_nodes_created;
   *backward_slot = node->requires_grad ? &node->backward : nullptr;
   return out;
 }

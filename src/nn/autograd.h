@@ -71,13 +71,62 @@ class Var {
 /// requires_grad node reachable from root; leaves keep them until ZeroGrad.
 void Backward(const Var& root);
 
+/// RAII no-grad mode for the calling thread. While at least one guard is
+/// alive, every op forward skips tape construction entirely: no parent
+/// edges, no requires_grad propagation, no backward closures — the output
+/// Var is a bare value. Guards nest; each one also scopes the thread-local
+/// scratch arena (allocations made under a guard are released when it dies).
+/// This is the inference fast path used by the batched scorers.
+class InferenceGuard {
+ public:
+  InferenceGuard();
+  ~InferenceGuard();
+  InferenceGuard(const InferenceGuard&) = delete;
+  InferenceGuard& operator=(const InferenceGuard&) = delete;
+
+  /// True when the calling thread is inside at least one guard.
+  static bool active();
+
+ private:
+  size_t arena_slab_;
+  int64_t arena_offset_;
+};
+
+/// Number of tape nodes (op outputs wired with parent edges for backward)
+/// created by the calling thread since it started. Flat across
+/// InferenceGuard scopes — tests use it to prove the no-grad path
+/// allocates zero tape nodes.
+int64_t TapeNodesCreated();
+
 namespace internal {
 /// Creates an op output node: value, parents, and requires_grad inferred
 /// from parents. Returns the Var plus a pointer to the node's backward slot
 /// (null when no parent requires grad, in which case the op must not install
-/// a backward closure).
+/// a backward closure). Under an InferenceGuard the parents are discarded
+/// and the slot is always null.
 Var MakeOp(Tensor value, std::vector<Var> parents,
            std::function<void()>** backward_slot, Node** self);
+
+/// Bump-allocates `n` floats from the thread-local scratch arena. The
+/// pointer stays valid until the enclosing ArenaScope (or InferenceGuard)
+/// is destroyed; storage is recycled, not freed, so steady-state inference
+/// performs no heap allocation for scratch. Contents are uninitialized.
+float* ArenaAlloc(int64_t n);
+
+/// Watermark guard for the scratch arena: restores the bump pointer on
+/// destruction, releasing every ArenaAlloc made inside the scope. Scopes
+/// nest (strict stack discipline).
+class ArenaScope {
+ public:
+  ArenaScope();
+  ~ArenaScope();
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+ private:
+  size_t slab_;
+  int64_t offset_;
+};
 }  // namespace internal
 
 }  // namespace nn

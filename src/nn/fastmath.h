@@ -1,0 +1,59 @@
+#ifndef CAUSALTAD_NN_FASTMATH_H_
+#define CAUSALTAD_NN_FASTMATH_H_
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+namespace causaltad {
+namespace nn {
+namespace fastmath {
+
+// Branch-free float transcendentals, accurate to ~2e-7 relative. Unlike the
+// libm calls they replace, these are pure arithmetic (plus a float<->int
+// bit cast), so loops over them auto-vectorize under -O2 -march=native —
+// which is what keeps the fused GRU gates and the row softmaxes off the
+// scalar libm path. Used by BOTH the op-composed forwards and the fused
+// inference kernels so the two stay numerically identical.
+
+/// e^x (Cephes-style: round to nearest n of x/ln2, degree-6 polynomial on
+/// the remainder, scale by 2^n via exponent bits). Exact at x = 0;
+/// propagates NaN (a diverged model must not produce finite scores).
+inline float Exp(float x) {
+  float c = x < 88.0f ? x : 88.0f;
+  c = c > -87.0f ? c : -87.0f;
+  const float fx = std::floor(c * 1.44269504088896341f + 0.5f);
+  // Two-step Cody-Waite reduction keeps the remainder accurate.
+  float z = c - fx * 0.693359375f;
+  z -= fx * -2.12194440e-4f;
+  const float zz = z * z;
+  float p = 1.9875691500e-4f;
+  p = p * z + 1.3981999507e-3f;
+  p = p * z + 8.3334519073e-3f;
+  p = p * z + 4.1665795894e-2f;
+  p = p * z + 1.6666665459e-1f;
+  p = p * z + 5.0000001201e-1f;
+  p = p * zz + z + 1.0f;
+  const int32_t e = (static_cast<int32_t>(fx) + 127) << 23;
+  float scale;
+  std::memcpy(&scale, &e, sizeof(scale));
+  // Branch-free NaN passthrough (the clamp comparisons eat NaN), kept as a
+  // select so the surrounding loops still vectorize.
+  return x != x ? x : p * scale;
+}
+
+/// 1 / (1 + e^-x).
+inline float Sigmoid(float x) { return 1.0f / (1.0f + Exp(-x)); }
+
+/// tanh(x) = sign(x) · (1 - e^-2|x|) / (1 + e^-2|x|). Exact at x = 0.
+inline float Tanh(float x) {
+  const float e = Exp(-2.0f * std::fabs(x));
+  const float t = (1.0f - e) / (1.0f + e);
+  return std::copysign(t, x);
+}
+
+}  // namespace fastmath
+}  // namespace nn
+}  // namespace causaltad
+
+#endif  // CAUSALTAD_NN_FASTMATH_H_

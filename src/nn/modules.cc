@@ -1,5 +1,8 @@
 #include "nn/modules.h"
 
+#include <cmath>
+
+#include "nn/fastmath.h"
 #include "nn/init.h"
 #include "util/logging.h"
 
@@ -82,6 +85,113 @@ Var GruCell::Step(const Var& x, const Var& h) const {
       Tanh(Add(Add(MatMul(x, wh_), MatMul(Mul(r, h), uh_)), bh_));
   // h' = h + z ⊙ (candidate - h)
   return Add(h, Mul(z, Sub(candidate, h)));
+}
+
+Var GruCell::StepFused(const Var& x, const Var& h) const {
+  if (!InferenceGuard::active() &&
+      (x.requires_grad() || h.requires_grad() || wz_.requires_grad())) {
+    return Step(x, h);
+  }
+  const Tensor& tx = x.value();
+  const Tensor& th = h.value();
+  CAUSALTAD_DCHECK_EQ(tx.dim(0), th.dim(0));
+  CAUSALTAD_DCHECK_EQ(th.dim(1), hidden_dim_);
+  const int64_t batch = tx.dim(0);
+  const int64_t in = tx.dim(1);
+  const int64_t hd = hidden_dim_;
+
+  internal::ArenaScope scope;
+  float* z = internal::ArenaAlloc(batch * hd);
+  float* r = internal::ArenaAlloc(batch * hd);
+  float* c = internal::ArenaAlloc(batch * hd);
+
+  // Input halves of the gate pre-activations: z = xWz, r = xWr, c = xWh.
+  internal::MatMulPacked(tx.data(), wz_.value().data(), z, batch, in, hd);
+  internal::MatMulPacked(tx.data(), wr_.value().data(), r, batch, in, hd);
+  internal::MatMulPacked(tx.data(), wh_.value().data(), c, batch, in, hd);
+  return FusedGateTail(th, batch, z, r, c);
+}
+
+Tensor GruCell::ProjectInputs(const Tensor& xs) const {
+  const int64_t n = xs.dim(0);
+  const int64_t in = xs.dim(1);
+  const int64_t hd = hidden_dim_;
+  // One gemm against [Wz | Wr | Wh] packed side by side: identical math to
+  // three separate input-weight gemms, amortized over every unique row.
+  internal::ArenaScope scope;
+  float* fused = internal::ArenaAlloc(in * 3 * hd);
+  for (int64_t p = 0; p < in; ++p) {
+    std::copy(wz_.value().data() + p * hd, wz_.value().data() + (p + 1) * hd,
+              fused + p * 3 * hd);
+    std::copy(wr_.value().data() + p * hd, wr_.value().data() + (p + 1) * hd,
+              fused + p * 3 * hd + hd);
+    std::copy(wh_.value().data() + p * hd, wh_.value().data() + (p + 1) * hd,
+              fused + p * 3 * hd + 2 * hd);
+  }
+  Tensor out({n, 3 * hd});
+  internal::MatMulPacked(xs.data(), fused, out.data(), n, in, 3 * hd);
+  return out;
+}
+
+Var GruCell::StepFusedProjected(const float* xw, int64_t batch,
+                                const Var& h) const {
+  CAUSALTAD_CHECK(InferenceGuard::active());
+  const Tensor& th = h.value();
+  CAUSALTAD_DCHECK_EQ(th.dim(0), batch);
+  const int64_t hd = hidden_dim_;
+  internal::ArenaScope scope;
+  float* z = internal::ArenaAlloc(batch * hd);
+  float* r = internal::ArenaAlloc(batch * hd);
+  float* c = internal::ArenaAlloc(batch * hd);
+  for (int64_t b = 0; b < batch; ++b) {
+    const float* row = xw + b * 3 * hd;
+    std::copy(row, row + hd, z + b * hd);
+    std::copy(row + hd, row + 2 * hd, r + b * hd);
+    std::copy(row + 2 * hd, row + 3 * hd, c + b * hd);
+  }
+  return FusedGateTail(th, batch, z, r, c);
+}
+
+Var GruCell::FusedGateTail(const Tensor& th, int64_t batch, float* z,
+                           float* r, float* c) const {
+  const int64_t hd = hidden_dim_;
+  // Recurrent halves: z += hUz, r += hUr (the candidate's hU term needs the
+  // finished r first).
+  internal::MatMulPacked(th.data(), uz_.value().data(), z, batch, hd, hd,
+                         /*accumulate=*/true);
+  internal::MatMulPacked(th.data(), ur_.value().data(), r, batch, hd, hd,
+                         /*accumulate=*/true);
+
+  // One fused pass: bias + sigmoid for z and r, then r ⊙ h (reusing r as
+  // the buffer) for the candidate's recurrent matmul.
+  const float* bz = bz_.value().data();
+  const float* br = br_.value().data();
+  for (int64_t b = 0; b < batch; ++b) {
+    const float* hrow = th.data() + b * hd;
+    float* zrow = z + b * hd;
+    float* rrow = r + b * hd;
+    for (int64_t j = 0; j < hd; ++j) {
+      zrow[j] = fastmath::Sigmoid(zrow[j] + bz[j]);
+      rrow[j] = hrow[j] * fastmath::Sigmoid(rrow[j] + br[j]);
+    }
+  }
+  internal::MatMulPacked(r, uh_.value().data(), c, batch, hd, hd,
+                         /*accumulate=*/true);
+
+  // h' = h + z ⊙ (tanh(c + bh) - h), written straight into the output.
+  Tensor out({batch, hd});
+  const float* bh = bh_.value().data();
+  for (int64_t b = 0; b < batch; ++b) {
+    const float* hrow = th.data() + b * hd;
+    const float* zrow = z + b * hd;
+    const float* crow = c + b * hd;
+    float* orow = out.data() + b * hd;
+    for (int64_t j = 0; j < hd; ++j) {
+      const float cand = fastmath::Tanh(crow[j] + bh[j]);
+      orow[j] = hrow[j] + zrow[j] * (cand - hrow[j]);
+    }
+  }
+  return Var(std::move(out), /*requires_grad=*/false);
 }
 
 Mlp::Mlp(std::string name, const std::vector<int64_t>& dims, util::Rng* rng)

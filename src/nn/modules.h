@@ -95,12 +95,40 @@ class GruCell : public Module {
   GruCell(std::string name, int64_t in_dim, int64_t hidden_dim,
           util::Rng* rng);
 
-  /// One step: x [1,in], h [1,hidden] -> h' [1,hidden].
+  /// One step: x [1,in], h [1,hidden] -> h' [1,hidden]. Composed from
+  /// differentiable ops; this is the training path and the reference
+  /// implementation for StepFused.
   Var Step(const Var& x, const Var& h) const;
+
+  /// Inference fast path: computes all three gates in one pass over
+  /// thread-local arena scratch using the packed MatMul kernel, with no
+  /// intermediate Vars. Accepts batches — x [B,in], h [B,hidden] ->
+  /// h' [B,hidden]. Numerically equivalent to Step. Falls back to the
+  /// op-composed Step whenever a tape is being recorded and some input
+  /// requires gradients, so it is always safe to call.
+  Var StepFused(const Var& x, const Var& h) const;
+
+  /// Projects input rows through all three gate input weights at once:
+  /// row i of the result is [x_i·Wz | x_i·Wr | x_i·Wh] ([n, 3*hidden]).
+  /// Batched rolls feed embedding-table rows as inputs, so projecting each
+  /// unique row once and gathering per step removes the input half of the
+  /// gate matmuls from the recurrent loop.
+  Tensor ProjectInputs(const Tensor& xs) const;
+
+  /// StepFused with pre-projected inputs: `xw` points at `batch` rows of
+  /// [3*hidden] floats gathered from a ProjectInputs result. Inference
+  /// only — requires an active InferenceGuard.
+  Var StepFusedProjected(const float* xw, int64_t batch, const Var& h) const;
 
   int64_t hidden_dim() const { return hidden_dim_; }
 
  private:
+  /// Shared fused-step tail: given gate buffers pre-filled with the input
+  /// projections (z = xWz, r = xWr, c = xWh), adds the recurrent terms and
+  /// applies the nonlinearities in one pass. Buffers are arena scratch.
+  Var FusedGateTail(const Tensor& th, int64_t batch, float* z, float* r,
+                    float* c) const;
+
   int64_t hidden_dim_;
   Var wz_, uz_, bz_;
   Var wr_, ur_, br_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "nn/fastmath.h"
 #include "util/logging.h"
 
 namespace causaltad {
@@ -115,7 +116,7 @@ void SoftmaxRow(const float* logits, int64_t n, float* out) {
   for (int64_t i = 1; i < n; ++i) max_v = std::max(max_v, logits[i]);
   float total = 0.0f;
   for (int64_t i = 0; i < n; ++i) {
-    out[i] = std::exp(logits[i] - max_v);
+    out[i] = fastmath::Exp(logits[i] - max_v);
     total += out[i];
   }
   const float inv = 1.0f / total;
@@ -123,6 +124,146 @@ void SoftmaxRow(const float* logits, int64_t n, float* out) {
 }
 
 }  // namespace
+
+namespace internal {
+
+void PackTranspose(const float* src, int64_t r, int64_t c, float* dst) {
+  for (int64_t i = 0; i < r; ++i) {
+    const float* row = src + i * c;
+    for (int64_t j = 0; j < c; ++j) dst[j * r + i] = row[j];
+  }
+}
+
+float DotUnrolled(const float* a, const float* b, int64_t k) {
+  // Eight independent accumulator lanes: the fixed-width inner loop has no
+  // cross-iteration dependence, so the compiler turns it into one SIMD FMA
+  // per 8 floats (a plain `acc +=` reduction cannot be vectorized without
+  // reassociation).
+  float lanes[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  int64_t i = 0;
+  for (; i + 8 <= k; i += 8) {
+    for (int l = 0; l < 8; ++l) lanes[l] += a[i + l] * b[i + l];
+  }
+  float acc = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) +
+              ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+  for (; i < k; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void MatMulPacked(const float* a, const float* b, float* out, int64_t m,
+                  int64_t k, int64_t n, bool accumulate) {
+  // Packing B transposed costs one extra pass over B, which only pays for
+  // itself when amortized over enough output rows. Small m (the per-step
+  // training path works on single rows) streams B row-major instead.
+  if (m < 4) {
+    for (int64_t i = 0; i < m; ++i) {
+      const float* arow = a + i * k;
+      float* orow = out + i * n;
+      if (!accumulate) std::fill(orow, orow + n, 0.0f);
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = arow[p];
+        if (av == 0.0f) continue;
+        const float* brow = b + p * n;
+        for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      }
+    }
+    return;
+  }
+  ArenaScope scope;
+  float* bt = ArenaAlloc(k * n);
+  PackTranspose(b, k, n, bt);
+  // 2x4 register-blocked kernel over the packed operands: each pass of the
+  // 8-wide lane loop feeds eight accumulator tiles from two a-rows and four
+  // bt-rows, so every load is shared by 2-4 FMAs. Larger tiles spill.
+  const auto emit = [accumulate](float* slot, float dot) {
+    *slot = accumulate ? *slot + dot : dot;
+  };
+  int64_t i = 0;
+  for (; i + 2 <= m; i += 2) {
+    const float* a0 = a + i * k;
+    const float* a1 = a0 + k;
+    int64_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const float* b0 = bt + j * k;
+      const float* b1 = b0 + k;
+      const float* b2 = b1 + k;
+      const float* b3 = b2 + k;
+      float l00[8] = {0}, l01[8] = {0}, l02[8] = {0}, l03[8] = {0};
+      float l10[8] = {0}, l11[8] = {0}, l12[8] = {0}, l13[8] = {0};
+      int64_t p = 0;
+      for (; p + 8 <= k; p += 8) {
+        for (int l = 0; l < 8; ++l) {
+          const float av0 = a0[p + l], av1 = a1[p + l];
+          const float bv0 = b0[p + l], bv1 = b1[p + l];
+          const float bv2 = b2[p + l], bv3 = b3[p + l];
+          l00[l] += av0 * bv0;
+          l01[l] += av0 * bv1;
+          l02[l] += av0 * bv2;
+          l03[l] += av0 * bv3;
+          l10[l] += av1 * bv0;
+          l11[l] += av1 * bv1;
+          l12[l] += av1 * bv2;
+          l13[l] += av1 * bv3;
+        }
+      }
+      float s[2][4] = {};
+      for (int l = 0; l < 8; ++l) {
+        s[0][0] += l00[l];
+        s[0][1] += l01[l];
+        s[0][2] += l02[l];
+        s[0][3] += l03[l];
+        s[1][0] += l10[l];
+        s[1][1] += l11[l];
+        s[1][2] += l12[l];
+        s[1][3] += l13[l];
+      }
+      for (; p < k; ++p) {
+        s[0][0] += a0[p] * b0[p];
+        s[0][1] += a0[p] * b1[p];
+        s[0][2] += a0[p] * b2[p];
+        s[0][3] += a0[p] * b3[p];
+        s[1][0] += a1[p] * b0[p];
+        s[1][1] += a1[p] * b1[p];
+        s[1][2] += a1[p] * b2[p];
+        s[1][3] += a1[p] * b3[p];
+      }
+      for (int bi = 0; bi < 2; ++bi) {
+        for (int bj = 0; bj < 4; ++bj) {
+          emit(out + (i + bi) * n + j + bj, s[bi][bj]);
+        }
+      }
+    }
+    for (; j < n; ++j) {
+      emit(out + i * n + j, DotUnrolled(a0, bt + j * k, k));
+      emit(out + (i + 1) * n + j, DotUnrolled(a1, bt + j * k, k));
+    }
+  }
+  for (; i < m; ++i) {
+    const float* arow = a + i * k;
+    for (int64_t j = 0; j < n; ++j) {
+      emit(out + i * n + j, DotUnrolled(arow, bt + j * k, k));
+    }
+  }
+}
+
+float SoftmaxNllRow(const float* row, int64_t n, int64_t target) {
+  float max_v = row[0];
+  for (int64_t j = 1; j < n; ++j) max_v = std::max(max_v, row[j]);
+  float total = 0.0f;
+  for (int64_t j = 0; j < n; ++j) total += fastmath::Exp(row[j] - max_v);
+  const float p = std::max(fastmath::Exp(row[target] - max_v) / total, 1e-12f);
+  return -std::log(p);
+}
+
+float KlStandardNormalRow(const float* mu, const float* lv, int64_t n) {
+  float total = 0.0f;
+  for (int64_t i = 0; i < n; ++i) {
+    total += mu[i] * mu[i] + fastmath::Exp(lv[i]) - 1.0f - lv[i];
+  }
+  return 0.5f * total;
+}
+
+}  // namespace internal
 
 Var Constant(Tensor value) { return Var(std::move(value), false); }
 
@@ -202,16 +343,7 @@ Var MatMul(const Var& a, const Var& b) {
   CAUSALTAD_CHECK_EQ(ta.dim(1), tb.dim(0));
   const int64_t m = ta.dim(0), k = ta.dim(1), n = tb.dim(1);
   Tensor out({m, n});
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = ta.data() + i * k;
-    float* orow = out.data() + i * n;
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = tb.data() + p * n;
-      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
+  internal::MatMulPacked(ta.data(), tb.data(), out.data(), m, k, n);
 
   std::function<void()>* slot = nullptr;
   Node* self = nullptr;
@@ -223,29 +355,30 @@ Var MatMul(const Var& a, const Var& b) {
       const Tensor& g = self->grad;
       if (na->requires_grad) {
         na->EnsureGrad();
-        // dA = G · Bᵀ  → dA[i,p] += Σ_j G[i,j]·B[p,j]
+        // dA += G · Bᵀ → dA[i,p] += Σ_j G[i,j]·B[p,j]; rows of B are
+        // already contiguous, so the unrolled dot kernel applies directly.
         for (int64_t i = 0; i < m; ++i) {
           const float* grow = g.data() + i * n;
           float* darow = na->grad.data() + i * k;
           for (int64_t p = 0; p < k; ++p) {
-            const float* brow = nb->value.data() + p * n;
-            float acc = 0.0f;
-            for (int64_t j = 0; j < n; ++j) acc += grow[j] * brow[j];
-            darow[p] += acc;
+            darow[p] +=
+                internal::DotUnrolled(grow, nb->value.data() + p * n, n);
           }
         }
       }
       if (nb->requires_grad) {
         nb->EnsureGrad();
-        // dB = Aᵀ · G  → dB[p,j] += Σ_i A[i,p]·G[i,j]
-        for (int64_t i = 0; i < m; ++i) {
-          const float* arow = na->value.data() + i * k;
-          const float* grow = g.data() + i * n;
-          for (int64_t p = 0; p < k; ++p) {
-            const float av = arow[p];
-            if (av == 0.0f) continue;
-            float* dbrow = nb->grad.data() + p * n;
-            for (int64_t j = 0; j < n; ++j) dbrow[j] += av * grow[j];
+        // dB += Aᵀ · G → dB[p,j] += Σ_i A[i,p]·G[i,j]. Pack both operands
+        // transposed so each output element is one contiguous dot over i.
+        internal::ArenaScope scope;
+        float* at = internal::ArenaAlloc(m * k);
+        float* gt = internal::ArenaAlloc(m * n);
+        internal::PackTranspose(na->value.data(), m, k, at);
+        internal::PackTranspose(g.data(), m, n, gt);
+        for (int64_t p = 0; p < k; ++p) {
+          float* dbrow = nb->grad.data() + p * n;
+          for (int64_t j = 0; j < n; ++j) {
+            dbrow[j] += internal::DotUnrolled(at + p * m, gt + j * m, m);
           }
         }
       }
@@ -262,13 +395,13 @@ Var Affine(const Var& x, const Var& w, const Var& b) {
 
 Var Tanh(const Var& a) {
   return ElementwiseUnary(
-      a, [](float v) { return std::tanh(v); },
+      a, [](float v) { return fastmath::Tanh(v); },
       [](float, float y) { return 1.0f - y * y; });
 }
 
 Var Sigmoid(const Var& a) {
   return ElementwiseUnary(
-      a, [](float v) { return 1.0f / (1.0f + std::exp(-v)); },
+      a, [](float v) { return fastmath::Sigmoid(v); },
       [](float, float y) { return y * (1.0f - y); });
 }
 
@@ -280,7 +413,7 @@ Var Relu(const Var& a) {
 
 Var Exp(const Var& a) {
   return ElementwiseUnary(
-      a, [](float v) { return std::exp(v); },
+      a, [](float v) { return fastmath::Exp(v); },
       [](float, float y) { return y; });
 }
 
@@ -563,7 +696,7 @@ Var KlStandardNormal(const Var& mu, const Var& logvar) {
   CAUSALTAD_CHECK(tm.SameShape(tv));
   float total = 0.0f;
   for (int64_t i = 0; i < tm.numel(); ++i) {
-    total += tm[i] * tm[i] + std::exp(tv[i]) - 1.0f - tv[i];
+    total += tm[i] * tm[i] + fastmath::Exp(tv[i]) - 1.0f - tv[i];
   }
   Tensor out({1, 1});
   out[0] = 0.5f * total;
@@ -585,7 +718,7 @@ Var KlStandardNormal(const Var& mu, const Var& logvar) {
       if (nv->requires_grad) {
         nv->EnsureGrad();
         for (int64_t i = 0; i < nv->grad.numel(); ++i) {
-          nv->grad[i] += g * 0.5f * (std::exp(nv->value[i]) - 1.0f);
+          nv->grad[i] += g * 0.5f * (fastmath::Exp(nv->value[i]) - 1.0f);
         }
       }
     };
@@ -637,7 +770,7 @@ Var LogSumExpRow(const Var& a) {
   float max_v = t[0];
   for (int64_t i = 1; i < n; ++i) max_v = std::max(max_v, t[i]);
   float total = 0.0f;
-  for (int64_t i = 0; i < n; ++i) total += std::exp(t[i] - max_v);
+  for (int64_t i = 0; i < n; ++i) total += fastmath::Exp(t[i] - max_v);
   Tensor out({1, 1});
   out[0] = max_v + std::log(total);
 
@@ -651,7 +784,7 @@ Var LogSumExpRow(const Var& a) {
       const float g = self->grad[0];
       const float lse = self->value[0];
       for (int64_t i = 0; i < n; ++i) {
-        na->grad[i] += g * std::exp(na->value[i] - lse);
+        na->grad[i] += g * fastmath::Exp(na->value[i] - lse);
       }
     };
   }

@@ -90,6 +90,31 @@ Var LogSumExpRow(const Var& a);
 /// Convenience: wraps a constant (no-grad) tensor.
 Var Constant(Tensor value);
 
+namespace internal {
+// Value-level kernels shared by MatMul (forward and backward), the fused
+// GRU step, and the batched scorers. All operate on raw row-major buffers.
+
+/// SIMD-friendly (8-lane) dot product of two contiguous length-k vectors.
+float DotUnrolled(const float* a, const float* b, int64_t k);
+
+/// Packs src [r,c] (row-major) transposed into dst [c,r].
+void PackTranspose(const float* src, int64_t r, int64_t c, float* dst);
+
+/// out[m,n] = a[m,k] @ b[k,n] (+= when `accumulate`). Packs b transposed
+/// into thread-local arena scratch so the inner kernel reads both operands
+/// contiguously.
+void MatMulPacked(const float* a, const float* b, float* out, int64_t m,
+                  int64_t k, int64_t n, bool accumulate = false);
+
+/// -log softmax(row)[target] for one length-n logits row — the per-row
+/// inference twin of SoftmaxCrossEntropy (max-shifted, 1e-12 prob floor).
+float SoftmaxNllRow(const float* row, int64_t n, int64_t target);
+
+/// KL( N(mu, diag(exp(lv))) || N(0,I) ) of one length-n row — the per-row
+/// inference twin of KlStandardNormal.
+float KlStandardNormalRow(const float* mu, const float* lv, int64_t n);
+}  // namespace internal
+
 }  // namespace nn
 }  // namespace causaltad
 

@@ -45,5 +45,11 @@ void Tensor::Fill(float value) {
   std::fill(data_.begin(), data_.end(), value);
 }
 
+Tensor& Tensor::Reshape(std::vector<int64_t> shape) {
+  CAUSALTAD_CHECK_EQ(NumelOf(shape), numel());
+  shape_ = std::move(shape);
+  return *this;
+}
+
 }  // namespace nn
 }  // namespace causaltad

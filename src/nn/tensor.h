@@ -33,8 +33,8 @@ class Tensor {
   int64_t numel() const { return static_cast<int64_t>(data_.size()); }
   bool defined() const { return !shape_.empty(); }
 
-  /// Rows/cols of a rank-2 tensor ([n] counts as n rows of 1 column? No —
-  /// rank-1 is rejected; reshape first).
+  /// Rows/cols of a rank-2 tensor. Rank-1 tensors are rejected — use
+  /// Reshape({1, n}) to view one as a row vector first (in place, no copy).
   int64_t rows() const {
     CAUSALTAD_DCHECK_EQ(ndim(), 2);
     return shape_[0];
@@ -63,6 +63,11 @@ class Tensor {
 
   void Fill(float value);
   bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  /// Reinterprets the (row-major) data under a new shape with the same
+  /// element count. In place — no copy, unlike round-tripping through
+  /// FromVector. Returns *this for chaining.
+  Tensor& Reshape(std::vector<int64_t> shape);
 
   /// Scalar value of a single-element tensor.
   float Item() const {

@@ -233,6 +233,58 @@ TEST_F(CausalTadTest, ScoreIsLinearInLambda) {
   EXPECT_NEAR(at(0.7), s0 + 0.7 * slope, 1e-6);
 }
 
+TEST(TgVaeTest, ScoreBatchMatchesScoreWithoutRoadConstraint) {
+  // The full-vocabulary (unconstrained-ablation) batched decode path must
+  // also match the per-trip scorer.
+  util::Rng rng(77);
+  TgVaeConfig cfg = TinyConfig().tg;
+  cfg.vocab = Data().vocab();
+  cfg.road_constrained = false;
+  TgVae tg(&Data().city.network, cfg, &rng);
+  std::vector<traj::Trip> batch(Data().id_test.begin(),
+                                Data().id_test.begin() + 4);
+  const auto parts = tg.ScoreBatch(batch);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const auto ref = tg.Score(batch[i]);
+    ASSERT_EQ(parts[i].step_nll.size(), ref.step_nll.size());
+    EXPECT_NEAR(parts[i].PrefixScore(batch[i].route.size()),
+                ref.PrefixScore(batch[i].route.size()), 1e-5);
+  }
+}
+
+TEST_F(CausalTadTest, ScoreBatchMatchesPerTripAcrossVariants) {
+  // The [B, hidden] no-grad fast path must reproduce the per-trip tape
+  // path for the full model and both ablation variants.
+  std::vector<traj::Trip> batch(Data().id_test.begin(),
+                                Data().id_test.begin() + 5);
+  batch.push_back(Data().ood_test.front());
+  std::vector<int64_t> prefixes;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const int64_t n = batch[i].route.size();
+    prefixes.push_back(i % 2 == 0 ? n : std::max<int64_t>(1, n / 2));
+  }
+  for (const ScoreVariant variant :
+       {ScoreVariant::kFull, ScoreVariant::kLikelihoodOnly,
+        ScoreVariant::kScalingOnly}) {
+    const std::vector<double> batched =
+        Fitted().ScoreBatchVariantLambda(batch, prefixes, variant, 0.1);
+    ASSERT_EQ(batched.size(), batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const double per_trip =
+          Fitted().ScoreVariantLambda(batch[i], prefixes[i], variant, 0.1);
+      EXPECT_NEAR(batched[i], per_trip, 1e-5)
+          << ScoreVariantName(variant) << " trip " << i;
+    }
+  }
+  // The TrajectoryScorer override also goes through the fast path.
+  const std::vector<double> via_interface =
+      Fitted().ScoreBatch(batch, prefixes);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_NEAR(via_interface[i], Fitted().Score(batch[i], prefixes[i]),
+                1e-5);
+  }
+}
+
 TEST_F(CausalTadTest, OnlineSessionMatchesBatchPrefixScores) {
   // The O(1)-per-segment online session must reproduce the batch prefix
   // scores exactly (paper §V-D). This is the key online-correctness

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <memory>
@@ -79,6 +80,22 @@ TEST_P(RnnVaeVariantTest, FitsAndScoresDeterministically) {
   const double s2 = scorer->ScoreFull(trip);
   EXPECT_TRUE(std::isfinite(s1));
   EXPECT_DOUBLE_EQ(s1, s2);  // inference uses the posterior mean
+
+  // The batched no-grad fast path must match the per-trip tape path for
+  // every model variant, at full and partial prefixes.
+  std::vector<traj::Trip> batch(Data().id_test.begin(),
+                                Data().id_test.begin() + 6);
+  std::vector<int64_t> prefixes;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const int64_t n = batch[i].route.size();
+    prefixes.push_back(i % 2 == 0 ? n : std::max<int64_t>(1, n / 2));
+  }
+  const std::vector<double> batched = scorer->ScoreBatch(batch, prefixes);
+  ASSERT_EQ(batched.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const double per_trip = scorer->Score(batch[i], prefixes[i]);
+    EXPECT_NEAR(batched[i], per_trip, 1e-5) << which << " trip " << i;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Variants, RnnVaeVariantTest,

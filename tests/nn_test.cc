@@ -297,6 +297,119 @@ TEST(AutogradTest, DeepChainDoesNotOverflowStack) {
 }
 
 // ---------------------------------------------------------------------------
+// Inference fast path: no-grad guard, packed MatMul, fused GRU step.
+// ---------------------------------------------------------------------------
+
+TEST(TensorTest, ReshapeIsInPlaceRankConversion) {
+  Tensor t = Tensor::FromVector({6}, {1, 2, 3, 4, 5, 6});
+  const float* data = t.data();
+  t.Reshape({2, 3});
+  EXPECT_EQ(t.rows(), 2);
+  EXPECT_EQ(t.cols(), 3);
+  EXPECT_EQ(t.At(1, 0), 4.0f);
+  EXPECT_EQ(t.data(), data);  // same storage, no copy
+  t.Reshape({6});
+  EXPECT_EQ(t.ndim(), 1);
+  EXPECT_EQ(t[5], 6.0f);
+}
+
+TEST(InferenceGuardTest, ForwardsAllocateZeroTapeNodes) {
+  util::Rng rng(60);
+  GruCell cell("gru", 5, 7, &rng);
+  Var x = Param({3, 5}, 61);
+  Var h = Param({3, 7}, 62);
+
+  // A taped forward creates tape nodes...
+  const int64_t before_taped = TapeNodesCreated();
+  Var taped = cell.Step(x, h);
+  EXPECT_GT(TapeNodesCreated(), before_taped);
+  EXPECT_TRUE(taped.requires_grad());
+
+  // ...the same forward under the guard creates none, for any op.
+  const int64_t before = TapeNodesCreated();
+  {
+    InferenceGuard guard;
+    EXPECT_TRUE(InferenceGuard::active());
+    Var y = cell.Step(x, h);
+    y = Tanh(Affine(y, Param({7, 4}, 63), Param({1, 4}, 64)));
+    y = Softmax(y);
+    EXPECT_EQ(y.value().rows(), 3);
+    EXPECT_FALSE(y.requires_grad());
+  }
+  EXPECT_FALSE(InferenceGuard::active());
+  EXPECT_EQ(TapeNodesCreated(), before);
+}
+
+TEST(InferenceGuardTest, GuardedValuesMatchTapedValues) {
+  util::Rng rng(65);
+  Mlp mlp("m", {6, 10, 3}, &rng);
+  Var x = Param({4, 6}, 66);
+  const Tensor taped = Softmax(mlp.Forward(x)).value();
+  Tensor guarded;
+  {
+    InferenceGuard guard;
+    guarded = Softmax(mlp.Forward(x)).value();
+  }
+  ASSERT_TRUE(guarded.SameShape(taped));
+  for (int64_t i = 0; i < taped.numel(); ++i) {
+    EXPECT_FLOAT_EQ(guarded[i], taped[i]);
+  }
+}
+
+TEST(MatMulPackedTest, MatchesNaiveTripleLoopOnOddShapes) {
+  // Shapes deliberately not multiples of the 4x unroll.
+  const int64_t m = 3, k = 5, n = 7;
+  Var a = Param({m, k}, 67), b = Param({k, n}, 68);
+  const Tensor out = MatMul(a, b).value();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) {
+        acc += a.value().At(i, p) * b.value().At(p, j);
+      }
+      EXPECT_NEAR(out.At(i, j), acc, 1e-5f);
+    }
+  }
+}
+
+TEST(GruFusedTest, StepFusedMatchesStepPerRowAndBatched) {
+  util::Rng rng(70);
+  GruCell cell("gru", 6, 9, &rng);
+  const int64_t batch = 5;
+  Var x = Param({batch, 6}, 71);
+  Var h = Param({batch, 9}, 72);
+
+  const Tensor reference = cell.Step(x, h).value();
+  Tensor fused;
+  {
+    InferenceGuard guard;
+    const int64_t before = TapeNodesCreated();
+    fused = cell.StepFused(x, h).value();
+    EXPECT_EQ(TapeNodesCreated(), before);
+  }
+  ASSERT_TRUE(fused.SameShape(reference));
+  for (int64_t i = 0; i < reference.numel(); ++i) {
+    EXPECT_NEAR(fused[i], reference[i], 1e-5f) << "element " << i;
+  }
+}
+
+TEST(GruFusedTest, FallsBackToTapedStepWhenGradsAreRecorded) {
+  util::Rng rng(73);
+  GruCell cell("gru", 3, 4, &rng);
+  Var x = Param({1, 3}, 74);
+  Var h = Param({1, 4}, 75);
+  // Outside a guard with requires_grad inputs, StepFused must behave as the
+  // op-composed Step, including backprop.
+  Var y = cell.StepFused(x, h);
+  EXPECT_TRUE(y.requires_grad());
+  std::vector<Var> params = cell.Parameters();
+  params.push_back(x);
+  params.push_back(h);
+  CheckGrads([&] { return Sum(Mul(cell.StepFused(x, h), cell.StepFused(x, h))); },
+             params);
+}
+
+// ---------------------------------------------------------------------------
 // Modules, optimizer, checkpointing.
 // ---------------------------------------------------------------------------
 
