@@ -7,6 +7,7 @@
 #include "nn/ops.h"
 #include "nn/optim.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
 
 namespace causaltad {
 namespace core {
@@ -58,35 +59,75 @@ void CausalTad::Fit(const std::vector<traj::Trip>& trips,
   std::vector<nn::Var> params = net_->Parameters();
   nn::Adam opt(params, {.lr = options.lr});
 
+  const int64_t n = static_cast<int64_t>(trips.size());
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
-    const std::vector<int64_t> order =
-        rng.Permutation(static_cast<int64_t>(trips.size()));
+    util::Stopwatch watch;
     double epoch_loss = 0.0;
-    int in_batch = 0;
-    opt.ZeroGrad();
-    for (const int64_t idx : order) {
-      const traj::Trip& trip = trips[idx];
-      // Joint objective of Eq. (9): L1(c,t) + L2(t).
-      const nn::Var loss =
-          nn::Add(tg_->Loss(trip, &rng),
-                  rp_->Loss(trip.route.segments, &rng, trip.time_slot));
-      epoch_loss += loss.value().Item();
-      nn::Backward(loss);
-      if (++in_batch == options.batch_size) {
+    if (options.per_trip_tape) {
+      // Legacy path: one tape per trip, gradients accumulated.
+      const std::vector<int64_t> order = rng.Permutation(n);
+      int in_batch = 0;
+      opt.ZeroGrad();
+      for (const int64_t idx : order) {
+        const traj::Trip& trip = trips[idx];
+        // Joint objective of Eq. (9): L1(c,t) + L2(t).
+        const nn::Var loss =
+            nn::Add(tg_->Loss(trip, &rng),
+                    rp_->Loss(trip.route.segments, &rng, trip.time_slot));
+        epoch_loss += loss.value().Item();
+        nn::Backward(loss);
+        if (++in_batch == options.batch_size) {
+          nn::ClipGradNorm(params, options.grad_clip);
+          opt.Step();
+          opt.ZeroGrad();
+          in_batch = 0;
+        }
+      }
+      if (in_batch > 0) {
         nn::ClipGradNorm(params, options.grad_clip);
         opt.Step();
         opt.ZeroGrad();
-        in_batch = 0;
+      }
+    } else {
+      // Batched path: length-sorted [B, hidden] minibatches through one
+      // tape per optimizer step.
+      std::vector<const traj::Trip*> batch;
+      std::vector<roadnet::SegmentId> rp_segments;
+      std::vector<int32_t> rp_slots;
+      for (const std::vector<int64_t>& indices :
+           models::LengthSortedBatches(trips, options.batch_size, &rng)) {
+        batch.clear();
+        rp_segments.clear();
+        rp_slots.clear();
+        for (const int64_t i : indices) {
+          const traj::Trip& trip = trips[i];
+          batch.push_back(&trip);
+          rp_segments.insert(rp_segments.end(), trip.route.segments.begin(),
+                             trip.route.segments.end());
+          if (rp_->time_conditioned()) {
+            rp_slots.insert(rp_slots.end(), trip.route.size(),
+                            static_cast<int32_t>(trip.time_slot));
+          }
+        }
+        opt.ZeroGrad();
+        // Joint objective of Eq. (9) summed over the minibatch:
+        // Σ L1(c,t) + Σ L2(t), both sides on the same tape.
+        const nn::Var loss = nn::Add(
+            tg_->LossBatch(batch, &rng),
+            rp_->LossBatch(rp_segments, rp_slots, &rng));
+        epoch_loss += loss.value().Item();
+        nn::Backward(loss);
+        nn::ClipGradNorm(params, options.grad_clip);
+        opt.Step();
       }
     }
-    if (in_batch > 0) {
-      nn::ClipGradNorm(params, options.grad_clip);
-      opt.Step();
-      opt.ZeroGrad();
-    }
     if (options.verbose) {
-      std::fprintf(stderr, "[CausalTAD] epoch %d loss %.3f\n", epoch,
-                   epoch_loss / trips.size());
+      const double secs = watch.ElapsedSeconds();
+      std::fprintf(stderr,
+                   "[CausalTAD] epoch %d loss %.3f (%.2fs, %.0f trips/s%s)\n",
+                   epoch, epoch_loss / trips.size(), secs,
+                   trips.size() / std::max(secs, 1e-9),
+                   options.per_trip_tape ? ", per-trip tape" : "");
     }
   }
   RebuildScalingTable();

@@ -6,6 +6,7 @@
 #include "nn/init.h"
 #include "nn/ops.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace causaltad {
 namespace core {
@@ -34,13 +35,17 @@ RpVae::RpVae(const RpVaeConfig& config, util::Rng* rng)
   }
 }
 
-RpVae::Posterior RpVae::Encode(std::span<const int32_t> ids,
-                               int time_slot) const {
+RpVae::Posterior RpVae::EncodeRows(std::span<const int32_t> ids,
+                                   std::span<const int32_t> slots) const {
   nn::Var x = emb_.Forward(ids);  // [n, emb]
   if (time_conditioned()) {
-    const std::vector<int32_t> slots(ids.size(),
-                                     static_cast<int32_t>(time_slot));
-    x = nn::ConcatCols({x, slot_emb_->Forward(slots)});
+    if (slots.empty()) {
+      const std::vector<int32_t> zero(ids.size(), 0);
+      x = nn::ConcatCols({x, slot_emb_->Forward(zero)});
+    } else {
+      CAUSALTAD_DCHECK_EQ(slots.size(), ids.size());
+      x = nn::ConcatCols({x, slot_emb_->Forward(slots)});
+    }
   }
   const nn::Var hidden = nn::Tanh(enc_fc_.Forward(x));
   Posterior p;
@@ -49,16 +54,66 @@ RpVae::Posterior RpVae::Encode(std::span<const int32_t> ids,
   return p;
 }
 
+RpVae::Posterior RpVae::Encode(std::span<const int32_t> ids,
+                               int time_slot) const {
+  if (!time_conditioned() || time_slot == 0) return EncodeRows(ids, {});
+  const std::vector<int32_t> slots(ids.size(),
+                                   static_cast<int32_t>(time_slot));
+  return EncodeRows(ids, slots);
+}
+
+nn::Var RpVae::LossBatch(std::span<const roadnet::SegmentId> segments,
+                         std::span<const int32_t> slots,
+                         util::Rng* rng) const {
+  CAUSALTAD_CHECK(!segments.empty());
+  // Deduplicate (segment, slot) rows with occurrence counts: popular
+  // segments recur constantly across a minibatch of overlapping routes, and
+  // a count-weighted row has exactly the summed gradient of its repeats
+  // (under sampling, one shared latent draw per unique row — still an
+  // unbiased estimator of the same expected loss). The [U, vocab] decoder
+  // pass, the dominant cost of the joint objective, then scales with unique
+  // rows U instead of total route length.
+  const int num_slots = std::max(config_.num_time_slots, 1);
+  std::vector<int32_t> first_of(config_.vocab * num_slots, -1);
+  std::vector<int32_t> ids;
+  std::vector<int32_t> unique_slots;
+  std::vector<float> counts;
+  ids.reserve(segments.size());
+  for (size_t i = 0; i < segments.size(); ++i) {
+    const int32_t slot =
+        !time_conditioned() || slots.empty() ? 0 : slots[i];
+    const int64_t key = slot * config_.vocab + segments[i];
+    if (first_of[key] < 0) {
+      first_of[key] = static_cast<int32_t>(ids.size());
+      ids.push_back(segments[i]);
+      unique_slots.push_back(slot);
+      counts.push_back(0.0f);
+    }
+    counts[first_of[key]] += 1.0f;
+  }
+  const bool weighted = ids.size() < segments.size();
+  const std::span<const float> weights =
+      weighted ? std::span<const float>(counts) : std::span<const float>{};
+  const Posterior post =
+      EncodeRows(ids, time_conditioned() ? std::span<const int32_t>(
+                                               unique_slots)
+                                         : std::span<const int32_t>{});
+  const nn::Var z =
+      rng != nullptr ? nn::Reparameterize(post.mu, post.logvar, rng) : post.mu;
+  const nn::Var logits = dec_.Forward(z);  // [U, vocab]
+  return nn::Add(nn::SoftmaxCrossEntropy(logits, ids, weights),
+                 nn::KlStandardNormal(post.mu, post.logvar, weights));
+}
+
 nn::Var RpVae::Loss(std::span<const roadnet::SegmentId> segments,
                     util::Rng* rng, int time_slot) const {
   CAUSALTAD_CHECK(!segments.empty());
-  std::vector<int32_t> ids(segments.begin(), segments.end());
-  const Posterior post = Encode(ids, time_slot);
-  const nn::Var z =
-      rng != nullptr ? nn::Reparameterize(post.mu, post.logvar, rng) : post.mu;
-  const nn::Var logits = dec_.Forward(z);  // [n, vocab]
-  return nn::Add(nn::SoftmaxCrossEntropy(logits, ids),
-                 nn::KlStandardNormal(post.mu, post.logvar));
+  if (!time_conditioned() || time_slot == 0) {
+    return LossBatch(segments, {}, rng);
+  }
+  const std::vector<int32_t> slots(segments.size(),
+                                   static_cast<int32_t>(time_slot));
+  return LossBatch(segments, slots, rng);
 }
 
 double RpVae::SegmentNll(roadnet::SegmentId segment, int time_slot) const {
@@ -69,28 +124,40 @@ double RpVae::SegmentNll(roadnet::SegmentId segment, int time_slot) const {
 std::vector<double> RpVae::SegmentNllBatch(
     std::span<const roadnet::SegmentId> segments, int time_slot) const {
   std::vector<double> out(segments.size());
-  const nn::InferenceGuard no_grad;
   const int64_t latent = config_.latent_dim;
-  // Chunked so the [chunk, vocab] decoder logits stay bounded no matter how
-  // many segments the caller batches (the eval harness passes whole test
-  // sets at once).
+  // Rows are independent, so shard across the worker pool (each worker
+  // thread scopes its own no-grad guard and arena); within a shard, chunk
+  // so the [chunk, vocab] decoder logits stay bounded no matter how many
+  // segments the caller batches (the eval harness passes whole test sets
+  // at once).
   constexpr size_t kChunk = 2048;
-  for (size_t begin = 0; begin < segments.size(); begin += kChunk) {
-    const size_t count = std::min(kChunk, segments.size() - begin);
-    const std::vector<int32_t> ids(segments.begin() + begin,
-                                   segments.begin() + begin + count);
-    const Posterior post = Encode(ids, time_slot);
-    const nn::Var logits = dec_.Forward(post.mu);  // [count, vocab]
-    for (size_t i = 0; i < count; ++i) {
-      out[begin + i] =
-          static_cast<double>(nn::internal::SoftmaxNllRow(
-              logits.value().data() + i * config_.vocab, config_.vocab,
-              ids[i])) +
-          static_cast<double>(nn::internal::KlStandardNormalRow(
-              post.mu.value().data() + i * latent,
-              post.logvar.value().data() + i * latent, latent));
-    }
-  }
+  const int64_t shards = std::min<int64_t>(
+      util::ParallelThreads(),
+      static_cast<int64_t>(segments.size() / (kChunk / 4)));
+  util::ParallelFor(
+      static_cast<int64_t>(segments.size()),
+      shards > 1 ? static_cast<int>(shards) : 1,
+      [&](int64_t shard_begin, int64_t shard_end) {
+        const nn::InferenceGuard no_grad;
+        for (size_t begin = static_cast<size_t>(shard_begin);
+             begin < static_cast<size_t>(shard_end); begin += kChunk) {
+          const size_t count =
+              std::min(kChunk, static_cast<size_t>(shard_end) - begin);
+          const std::vector<int32_t> ids(segments.begin() + begin,
+                                         segments.begin() + begin + count);
+          const Posterior post = Encode(ids, time_slot);
+          const nn::Var logits = dec_.Forward(post.mu);  // [count, vocab]
+          for (size_t i = 0; i < count; ++i) {
+            out[begin + i] =
+                static_cast<double>(nn::internal::SoftmaxNllRow(
+                    logits.value().data() + i * config_.vocab, config_.vocab,
+                    ids[i])) +
+                static_cast<double>(nn::internal::KlStandardNormalRow(
+                    post.mu.value().data() + i * latent,
+                    post.logvar.value().data() + i * latent, latent));
+          }
+        }
+      });
   return out;
 }
 

@@ -43,6 +43,13 @@ class RpVae : public nn::Module {
   nn::Var Loss(std::span<const roadnet::SegmentId> segments, util::Rng* rng,
                int time_slot = 0) const;
 
+  /// Minibatched Loss over segments drawn from several trips: row i is
+  /// conditioned on slots[i] (per-segment departure slot; empty means slot
+  /// 0 everywhere). This is what lets CausalTad::Fit fold a whole
+  /// minibatch's L2 terms into one tape even under time-aware scaling.
+  nn::Var LossBatch(std::span<const roadnet::SegmentId> segments,
+                    std::span<const int32_t> slots, util::Rng* rng) const;
+
   /// Inference-time negative ELBO of one segment (z = posterior mean).
   /// This is the standalone RP-VAE anomaly score of the paper's ablation.
   double SegmentNll(roadnet::SegmentId segment, int time_slot = 0) const;
@@ -67,6 +74,9 @@ class RpVae : public nn::Module {
     nn::Var mu, logvar;
   };
   Posterior Encode(std::span<const int32_t> ids, int time_slot) const;
+  /// Per-row-slot variant (slots empty means unconditioned / slot 0).
+  Posterior EncodeRows(std::span<const int32_t> ids,
+                       std::span<const int32_t> slots) const;
 
   RpVaeConfig config_;
   nn::Embedding emb_;   // Es

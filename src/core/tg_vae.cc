@@ -8,6 +8,7 @@
 #include "nn/init.h"
 #include "nn/ops.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace causaltad {
 namespace core {
@@ -111,6 +112,110 @@ nn::Var TgVae::Loss(const traj::Trip& trip, util::Rng* rng) const {
   return loss;
 }
 
+nn::Var TgVae::LossBatch(std::span<const traj::Trip* const> trips,
+                         util::Rng* rng) const {
+  const int64_t batch = static_cast<int64_t>(trips.size());
+  CAUSALTAD_CHECK_GT(batch, 0);
+  std::vector<int64_t> steps(batch);  // decode steps per trip: |route| - 1
+  std::vector<int32_t> s_ids(batch), d_ids(batch);
+  int64_t max_steps = 0;
+  int64_t total_steps = 0;
+  for (int64_t i = 0; i < batch; ++i) {
+    const auto& segs = trips[i]->route.segments;
+    CAUSALTAD_CHECK_GE(segs.size(), 2u);
+    steps[i] = static_cast<int64_t>(segs.size()) - 1;
+    s_ids[i] = segs.front();
+    d_ids[i] = segs.back();
+    max_steps = std::max(max_steps, steps[i]);
+    total_steps += steps[i];
+  }
+
+  // SD encoder + decoder as one batch (no SD-pair dedup here: each trip
+  // draws its own latent sample, and the summed gradients already coincide
+  // with per-trip accumulation).
+  const nn::Var joint = nn::ConcatCols(
+      {sd_emb_.Forward(s_ids), sd_emb_.Forward(d_ids)});  // [B, 2*emb]
+  const nn::Var hidden = nn::Tanh(enc_fc_.Forward(joint));
+  const nn::Var mu = mu_head_.Forward(hidden);
+  const nn::Var logvar = lv_head_.Forward(hidden);
+  const nn::Var r =
+      rng != nullptr ? nn::Reparameterize(mu, logvar, rng) : mu;
+  nn::Var loss = nn::KlStandardNormal(mu, logvar);
+  if (config_.use_sd_decoder) {
+    const nn::Var dec_hidden = nn::Tanh(dec_fc_.Forward(r));
+    loss = nn::Add(
+        loss,
+        nn::Add(nn::SoftmaxCrossEntropy(head_s_.Forward(dec_hidden), s_ids),
+                nn::SoftmaxCrossEntropy(head_d_.Forward(dec_hidden), d_ids)));
+  }
+
+  // Route decoder: masked [B, hidden] roll. Live rows of every step are
+  // gathered into one [Σlive, hidden] block; the successor-masked CEs then
+  // collapse into a single subset-softmax op (road-constrained) or one
+  // full-vocabulary CE (ablation).
+  nn::Var h = nn::Tanh(h0_proj_.Forward(r));  // [B, hidden]
+  std::vector<nn::Var> live_states;
+  live_states.reserve(max_steps);
+  std::vector<int32_t> step_ids(batch);
+  std::vector<uint8_t> finished(batch);
+  std::vector<int32_t> live_rows;
+  std::vector<int32_t> flat_ids, offsets, target_pos;  // road-constrained
+  std::vector<int32_t> full_targets;                   // ablation
+  if (config_.road_constrained) {
+    offsets.reserve(total_steps + 1);
+    target_pos.reserve(total_steps);
+    offsets.push_back(0);
+  } else {
+    full_targets.reserve(total_steps);
+  }
+  for (int64_t j = 0; j < max_steps; ++j) {
+    for (int64_t i = 0; i < batch; ++i) {
+      const bool live = j < steps[i];
+      finished[i] = live ? 0 : 1;
+      step_ids[i] =
+          live ? static_cast<int32_t>(trips[i]->route.segments[j]) : 0;
+    }
+    h = gru_.StepBatched(route_emb_.Forward(step_ids), h, finished);
+    live_rows.clear();
+    for (int64_t i = 0; i < batch; ++i) {
+      if (j >= steps[i]) continue;
+      live_rows.push_back(static_cast<int32_t>(i));
+      const auto& segs = trips[i]->route.segments;
+      if (config_.road_constrained) {
+        const auto successors = network_->Successors(segs[j]);
+        int32_t pos = -1;
+        for (size_t c = 0; c < successors.size(); ++c) {
+          flat_ids.push_back(successors[c]);
+          if (successors[c] == segs[j + 1]) pos = static_cast<int32_t>(c);
+        }
+        CAUSALTAD_CHECK_GE(pos, 0) << "route is not network-valid";
+        target_pos.push_back(pos);
+        offsets.push_back(static_cast<int32_t>(flat_ids.size()));
+      } else {
+        full_targets.push_back(static_cast<int32_t>(segs[j + 1]));
+      }
+    }
+    if (static_cast<int64_t>(live_rows.size()) == batch) {
+      live_states.push_back(h);
+    } else {
+      live_states.push_back(nn::GatherRows(h, live_rows));
+    }
+  }
+  const nn::Var all_states = live_states.size() == 1
+                                 ? live_states[0]
+                                 : nn::ConcatRows(live_states);
+  if (config_.road_constrained) {
+    loss = nn::Add(loss,
+                   nn::SubsetSoftmaxCrossEntropy(all_states, out_.w(),
+                                                 out_.b(), flat_ids, offsets,
+                                                 target_pos));
+  } else {
+    loss = nn::Add(loss, nn::SoftmaxCrossEntropy(out_.Forward(all_states),
+                                                 full_targets));
+  }
+  return loss;
+}
+
 double TgVae::ScoreParts::PrefixScore(int64_t prefix_len) const {
   double total = sd_nll + kl;
   const int64_t steps = std::min<int64_t>(
@@ -141,6 +246,19 @@ TgVae::ScoreParts TgVae::Score(const traj::Trip& trip) const {
 }
 
 std::vector<TgVae::ScoreParts> TgVae::ScoreBatch(
+    std::span<const traj::Trip> trips,
+    std::span<const int64_t> prefix_lens) const {
+  // Shard rows across the worker pool (scores are per-row independent; the
+  // no-grad guard and scratch arena are thread-local).
+  return util::ShardedRows<ScoreParts>(
+      static_cast<int64_t>(trips.size()), 8,
+      [&](int64_t begin, int64_t end) {
+        return ScoreBatchChunk(trips.subspan(begin, end - begin),
+                               util::ClampedSubspan(prefix_lens, begin, end));
+      });
+}
+
+std::vector<TgVae::ScoreParts> TgVae::ScoreBatchChunk(
     std::span<const traj::Trip> trips,
     std::span<const int64_t> prefix_lens) const {
   const int64_t batch = static_cast<int64_t>(trips.size());

@@ -47,6 +47,14 @@ class TgVae : public nn::Module {
   /// The latent is sampled via reparameterization from `rng`.
   nn::Var Loss(const traj::Trip& trip, util::Rng* rng) const;
 
+  /// Minibatched Loss on one tape: all SD pairs encoded as one batch, the
+  /// route decoder rolled as a masked [B, hidden] batch (batched fused GRU
+  /// steps), and every live step's road-constrained CE reduced by a single
+  /// subset-softmax op. Returns the sum of the per-trip losses; gradients
+  /// match per-trip Loss accumulation to float rounding.
+  nn::Var LossBatch(std::span<const traj::Trip* const> trips,
+                    util::Rng* rng) const;
+
   /// Inference-time score decomposition with r = posterior mean.
   struct ScoreParts {
     double sd_nll = 0.0;  // H(ŝ,s) + H(d̂,d)
@@ -100,6 +108,12 @@ class TgVae : public nn::Module {
   /// CE of predicting `next` from `hidden` after consuming `current`.
   nn::Var StepCe(const nn::Var& hidden, roadnet::SegmentId current,
                  roadnet::SegmentId next) const;
+
+  /// Single-threaded ScoreBatch body; ScoreBatch shards rows over the
+  /// worker pool and calls this per contiguous chunk.
+  std::vector<ScoreParts> ScoreBatchChunk(
+      std::span<const traj::Trip> trips,
+      std::span<const int64_t> prefix_lens) const;
 
   const roadnet::RoadNetwork* network_;
   TgVaeConfig config_;

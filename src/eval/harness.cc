@@ -1,5 +1,6 @@
 #include "eval/harness.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -118,10 +119,19 @@ std::unique_ptr<models::TrajectoryScorer> FitOrLoad(
     std::fprintf(stderr, "cache load failed (%s), retraining: %s\n",
                  path.c_str(), status.ToString().c_str());
   }
+  models::FitOptions options = FitOptionsFor(scale);
+  // CAUSALTAD_TRAIN_VERBOSE=1 surfaces per-epoch wall time and trips/sec
+  // from Fit(), making training-throughput regressions visible without a
+  // full bench run.
+  if (const char* env = std::getenv("CAUSALTAD_TRAIN_VERBOSE")) {
+    options.verbose = std::string(env) == "1";
+  }
   util::Stopwatch watch;
-  scorer->Fit(data.train, FitOptionsFor(scale));
-  std::fprintf(stderr, "[train] %s/%s: %.1fs\n", city_name.c_str(),
-               name.c_str(), watch.ElapsedSeconds());
+  scorer->Fit(data.train, options);
+  const double secs = watch.ElapsedSeconds();
+  std::fprintf(stderr, "[train] %s/%s: %.1fs (%.0f trips/s)\n",
+               city_name.c_str(), name.c_str(), secs,
+               data.train.size() / std::max(secs, 1e-9));
   if (!CacheDisabled()) {
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);

@@ -8,6 +8,8 @@
 #include "nn/init.h"
 #include "nn/ops.h"
 #include "util/logging.h"
+#include "util/parallel.h"
+#include "util/stopwatch.h"
 
 namespace causaltad {
 namespace models {
@@ -102,6 +104,10 @@ RnnVae::RnnVae(std::string name, const RnnVaeConfig& config)
 }
 
 RnnVae::~RnnVae() = default;
+
+std::vector<nn::Var> RnnVae::GenerativeParameters() const {
+  return net_->GenerativeParameters();
+}
 
 nn::Var RnnVae::EncodePrefix(const traj::Trip& trip,
                              int64_t prefix_len) const {
@@ -220,6 +226,144 @@ nn::Var RnnVae::Loss(const traj::Trip& trip, int64_t prefix_len,
   return nn::Add(recon, nn::ScalarMul(kl, config_.beta));
 }
 
+nn::Var RnnVae::LossBatch(std::span<const traj::Trip* const> trips,
+                          util::Rng* rng, nn::Var* mu_out) const {
+  const int64_t batch = static_cast<int64_t>(trips.size());
+  CAUSALTAD_CHECK_GT(batch, 0);
+  std::vector<int64_t> lens(batch);
+  int64_t max_len = 0;
+  for (int64_t i = 0; i < batch; ++i) {
+    lens[i] = trips[i]->route.size();
+    CAUSALTAD_CHECK_GT(lens[i], 0);
+    max_len = std::max(max_len, lens[i]);
+  }
+
+  nn::Var slot_vecs;  // [B, slot_emb] (time-conditioned models only)
+  if (config_.time_conditioned) {
+    std::vector<int32_t> slot_ids(batch);
+    for (int64_t i = 0; i < batch; ++i) {
+      slot_ids[i] = static_cast<int32_t>(trips[i]->time_slot);
+    }
+    slot_vecs = net_->slot_emb->Forward(slot_ids);
+  }
+
+  // Encoder: one masked [B, hidden] roll. A row's state freezes the step
+  // its own route ends (finished-row masking), so after max_len steps each
+  // row holds exactly EncodePrefix(trip, len) for its trip. Finished rows
+  // feed a placeholder id whose gathered embedding receives zero gradient.
+  std::vector<int32_t> step_ids(batch);
+  std::vector<uint8_t> finished(batch);
+  nn::Var h = nn::Constant(nn::Tensor::Zeros({batch, config_.hidden_dim}));
+  for (int64_t j = 0; j < max_len; ++j) {
+    for (int64_t i = 0; i < batch; ++i) {
+      const bool live = j < lens[i];
+      finished[i] = live ? 0 : 1;
+      step_ids[i] =
+          live ? static_cast<int32_t>(trips[i]->route.segments[j]) : 0;
+    }
+    nn::Var x = net_->emb.Forward(step_ids);  // [B, emb]
+    if (config_.time_conditioned) x = nn::ConcatCols({x, slot_vecs});
+    h = net_->enc_gru.StepBatched(x, h, finished);
+  }
+
+  // Latent bottleneck and batched KL (every row is a real trip, so the KL
+  // reductions sum over the full batch; only decode steps need masks).
+  nn::Var h0_input;
+  nn::Var kl;
+  if (config_.variational) {
+    const nn::Var mu = net_->mu_head->Forward(h);      // [B, latent]
+    const nn::Var logvar = net_->lv_head->Forward(h);  // [B, latent]
+    const nn::Var z =
+        rng != nullptr ? nn::Reparameterize(mu, logvar, rng) : mu;
+    if (config_.mixture_k > 0) {
+      // Per-row MC estimate of KL(q || p_mix): log q(z|x) - log p_mix(z),
+      // reduced with row-wise sums/logsumexp instead of B separate graphs.
+      const float dim_const =
+          kLog2Pi * static_cast<float>(config_.latent_dim);
+      const nn::Var diff = nn::Sub(z, mu);
+      const nn::Var quad =
+          nn::Mul(nn::Mul(diff, diff), nn::Exp(nn::Neg(logvar)));
+      const nn::Var log_q = nn::ScalarMul(
+          nn::ScalarAdd(nn::SumRows(nn::Add(quad, logvar)), dim_const),
+          -0.5f);  // [B,1]
+      std::vector<nn::Var> comp_logits;
+      comp_logits.reserve(config_.mixture_k);
+      for (int c = 0; c < config_.mixture_k; ++c) {
+        const std::vector<int32_t> row = {c};
+        const nn::Var mean = nn::GatherRows(net_->mix_means, row);
+        const nn::Var dc = nn::Sub(z, mean);  // [1,latent] broadcast
+        comp_logits.push_back(nn::ScalarAdd(
+            nn::ScalarMul(
+                nn::ScalarAdd(nn::SumRows(nn::Mul(dc, dc)), dim_const),
+                -0.5f),
+            -std::log(static_cast<float>(config_.mixture_k))));  // [B,1]
+      }
+      const nn::Var log_p = nn::LogSumExpRows(nn::ConcatCols(comp_logits));
+      kl = nn::Sum(nn::Sub(log_q, log_p));
+    } else {
+      kl = nn::KlStandardNormal(mu, logvar);
+    }
+    h0_input = z;
+    if (mu_out != nullptr) *mu_out = mu;
+  } else {
+    h0_input = h;
+    if (mu_out != nullptr) *mu_out = h;
+  }
+  if (config_.time_conditioned) {
+    h0_input = nn::ConcatCols({h0_input, slot_vecs});
+  }
+
+  // Decoder: teacher-forced masked roll. Each step gathers the rows still
+  // inside their route into a list; one softmax-CE over the concatenation
+  // replaces B·L tiny per-step losses with a single [Σlive, vocab] matmul.
+  nn::Var dh = nn::Tanh(net_->dec_in->Forward(h0_input));
+  std::vector<nn::Var> live_states;
+  live_states.reserve(max_len);
+  std::vector<int32_t> targets;
+  std::vector<int32_t> live_rows;
+  int64_t total_steps = 0;
+  for (int64_t i = 0; i < batch; ++i) total_steps += lens[i];
+  targets.reserve(total_steps);
+  for (int64_t j = 0; j < max_len; ++j) {
+    for (int64_t i = 0; i < batch; ++i) {
+      const bool live = j < lens[i];
+      finished[i] = live ? 0 : 1;
+      step_ids[i] =
+          live && j > 0 ? static_cast<int32_t>(trips[i]->route.segments[j - 1])
+                        : 0;
+    }
+    nn::Var x;
+    if (j == 0) {
+      // BOS broadcast: gathering row 0 of the [1, emb] parameter B times
+      // scatter-adds the per-row gradients back into it.
+      x = nn::GatherRows(net_->bos, std::vector<int32_t>(batch, 0));
+    } else {
+      x = net_->emb.Forward(step_ids);
+    }
+    dh = net_->dec_gru.StepBatched(x, dh, finished);
+    live_rows.clear();
+    for (int64_t i = 0; i < batch; ++i) {
+      if (j < lens[i]) {
+        live_rows.push_back(static_cast<int32_t>(i));
+        targets.push_back(static_cast<int32_t>(trips[i]->route.segments[j]));
+      }
+    }
+    if (static_cast<int64_t>(live_rows.size()) == batch) {
+      live_states.push_back(dh);
+    } else {
+      live_states.push_back(nn::GatherRows(dh, live_rows));
+    }
+  }
+  const nn::Var all_states = live_states.size() == 1
+                                 ? live_states[0]
+                                 : nn::ConcatRows(live_states);
+  const nn::Var logits = net_->out.Forward(all_states);  // [Σlive, vocab]
+  const nn::Var recon = nn::SoftmaxCrossEntropy(logits, targets);
+
+  if (!kl.defined()) return recon;
+  return nn::Add(recon, nn::ScalarMul(kl, config_.beta));
+}
+
 void RnnVae::TrainDiscriminatorStep(const std::vector<float>& z_value,
                                     nn::Adam* disc_opt, util::Rng* rng) {
   if (z_buffer_.size() < 8) return;
@@ -245,9 +389,44 @@ void RnnVae::TrainDiscriminatorStep(const std::vector<float>& z_value,
   disc_opt->Step();
 }
 
+void RnnVae::TrainDiscriminatorBatch(const nn::Tensor& mu,
+                                     nn::Adam* disc_opt, util::Rng* rng) {
+  const int64_t rows = mu.rows();
+  const int64_t latent = mu.cols();
+  for (int64_t i = 0; i < rows; ++i) {
+    z_buffer_.emplace_back(mu.data() + i * latent,
+                           mu.data() + (i + 1) * latent);
+    if (z_buffer_.size() > 256) z_buffer_.pop_front();
+  }
+  if (z_buffer_.size() < 8) return;
+  // Real rows vs dimension-wise permuted rows (each dimension drawn from an
+  // independent past latent), one adversarial step per minibatch.
+  std::vector<float> fake(rows * latent);
+  for (int64_t i = 0; i < rows * latent; ++i) {
+    const auto& donor =
+        z_buffer_[rng->UniformInt(static_cast<int64_t>(z_buffer_.size()))];
+    fake[i] = donor[i % latent];
+  }
+  disc_opt->ZeroGrad();
+  const nn::Var real = nn::Constant(mu);
+  const nn::Var perm =
+      nn::Constant(nn::Tensor::FromVector({rows, latent}, std::move(fake)));
+  const std::vector<int32_t> label_real(rows, 0);
+  const std::vector<int32_t> label_fake(rows, 1);
+  const nn::Var loss =
+      nn::Add(nn::SoftmaxCrossEntropy(net_->disc->Forward(real), label_real),
+              nn::SoftmaxCrossEntropy(net_->disc->Forward(perm), label_fake));
+  nn::Backward(loss);
+  disc_opt->Step();
+}
+
 void RnnVae::Fit(const std::vector<traj::Trip>& trips,
                  const FitOptions& options) {
   CAUSALTAD_CHECK(!trips.empty());
+  if (options.per_trip_tape) {
+    FitPerTrip(trips, options);
+    return;
+  }
   util::Rng rng(options.seed);
   std::vector<nn::Var> params = net_->GenerativeParameters();
   nn::Adam opt(params, {.lr = options.lr});
@@ -258,6 +437,63 @@ void RnnVae::Fit(const std::vector<traj::Trip>& trips,
   }
 
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    util::Stopwatch watch;
+    double epoch_loss = 0.0;
+    for (const std::vector<int64_t>& indices :
+         LengthSortedBatches(trips, options.batch_size, &rng)) {
+      std::vector<const traj::Trip*> batch;
+      batch.reserve(indices.size());
+      for (const int64_t i : indices) batch.push_back(&trips[i]);
+
+      opt.ZeroGrad();
+      nn::Var mu;
+      nn::Var loss =
+          LossBatch(batch, &rng, config_.factor_tc ? &mu : nullptr);
+      if (config_.factor_tc) {
+        // TC estimate over the whole minibatch: Σ_rows logit(real) -
+        // logit(permuted), encouraged downward. Reusing the in-loss mu is
+        // gradient-identical to the per-trip path's second encoder pass.
+        const nn::Var logits = net_->disc->Forward(mu);  // [B,2]
+        std::vector<float> signs(logits.value().numel());
+        for (size_t i = 0; i < signs.size(); ++i) {
+          signs[i] = i % 2 == 0 ? 1.0f : -1.0f;
+        }
+        const nn::Var tc = nn::Sum(nn::Mul(
+            logits, nn::Constant(nn::Tensor::FromVector(
+                        {logits.value().dim(0), 2}, std::move(signs)))));
+        loss = nn::Add(loss, nn::ScalarMul(tc, config_.tc_gamma));
+      }
+      epoch_loss += loss.value().Item();
+      nn::Backward(loss);
+      nn::ClipGradNorm(params, options.grad_clip);
+      opt.Step();
+      if (config_.factor_tc) {
+        TrainDiscriminatorBatch(mu.value(), disc_opt.get(), &rng);
+      }
+    }
+    if (options.verbose) {
+      const double secs = watch.ElapsedSeconds();
+      std::fprintf(stderr,
+                   "[%s] epoch %d loss %.3f (%.2fs, %.0f trips/s)\n",
+                   name_.c_str(), epoch, epoch_loss / trips.size(), secs,
+                   trips.size() / std::max(secs, 1e-9));
+    }
+  }
+}
+
+void RnnVae::FitPerTrip(const std::vector<traj::Trip>& trips,
+                        const FitOptions& options) {
+  util::Rng rng(options.seed);
+  std::vector<nn::Var> params = net_->GenerativeParameters();
+  nn::Adam opt(params, {.lr = options.lr});
+  std::unique_ptr<nn::Adam> disc_opt;
+  if (config_.factor_tc) {
+    disc_opt = std::make_unique<nn::Adam>(net_->disc->Parameters(),
+                                          nn::AdamConfig{.lr = options.lr});
+  }
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    util::Stopwatch watch;
     const std::vector<int64_t> order =
         rng.Permutation(static_cast<int64_t>(trips.size()));
     double epoch_loss = 0.0;
@@ -298,8 +534,12 @@ void RnnVae::Fit(const std::vector<traj::Trip>& trips,
       opt.ZeroGrad();
     }
     if (options.verbose) {
-      std::fprintf(stderr, "[%s] epoch %d loss %.3f\n", name_.c_str(),
-                   epoch, epoch_loss / trips.size());
+      const double secs = watch.ElapsedSeconds();
+      std::fprintf(stderr,
+                   "[%s] epoch %d loss %.3f (%.2fs, %.0f trips/s, "
+                   "per-trip tape)\n",
+                   name_.c_str(), epoch, epoch_loss / trips.size(), secs,
+                   trips.size() / std::max(secs, 1e-9));
     }
   }
 }
@@ -309,6 +549,20 @@ double RnnVae::Score(const traj::Trip& trip, int64_t prefix_len) const {
 }
 
 std::vector<double> RnnVae::ScoreBatch(
+    std::span<const traj::Trip> trips,
+    std::span<const int64_t> prefix_lens) const {
+  // Shard rows across the worker pool: scores are per-row independent, and
+  // the no-grad guard plus scratch arena are thread-local, so each chunk
+  // runs the single-threaded batch roll unchanged on its own thread.
+  return util::ShardedRows<double>(
+      static_cast<int64_t>(trips.size()), 8,
+      [&](int64_t begin, int64_t end) {
+        return ScoreBatchChunk(trips.subspan(begin, end - begin),
+                               util::ClampedSubspan(prefix_lens, begin, end));
+      });
+}
+
+std::vector<double> RnnVae::ScoreBatchChunk(
     std::span<const traj::Trip> trips,
     std::span<const int64_t> prefix_lens) const {
   const int64_t batch = static_cast<int64_t>(trips.size());

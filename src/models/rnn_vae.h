@@ -64,13 +64,29 @@ class RnnVae : public TrajectoryScorer {
 
   const RnnVaeConfig& config() const { return config_; }
 
- private:
-  struct Net;
-
-  /// Builds the (negative) ELBO for a prefix. When `rng` is non-null the
-  /// latent is sampled (training); otherwise the posterior mean is used.
+  /// Builds the (negative) ELBO for a prefix on a per-trip tape. When `rng`
+  /// is non-null the latent is sampled (training); otherwise the posterior
+  /// mean is used. Public so the gradient-parity tests can compare it
+  /// against LossBatch.
   nn::Var Loss(const traj::Trip& trip, int64_t prefix_len,
                util::Rng* rng) const;
+
+  /// Minibatched Loss: encodes and decodes all trips (full routes) as
+  /// masked [B, hidden] rolls on ONE tape — batched fused GRU steps with
+  /// finished-row masking, one batched softmax-CE over every live decode
+  /// step, and batched KL reductions. Returns the sum of the per-trip
+  /// losses; gradients match per-trip Loss accumulation to float rounding.
+  /// When `mu_out` is non-null it receives the posterior-mean batch
+  /// [B, latent] (the FactorVAE total-correlation term reuses it).
+  nn::Var LossBatch(std::span<const traj::Trip* const> trips, util::Rng* rng,
+                    nn::Var* mu_out = nullptr) const;
+
+  /// Trainable parameters of the generative model (excludes the FactorVAE
+  /// TC discriminator). Exposed for the gradient-parity tests.
+  std::vector<nn::Var> GenerativeParameters() const;
+
+ private:
+  struct Net;
 
   nn::Var EncodePrefix(const traj::Trip& trip, int64_t prefix_len) const;
   nn::Var DecodeNll(const traj::Trip& trip, int64_t prefix_len,
@@ -81,6 +97,20 @@ class RnnVae : public TrajectoryScorer {
 
   void TrainDiscriminatorStep(const std::vector<float>& z_value,
                               nn::Adam* disc_opt, util::Rng* rng);
+  /// Batched twin: buffers every row of `mu` and runs one adversarial
+  /// real-vs-permuted step over the whole minibatch.
+  void TrainDiscriminatorBatch(const nn::Tensor& mu, nn::Adam* disc_opt,
+                               util::Rng* rng);
+
+  /// Legacy per-trip-tape training loop (FitOptions::per_trip_tape).
+  void FitPerTrip(const std::vector<traj::Trip>& trips,
+                  const FitOptions& options);
+
+  /// Single-threaded ScoreBatch body; ScoreBatch shards rows over the
+  /// worker pool and calls this per contiguous chunk.
+  std::vector<double> ScoreBatchChunk(
+      std::span<const traj::Trip> trips,
+      std::span<const int64_t> prefix_lens) const;
 
   std::string name_;
   RnnVaeConfig config_;

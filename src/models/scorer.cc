@@ -1,7 +1,31 @@
 #include "models/scorer.h"
 
+#include <algorithm>
+
 namespace causaltad {
 namespace models {
+
+std::vector<std::vector<int64_t>> LengthSortedBatches(
+    const std::vector<traj::Trip>& trips, int64_t batch_size,
+    util::Rng* rng) {
+  const int64_t n = static_cast<int64_t>(trips.size());
+  const int64_t bs = std::max<int64_t>(1, batch_size);
+  std::vector<int64_t> order = rng->Permutation(n);
+  std::stable_sort(order.begin(), order.end(),
+                   [&trips](int64_t a, int64_t b) {
+                     return trips[a].route.size() > trips[b].route.size();
+                   });
+  const int64_t num_batches = (n + bs - 1) / bs;
+  std::vector<std::vector<int64_t>> batches;
+  batches.reserve(num_batches);
+  for (const int64_t b : rng->Permutation(num_batches)) {
+    const int64_t begin = b * bs;
+    const int64_t end = std::min(n, begin + bs);
+    batches.emplace_back(order.begin() + begin, order.begin() + end);
+  }
+  return batches;
+}
+
 namespace {
 
 /// Fallback online scorer: replays the growing prefix through Score().

@@ -8,6 +8,7 @@
 
 #include "roadnet/road_network.h"
 #include "traj/trajectory.h"
+#include "util/random.h"
 #include "util/status.h"
 
 namespace causaltad {
@@ -16,13 +17,33 @@ namespace models {
 /// Training options shared by all learned scorers.
 struct FitOptions {
   int epochs = 10;
+  /// Rows per tape: each optimizer step back-propagates one length-sorted
+  /// [batch_size, hidden] minibatch through a single tape (batched fused
+  /// GRU steps, finished-row masking). With `per_trip_tape` it reverts to
+  /// the legacy meaning — the number of per-trip tapes whose gradients are
+  /// accumulated between optimizer steps. Both paths take the same number
+  /// of optimizer steps per epoch and sum (not average) per-trip losses,
+  /// so a given lr/batch_size tuning transfers between them.
   int batch_size = 16;
   float lr = 1e-3f;
   double grad_clip = 5.0;
   uint64_t seed = 7;
-  /// Print per-epoch loss to stderr.
+  /// Print per-epoch loss, wall time, and trips/sec to stderr.
   bool verbose = false;
+  /// Legacy training path: one autograd tape per trip, gradients
+  /// accumulated across batch_size trips. Kept for A/B benchmarking
+  /// (bench_fig7_efficiency's fig7a section) and gradient-parity tests.
+  bool per_trip_tape = false;
 };
+
+/// Epoch iteration plan for minibatched training: trip indices are
+/// shuffled, stable-sorted by route length (descending) so each batch_size
+/// slice is near-uniform length (minimal finished-row masking waste in the
+/// [B, hidden] rolls), and the slices are visited in shuffled order so the
+/// optimizer does not always see long trips first. Shared by every batched
+/// Fit() so the trainers stay in lockstep.
+std::vector<std::vector<int64_t>> LengthSortedBatches(
+    const std::vector<traj::Trip>& trips, int64_t batch_size, util::Rng* rng);
 
 /// Incremental scorer for one ongoing trip (the paper's online setting).
 /// Segments are fed in order; Update returns the anomaly score of the

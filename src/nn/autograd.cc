@@ -138,7 +138,13 @@ void Backward(const Var& root) {
   root_node->grad[0] += 1.0f;
 
   // order is post-order (children after parents’ dependencies), so iterate
-  // in reverse for the backward sweep.
+  // in reverse for the backward sweep. The whole sweep runs under one arena
+  // watermark: backward closures (fused GRU step, MatMul, the subset CE)
+  // bump-allocate their transpose/gate scratch from the thread-local arena,
+  // and this scope guarantees everything is released when the sweep ends
+  // even if a closure skips its own ArenaScope — so steady-state training
+  // performs no heap allocation for backward scratch.
+  internal::ArenaScope sweep_scope;
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     Node* node = *it;
     if (node->backward && node->requires_grad) {

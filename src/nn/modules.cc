@@ -152,6 +152,211 @@ Var GruCell::StepFusedProjected(const float* xw, int64_t batch,
   return FusedGateTail(th, batch, z, r, c);
 }
 
+Var GruCell::StepBatched(const Var& x, const Var& h,
+                         std::span<const uint8_t> finished) const {
+  const Tensor& tx = x.value();
+  const Tensor& th = h.value();
+  CAUSALTAD_DCHECK_EQ(tx.dim(0), th.dim(0));
+  CAUSALTAD_DCHECK_EQ(th.dim(1), hidden_dim_);
+  const int64_t batch = tx.dim(0);
+  const int64_t in = tx.dim(1);
+  const int64_t hd = hidden_dim_;
+  CAUSALTAD_DCHECK(finished.empty() ||
+                   static_cast<int64_t>(finished.size()) == batch);
+
+  // Post-activation gates, saved for the backward pass (heap, not arena —
+  // the tape outlives this call). Planes: z rows [0,B), r rows [B,2B),
+  // candidate rows [2B,3B).
+  auto acts = std::make_shared<Tensor>(Tensor({3 * batch, hd}));
+  float* z = acts->data();
+  float* r = z + batch * hd;
+  float* c = r + batch * hd;
+
+  internal::ArenaScope scope;
+  // Input halves, then recurrent halves accumulated on top.
+  internal::MatMulPacked(tx.data(), wz_.value().data(), z, batch, in, hd);
+  internal::MatMulPacked(tx.data(), wr_.value().data(), r, batch, in, hd);
+  internal::MatMulPacked(tx.data(), wh_.value().data(), c, batch, in, hd);
+  internal::MatMulPacked(th.data(), uz_.value().data(), z, batch, hd, hd,
+                         /*accumulate=*/true);
+  internal::MatMulPacked(th.data(), ur_.value().data(), r, batch, hd, hd,
+                         /*accumulate=*/true);
+  const float* bz = bz_.value().data();
+  const float* br = br_.value().data();
+  float* rh = internal::ArenaAlloc(batch * hd);
+  for (int64_t b = 0; b < batch; ++b) {
+    const float* hrow = th.data() + b * hd;
+    float* zrow = z + b * hd;
+    float* rrow = r + b * hd;
+    float* rhrow = rh + b * hd;
+    for (int64_t j = 0; j < hd; ++j) {
+      zrow[j] = fastmath::Sigmoid(zrow[j] + bz[j]);
+      rrow[j] = fastmath::Sigmoid(rrow[j] + br[j]);
+      rhrow[j] = rrow[j] * hrow[j];
+    }
+  }
+  internal::MatMulPacked(rh, uh_.value().data(), c, batch, hd, hd,
+                         /*accumulate=*/true);
+
+  Tensor out({batch, hd});
+  const float* bh = bh_.value().data();
+  for (int64_t b = 0; b < batch; ++b) {
+    const float* hrow = th.data() + b * hd;
+    float* orow = out.data() + b * hd;
+    if (!finished.empty() && finished[b]) {
+      std::copy(hrow, hrow + hd, orow);
+      continue;
+    }
+    const float* zrow = z + b * hd;
+    float* crow = c + b * hd;
+    for (int64_t j = 0; j < hd; ++j) {
+      crow[j] = fastmath::Tanh(crow[j] + bh[j]);
+      orow[j] = hrow[j] + zrow[j] * (crow[j] - hrow[j]);
+    }
+  }
+
+  std::function<void()>* slot = nullptr;
+  Node* self = nullptr;
+  Var result = internal::MakeOp(
+      std::move(out),
+      {x, h, wz_, uz_, bz_, wr_, ur_, br_, wh_, uh_, bh_}, &slot, &self);
+  if (slot == nullptr) return result;
+
+  Node* nx = x.node().get();
+  Node* nh = h.node().get();
+  Node* nwz = wz_.node().get();
+  Node* nuz = uz_.node().get();
+  Node* nbz = bz_.node().get();
+  Node* nwr = wr_.node().get();
+  Node* nur = ur_.node().get();
+  Node* nbr = br_.node().get();
+  Node* nwh = wh_.node().get();
+  Node* nuh = uh_.node().get();
+  Node* nbh = bh_.node().get();
+  std::vector<uint8_t> fin(finished.begin(), finished.end());
+  *slot = [self, nx, nh, nwz, nuz, nbz, nwr, nur, nbr, nwh, nuh, nbh, acts,
+           fin, batch, in, hd]() {
+    const float* g = self->grad.data();
+    const float* z = acts->data();
+    const float* r = z + batch * hd;
+    const float* c = r + batch * hd;
+    const float* hv = nh->value.data();
+
+    internal::ArenaScope scope;
+    float* da_z = internal::ArenaAlloc(batch * hd);
+    float* da_r = internal::ArenaAlloc(batch * hd);
+    float* da_c = internal::ArenaAlloc(batch * hd);
+    float* drh = internal::ArenaAlloc(batch * hd);
+    float* rh = internal::ArenaAlloc(batch * hd);
+
+    // Pass 1 — gate pre-activation grads that only need z, c, h and g:
+    //   dz = g ⊙ (c - h),  da_z = dz · z(1-z)
+    //   dc = g ⊙ z,        da_c = dc · (1-c²)
+    for (int64_t b = 0; b < batch; ++b) {
+      float* dazr = da_z + b * hd;
+      float* dacr = da_c + b * hd;
+      if (!fin.empty() && fin[b]) {
+        std::fill(dazr, dazr + hd, 0.0f);
+        std::fill(dacr, dacr + hd, 0.0f);
+        continue;
+      }
+      const float* grow = g + b * hd;
+      const float* zrow = z + b * hd;
+      const float* crow = c + b * hd;
+      const float* hrow = hv + b * hd;
+      for (int64_t j = 0; j < hd; ++j) {
+        dazr[j] = grow[j] * (crow[j] - hrow[j]) * zrow[j] * (1.0f - zrow[j]);
+        dacr[j] = grow[j] * zrow[j] * (1.0f - crow[j] * crow[j]);
+      }
+    }
+
+    // d(r⊙h) = da_c · Uhᵀ (Uh row-major is already the pretransposed
+    // layout the packed kernel wants).
+    internal::MatMulPacked(da_c, nuh->value.data(), drh, batch, hd, hd,
+                           /*accumulate=*/false, /*b_pretransposed=*/true);
+
+    // Pass 2 — da_r = (drh ⊙ h) · r(1-r), the r⊙h operand for dUh, and the
+    // elementwise parts of dh: g ⊙ (1-z) + drh ⊙ r (finished rows pass g
+    // straight through).
+    const bool need_dh = nh->requires_grad;
+    if (need_dh) nh->EnsureGrad();
+    for (int64_t b = 0; b < batch; ++b) {
+      float* darr = da_r + b * hd;
+      float* rhrow = rh + b * hd;
+      const float* rrow = r + b * hd;
+      const float* hrow = hv + b * hd;
+      float* dhrow = need_dh ? nh->grad.data() + b * hd : nullptr;
+      if (!fin.empty() && fin[b]) {
+        std::fill(darr, darr + hd, 0.0f);
+        std::fill(rhrow, rhrow + hd, 0.0f);
+        if (dhrow != nullptr) {
+          const float* grow = g + b * hd;
+          for (int64_t j = 0; j < hd; ++j) dhrow[j] += grow[j];
+        }
+        continue;
+      }
+      const float* grow = g + b * hd;
+      const float* zrow = z + b * hd;
+      const float* drhrow = drh + b * hd;
+      for (int64_t j = 0; j < hd; ++j) {
+        darr[j] = drhrow[j] * hrow[j] * rrow[j] * (1.0f - rrow[j]);
+        rhrow[j] = rrow[j] * hrow[j];
+        if (dhrow != nullptr) {
+          dhrow[j] += grow[j] * (1.0f - zrow[j]) + drhrow[j] * rrow[j];
+        }
+      }
+    }
+
+    // Matrix halves of dh and dx, then the weight/bias accumulations.
+    if (need_dh) {
+      internal::MatMulPacked(da_z, nuz->value.data(), nh->grad.data(), batch,
+                             hd, hd, /*accumulate=*/true,
+                             /*b_pretransposed=*/true);
+      internal::MatMulPacked(da_r, nur->value.data(), nh->grad.data(), batch,
+                             hd, hd, /*accumulate=*/true,
+                             /*b_pretransposed=*/true);
+    }
+    if (nx->requires_grad) {
+      nx->EnsureGrad();
+      internal::MatMulPacked(da_z, nwz->value.data(), nx->grad.data(), batch,
+                             hd, in, /*accumulate=*/true,
+                             /*b_pretransposed=*/true);
+      internal::MatMulPacked(da_r, nwr->value.data(), nx->grad.data(), batch,
+                             hd, in, /*accumulate=*/true,
+                             /*b_pretransposed=*/true);
+      internal::MatMulPacked(da_c, nwh->value.data(), nx->grad.data(), batch,
+                             hd, in, /*accumulate=*/true,
+                             /*b_pretransposed=*/true);
+    }
+    const float* xv = nx->value.data();
+    const auto weight_grad = [&](Node* nw, const float* da, const float* lhs,
+                                 int64_t lhs_cols) {
+      if (!nw->requires_grad) return;
+      nw->EnsureGrad();
+      internal::AddMatMulTransposedA(lhs, da, nw->grad.data(), batch,
+                                     lhs_cols, hd);
+    };
+    weight_grad(nwz, da_z, xv, in);
+    weight_grad(nwr, da_r, xv, in);
+    weight_grad(nwh, da_c, xv, in);
+    weight_grad(nuz, da_z, hv, hd);
+    weight_grad(nur, da_r, hv, hd);
+    weight_grad(nuh, da_c, rh, hd);
+    const auto bias_grad = [&](Node* nb, const float* da) {
+      if (!nb->requires_grad) return;
+      nb->EnsureGrad();
+      for (int64_t b = 0; b < batch; ++b) {
+        const float* darow = da + b * hd;
+        for (int64_t j = 0; j < hd; ++j) nb->grad[j] += darow[j];
+      }
+    };
+    bias_grad(nbz, da_z);
+    bias_grad(nbr, da_r);
+    bias_grad(nbh, da_c);
+  };
+  return result;
+}
+
 Var GruCell::FusedGateTail(const Tensor& th, int64_t batch, float* z,
                            float* r, float* c) const {
   const int64_t hd = hidden_dim_;

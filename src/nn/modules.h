@@ -120,6 +120,17 @@ class GruCell : public Module {
   /// only — requires an active InferenceGuard.
   Var StepFusedProjected(const float* xw, int64_t batch, const Var& h) const;
 
+  /// Batched *training* step: x [B,in], h [B,hidden] -> h' [B,hidden] as a
+  /// single tape node whose hand-written backward reuses the packed MatMul
+  /// kernel and the fastmath transcendentals — the tape-aware twin of
+  /// StepFused. `finished` (size B, may be empty) marks rows whose sequence
+  /// ended before this step: a finished row's state passes through
+  /// unchanged and contributes no gradient, which is what lets Fit() roll
+  /// variable-length [B, hidden] minibatches through one tape.
+  /// Numerically equivalent to Step (values and gradients).
+  Var StepBatched(const Var& x, const Var& h,
+                  std::span<const uint8_t> finished = {}) const;
+
   int64_t hidden_dim() const { return hidden_dim_; }
 
  private:

@@ -151,11 +151,12 @@ float DotUnrolled(const float* a, const float* b, int64_t k) {
 }
 
 void MatMulPacked(const float* a, const float* b, float* out, int64_t m,
-                  int64_t k, int64_t n, bool accumulate) {
+                  int64_t k, int64_t n, bool accumulate,
+                  bool b_pretransposed) {
   // Packing B transposed costs one extra pass over B, which only pays for
   // itself when amortized over enough output rows. Small m (the per-step
   // training path works on single rows) streams B row-major instead.
-  if (m < 4) {
+  if (m < 4 && !b_pretransposed) {
     for (int64_t i = 0; i < m; ++i) {
       const float* arow = a + i * k;
       float* orow = out + i * n;
@@ -170,8 +171,12 @@ void MatMulPacked(const float* a, const float* b, float* out, int64_t m,
     return;
   }
   ArenaScope scope;
-  float* bt = ArenaAlloc(k * n);
-  PackTranspose(b, k, n, bt);
+  const float* bt = b;
+  if (!b_pretransposed) {
+    float* packed = ArenaAlloc(k * n);
+    PackTranspose(b, k, n, packed);
+    bt = packed;
+  }
   // 2x4 register-blocked kernel over the packed operands: each pass of the
   // 8-wide lane loop feeds eight accumulator tiles from two a-rows and four
   // bt-rows, so every load is shared by 2-4 FMAs. Larger tiles spill.
@@ -242,6 +247,21 @@ void MatMulPacked(const float* a, const float* b, float* out, int64_t m,
     const float* arow = a + i * k;
     for (int64_t j = 0; j < n; ++j) {
       emit(out + i * n + j, DotUnrolled(arow, bt + j * k, k));
+    }
+  }
+}
+
+void AddMatMulTransposedA(const float* a, const float* g, float* out,
+                          int64_t m, int64_t k, int64_t n) {
+  ArenaScope scope;
+  float* at = ArenaAlloc(m * k);
+  float* gt = ArenaAlloc(m * n);
+  PackTranspose(a, m, k, at);
+  PackTranspose(g, m, n, gt);
+  for (int64_t p = 0; p < k; ++p) {
+    float* orow = out + p * n;
+    for (int64_t j = 0; j < n; ++j) {
+      orow[j] += DotUnrolled(at + p * m, gt + j * m, m);
     }
   }
 }
@@ -355,32 +375,17 @@ Var MatMul(const Var& a, const Var& b) {
       const Tensor& g = self->grad;
       if (na->requires_grad) {
         na->EnsureGrad();
-        // dA += G · Bᵀ → dA[i,p] += Σ_j G[i,j]·B[p,j]; rows of B are
-        // already contiguous, so the unrolled dot kernel applies directly.
-        for (int64_t i = 0; i < m; ++i) {
-          const float* grow = g.data() + i * n;
-          float* darow = na->grad.data() + i * k;
-          for (int64_t p = 0; p < k; ++p) {
-            darow[p] +=
-                internal::DotUnrolled(grow, nb->value.data() + p * n, n);
-          }
-        }
+        // dA += G · Bᵀ: B ([k,n] row-major) is exactly the pretransposed
+        // layout the packed kernel wants for the [m,n]x[n,k] product.
+        internal::MatMulPacked(g.data(), nb->value.data(),
+                               na->grad.data(), m, n, k,
+                               /*accumulate=*/true, /*b_pretransposed=*/true);
       }
       if (nb->requires_grad) {
         nb->EnsureGrad();
-        // dB += Aᵀ · G → dB[p,j] += Σ_i A[i,p]·G[i,j]. Pack both operands
-        // transposed so each output element is one contiguous dot over i.
-        internal::ArenaScope scope;
-        float* at = internal::ArenaAlloc(m * k);
-        float* gt = internal::ArenaAlloc(m * n);
-        internal::PackTranspose(na->value.data(), m, k, at);
-        internal::PackTranspose(g.data(), m, n, gt);
-        for (int64_t p = 0; p < k; ++p) {
-          float* dbrow = nb->grad.data() + p * n;
-          for (int64_t j = 0; j < n; ++j) {
-            dbrow[j] += internal::DotUnrolled(at + p * m, gt + j * m, m);
-          }
-        }
+        // dB += Aᵀ · G.
+        internal::AddMatMulTransposedA(na->value.data(), g.data(),
+                                       nb->grad.data(), m, k, n);
       }
     };
   }
@@ -440,6 +445,34 @@ Var Sum(const Var& a) {
 
 Var Mean(const Var& a) {
   return ScalarMul(Sum(a), 1.0f / static_cast<float>(a.value().numel()));
+}
+
+Var SumRows(const Var& a) {
+  const Tensor& t = a.value();
+  CAUSALTAD_CHECK_EQ(t.ndim(), 2);
+  const int64_t rows = t.dim(0), cols = t.dim(1);
+  Tensor out({rows, 1});
+  for (int64_t r = 0; r < rows; ++r) {
+    float total = 0.0f;
+    const float* row = t.data() + r * cols;
+    for (int64_t c = 0; c < cols; ++c) total += row[c];
+    out[r] = total;
+  }
+  std::function<void()>* slot = nullptr;
+  Node* self = nullptr;
+  Var result = MakeOp(std::move(out), {a}, &slot, &self);
+  if (slot) {
+    Node* na = a.node().get();
+    *slot = [self, na, rows, cols]() {
+      na->EnsureGrad();
+      for (int64_t r = 0; r < rows; ++r) {
+        const float g = self->grad[r];
+        float* da = na->grad.data() + r * cols;
+        for (int64_t c = 0; c < cols; ++c) da[c] += g;
+      }
+    };
+  }
+  return result;
 }
 
 Var ConcatRows(const std::vector<Var>& parts) {
@@ -587,21 +620,26 @@ Var Softmax(const Var& a) {
   return result;
 }
 
-Var SoftmaxCrossEntropy(const Var& logits, std::span<const int32_t> targets) {
+Var SoftmaxCrossEntropy(const Var& logits, std::span<const int32_t> targets,
+                        std::span<const float> row_weights) {
   const Tensor& t = logits.value();
   CAUSALTAD_CHECK_EQ(t.ndim(), 2);
   const int64_t rows = t.dim(0), cols = t.dim(1);
   CAUSALTAD_CHECK_EQ(rows, static_cast<int64_t>(targets.size()));
+  CAUSALTAD_CHECK(row_weights.empty() ||
+                  static_cast<int64_t>(row_weights.size()) == rows);
 
-  // Store probabilities for the backward pass.
+  // Store probabilities for the backward pass. Masked rows (negative
+  // target) keep zeroed probs, so their backward contribution vanishes.
   auto probs = std::make_shared<Tensor>(Tensor({rows, cols}));
   float loss = 0.0f;
   for (int64_t r = 0; r < rows; ++r) {
-    SoftmaxRow(t.data() + r * cols, cols, probs->data() + r * cols);
     const int32_t target = targets[r];
-    CAUSALTAD_DCHECK(target >= 0 && target < cols);
+    if (target < 0) continue;
+    SoftmaxRow(t.data() + r * cols, cols, probs->data() + r * cols);
+    CAUSALTAD_DCHECK(target < cols);
     const float p = std::max((*probs)[r * cols + target], 1e-12f);
-    loss -= std::log(p);
+    loss -= (row_weights.empty() ? 1.0f : row_weights[r]) * std::log(p);
   }
   Tensor out({1, 1});
   out[0] = loss;
@@ -612,14 +650,17 @@ Var SoftmaxCrossEntropy(const Var& logits, std::span<const int32_t> targets) {
   if (slot) {
     Node* nl = logits.node().get();
     std::vector<int32_t> tgt(targets.begin(), targets.end());
-    *slot = [self, nl, probs, tgt, rows, cols]() {
+    std::vector<float> wts(row_weights.begin(), row_weights.end());
+    *slot = [self, nl, probs, tgt, wts, rows, cols]() {
       nl->EnsureGrad();
       const float g = self->grad[0];
       for (int64_t r = 0; r < rows; ++r) {
+        if (tgt[r] < 0) continue;
+        const float gw = wts.empty() ? g : g * wts[r];
         const float* p = probs->data() + r * cols;
         float* dl = nl->grad.data() + r * cols;
-        for (int64_t c = 0; c < cols; ++c) dl[c] += g * p[c];
-        dl[tgt[r]] -= g;
+        for (int64_t c = 0; c < cols; ++c) dl[c] += gw * p[c];
+        dl[tgt[r]] -= gw;
       }
     };
   }
@@ -690,13 +731,18 @@ Var GatherColsDot(const Var& h, const Var& w, const Var& b,
   return result;
 }
 
-Var KlStandardNormal(const Var& mu, const Var& logvar) {
+Var KlStandardNormal(const Var& mu, const Var& logvar,
+                     std::span<const float> row_weights) {
   const Tensor& tm = mu.value();
   const Tensor& tv = logvar.value();
   CAUSALTAD_CHECK(tm.SameShape(tv));
+  const int64_t cols = row_weights.empty() ? tm.numel() : tm.dim(1);
+  CAUSALTAD_CHECK(row_weights.empty() ||
+                  static_cast<int64_t>(row_weights.size()) == tm.dim(0));
   float total = 0.0f;
   for (int64_t i = 0; i < tm.numel(); ++i) {
-    total += tm[i] * tm[i] + fastmath::Exp(tv[i]) - 1.0f - tv[i];
+    const float w = row_weights.empty() ? 1.0f : row_weights[i / cols];
+    total += w * (tm[i] * tm[i] + fastmath::Exp(tv[i]) - 1.0f - tv[i]);
   }
   Tensor out({1, 1});
   out[0] = 0.5f * total;
@@ -707,18 +753,21 @@ Var KlStandardNormal(const Var& mu, const Var& logvar) {
   if (slot) {
     Node* nm = mu.node().get();
     Node* nv = logvar.node().get();
-    *slot = [self, nm, nv]() {
+    std::vector<float> wts(row_weights.begin(), row_weights.end());
+    *slot = [self, nm, nv, wts, cols]() {
       const float g = self->grad[0];
       if (nm->requires_grad) {
         nm->EnsureGrad();
         for (int64_t i = 0; i < nm->grad.numel(); ++i) {
-          nm->grad[i] += g * nm->value[i];
+          const float w = wts.empty() ? 1.0f : wts[i / cols];
+          nm->grad[i] += g * w * nm->value[i];
         }
       }
       if (nv->requires_grad) {
         nv->EnsureGrad();
         for (int64_t i = 0; i < nv->grad.numel(); ++i) {
-          nv->grad[i] += g * 0.5f * (fastmath::Exp(nv->value[i]) - 1.0f);
+          const float w = wts.empty() ? 1.0f : wts[i / cols];
+          nv->grad[i] += g * w * 0.5f * (fastmath::Exp(nv->value[i]) - 1.0f);
         }
       }
     };
@@ -785,6 +834,136 @@ Var LogSumExpRow(const Var& a) {
       const float lse = self->value[0];
       for (int64_t i = 0; i < n; ++i) {
         na->grad[i] += g * fastmath::Exp(na->value[i] - lse);
+      }
+    };
+  }
+  return result;
+}
+
+Var LogSumExpRows(const Var& a) {
+  const Tensor& t = a.value();
+  CAUSALTAD_CHECK_EQ(t.ndim(), 2);
+  const int64_t rows = t.dim(0), cols = t.dim(1);
+  Tensor out({rows, 1});
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = t.data() + r * cols;
+    float max_v = row[0];
+    for (int64_t c = 1; c < cols; ++c) max_v = std::max(max_v, row[c]);
+    float total = 0.0f;
+    for (int64_t c = 0; c < cols; ++c) total += fastmath::Exp(row[c] - max_v);
+    out[r] = max_v + std::log(total);
+  }
+  std::function<void()>* slot = nullptr;
+  Node* self = nullptr;
+  Var result = MakeOp(std::move(out), {a}, &slot, &self);
+  if (slot) {
+    Node* na = a.node().get();
+    *slot = [self, na, rows, cols]() {
+      na->EnsureGrad();
+      for (int64_t r = 0; r < rows; ++r) {
+        const float g = self->grad[r];
+        const float lse = self->value[r];
+        const float* row = na->value.data() + r * cols;
+        float* da = na->grad.data() + r * cols;
+        for (int64_t c = 0; c < cols; ++c) {
+          da[c] += g * fastmath::Exp(row[c] - lse);
+        }
+      }
+    };
+  }
+  return result;
+}
+
+Var SubsetSoftmaxCrossEntropy(const Var& h, const Var& w, const Var& b,
+                              std::span<const int32_t> ids,
+                              std::span<const int32_t> offsets,
+                              std::span<const int32_t> targets) {
+  const Tensor& th = h.value();
+  const Tensor& tw = w.value();
+  CAUSALTAD_CHECK_EQ(th.ndim(), 2);
+  CAUSALTAD_CHECK_EQ(tw.ndim(), 2);
+  CAUSALTAD_CHECK_EQ(th.dim(1), tw.dim(0));
+  const int64_t rows = th.dim(0);
+  const int64_t d = th.dim(1);
+  const int64_t big_c = tw.dim(1);
+  CAUSALTAD_CHECK_EQ(static_cast<int64_t>(offsets.size()), rows + 1);
+  CAUSALTAD_CHECK_EQ(static_cast<int64_t>(targets.size()), rows);
+
+  // Transpose w once so every subset logit is a contiguous dot; keep the
+  // per-subset probabilities (heap, not arena — they must outlive the
+  // forward for the backward closure).
+  auto probs = std::make_shared<std::vector<float>>(ids.size(), 0.0f);
+  float loss = 0.0f;
+  {
+    internal::ArenaScope scope;
+    float* wt = internal::ArenaAlloc(big_c * d);
+    internal::PackTranspose(tw.data(), d, big_c, wt);
+    const float* bias = b.defined() ? b.value().data() : nullptr;
+    for (int64_t r = 0; r < rows; ++r) {
+      const int64_t begin = offsets[r], end = offsets[r + 1];
+      const int64_t k = end - begin;
+      CAUSALTAD_DCHECK(targets[r] >= 0 && targets[r] < k);
+      const float* hrow = th.data() + r * d;
+      float* p = probs->data() + begin;
+      for (int64_t j = 0; j < k; ++j) {
+        const int32_t col = ids[begin + j];
+        CAUSALTAD_DCHECK(col >= 0 && col < big_c);
+        p[j] = (bias != nullptr ? bias[col] : 0.0f) +
+               internal::DotUnrolled(hrow, wt + col * d, d);
+      }
+      SoftmaxRow(p, k, p);  // in place: logits -> probabilities
+      loss -= std::log(std::max(p[targets[r]], 1e-12f));
+    }
+  }
+  Tensor out({1, 1});
+  out[0] = loss;
+
+  std::function<void()>* slot = nullptr;
+  Node* self = nullptr;
+  Var result = MakeOp(std::move(out), {h, w, b}, &slot, &self);
+  if (slot) {
+    Node* nh = h.node().get();
+    Node* nw = w.node().get();
+    Node* nb = b.defined() ? b.node().get() : nullptr;
+    std::vector<int32_t> ids_copy(ids.begin(), ids.end());
+    std::vector<int32_t> off_copy(offsets.begin(), offsets.end());
+    std::vector<int32_t> tgt_copy(targets.begin(), targets.end());
+    *slot = [self, nh, nw, nb, probs, ids_copy, off_copy, tgt_copy, rows, d,
+             big_c]() {
+      const float g = self->grad[0];
+      internal::ArenaScope scope;
+      // dlogit = g·(p - onehot(target)); dh needs w columns contiguously,
+      // so transpose w again (arena scratch, released with the scope).
+      const float* wt = nullptr;
+      if (nh->requires_grad) {
+        float* packed = internal::ArenaAlloc(big_c * d);
+        internal::PackTranspose(nw->value.data(), d, big_c, packed);
+        wt = packed;
+      }
+      if (nh->requires_grad) nh->EnsureGrad();
+      if (nw->requires_grad) nw->EnsureGrad();
+      if (nb != nullptr && nb->requires_grad) nb->EnsureGrad();
+      for (int64_t r = 0; r < rows; ++r) {
+        const int64_t begin = off_copy[r], end = off_copy[r + 1];
+        const float* p = probs->data() + begin;
+        const float* hrow = nh->value.data() + r * d;
+        float* dhrow =
+            nh->requires_grad ? nh->grad.data() + r * d : nullptr;
+        for (int64_t j = 0; j < end - begin; ++j) {
+          const int32_t col = ids_copy[begin + j];
+          const float dl =
+              g * (p[j] - (j == tgt_copy[r] ? 1.0f : 0.0f));
+          if (dl == 0.0f) continue;
+          if (dhrow != nullptr) {
+            const float* wcol = wt + col * d;
+            for (int64_t i = 0; i < d; ++i) dhrow[i] += dl * wcol[i];
+          }
+          if (nw->requires_grad) {
+            float* dw = nw->grad.data() + col;
+            for (int64_t i = 0; i < d; ++i) dw[i * big_c] += dl * hrow[i];
+          }
+          if (nb != nullptr && nb->requires_grad) nb->grad[col] += dl;
+        }
       }
     };
   }

@@ -50,6 +50,10 @@ Var Sum(const Var& a);
 /// Mean of all elements -> scalar [1,1].
 Var Mean(const Var& a);
 
+/// Row-wise sum: [m,C] -> [m,1]. The batched twin of Sum for per-trip
+/// reductions inside a minibatch (e.g. the GM-VSAE per-row log pdfs).
+Var SumRows(const Var& a);
+
 /// Stacks same-width blocks vertically: [r1,c],[r2,c].. -> [Σr,c].
 Var ConcatRows(const std::vector<Var>& parts);
 
@@ -66,7 +70,27 @@ Var Softmax(const Var& a);
 /// Sum over rows of the cross-entropy between row-softmax(logits) and the
 /// integer targets: -Σ_i log softmax(logits_i)[target_i]. Returns scalar.
 /// Numerically stabilized (max-shifted). targets.size() == logits.rows().
-Var SoftmaxCrossEntropy(const Var& logits, std::span<const int32_t> targets);
+/// A negative target marks a masked (finished) row: it contributes zero
+/// loss and zero gradient, which is how variable-length minibatches drop
+/// rows that ended before the batch max. Non-empty `row_weights` scales row
+/// i's loss (and gradient) by row_weights[i] — this is how deduplicated
+/// minibatch rows stand in for their repeats with identical gradients.
+Var SoftmaxCrossEntropy(const Var& logits, std::span<const int32_t> targets,
+                        std::span<const float> row_weights = {});
+
+/// Per-row softmax-CE over a per-row column subset of w — the batched,
+/// tape-aware twin of GatherColsDot + SoftmaxCrossEntropy. Row i of h
+/// ([R,d]) scores columns ids[offsets[i]..offsets[i+1]) of w ([d,C]) plus
+/// bias b ([1,C], optional), and the CE target is position targets[i]
+/// within that subset. Returns the scalar sum over rows. This is the
+/// training path of the paper's road-constrained prediction: each decode
+/// step's softmax runs only over the successors of the current segment, so
+/// a step costs O(d·|successors|) on both the forward and backward passes
+/// instead of O(d·|V|).
+Var SubsetSoftmaxCrossEntropy(const Var& h, const Var& w, const Var& b,
+                              std::span<const int32_t> ids,
+                              std::span<const int32_t> offsets,
+                              std::span<const int32_t> targets);
 
 /// Logits restricted to a column subset: out[0,j] = h · W[:,ids[j]] + b[ids[j]].
 /// h:[1,d], w:[d,C], b:[1,C] (optional). This powers the paper's
@@ -77,8 +101,11 @@ Var GatherColsDot(const Var& h, const Var& w, const Var& b,
                   std::span<const int32_t> ids);
 
 /// KL( N(mu, diag(exp(logvar))) || N(0, I) ) summed over all elements:
-/// 0.5 Σ (mu² + exp(logvar) - 1 - logvar). Returns scalar.
-Var KlStandardNormal(const Var& mu, const Var& logvar);
+/// 0.5 Σ (mu² + exp(logvar) - 1 - logvar). Returns scalar. Non-empty
+/// `row_weights` (size mu.rows()) scales each row's contribution, matching
+/// the SoftmaxCrossEntropy dedup convention.
+Var KlStandardNormal(const Var& mu, const Var& logvar,
+                     std::span<const float> row_weights = {});
 
 /// Reparameterization z = mu + exp(0.5·logvar) ⊙ eps with eps ~ N(0, I)
 /// drawn from `rng` (stored, so backward is deterministic).
@@ -86,6 +113,10 @@ Var Reparameterize(const Var& mu, const Var& logvar, util::Rng* rng);
 
 /// log Σ_j exp(a[0,j]) for a row vector [1,C] -> scalar.
 Var LogSumExpRow(const Var& a);
+
+/// Row-wise log Σ_j exp(a[i,j]): [m,C] -> [m,1]. Batched twin of
+/// LogSumExpRow (used by the minibatched GM-VSAE mixture prior).
+Var LogSumExpRows(const Var& a);
 
 /// Convenience: wraps a constant (no-grad) tensor.
 Var Constant(Tensor value);
@@ -102,9 +133,20 @@ void PackTranspose(const float* src, int64_t r, int64_t c, float* dst);
 
 /// out[m,n] = a[m,k] @ b[k,n] (+= when `accumulate`). Packs b transposed
 /// into thread-local arena scratch so the inner kernel reads both operands
-/// contiguously.
+/// contiguously. When `b_pretransposed`, b is already laid out as [n,k]
+/// row-major (e.g. a weight matrix multiplied from the right by its
+/// transpose, as every dX = dY·Wᵀ backward term is) and the packing pass
+/// is skipped — the register-blocked kernel reads it directly.
 void MatMulPacked(const float* a, const float* b, float* out, int64_t m,
-                  int64_t k, int64_t n, bool accumulate = false);
+                  int64_t k, int64_t n, bool accumulate = false,
+                  bool b_pretransposed = false);
+
+/// grad-accumulate helper: out[k,n] += a[m,k]ᵀ @ g[m,n]. Packs both
+/// operands transposed into arena scratch so each output element is one
+/// contiguous dot over m — the dW = Xᵀ·dY half of every affine/GRU
+/// backward, shared by MatMul and the fused GRU step.
+void AddMatMulTransposedA(const float* a, const float* g, float* out,
+                          int64_t m, int64_t k, int64_t n);
 
 /// -log softmax(row)[target] for one length-n logits row — the per-row
 /// inference twin of SoftmaxCrossEntropy (max-shifted, 1e-12 prob floor).

@@ -1,0 +1,148 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace causaltad {
+namespace util {
+namespace {
+
+thread_local bool in_parallel_worker = false;
+
+std::atomic<int> thread_override{0};
+
+int HardwareDefault() {
+  if (const char* env = std::getenv("CAUSALTAD_THREADS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+/// Lazily-started persistent pool. Workers live for the process; the
+/// static destructor joins them so exit is clean.
+class Pool {
+ public:
+  static Pool& Instance() {
+    static Pool pool(ParallelThreads() - 1);
+    return pool;
+  }
+
+  void Submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      tasks_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+ private:
+  explicit Pool(int workers) {
+    workers_.reserve(std::max(workers, 0));
+    for (int i = 0; i < workers; ++i) {
+      workers_.emplace_back([this] {
+        in_parallel_worker = true;
+        for (;;) {
+          std::function<void()> task;
+          {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+            if (stop_ && tasks_.empty()) return;
+            task = std::move(tasks_.front());
+            tasks_.pop_front();
+          }
+          task();
+        }
+      });
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace
+
+int ParallelThreads() {
+  const int forced = thread_override.load(std::memory_order_relaxed);
+  if (forced > 0) return forced;
+  static const int hardware = HardwareDefault();
+  return hardware;
+}
+
+void SetParallelThreads(int threads) {
+  thread_override.store(threads > 0 ? threads : 0,
+                        std::memory_order_relaxed);
+}
+
+void ParallelFor(int64_t n, int threads,
+                 const std::function<void(int64_t, int64_t)>& fn) {
+  if (n <= 0) return;
+  if (threads <= 0) threads = ParallelThreads();
+  const int64_t shards = std::min<int64_t>(threads, n);
+  if (shards <= 1 || in_parallel_worker) {
+    fn(0, n);
+    return;
+  }
+
+  Pool& pool = Pool::Instance();
+  // One shard runs inline, so a pool of size P serves P+1 shards.
+  const int64_t usable = std::min<int64_t>(shards, pool.size() + 1);
+  if (usable <= 1) {
+    fn(0, n);
+    return;
+  }
+
+  struct Join {
+    std::mutex mu;
+    std::condition_variable cv;
+    int64_t remaining = 0;
+  } join;
+  join.remaining = usable - 1;
+
+  const int64_t base = n / usable, extra = n % usable;
+  int64_t begin = 0;
+  // Shard 0 is saved for the calling thread.
+  const int64_t first_end = base + (extra > 0 ? 1 : 0);
+  int64_t prev_end = first_end;
+  for (int64_t s = 1; s < usable; ++s) {
+    begin = prev_end;
+    const int64_t end = begin + base + (s < extra ? 1 : 0);
+    prev_end = end;
+    pool.Submit([&fn, &join, begin, end] {
+      fn(begin, end);
+      {
+        std::lock_guard<std::mutex> lock(join.mu);
+        --join.remaining;
+      }
+      join.cv.notify_one();
+    });
+  }
+  fn(0, first_end);
+  std::unique_lock<std::mutex> lock(join.mu);
+  join.cv.wait(lock, [&join] { return join.remaining == 0; });
+}
+
+}  // namespace util
+}  // namespace causaltad

@@ -1,0 +1,66 @@
+#ifndef CAUSALTAD_UTIL_PARALLEL_H_
+#define CAUSALTAD_UTIL_PARALLEL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace causaltad {
+namespace util {
+
+/// Worker-thread count used by ParallelFor when the caller passes
+/// threads <= 0. Defaults to std::thread::hardware_concurrency, overridable
+/// once via the CAUSALTAD_THREADS environment variable or at any time via
+/// SetParallelThreads. Always >= 1.
+int ParallelThreads();
+
+/// Overrides the default thread count (0 restores the hardware default).
+void SetParallelThreads(int threads);
+
+/// Splits [0, n) into up to `threads` contiguous ranges and runs
+/// fn(begin, end) for each, one range inline and the rest on a persistent
+/// worker pool; blocks until every range completes. threads <= 0 means
+/// ParallelThreads(). Calls from inside a worker (nested parallelism) run
+/// inline, so callers never deadlock the pool. fn must be thread-safe.
+void ParallelFor(int64_t n, int threads,
+                 const std::function<void(int64_t, int64_t)>& fn);
+
+/// Shards `n` per-row-independent jobs across the pool: `chunk(begin, end)`
+/// returns the results for rows [begin, end) and the pieces are scattered
+/// into one output vector. Runs single-threaded (one chunk call) when fewer
+/// than `min_rows_per_shard` rows would land on each worker — small batches
+/// lose more to pool latency than they gain. This is the shared skeleton of
+/// every sharded ScoreBatch.
+template <typename T, typename ChunkFn>
+std::vector<T> ShardedRows(int64_t n, int64_t min_rows_per_shard,
+                           const ChunkFn& chunk) {
+  const int64_t shards = std::min<int64_t>(
+      ParallelThreads(),
+      min_rows_per_shard > 0 ? n / min_rows_per_shard : n);
+  if (shards <= 1) return chunk(static_cast<int64_t>(0), n);
+  std::vector<T> out(n);
+  ParallelFor(n, static_cast<int>(shards), [&](int64_t begin, int64_t end) {
+    std::vector<T> piece = chunk(begin, end);
+    std::move(piece.begin(), piece.end(), out.begin() + begin);
+  });
+  return out;
+}
+
+/// Elements [begin, min(end, s.size())) of s; empty when begin is at or
+/// past the end. Sharded ScoreBatch implementations use this to slice an
+/// optional per-row prefix list whose tail rows mean "full route".
+template <typename T>
+std::span<const T> ClampedSubspan(std::span<const T> s, int64_t begin,
+                                  int64_t end) {
+  if (begin >= static_cast<int64_t>(s.size())) return {};
+  return s.subspan(begin,
+                   std::min<int64_t>(end, static_cast<int64_t>(s.size())) -
+                       begin);
+}
+
+}  // namespace util
+}  // namespace causaltad
+
+#endif  // CAUSALTAD_UTIL_PARALLEL_H_
