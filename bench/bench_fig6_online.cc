@@ -6,26 +6,85 @@
 // the start and steepest mid-trip (anomalies are mid-trajectory); CausalTAD
 // dominates at every ratio and reaches decent quality by ratio 0.6, while
 // baselines need 0.8-1.0.
+//
+// The 10-ratio sweep goes through ScoreSetAtRatios / ScoreCheckpoints: one
+// incremental roll per trip (CausalTAD reads every ratio off one set of
+// running prefix sums) instead of 10 independent re-scores.
+//
+// A second section measures the online serving throughput (points/sec) of
+// three paths and writes it to BENCH_fig6.json ("fig6_throughput"):
+//   * rescoring   — the reference RescoringOnlineScorer, which replays
+//                   Score() on every update (O(prefix) taped work per
+//                   point; forced via SetOnlineRescoringForced),
+//   * incremental — the models' own BeginTrip sessions (carried GRU state,
+//                   fused no-grad kernels; O(1) per point for the
+//                   road-constrained decoders),
+//   * batcher     — serve::StreamingBatcher, all trips advancing through
+//                   one shared [B, hidden] state matrix (CausalTAD +
+//                   TG-VAE).
+// Every row records the max-abs diff of the incremental score sequence
+// against Score(trip, k) for every k — the streaming parity bound.
+//
+// Environment knobs:
+//   CAUSALTAD_BENCH_SCALE=smoke|default|full   experiment scale
+//   CAUSALTAD_FIG6_METHODS=a,b,c               quality-panel method filter
+//   CAUSALTAD_FIG6_SKIP_PANELS=1               skip the quality panels
+//   CAUSALTAD_FIG6_JSON=<path>                 output path (BENCH_fig6.json)
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "core/causal_tad.h"
 #include "eval/datasets.h"
 #include "eval/harness.h"
 #include "eval/metrics.h"
+#include "models/scorer.h"
+#include "serve/streaming.h"
+#include "util/stopwatch.h"
 
 namespace {
 
+using causaltad::core::CausalTad;
+using causaltad::core::CausalTadVariant;
+using causaltad::core::ScoreVariant;
 using causaltad::eval::EvaluateScores;
 using causaltad::eval::ExperimentData;
-using causaltad::eval::ScoreSet;
+using causaltad::eval::ScoreSetAtRatios;
 using causaltad::eval::Subsample;
 using causaltad::eval::TablePrinter;
+using causaltad::models::SetOnlineRescoringForced;
+using causaltad::models::TrajectoryScorer;
+using causaltad::traj::Trip;
+
+const std::vector<double> kRatios = {0.1, 0.2, 0.3, 0.4, 0.5,
+                                     0.6, 0.7, 0.8, 0.9, 1.0};
+
+std::vector<std::string> PanelMethods() {
+  std::vector<std::string> methods = {"SAE", "VSAE", "GM-VSAE", "DeepTEA",
+                                      "CausalTAD"};
+  const char* env = std::getenv("CAUSALTAD_FIG6_METHODS");
+  if (env == nullptr) return methods;
+  std::vector<std::string> filtered;
+  std::string list(env), item;
+  for (size_t pos = 0; pos <= list.size(); ++pos) {
+    if (pos == list.size() || list[pos] == ',') {
+      if (!item.empty()) filtered.push_back(item);
+      item.clear();
+    } else {
+      item += list[pos];
+    }
+  }
+  return filtered.empty() ? methods : filtered;
+}
 
 void RunPanel(const causaltad::eval::CityExperimentConfig& config,
-              causaltad::eval::Scale scale, bool ood, const char* title) {
-  const ExperimentData data = causaltad::eval::BuildExperiment(config);
+              const ExperimentData& data, causaltad::eval::Scale scale,
+              bool ood, const char* title) {
   const auto& normal_set = ood ? data.ood_test : data.id_test;
   const auto& anomaly_set = ood ? data.ood_switch : data.id_switch;
   // Subsample to keep the 10-ratio sweep tractable on one core.
@@ -33,26 +92,25 @@ void RunPanel(const causaltad::eval::CityExperimentConfig& config,
   const auto anomalies = Subsample(anomaly_set, 400, 32);
 
   std::printf("\n== Fig. 6%s — %s ==\n", ood ? "(b)" : "(a)", title);
-  const std::vector<std::string> names = {"SAE", "VSAE", "GM-VSAE",
-                                          "DeepTEA", "CausalTAD"};
-  const std::vector<double> ratios = {0.1, 0.2, 0.3, 0.4, 0.5,
-                                      0.6, 0.7, 0.8, 0.9, 1.0};
   for (const char* metric : {"ROC-AUC", "PR-AUC"}) {
     std::printf("\n%s:\n", metric);
     std::vector<std::string> cols = {"Method"};
-    for (const double r : ratios) {
+    for (const double r : kRatios) {
       cols.push_back("r=" + TablePrinter::Fmt(r, 1));
     }
     TablePrinter table(cols);
     table.PrintHeader();
-    for (const std::string& name : names) {
+    for (const std::string& name : PanelMethods()) {
       const auto scorer =
           causaltad::eval::FitOrLoad(name, data, config.name, scale);
+      // All 10 ratios from one checkpointed pass per set.
+      const auto normal_scores = ScoreSetAtRatios(*scorer, normals, kRatios);
+      const auto anomaly_scores =
+          ScoreSetAtRatios(*scorer, anomalies, kRatios);
       std::vector<std::string> cells = {name};
-      for (const double ratio : ratios) {
+      for (size_t r = 0; r < kRatios.size(); ++r) {
         const auto result =
-            EvaluateScores(ScoreSet(*scorer, normals, ratio),
-                           ScoreSet(*scorer, anomalies, ratio));
+            EvaluateScores(normal_scores[r], anomaly_scores[r]);
         cells.push_back(TablePrinter::Fmt(
             std::string(metric) == "ROC-AUC" ? result.roc_auc
                                              : result.pr_auc));
@@ -62,13 +120,235 @@ void RunPanel(const causaltad::eval::CityExperimentConfig& config,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Online serving throughput: rescoring vs incremental vs StreamingBatcher.
+// ---------------------------------------------------------------------------
+
+struct ThroughputRow {
+  std::string city;
+  std::string method;
+  int64_t trips = 0;
+  int64_t points = 0;
+  double rescoring_pps = 0.0;    // reference path points/sec
+  double incremental_pps = 0.0;  // per-trip incremental sessions
+  double batcher_pps = 0.0;      // StreamingBatcher (0 = not applicable)
+  double speedup = 0.0;          // incremental / rescoring
+  double max_abs_diff = 0.0;     // incremental Update vs Score(trip, k)
+  double batcher_max_abs_diff = 0.0;
+};
+
+template <typename Fn>
+double BestOf(int reps, const Fn& fn) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    causaltad::util::Stopwatch watch;
+    fn();
+    const double elapsed = watch.ElapsedSeconds();
+    if (r == 0 || elapsed < best) best = elapsed;
+  }
+  return best;
+}
+
+// Feeds every point of every trip through per-trip BeginTrip sessions.
+void DriveSessions(const TrajectoryScorer* scorer,
+                   const std::vector<Trip>& trips,
+                   std::vector<std::vector<double>>* scores_out) {
+  for (size_t i = 0; i < trips.size(); ++i) {
+    auto session = scorer->BeginTrip(trips[i]);
+    std::vector<double>* scores =
+        scores_out != nullptr ? &(*scores_out)[i] : nullptr;
+    if (scores != nullptr) scores->clear();
+    double score = 0.0;
+    for (const auto segment : trips[i].route.segments) {
+      score = session->Update(segment);
+      if (scores != nullptr) scores->push_back(score);
+    }
+    if (scores == nullptr) {
+      volatile double sink = score;
+      (void)sink;
+    }
+  }
+}
+
+ThroughputRow MeasureOnline(const std::string& city,
+                            const std::string& method,
+                            const TrajectoryScorer* scorer,
+                            const CausalTad* causal, ScoreVariant variant,
+                            const std::vector<Trip>& trips) {
+  ThroughputRow row;
+  row.city = city;
+  row.method = method;
+  row.trips = static_cast<int64_t>(trips.size());
+  for (const Trip& trip : trips) row.points += trip.route.size();
+
+  // Reference scores Score(trip, k) for every k — the parity ground truth.
+  std::vector<std::vector<double>> reference(trips.size());
+  for (size_t i = 0; i < trips.size(); ++i) {
+    for (int64_t k = 1; k <= trips[i].route.size(); ++k) {
+      reference[i].push_back(scorer->Score(trips[i], k));
+    }
+  }
+
+  // Same protocol for all three paths (best of 3 warm reps), so the
+  // published speedups compare like with like.
+  constexpr int kReps = 3;
+  SetOnlineRescoringForced(true);
+  const double rescoring_s =
+      BestOf(kReps, [&] { DriveSessions(scorer, trips, nullptr); });
+  SetOnlineRescoringForced(false);
+  std::vector<std::vector<double>> incremental(trips.size());
+  const double incremental_s =
+      BestOf(kReps, [&] { DriveSessions(scorer, trips, &incremental); });
+  for (size_t i = 0; i < trips.size(); ++i) {
+    for (size_t k = 0; k < reference[i].size(); ++k) {
+      row.max_abs_diff = std::max(
+          row.max_abs_diff, std::abs(incremental[i][k] - reference[i][k]));
+    }
+  }
+  row.rescoring_pps = row.points / std::max(rescoring_s, 1e-12);
+  row.incremental_pps = row.points / std::max(incremental_s, 1e-12);
+  row.speedup = row.incremental_pps / std::max(row.rescoring_pps, 1e-12);
+
+  if (causal != nullptr) {
+    // StreamingBatcher: all trips live at once, one shared [B, hidden]
+    // state; every Step advances one point of every active session.
+    std::vector<std::vector<double>> streamed(trips.size());
+    const double batcher_s = BestOf(kReps, [&] {
+      causaltad::serve::StreamingBatcher batcher(causal, variant,
+                                                 causal->lambda());
+      std::vector<causaltad::serve::StreamingSession> sessions;
+      sessions.reserve(trips.size());
+      for (const Trip& trip : trips) sessions.push_back(batcher.Begin(trip));
+      for (size_t i = 0; i < trips.size(); ++i) {
+        for (const auto segment : trips[i].route.segments) {
+          sessions[i].Push(segment);
+        }
+        sessions[i].End();
+      }
+      batcher.Flush();
+      for (size_t i = 0; i < trips.size(); ++i) {
+        streamed[i] = sessions[i].Poll();
+      }
+    });
+    row.batcher_pps = row.points / std::max(batcher_s, 1e-12);
+    for (size_t i = 0; i < trips.size(); ++i) {
+      for (size_t k = 0; k < reference[i].size(); ++k) {
+        row.batcher_max_abs_diff =
+            std::max(row.batcher_max_abs_diff,
+                     std::abs(streamed[i][k] - reference[i][k]));
+      }
+    }
+  }
+  return row;
+}
+
+void WriteJson(const std::string& path, causaltad::eval::Scale scale,
+               const std::vector<ThroughputRow>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"figure\": \"fig6\",\n  \"scale\": \"%s\",\n",
+               causaltad::eval::ScaleName(scale));
+  std::fprintf(f, "  \"units\": \"points_per_sec\",\n");
+  std::fprintf(f, "  \"fig6_throughput\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ThroughputRow& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"city\": \"%s\", \"method\": \"%s\", \"trips\": %lld, "
+        "\"points\": %lld, \"rescoring_pps\": %.0f, "
+        "\"incremental_pps\": %.0f, \"batcher_pps\": %.0f, "
+        "\"speedup\": %.2f, \"max_abs_diff\": %.3g, "
+        "\"batcher_max_abs_diff\": %.3g}%s\n",
+        r.city.c_str(), r.method.c_str(), static_cast<long long>(r.trips),
+        static_cast<long long>(r.points), r.rescoring_pps, r.incremental_pps,
+        r.batcher_pps, r.speedup, r.max_abs_diff, r.batcher_max_abs_diff,
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+bool EnvFlag(const char* name) {
+  const char* env = std::getenv(name);
+  return env != nullptr && std::string(env) == "1";
+}
+
 }  // namespace
 
 int main() {
   const causaltad::eval::Scale scale = causaltad::eval::ScaleFromEnv();
-  RunPanel(causaltad::eval::XianConfig(scale), scale, /*ood=*/false,
-           "ID & Switch, Xi'an (observed-ratio sweep)");
-  RunPanel(causaltad::eval::ChengduConfig(scale), scale, /*ood=*/true,
-           "OOD & Switch, Chengdu (observed-ratio sweep)");
+  struct Panel {
+    causaltad::eval::CityExperimentConfig config;
+    bool ood;
+    const char* title;
+  };
+  const std::vector<Panel> panels = {
+      {causaltad::eval::XianConfig(scale), false,
+       "ID & Switch, Xi'an (observed-ratio sweep)"},
+      {causaltad::eval::ChengduConfig(scale), true,
+       "OOD & Switch, Chengdu (observed-ratio sweep)"}};
+
+  std::vector<ThroughputRow> rows;
+  TablePrinter table({"City", "Method", "rescore p/s", "increm p/s",
+                      "batcher p/s", "speedup", "max diff"});
+  bool printed_header = false;
+  for (const Panel& panel : panels) {
+    const ExperimentData data =
+        causaltad::eval::BuildExperiment(panel.config);
+    if (!EnvFlag("CAUSALTAD_FIG6_SKIP_PANELS")) {
+      RunPanel(panel.config, data, scale, panel.ood, panel.title);
+    }
+
+    // Online serving throughput, both cities. GM-VSAE stands in for the
+    // RnnVae family (carried encoder, O(prefix) fused re-decode); TG-VAE /
+    // RP-VAE / CausalTAD carry O(1)-per-point state.
+    const auto causal_owner = causaltad::eval::FitOrLoad(
+        causaltad::eval::kCausalTadName, data, panel.config.name, scale);
+    const auto* causal = dynamic_cast<const CausalTad*>(causal_owner.get());
+    const auto gmvsae = causaltad::eval::FitOrLoad(
+        "GM-VSAE", data, panel.config.name, scale);
+    const CausalTadVariant tg_only(causal, ScoreVariant::kLikelihoodOnly);
+    const CausalTadVariant rp_only(causal, ScoreVariant::kScalingOnly);
+    const auto online_trips = Subsample(data.id_test, 30, 42);
+
+    if (!printed_header) {
+      std::printf("\n== Fig. 6 — online serving throughput (points/sec; "
+                  "rescoring vs incremental vs StreamingBatcher) ==\n\n");
+      table.PrintHeader();
+      printed_header = true;
+    }
+    struct Entry {
+      std::string name;
+      const TrajectoryScorer* scorer;
+      const CausalTad* batched;
+      ScoreVariant variant;
+    };
+    const std::vector<Entry> entries = {
+        {"GM-VSAE", gmvsae.get(), nullptr, ScoreVariant::kFull},
+        {"TG-VAE", &tg_only, causal, ScoreVariant::kLikelihoodOnly},
+        {"RP-VAE", &rp_only, causal, ScoreVariant::kScalingOnly},
+        {"CausalTAD", causal, causal, ScoreVariant::kFull}};
+    for (const Entry& entry : entries) {
+      rows.push_back(MeasureOnline(panel.config.name, entry.name,
+                                   entry.scorer, entry.batched, entry.variant,
+                                   online_trips));
+      const ThroughputRow& r = rows.back();
+      table.PrintRow({r.city, r.method, TablePrinter::Fmt(r.rescoring_pps, 0),
+                      TablePrinter::Fmt(r.incremental_pps, 0),
+                      r.batcher_pps > 0 ? TablePrinter::Fmt(r.batcher_pps, 0)
+                                        : std::string("-"),
+                      TablePrinter::Fmt(r.speedup, 1) + "x",
+                      TablePrinter::Fmt(
+                          std::max(r.max_abs_diff, r.batcher_max_abs_diff),
+                          7)});
+    }
+  }
+  std::printf("\n");
+  const char* json_env = std::getenv("CAUSALTAD_FIG6_JSON");
+  WriteJson(json_env != nullptr ? json_env : "BENCH_fig6.json", scale, rows);
   return 0;
 }

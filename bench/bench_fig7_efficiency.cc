@@ -47,6 +47,7 @@
 #include "core/causal_tad.h"
 #include "eval/datasets.h"
 #include "eval/harness.h"
+#include "util/parallel.h"
 #include "util/stopwatch.h"
 
 namespace {
@@ -244,9 +245,54 @@ BatchedRow MeasureBatched(const std::string& city, const std::string& method,
   return row;
 }
 
+// ---------------------------------------------------------------------------
+// Length-bucketed batching: ScoreBatch sharding A/B (emitted as JSON).
+// ---------------------------------------------------------------------------
+
+struct BucketRow {
+  std::string city;
+  std::string method;
+  int64_t trips = 0;
+  int threads = 0;  // worker-pool width the A/B ran with
+  double unbucketed_us = 0.0;  // contiguous equal-count shards
+  double bucketed_us = 0.0;    // length-sorted equal-work shards
+  double speedup = 0.0;
+  double max_abs_diff = 0.0;  // bucketed vs unbucketed scores
+};
+
+BucketRow MeasureBucketing(const std::string& city, const std::string& method,
+                           const causaltad::models::TrajectoryScorer* scorer,
+                           const std::vector<causaltad::traj::Trip>& trips) {
+  BucketRow row;
+  row.city = city;
+  row.method = method;
+  row.trips = static_cast<int64_t>(trips.size());
+  // Bucketing balances work across the pool, so the gain scales with the
+  // thread count; record it so the committed number is interpretable.
+  row.threads = causaltad::util::ParallelThreads();
+  std::vector<double> scores[2];
+  double secs[2];
+  for (const bool bucketed : {false, true}) {
+    causaltad::util::SetLengthBucketing(bucketed);
+    secs[bucketed] =
+        BestOf(5, [&] { scores[bucketed] = scorer->ScoreBatch(trips, {}); });
+  }
+  causaltad::util::SetLengthBucketing(true);
+  row.unbucketed_us = secs[0] * 1e6 / trips.size();
+  row.bucketed_us = secs[1] * 1e6 / trips.size();
+  row.speedup = row.bucketed_us > 0.0 ? row.unbucketed_us / row.bucketed_us
+                                      : 0.0;
+  for (size_t i = 0; i < trips.size(); ++i) {
+    row.max_abs_diff =
+        std::max(row.max_abs_diff, std::abs(scores[1][i] - scores[0][i]));
+  }
+  return row;
+}
+
 void WriteJson(const std::string& path, Scale scale,
                const std::vector<TrainRow>& train_rows,
-               const std::vector<BatchedRow>& rows) {
+               const std::vector<BatchedRow>& rows,
+               const std::vector<BucketRow>& bucket_rows) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -280,6 +326,21 @@ void WriteJson(const std::string& path, Scale scale,
                  r.city.c_str(), r.method.c_str(), r.ratio, r.per_trip_us,
                  r.batched_us, r.speedup, r.max_abs_diff,
                  i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"fig7_bucketing\": [\n");
+  for (size_t i = 0; i < bucket_rows.size(); ++i) {
+    const BucketRow& r = bucket_rows[i];
+    std::fprintf(f,
+                 "    {\"city\": \"%s\", \"method\": \"%s\", "
+                 "\"trips\": %lld, \"threads\": %d, "
+                 "\"unbucketed_us\": %.2f, "
+                 "\"bucketed_us\": %.2f, \"speedup\": %.2f, "
+                 "\"max_abs_diff\": %.3g}%s\n",
+                 r.city.c_str(), r.method.c_str(),
+                 static_cast<long long>(r.trips), r.threads, r.unbucketed_us,
+                 r.bucketed_us, r.speedup, r.max_abs_diff,
+                 i + 1 < bucket_rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -331,6 +392,7 @@ int main(int argc, char** argv) {
   std::printf("== Fig. 7(b) — per-trip tape path vs batched no-grad fast "
               "path (40 trips) ==\n\n");
   std::vector<BatchedRow> rows;
+  std::vector<BucketRow> bucket_rows;
   TablePrinter batched_table(
       {"City", "Method", "ratio", "tape us", "batched us", "speedup"});
   batched_table.PrintHeader();
@@ -363,15 +425,34 @@ int main(int argc, char** argv) {
                                 TablePrinter::Fmt(r.speedup, 1) + "x"});
       }
     }
+    // Length-bucketed ScoreBatch sharding A/B on a mixed-length batch.
+    const auto bucket_trips = Subsample(data.id_test, 200, 43);
+    for (const auto& [name, scorer] :
+         std::vector<std::pair<std::string,
+                               const causaltad::models::TrajectoryScorer*>>{
+             {"GM-VSAE", gmvsae.get()}, {"CausalTAD", causal.get()}}) {
+      bucket_rows.push_back(
+          MeasureBucketing(city.name, name, scorer, bucket_trips));
+    }
     if (&city == &cities.front()) {
       xian_gmvsae = std::move(gmvsae);
       xian_causal = std::move(causal);
     }
   }
+  std::printf("\n== Length-bucketed ScoreBatch sharding (full routes) ==\n\n");
+  TablePrinter bucket_table(
+      {"City", "Method", "flat us", "bucketed us", "speedup"});
+  bucket_table.PrintHeader();
+  for (const BucketRow& r : bucket_rows) {
+    bucket_table.PrintRow({r.city, r.method,
+                           TablePrinter::Fmt(r.unbucketed_us, 1),
+                           TablePrinter::Fmt(r.bucketed_us, 1),
+                           TablePrinter::Fmt(r.speedup, 2) + "x"});
+  }
   std::printf("\n");
   const char* json_env = std::getenv("CAUSALTAD_BENCH_JSON");
   WriteJson(json_env != nullptr ? json_env : "BENCH_fig7.json", scale,
-            train_rows, rows);
+            train_rows, rows, bucket_rows);
 
   // Part (b), comparison 2: the paper's online-session latency protocol
   // (Xi'an; per-trajectory latency is a method property, not a city one).

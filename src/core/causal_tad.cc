@@ -48,6 +48,7 @@ CausalTad::CausalTad(const roadnet::RoadNetwork* network,
   net_ = std::make_unique<Net>(network, config_, &rng);
   tg_ = &net_->tg;
   rp_ = &net_->rp;
+  RebuildServingCache();
 }
 
 CausalTad::~CausalTad() = default;
@@ -138,6 +139,13 @@ void CausalTad::RebuildScalingTable() {
                                        config_.scaling_samples,
                                        config_.scaling_seed);
   if (config_.center_scaling) scaling_table_.CenterInPlace();
+  // Fit/Load changed the TG-VAE weights too; re-derive the serving cache.
+  RebuildServingCache();
+}
+
+void CausalTad::RebuildServingCache() {
+  tg_out_wt_ = std::make_shared<const std::vector<float>>(
+      tg_->PackedOutWeightsTransposed());
 }
 
 double CausalTad::RpOnlyScore(const traj::Trip& trip,
@@ -249,6 +257,87 @@ std::vector<double> CausalTad::ScoreBatch(
                                  config_.lambda);
 }
 
+std::vector<std::vector<double>> CausalTad::ScoreCheckpointsVariantLambda(
+    std::span<const traj::Trip> trips,
+    std::span<const std::vector<int64_t>> checkpoints, ScoreVariant variant,
+    double lambda) const {
+  const size_t batch = trips.size();
+  std::vector<std::vector<double>> out(batch);
+  if (batch == 0) return out;
+
+  // Clamp every checkpoint like Score does and find each trip's largest
+  // prefix — the only length anything below has to be rolled to.
+  std::vector<std::vector<int64_t>> ks(batch);
+  std::vector<int64_t> max_k(batch, 0);
+  for (size_t i = 0; i < batch; ++i) {
+    const int64_t n = trips[i].route.size();
+    const auto& raw = i < checkpoints.size() ? checkpoints[i]
+                                             : std::vector<int64_t>{};
+    ks[i].reserve(raw.size());
+    for (int64_t k : raw) {
+      if (k <= 0 || k > n) k = n;
+      ks[i].push_back(k);
+      max_k[i] = std::max(max_k[i], k);
+    }
+    // A trip with no checkpoints still occupies a ScoreBatch row; prefix 1
+    // keeps its roll at zero decode steps (prefix 0 would mean full route).
+    max_k[i] = std::max<int64_t>(max_k[i], 1);
+    out[i].resize(ks[i].size());
+  }
+
+  if (variant == ScoreVariant::kScalingOnly) {
+    // Per-position segment NLLs batched per departure slot, then every
+    // checkpoint is a running prefix sum.
+    for (size_t i = 0; i < batch; ++i) {
+      const int slot = rp_->time_conditioned() ? trips[i].time_slot : 0;
+      const std::vector<double> nll = rp_->SegmentNllBatch(
+          std::span<const roadnet::SegmentId>(trips[i].route.segments)
+              .first(max_k[i]),
+          slot);
+      std::vector<double> prefix(max_k[i] + 1, 0.0);
+      for (int64_t p = 0; p < max_k[i]; ++p) {
+        prefix[p + 1] = prefix[p] + nll[p];
+      }
+      for (size_t j = 0; j < ks[i].size(); ++j) out[i][j] = prefix[ks[i][j]];
+    }
+    return out;
+  }
+
+  // One [B, hidden] TG-VAE roll to each trip's largest checkpoint; every
+  // checkpoint is then a PrefixScore read plus (for the full model) a
+  // scaling prefix sum.
+  const std::vector<TgVae::ScoreParts> parts = tg_->ScoreBatch(trips, max_k);
+  const bool full = variant == ScoreVariant::kFull;
+  if (full) {
+    CAUSALTAD_CHECK(!scaling_table_.empty()) << "call Fit() or Load() first";
+  }
+  for (size_t i = 0; i < batch; ++i) {
+    std::vector<double> scaling_prefix;
+    if (full) {
+      const int slot = scaling_table_.num_slots() > 1 ? trips[i].time_slot : 0;
+      scaling_prefix.assign(max_k[i] + 1, 0.0);
+      for (int64_t p = 0; p < max_k[i]; ++p) {
+        scaling_prefix[p + 1] =
+            scaling_prefix[p] +
+            scaling_table_.log_scaling(trips[i].route.segments[p], slot);
+      }
+    }
+    for (size_t j = 0; j < ks[i].size(); ++j) {
+      double score = parts[i].PrefixScore(ks[i][j]);
+      if (full) score -= lambda * scaling_prefix[ks[i][j]];
+      out[i][j] = score;
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> CausalTad::ScoreCheckpoints(
+    std::span<const traj::Trip> trips,
+    std::span<const std::vector<int64_t>> checkpoints) const {
+  return ScoreCheckpointsVariantLambda(trips, checkpoints,
+                                       ScoreVariant::kFull, config_.lambda);
+}
+
 CausalTad::SegmentDecomposition CausalTad::Decompose(
     const traj::Trip& trip) const {
   SegmentDecomposition out;
@@ -269,49 +358,62 @@ CausalTad::SegmentDecomposition CausalTad::Decompose(
 
 namespace {
 
-/// O(1)-per-segment online session (paper §V-D): per update, one GRU step,
-/// one successor-masked softmax, and one scaling-table lookup. With a null
-/// `table` (or λ = 0) this is the TG-VAE-only session.
+/// O(1)-per-segment online session (paper §V-D): per update, one *fused*
+/// no-grad GRU step over the carried [1, hidden] row, one successor-masked
+/// softmax read off the transposed output weights, and one scaling-table
+/// lookup. With a null `table` (or λ = 0) this is the TG-VAE-only session.
 class CausalTadOnlineSession : public models::OnlineScorer {
  public:
-  CausalTadOnlineSession(const TgVae* tg, const ScalingTable* table,
-                         double lambda, roadnet::SegmentId source,
+  CausalTadOnlineSession(const TgVae* tg,
+                         std::shared_ptr<const std::vector<float>> wt,
+                         const ScalingTable* table, double lambda,
+                         roadnet::SegmentId source,
                          roadnet::SegmentId destination, int slot)
-      : tg_(tg), table_(table), lambda_(lambda), slot_(slot) {
-    ctx_ = tg->BeginTrip(source, destination);
-    hidden_ = ctx_.h0;
+      : tg_(tg),
+        wt_(std::move(wt)),
+        table_(table),
+        lambda_(lambda),
+        slot_(slot) {
+    const TgVae::TripContext ctx = tg->BeginTrip(source, destination);
+    base_ = ctx.sd_nll + ctx.kl;
+    hidden_ = ctx.h0.value();
   }
 
   double Update(roadnet::SegmentId segment) override {
     if (has_last_) {
-      nll_ += tg_->StepNll(last_, segment, &hidden_);
+      nll_ += tg_->StepNllFused(last_, segment, &hidden_, wt_->data());
     }
     if (table_ != nullptr) scaling_ += table_->log_scaling(segment, slot_);
     last_ = segment;
     has_last_ = true;
-    return ctx_.sd_nll + ctx_.kl + nll_ - lambda_ * scaling_;
+    return base_ + nll_ - lambda_ * scaling_;
   }
 
  private:
   const TgVae* tg_;
+  // Shared with CausalTad's serving cache; keeps the transposed weights
+  // alive even if the model is re-fitted while this session streams.
+  std::shared_ptr<const std::vector<float>> wt_;
   const ScalingTable* table_;
   double lambda_;
   int slot_ = 0;
-  TgVae::TripContext ctx_;
-  nn::Var hidden_;
+  double base_ = 0.0;
+  nn::Tensor hidden_;  // [1, hidden], advanced in place
   roadnet::SegmentId last_ = roadnet::kInvalidSegment;
   bool has_last_ = false;
   double nll_ = 0.0;
   double scaling_ = 0.0;
 };
 
-/// Incremental RP-VAE-only session: one per-segment ELBO per update.
+/// Incremental RP-VAE-only session: one per-segment ELBO per update, on the
+/// no-grad batched path (batch of one).
 class RpOnlineSession : public models::OnlineScorer {
  public:
   RpOnlineSession(const RpVae* rp, int slot) : rp_(rp), slot_(slot) {}
 
   double Update(roadnet::SegmentId segment) override {
-    total_ += rp_->SegmentNll(segment, slot_);
+    total_ += rp_->SegmentNllBatch(
+        std::span<const roadnet::SegmentId>(&segment, 1), slot_)[0];
     return total_;
   }
 
@@ -332,7 +434,7 @@ std::unique_ptr<models::OnlineScorer> CausalTad::BeginTripVariant(
       return std::make_unique<RpOnlineSession>(rp_, rp_slot);
     case ScoreVariant::kLikelihoodOnly:
       return std::make_unique<CausalTadOnlineSession>(
-          tg_, nullptr, 0.0, trip.route.segments.front(),
+          tg_, tg_out_wt_, nullptr, 0.0, trip.route.segments.front(),
           trip.route.segments.back(), 0);
     case ScoreVariant::kFull:
       break;
@@ -340,12 +442,15 @@ std::unique_ptr<models::OnlineScorer> CausalTad::BeginTripVariant(
   CAUSALTAD_CHECK(!scaling_table_.empty()) << "call Fit() or Load() first";
   const int slot = scaling_table_.num_slots() > 1 ? trip.time_slot : 0;
   return std::make_unique<CausalTadOnlineSession>(
-      tg_, &scaling_table_, lambda, trip.route.segments.front(),
-      trip.route.segments.back(), slot);
+      tg_, tg_out_wt_, &scaling_table_, lambda,
+      trip.route.segments.front(), trip.route.segments.back(), slot);
 }
 
 std::unique_ptr<models::OnlineScorer> CausalTad::BeginTrip(
     const traj::Trip& trip) const {
+  if (models::OnlineRescoringForced()) {
+    return TrajectoryScorer::BeginTrip(trip);
+  }
   return BeginTripVariant(trip, ScoreVariant::kFull, config_.lambda);
 }
 

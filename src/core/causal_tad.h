@@ -67,6 +67,9 @@ class CausalTad : public models::TrajectoryScorer {
   std::vector<double> ScoreBatch(
       std::span<const traj::Trip> trips,
       std::span<const int64_t> prefix_lens) const override;
+  std::vector<std::vector<double>> ScoreCheckpoints(
+      std::span<const traj::Trip> trips,
+      std::span<const std::vector<int64_t>> checkpoints) const override;
   std::unique_ptr<models::OnlineScorer> BeginTrip(
       const traj::Trip& trip) const override;
   util::Status Save(const std::string& path) const override;
@@ -85,10 +88,32 @@ class CausalTad : public models::TrajectoryScorer {
       std::span<const traj::Trip> trips, std::span<const int64_t> prefix_lens,
       ScoreVariant variant, double lambda) const;
 
+  /// Checkpointed twin of ScoreBatchVariantLambda: out[i][j] ==
+  /// ScoreVariantLambda(trips[i], checkpoints[i][j], ...), computed from ONE
+  /// incremental roll per trip (to its largest checkpoint) plus running
+  /// prefix sums — an R-ratio observed-ratio sweep (fig6) costs one roll
+  /// instead of R independent re-scores.
+  std::vector<std::vector<double>> ScoreCheckpointsVariantLambda(
+      std::span<const traj::Trip> trips,
+      std::span<const std::vector<int64_t>> checkpoints, ScoreVariant variant,
+      double lambda) const;
+
   /// Incremental session for an ablation variant (kLikelihoodOnly sessions
-  /// are what the paper times as "TG-VAE" in Fig. 7(b)).
+  /// are what the paper times as "TG-VAE" in Fig. 7(b)). O(1) per point:
+  /// one fused no-grad GRU step, one successor-masked softmax, one
+  /// scaling-table lookup.
   std::unique_ptr<models::OnlineScorer> BeginTripVariant(
       const traj::Trip& trip, ScoreVariant variant, double lambda) const;
+
+  /// TG-VAE output weights transposed to [vocab, hidden] — derived serving
+  /// state rebuilt alongside the scaling table (construction, Fit, Load).
+  /// The streaming engine and the online sessions read successor-masked
+  /// logits from it as contiguous dots. Shared ownership: a Fit()/Load()
+  /// under live sessions swaps in a fresh buffer while they keep the one
+  /// they started with (scores stay self-consistent, nothing dangles).
+  std::shared_ptr<const std::vector<float>> packed_out_weights() const {
+    return tg_out_wt_;
+  }
 
   /// Per-segment decomposition for the paper's Fig. 4: the likelihood NLL
   /// of each transition and the (centred) scaling factor of each segment.
@@ -114,6 +139,7 @@ class CausalTad : public models::TrajectoryScorer {
   double RpOnlyScore(const traj::Trip& trip, int64_t prefix_len) const;
 
   void RebuildScalingTable();
+  void RebuildServingCache();
 
   const roadnet::RoadNetwork* network_;
   CausalTadConfig config_;
@@ -121,6 +147,7 @@ class CausalTad : public models::TrajectoryScorer {
   TgVae* tg_ = nullptr;
   RpVae* rp_ = nullptr;
   ScalingTable scaling_table_;
+  std::shared_ptr<const std::vector<float>> tg_out_wt_;  // see packed_out_weights()
 };
 
 /// Non-owning adapter exposing one ablation variant of a fitted CausalTad
@@ -146,8 +173,17 @@ class CausalTadVariant : public models::TrajectoryScorer {
     return model_->ScoreBatchVariantLambda(trips, prefix_lens, variant_,
                                            model_->lambda());
   }
+  std::vector<std::vector<double>> ScoreCheckpoints(
+      std::span<const traj::Trip> trips,
+      std::span<const std::vector<int64_t>> checkpoints) const override {
+    return model_->ScoreCheckpointsVariantLambda(trips, checkpoints, variant_,
+                                                 model_->lambda());
+  }
   std::unique_ptr<models::OnlineScorer> BeginTrip(
       const traj::Trip& trip) const override {
+    if (models::OnlineRescoringForced()) {
+      return TrajectoryScorer::BeginTrip(trip);
+    }
     return model_->BeginTripVariant(trip, variant_, model_->lambda());
   }
   util::Status Save(const std::string&) const override {

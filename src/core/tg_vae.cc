@@ -249,22 +249,47 @@ std::vector<TgVae::ScoreParts> TgVae::ScoreBatch(
     std::span<const traj::Trip> trips,
     std::span<const int64_t> prefix_lens) const {
   // Shard rows across the worker pool (scores are per-row independent; the
-  // no-grad guard and scratch arena are thread-local).
-  return util::ShardedRows<ScoreParts>(
-      static_cast<int64_t>(trips.size()), 8,
+  // no-grad guard and scratch arena are thread-local). Shards are
+  // length-bucketed by decode-step count: each worker's [B, hidden] roll
+  // sees near-uniform row lengths (minimal compaction churn) and shards
+  // carry near-equal total work, unlike equal-count splits.
+  const int64_t n = static_cast<int64_t>(trips.size());
+  std::vector<ScoreParts> parts(n);
+  if (n == 0) return parts;
+  std::vector<int64_t> costs(n);
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t steps = trips[i].route.size() - 1;
+    if (i < static_cast<int64_t>(prefix_lens.size()) && prefix_lens[i] > 0) {
+      steps = std::min(steps, prefix_lens[i] - 1);
+    }
+    costs[i] = steps + 1;
+  }
+  const std::vector<std::vector<int64_t>> shards = util::RowShards(costs, 8);
+  util::ParallelFor(
+      static_cast<int64_t>(shards.size()), static_cast<int>(shards.size()),
       [&](int64_t begin, int64_t end) {
-        return ScoreBatchChunk(trips.subspan(begin, end - begin),
-                               util::ClampedSubspan(prefix_lens, begin, end));
+        for (int64_t s = begin; s < end; ++s) {
+          ScoreBatchChunk(trips, prefix_lens, shards[s], parts.data());
+        }
       });
+  return parts;
 }
 
-std::vector<TgVae::ScoreParts> TgVae::ScoreBatchChunk(
-    std::span<const traj::Trip> trips,
-    std::span<const int64_t> prefix_lens) const {
-  const int64_t batch = static_cast<int64_t>(trips.size());
-  std::vector<ScoreParts> parts(trips.size());
-  if (batch == 0) return parts;
+void TgVae::ScoreBatchChunk(std::span<const traj::Trip> all_trips,
+                            std::span<const int64_t> prefix_lens,
+                            std::span<const int64_t> rows,
+                            ScoreParts* out) const {
+  const int64_t batch = static_cast<int64_t>(rows.size());
+  if (batch == 0) return;
   const nn::InferenceGuard no_grad;
+  // Local views of this shard's rows; `parts` aliases the caller's output
+  // slots so the body below reads like the contiguous-chunk original.
+  std::vector<const traj::Trip*> trips(batch);
+  std::vector<ScoreParts*> parts(batch);
+  for (int64_t a = 0; a < batch; ++a) {
+    trips[a] = &all_trips[rows[a]];
+    parts[a] = &out[rows[a]];
+  }
 
   // SD encode, deduplicated: trips sharing an SD pair (common under the
   // paper's ride-hailing workload — many concurrent orders between the same
@@ -277,7 +302,7 @@ std::vector<TgVae::ScoreParts> TgVae::ScoreBatchChunk(
   std::vector<int32_t> u_s, u_d;  // unique pair endpoints
   int64_t max_steps = 0;
   for (int64_t i = 0; i < batch; ++i) {
-    const auto& segs = trips[i].route.segments;
+    const auto& segs = trips[i]->route.segments;
     CAUSALTAD_CHECK_GE(segs.size(), 1u);
     s_ids[i] = segs.front();
     d_ids[i] = segs.back();
@@ -317,8 +342,8 @@ std::vector<TgVae::ScoreParts> TgVae::ScoreBatchChunk(
     }
   }
   for (int64_t i = 0; i < batch; ++i) {
-    parts[i].kl = pair_kl[pair_of[i]];
-    parts[i].sd_nll = pair_sd_nll[pair_of[i]];
+    parts[i]->kl = pair_kl[pair_of[i]];
+    parts[i]->sd_nll = pair_sd_nll[pair_of[i]];
   }
 
   // Roll all rows through one [B, hidden] decoder state, compacting the
@@ -341,13 +366,14 @@ std::vector<TgVae::ScoreParts> TgVae::ScoreBatchChunk(
   std::vector<int64_t> steps(batch);
   std::vector<int64_t> active(batch);  // position -> original row
   for (int64_t i = 0; i < batch; ++i) {
-    steps[i] = static_cast<int64_t>(trips[i].route.segments.size()) - 1;
-    if (i < static_cast<int64_t>(prefix_lens.size()) && prefix_lens[i] > 0) {
-      steps[i] = std::min(steps[i], prefix_lens[i] - 1);
+    steps[i] = static_cast<int64_t>(trips[i]->route.segments.size()) - 1;
+    if (rows[i] < static_cast<int64_t>(prefix_lens.size()) &&
+        prefix_lens[rows[i]] > 0) {
+      steps[i] = std::min(steps[i], prefix_lens[rows[i]] - 1);
     }
     max_steps = std::max(max_steps, steps[i]);
     active[i] = i;
-    parts[i].step_nll.reserve(steps[i]);
+    parts[i]->step_nll.reserve(steps[i]);
   }
 
   // Project every unique input segment through the gate input weights once;
@@ -356,7 +382,7 @@ std::vector<TgVae::ScoreParts> TgVae::ScoreBatchChunk(
   std::vector<int32_t> dense_of(config_.vocab, -1);
   std::vector<int32_t> unique_segs;
   for (int64_t i = 0; i < batch; ++i) {
-    const auto& segs = trips[i].route.segments;
+    const auto& segs = trips[i]->route.segments;
     for (int64_t j = 0; j < steps[i]; ++j) {
       if (dense_of[segs[j]] < 0) {
         dense_of[segs[j]] = static_cast<int32_t>(unique_segs.size());
@@ -401,7 +427,7 @@ std::vector<TgVae::ScoreParts> TgVae::ScoreBatchChunk(
     float* xw = nn::internal::ArenaAlloc(
         static_cast<int64_t>(active.size()) * three_h);
     for (size_t a = 0; a < active.size(); ++a) {
-      const int32_t dense = dense_of[trips[active[a]].route.segments[j]];
+      const int32_t dense = dense_of[trips[active[a]]->route.segments[j]];
       std::copy(xw_table.data() + dense * three_h,
                 xw_table.data() + (dense + 1) * three_h, xw + a * three_h);
     }
@@ -418,7 +444,7 @@ std::vector<TgVae::ScoreParts> TgVae::ScoreBatchChunk(
     }
     for (size_t a = 0; a < active.size(); ++a) {
       const int64_t i = active[a];
-      const auto& segs = trips[i].route.segments;
+      const auto& segs = trips[i]->route.segments;
       const float* hrow = h.value().data() + a * hd;
       if (config_.road_constrained) {
         const auto successors = network_->Successors(segs[j]);
@@ -433,20 +459,21 @@ std::vector<TgVae::ScoreParts> TgVae::ScoreBatchChunk(
               b[col] + nn::internal::DotUnrolled(hrow, wt + col * hd, hd);
         }
         CAUSALTAD_CHECK_GE(target_pos, 0) << "route is not network-valid";
-        parts[i].step_nll.push_back(SoftmaxNllRow(logits, k, target_pos));
+        parts[i]->step_nll.push_back(SoftmaxNllRow(logits, k, target_pos));
       } else {
         float* logits = full_logits + a * config_.vocab;
         for (int64_t c = 0; c < config_.vocab; ++c) logits[c] += b[c];
-        parts[i].step_nll.push_back(
+        parts[i]->step_nll.push_back(
             SoftmaxNllRow(logits, config_.vocab, segs[j + 1]));
       }
     }
   }
-  return parts;
 }
 
 TgVae::TripContext TgVae::BeginTrip(roadnet::SegmentId source,
                                     roadnet::SegmentId destination) const {
+  // No-grad: session contexts are inference state, never back-propagated.
+  const nn::InferenceGuard no_grad;
   TripContext ctx;
   const Forwarded f = EncodeSd(source, destination, /*rng=*/nullptr);
   ctx.kl = nn::KlStandardNormal(f.mu, f.logvar).value().Item();
@@ -462,6 +489,102 @@ double TgVae::StepNll(roadnet::SegmentId current, roadnet::SegmentId next,
   const std::vector<int32_t> id = {current};
   *hidden = gru_.Step(route_emb_.Forward(id), *hidden);
   return StepCe(*hidden, current, next).value().Item();
+}
+
+std::vector<float> TgVae::PackedOutWeightsTransposed() const {
+  std::vector<float> wt(config_.vocab * config_.hidden_dim);
+  nn::internal::PackTranspose(out_.w().value().data(), config_.hidden_dim,
+                              config_.vocab, wt.data());
+  return wt;
+}
+
+void TgVae::StepNllRows(std::span<const roadnet::SegmentId> current,
+                        std::span<const roadnet::SegmentId> next,
+                        std::span<const int64_t> rows, float* states,
+                        const float* wt, double* nll) const {
+  const int64_t n = static_cast<int64_t>(current.size());
+  if (n == 0) return;
+  const int64_t hd = config_.hidden_dim;
+  const int64_t emb_dim = config_.emb_dim;
+  // Entries are independent (distinct state rows), so shard them across the
+  // worker pool; each worker scopes its own no-grad guard and arena and
+  // advances its slice of the shared state matrix with one fused GRU step.
+  const int64_t shards = std::min<int64_t>(util::ParallelThreads(), n / 16);
+  util::ParallelFor(
+      n, shards > 1 ? static_cast<int>(shards) : 1,
+      [&](int64_t begin, int64_t end) {
+        const nn::InferenceGuard no_grad;
+        const int64_t count = end - begin;
+
+        // Gather this slice's input embeddings and state rows into
+        // contiguous blocks, project the inputs through all three gate
+        // weights at once, and take one fused batched step.
+        nn::Tensor x({count, emb_dim});
+        const float* emb = route_emb_.table().value().data();
+        for (int64_t k = 0; k < count; ++k) {
+          const roadnet::SegmentId seg = current[begin + k];
+          std::copy(emb + seg * emb_dim, emb + (seg + 1) * emb_dim,
+                    x.data() + k * emb_dim);
+        }
+        const nn::Tensor xw = gru_.ProjectInputs(x);
+        nn::Tensor h({count, hd});
+        for (int64_t k = 0; k < count; ++k) {
+          const float* src = states + rows[begin + k] * hd;
+          std::copy(src, src + hd, h.data() + k * hd);
+        }
+        const nn::Var hv = gru_.StepFusedProjected(
+            xw.data(), count, nn::Constant(std::move(h)));
+        const float* hnew = hv.value().data();
+        for (int64_t k = 0; k < count; ++k) {
+          std::copy(hnew + k * hd, hnew + (k + 1) * hd,
+                    states + rows[begin + k] * hd);
+        }
+
+        // Per-entry next-segment NLL: successor-masked contiguous dots
+        // against the transposed output weights, or one packed full-vocab
+        // matmul for the unconstrained ablation.
+        const float* b = out_.b().value().data();
+        if (config_.road_constrained) {
+          for (int64_t k = 0; k < count; ++k) {
+            const auto successors = network_->Successors(current[begin + k]);
+            const int64_t deg = static_cast<int64_t>(successors.size());
+            nn::internal::ArenaScope scope;
+            float* logits = nn::internal::ArenaAlloc(deg);
+            int64_t target_pos = -1;
+            const float* hrow = hnew + k * hd;
+            for (int64_t c = 0; c < deg; ++c) {
+              const int32_t col = successors[c];
+              if (col == next[begin + k]) target_pos = c;
+              logits[c] =
+                  b[col] + nn::internal::DotUnrolled(hrow, wt + col * hd, hd);
+            }
+            CAUSALTAD_CHECK_GE(target_pos, 0)
+                << "transition is not network-valid";
+            nll[begin + k] = SoftmaxNllRow(logits, deg, target_pos);
+          }
+        } else {
+          nn::internal::ArenaScope scope;
+          float* logits = nn::internal::ArenaAlloc(count * config_.vocab);
+          nn::internal::MatMulPacked(hnew, out_.w().value().data(), logits,
+                                     count, hd, config_.vocab);
+          for (int64_t k = 0; k < count; ++k) {
+            float* row = logits + k * config_.vocab;
+            for (int64_t c = 0; c < config_.vocab; ++c) row[c] += b[c];
+            nll[begin + k] =
+                SoftmaxNllRow(row, config_.vocab, next[begin + k]);
+          }
+        }
+      });
+}
+
+double TgVae::StepNllFused(roadnet::SegmentId current, roadnet::SegmentId next,
+                           nn::Tensor* hidden, const float* wt) const {
+  const int64_t row = 0;
+  double nll = 0.0;
+  StepNllRows(std::span<const roadnet::SegmentId>(&current, 1),
+              std::span<const roadnet::SegmentId>(&next, 1),
+              std::span<const int64_t>(&row, 1), hidden->data(), wt, &nll);
+  return nll;
 }
 
 }  // namespace core

@@ -91,9 +91,38 @@ class TgVae : public nn::Module {
                         roadnet::SegmentId destination) const;
 
   /// One O(d² + deg·d) decoder step: consumes `current` and returns
-  /// -log P(next | ·) plus the updated hidden state.
+  /// -log P(next | ·) plus the updated hidden state. Taped reference path;
+  /// the serving engines use StepNllFused / StepNllRows instead.
   double StepNll(roadnet::SegmentId current, roadnet::SegmentId next,
                  nn::Var* hidden) const;
+
+  /// --- Streaming serving primitives (src/serve, CausalTad sessions) ---
+
+  /// Copy of the output weights transposed to [vocab, hidden], so each
+  /// successor-masked logit is one contiguous dot instead of a
+  /// vocab-strided column walk. Serving engines build this once per fitted
+  /// model (CausalTad re-derives it next to the scaling table) and pass it
+  /// to StepNllFused / StepNllRows.
+  std::vector<float> PackedOutWeightsTransposed() const;
+
+  /// Batched streaming advance over a shared state matrix: entry k consumes
+  /// transition current[k] -> next[k] on row rows[k] of `states`
+  /// ([*, hidden] row-major, rows distinct within one call), updating the
+  /// row in place and writing -log P(next[k] | r, t_<=) into nll[k]. One
+  /// fused GRU step plus one successor-masked softmax per entry, no tape;
+  /// entries shard across the worker pool. `wt` is
+  /// PackedOutWeightsTransposed() data (unused when road constraining is
+  /// off — the full-vocabulary logits go through the packed MatMul).
+  void StepNllRows(std::span<const roadnet::SegmentId> current,
+                   std::span<const roadnet::SegmentId> next,
+                   std::span<const int64_t> rows, float* states,
+                   const float* wt, double* nll) const;
+
+  /// Single-session fused twin of StepNll: advances the [1, hidden] state
+  /// in place with no tape allocation. This is the O(1)-per-point update of
+  /// the paper's online protocol (§V-D).
+  double StepNllFused(roadnet::SegmentId current, roadnet::SegmentId next,
+                      nn::Tensor* hidden, const float* wt) const;
 
   const TgVaeConfig& config() const { return config_; }
 
@@ -109,11 +138,13 @@ class TgVae : public nn::Module {
   nn::Var StepCe(const nn::Var& hidden, roadnet::SegmentId current,
                  roadnet::SegmentId next) const;
 
-  /// Single-threaded ScoreBatch body; ScoreBatch shards rows over the
-  /// worker pool and calls this per contiguous chunk.
-  std::vector<ScoreParts> ScoreBatchChunk(
-      std::span<const traj::Trip> trips,
-      std::span<const int64_t> prefix_lens) const;
+  /// Single-threaded ScoreBatch body for one shard of rows: reads
+  /// trips[rows[a]] / prefix_lens[rows[a]] and writes out[rows[a]].
+  /// ScoreBatch builds the shards (length-bucketed by decode steps when
+  /// enabled) and runs one chunk per worker.
+  void ScoreBatchChunk(std::span<const traj::Trip> trips,
+                       std::span<const int64_t> prefix_lens,
+                       std::span<const int64_t> rows, ScoreParts* out) const;
 
   const roadnet::RoadNetwork* network_;
   TgVaeConfig config_;

@@ -1,6 +1,7 @@
 #include "eval/harness.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -157,6 +158,28 @@ std::vector<double> ScoreSet(const models::TrajectoryScorer& scorer,
     prefixes.push_back(std::max<int64_t>(1, std::min(prefix, n)));
   }
   return scorer.ScoreBatch(trips, prefixes);
+}
+
+std::vector<std::vector<double>> ScoreSetAtRatios(
+    const models::TrajectoryScorer& scorer,
+    const std::vector<traj::Trip>& trips, std::span<const double> ratios) {
+  std::vector<std::vector<int64_t>> checkpoints(trips.size());
+  for (size_t i = 0; i < trips.size(); ++i) {
+    const int64_t n = trips[i].route.size();
+    checkpoints[i].reserve(ratios.size());
+    for (const double ratio : ratios) {
+      const int64_t prefix = static_cast<int64_t>(std::ceil(ratio * n));
+      checkpoints[i].push_back(std::max<int64_t>(1, std::min(prefix, n)));
+    }
+  }
+  const std::vector<std::vector<double>> per_trip =
+      scorer.ScoreCheckpoints(trips, checkpoints);
+  std::vector<std::vector<double>> out(
+      ratios.size(), std::vector<double>(trips.size(), 0.0));
+  for (size_t i = 0; i < trips.size(); ++i) {
+    for (size_t r = 0; r < ratios.size(); ++r) out[r][i] = per_trip[i][r];
+  }
+  return out;
 }
 
 EvalResult EvaluateCombo(const models::TrajectoryScorer& scorer,

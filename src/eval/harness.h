@@ -2,6 +2,7 @@
 #define CAUSALTAD_EVAL_HARNESS_H_
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,15 @@ EvalResult EvaluateCombo(const models::TrajectoryScorer& scorer,
 std::vector<double> ScoreSet(const models::TrajectoryScorer& scorer,
                              const std::vector<traj::Trip>& trips,
                              double observed_ratio);
+
+/// Scores one set at several observed ratios in one pass: out[r][i] is trip
+/// i's score at ratios[r] (prefix = ceil(ratio * |t|), at least 1). Goes
+/// through ScoreCheckpoints, so CausalTAD computes a whole ratio sweep from
+/// one incremental roll per trip instead of |ratios| re-scores — this is
+/// what the fig6 bench drives.
+std::vector<std::vector<double>> ScoreSetAtRatios(
+    const models::TrajectoryScorer& scorer,
+    const std::vector<traj::Trip>& trips, std::span<const double> ratios);
 
 /// Markdown-ish fixed-width table printer used by all bench binaries.
 class TablePrinter {

@@ -548,38 +548,198 @@ double RnnVae::Score(const traj::Trip& trip, int64_t prefix_len) const {
   return Loss(trip, prefix_len, /*rng=*/nullptr).value().Item();
 }
 
+double RnnVae::PosteriorKlRow(const float* mu_row, const float* lv_row) const {
+  const int64_t latent = config_.latent_dim;
+  if (config_.mixture_k > 0) {
+    // MC estimate with z = mu: log q(z|x) - log p_mix(z). The quadratic
+    // term of log q vanishes because z is exactly the posterior mean.
+    float sum_lv = 0.0f;
+    for (int64_t d = 0; d < latent; ++d) sum_lv += lv_row[d];
+    const float log_q =
+        -0.5f * (sum_lv + kLog2Pi * static_cast<float>(latent));
+    nn::internal::ArenaScope scope;
+    float* comp = nn::internal::ArenaAlloc(config_.mixture_k);
+    for (int c = 0; c < config_.mixture_k; ++c) {
+      const float* mean = net_->mix_means.value().data() + c * latent;
+      float ss = 0.0f;
+      for (int64_t d = 0; d < latent; ++d) {
+        const float diff = mu_row[d] - mean[d];
+        ss += diff * diff;
+      }
+      comp[c] = -0.5f * (ss + kLog2Pi * static_cast<float>(latent)) -
+                std::log(static_cast<float>(config_.mixture_k));
+    }
+    float max_v = comp[0];
+    for (int c = 1; c < config_.mixture_k; ++c) {
+      max_v = std::max(max_v, comp[c]);
+    }
+    float total = 0.0f;
+    for (int c = 0; c < config_.mixture_k; ++c) {
+      total += nn::fastmath::Exp(comp[c] - max_v);
+    }
+    return log_q - (max_v + std::log(total));
+  }
+  return nn::internal::KlStandardNormalRow(mu_row, lv_row, latent);
+}
+
+/// Carried state of one incremental session: the encoder's [1, hidden] GRU
+/// row, the observed prefix, and the cached decoder input projections
+/// (each observed segment's [3*hidden] gate projection is computed once, on
+/// arrival, and reused by every subsequent re-roll).
+struct RnnVae::OnlineState {
+  nn::Tensor enc_h;
+  nn::Tensor slot_vec;  // [1, slot_emb]; time-conditioned models only
+  std::vector<int32_t> segments;
+  std::vector<float> bos_xw;
+  std::vector<float> dec_xw;
+};
+
+std::unique_ptr<RnnVae::OnlineState> RnnVae::BeginOnline(
+    const traj::Trip& trip) const {
+  const nn::InferenceGuard no_grad;
+  auto state = std::make_unique<OnlineState>();
+  state->enc_h = nn::Tensor::Zeros({1, config_.hidden_dim});
+  if (config_.time_conditioned) {
+    const std::vector<int32_t> slot_id = {
+        static_cast<int32_t>(trip.time_slot)};
+    state->slot_vec = net_->slot_emb->Forward(slot_id).value();
+  }
+  const nn::Tensor bos_xw = net_->dec_gru.ProjectInputs(net_->bos.value());
+  state->bos_xw.assign(bos_xw.data(), bos_xw.data() + bos_xw.numel());
+  state->segments.reserve(trip.route.segments.size());
+  state->dec_xw.reserve(trip.route.segments.size() * 3 * config_.hidden_dim);
+  return state;
+}
+
+double RnnVae::OnlineUpdate(OnlineState* state,
+                            roadnet::SegmentId segment) const {
+  const nn::InferenceGuard no_grad;
+  const int64_t hd = config_.hidden_dim;
+  const std::vector<int32_t> id = {static_cast<int32_t>(segment)};
+
+  // One fused encoder step carries the [1, hidden] state forward — the
+  // O(1) half of the update.
+  {
+    nn::Var x = net_->emb.Forward(id);
+    if (config_.time_conditioned) {
+      x = nn::ConcatCols({x, nn::Constant(state->slot_vec)});
+    }
+    state->enc_h =
+        net_->enc_gru.StepFused(x, nn::Constant(state->enc_h)).value();
+  }
+  // Cache the new segment's decoder input projection (it is the
+  // teacher-forcing input of every future re-roll; BOS covers step 0).
+  const nn::Tensor xw = net_->dec_gru.ProjectInputs(
+      nn::GatherRows(net_->emb.table(), id).value());
+  state->dec_xw.insert(state->dec_xw.end(), xw.data(), xw.data() + 3 * hd);
+  state->segments.push_back(static_cast<int32_t>(segment));
+
+  // Posterior mean, KL, and the decoder's initial state for the new prefix.
+  const nn::Var enc = nn::Constant(state->enc_h);
+  nn::Var h0_input;
+  float kl = 0.0f;
+  if (config_.variational) {
+    const nn::Var mu = net_->mu_head->Forward(enc);
+    const nn::Var logvar = net_->lv_head->Forward(enc);
+    kl = static_cast<float>(
+        PosteriorKlRow(mu.value().data(), logvar.value().data()));
+    h0_input = mu;
+  } else {
+    h0_input = enc;
+  }
+  if (config_.time_conditioned) {
+    h0_input = nn::ConcatCols({h0_input, nn::Constant(state->slot_vec)});
+  }
+  nn::Var dh = nn::Tanh(net_->dec_in->Forward(h0_input));
+
+  // Teacher-forced decoder re-roll over the observed prefix (the ELBO's
+  // decode conditions on the posterior of the whole prefix, so it cannot be
+  // carried): fused steps over the cached projections, full-vocabulary
+  // softmax per step. No tape, no per-step heap traffic beyond the logits.
+  float recon = 0.0f;
+  const int64_t k = static_cast<int64_t>(state->segments.size());
+  for (int64_t j = 0; j < k; ++j) {
+    const float* step_xw = j == 0
+                               ? state->bos_xw.data()
+                               : state->dec_xw.data() + (j - 1) * 3 * hd;
+    dh = net_->dec_gru.StepFusedProjected(step_xw, 1, dh);
+    const nn::Var logits = net_->out.Forward(dh);  // [1, vocab]
+    recon += nn::internal::SoftmaxNllRow(logits.value().data(), config_.vocab,
+                                         state->segments[j]);
+  }
+  return config_.variational ? static_cast<double>(recon + config_.beta * kl)
+                             : static_cast<double>(recon);
+}
+
+/// OnlineScorer adapter over BeginOnline/OnlineUpdate.
+class RnnVae::OnlineSession : public OnlineScorer {
+ public:
+  OnlineSession(const RnnVae* model, std::unique_ptr<OnlineState> state)
+      : model_(model), state_(std::move(state)) {}
+
+  double Update(roadnet::SegmentId segment) override {
+    return model_->OnlineUpdate(state_.get(), segment);
+  }
+
+ private:
+  const RnnVae* model_;
+  std::unique_ptr<OnlineState> state_;
+};
+
+std::unique_ptr<OnlineScorer> RnnVae::BeginTrip(const traj::Trip& trip) const {
+  if (OnlineRescoringForced()) return TrajectoryScorer::BeginTrip(trip);
+  return std::make_unique<OnlineSession>(this, BeginOnline(trip));
+}
+
 std::vector<double> RnnVae::ScoreBatch(
     std::span<const traj::Trip> trips,
     std::span<const int64_t> prefix_lens) const {
   // Shard rows across the worker pool: scores are per-row independent, and
   // the no-grad guard plus scratch arena are thread-local, so each chunk
   // runs the single-threaded batch roll unchanged on its own thread.
-  return util::ShardedRows<double>(
-      static_cast<int64_t>(trips.size()), 8,
-      [&](int64_t begin, int64_t end) {
-        return ScoreBatchChunk(trips.subspan(begin, end - begin),
-                               util::ClampedSubspan(prefix_lens, begin, end));
-      });
-}
-
-std::vector<double> RnnVae::ScoreBatchChunk(
-    std::span<const traj::Trip> trips,
-    std::span<const int64_t> prefix_lens) const {
-  const int64_t batch = static_cast<int64_t>(trips.size());
-  std::vector<double> scores(batch, 0.0);
-  if (batch == 0) return scores;
-  const nn::InferenceGuard no_grad;
-
-  std::vector<int64_t> prefixes(batch);
-  int64_t max_prefix = 0;
-  for (int64_t i = 0; i < batch; ++i) {
-    const int64_t n = trips[i].route.size();
-    int64_t p = i < static_cast<int64_t>(prefix_lens.size()) ? prefix_lens[i]
-                                                             : n;
-    if (p <= 0 || p > n) p = n;
+  // Shards are length-bucketed by (clamped) prefix length, so each worker's
+  // [B, hidden] roll sees near-uniform lengths and near-equal total work.
+  const int64_t n = static_cast<int64_t>(trips.size());
+  std::vector<double> scores(n, 0.0);
+  if (n == 0) return scores;
+  std::vector<int64_t> prefixes(n);
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t len = trips[i].route.size();
+    int64_t p =
+        i < static_cast<int64_t>(prefix_lens.size()) ? prefix_lens[i] : len;
+    if (p <= 0 || p > len) p = len;
     CAUSALTAD_CHECK_GT(p, 0);
     prefixes[i] = p;
-    max_prefix = std::max(max_prefix, p);
+  }
+  const std::vector<std::vector<int64_t>> shards =
+      util::RowShards(prefixes, 8);
+  util::ParallelFor(
+      static_cast<int64_t>(shards.size()), static_cast<int>(shards.size()),
+      [&](int64_t begin, int64_t end) {
+        for (int64_t s = begin; s < end; ++s) {
+          ScoreBatchChunk(trips, prefixes, shards[s], scores.data());
+        }
+      });
+  return scores;
+}
+
+void RnnVae::ScoreBatchChunk(std::span<const traj::Trip> all_trips,
+                             std::span<const int64_t> all_prefixes,
+                             std::span<const int64_t> rows,
+                             double* out) const {
+  const int64_t batch = static_cast<int64_t>(rows.size());
+  if (batch == 0) return;
+  const nn::InferenceGuard no_grad;
+
+  // Local views of this shard's rows, so the roll below reads like the
+  // contiguous-chunk original.
+  std::vector<const traj::Trip*> trips(batch);
+  std::vector<int64_t> prefixes(batch);
+  int64_t max_prefix = 0;
+  for (int64_t a = 0; a < batch; ++a) {
+    trips[a] = &all_trips[rows[a]];
+    prefixes[a] = all_prefixes[rows[a]];
+    max_prefix = std::max(max_prefix, prefixes[a]);
   }
 
   const int64_t hd = config_.hidden_dim;
@@ -587,7 +747,7 @@ std::vector<double> RnnVae::ScoreBatchChunk(
   if (config_.time_conditioned) {
     std::vector<int32_t> slot_ids(batch);
     for (int64_t i = 0; i < batch; ++i) {
-      slot_ids[i] = static_cast<int32_t>(trips[i].time_slot);
+      slot_ids[i] = static_cast<int32_t>(trips[i]->time_slot);
     }
     slot_vecs = net_->slot_emb->Forward(slot_ids);
   }
@@ -619,7 +779,7 @@ std::vector<double> RnnVae::ScoreBatchChunk(
   const auto gather_slot_vecs = [&]() {
     std::vector<int32_t> slot_ids(active.size());
     for (size_t a = 0; a < active.size(); ++a) {
-      slot_ids[a] = static_cast<int32_t>(trips[active[a]].time_slot);
+      slot_ids[a] = static_cast<int32_t>(trips[active[a]]->time_slot);
     }
     return net_->slot_emb->Forward(slot_ids);
   };
@@ -632,7 +792,7 @@ std::vector<double> RnnVae::ScoreBatchChunk(
   std::vector<int32_t> dense_of(config_.vocab, -1);
   std::vector<int32_t> unique_segs;
   for (int64_t i = 0; i < batch; ++i) {
-    const auto& segs = trips[i].route.segments;
+    const auto& segs = trips[i]->route.segments;
     for (int64_t j = 0; j < prefixes[i]; ++j) {
       if (dense_of[segs[j]] < 0) {
         dense_of[segs[j]] = static_cast<int32_t>(unique_segs.size());
@@ -656,7 +816,7 @@ std::vector<double> RnnVae::ScoreBatchChunk(
     float* xw = nn::internal::ArenaAlloc(
         static_cast<int64_t>(active.size()) * width);
     for (size_t a = 0; a < active.size(); ++a) {
-      const int32_t dense = dense_of[trips[active[a]].route.segments[j]];
+      const int32_t dense = dense_of[trips[active[a]]->route.segments[j]];
       std::copy(table.data() + dense * width,
                 table.data() + (dense + 1) * width, xw + a * width);
     }
@@ -675,7 +835,7 @@ std::vector<double> RnnVae::ScoreBatchChunk(
     if (config_.time_conditioned) {
       step_ids.resize(active.size());
       for (size_t a = 0; a < active.size(); ++a) {
-        step_ids[a] = trips[active[a]].route.segments[j];
+        step_ids[a] = trips[active[a]]->route.segments[j];
       }
       nn::Var x =
           nn::ConcatCols({net_->emb.Forward(step_ids), gather_slot_vecs()});
@@ -704,40 +864,9 @@ std::vector<double> RnnVae::ScoreBatchChunk(
     const nn::Var mu = net_->mu_head->Forward(enc_h);
     const nn::Var logvar = net_->lv_head->Forward(enc_h);
     for (int64_t i = 0; i < batch; ++i) {
-      const float* mu_row = mu.value().data() + i * latent;
-      const float* lv_row = logvar.value().data() + i * latent;
-      if (config_.mixture_k > 0) {
-        // MC estimate with z = mu: log q(z|x) - log p_mix(z). The quadratic
-        // term of log q vanishes because z is exactly the posterior mean.
-        float sum_lv = 0.0f;
-        for (int64_t d = 0; d < latent; ++d) sum_lv += lv_row[d];
-        const float log_q =
-            -0.5f * (sum_lv + kLog2Pi * static_cast<float>(latent));
-        nn::internal::ArenaScope scope;
-        float* comp = nn::internal::ArenaAlloc(config_.mixture_k);
-        for (int c = 0; c < config_.mixture_k; ++c) {
-          const float* mean = net_->mix_means.value().data() + c * latent;
-          float ss = 0.0f;
-          for (int64_t d = 0; d < latent; ++d) {
-            const float diff = mu_row[d] - mean[d];
-            ss += diff * diff;
-          }
-          comp[c] =
-              -0.5f * (ss + kLog2Pi * static_cast<float>(latent)) -
-              std::log(static_cast<float>(config_.mixture_k));
-        }
-        float max_v = comp[0];
-        for (int c = 1; c < config_.mixture_k; ++c) {
-          max_v = std::max(max_v, comp[c]);
-        }
-        float total = 0.0f;
-        for (int c = 0; c < config_.mixture_k; ++c) {
-          total += nn::fastmath::Exp(comp[c] - max_v);
-        }
-        kl[i] = log_q - (max_v + std::log(total));
-      } else {
-        kl[i] = nn::internal::KlStandardNormalRow(mu_row, lv_row, latent);
-      }
+      kl[i] = static_cast<float>(
+          PosteriorKlRow(mu.value().data() + i * latent,
+                         logvar.value().data() + i * latent));
     }
     h0_input = mu;
   } else {
@@ -775,16 +904,15 @@ std::vector<double> RnnVae::ScoreBatchChunk(
       const int64_t i = active[a];
       recon[i] += nn::internal::SoftmaxNllRow(
           logits.value().data() + a * config_.vocab, config_.vocab,
-          trips[i].route.segments[j]);
+          trips[i]->route.segments[j]);
     }
   }
 
   for (int64_t i = 0; i < batch; ++i) {
-    scores[i] = config_.variational
-                    ? static_cast<double>(recon[i] + config_.beta * kl[i])
-                    : static_cast<double>(recon[i]);
+    out[rows[i]] = config_.variational
+                       ? static_cast<double>(recon[i] + config_.beta * kl[i])
+                       : static_cast<double>(recon[i]);
   }
-  return scores;
 }
 
 util::Status RnnVae::Save(const std::string& path) const {

@@ -59,6 +59,15 @@ class RnnVae : public TrajectoryScorer {
   std::vector<double> ScoreBatch(
       std::span<const traj::Trip> trips,
       std::span<const int64_t> prefix_lens) const override;
+  /// Incremental no-grad session. The encoder state is carried forward (one
+  /// fused GRU step per point); the decoder is re-rolled over the observed
+  /// prefix with cached input projections, because the ELBO's decode is
+  /// conditioned on the posterior of the *whole* prefix — exact parity with
+  /// Score(trip, k) therefore costs O(prefix) fused decode steps per
+  /// update, against the rescoring path's O(prefix) *taped* encode+decode.
+  /// Falls back to the rescoring reference while OnlineRescoringForced().
+  std::unique_ptr<OnlineScorer> BeginTrip(
+      const traj::Trip& trip) const override;
   util::Status Save(const std::string& path) const override;
   util::Status Load(const std::string& path) override;
 
@@ -87,6 +96,16 @@ class RnnVae : public TrajectoryScorer {
 
  private:
   struct Net;
+  struct OnlineState;
+  class OnlineSession;
+
+  /// Per-session carried state for the incremental scorer.
+  std::unique_ptr<OnlineState> BeginOnline(const traj::Trip& trip) const;
+  double OnlineUpdate(OnlineState* state, roadnet::SegmentId segment) const;
+
+  /// KL of one posterior row against the (mixture) prior with z = mu — the
+  /// shared inference-path reduction of ScoreBatch and the online session.
+  double PosteriorKlRow(const float* mu_row, const float* lv_row) const;
 
   nn::Var EncodePrefix(const traj::Trip& trip, int64_t prefix_len) const;
   nn::Var DecodeNll(const traj::Trip& trip, int64_t prefix_len,
@@ -106,11 +125,13 @@ class RnnVae : public TrajectoryScorer {
   void FitPerTrip(const std::vector<traj::Trip>& trips,
                   const FitOptions& options);
 
-  /// Single-threaded ScoreBatch body; ScoreBatch shards rows over the
-  /// worker pool and calls this per contiguous chunk.
-  std::vector<double> ScoreBatchChunk(
-      std::span<const traj::Trip> trips,
-      std::span<const int64_t> prefix_lens) const;
+  /// Single-threaded ScoreBatch body for one shard of rows: reads
+  /// trips[rows[a]] / prefixes[rows[a]] (already clamped) and writes
+  /// out[rows[a]]. ScoreBatch builds the shards (length-bucketed by prefix
+  /// length when enabled) and runs one chunk per worker.
+  void ScoreBatchChunk(std::span<const traj::Trip> trips,
+                       std::span<const int64_t> prefixes,
+                       std::span<const int64_t> rows, double* out) const;
 
   std::string name_;
   RnnVaeConfig config_;

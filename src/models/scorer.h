@@ -48,6 +48,10 @@ std::vector<std::vector<int64_t>> LengthSortedBatches(
 /// Incremental scorer for one ongoing trip (the paper's online setting).
 /// Segments are fed in order; Update returns the anomaly score of the
 /// prefix observed so far. Implementations document their per-update cost.
+/// Contract: after feeding the first k segments of the trip's route, the
+/// score equals Score(trip, k) — the streaming tests enforce this for
+/// every method. (The trip passed to BeginTrip carries the full planned
+/// route; its endpoints are SD context models may use from update one.)
 class OnlineScorer {
  public:
   virtual ~OnlineScorer() = default;
@@ -55,6 +59,14 @@ class OnlineScorer {
   /// Feeds the next observed road segment, returns the current score.
   virtual double Update(roadnet::SegmentId segment) = 0;
 };
+
+/// Forces every BeginTrip back to the O(prefix)-per-update rescoring
+/// reference path (replaying the growing prefix through Score). Defaults to
+/// off — models serve their incremental sessions; CAUSALTAD_ONLINE_RESCORE=1
+/// starts it on. The fig6 bench and the streaming parity tests A/B the two
+/// paths through this switch.
+bool OnlineRescoringForced();
+void SetOnlineRescoringForced(bool forced);
 
 /// Common interface for every anomaly detector in the evaluation: the
 /// CausalTAD core and all baselines. Higher scores mean more anomalous.
@@ -89,10 +101,24 @@ class TrajectoryScorer {
       std::span<const traj::Trip> trips,
       std::span<const int64_t> prefix_lens) const;
 
+  /// Scores trip i at each prefix length of checkpoints[i] in one pass:
+  /// out[i][j] == Score(trips[i], checkpoints[i][j]) (same <=0 /
+  /// beyond-route clamping). The base implementation flattens every
+  /// (trip, checkpoint) pair into one ScoreBatch call, so models with a
+  /// batched fast path amortize it automatically; CausalTad overrides this
+  /// with a single incremental roll per trip (every checkpoint read off one
+  /// set of running prefix sums), which is what collapses fig6's
+  /// observed-ratio sweep from R independent re-scores into one roll.
+  virtual std::vector<std::vector<double>> ScoreCheckpoints(
+      std::span<const traj::Trip> trips,
+      std::span<const std::vector<int64_t>> checkpoints) const;
+
   /// Starts incremental scoring of one trip (context only; segments are fed
   /// via OnlineScorer::Update). The base implementation re-scores the prefix
   /// on every update — O(prefix) per point; models with recurrent state
-  /// override it with O(1)-per-point sessions.
+  /// override it with sessions that carry the state forward (O(1) per point
+  /// for the road-constrained decoders). Overrides fall back to the base
+  /// rescoring path while OnlineRescoringForced() is set.
   virtual std::unique_ptr<OnlineScorer> BeginTrip(const traj::Trip& trip) const;
 
   /// Persists / restores the fitted model.

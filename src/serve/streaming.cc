@@ -1,0 +1,309 @@
+#include "serve/streaming.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/logging.h"
+
+namespace causaltad {
+namespace serve {
+namespace {
+
+uint64_t SdKey(roadnet::SegmentId s, roadnet::SegmentId d) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(s)) << 32) |
+         static_cast<uint32_t>(d);
+}
+
+}  // namespace
+
+void StreamingSession::Push(roadnet::SegmentId segment) {
+  batcher_->Push(id_, segment);
+}
+
+void StreamingSession::End() { batcher_->End(id_); }
+
+std::vector<double> StreamingSession::Poll() { return batcher_->Poll(id_); }
+
+StreamingBatcher::StreamingBatcher(const core::CausalTad* model,
+                                   StreamingOptions options)
+    : StreamingBatcher(model, core::ScoreVariant::kFull, model->lambda(),
+                       std::move(options)) {}
+
+StreamingBatcher::StreamingBatcher(const core::CausalTad* model,
+                                   core::ScoreVariant variant, double lambda,
+                                   StreamingOptions options)
+    : model_(model),
+      tg_(&model->tg_vae()),
+      rp_(&model->rp_vae()),
+      variant_(variant),
+      lambda_(lambda),
+      options_(std::move(options)) {
+  CAUSALTAD_CHECK(model != nullptr);
+  CAUSALTAD_CHECK_GT(options_.max_batch_rows, 0);
+  if (variant_ == core::ScoreVariant::kFull) {
+    CAUSALTAD_CHECK(!model_->scaling_table().empty())
+        << "call Fit() or Load() before serving the full score";
+  }
+  if (variant_ != core::ScoreVariant::kScalingOnly) {
+    wt_ = model_->packed_out_weights();
+  }
+}
+
+double StreamingBatcher::Now() const {
+  if (options_.now_ms) return options_.now_ms();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int64_t StreamingBatcher::AllocRowLocked() {
+  const int64_t hd = tg_->config().hidden_dim;
+  if (free_rows_.empty()) {
+    const int64_t grown = std::max<int64_t>(16, capacity_ * 2);
+    states_.resize(grown * hd, 0.0f);
+    for (int64_t r = grown - 1; r >= capacity_; --r) free_rows_.push_back(r);
+    capacity_ = grown;
+  }
+  const int64_t row = free_rows_.back();
+  free_rows_.pop_back();
+  return row;
+}
+
+void StreamingBatcher::ReleaseRowLocked(Session* session) {
+  if (session->row < 0) return;
+  free_rows_.push_back(session->row);
+  session->row = -1;
+
+  // Row compaction on trip end: when the matrix is mostly free, move the
+  // surviving rows to the front of a smaller matrix so the batched gathers
+  // stay dense and the high-water capacity is given back.
+  const int64_t live =
+      capacity_ - static_cast<int64_t>(free_rows_.size());
+  if (capacity_ <= 64 || live * 4 > capacity_) return;
+  const int64_t hd = tg_->config().hidden_dim;
+  const int64_t shrunk = std::max<int64_t>(16, live * 2);
+  std::vector<float> compact(shrunk * hd, 0.0f);
+  int64_t next = 0;
+  for (auto& [id, s] : sessions_) {
+    if (s.row < 0) continue;
+    std::copy(states_.begin() + s.row * hd, states_.begin() + (s.row + 1) * hd,
+              compact.begin() + next * hd);
+    s.row = next++;
+  }
+  CAUSALTAD_CHECK_EQ(next, live);
+  states_ = std::move(compact);
+  capacity_ = shrunk;
+  free_rows_.clear();
+  for (int64_t r = shrunk - 1; r >= live; --r) free_rows_.push_back(r);
+}
+
+SessionId StreamingBatcher::BeginSession(roadnet::SegmentId source,
+                                         roadnet::SegmentId destination,
+                                         int time_slot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const SessionId id = next_id_++;
+  Session& s = sessions_[id];
+  s.rp_slot = rp_->time_conditioned() ? time_slot : 0;
+  if (variant_ == core::ScoreVariant::kScalingOnly) return id;
+
+  s.table_slot = variant_ == core::ScoreVariant::kFull &&
+                         model_->scaling_table().num_slots() > 1
+                     ? time_slot
+                     : 0;
+  // SD-pair context cache: one posterior/h0/sd_nll+kl per unique pair.
+  const uint64_t key = SdKey(source, destination);
+  auto it = sd_cache_.find(key);
+  if (it == sd_cache_.end()) {
+    if (static_cast<int64_t>(sd_cache_.size()) >=
+        options_.sd_cache_capacity) {
+      sd_cache_.clear();
+    }
+    const core::TgVae::TripContext ctx = tg_->BeginTrip(source, destination);
+    SdContext cached;
+    cached.base = ctx.sd_nll + ctx.kl;
+    const float* h0 = ctx.h0.value().data();
+    cached.h0.assign(h0, h0 + tg_->config().hidden_dim);
+    it = sd_cache_.emplace(key, std::move(cached)).first;
+  }
+  s.base = it->second.base;
+  s.row = AllocRowLocked();
+  std::copy(it->second.h0.begin(), it->second.h0.end(),
+            states_.begin() + s.row * tg_->config().hidden_dim);
+  return id;
+}
+
+StreamingSession StreamingBatcher::Begin(const traj::Trip& trip) {
+  CAUSALTAD_CHECK(!trip.route.empty());
+  return StreamingSession(
+      this, BeginSession(trip.route.segments.front(),
+                         trip.route.segments.back(), trip.time_slot));
+}
+
+void StreamingBatcher::Push(SessionId id, roadnet::SegmentId segment) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  CAUSALTAD_CHECK(it != sessions_.end()) << "unknown session " << id;
+  CAUSALTAD_CHECK(!it->second.ended) << "session " << id << " already ended";
+  it->second.pending.push_back(segment);
+  ++queued_points_;
+  if (!it->second.in_ready) {
+    it->second.in_ready = true;
+    ready_.push_back(id);
+    ready_since_.push_back(Now());
+  }
+}
+
+void StreamingBatcher::End(SessionId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  CAUSALTAD_CHECK(it != sessions_.end()) << "unknown session " << id;
+  it->second.ended = true;
+  if (it->second.pending.empty()) ReleaseRowLocked(&it->second);
+}
+
+std::vector<double> StreamingBatcher::Poll(SessionId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  // A fully-drained ended session is forgotten by its last Poll; polling
+  // again is normal for a periodic pump loop and just yields nothing.
+  if (it == sessions_.end()) return {};
+  std::vector<double> scores = std::move(it->second.scores);
+  it->second.scores.clear();
+  MaybeForgetLocked(id);
+  return scores;
+}
+
+void StreamingBatcher::MaybeForgetLocked(SessionId id) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return;
+  const Session& s = it->second;
+  if (s.ended && s.pending.empty() && s.scores.empty() && !s.in_ready) {
+    CAUSALTAD_CHECK_EQ(s.row, -1);
+    sessions_.erase(it);
+  }
+}
+
+int64_t StreamingBatcher::Step() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return StepLocked();
+}
+
+int64_t StreamingBatcher::StepIfReady() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ready_.empty()) return 0;
+  if (static_cast<int64_t>(ready_.size()) < options_.max_batch_rows &&
+      Now() - ready_since_.front() < options_.max_delay_ms) {
+    return 0;
+  }
+  return StepLocked();
+}
+
+void StreamingBatcher::Flush() {
+  while (Step() > 0) {
+  }
+}
+
+int64_t StreamingBatcher::StepLocked() {
+  // Admit up to max_batch_rows sessions, FIFO, one queued point each.
+  std::vector<SessionId> admitted;
+  std::vector<roadnet::SegmentId> points;
+  while (!ready_.empty() &&
+         static_cast<int64_t>(admitted.size()) < options_.max_batch_rows) {
+    const SessionId id = ready_.front();
+    ready_.pop_front();
+    ready_since_.pop_front();
+    Session& s = sessions_.at(id);
+    s.in_ready = false;
+    if (s.pending.empty()) continue;
+    admitted.push_back(id);
+    points.push_back(s.pending.front());
+    s.pending.pop_front();
+    --queued_points_;
+  }
+  if (admitted.empty()) return 0;
+
+  // Partition: GRU transitions advance together through one fused batched
+  // step over the shared state matrix; first points have no transition yet;
+  // kScalingOnly points batch through the RP-VAE by slot.
+  std::vector<roadnet::SegmentId> tr_current, tr_next;
+  std::vector<int64_t> tr_rows;
+  std::vector<size_t> tr_admitted;
+  std::vector<std::vector<roadnet::SegmentId>> slot_segments;
+  std::vector<std::vector<size_t>> slot_owners;
+  std::vector<int> slot_of;
+  for (size_t a = 0; a < admitted.size(); ++a) {
+    Session& s = sessions_.at(admitted[a]);
+    if (variant_ == core::ScoreVariant::kScalingOnly) {
+      size_t dense = 0;
+      while (dense < slot_of.size() && slot_of[dense] != s.rp_slot) ++dense;
+      if (dense == slot_of.size()) {
+        slot_of.push_back(s.rp_slot);
+        slot_segments.emplace_back();
+        slot_owners.emplace_back();
+      }
+      slot_segments[dense].push_back(points[a]);
+      slot_owners[dense].push_back(a);
+    } else if (s.has_last) {
+      tr_current.push_back(s.last);
+      tr_next.push_back(points[a]);
+      tr_rows.push_back(s.row);
+      tr_admitted.push_back(a);
+    }
+  }
+
+  std::vector<double> tr_nll(tr_current.size(), 0.0);
+  if (!tr_current.empty()) {
+    tg_->StepNllRows(tr_current, tr_next, tr_rows, states_.data(),
+                     wt_->data(), tr_nll.data());
+  }
+  for (size_t k = 0; k < tr_admitted.size(); ++k) {
+    sessions_.at(admitted[tr_admitted[k]]).nll += tr_nll[k];
+  }
+  for (size_t dense = 0; dense < slot_of.size(); ++dense) {
+    const std::vector<double> nll =
+        rp_->SegmentNllBatch(slot_segments[dense], slot_of[dense]);
+    for (size_t k = 0; k < nll.size(); ++k) {
+      sessions_.at(admitted[slot_owners[dense][k]]).nll += nll[k];
+    }
+  }
+
+  // Emit scores, re-queue sessions with more points, release ended rows.
+  const core::ScalingTable& table = model_->scaling_table();
+  const double now = Now();
+  for (size_t a = 0; a < admitted.size(); ++a) {
+    const SessionId id = admitted[a];
+    Session& s = sessions_.at(id);
+    if (variant_ == core::ScoreVariant::kFull) {
+      s.scaling += table.log_scaling(points[a], s.table_slot);
+    }
+    s.last = points[a];
+    s.has_last = true;
+    s.scores.push_back(s.base + s.nll - lambda_ * s.scaling);
+    if (!s.pending.empty()) {
+      s.in_ready = true;
+      ready_.push_back(id);
+      ready_since_.push_back(now);
+    } else if (s.ended) {
+      ReleaseRowLocked(&s);
+    }
+  }
+  return static_cast<int64_t>(admitted.size());
+}
+
+int64_t StreamingBatcher::active_rows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_ - static_cast<int64_t>(free_rows_.size());
+}
+
+int64_t StreamingBatcher::capacity_rows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+int64_t StreamingBatcher::queued_points() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_points_;
+}
+
+}  // namespace serve
+}  // namespace causaltad

@@ -1,0 +1,173 @@
+#ifndef CAUSALTAD_SERVE_STREAMING_H_
+#define CAUSALTAD_SERVE_STREAMING_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/causal_tad.h"
+#include "roadnet/road_network.h"
+#include "traj/trajectory.h"
+
+namespace causaltad {
+namespace serve {
+
+/// Serving knobs. See README.md in this directory for the API contract
+/// (ordering, deadlines, thread-safety).
+struct StreamingOptions {
+  /// Hard cap on the sessions advanced by one batched step (the admission
+  /// batch size — also the row count of the fused [B, hidden] GRU step).
+  int64_t max_batch_rows = 256;
+  /// Deadline-bounded admission: StepIfReady() fires a partial batch once
+  /// the oldest queued point has waited this long.
+  double max_delay_ms = 2.0;
+  /// Injectable monotonic clock in milliseconds (tests fake it); null uses
+  /// the process steady clock.
+  std::function<double()> now_ms;
+  /// Cached SD-pair trip contexts (posterior, h0, sd_nll + kl) before the
+  /// cache is reset. Concurrent orders between the same endpoints — the
+  /// paper's ride-hailing workload — then share one SD encode.
+  int64_t sd_cache_capacity = 4096;
+};
+
+using SessionId = int64_t;
+
+class StreamingBatcher;
+
+/// Non-owning handle over one trip's stream inside a StreamingBatcher.
+/// Thin forwarding wrapper; copyable, does not End() on destruction.
+class StreamingSession {
+ public:
+  StreamingSession() = default;
+  StreamingSession(StreamingBatcher* batcher, SessionId id)
+      : batcher_(batcher), id_(id) {}
+
+  void Push(roadnet::SegmentId segment);
+  void End();
+  std::vector<double> Poll();
+  SessionId id() const { return id_; }
+
+ private:
+  StreamingBatcher* batcher_ = nullptr;
+  SessionId id_ = -1;
+};
+
+/// Multi-trip streaming engine: every concurrently-active trip owns one row
+/// of a shared [capacity, hidden] state matrix, and one Step() advances all
+/// sessions with a queued point by a single fused batched GRU step
+/// (TgVae::StepNllRows, sharded across the worker pool) plus per-row
+/// successor-masked softmaxes and scaling-table lookups. Per-point cost is
+/// O(1) in trip length — this is the paper's online protocol (§V-D) served
+/// batched, against CausalTad::BeginTrip's one-session-per-trip sessions.
+///
+/// Scores match Score(trip, k) / the per-trip online sessions exactly (the
+/// same fused kernels run in both; the streaming tests assert parity).
+/// kScalingOnly sessions hold no state row — their per-point ELBOs batch
+/// through RpVae::SegmentNllBatch per step instead.
+class StreamingBatcher {
+ public:
+  /// Serves the full debiased score (ScoreVariant::kFull, model λ).
+  explicit StreamingBatcher(const core::CausalTad* model,
+                            StreamingOptions options = {});
+  /// Serves an ablation variant (λ ignored unless kFull).
+  StreamingBatcher(const core::CausalTad* model, core::ScoreVariant variant,
+                   double lambda, StreamingOptions options = {});
+
+  /// Registers a new active trip; its SD pair and departure slot are the
+  /// context fixed when the order is placed.
+  SessionId BeginSession(roadnet::SegmentId source,
+                         roadnet::SegmentId destination, int time_slot);
+  /// Convenience: BeginSession from a trip's route endpoints, wrapped in a
+  /// handle.
+  StreamingSession Begin(const traj::Trip& trip);
+
+  /// Queues the trip's next observed point. Points of one session are
+  /// processed in feed order, at most one per Step (so a session that
+  /// pushes a burst drains over several steps while other sessions
+  /// interleave).
+  void Push(SessionId id, roadnet::SegmentId segment);
+
+  /// Marks the trip finished. Its state row is released (and the state
+  /// matrix compacted when mostly free) once every queued point has been
+  /// scored; queued points are still processed and Poll() keeps working.
+  void End(SessionId id);
+
+  /// Runs one batched advance over the queued points — up to
+  /// max_batch_rows sessions, FIFO by queue arrival. Returns the number of
+  /// points scored.
+  int64_t Step();
+
+  /// Steps until no queued point remains.
+  void Flush();
+
+  /// Deadline-bounded admission: Step() only if the batch is full or the
+  /// oldest queued point has waited at least max_delay_ms. A serving pump
+  /// loop calls this; returns the number of points scored (0 = not ready).
+  int64_t StepIfReady();
+
+  /// Drains the scores emitted for `id` since the last Poll, in feed
+  /// order. A fully-polled ended session is forgotten.
+  std::vector<double> Poll(SessionId id);
+
+  /// Sessions holding a live state row / allocated rows / queued points —
+  /// introspection for tests and ops dashboards.
+  int64_t active_rows() const;
+  int64_t capacity_rows() const;
+  int64_t queued_points() const;
+
+ private:
+  struct Session {
+    int64_t row = -1;  // shared-state row; -1 for kScalingOnly sessions
+    roadnet::SegmentId last = roadnet::kInvalidSegment;
+    bool has_last = false;
+    bool ended = false;
+    int table_slot = 0;  // scaling-table slot (kFull)
+    int rp_slot = 0;     // RP-VAE slot (kScalingOnly)
+    double base = 0.0;   // sd_nll + kl
+    double nll = 0.0;
+    double scaling = 0.0;
+    bool in_ready = false;
+    std::deque<roadnet::SegmentId> pending;
+    std::vector<double> scores;
+  };
+
+  double Now() const;
+  int64_t StepLocked();
+  int64_t AllocRowLocked();
+  void ReleaseRowLocked(Session* session);
+  void MaybeForgetLocked(SessionId id);
+
+  const core::CausalTad* model_;
+  const core::TgVae* tg_;
+  const core::RpVae* rp_;
+  core::ScoreVariant variant_;
+  double lambda_;
+  StreamingOptions options_;
+  // TG-VAE output weights transposed ([vocab, hidden]); shared with the
+  // model's serving cache so a re-Fit under a live batcher cannot dangle.
+  std::shared_ptr<const std::vector<float>> wt_;
+
+  mutable std::mutex mu_;
+  SessionId next_id_ = 0;
+  std::unordered_map<SessionId, Session> sessions_;
+  std::deque<SessionId> ready_;       // FIFO of sessions with queued points
+  std::deque<double> ready_since_;    // arrival time of each ready_ entry
+  int64_t queued_points_ = 0;
+  std::vector<float> states_;         // [capacity, hidden] row-major
+  int64_t capacity_ = 0;
+  std::vector<int64_t> free_rows_;
+  struct SdContext {
+    std::vector<float> h0;
+    double base = 0.0;
+  };
+  std::unordered_map<uint64_t, SdContext> sd_cache_;
+};
+
+}  // namespace serve
+}  // namespace causaltad
+
+#endif  // CAUSALTAD_SERVE_STREAMING_H_

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <deque>
 #include <mutex>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -83,6 +84,72 @@ class Pool {
 };
 
 }  // namespace
+
+namespace {
+
+bool BucketingDefault() {
+  const char* env = std::getenv("CAUSALTAD_NO_LENGTH_BUCKET");
+  return env == nullptr || std::string_view(env) != "1";
+}
+
+std::atomic<bool> length_bucketing{BucketingDefault()};
+
+}  // namespace
+
+bool LengthBucketingEnabled() {
+  return length_bucketing.load(std::memory_order_relaxed);
+}
+
+void SetLengthBucketing(bool enabled) {
+  length_bucketing.store(enabled, std::memory_order_relaxed);
+}
+
+std::vector<std::vector<int64_t>> RowShards(std::span<const int64_t> costs,
+                                            int64_t min_rows_per_shard) {
+  const int64_t n = static_cast<int64_t>(costs.size());
+  std::vector<std::vector<int64_t>> shards;
+  if (n == 0) return shards;
+  const int64_t max_shards = std::min<int64_t>(
+      ParallelThreads(),
+      min_rows_per_shard > 0 ? n / min_rows_per_shard : n);
+  if (max_shards <= 1 || !LengthBucketingEnabled()) {
+    const int64_t count = std::max<int64_t>(1, max_shards);
+    shards.reserve(count);
+    const int64_t base = n / count, extra = n % count;
+    int64_t begin = 0;
+    for (int64_t s = 0; s < count; ++s) {
+      const int64_t end = begin + base + (s < extra ? 1 : 0);
+      std::vector<int64_t> rows(end - begin);
+      for (int64_t i = begin; i < end; ++i) rows[i - begin] = i;
+      shards.push_back(std::move(rows));
+      begin = end;
+    }
+    return shards;
+  }
+
+  std::vector<int64_t> order(n);
+  for (int64_t i = 0; i < n; ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&costs](int64_t a, int64_t b) {
+    return costs[a] > costs[b];
+  });
+  int64_t total = 0;
+  for (const int64_t c : costs) total += std::max<int64_t>(c, 1);
+  const int64_t target = (total + max_shards - 1) / max_shards;
+  std::vector<int64_t> current;
+  int64_t current_cost = 0;
+  for (const int64_t row : order) {
+    current.push_back(row);
+    current_cost += std::max<int64_t>(costs[row], 1);
+    if (current_cost >= target &&
+        static_cast<int64_t>(shards.size()) + 1 < max_shards) {
+      shards.push_back(std::move(current));
+      current.clear();
+      current_cost = 0;
+    }
+  }
+  if (!current.empty()) shards.push_back(std::move(current));
+  return shards;
+}
 
 int ParallelThreads() {
   const int forced = thread_override.load(std::memory_order_relaxed);

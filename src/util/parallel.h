@@ -27,38 +27,24 @@ void SetParallelThreads(int threads);
 void ParallelFor(int64_t n, int threads,
                  const std::function<void(int64_t, int64_t)>& fn);
 
-/// Shards `n` per-row-independent jobs across the pool: `chunk(begin, end)`
-/// returns the results for rows [begin, end) and the pieces are scattered
-/// into one output vector. Runs single-threaded (one chunk call) when fewer
-/// than `min_rows_per_shard` rows would land on each worker — small batches
-/// lose more to pool latency than they gain. This is the shared skeleton of
-/// every sharded ScoreBatch.
-template <typename T, typename ChunkFn>
-std::vector<T> ShardedRows(int64_t n, int64_t min_rows_per_shard,
-                           const ChunkFn& chunk) {
-  const int64_t shards = std::min<int64_t>(
-      ParallelThreads(),
-      min_rows_per_shard > 0 ? n / min_rows_per_shard : n);
-  if (shards <= 1) return chunk(static_cast<int64_t>(0), n);
-  std::vector<T> out(n);
-  ParallelFor(n, static_cast<int>(shards), [&](int64_t begin, int64_t end) {
-    std::vector<T> piece = chunk(begin, end);
-    std::move(piece.begin(), piece.end(), out.begin() + begin);
-  });
-  return out;
-}
+/// Whether the batched scorers order rows by prefix length before sharding
+/// (length-bucketed batching). Defaults to on; CAUSALTAD_NO_LENGTH_BUCKET=1
+/// starts it off, SetLengthBucketing flips it at runtime (benches A/B it).
+bool LengthBucketingEnabled();
+void SetLengthBucketing(bool enabled);
 
-/// Elements [begin, min(end, s.size())) of s; empty when begin is at or
-/// past the end. Sharded ScoreBatch implementations use this to slice an
-/// optional per-row prefix list whose tail rows mean "full route".
-template <typename T>
-std::span<const T> ClampedSubspan(std::span<const T> s, int64_t begin,
-                                  int64_t end) {
-  if (begin >= static_cast<int64_t>(s.size())) return {};
-  return s.subspan(begin,
-                   std::min<int64_t>(end, static_cast<int64_t>(s.size())) -
-                       begin);
-}
+/// Partitions rows 0..costs.size() into shards for a [B, hidden] batch
+/// roll. With bucketing enabled, rows are visited in descending-cost order
+/// and cut into runs of near-equal *total* cost: rows inside one shard then
+/// have near-uniform length (short rows stop paying padded gate flops /
+/// compaction churn next to long ones) and shards carry near-equal work
+/// (thread balance, unlike equal-count splits of a length-sorted order).
+/// With bucketing disabled, shards are contiguous equal-count index ranges
+/// — the pre-bucketing sharding, kept for A/B benchmarking. Returns a
+/// single shard (or fewer) when the batch is too small to spread
+/// (`min_rows_per_shard` rows must land on each worker).
+std::vector<std::vector<int64_t>> RowShards(std::span<const int64_t> costs,
+                                            int64_t min_rows_per_shard);
 
 }  // namespace util
 }  // namespace causaltad

@@ -1,0 +1,320 @@
+// Streaming parity and serving-engine tests: every method's incremental
+// OnlineScorer must reproduce Score(trip, k) for every prefix k (the
+// contract in models/scorer.h), on both the fused incremental path and the
+// forced rescoring reference path; serve::StreamingBatcher must reproduce
+// the same scores under interleaved trip starts/ends, bursts, out-of-order
+// completion, deadline admission, and row compaction.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/causal_tad.h"
+#include "eval/datasets.h"
+#include "eval/harness.h"
+#include "models/scorer.h"
+#include "serve/streaming.h"
+
+namespace causaltad {
+namespace {
+
+using core::CausalTad;
+using core::CausalTadVariant;
+using core::ScoreVariant;
+using eval::BuildExperiment;
+using eval::ExperimentData;
+using eval::Scale;
+using eval::XianConfig;
+using models::SetOnlineRescoringForced;
+using models::TrajectoryScorer;
+using serve::StreamingBatcher;
+using serve::StreamingOptions;
+using serve::StreamingSession;
+
+const ExperimentData& Data() {
+  static const ExperimentData* data =
+      new ExperimentData(BuildExperiment(XianConfig(Scale::kSmoke)));
+  return *data;
+}
+
+/// One fitted scorer per method, shared across tests (fitting dominates
+/// this binary's runtime).
+TrajectoryScorer* Fitted(const std::string& name) {
+  static std::map<std::string, std::unique_ptr<TrajectoryScorer>>* cache =
+      new std::map<std::string, std::unique_ptr<TrajectoryScorer>>();
+  auto it = cache->find(name);
+  if (it == cache->end()) {
+    auto scorer = eval::MakeScorer(name, Data(), Scale::kSmoke);
+    models::FitOptions options;
+    options.epochs = 2;
+    options.lr = 3e-3f;
+    options.seed = 17;
+    scorer->Fit(Data().train, options);
+    it = cache->emplace(name, std::move(scorer)).first;
+  }
+  return it->second.get();
+}
+
+const CausalTad* FittedCausal() {
+  return dynamic_cast<const CausalTad*>(Fitted("CausalTAD"));
+}
+
+/// Parity tolerance: scores are float32 sums over the prefix, so "within
+/// 1e-6" has to be read relative to the score's magnitude (one ULP of a
+/// float at 50.0 is already ~4e-6).
+double Tol(double reference, double rel = 1e-6) {
+  return rel * std::max(1.0, std::abs(reference));
+}
+
+std::vector<traj::Trip> ParityTrips() {
+  std::vector<traj::Trip> trips = eval::Subsample(Data().id_test, 4, 7);
+  const auto detours = eval::Subsample(Data().id_detour, 2, 8);
+  trips.insert(trips.end(), detours.begin(), detours.end());
+  return trips;
+}
+
+void ExpectOnlineParity(const TrajectoryScorer& scorer, double rel_tol) {
+  for (const traj::Trip& trip : ParityTrips()) {
+    auto session = scorer.BeginTrip(trip);
+    for (int64_t k = 1; k <= trip.route.size(); ++k) {
+      const double incremental =
+          session->Update(trip.route.segments[k - 1]);
+      const double reference = scorer.Score(trip, k);
+      EXPECT_NEAR(incremental, reference, Tol(reference, rel_tol))
+          << scorer.Name() << " k=" << k;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Per-method incremental parity (and the rescoring reference path).
+// ---------------------------------------------------------------------------
+
+class StreamingParityTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(StreamingParityTest, UpdateMatchesScoreAtEveryPrefix) {
+  ExpectOnlineParity(*Fitted(GetParam()), 1e-6);
+}
+
+TEST_P(StreamingParityTest, RescoringReferencePathMatchesToo) {
+  SetOnlineRescoringForced(true);
+  ExpectOnlineParity(*Fitted(GetParam()), 1e-9);
+  SetOnlineRescoringForced(false);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, StreamingParityTest,
+                         ::testing::Values("iBOAT", "SAE", "VSAE", "BetaVAE",
+                                           "FactorVAE", "GM-VSAE", "DeepTEA",
+                                           "CausalTAD"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           std::erase(name, '-');
+                           return name;
+                         });
+
+TEST(StreamingVariantTest, AblationSessionsMatchVariantScores) {
+  const CausalTad* causal = FittedCausal();
+  ASSERT_NE(causal, nullptr);
+  for (const ScoreVariant variant :
+       {ScoreVariant::kLikelihoodOnly, ScoreVariant::kScalingOnly}) {
+    const CausalTadVariant view(causal, variant);
+    ExpectOnlineParity(view, 1e-6);
+  }
+}
+
+TEST(StreamingCheckpointTest, ScoreCheckpointsMatchesScore) {
+  // Both the flattened base implementation (GM-VSAE) and CausalTad's
+  // one-roll override.
+  for (const char* name : {"GM-VSAE", "CausalTAD"}) {
+    const TrajectoryScorer* scorer = Fitted(name);
+    const auto trips = ParityTrips();
+    std::vector<std::vector<int64_t>> checkpoints(trips.size());
+    for (size_t i = 0; i < trips.size(); ++i) {
+      const int64_t n = trips[i].route.size();
+      checkpoints[i] = {1, std::max<int64_t>(1, n / 2), n, -1};
+    }
+    const auto scores = scorer->ScoreCheckpoints(trips, checkpoints);
+    for (size_t i = 0; i < trips.size(); ++i) {
+      ASSERT_EQ(scores[i].size(), checkpoints[i].size());
+      for (size_t j = 0; j < checkpoints[i].size(); ++j) {
+        const double reference = scorer->Score(trips[i], checkpoints[i][j]);
+        EXPECT_NEAR(scores[i][j], reference, Tol(reference))
+            << name << " trip=" << i << " k=" << checkpoints[i][j];
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// StreamingBatcher: shared-state serving engine.
+// ---------------------------------------------------------------------------
+
+TEST(StreamingBatcherTest, InterleavedTripsMatchPerTripScores) {
+  const CausalTad* causal = FittedCausal();
+  ASSERT_NE(causal, nullptr);
+  const auto trips = ParityTrips();
+  StreamingBatcher batcher(causal);
+
+  // Interleave: all trips start, points round-robin one at a time, trips
+  // end as soon as their route is exhausted (shorter trips complete first —
+  // out-of-order completion), stepping intermittently.
+  std::vector<StreamingSession> sessions;
+  for (const auto& trip : trips) sessions.push_back(batcher.Begin(trip));
+  std::vector<int64_t> fed(trips.size(), 0);
+  bool progress = true;
+  int tick = 0;
+  while (progress) {
+    progress = false;
+    for (size_t i = 0; i < trips.size(); ++i) {
+      if (fed[i] < trips[i].route.size()) {
+        sessions[i].Push(trips[i].route.segments[fed[i]]);
+        if (++fed[i] == trips[i].route.size()) sessions[i].End();
+        progress = true;
+      }
+    }
+    if (++tick % 3 == 0) batcher.Step();
+  }
+  batcher.Flush();
+  EXPECT_EQ(batcher.queued_points(), 0);
+  EXPECT_EQ(batcher.active_rows(), 0);  // every trip ended -> rows released
+
+  for (size_t i = 0; i < trips.size(); ++i) {
+    const std::vector<double> scores = sessions[i].Poll();
+    ASSERT_EQ(static_cast<int64_t>(scores.size()), trips[i].route.size());
+    for (size_t k = 0; k < scores.size(); ++k) {
+      const double reference =
+          causal->Score(trips[i], static_cast<int64_t>(k) + 1);
+      EXPECT_NEAR(scores[k], reference, Tol(reference))
+          << "trip=" << i << " k=" << k + 1;
+    }
+  }
+}
+
+TEST(StreamingBatcherTest, BurstsDrainInFeedOrderOnePointPerStep) {
+  const CausalTad* causal = FittedCausal();
+  const auto trips = ParityTrips();
+  const traj::Trip& trip = trips[0];
+  ASSERT_GE(trip.route.size(), 3);
+  StreamingBatcher batcher(causal);
+  StreamingSession burst = batcher.Begin(trip);
+  StreamingSession other = batcher.Begin(trips[1]);
+  for (int k = 0; k < 3; ++k) burst.Push(trip.route.segments[k]);
+  other.Push(trips[1].route.segments[0]);
+
+  // One step advances each session by at most one point.
+  EXPECT_EQ(batcher.Step(), 2);
+  EXPECT_EQ(batcher.queued_points(), 2);
+  EXPECT_EQ(batcher.Step(), 1);
+  EXPECT_EQ(batcher.Step(), 1);
+  EXPECT_EQ(batcher.Step(), 0);
+
+  const std::vector<double> scores = burst.Poll();
+  ASSERT_EQ(scores.size(), 3u);
+  for (int k = 0; k < 3; ++k) {
+    const double reference = causal->Score(trip, k + 1);
+    EXPECT_NEAR(scores[k], reference, Tol(reference));
+  }
+}
+
+TEST(StreamingBatcherTest, VariantEnginesMatchVariantScores) {
+  const CausalTad* causal = FittedCausal();
+  const auto trips = ParityTrips();
+  for (const ScoreVariant variant :
+       {ScoreVariant::kLikelihoodOnly, ScoreVariant::kScalingOnly}) {
+    StreamingBatcher batcher(causal, variant, causal->lambda());
+    std::vector<StreamingSession> sessions;
+    for (const auto& trip : trips) sessions.push_back(batcher.Begin(trip));
+    for (size_t i = 0; i < trips.size(); ++i) {
+      for (const auto segment : trips[i].route.segments) {
+        sessions[i].Push(segment);
+      }
+      sessions[i].End();
+    }
+    batcher.Flush();
+    const CausalTadVariant view(causal, variant);
+    for (size_t i = 0; i < trips.size(); ++i) {
+      const std::vector<double> scores = sessions[i].Poll();
+      ASSERT_EQ(static_cast<int64_t>(scores.size()), trips[i].route.size());
+      for (size_t k = 0; k < scores.size(); ++k) {
+        const double reference =
+            view.Score(trips[i], static_cast<int64_t>(k) + 1);
+        EXPECT_NEAR(scores[k], reference, Tol(reference))
+            << "variant=" << view.Name() << " trip=" << i << " k=" << k + 1;
+      }
+    }
+  }
+}
+
+TEST(StreamingBatcherTest, DeadlineBoundedAdmission) {
+  const CausalTad* causal = FittedCausal();
+  const auto trips = ParityTrips();
+  double now_ms = 0.0;
+  StreamingOptions options;
+  options.max_batch_rows = 4;
+  options.max_delay_ms = 5.0;
+  options.now_ms = [&now_ms] { return now_ms; };
+  StreamingBatcher batcher(causal, options);
+
+  // Two queued sessions: below the batch size and inside the deadline, so
+  // nothing fires until the clock passes max_delay_ms.
+  StreamingSession a = batcher.Begin(trips[0]);
+  StreamingSession b = batcher.Begin(trips[1]);
+  a.Push(trips[0].route.segments[0]);
+  b.Push(trips[1].route.segments[0]);
+  EXPECT_EQ(batcher.StepIfReady(), 0);
+  now_ms = 4.9;
+  EXPECT_EQ(batcher.StepIfReady(), 0);
+  now_ms = 5.1;
+  EXPECT_EQ(batcher.StepIfReady(), 2);
+
+  // A full batch fires immediately, deadline not yet reached.
+  std::vector<StreamingSession> more;
+  for (int i = 0; i < 4; ++i) {
+    more.push_back(batcher.Begin(trips[i + 2 < static_cast<int>(trips.size())
+                                           ? i + 2
+                                           : i % trips.size()]));
+    more.back().Push(trips[0].route.segments[0]);
+  }
+  EXPECT_EQ(batcher.StepIfReady(), 4);
+}
+
+TEST(StreamingBatcherTest, RowsRecycleAndCompactOnTripEnd) {
+  const CausalTad* causal = FittedCausal();
+  const auto trips = ParityTrips();
+  const traj::Trip& trip = trips[0];
+  StreamingBatcher batcher(causal);
+
+  std::vector<StreamingSession> sessions;
+  for (int i = 0; i < 200; ++i) sessions.push_back(batcher.Begin(trip));
+  EXPECT_EQ(batcher.active_rows(), 200);
+  EXPECT_GE(batcher.capacity_rows(), 200);
+  const int64_t high_water = batcher.capacity_rows();
+
+  for (auto& session : sessions) {
+    session.Push(trip.route.segments[0]);
+  }
+  batcher.Flush();
+  for (auto& session : sessions) session.End();
+  EXPECT_EQ(batcher.active_rows(), 0);
+  // Row compaction gave the high-water capacity back.
+  EXPECT_LT(batcher.capacity_rows(), high_water);
+  EXPECT_LE(batcher.capacity_rows(), 64);
+
+  // Rows are recycled: new sessions fit in the compacted matrix and still
+  // score correctly.
+  StreamingSession fresh = batcher.Begin(trip);
+  fresh.Push(trip.route.segments[0]);
+  fresh.Push(trip.route.segments[1]);
+  batcher.Flush();
+  const std::vector<double> scores = fresh.Poll();
+  ASSERT_EQ(scores.size(), 2u);
+  EXPECT_NEAR(scores[1], causal->Score(trip, 2),
+              Tol(causal->Score(trip, 2)));
+}
+
+}  // namespace
+}  // namespace causaltad
