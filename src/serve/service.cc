@@ -1,0 +1,207 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace causaltad {
+namespace serve {
+namespace {
+
+/// splitmix64 — cheap stateless mix so consecutive session counters spread
+/// uniformly over the shards.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+StreamingService::StreamingService(const core::CausalTad* model,
+                                   ServiceOptions options)
+    : StreamingService(model, core::ScoreVariant::kFull, model->lambda(),
+                       std::move(options)) {}
+
+StreamingService::StreamingService(const core::CausalTad* model,
+                                   core::ScoreVariant variant, double lambda,
+                                   ServiceOptions options)
+    : options_(std::move(options)), start_(std::chrono::steady_clock::now()) {
+  CAUSALTAD_CHECK_GT(options_.num_shards, 0);
+  options_.batcher.queue_wait = &queue_wait_;
+  shards_.reserve(options_.num_shards);
+  for (int i = 0; i < options_.num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->batcher = std::make_unique<StreamingBatcher>(
+        model, variant, lambda, options_.batcher);
+    shards_.push_back(std::move(shard));
+  }
+  if (options_.pump) {
+    for (auto& shard : shards_) {
+      shard->pump = std::thread([this, s = shard.get()] { PumpLoop(s); });
+    }
+  }
+}
+
+StreamingService::~StreamingService() { Shutdown(); }
+
+void StreamingService::PumpLoop(Shard* shard) {
+  // Idle poll period: a fraction of the admission deadline, so a partial
+  // batch is picked up well within max_delay_ms of becoming due.
+  const double delay_ms = std::max(options_.batcher.max_delay_ms, 0.1);
+  const auto idle_wait =
+      std::chrono::microseconds(std::max<int64_t>(
+          50, static_cast<int64_t>(delay_ms * 1000.0 / 4.0)));
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (shard->batcher->StepIfReady() > 0) continue;  // hot: step again
+    std::unique_lock<std::mutex> lock(shard->mu);
+    shard->cv.wait_for(lock, idle_wait, [this] {
+      return stop_.load(std::memory_order_acquire);
+    });
+  }
+}
+
+StreamingService::Shard* StreamingService::ShardOf(SessionId id,
+                                                   SessionId* inner) {
+  CAUSALTAD_CHECK_GE(id, 0);
+  const int64_t n = static_cast<int64_t>(shards_.size());
+  *inner = id / n;
+  return shards_[id % n].get();
+}
+
+SessionId StreamingService::BeginSession(roadnet::SegmentId source,
+                                         roadnet::SegmentId destination,
+                                         int time_slot) {
+  const uint64_t seq = next_session_.fetch_add(1, std::memory_order_relaxed);
+  const int64_t n = static_cast<int64_t>(shards_.size());
+  const int64_t shard = static_cast<int64_t>(Mix(seq) % shards_.size());
+  const SessionId inner =
+      shards_[shard]->batcher->BeginSession(source, destination, time_slot);
+  sessions_begun_.fetch_add(1, std::memory_order_relaxed);
+  // Bijective (inner, shard) -> service id; decoding needs no lock or map.
+  return inner * n + shard;
+}
+
+SessionId StreamingService::Begin(const traj::Trip& trip) {
+  CAUSALTAD_CHECK(!trip.route.empty());
+  return BeginSession(trip.route.segments.front(),
+                      trip.route.segments.back(), trip.time_slot);
+}
+
+PushStatus StreamingService::Push(SessionId id, roadnet::SegmentId segment) {
+  SessionId inner = 0;
+  Shard* shard = ShardOf(id, &inner);
+  const PushStatus status =
+      shard->batcher->TryPush(inner, segment, options_.max_session_pending,
+                              options_.max_shard_queued);
+  switch (status) {
+    case PushStatus::kAccepted:
+      points_accepted_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case PushStatus::kSessionFull:
+      rejected_session_full_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case PushStatus::kShardFull:
+      rejected_shard_full_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  return status;
+}
+
+void StreamingService::End(SessionId id) {
+  SessionId inner = 0;
+  Shard* shard = ShardOf(id, &inner);
+  shard->batcher->End(inner);
+}
+
+std::vector<double> StreamingService::Poll(SessionId id) {
+  SessionId inner = 0;
+  Shard* shard = ShardOf(id, &inner);
+  return shard->batcher->Poll(inner);
+}
+
+int64_t StreamingService::StepAll() {
+  int64_t points = 0;
+  for (auto& shard : shards_) points += shard->batcher->StepIfReady();
+  return points;
+}
+
+void StreamingService::Flush() {
+  for (auto& shard : shards_) shard->batcher->Flush();
+}
+
+void StreamingService::Shutdown() {
+  // Held for the whole body: a concurrent Shutdown must BLOCK until the
+  // first caller has joined the pumps and flushed, not return early into
+  // a still-draining (or mid-destruction) service.
+  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  if (shut_down_) return;
+  shut_down_ = true;
+  stop_.store(true, std::memory_order_release);
+  for (auto& shard : shards_) {
+    {
+      // Under the shard mutex, or the notify can land in the window
+      // between a pump's predicate check and its wait and be lost,
+      // stalling the join for a full idle_wait timeout.
+      std::lock_guard<std::mutex> shard_lock(shard->mu);
+      shard->cv.notify_all();
+    }
+    if (shard->pump.joinable()) shard->pump.join();
+  }
+  // Every point accepted before Shutdown gets its score.
+  Flush();
+  stop_time_ = std::chrono::steady_clock::now();
+}
+
+ServiceStats StreamingService::stats() const {
+  ServiceStats stats;
+  stats.sessions_begun = sessions_begun_.load(std::memory_order_relaxed);
+  stats.points_accepted = points_accepted_.load(std::memory_order_relaxed);
+  stats.rejected_session_full =
+      rejected_session_full_.load(std::memory_order_relaxed);
+  stats.rejected_shard_full =
+      rejected_shard_full_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    const StreamingBatcher::Counters counters = shard->batcher->counters();
+    stats.steps += counters.steps;
+    stats.points_scored += counters.points;
+  }
+  if (stats.steps > 0) {
+    stats.step_occupancy =
+        static_cast<double>(stats.points_scored) /
+        static_cast<double>(stats.steps * options_.batcher.max_batch_rows);
+  }
+  auto end = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    if (stop_time_ != std::chrono::steady_clock::time_point{}) {
+      end = stop_time_;
+    }
+  }
+  const double seconds =
+      std::chrono::duration<double>(end - start_).count();
+  if (seconds > 0.0) stats.points_per_sec = stats.points_scored / seconds;
+  stats.queue_wait_p50_ms = queue_wait_.Percentile(50.0);
+  stats.queue_wait_p95_ms = queue_wait_.Percentile(95.0);
+  stats.queue_wait_p99_ms = queue_wait_.Percentile(99.0);
+  return stats;
+}
+
+int64_t StreamingService::queued_points() const {
+  int64_t total = 0;
+  for (const auto& shard : shards_) total += shard->batcher->queued_points();
+  return total;
+}
+
+int64_t StreamingService::tracked_sessions() const {
+  int64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->batcher->tracked_sessions();
+  }
+  return total;
+}
+
+}  // namespace serve
+}  // namespace causaltad

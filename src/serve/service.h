@@ -1,0 +1,150 @@
+#ifndef CAUSALTAD_SERVE_SERVICE_H_
+#define CAUSALTAD_SERVE_SERVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/streaming.h"
+#include "util/latency_histogram.h"
+
+namespace causaltad {
+namespace serve {
+
+/// StreamingService knobs. See README.md in this directory for the
+/// service/pump/backpressure contract.
+struct ServiceOptions {
+  /// StreamingBatcher shards. The batcher is single-consumer by design, so
+  /// the service scales past one pump's step rate by hashing sessions
+  /// across shards; the model is shared read-only.
+  int num_shards = 1;
+  /// Run one background pump thread per shard around StepIfReady(). With
+  /// pumping off the caller drives admission via StepAll()/Flush() — the
+  /// benches A/B both modes.
+  bool pump = true;
+  /// Backpressure: Push returns kSessionFull once one session has this
+  /// many unscored points queued (<= 0 disables). A well-behaved producer
+  /// slows down; the session's scores stay exact.
+  int64_t max_session_pending = 32;
+  /// Load shedding: Push returns kShardFull once the session's shard holds
+  /// this many queued points in total (<= 0 disables). The point is NOT
+  /// enqueued — the caller degrades (drops the trip, fails the request)
+  /// instead of growing an unbounded queue.
+  int64_t max_shard_queued = 4096;
+  /// Per-shard engine knobs (batch rows, admission deadline, injectable
+  /// clock, SD cache). `queue_wait` is overwritten: the service wires every
+  /// shard to its own shared histogram.
+  StreamingOptions batcher;
+};
+
+/// Ops counters exported by StreamingService::stats().
+struct ServiceStats {
+  int64_t sessions_begun = 0;
+  int64_t points_accepted = 0;
+  int64_t rejected_session_full = 0;  // backpressure (not enqueued)
+  int64_t rejected_shard_full = 0;    // load shed (not enqueued)
+  int64_t points_scored = 0;
+  int64_t steps = 0;  // batches that scored >= 1 point, all shards
+  /// Mean admitted fraction of a batch: points_scored / (steps ·
+  /// max_batch_rows). Low occupancy with high queue wait means the
+  /// deadline, not the batch size, is pacing admission.
+  double step_occupancy = 0.0;
+  /// points_scored / wall-seconds from construction to now (frozen at
+  /// Shutdown). Real time, even when the shards run on a fake clock.
+  double points_per_sec = 0.0;
+  /// Queue wait (Push to batch admission) percentiles in ms, from a shared
+  /// util::LatencyHistogram across all shards.
+  double queue_wait_p50_ms = 0.0;
+  double queue_wait_p95_ms = 0.0;
+  double queue_wait_p99_ms = 0.0;
+};
+
+/// Production serving front-end over N StreamingBatcher shards: sessions
+/// hash across shards at Begin, one background pump thread per shard runs
+/// deadline-bounded admission (StepIfReady), Push applies backpressure and
+/// load shedding, and stats() exports throughput/occupancy/queue-wait
+/// counters. Per-session score parity with a single StreamingBatcher is
+/// exact — a session lives on one shard for its whole life and shard
+/// composition never changes per-row arithmetic (tests/service_test.cc
+/// asserts it).
+///
+/// Thread-safety: all public methods may be called from any thread. Scores
+/// are still polled per session in feed order.
+class StreamingService {
+ public:
+  explicit StreamingService(const core::CausalTad* model,
+                            ServiceOptions options = {});
+  StreamingService(const core::CausalTad* model, core::ScoreVariant variant,
+                   double lambda, ServiceOptions options = {});
+  /// Calls Shutdown().
+  ~StreamingService();
+
+  StreamingService(const StreamingService&) = delete;
+  StreamingService& operator=(const StreamingService&) = delete;
+
+  /// Registers a trip on a hashed shard and returns its service-wide id.
+  SessionId BeginSession(roadnet::SegmentId source,
+                         roadnet::SegmentId destination, int time_slot);
+  SessionId Begin(const traj::Trip& trip);
+
+  /// Queues the session's next observed point, subject to the
+  /// backpressure/shedding bounds. Only kAccepted enqueues.
+  PushStatus Push(SessionId id, roadnet::SegmentId segment);
+
+  void End(SessionId id);
+
+  /// Drains the session's scores emitted since the last Poll, feed order.
+  std::vector<double> Poll(SessionId id);
+
+  /// One StepIfReady pass over every shard (manual pumping when
+  /// options.pump is false); returns points scored.
+  int64_t StepAll();
+
+  /// Drains every queued point on every shard (deadline bypassed).
+  void Flush();
+
+  /// Stops the pump threads, then flushes all shards so every accepted
+  /// point has a score before the call returns. Idempotent; Poll keeps
+  /// working afterwards.
+  void Shutdown();
+
+  ServiceStats stats() const;
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  int64_t queued_points() const;
+  int64_t tracked_sessions() const;
+
+ private:
+  struct Shard {
+    std::unique_ptr<StreamingBatcher> batcher;
+    std::thread pump;
+    std::mutex mu;
+    std::condition_variable cv;  // wakes the pump early on Shutdown
+  };
+
+  void PumpLoop(Shard* shard);
+  Shard* ShardOf(SessionId id, SessionId* inner);
+
+  ServiceOptions options_;
+  util::LatencyHistogram queue_wait_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> next_session_{0};
+  std::atomic<bool> stop_{false};
+  bool shut_down_ = false;
+  mutable std::mutex shutdown_mu_;
+  std::atomic<int64_t> sessions_begun_{0};
+  std::atomic<int64_t> points_accepted_{0};
+  std::atomic<int64_t> rejected_session_full_{0};
+  std::atomic<int64_t> rejected_shard_full_{0};
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point stop_time_;
+};
+
+}  // namespace serve
+}  // namespace causaltad
+
+#endif  // CAUSALTAD_SERVE_SERVICE_H_

@@ -97,10 +97,23 @@ void StreamingBatcher::ReleaseRowLocked(Session* session) {
   for (int64_t r = shrunk - 1; r >= live; --r) free_rows_.push_back(r);
 }
 
+void StreamingBatcher::RefreshWeightsLocked() {
+  if (variant_ == core::ScoreVariant::kScalingOnly) return;
+  std::shared_ptr<const std::vector<float>> current =
+      model_->packed_out_weights();
+  if (current.get() == wt_.get()) return;
+  // A re-Fit()/Load() rebuilt the packed weights: the cached h0/base pairs
+  // were encoded under the old ones, so they would silently mix weight
+  // generations into new sessions' scores.
+  wt_ = std::move(current);
+  sd_cache_.clear();
+}
+
 SessionId StreamingBatcher::BeginSession(roadnet::SegmentId source,
                                          roadnet::SegmentId destination,
                                          int time_slot) {
   std::lock_guard<std::mutex> lock(mu_);
+  RefreshWeightsLocked();
   const SessionId id = next_id_++;
   Session& s = sessions_[id];
   s.rp_slot = rp_->time_conditioned() ? time_slot : 0;
@@ -141,16 +154,60 @@ StreamingSession StreamingBatcher::Begin(const traj::Trip& trip) {
 
 void StreamingBatcher::Push(SessionId id, roadnet::SegmentId segment) {
   std::lock_guard<std::mutex> lock(mu_);
+  PushLocked(id, segment, /*max_session_pending=*/0, /*max_queued_points=*/0);
+}
+
+PushStatus StreamingBatcher::TryPush(SessionId id, roadnet::SegmentId segment,
+                                     int64_t max_session_pending,
+                                     int64_t max_queued_points) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PushLocked(id, segment, max_session_pending, max_queued_points);
+}
+
+PushStatus StreamingBatcher::PushLocked(SessionId id,
+                                        roadnet::SegmentId segment,
+                                        int64_t max_session_pending,
+                                        int64_t max_queued_points) {
   auto it = sessions_.find(id);
   CAUSALTAD_CHECK(it != sessions_.end()) << "unknown session " << id;
   CAUSALTAD_CHECK(!it->second.ended) << "session " << id << " already ended";
-  it->second.pending.push_back(segment);
+  if (max_queued_points > 0 && queued_points_ >= max_queued_points) {
+    return PushStatus::kShardFull;
+  }
+  if (max_session_pending > 0 &&
+      static_cast<int64_t>(it->second.pending.size()) >=
+          max_session_pending) {
+    return PushStatus::kSessionFull;
+  }
+  const double now = Now();
+  it->second.pending.push_back({segment, now});
   ++queued_points_;
   if (!it->second.in_ready) {
     it->second.in_ready = true;
-    ready_.push_back(id);
-    ready_since_.push_back(Now());
+    ReadyPushLocked(id, now);
   }
+  return PushStatus::kAccepted;
+}
+
+void StreamingBatcher::ReadyPushLocked(SessionId id, double since) {
+  ready_.push_back(id);
+  ready_since_.push_back(since);
+  // Monotonic min-queue: drop dominated suffix entries so ready_min_ stays
+  // non-decreasing with the running minimum at the front, O(1) amortized.
+  while (!ready_min_.empty() && ready_min_.back() > since) {
+    ready_min_.pop_back();
+  }
+  ready_min_.push_back(since);
+}
+
+double StreamingBatcher::ReadyPopLocked() {
+  const double since = ready_since_.front();
+  ready_since_.pop_front();
+  if (!ready_min_.empty() && ready_min_.front() == since) {
+    ready_min_.pop_front();
+  }
+  ready_.pop_front();
+  return since;
 }
 
 void StreamingBatcher::End(SessionId id) {
@@ -159,6 +216,10 @@ void StreamingBatcher::End(SessionId id) {
   CAUSALTAD_CHECK(it != sessions_.end()) << "unknown session " << id;
   it->second.ended = true;
   if (it->second.pending.empty()) ReleaseRowLocked(&it->second);
+  // A fire-and-forget caller (End with everything already polled) would
+  // otherwise leave the entry behind forever — Poll() was the only
+  // forgetting path.
+  MaybeForgetLocked(id);
 }
 
 std::vector<double> StreamingBatcher::Poll(SessionId id) {
@@ -191,8 +252,11 @@ int64_t StreamingBatcher::Step() {
 int64_t StreamingBatcher::StepIfReady() {
   std::lock_guard<std::mutex> lock(mu_);
   if (ready_.empty()) return 0;
+  // Deadline on the OLDEST waiting point anywhere in the queue (the
+  // min-queue front), not the FIFO front: re-queued burst sessions sit at
+  // the back with older carried timestamps.
   if (static_cast<int64_t>(ready_.size()) < options_.max_batch_rows &&
-      Now() - ready_since_.front() < options_.max_delay_ms) {
+      Now() - ready_min_.front() < options_.max_delay_ms) {
     return 0;
   }
   return StepLocked();
@@ -205,18 +269,21 @@ void StreamingBatcher::Flush() {
 
 int64_t StreamingBatcher::StepLocked() {
   // Admit up to max_batch_rows sessions, FIFO, one queued point each.
+  const double now = Now();
   std::vector<SessionId> admitted;
   std::vector<roadnet::SegmentId> points;
   while (!ready_.empty() &&
          static_cast<int64_t>(admitted.size()) < options_.max_batch_rows) {
     const SessionId id = ready_.front();
-    ready_.pop_front();
-    ready_since_.pop_front();
+    ReadyPopLocked();
     Session& s = sessions_.at(id);
     s.in_ready = false;
     if (s.pending.empty()) continue;
     admitted.push_back(id);
-    points.push_back(s.pending.front());
+    points.push_back(s.pending.front().segment);
+    if (options_.queue_wait != nullptr) {
+      options_.queue_wait->Add(now - s.pending.front().enqueued_ms);
+    }
     s.pending.pop_front();
     --queued_points_;
   }
@@ -269,7 +336,6 @@ int64_t StreamingBatcher::StepLocked() {
 
   // Emit scores, re-queue sessions with more points, release ended rows.
   const core::ScalingTable& table = model_->scaling_table();
-  const double now = Now();
   for (size_t a = 0; a < admitted.size(); ++a) {
     const SessionId id = admitted[a];
     Session& s = sessions_.at(id);
@@ -281,12 +347,16 @@ int64_t StreamingBatcher::StepLocked() {
     s.scores.push_back(s.base + s.nll - lambda_ * s.scaling);
     if (!s.pending.empty()) {
       s.in_ready = true;
-      ready_.push_back(id);
-      ready_since_.push_back(now);
+      // Carry the oldest remaining point's original enqueue time, not the
+      // re-queue time: a k-point burst must drain within ~max_delay_ms of
+      // each point's arrival, not wait k·max_delay_ms for its tail.
+      ReadyPushLocked(id, s.pending.front().enqueued_ms);
     } else if (s.ended) {
       ReleaseRowLocked(&s);
     }
   }
+  steps_fired_ += 1;
+  points_scored_ += static_cast<int64_t>(admitted.size());
   return static_cast<int64_t>(admitted.size());
 }
 
@@ -303,6 +373,16 @@ int64_t StreamingBatcher::capacity_rows() const {
 int64_t StreamingBatcher::queued_points() const {
   std::lock_guard<std::mutex> lock(mu_);
   return queued_points_;
+}
+
+int64_t StreamingBatcher::tracked_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(sessions_.size());
+}
+
+StreamingBatcher::Counters StreamingBatcher::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {steps_fired_, points_scored_};
 }
 
 }  // namespace serve

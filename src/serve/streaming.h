@@ -12,6 +12,7 @@
 #include "core/causal_tad.h"
 #include "roadnet/road_network.h"
 #include "traj/trajectory.h"
+#include "util/latency_histogram.h"
 
 namespace causaltad {
 namespace serve {
@@ -32,9 +33,26 @@ struct StreamingOptions {
   /// cache is reset. Concurrent orders between the same endpoints — the
   /// paper's ride-hailing workload — then share one SD encode.
   int64_t sd_cache_capacity = 4096;
+  /// Optional queue-wait sink: each scored point's (batch-admission time −
+  /// Push time) in ms is recorded here. Must outlive the batcher. Add() is
+  /// lock-free, so the StreamingService shares one histogram across all
+  /// its shards' pump threads.
+  util::LatencyHistogram* queue_wait = nullptr;
 };
 
 using SessionId = int64_t;
+
+/// Outcome of a bounded-queue TryPush (the backpressure contract the
+/// StreamingService surfaces to callers). Only kAccepted enqueues the
+/// point; both rejection statuses leave the session's score stream exactly
+/// as it was, so the caller decides whether to retry (kSessionFull — this
+/// one trip is producing faster than it drains) or degrade (kShardFull —
+/// the whole shard is saturated and admission is shedding load).
+enum class PushStatus {
+  kAccepted,
+  kSessionFull,
+  kShardFull,
+};
 
 class StreamingBatcher;
 
@@ -91,6 +109,14 @@ class StreamingBatcher {
   /// interleave).
   void Push(SessionId id, roadnet::SegmentId segment);
 
+  /// Bounded-queue Push: rejects with kSessionFull once the session
+  /// already has max_session_pending unscored points, and with kShardFull
+  /// once the batcher holds max_queued_points in total (<= 0 disables
+  /// either bound). The check and the enqueue are one critical section.
+  PushStatus TryPush(SessionId id, roadnet::SegmentId segment,
+                     int64_t max_session_pending,
+                     int64_t max_queued_points = 0);
+
   /// Marks the trip finished. Its state row is released (and the state
   /// matrix compacted when mostly free) once every queued point has been
   /// scored; queued points are still processed and Poll() keeps working.
@@ -118,8 +144,28 @@ class StreamingBatcher {
   int64_t active_rows() const;
   int64_t capacity_rows() const;
   int64_t queued_points() const;
+  /// Sessions the batcher still tracks (live, or ended with unpolled
+  /// scores) — the session-leak regression tests watch this.
+  int64_t tracked_sessions() const;
+
+  /// Cumulative ops counters: batches that scored at least one point, and
+  /// total points scored. Step occupancy is points / (steps ·
+  /// max_batch_rows).
+  struct Counters {
+    int64_t steps = 0;
+    int64_t points = 0;
+  };
+  Counters counters() const;
 
  private:
+  /// One queued observation; the enqueue time rides along so deadline
+  /// admission and the queue-wait histogram see the point's true age even
+  /// after its session is re-queued behind a burst.
+  struct PendingPoint {
+    roadnet::SegmentId segment = roadnet::kInvalidSegment;
+    double enqueued_ms = 0.0;
+  };
+
   struct Session {
     int64_t row = -1;  // shared-state row; -1 for kScalingOnly sessions
     roadnet::SegmentId last = roadnet::kInvalidSegment;
@@ -131,15 +177,21 @@ class StreamingBatcher {
     double nll = 0.0;
     double scaling = 0.0;
     bool in_ready = false;
-    std::deque<roadnet::SegmentId> pending;
+    std::deque<PendingPoint> pending;
     std::vector<double> scores;
   };
 
   double Now() const;
+  void ReadyPushLocked(SessionId id, double since);
+  double ReadyPopLocked();
+  PushStatus PushLocked(SessionId id, roadnet::SegmentId segment,
+                        int64_t max_session_pending,
+                        int64_t max_queued_points);
   int64_t StepLocked();
   int64_t AllocRowLocked();
   void ReleaseRowLocked(Session* session);
   void MaybeForgetLocked(SessionId id);
+  void RefreshWeightsLocked();
 
   const core::CausalTad* model_;
   const core::TgVae* tg_;
@@ -149,14 +201,24 @@ class StreamingBatcher {
   StreamingOptions options_;
   // TG-VAE output weights transposed ([vocab, hidden]); shared with the
   // model's serving cache so a re-Fit under a live batcher cannot dangle.
+  // Re-checked against the model on every BeginSession: when a re-Fit() /
+  // Load() has swapped in fresh packed weights, the batcher adopts them
+  // and drops the sd_cache_ entries derived from the old ones.
   std::shared_ptr<const std::vector<float>> wt_;
 
   mutable std::mutex mu_;
   SessionId next_id_ = 0;
   std::unordered_map<SessionId, Session> sessions_;
   std::deque<SessionId> ready_;       // FIFO of sessions with queued points
-  std::deque<double> ready_since_;    // arrival time of each ready_ entry
+  std::deque<double> ready_since_;    // oldest pending point's enqueue time
+  // Sliding-window minimum of ready_since_ (non-decreasing; front is the
+  // min). ready_since_ is NOT monotone — a re-queued burst session carries
+  // its oldest pending point's original timestamp to the back — so the
+  // deadline check needs the true minimum, not front().
+  std::deque<double> ready_min_;
   int64_t queued_points_ = 0;
+  int64_t steps_fired_ = 0;
+  int64_t points_scored_ = 0;
   std::vector<float> states_;         // [capacity, hidden] row-major
   int64_t capacity_ = 0;
   std::vector<int64_t> free_rows_;

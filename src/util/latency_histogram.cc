@@ -1,0 +1,63 @@
+#include "util/latency_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace causaltad {
+namespace util {
+namespace {
+
+constexpr double kFloorMs = 1e-3;  // 1µs
+
+int BucketOf(double ms) {
+  if (!(ms > kFloorMs)) return 0;
+  const int b = 1 + static_cast<int>(4.0 * std::log2(ms / kFloorMs));
+  return std::min(b, LatencyHistogram::kNumBuckets - 1);
+}
+
+double BucketMidpoint(int bucket) {
+  if (bucket == 0) return kFloorMs;
+  // Bucket b covers [floor·2^((b-1)/4), floor·2^(b/4)); report the
+  // geometric midpoint.
+  return kFloorMs * std::exp2((bucket - 0.5) / 4.0);
+}
+
+}  // namespace
+
+void LatencyHistogram::Add(double ms) {
+  buckets_[BucketOf(ms)].fetch_add(1, std::memory_order_relaxed);
+}
+
+int64_t LatencyHistogram::TotalCount() const {
+  int64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+double LatencyHistogram::Percentile(double p) const {
+  std::array<int64_t, kNumBuckets> snapshot;
+  int64_t total = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    snapshot[b] = buckets_[b].load(std::memory_order_relaxed);
+    total += snapshot[b];
+  }
+  if (total == 0) return 0.0;
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  // The k-th sample in rank order, 1-based; p=0 maps to the first.
+  const int64_t rank =
+      std::max<int64_t>(1, static_cast<int64_t>(std::ceil(clamped / 100.0 *
+                                                          total)));
+  int64_t seen = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    seen += snapshot[b];
+    if (seen >= rank) return BucketMidpoint(b);
+  }
+  return BucketMidpoint(kNumBuckets - 1);
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace util
+}  // namespace causaltad

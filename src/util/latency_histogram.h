@@ -1,0 +1,41 @@
+#ifndef CAUSALTAD_UTIL_LATENCY_HISTOGRAM_H_
+#define CAUSALTAD_UTIL_LATENCY_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace causaltad {
+namespace util {
+
+/// Fixed-footprint latency histogram with geometric (quarter-octave)
+/// buckets from 1µs to ~30min, built for serving hot paths: Add() is one
+/// relaxed atomic increment, safe from any number of threads with no lock
+/// (the serving pump threads share one instance). Percentile() walks a
+/// racy snapshot of the buckets — fine for ops counters, where the answer
+/// is a ~±19% bucket-resolution estimate anyway.
+class LatencyHistogram {
+ public:
+  /// 4 buckets per factor of 2, spanning 2^30 µs above the 1µs floor.
+  static constexpr int kNumBuckets = 4 * 30 + 2;  // under/overflow ends
+
+  /// Records one latency in milliseconds (negative values clamp to 0).
+  void Add(double ms);
+
+  /// Total samples recorded.
+  int64_t TotalCount() const;
+
+  /// Approximate value (ms) at percentile p in [0, 100]: the geometric
+  /// midpoint of the bucket holding the p-th sample. 0 when empty.
+  double Percentile(double p) const;
+
+  void Reset();
+
+ private:
+  std::array<std::atomic<int64_t>, kNumBuckets> buckets_{};
+};
+
+}  // namespace util
+}  // namespace causaltad
+
+#endif  // CAUSALTAD_UTIL_LATENCY_HISTOGRAM_H_

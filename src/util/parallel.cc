@@ -28,11 +28,14 @@ int HardwareDefault() {
 }
 
 /// Lazily-started persistent pool. Workers live for the process; the
-/// static destructor joins them so exit is clean.
+/// static destructor joins them so exit is clean. The worker set grows on
+/// demand toward the current ParallelThreads() knob (it never shrinks —
+/// parked workers are cheap; a lowered knob just leaves them idle because
+/// ParallelFor caps the shard count at the knob).
 class Pool {
  public:
   static Pool& Instance() {
-    static Pool pool(ParallelThreads() - 1);
+    static Pool pool;
     return pool;
   }
 
@@ -44,21 +47,14 @@ class Pool {
     cv_.notify_one();
   }
 
-  int size() const { return static_cast<int>(workers_.size()); }
-
-  ~Pool() {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      stop_ = true;
-    }
-    cv_.notify_all();
-    for (std::thread& t : workers_) t.join();
-  }
-
- private:
-  explicit Pool(int workers) {
-    workers_.reserve(std::max(workers, 0));
-    for (int i = 0; i < workers; ++i) {
+  /// Spawns workers until at least `target` exist. ParallelFor calls this
+  /// with the knob in force at call time, so SetParallelThreads /
+  /// CAUSALTAD_THREADS changes after the pool's first use still take
+  /// effect (the count is not frozen at first ParallelFor).
+  void EnsureWorkers(int target) {
+    if (target <= size()) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    while (static_cast<int>(workers_.size()) < target) {
       workers_.emplace_back([this] {
         in_parallel_worker = true;
         for (;;) {
@@ -74,13 +70,30 @@ class Pool {
         }
       });
     }
+    size_.store(static_cast<int>(workers_.size()),
+                std::memory_order_release);
   }
+
+  int size() const { return size_.load(std::memory_order_acquire); }
+
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+ private:
+  Pool() = default;
 
   std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> tasks_;
   bool stop_ = false;
   std::vector<std::thread> workers_;
+  std::atomic<int> size_{0};
 };
 
 }  // namespace
@@ -174,6 +187,7 @@ void ParallelFor(int64_t n, int threads,
   }
 
   Pool& pool = Pool::Instance();
+  pool.EnsureWorkers(static_cast<int>(shards) - 1);
   // One shard runs inline, so a pool of size P serves P+1 shards.
   const int64_t usable = std::min<int64_t>(shards, pool.size() + 1);
   if (usable <= 1) {
@@ -199,10 +213,11 @@ void ParallelFor(int64_t n, int threads,
     prev_end = end;
     pool.Submit([&fn, &join, begin, end] {
       fn(begin, end);
-      {
-        std::lock_guard<std::mutex> lock(join.mu);
-        --join.remaining;
-      }
+      // Notify while holding the mutex: after the last decrement the
+      // caller destroys the stack-allocated join as soon as it re-acquires
+      // mu, so an unlocked notify could land on a dead condition_variable.
+      std::lock_guard<std::mutex> lock(join.mu);
+      --join.remaining;
       join.cv.notify_one();
     });
   }

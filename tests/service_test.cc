@@ -1,0 +1,300 @@
+// StreamingService tests: sharding parity against a single
+// StreamingBatcher (N=4 shards + pump threads, interleaved bursts with
+// backpressure engaged), backpressure/shedding statuses, ops-counter
+// sanity, fake-clock deadline bounds, and shutdown-flush.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/causal_tad.h"
+#include "eval/datasets.h"
+#include "eval/harness.h"
+#include "models/scorer.h"
+#include "serve/service.h"
+#include "serve/streaming.h"
+
+namespace causaltad {
+namespace {
+
+using core::CausalTad;
+using eval::BuildExperiment;
+using eval::ExperimentData;
+using eval::Scale;
+using eval::XianConfig;
+using serve::PushStatus;
+using serve::ServiceOptions;
+using serve::SessionId;
+using serve::StreamingBatcher;
+using serve::StreamingService;
+using serve::StreamingSession;
+
+const ExperimentData& Data() {
+  static const ExperimentData* data =
+      new ExperimentData(BuildExperiment(XianConfig(Scale::kSmoke)));
+  return *data;
+}
+
+const CausalTad* FittedCausal() {
+  static const models::TrajectoryScorer* scorer = [] {
+    auto owned = eval::MakeScorer("CausalTAD", Data(), Scale::kSmoke);
+    models::FitOptions options;
+    options.epochs = 2;
+    options.lr = 3e-3f;
+    options.seed = 17;
+    owned->Fit(Data().train, options);
+    return owned.release();
+  }();
+  return dynamic_cast<const CausalTad*>(scorer);
+}
+
+/// Relative parity tolerance (scores are float32 sums; see streaming_test).
+double Tol(double reference, double rel = 1e-6) {
+  return rel * std::max(1.0, std::abs(reference));
+}
+
+std::vector<traj::Trip> ParityTrips() {
+  std::vector<traj::Trip> trips = eval::Subsample(Data().id_test, 6, 7);
+  const auto detours = eval::Subsample(Data().id_detour, 2, 8);
+  trips.insert(trips.end(), detours.begin(), detours.end());
+  return trips;
+}
+
+/// Reference scores from one single-consumer StreamingBatcher.
+std::vector<std::vector<double>> BatcherReference(
+    const CausalTad* causal, const std::vector<traj::Trip>& trips) {
+  StreamingBatcher batcher(causal);
+  std::vector<StreamingSession> sessions;
+  for (const auto& trip : trips) sessions.push_back(batcher.Begin(trip));
+  for (size_t i = 0; i < trips.size(); ++i) {
+    for (const auto segment : trips[i].route.segments) {
+      sessions[i].Push(segment);
+    }
+    sessions[i].End();
+  }
+  batcher.Flush();
+  std::vector<std::vector<double>> scores(trips.size());
+  for (size_t i = 0; i < trips.size(); ++i) scores[i] = sessions[i].Poll();
+  return scores;
+}
+
+TEST(ServiceTest, ShardedPumpedParityWithSingleBatcher) {
+  const CausalTad* causal = FittedCausal();
+  ASSERT_NE(causal, nullptr);
+  const auto trips = ParityTrips();
+  const auto reference = BatcherReference(causal, trips);
+
+  ServiceOptions options;
+  options.num_shards = 4;
+  options.pump = true;
+  options.max_session_pending = 2;  // tight, so backpressure engages
+  options.max_shard_queued = 1024;
+  options.batcher.max_batch_rows = 8;
+  options.batcher.max_delay_ms = 0.25;
+  StreamingService service(causal, options);
+  EXPECT_EQ(service.num_shards(), 4);
+
+  // Interleaved bursts: every sweep tries to push a 3-point burst per
+  // session; rejected pushes retry on a later sweep while the pump
+  // threads drain.
+  std::vector<SessionId> ids;
+  for (const auto& trip : trips) ids.push_back(service.Begin(trip));
+  std::vector<size_t> fed(trips.size(), 0);
+  std::vector<bool> ended(trips.size(), false);
+  bool done = false;
+  while (!done) {
+    done = true;
+    for (size_t i = 0; i < trips.size(); ++i) {
+      const size_t route = trips[i].route.segments.size();
+      for (int burst = 0; burst < 3 && fed[i] < route; ++burst) {
+        if (service.Push(ids[i], trips[i].route.segments[fed[i]]) !=
+            PushStatus::kAccepted) {
+          std::this_thread::yield();
+          break;
+        }
+        ++fed[i];
+      }
+      if (fed[i] < route) {
+        done = false;
+      } else if (!ended[i]) {
+        service.End(ids[i]);
+        ended[i] = true;
+      }
+    }
+  }
+  service.Shutdown();
+
+  const serve::ServiceStats stats = service.stats();
+  EXPECT_GT(stats.rejected_session_full, 0)
+      << "backpressure never engaged; tighten the test's bounds";
+  EXPECT_EQ(service.queued_points(), 0);
+
+  for (size_t i = 0; i < trips.size(); ++i) {
+    const std::vector<double> scores = service.Poll(ids[i]);
+    ASSERT_EQ(scores.size(), reference[i].size()) << "trip " << i;
+    for (size_t k = 0; k < scores.size(); ++k) {
+      EXPECT_NEAR(scores[k], reference[i][k], Tol(reference[i][k]))
+          << "trip=" << i << " k=" << k + 1;
+    }
+  }
+}
+
+TEST(ServiceTest, PushReportsBackpressureAndShedding) {
+  const CausalTad* causal = FittedCausal();
+  const auto trips = ParityTrips();
+  const traj::Trip& trip = trips[0];
+  ASSERT_GE(trip.route.size(), 3);
+
+  ServiceOptions options;
+  options.num_shards = 1;  // both sessions share the shard
+  options.pump = false;
+  options.max_session_pending = 2;
+  options.max_shard_queued = 3;
+  StreamingService service(causal, options);
+
+  const SessionId a = service.Begin(trip);
+  const SessionId b = service.Begin(trip);
+  EXPECT_EQ(service.Push(a, trip.route.segments[0]), PushStatus::kAccepted);
+  EXPECT_EQ(service.Push(a, trip.route.segments[1]), PushStatus::kAccepted);
+  // Session a is at its per-session bound; the shard still has room.
+  EXPECT_EQ(service.Push(a, trip.route.segments[2]),
+            PushStatus::kSessionFull);
+  EXPECT_EQ(service.Push(b, trip.route.segments[0]), PushStatus::kAccepted);
+  // The shard is at its global bound; even the under-bound session sheds.
+  EXPECT_EQ(service.Push(b, trip.route.segments[1]), PushStatus::kShardFull);
+
+  const serve::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.points_accepted, 3);
+  EXPECT_EQ(stats.rejected_session_full, 1);
+  EXPECT_EQ(stats.rejected_shard_full, 1);
+
+  // Draining reopens admission.
+  service.Flush();
+  EXPECT_EQ(service.Push(a, trip.route.segments[2]), PushStatus::kAccepted);
+  service.Flush();
+  service.End(a);
+  service.End(b);
+}
+
+TEST(ServiceTest, FakeClockDeadlineBoundsPointWait) {
+  const CausalTad* causal = FittedCausal();
+  const auto trips = ParityTrips();
+  const traj::Trip& trip = trips[0];
+  ASSERT_GE(trip.route.size(), 3);
+  double now_ms = 0.0;
+  ServiceOptions options;
+  options.num_shards = 1;
+  options.pump = false;  // the test is the pump; the clock is fake
+  options.batcher.max_batch_rows = 4;
+  options.batcher.max_delay_ms = 5.0;
+  options.batcher.now_ms = [&now_ms] { return now_ms; };
+  StreamingService service(causal, options);
+
+  // A full batch is admitted immediately — no deadline wait.
+  std::vector<SessionId> full;
+  for (int i = 0; i < 4; ++i) {
+    full.push_back(service.Begin(trip));
+    EXPECT_EQ(service.Push(full.back(), trip.route.segments[0]),
+              PushStatus::kAccepted);
+  }
+  EXPECT_EQ(service.StepAll(), 4);
+
+  // A below-batch burst waits at most max_delay_ms past each point's
+  // enqueue, not k·max_delay_ms for the tail.
+  const SessionId burst = service.Begin(trip);
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_EQ(service.Push(burst, trip.route.segments[k]),
+              PushStatus::kAccepted);
+  }
+  now_ms = 4.9;
+  EXPECT_EQ(service.StepAll(), 0);  // inside the deadline
+  now_ms = 5.1;
+  // All three burst points are past the deadline; they drain on
+  // consecutive passes without the clock advancing.
+  EXPECT_EQ(service.StepAll(), 1);
+  EXPECT_EQ(service.StepAll(), 1);
+  EXPECT_EQ(service.StepAll(), 1);
+  EXPECT_EQ(service.queued_points(), 0);
+  EXPECT_EQ(service.Poll(burst).size(), 3u);
+}
+
+TEST(ServiceTest, CountersAndHistogramSanity) {
+  const CausalTad* causal = FittedCausal();
+  const auto trips = ParityTrips();
+  ServiceOptions options;
+  options.num_shards = 2;
+  options.pump = false;
+  options.max_session_pending = 0;  // unbounded: count exactness
+  options.max_shard_queued = 0;
+  options.batcher.max_batch_rows = 16;
+  StreamingService service(causal, options);
+
+  int64_t total = 0;
+  std::vector<SessionId> ids;
+  for (const auto& trip : trips) {
+    ids.push_back(service.Begin(trip));
+    for (const auto segment : trip.route.segments) {
+      ASSERT_EQ(service.Push(ids.back(), segment), PushStatus::kAccepted);
+      ++total;
+    }
+    service.End(ids.back());
+  }
+  service.Flush();
+
+  const serve::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.sessions_begun, static_cast<int64_t>(trips.size()));
+  EXPECT_EQ(stats.points_accepted, total);
+  EXPECT_EQ(stats.points_scored, total);
+  EXPECT_EQ(stats.rejected_session_full, 0);
+  EXPECT_EQ(stats.rejected_shard_full, 0);
+  EXPECT_GT(stats.steps, 0);
+  EXPECT_GT(stats.step_occupancy, 0.0);
+  EXPECT_LE(stats.step_occupancy, 1.0);
+  EXPECT_GT(stats.points_per_sec, 0.0);
+  EXPECT_GT(stats.queue_wait_p50_ms, 0.0);
+  EXPECT_LE(stats.queue_wait_p50_ms, stats.queue_wait_p95_ms);
+  EXPECT_LE(stats.queue_wait_p95_ms, stats.queue_wait_p99_ms);
+}
+
+TEST(ServiceTest, ShutdownFlushesAllShards) {
+  const CausalTad* causal = FittedCausal();
+  const auto trips = ParityTrips();
+  auto service = std::make_unique<StreamingService>(causal, [] {
+    ServiceOptions options;
+    options.num_shards = 4;
+    options.pump = true;
+    options.max_session_pending = 0;  // queue everything, then shut down
+    options.max_shard_queued = 0;
+    options.batcher.max_delay_ms = 50.0;  // pump mostly idle: queues build
+    return options;
+  }());
+
+  std::vector<SessionId> ids;
+  for (const auto& trip : trips) {
+    ids.push_back(service->Begin(trip));
+    for (const auto segment : trip.route.segments) {
+      ASSERT_EQ(service->Push(ids.back(), segment), PushStatus::kAccepted);
+    }
+    service->End(ids.back());
+  }
+  service->Shutdown();  // must flush every queued point on every shard
+  EXPECT_EQ(service->queued_points(), 0);
+  for (size_t i = 0; i < trips.size(); ++i) {
+    const std::vector<double> scores = service->Poll(ids[i]);
+    ASSERT_EQ(static_cast<int64_t>(scores.size()), trips[i].route.size())
+        << "trip " << i;
+    const double reference = causal->Score(trips[i], trips[i].route.size());
+    EXPECT_NEAR(scores.back(), reference, Tol(reference)) << "trip " << i;
+  }
+  // Sessions were ended and fully polled: nothing should stay tracked.
+  EXPECT_EQ(service->tracked_sessions(), 0);
+  service.reset();  // double Shutdown via the destructor is a no-op
+}
+
+}  // namespace
+}  // namespace causaltad

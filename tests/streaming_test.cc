@@ -282,6 +282,173 @@ TEST(StreamingBatcherTest, DeadlineBoundedAdmission) {
   EXPECT_EQ(batcher.StepIfReady(), 4);
 }
 
+TEST(StreamingBatcherTest, BurstDeadlineCarriesOriginalEnqueueTime) {
+  // Regression: a re-queued session used to get a fresh ready_since_
+  // timestamp, so the tail of a k-point burst waited ~k·max_delay_ms. The
+  // re-queue must carry the oldest pending point's original enqueue time:
+  // once the burst is past the deadline, every remaining point drains on
+  // consecutive StepIfReady calls without the clock advancing further.
+  const CausalTad* causal = FittedCausal();
+  ASSERT_NE(causal, nullptr);
+  const auto trips = ParityTrips();
+  const traj::Trip& trip = trips[0];
+  ASSERT_GE(trip.route.size(), 4);
+  double now_ms = 0.0;
+  StreamingOptions options;
+  options.max_batch_rows = 64;
+  options.max_delay_ms = 5.0;
+  options.now_ms = [&now_ms] { return now_ms; };
+  StreamingBatcher batcher(causal, options);
+
+  StreamingSession session = batcher.Begin(trip);
+  for (int k = 0; k < 4; ++k) session.Push(trip.route.segments[k]);
+  EXPECT_EQ(batcher.StepIfReady(), 0);  // inside the deadline
+  now_ms = 5.1;
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_EQ(batcher.StepIfReady(), 1) << "burst point " << k;
+  }
+  EXPECT_EQ(batcher.queued_points(), 0);
+
+  // Wait-bound sweep: points arrive 1 ms apart, a pump ticks the clock in
+  // 1 ms steps draining everything due; no point may be scored later than
+  // max_delay_ms after its own enqueue time.
+  StreamingSession sweep = batcher.Begin(trip);
+  std::vector<double> pushed_at;
+  size_t scored = 0;
+  double max_wait = 0.0;
+  const int64_t n = std::min<int64_t>(6, trip.route.size());
+  for (int tick = 0; tick <= 20; ++tick) {
+    now_ms = 5.1 + tick;
+    if (static_cast<int64_t>(pushed_at.size()) < n) {
+      sweep.Push(trip.route.segments[pushed_at.size()]);
+      pushed_at.push_back(now_ms);
+    }
+    while (batcher.StepIfReady() > 0) {
+    }
+    const size_t total = scored + sweep.Poll().size();
+    for (; scored < total; ++scored) {
+      max_wait = std::max(max_wait, now_ms - pushed_at[scored]);
+    }
+    if (scored == static_cast<size_t>(n) &&
+        static_cast<int64_t>(pushed_at.size()) == n) {
+      break;
+    }
+  }
+  EXPECT_EQ(scored, static_cast<size_t>(n));
+  EXPECT_LE(max_wait, options.max_delay_ms + 1e-9);
+}
+
+TEST(StreamingBatcherTest, DeadlineSeesCarriedTimestampBehindFifoFront) {
+  // A re-queued burst session sits at the BACK of the FIFO with an OLDER
+  // carried timestamp, so ready_since_ is not monotone: the deadline must
+  // watch the true minimum, not the FIFO front. Scenario: A pushes 2
+  // points at t=0; B, C, D push one each at t=4.9; the batch-full fire
+  // admits A, B, C and re-queues A behind D carrying t=0. At t=5.1 A's
+  // second point is past the deadline even though the front (D, t=4.9) is
+  // not — the step must fire.
+  const CausalTad* causal = FittedCausal();
+  ASSERT_NE(causal, nullptr);
+  const auto trips = ParityTrips();
+  ASSERT_GE(trips.size(), 4u);
+  double now_ms = 0.0;
+  StreamingOptions options;
+  options.max_batch_rows = 3;
+  options.max_delay_ms = 5.0;
+  options.now_ms = [&now_ms] { return now_ms; };
+  StreamingBatcher batcher(causal, options);
+
+  StreamingSession a = batcher.Begin(trips[0]);
+  a.Push(trips[0].route.segments[0]);
+  a.Push(trips[0].route.segments[1]);
+  now_ms = 4.9;
+  StreamingSession b = batcher.Begin(trips[1]);
+  StreamingSession c = batcher.Begin(trips[2]);
+  StreamingSession d = batcher.Begin(trips[3]);
+  b.Push(trips[1].route.segments[0]);
+  c.Push(trips[2].route.segments[0]);
+  d.Push(trips[3].route.segments[0]);
+  EXPECT_EQ(batcher.StepIfReady(), 3);  // batch full: admits a, b, c
+  now_ms = 5.1;
+  EXPECT_EQ(batcher.StepIfReady(), 2);  // d AND a's carried t=0 point
+  EXPECT_EQ(batcher.queued_points(), 0);
+}
+
+TEST(StreamingBatcherTest, EndedDrainedSessionsAreForgotten) {
+  // Regression: an ended, fully-drained, fully-polled session was only
+  // forgotten via a LATER Poll(), so fire-and-forget callers grew
+  // sessions_ without bound.
+  const CausalTad* causal = FittedCausal();
+  ASSERT_NE(causal, nullptr);
+  const auto trips = ParityTrips();
+  const traj::Trip& trip = trips[0];
+  StreamingBatcher batcher(causal);
+
+  for (int i = 0; i < 32; ++i) {
+    StreamingSession session = batcher.Begin(trip);
+    session.Push(trip.route.segments[0]);
+    batcher.Flush();
+    EXPECT_EQ(session.Poll().size(), 1u);
+    session.End();  // nothing pending, nothing unpolled: forget NOW
+  }
+  EXPECT_EQ(batcher.tracked_sessions(), 0);
+
+  // End before the final Poll: kept while scores are unpolled, forgotten
+  // by the Poll that drains them.
+  StreamingSession session = batcher.Begin(trip);
+  session.Push(trip.route.segments[0]);
+  session.End();
+  batcher.Flush();
+  EXPECT_EQ(batcher.tracked_sessions(), 1);
+  EXPECT_EQ(session.Poll().size(), 1u);
+  EXPECT_EQ(batcher.tracked_sessions(), 0);
+}
+
+TEST(StreamingBatcherTest, SdCacheInvalidatesOnRefitUnderLiveBatcher) {
+  // Regression: after a re-Fit()/Load() the batcher kept serving cached
+  // h0/base pairs encoded under the old weights. New sessions must adopt
+  // the refreshed packed weights and match the refitted model's scores.
+  const ExperimentData& data = Data();
+  core::CausalTadConfig config;
+  config.tg.emb_dim = 12;
+  config.tg.hidden_dim = 16;
+  config.tg.latent_dim = 8;
+  config.rp.emb_dim = 8;
+  config.rp.hidden_dim = 16;
+  config.rp.latent_dim = 4;
+  core::CausalTad model(&data.city.network, config);
+  const auto train = eval::Subsample(data.train, 48, 5);
+  models::FitOptions options;
+  options.epochs = 1;
+  options.lr = 3e-3f;
+  options.seed = 11;
+  model.Fit(train, options);
+
+  StreamingBatcher batcher(&model);
+  const traj::Trip& trip = data.id_test[0];
+  {
+    // Prime the SD cache under the first weights.
+    StreamingSession session = batcher.Begin(trip);
+    session.Push(trip.route.segments[0]);
+    session.End();
+    batcher.Flush();
+    session.Poll();
+  }
+
+  options.seed = 12;  // different init -> different weights
+  model.Fit(train, options);
+
+  StreamingSession session = batcher.Begin(trip);
+  for (const auto segment : trip.route.segments) session.Push(segment);
+  session.End();
+  batcher.Flush();
+  const std::vector<double> scores = session.Poll();
+  ASSERT_EQ(static_cast<int64_t>(scores.size()), trip.route.size());
+  for (size_t k = 0; k < scores.size(); ++k) {
+    const double reference = model.Score(trip, static_cast<int64_t>(k) + 1);
+    EXPECT_NEAR(scores[k], reference, Tol(reference)) << "k=" << k + 1;
+  }
+}
+
 TEST(StreamingBatcherTest, RowsRecycleAndCompactOnTripEnd) {
   const CausalTad* causal = FittedCausal();
   const auto trips = ParityTrips();

@@ -1,10 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <filesystem>
+#include <mutex>
 
 #include "util/binary_io.h"
 #include "util/csv.h"
+#include "util/latency_histogram.h"
+#include "util/parallel.h"
 #include "util/random.h"
 #include "util/status.h"
 
@@ -195,6 +200,60 @@ TEST(BinaryIoTest, RejectsBadMagicAndVersion) {
   EXPECT_FALSE(BinaryReader(path, 0x11111111u, 2).ok());
   EXPECT_TRUE(BinaryReader(path, 0x11111111u, 1).ok());
   std::remove(path.c_str());
+}
+
+TEST(ParallelPoolTest, GrowsAfterSetParallelThreads) {
+  // Regression: Pool::Instance() used to freeze its worker count at the
+  // knob in force on the FIRST ParallelFor — raising the knob afterwards
+  // was silently ignored. Force a first use under a low knob, raise it,
+  // then require 4 shards to run concurrently (each blocks until all four
+  // have entered; a frozen pool can only field two, so every waiter times
+  // out instead of hanging).
+  SetParallelThreads(2);
+  ParallelFor(4, 0, [](int64_t, int64_t) {});
+  SetParallelThreads(4);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  int entered = 0;
+  int concurrent_ok = 0;
+  ParallelFor(4, 0, [&](int64_t, int64_t) {
+    std::unique_lock<std::mutex> lock(mu);
+    ++entered;
+    cv.notify_all();
+    if (cv.wait_for(lock, std::chrono::seconds(5),
+                    [&] { return entered >= 4; })) {
+      ++concurrent_ok;
+    }
+  });
+  EXPECT_EQ(concurrent_ok, 4);
+  SetParallelThreads(0);
+}
+
+TEST(LatencyHistogramTest, PercentilesWithinBucketResolution) {
+  LatencyHistogram hist;
+  EXPECT_EQ(hist.TotalCount(), 0);
+  EXPECT_EQ(hist.Percentile(50.0), 0.0);
+
+  for (int i = 0; i < 99; ++i) hist.Add(1.0);
+  hist.Add(100.0);
+  EXPECT_EQ(hist.TotalCount(), 100);
+  // Quarter-octave buckets: the reported value is the geometric midpoint
+  // of the sample's bucket, within ~19% of the true value.
+  EXPECT_NEAR(hist.Percentile(50.0), 1.0, 0.25);
+  EXPECT_NEAR(hist.Percentile(99.0), 1.0, 0.25);
+  EXPECT_NEAR(hist.Percentile(100.0), 100.0, 25.0);
+  EXPECT_LE(hist.Percentile(50.0), hist.Percentile(95.0));
+  EXPECT_LE(hist.Percentile(95.0), hist.Percentile(100.0));
+
+  hist.Reset();
+  EXPECT_EQ(hist.TotalCount(), 0);
+
+  // Out-of-range samples clamp to the end buckets instead of indexing out.
+  hist.Add(-3.0);
+  hist.Add(1e12);
+  EXPECT_EQ(hist.TotalCount(), 2);
+  EXPECT_GT(hist.Percentile(100.0), hist.Percentile(0.0));
 }
 
 }  // namespace
