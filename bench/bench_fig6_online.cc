@@ -30,11 +30,20 @@
 // grid: points/sec, step occupancy, queue-wait p50/p95/p99, and the
 // backpressure counters, with the same per-point parity bound.
 //
+// A fourth section ("fig6_wire") measures the full network path — a
+// net::Client feeding a net::Server over a loopback socketpair, frames
+// decoded and translated into the same pumped StreamingService — against
+// the in-process service with identical options, recording client-observed
+// points/sec, the wire-side reject/retransmit counters, the server's
+// per-frame dispatch p99, and the same per-point parity bound (wire scores
+// must match Score(trip, k) like every other serving layer).
+//
 // Environment knobs:
 //   CAUSALTAD_BENCH_SCALE=smoke|default|full   experiment scale
 //   CAUSALTAD_FIG6_METHODS=a,b,c               quality-panel method filter
 //   CAUSALTAD_FIG6_SKIP_PANELS=1               skip the quality panels
 //   CAUSALTAD_FIG6_SERVICE_SHARDS=N            sharded service configs (4)
+//   CAUSALTAD_FIG6_WIRE_ONLY=1                 only the fig6_wire section
 //   CAUSALTAD_FIG6_JSON=<path>                 output path (BENCH_fig6.json)
 
 #include <algorithm>
@@ -53,6 +62,8 @@
 #include "eval/harness.h"
 #include "eval/metrics.h"
 #include "models/scorer.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "serve/service.h"
 #include "serve/streaming.h"
 #include "util/stopwatch.h"
@@ -257,6 +268,17 @@ ThroughputRow MeasureOnline(const std::string& city,
 // pump on/off), with backpressure engaged by the feed loop.
 // ---------------------------------------------------------------------------
 
+causaltad::serve::ServiceOptions BenchServiceOptions() {
+  causaltad::serve::ServiceOptions options;
+  options.num_shards = 1;
+  options.pump = true;
+  options.max_session_pending = 8;  // tight enough that bursts backpressure
+  options.max_shard_queued = 1 << 14;
+  options.batcher.max_batch_rows = 64;
+  options.batcher.max_delay_ms = 0.1;
+  return options;
+}
+
 struct ServiceRow {
   std::string city;
   int shards = 1;
@@ -284,13 +306,9 @@ ServiceRow MeasureService(const std::string& city, const CausalTad* causal,
   row.trips = static_cast<int64_t>(trips.size());
   for (const Trip& trip : trips) row.points += trip.route.size();
 
-  causaltad::serve::ServiceOptions options;
+  causaltad::serve::ServiceOptions options = BenchServiceOptions();
   options.num_shards = shards;
   options.pump = pump;
-  options.max_session_pending = 8;  // tight enough that bursts backpressure
-  options.max_shard_queued = 1 << 14;
-  options.batcher.max_batch_rows = 64;
-  options.batcher.max_delay_ms = 0.1;
 
   constexpr int kReps = 3;
   std::vector<std::vector<double>> streamed(trips.size());
@@ -354,9 +372,131 @@ ServiceRow MeasureService(const std::string& city, const CausalTad* causal,
   return row;
 }
 
+// ---------------------------------------------------------------------------
+// Wire front-end: net::Client -> net::Server (loopback socketpair) ->
+// StreamingService, vs the identical service driven in-process.
+// ---------------------------------------------------------------------------
+
+struct WireRow {
+  std::string city;
+  int64_t trips = 0;
+  int64_t points = 0;
+  double wire_pps = 0.0;    // client-observed, Begin to last Finish
+  double inproc_pps = 0.0;  // same service options, driven directly
+  double wire_vs_inproc = 0.0;
+  int64_t retransmits = 0;
+  int64_t rejected_session_full = 0;
+  double dispatch_p99_ms = 0.0;  // server-side per-frame dispatch
+  double max_abs_diff = 0.0;     // wire scores vs Score(trip, k)
+};
+
+WireRow MeasureWire(const std::string& city, const CausalTad* causal,
+                    const causaltad::roadnet::RoadNetwork* network,
+                    const std::vector<Trip>& trips,
+                    const std::vector<std::vector<double>>& reference,
+                    double inproc_pps) {
+  WireRow row;
+  row.city = city;
+  row.trips = static_cast<int64_t>(trips.size());
+  for (const Trip& trip : trips) row.points += trip.route.size();
+  row.inproc_pps = inproc_pps;
+
+  constexpr int kReps = 3;
+  std::vector<std::vector<double>> streamed(trips.size());
+  double best = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    causaltad::serve::StreamingService service(causal,
+                                               BenchServiceOptions());
+    causaltad::net::ServerOptions server_options;
+    server_options.network = network;  // production validation on
+    causaltad::net::Server server(&service, server_options);
+    if (!server.Start().ok()) {
+      std::fprintf(stderr, "wire bench: server failed to start\n");
+      row.max_abs_diff = 1.0;  // poison the parity bound: nothing compared
+      return row;
+    }
+    causaltad::net::ClientOptions client_options;
+    client_options.max_inflight = 128;
+    auto client = causaltad::net::Client::FromFd(
+        server.AddLoopbackConnection(), client_options);
+    if (!client->Hello().ok()) {
+      std::fprintf(stderr, "wire bench: hello failed: %s\n",
+                   client->status().ToString().c_str());
+      row.max_abs_diff = 1.0;
+      return row;
+    }
+
+    causaltad::util::Stopwatch watch;
+    std::vector<uint64_t> ids;
+    ids.reserve(trips.size());
+    for (const Trip& trip : trips) {
+      ids.push_back(client->Begin(trip.route.segments.front(),
+                                  trip.route.segments.back(),
+                                  trip.time_slot));
+    }
+    // Round-robin, one point per session per sweep — the same concurrent
+    // feed the in-process service rows use; the client's window flow
+    // control and go-back-N retries absorb backpressure.
+    std::vector<size_t> fed(trips.size(), 0);
+    bool done = false;
+    while (!done) {
+      done = true;
+      for (size_t i = 0; i < trips.size(); ++i) {
+        const auto& segments = trips[i].route.segments;
+        if (fed[i] >= segments.size()) continue;
+        if (!client->Push(ids[i], segments[fed[i]]).ok()) {
+          std::fprintf(stderr, "wire bench: push failed: %s\n",
+                       client->status().ToString().c_str());
+          row.max_abs_diff = 1.0;
+          return row;
+        }
+        if (++fed[i] < segments.size()) done = false;
+      }
+    }
+    std::vector<std::vector<double>> rep_scores(trips.size());
+    for (size_t i = 0; i < trips.size(); ++i) {
+      auto finished = client->Finish(ids[i]);
+      if (!finished.ok()) {
+        std::fprintf(stderr, "wire bench: finish failed: %s\n",
+                     finished.status().ToString().c_str());
+        row.max_abs_diff = 1.0;
+        return row;
+      }
+      rep_scores[i] = *std::move(finished);
+    }
+    const double elapsed = watch.ElapsedSeconds();
+    if (rep == 0 || elapsed < best) {
+      best = elapsed;
+      streamed = std::move(rep_scores);
+      const causaltad::net::ServerStats stats = server.stats();
+      row.retransmits = client->stats().retransmits;
+      row.rejected_session_full = stats.rejected_session_full;
+      row.dispatch_p99_ms = stats.dispatch_p99_ms;
+    }
+    server.Stop();
+    service.Shutdown();
+  }
+  row.wire_pps = row.points / std::max(best, 1e-12);
+  row.wire_vs_inproc = row.wire_pps / std::max(row.inproc_pps, 1e-12);
+  for (size_t i = 0; i < trips.size(); ++i) {
+    for (size_t k = 0; k < reference[i].size() && k < streamed[i].size();
+         ++k) {
+      row.max_abs_diff = std::max(
+          row.max_abs_diff, std::abs(streamed[i][k] - reference[i][k]));
+    }
+    if (streamed[i].size() != reference[i].size()) {
+      std::fprintf(stderr, "wire bench: trip %zu got %zu/%zu scores\n", i,
+                   streamed[i].size(), reference[i].size());
+      row.max_abs_diff = 1.0;  // poison the parity bound: scores were lost
+    }
+  }
+  return row;
+}
+
 void WriteJson(const std::string& path, causaltad::eval::Scale scale,
                const std::vector<ThroughputRow>& rows,
-               const std::vector<ServiceRow>& service_rows) {
+               const std::vector<ServiceRow>& service_rows,
+               const std::vector<WireRow>& wire_rows) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -398,6 +538,22 @@ void WriteJson(const std::string& path, causaltad::eval::Scale scale,
         static_cast<long long>(r.rejected_shard_full), r.max_abs_diff,
         i + 1 < service_rows.size() ? "," : "");
   }
+  std::fprintf(f, "  ],\n  \"fig6_wire\": [\n");
+  for (size_t i = 0; i < wire_rows.size(); ++i) {
+    const WireRow& r = wire_rows[i];
+    std::fprintf(
+        f,
+        "    {\"city\": \"%s\", \"trips\": %lld, \"points\": %lld, "
+        "\"wire_pps\": %.0f, \"inproc_pps\": %.0f, "
+        "\"wire_vs_inproc\": %.3f, \"retransmits\": %lld, "
+        "\"rejected_session_full\": %lld, \"dispatch_p99_ms\": %.4f, "
+        "\"max_abs_diff\": %.3g}%s\n",
+        r.city.c_str(), static_cast<long long>(r.trips),
+        static_cast<long long>(r.points), r.wire_pps, r.inproc_pps,
+        r.wire_vs_inproc, static_cast<long long>(r.retransmits),
+        static_cast<long long>(r.rejected_session_full), r.dispatch_p99_ms,
+        r.max_abs_diff, i + 1 < wire_rows.size() ? "," : "");
+  }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n", path.c_str());
@@ -425,6 +581,7 @@ int main() {
 
   std::vector<ThroughputRow> rows;
   std::vector<ServiceRow> service_rows;
+  std::vector<WireRow> wire_rows;
   TablePrinter table({"City", "Method", "rescore p/s", "increm p/s",
                       "batcher p/s", "speedup", "max diff"});
   bool printed_header = false;
@@ -433,60 +590,64 @@ int main() {
     const int v = std::atoi(env);
     if (v > 0) sharded = v;
   }
+  const bool wire_only = EnvFlag("CAUSALTAD_FIG6_WIRE_ONLY");
   for (const Panel& panel : panels) {
     const ExperimentData data =
         causaltad::eval::BuildExperiment(panel.config);
-    if (!EnvFlag("CAUSALTAD_FIG6_SKIP_PANELS")) {
+    if (!wire_only && !EnvFlag("CAUSALTAD_FIG6_SKIP_PANELS")) {
       RunPanel(panel.config, data, scale, panel.ood, panel.title);
     }
 
-    // Online serving throughput, both cities. GM-VSAE stands in for the
-    // RnnVae family (carried encoder, O(prefix) fused re-decode); TG-VAE /
-    // RP-VAE / CausalTAD carry O(1)-per-point state.
     const auto causal_owner = causaltad::eval::FitOrLoad(
         causaltad::eval::kCausalTadName, data, panel.config.name, scale);
     const auto* causal = dynamic_cast<const CausalTad*>(causal_owner.get());
-    const auto gmvsae = causaltad::eval::FitOrLoad(
-        "GM-VSAE", data, panel.config.name, scale);
-    const CausalTadVariant tg_only(causal, ScoreVariant::kLikelihoodOnly);
-    const CausalTadVariant rp_only(causal, ScoreVariant::kScalingOnly);
-    const auto online_trips = Subsample(data.id_test, 30, 42);
+    if (!wire_only) {
+      // Online serving throughput, both cities. GM-VSAE stands in for the
+      // RnnVae family (carried encoder, O(prefix) fused re-decode); TG-VAE
+      // / RP-VAE / CausalTAD carry O(1)-per-point state.
+      const auto gmvsae = causaltad::eval::FitOrLoad(
+          "GM-VSAE", data, panel.config.name, scale);
+      const CausalTadVariant tg_only(causal, ScoreVariant::kLikelihoodOnly);
+      const CausalTadVariant rp_only(causal, ScoreVariant::kScalingOnly);
+      const auto online_trips = Subsample(data.id_test, 30, 42);
 
-    if (!printed_header) {
-      std::printf("\n== Fig. 6 — online serving throughput (points/sec; "
-                  "rescoring vs incremental vs StreamingBatcher) ==\n\n");
-      table.PrintHeader();
-      printed_header = true;
-    }
-    struct Entry {
-      std::string name;
-      const TrajectoryScorer* scorer;
-      const CausalTad* batched;
-      ScoreVariant variant;
-    };
-    const std::vector<Entry> entries = {
-        {"GM-VSAE", gmvsae.get(), nullptr, ScoreVariant::kFull},
-        {"TG-VAE", &tg_only, causal, ScoreVariant::kLikelihoodOnly},
-        {"RP-VAE", &rp_only, causal, ScoreVariant::kScalingOnly},
-        {"CausalTAD", causal, causal, ScoreVariant::kFull}};
-    for (const Entry& entry : entries) {
-      rows.push_back(MeasureOnline(panel.config.name, entry.name,
-                                   entry.scorer, entry.batched, entry.variant,
-                                   online_trips));
-      const ThroughputRow& r = rows.back();
-      table.PrintRow({r.city, r.method, TablePrinter::Fmt(r.rescoring_pps, 0),
-                      TablePrinter::Fmt(r.incremental_pps, 0),
-                      r.batcher_pps > 0 ? TablePrinter::Fmt(r.batcher_pps, 0)
-                                        : std::string("-"),
-                      TablePrinter::Fmt(r.speedup, 1) + "x",
-                      TablePrinter::Fmt(
-                          std::max(r.max_abs_diff, r.batcher_max_abs_diff),
-                          7)});
+      if (!printed_header) {
+        std::printf("\n== Fig. 6 — online serving throughput (points/sec; "
+                    "rescoring vs incremental vs StreamingBatcher) ==\n\n");
+        table.PrintHeader();
+        printed_header = true;
+      }
+      struct Entry {
+        std::string name;
+        const TrajectoryScorer* scorer;
+        const CausalTad* batched;
+        ScoreVariant variant;
+      };
+      const std::vector<Entry> entries = {
+          {"GM-VSAE", gmvsae.get(), nullptr, ScoreVariant::kFull},
+          {"TG-VAE", &tg_only, causal, ScoreVariant::kLikelihoodOnly},
+          {"RP-VAE", &rp_only, causal, ScoreVariant::kScalingOnly},
+          {"CausalTAD", causal, causal, ScoreVariant::kFull}};
+      for (const Entry& entry : entries) {
+        rows.push_back(MeasureOnline(panel.config.name, entry.name,
+                                     entry.scorer, entry.batched,
+                                     entry.variant, online_trips));
+        const ThroughputRow& r = rows.back();
+        table.PrintRow(
+            {r.city, r.method, TablePrinter::Fmt(r.rescoring_pps, 0),
+             TablePrinter::Fmt(r.incremental_pps, 0),
+             r.batcher_pps > 0 ? TablePrinter::Fmt(r.batcher_pps, 0)
+                               : std::string("-"),
+             TablePrinter::Fmt(r.speedup, 1) + "x",
+             TablePrinter::Fmt(
+                 std::max(r.max_abs_diff, r.batcher_max_abs_diff), 7)});
+      }
     }
 
     // StreamingService grid (CausalTAD full score): 1 vs N shards, pump
     // on/off, fed with backpressure engaged. Per-point reference scores
-    // come from one checkpointed roll per trip.
+    // come from one checkpointed roll per trip; the wire section reuses
+    // both the trips and the reference.
     const auto service_trips = Subsample(data.id_test, 120, 43);
     std::vector<std::vector<int64_t>> checkpoints(service_trips.size());
     for (size_t i = 0; i < service_trips.size(); ++i) {
@@ -496,33 +657,63 @@ int main() {
     }
     const auto service_reference =
         causal->ScoreCheckpoints(service_trips, checkpoints);
-    std::vector<std::pair<int, bool>> grid = {{1, false}, {1, true}};
-    if (sharded > 1) {
-      grid.emplace_back(sharded, false);
-      grid.emplace_back(sharded, true);
+    double inproc_pps = 0.0;
+    if (wire_only) {
+      // Just the wire row's in-process twin (1 shard, pump on).
+      inproc_pps = MeasureService(panel.config.name, causal, service_trips,
+                                  service_reference, 1, true)
+                       .pps;
+    } else {
+      std::vector<std::pair<int, bool>> grid = {{1, false}, {1, true}};
+      if (sharded > 1) {
+        grid.emplace_back(sharded, false);
+        grid.emplace_back(sharded, true);
+      }
+      for (const auto& [shards, pump] : grid) {
+        service_rows.push_back(MeasureService(panel.config.name, causal,
+                                              service_trips,
+                                              service_reference, shards,
+                                              pump));
+        if (shards == 1 && pump) inproc_pps = service_rows.back().pps;
+      }
     }
-    for (const auto& [shards, pump] : grid) {
-      service_rows.push_back(MeasureService(panel.config.name, causal,
-                                            service_trips, service_reference,
-                                            shards, pump));
+    wire_rows.push_back(MeasureWire(panel.config.name, causal,
+                                    &data.city.network, service_trips,
+                                    service_reference, inproc_pps));
+  }
+  if (!wire_only) {
+    std::printf("\n== Fig. 6 — StreamingService (sharded + pumped "
+                "front-end) ==\n\n");
+    TablePrinter service_table({"City", "Shards", "Pump", "p/s", "occup",
+                                "p50 ms", "p95 ms", "p99 ms", "max diff"});
+    service_table.PrintHeader();
+    for (const ServiceRow& r : service_rows) {
+      service_table.PrintRow(
+          {r.city, TablePrinter::Fmt(static_cast<double>(r.shards), 0),
+           r.pump ? "on" : "off", TablePrinter::Fmt(r.pps, 0),
+           TablePrinter::Fmt(r.occupancy, 2), TablePrinter::Fmt(r.p50_ms, 3),
+           TablePrinter::Fmt(r.p95_ms, 3), TablePrinter::Fmt(r.p99_ms, 3),
+           TablePrinter::Fmt(r.max_abs_diff, 7)});
     }
   }
-  std::printf("\n== Fig. 6 — StreamingService (sharded + pumped front-end) "
-              "==\n\n");
-  TablePrinter service_table({"City", "Shards", "Pump", "p/s", "occup",
-                              "p50 ms", "p95 ms", "p99 ms", "max diff"});
-  service_table.PrintHeader();
-  for (const ServiceRow& r : service_rows) {
-    service_table.PrintRow(
-        {r.city, TablePrinter::Fmt(static_cast<double>(r.shards), 0),
-         r.pump ? "on" : "off", TablePrinter::Fmt(r.pps, 0),
-         TablePrinter::Fmt(r.occupancy, 2), TablePrinter::Fmt(r.p50_ms, 3),
-         TablePrinter::Fmt(r.p95_ms, 3), TablePrinter::Fmt(r.p99_ms, 3),
+  std::printf("\n== Fig. 6 — wire front-end (net::Client -> net::Server "
+              "loopback -> StreamingService) ==\n\n");
+  TablePrinter wire_table({"City", "wire p/s", "in-proc p/s", "ratio",
+                           "retx", "rej", "disp p99 ms", "max diff"});
+  wire_table.PrintHeader();
+  for (const WireRow& r : wire_rows) {
+    wire_table.PrintRow(
+        {r.city, TablePrinter::Fmt(r.wire_pps, 0),
+         TablePrinter::Fmt(r.inproc_pps, 0),
+         TablePrinter::Fmt(r.wire_vs_inproc, 2) + "x",
+         TablePrinter::Fmt(static_cast<double>(r.retransmits), 0),
+         TablePrinter::Fmt(static_cast<double>(r.rejected_session_full), 0),
+         TablePrinter::Fmt(r.dispatch_p99_ms, 4),
          TablePrinter::Fmt(r.max_abs_diff, 7)});
   }
   std::printf("\n");
   const char* json_env = std::getenv("CAUSALTAD_FIG6_JSON");
   WriteJson(json_env != nullptr ? json_env : "BENCH_fig6.json", scale, rows,
-            service_rows);
+            service_rows, wire_rows);
   return 0;
 }

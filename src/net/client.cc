@@ -1,0 +1,475 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "util/stopwatch.h"
+
+namespace causaltad {
+namespace net {
+
+const char* PushOutcomeName(PushOutcome outcome) {
+  switch (outcome) {
+    case PushOutcome::kAccepted:
+      return "accepted";
+    case PushOutcome::kSessionFull:
+      return "session_full";
+    case PushOutcome::kShardFull:
+      return "shard_full";
+    case PushOutcome::kQuota:
+      return "quota";
+    case PushOutcome::kShutdown:
+      return "shutdown";
+  }
+  return "unknown";
+}
+
+util::StatusOr<std::unique_ptr<Client>> Client::ConnectTcp(
+    const std::string& host, int port, ClientOptions options) {
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return util::Status::IoError("socket failed: " +
+                                 std::string(std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return util::Status::InvalidArgument("bad host " + host);
+  }
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    close(fd);
+    return util::Status::IoError("connect to " + host + ":" +
+                                 std::to_string(port) + " failed: " + err);
+  }
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<Client>(new Client(fd, std::move(options)));
+}
+
+std::unique_ptr<Client> Client::FromFd(int fd, ClientOptions options) {
+  return std::unique_ptr<Client>(new Client(fd, std::move(options)));
+}
+
+Client::Client(int fd, ClientOptions options)
+    : fd_(fd), options_(std::move(options)) {}
+
+Client::~Client() {
+  if (fd_ >= 0) close(fd_);
+}
+
+util::Status Client::SendFrame(const Frame& frame) {
+  if (!fatal_.ok()) return fatal_;
+  std::vector<uint8_t> bytes;
+  EncodeFrame(frame, &bytes);
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    fatal_ = util::Status::IoError("send failed: " +
+                                   std::string(std::strerror(errno)));
+    return fatal_;
+  }
+  stats_.bytes_sent += static_cast<int64_t>(bytes.size());
+  return util::Status::Ok();
+}
+
+util::Status Client::ReadOnce(double timeout_ms, bool* got_bytes) {
+  *got_bytes = false;
+  if (!fatal_.ok()) return fatal_;
+  pollfd pfd{fd_, POLLIN, 0};
+  const int ready =
+      poll(&pfd, 1, std::max(0, static_cast<int>(timeout_ms)));
+  if (ready <= 0) return util::Status::Ok();  // timeout (or EINTR): no bytes
+  uint8_t buf[64 * 1024];
+  const ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+  if (n > 0) {
+    *got_bytes = true;
+    stats_.bytes_received += n;
+    decoder_.Feed(buf, static_cast<size_t>(n));
+    Frame frame;
+    while (fatal_.ok() && decoder_.Next(&frame)) {
+      ++stats_.frames_received;
+      HandleFrame(frame);
+    }
+    if (fatal_.ok() && !decoder_.status().ok()) fatal_ = decoder_.status();
+  } else if (n == 0 || (errno != EINTR && errno != EAGAIN)) {
+    if (fatal_.ok()) {
+      fatal_ = util::Status::IoError("connection closed by server");
+    }
+  }
+  return fatal_;
+}
+
+bool Client::Retryable(RejectReason reason) const {
+  switch (reason) {
+    case RejectReason::kSessionFull:
+    case RejectReason::kShardFull:
+    case RejectReason::kQuota:
+    case RejectReason::kOutOfOrder:
+      return true;
+    case RejectReason::kShutdown:
+      return false;
+  }
+  return false;
+}
+
+void Client::HandleFrame(const Frame& frame) {
+  switch (frame.type) {
+    case FrameType::kScoreDelta: {
+      if (frame.token != 0 && frame.token == waiting_token_) {
+        token_seen_ = true;
+      }
+      const auto it = sessions_.find(frame.session);
+      if (it == sessions_.end() || frame.scores.empty()) return;
+      Session& session = it->second;
+      for (size_t k = 0; k < frame.scores.size(); ++k) {
+        // Scores acknowledge the oldest in-flight points in feed order.
+        if (!session.pending.empty()) {
+          session.pending.pop_front();
+          --total_inflight_;
+        }
+      }
+      if (score_cb_) {
+        score_cb_(frame.session, frame.scores);
+      } else {
+        session.scores.insert(session.scores.end(), frame.scores.begin(),
+                              frame.scores.end());
+      }
+      return;
+    }
+    case FrameType::kPushReject: {
+      const auto it = sessions_.find(frame.session);
+      if (it == sessions_.end()) return;
+      Session& session = it->second;
+      // Locate the point; a mismatched wire_seq means this reject refers to
+      // a transmission we already resent — stale, ignore it.
+      auto entry = session.pending.begin();
+      while (entry != session.pending.end() && entry->seq != frame.seq) {
+        ++entry;
+      }
+      if (entry == session.pending.end() ||
+          entry->wire_seq != frame.wire_seq) {
+        return;
+      }
+      ++stats_.rejects_seen;
+      if (reject_cb_) reject_cb_(frame.session, frame.reason);
+      if (frame.wire_seq == probe_wire_seq_) {
+        // TryPush probe: record the verdict and drop the point — a probe is
+        // never retransmitted.
+        probe_rejected_ = true;
+        probe_reason_ = frame.reason;
+        session.pending.erase(entry);
+        --total_inflight_;
+        return;
+      }
+      if (frame.reason == RejectReason::kShutdown || !options_.auto_retry) {
+        // Terminal (or retries disabled): the rejected point and everything
+        // after it can never be accepted in order — drop the tail.
+        const int64_t dropped =
+            static_cast<int64_t>(session.pending.end() - entry);
+        session.pending.erase(entry, session.pending.end());
+        total_inflight_ -= dropped;
+        if (frame.reason == RejectReason::kShutdown) session.shutdown = true;
+        return;
+      }
+      // Go-back-N: mark the resend point; RunResends retransmits the tail.
+      if (session.resend_from < 0 ||
+          static_cast<uint64_t>(session.resend_from) > frame.seq) {
+        session.resend_from = static_cast<int64_t>(frame.seq);
+      }
+      return;
+    }
+    case FrameType::kError: {
+      if (fatal_.ok()) {
+        fatal_ = util::Status::FailedPrecondition(
+            std::string("server error (") + ErrorCodeName(frame.code) +
+            "): " + frame.message);
+      }
+      return;
+    }
+    default:
+      if (fatal_.ok()) {
+        fatal_ = util::Status::Internal("server sent a client-only frame");
+      }
+      return;
+  }
+}
+
+util::Status Client::RunResends() {
+  for (auto& [id, session] : sessions_) {
+    if (session.resend_from < 0 || session.shutdown) continue;
+    const uint64_t from = static_cast<uint64_t>(session.resend_from);
+    session.resend_from = -1;
+    for (SentPoint& point : session.pending) {
+      if (point.seq < from) continue;
+      point.wire_seq = next_wire_seq_++;
+      Frame push;
+      push.type = FrameType::kPush;
+      push.session = id;
+      push.seq = point.seq;
+      push.wire_seq = point.wire_seq;
+      push.segment = point.segment;
+      ++stats_.pushes_sent;
+      ++stats_.retransmits;
+      CAUSALTAD_RETURN_IF_ERROR(SendFrame(push));
+    }
+  }
+  return util::Status::Ok();
+}
+
+util::Status Client::PollBarrier(uint64_t session) {
+  Frame poll_frame;
+  poll_frame.type = FrameType::kPoll;
+  poll_frame.session = session;
+  poll_frame.token = next_token_++;
+  ++stats_.polls_sent;
+  CAUSALTAD_RETURN_IF_ERROR(SendFrame(poll_frame));
+  waiting_token_ = poll_frame.token;
+  token_seen_ = false;
+  util::Stopwatch watch;
+  while (!token_seen_) {
+    if (!fatal_.ok()) {
+      waiting_token_ = 0;
+      return fatal_;
+    }
+    bool got = false;
+    const util::Status status =
+        ReadOnce(std::min(50.0, options_.timeout_ms), &got);
+    if (!status.ok()) {
+      waiting_token_ = 0;
+      return status;
+    }
+    if (!token_seen_ && watch.ElapsedMillis() > options_.timeout_ms) {
+      waiting_token_ = 0;
+      return util::Status::IoError("timed out waiting for the server");
+    }
+  }
+  waiting_token_ = 0;
+  return util::Status::Ok();
+}
+
+util::Status Client::DrainTo(int64_t target, uint64_t focus_session) {
+  util::Stopwatch watch;
+  while (total_inflight_ > target) {
+    if (!fatal_.ok()) return fatal_;
+    CAUSALTAD_RETURN_IF_ERROR(RunResends());
+    // Ask for deltas for every session with in-flight points; barrier on
+    // the focus session's token, which is sent last.
+    std::vector<uint64_t> ids;
+    for (const auto& [id, session] : sessions_) {
+      if (!session.pending.empty() && id != focus_session) {
+        ids.push_back(id);
+      }
+    }
+    if (sessions_.count(focus_session) != 0) ids.push_back(focus_session);
+    if (ids.empty()) break;  // nothing left that could still score
+    for (size_t i = 0; i + 1 < ids.size(); ++i) {
+      Frame poll_frame;
+      poll_frame.type = FrameType::kPoll;
+      poll_frame.session = ids[i];
+      poll_frame.token = next_token_++;
+      ++stats_.polls_sent;
+      CAUSALTAD_RETURN_IF_ERROR(SendFrame(poll_frame));
+    }
+    CAUSALTAD_RETURN_IF_ERROR(PollBarrier(ids.back()));
+    CAUSALTAD_RETURN_IF_ERROR(RunResends());
+    if (total_inflight_ > target) {
+      if (watch.ElapsedMillis() > options_.timeout_ms) {
+        return util::Status::IoError("timed out draining in-flight points");
+      }
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          options_.poll_backoff_ms));
+    }
+  }
+  return util::Status::Ok();
+}
+
+util::Status Client::Hello() {
+  Frame hello;
+  hello.type = FrameType::kHello;
+  hello.tenant = options_.tenant;
+  hello.auth_token = options_.auth_token;
+  CAUSALTAD_RETURN_IF_ERROR(SendFrame(hello));
+  // Barrier on a Poll for a session that cannot exist: the server answers
+  // Polls in order (empty delta), so by the time it arrives the Hello
+  // verdict — possibly an Error frame — has been processed.
+  return PollBarrier(~uint64_t{0});
+}
+
+uint64_t Client::Begin(roadnet::SegmentId source,
+                       roadnet::SegmentId destination, int32_t time_slot) {
+  const uint64_t id = next_session_++;
+  sessions_.emplace(id, Session{});
+  Frame begin;
+  begin.type = FrameType::kBegin;
+  begin.session = id;
+  begin.source = source;
+  begin.destination = destination;
+  begin.time_slot = time_slot;
+  (void)SendFrame(begin);  // pipelined; failures latch into status()
+  return id;
+}
+
+util::Status Client::Push(uint64_t session, roadnet::SegmentId segment) {
+  if (!fatal_.ok()) return fatal_;
+  const auto it = sessions_.find(session);
+  if (it == sessions_.end() || it->second.ended) {
+    return util::Status::InvalidArgument("unknown or ended session");
+  }
+  if (it->second.shutdown) {
+    return util::Status::FailedPrecondition("service shut down");
+  }
+  Session& state = it->second;
+  SentPoint point;
+  point.seq = state.next_seq++;
+  point.wire_seq = next_wire_seq_++;
+  point.segment = segment;
+  state.pending.push_back(point);
+  ++total_inflight_;
+  Frame push;
+  push.type = FrameType::kPush;
+  push.session = session;
+  push.seq = point.seq;
+  push.wire_seq = point.wire_seq;
+  push.segment = segment;
+  ++stats_.pushes_sent;
+  CAUSALTAD_RETURN_IF_ERROR(SendFrame(push));
+  if (total_inflight_ >= options_.max_inflight) {
+    // Window full: drain to half so pushes batch between drains.
+    CAUSALTAD_RETURN_IF_ERROR(
+        DrainTo(std::max<int64_t>(options_.max_inflight / 2, 0), session));
+    if (state.shutdown) {
+      return util::Status::FailedPrecondition("service shut down");
+    }
+  }
+  return util::Status::Ok();
+}
+
+util::StatusOr<PushOutcome> Client::TryPush(uint64_t session,
+                                            roadnet::SegmentId segment) {
+  if (!fatal_.ok()) return fatal_;
+  const auto it = sessions_.find(session);
+  if (it == sessions_.end() || it->second.ended) {
+    return util::Status::InvalidArgument("unknown or ended session");
+  }
+  if (it->second.shutdown) return PushOutcome::kShutdown;
+  Session& state = it->second;
+  SentPoint point;
+  point.seq = state.next_seq;
+  point.wire_seq = next_wire_seq_++;
+  point.segment = segment;
+  Frame push;
+  push.type = FrameType::kPush;
+  push.session = session;
+  push.seq = point.seq;
+  push.wire_seq = point.wire_seq;
+  push.segment = segment;
+  state.pending.push_back(point);
+  ++state.next_seq;
+  ++total_inflight_;
+  ++stats_.pushes_sent;
+  probe_wire_seq_ = point.wire_seq;
+  probe_rejected_ = false;
+  util::Status status = SendFrame(push);
+  if (status.ok()) status = PollBarrier(session);
+  probe_wire_seq_ = 0;
+  if (!status.ok()) return status;
+  if (!probe_rejected_) return PushOutcome::kAccepted;
+  // The probe was rejected and dropped; un-assign its seq so the next push
+  // of this session reuses it (the server never advanced past it).
+  --state.next_seq;
+  switch (probe_reason_) {
+    case RejectReason::kSessionFull:
+      return PushOutcome::kSessionFull;
+    case RejectReason::kShardFull:
+      return PushOutcome::kShardFull;
+    case RejectReason::kQuota:
+      return PushOutcome::kQuota;
+    case RejectReason::kShutdown:
+      state.shutdown = true;
+      return PushOutcome::kShutdown;
+    case RejectReason::kOutOfOrder:
+      break;
+  }
+  return util::Status::Internal(
+      "push rejected out of order: the session stream has a gap");
+}
+
+util::Status Client::End(uint64_t session) {
+  if (!fatal_.ok()) return fatal_;
+  const auto it = sessions_.find(session);
+  if (it == sessions_.end() || it->second.ended) {
+    return util::Status::InvalidArgument("unknown or ended session");
+  }
+  util::Stopwatch watch;
+  while (!it->second.pending.empty()) {
+    if (it->second.shutdown) break;  // dropped tail: nothing more will score
+    CAUSALTAD_RETURN_IF_ERROR(RunResends());
+    CAUSALTAD_RETURN_IF_ERROR(PollBarrier(session));
+    if (!it->second.pending.empty()) {
+      if (watch.ElapsedMillis() > options_.timeout_ms) {
+        return util::Status::IoError("timed out draining session");
+      }
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          options_.poll_backoff_ms));
+    }
+  }
+  it->second.ended = true;
+  Frame end;
+  end.type = FrameType::kEnd;
+  end.session = session;
+  return SendFrame(end);
+}
+
+util::StatusOr<std::vector<double>> Client::Finish(uint64_t session) {
+  CAUSALTAD_RETURN_IF_ERROR(End(session));
+  const auto it = sessions_.find(session);
+  std::vector<double> scores = std::move(it->second.scores);
+  sessions_.erase(it);
+  return scores;
+}
+
+util::StatusOr<std::vector<double>> Client::Poll(uint64_t session) {
+  if (!fatal_.ok()) return fatal_;
+  const auto it = sessions_.find(session);
+  if (it == sessions_.end()) {
+    return util::Status::InvalidArgument("unknown session");
+  }
+  CAUSALTAD_RETURN_IF_ERROR(RunResends());
+  CAUSALTAD_RETURN_IF_ERROR(PollBarrier(session));
+  std::vector<double> scores = std::move(it->second.scores);
+  it->second.scores.clear();
+  return scores;
+}
+
+util::Status Client::ProcessIncoming(double timeout_ms) {
+  bool got = true;
+  // First read waits up to timeout_ms; then drain whatever else is ready.
+  CAUSALTAD_RETURN_IF_ERROR(ReadOnce(timeout_ms, &got));
+  while (got) {
+    CAUSALTAD_RETURN_IF_ERROR(ReadOnce(0.0, &got));
+  }
+  return RunResends();
+}
+
+}  // namespace net
+}  // namespace causaltad

@@ -1,0 +1,198 @@
+#ifndef CAUSALTAD_NET_CLIENT_H_
+#define CAUSALTAD_NET_CLIENT_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/frame.h"
+#include "roadnet/road_network.h"
+#include "util/status.h"
+
+namespace causaltad {
+namespace net {
+
+/// Client knobs.
+struct ClientOptions {
+  /// Tenant identity sent in the Hello handshake.
+  std::string tenant = "default";
+  std::string auth_token;
+  /// Flow-control window: Push() blocks (draining scores via Poll round
+  /// trips) while this many points are in flight — sent but not yet scored
+  /// — across all of the connection's sessions. Bounds both the server-side
+  /// queues this client can build and its own retransmit buffer.
+  int64_t max_inflight = 256;
+  /// Go-back-N: on a retryable PushReject (session_full / shard_full /
+  /// quota / out_of_order) resend from the rejected point onward after
+  /// draining. Off: rejects surface through the reject callback / TryPush
+  /// only, and the rejected point is dropped from the stream.
+  bool auto_retry = true;
+  /// Sleep between empty Poll round trips while draining, so a blocked
+  /// client does not busy-spin the server's event loop.
+  double poll_backoff_ms = 0.2;
+  /// Bound on any single blocking wait (Hello barrier, drain, Finish).
+  double timeout_ms = 30000.0;
+};
+
+/// Client-observed outcome of a single push attempt (TryPush).
+enum class PushOutcome {
+  kAccepted,
+  kSessionFull,  // backpressure: retry after draining
+  kShardFull,    // shard shedding load
+  kQuota,        // tenant quota hit
+  kShutdown,     // terminal: service shut down
+};
+
+const char* PushOutcomeName(PushOutcome outcome);
+
+/// Wire counters kept by the client.
+struct ClientStats {
+  int64_t pushes_sent = 0;   // includes retransmissions
+  int64_t retransmits = 0;   // go-back-N resends
+  int64_t rejects_seen = 0;  // genuine (non-stale) PushRejects
+  int64_t polls_sent = 0;
+  int64_t frames_received = 0;
+  int64_t bytes_sent = 0;
+  int64_t bytes_received = 0;
+};
+
+/// Blocking client for the src/net wire protocol, one connection per
+/// instance, single-threaded (no internal locks — share across threads
+/// behind your own mutex, or give each thread its own connection, as the
+/// tests' soak does).
+///
+/// Two usage modes over the same socket:
+///  * Blocking: Begin/Push/End/Finish. Push applies window flow control and
+///    (by default) go-back-N retransmission on retryable rejects, so the
+///    score stream delivered by Finish is exactly the accepted feed order —
+///    wire scores match direct serve::StreamingService scores (net_test
+///    asserts 1e-6 relative parity).
+///  * Callback poll mode: set score/reject callbacks and call
+///    ProcessIncoming(timeout) from your own loop; Poll(session) requests a
+///    delta explicitly.
+///
+/// Error model: protocol-fatal failures (Error frames, decode failures,
+/// disconnects) latch into status() and every later call returns it.
+class Client {
+ public:
+  using ScoreCallback =
+      std::function<void(uint64_t session, const std::vector<double>&)>;
+  using RejectCallback = std::function<void(uint64_t session, RejectReason)>;
+
+  /// Connects to a Server's TCP listener.
+  static util::StatusOr<std::unique_ptr<Client>> ConnectTcp(
+      const std::string& host, int port, ClientOptions options = {});
+  /// Adopts a connected fd (the peer end of Server::AddLoopbackConnection).
+  static std::unique_ptr<Client> FromFd(int fd, ClientOptions options = {});
+
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends the tenant handshake and barriers on it: returns the server's
+  /// auth verdict before any other traffic is risked.
+  util::Status Hello();
+
+  /// Opens a session (client-assigned id, valid on this connection only).
+  /// Pipelined — a Begin failure (bad endpoints) surfaces as a latched
+  /// connection error on a later call.
+  uint64_t Begin(roadnet::SegmentId source, roadnet::SegmentId destination,
+                 int32_t time_slot);
+
+  /// Feeds the session's next observed point under window flow control;
+  /// blocks draining scores while the window is full. With auto_retry,
+  /// retryable rejects are retransmitted in order and the call only fails
+  /// on terminal conditions (shutdown, connection error).
+  util::Status Push(uint64_t session, roadnet::SegmentId segment);
+
+  /// One push attempt, synchronously barriered: returns what the server did
+  /// with exactly this point. Never retransmits (regardless of auto_retry);
+  /// a rejected point simply does not join the stream.
+  util::StatusOr<PushOutcome> TryPush(uint64_t session,
+                                      roadnet::SegmentId segment);
+
+  /// Drains every in-flight point of the session (blocking, with
+  /// retransmission), then sends End.
+  util::Status End(uint64_t session);
+
+  /// End + drain, returning the session's full score stream (one score per
+  /// accepted point, feed order). The session is forgotten client-side.
+  util::StatusOr<std::vector<double>> Finish(uint64_t session);
+
+  /// One Poll round trip; returns the scores that arrived for `session`
+  /// since the last Poll/Push drain (empty when none, or when a score
+  /// callback consumes them).
+  util::StatusOr<std::vector<double>> Poll(uint64_t session);
+
+  /// Callback poll mode: processes whatever the server has sent, waiting at
+  /// most timeout_ms for the first byte. Runs retransmissions. Returns the
+  /// latched connection status.
+  util::Status ProcessIncoming(double timeout_ms);
+
+  void set_score_callback(ScoreCallback cb) { score_cb_ = std::move(cb); }
+  void set_reject_callback(RejectCallback cb) { reject_cb_ = std::move(cb); }
+
+  /// Latched connection status (OK while the connection is usable).
+  const util::Status& status() const { return fatal_; }
+  const ClientStats& stats() const { return stats_; }
+  /// Points sent but not yet scored, all sessions.
+  int64_t inflight() const { return total_inflight_; }
+
+ private:
+  struct SentPoint {
+    uint64_t seq = 0;
+    uint64_t wire_seq = 0;  // latest transmission; stale rejects mismatch
+    roadnet::SegmentId segment = roadnet::kInvalidSegment;
+  };
+  struct Session {
+    uint64_t next_seq = 0;
+    std::deque<SentPoint> pending;  // sent, not yet scored, feed order
+    std::vector<double> scores;     // delivered (when no score callback)
+    int64_t resend_from = -1;       // pending index to retransmit from
+    bool ended = false;
+    bool shutdown = false;  // saw a terminal kShutdown reject
+  };
+
+  explicit Client(int fd, ClientOptions options);
+
+  util::Status SendFrame(const Frame& frame);
+  util::Status ReadOnce(double timeout_ms, bool* got_bytes);
+  void HandleFrame(const Frame& frame);
+  /// Sends Poll(session, fresh token) and processes replies until the
+  /// matching ScoreDelta arrives (intervening deltas/rejects are processed
+  /// too).
+  util::Status PollBarrier(uint64_t session);
+  /// Retransmits the marked tail of every session with a pending resend.
+  util::Status RunResends();
+  /// Blocks until total inflight <= target (Poll round trips + backoff).
+  util::Status DrainTo(int64_t target, uint64_t focus_session);
+  bool Retryable(RejectReason reason) const;
+
+  int fd_ = -1;
+  ClientOptions options_;
+  FrameDecoder decoder_;
+  std::unordered_map<uint64_t, Session> sessions_;
+  uint64_t next_session_ = 0;
+  uint64_t next_wire_seq_ = 1;
+  uint64_t next_token_ = 1;
+  uint64_t waiting_token_ = 0;  // PollBarrier's outstanding token, 0 = none
+  bool token_seen_ = false;
+  // TryPush probe: the wire_seq whose fate the barrier is watching.
+  uint64_t probe_wire_seq_ = 0;
+  bool probe_rejected_ = false;
+  RejectReason probe_reason_ = RejectReason::kSessionFull;
+  util::Status fatal_;
+  ClientStats stats_;
+  int64_t total_inflight_ = 0;
+  ScoreCallback score_cb_;
+  RejectCallback reject_cb_;
+};
+
+}  // namespace net
+}  // namespace causaltad
+
+#endif  // CAUSALTAD_NET_CLIENT_H_

@@ -1,0 +1,221 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+#include "util/binary_io.h"
+
+namespace causaltad {
+namespace net {
+namespace {
+
+bool ValidReason(uint8_t v) {
+  return v >= static_cast<uint8_t>(RejectReason::kSessionFull) &&
+         v <= static_cast<uint8_t>(RejectReason::kShutdown);
+}
+
+bool ValidErrorCode(uint8_t v) {
+  return v >= static_cast<uint8_t>(ErrorCode::kAuthRequired) &&
+         v <= static_cast<uint8_t>(ErrorCode::kShuttingDown);
+}
+
+}  // namespace
+
+const char* RejectReasonName(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kSessionFull:
+      return "session_full";
+    case RejectReason::kShardFull:
+      return "shard_full";
+    case RejectReason::kQuota:
+      return "quota";
+    case RejectReason::kOutOfOrder:
+      return "out_of_order";
+    case RejectReason::kShutdown:
+      return "shutdown";
+  }
+  return "unknown";
+}
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kAuthRequired:
+      return "auth_required";
+    case ErrorCode::kAuthFailed:
+      return "auth_failed";
+    case ErrorCode::kUnknownSession:
+      return "unknown_session";
+    case ErrorCode::kDuplicateSession:
+      return "duplicate_session";
+    case ErrorCode::kInvalidSegment:
+      return "invalid_segment";
+    case ErrorCode::kProtocol:
+      return "protocol";
+    case ErrorCode::kShuttingDown:
+      return "shutting_down";
+  }
+  return "unknown";
+}
+
+void EncodeFrame(const Frame& frame, std::vector<uint8_t>* out) {
+  const size_t length_at = out->size();
+  util::BufferWriter w(out);
+  w.WriteU32(0);  // payload length backpatched below
+  w.WriteU8(kWireVersion);
+  w.WriteU8(static_cast<uint8_t>(frame.type));
+  switch (frame.type) {
+    case FrameType::kHello:
+      w.WriteString(frame.tenant);
+      w.WriteString(frame.auth_token);
+      break;
+    case FrameType::kBegin:
+      w.WriteU64(frame.session);
+      w.WriteI32(frame.source);
+      w.WriteI32(frame.destination);
+      w.WriteI32(frame.time_slot);
+      break;
+    case FrameType::kPush:
+      w.WriteU64(frame.session);
+      w.WriteU64(frame.seq);
+      w.WriteU64(frame.wire_seq);
+      w.WriteI32(frame.segment);
+      break;
+    case FrameType::kEnd:
+      w.WriteU64(frame.session);
+      break;
+    case FrameType::kPoll:
+      w.WriteU64(frame.session);
+      w.WriteU64(frame.token);
+      break;
+    case FrameType::kScoreDelta:
+      w.WriteU64(frame.session);
+      w.WriteU64(frame.token);
+      w.WriteF64s(frame.scores);
+      break;
+    case FrameType::kPushReject:
+      w.WriteU64(frame.session);
+      w.WriteU64(frame.seq);
+      w.WriteU64(frame.wire_seq);
+      w.WriteU8(static_cast<uint8_t>(frame.reason));
+      break;
+    case FrameType::kError:
+      w.WriteU8(static_cast<uint8_t>(frame.code));
+      w.WriteString(frame.message);
+      break;
+  }
+  const uint32_t payload =
+      static_cast<uint32_t>(out->size() - length_at - sizeof(uint32_t));
+  std::memcpy(out->data() + length_at, &payload, sizeof(payload));
+}
+
+util::StatusOr<Frame> DecodeFramePayload(const uint8_t* payload, size_t size) {
+  util::BufferReader r(payload, size);
+  const uint8_t version = r.ReadU8();
+  const uint8_t type = r.ReadU8();
+  if (!r.ok()) {
+    return util::Status::InvalidArgument("frame shorter than its header");
+  }
+  if (version != kWireVersion) {
+    return util::Status::InvalidArgument(
+        "unsupported wire version " + std::to_string(version));
+  }
+  Frame frame;
+  frame.type = static_cast<FrameType>(type);
+  switch (frame.type) {
+    case FrameType::kHello:
+      frame.tenant = r.ReadString();
+      frame.auth_token = r.ReadString();
+      break;
+    case FrameType::kBegin:
+      frame.session = r.ReadU64();
+      frame.source = r.ReadI32();
+      frame.destination = r.ReadI32();
+      frame.time_slot = r.ReadI32();
+      break;
+    case FrameType::kPush:
+      frame.session = r.ReadU64();
+      frame.seq = r.ReadU64();
+      frame.wire_seq = r.ReadU64();
+      frame.segment = r.ReadI32();
+      break;
+    case FrameType::kEnd:
+      frame.session = r.ReadU64();
+      break;
+    case FrameType::kPoll:
+      frame.session = r.ReadU64();
+      frame.token = r.ReadU64();
+      break;
+    case FrameType::kScoreDelta:
+      frame.session = r.ReadU64();
+      frame.token = r.ReadU64();
+      frame.scores = r.ReadF64s();
+      break;
+    case FrameType::kPushReject: {
+      frame.session = r.ReadU64();
+      frame.seq = r.ReadU64();
+      frame.wire_seq = r.ReadU64();
+      const uint8_t reason = r.ReadU8();
+      if (r.ok() && !ValidReason(reason)) {
+        return util::Status::InvalidArgument("unknown reject reason");
+      }
+      frame.reason = static_cast<RejectReason>(reason);
+      break;
+    }
+    case FrameType::kError: {
+      const uint8_t code = r.ReadU8();
+      if (r.ok() && !ValidErrorCode(code)) {
+        return util::Status::InvalidArgument("unknown error code");
+      }
+      frame.code = static_cast<ErrorCode>(code);
+      frame.message = r.ReadString();
+      break;
+    }
+    default:
+      return util::Status::InvalidArgument("unknown frame type " +
+                                           std::to_string(type));
+  }
+  if (!r.ok()) return util::Status::InvalidArgument("truncated frame payload");
+  if (r.remaining() != 0) {
+    return util::Status::InvalidArgument("trailing bytes after frame payload");
+  }
+  return frame;
+}
+
+void FrameDecoder::Feed(const uint8_t* data, size_t size) {
+  if (!status_.ok()) return;  // poisoned: drop everything
+  // Reclaim consumed prefix before growing, so a long-lived connection's
+  // buffer stays the size of one partial frame, not the whole history.
+  if (consumed_ > 0) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<int64_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data, data + size);
+}
+
+bool FrameDecoder::Next(Frame* frame) {
+  if (!status_.ok()) return false;
+  if (buffer_.size() - consumed_ < sizeof(uint32_t)) return false;
+  uint32_t payload_len = 0;
+  std::memcpy(&payload_len, buffer_.data() + consumed_, sizeof(payload_len));
+  if (payload_len > kMaxFramePayload) {
+    status_ = util::Status::InvalidArgument(
+        "frame payload " + std::to_string(payload_len) + " exceeds cap " +
+        std::to_string(kMaxFramePayload));
+    return false;
+  }
+  if (buffer_.size() - consumed_ < sizeof(uint32_t) + payload_len) {
+    return false;  // wait for the rest of the payload
+  }
+  util::StatusOr<Frame> decoded = DecodeFramePayload(
+      buffer_.data() + consumed_ + sizeof(uint32_t), payload_len);
+  if (!decoded.ok()) {
+    status_ = decoded.status();
+    return false;
+  }
+  consumed_ += sizeof(uint32_t) + payload_len;
+  *frame = std::move(decoded).value();
+  return true;
+}
+
+}  // namespace net
+}  // namespace causaltad

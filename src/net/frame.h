@@ -1,0 +1,127 @@
+#ifndef CAUSALTAD_NET_FRAME_H_
+#define CAUSALTAD_NET_FRAME_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "roadnet/road_network.h"
+#include "util/status.h"
+
+namespace causaltad {
+namespace net {
+
+/// Wire protocol version emitted by EncodeFrame and required by the
+/// decoder. Bump on any payload layout change; the decoder rejects frames
+/// from other versions with a clean error instead of misparsing them.
+inline constexpr uint8_t kWireVersion = 1;
+
+/// Hard cap on a frame's payload (version + type + fields). An incoming
+/// length prefix above this is a protocol error — the decoder fails fast
+/// instead of buffering an attacker-chosen allocation.
+inline constexpr uint32_t kMaxFramePayload = 1u << 20;  // 1 MiB
+
+/// Message kinds. kHello..kPoll flow client -> server; kScoreDelta,
+/// kPushReject, and kError flow server -> client. See src/net/README.md for
+/// the full wire-format table.
+enum class FrameType : uint8_t {
+  kHello = 1,       // tenant handshake: {tenant, auth_token}
+  kBegin = 2,       // open session: {session, source, destination, time_slot}
+  kPush = 3,        // next observed point: {session, seq, wire_seq, segment}
+  kEnd = 4,         // no more pushes for {session}
+  kPoll = 5,        // request a ScoreDelta for {session}; echoes {token}
+  kScoreDelta = 6,  // {session, token, scores[]} — scores since last Poll
+  kPushReject = 7,  // {session, seq, wire_seq, reason} — point NOT enqueued
+  kError = 8,       // {code, message} — connection closes after terminal ones
+};
+
+/// Why a Push was rejected (the wire mapping of serve::PushStatus plus the
+/// server-side quota and ordering rejections).
+enum class RejectReason : uint8_t {
+  kSessionFull = 1,  // serve::PushStatus::kSessionFull — backpressure, retry
+  kShardFull = 2,    // serve::PushStatus::kShardFull — shard shedding load
+  kQuota = 3,        // per-tenant unscored-point quota hit before the shard
+  kOutOfOrder = 4,   // seq gap: an earlier push of this session was rejected
+  kShutdown = 5,     // serve::PushStatus::kShutdown — terminal, do not retry
+};
+
+/// Connection-fatal protocol failures carried by kError frames.
+enum class ErrorCode : uint8_t {
+  kAuthRequired = 1,     // first frame was not Hello
+  kAuthFailed = 2,       // unknown tenant or bad token
+  kUnknownSession = 3,   // Begin never seen (or already forgotten)
+  kDuplicateSession = 4, // Begin reused a live client session id
+  kInvalidSegment = 5,   // segment id out of range / not a legal successor
+  kProtocol = 6,         // malformed frame or bad message sequence
+  kShuttingDown = 7,     // server is stopping
+};
+
+const char* RejectReasonName(RejectReason reason);
+const char* ErrorCodeName(ErrorCode code);
+
+/// One decoded wire message: the type tag plus the union of all message
+/// fields (unused fields keep their defaults — a tagged struct keeps the
+/// encode/decode table in one place and the property test exhaustive).
+struct Frame {
+  FrameType type = FrameType::kError;
+
+  uint64_t session = 0;   // Begin/Push/End/Poll/ScoreDelta/PushReject
+  uint64_t seq = 0;       // Push/PushReject: per-session push sequence
+  uint64_t wire_seq = 0;  // Push/PushReject: unique per transmission (retries
+                          // get a fresh one, so a client can drop stale
+                          // rejects for points it has already resent)
+  uint64_t token = 0;     // Poll/ScoreDelta: client-chosen, echoed verbatim
+
+  roadnet::SegmentId segment = roadnet::kInvalidSegment;      // Push
+  roadnet::SegmentId source = roadnet::kInvalidSegment;       // Begin
+  roadnet::SegmentId destination = roadnet::kInvalidSegment;  // Begin
+  int32_t time_slot = 0;                                      // Begin
+
+  std::string tenant;      // Hello
+  std::string auth_token;  // Hello
+
+  std::vector<double> scores;  // ScoreDelta
+
+  RejectReason reason = RejectReason::kSessionFull;  // PushReject
+  ErrorCode code = ErrorCode::kProtocol;             // Error
+  std::string message;                               // Error
+};
+
+/// Appends the complete wire encoding of `frame` — u32 little-endian payload
+/// length, then the payload (u8 version, u8 type, fields) — to `out`.
+void EncodeFrame(const Frame& frame, std::vector<uint8_t>* out);
+
+/// Decodes one payload (the bytes AFTER the length prefix). Fails cleanly on
+/// unknown version/type, truncated fields, or trailing garbage.
+util::StatusOr<Frame> DecodeFramePayload(const uint8_t* payload, size_t size);
+
+/// Incremental frame extractor for a byte stream: Feed() socket bytes in
+/// arbitrary chunks, then drain complete frames with Next(). A malformed
+/// frame (oversized length prefix, bad version, truncated payload, unknown
+/// type) poisons the decoder — Next() returns the error from then on, and
+/// the connection should be closed; resynchronizing inside a corrupt
+/// length-prefixed stream is not possible.
+class FrameDecoder {
+ public:
+  void Feed(const uint8_t* data, size_t size);
+
+  /// True: a complete frame was decoded into *frame. False: either more
+  /// bytes are needed (status() stays OK) or the stream is corrupt
+  /// (status() holds the error).
+  bool Next(Frame* frame);
+
+  const util::Status& status() const { return status_; }
+
+  /// Bytes buffered but not yet consumed by Next().
+  size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::vector<uint8_t> buffer_;
+  size_t consumed_ = 0;
+  util::Status status_;
+};
+
+}  // namespace net
+}  // namespace causaltad
+
+#endif  // CAUSALTAD_NET_FRAME_H_

@@ -1,0 +1,605 @@
+#include "net/server.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace causaltad {
+namespace net {
+namespace {
+
+void SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void SetNoDelay(int fd) {
+  // Best effort: fails harmlessly on AF_UNIX loopback pairs.
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+// Scores per ScoreDelta frame: 64 KiB of payload, far under the 1 MiB
+// frame cap, so a session's unpolled backlog of any size streams back as a
+// sequence of decodable frames.
+constexpr size_t kMaxScoresPerDelta = 8192;
+
+}  // namespace
+
+Server::Server(serve::StreamingService* service, ServerOptions options)
+    : service_(service), options_(std::move(options)) {
+  CAUSALTAD_CHECK(service != nullptr);
+}
+
+Server::~Server() { Stop(); }
+
+util::Status Server::Start() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (started_) return util::Status::FailedPrecondition("already started");
+  if (pipe2(wake_fds_, O_NONBLOCK | O_CLOEXEC) != 0) {
+    return util::Status::IoError("pipe2 failed: " +
+                                 std::string(std::strerror(errno)));
+  }
+  if (options_.listen_port >= 0) {
+    listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+    if (listen_fd_ < 0) {
+      return util::Status::IoError("socket failed: " +
+                                   std::string(std::strerror(errno)));
+    }
+    int one = 1;
+    setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(options_.listen_port));
+    if (inet_pton(AF_INET, options_.listen_host.c_str(), &addr.sin_addr) !=
+        1) {
+      return util::Status::InvalidArgument("bad listen_host " +
+                                           options_.listen_host);
+    }
+    if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+            0 ||
+        listen(listen_fd_, 64) != 0) {
+      const std::string err = std::strerror(errno);
+      close(listen_fd_);
+      listen_fd_ = -1;
+      return util::Status::IoError("bind/listen failed: " + err);
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+    port_ = ntohs(bound.sin_port);
+  }
+  started_ = true;
+  stop_.store(false, std::memory_order_release);
+  loop_ = std::thread([this] { Loop(); });
+  return util::Status::Ok();
+}
+
+void Server::Stop() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (!started_) return;
+  stop_.store(true, std::memory_order_release);
+  const char byte = 1;
+  [[maybe_unused]] ssize_t n = write(wake_fds_[1], &byte, 1);
+  if (loop_.joinable()) loop_.join();
+  // Loop has exited: close everything it owned and end the sessions the
+  // dead connections still held, so the service releases their rows.
+  for (auto& conn : connections_) {
+    if (conn->fd >= 0) CloseConnection(conn.get());
+  }
+  connections_.clear();
+  connections_active_.store(0, std::memory_order_relaxed);
+  // Best-effort orphan drain of scores already emitted (no waiting: the
+  // service may keep scoring queued points after we return).
+  DrainOrphans();
+  {
+    std::lock_guard<std::mutex> pending_lock(pending_mu_);
+    for (const int fd : pending_fds_) close(fd);
+    pending_fds_.clear();
+  }
+  if (listen_fd_ >= 0) close(listen_fd_);
+  listen_fd_ = -1;
+  close(wake_fds_[0]);
+  close(wake_fds_[1]);
+  wake_fds_[0] = wake_fds_[1] = -1;
+  started_ = false;
+}
+
+int Server::AddLoopbackConnection() {
+  int fds[2];
+  CAUSALTAD_CHECK_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0)
+      << "socketpair failed: " << std::strerror(errno);
+  SetNonBlocking(fds[0]);
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    pending_fds_.push_back(fds[0]);
+  }
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    if (started_) {
+      const char byte = 1;
+      [[maybe_unused]] ssize_t n = write(wake_fds_[1], &byte, 1);
+    }
+  }
+  return fds[1];
+}
+
+void Server::AdoptPending() {
+  std::vector<int> adopted;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    adopted.swap(pending_fds_);
+  }
+  for (const int fd : adopted) {
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    connections_.push_back(std::move(conn));
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    connections_active_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Server::AcceptTcp() {
+  while (true) {
+    const int fd = accept4(listen_fd_, nullptr, nullptr,
+                           SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) break;
+    SetNoDelay(fd);
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    connections_.push_back(std::move(conn));
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    connections_active_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Server::Loop() {
+  std::vector<pollfd> fds;
+  std::vector<Connection*> polled;
+  while (!stop_.load(std::memory_order_acquire)) {
+    AdoptPending();
+
+    fds.clear();
+    polled.clear();
+    fds.push_back({wake_fds_[0], POLLIN, 0});
+    if (listen_fd_ >= 0) fds.push_back({listen_fd_, POLLIN, 0});
+    for (auto& conn : connections_) {
+      if (conn->fd < 0) continue;
+      short events = conn->closing ? 0 : POLLIN;
+      if (conn->woff < conn->wbuf.size()) events |= POLLOUT;
+      if (events == 0) {  // closing and fully flushed
+        CloseConnection(conn.get());
+        continue;
+      }
+      fds.push_back({conn->fd, events, 0});
+      polled.push_back(conn.get());
+    }
+    // With orphans pending, tick fast enough to drain their scores as the
+    // service emits them; otherwise just often enough to notice Stop()
+    // races lost to the wake pipe.
+    const int timeout_ms = orphans_.empty() ? 50 : 2;
+    const int ready = poll(fds.data(), fds.size(), timeout_ms);
+    if (ready < 0 && errno != EINTR) break;
+
+    size_t base = 1;
+    if (fds[0].revents & POLLIN) {
+      char buf[64];
+      while (read(wake_fds_[0], buf, sizeof(buf)) > 0) {
+      }
+    }
+    if (listen_fd_ >= 0) {
+      if (fds[base].revents & POLLIN) AcceptTcp();
+      ++base;
+    }
+    for (size_t i = 0; i < polled.size(); ++i) {
+      Connection* conn = polled[i];
+      const short revents = fds[base + i].revents;
+      if (revents & POLLOUT) {
+        if (!FlushWrites(conn)) {
+          CloseConnection(conn);
+          continue;
+        }
+      }
+      if (revents & POLLIN) ReadConnection(conn);
+      if ((revents & (POLLERR | POLLHUP)) && conn->fd >= 0 &&
+          conn->woff >= conn->wbuf.size()) {
+        CloseConnection(conn);
+      }
+    }
+    connections_.erase(
+        std::remove_if(connections_.begin(), connections_.end(),
+                       [](const std::unique_ptr<Connection>& c) {
+                         return c->fd < 0;
+                       }),
+        connections_.end());
+    DrainOrphans();
+  }
+}
+
+void Server::ReadConnection(Connection* conn) {
+  uint8_t buf[64 * 1024];
+  while (conn->fd >= 0 && !conn->closing) {
+    const ssize_t n = recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      bytes_received_.fetch_add(n, std::memory_order_relaxed);
+      conn->decoder.Feed(buf, static_cast<size_t>(n));
+      Frame frame;
+      while (conn->fd >= 0 && !conn->closing && conn->decoder.Next(&frame)) {
+        frames_received_.fetch_add(1, std::memory_order_relaxed);
+        util::Stopwatch dispatch_watch;
+        HandleFrame(conn, frame);
+        dispatch_.Add(dispatch_watch.ElapsedMillis());
+      }
+      if (!conn->decoder.status().ok() && conn->fd >= 0 && !conn->closing) {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        SendError(conn, ErrorCode::kProtocol,
+                  conn->decoder.status().message());
+        conn->closing = true;
+      }
+      if (static_cast<ssize_t>(sizeof(buf)) > n) break;  // drained
+    } else if (n == 0) {
+      CloseConnection(conn);  // peer closed
+      break;
+    } else if (errno == EINTR) {
+      continue;
+    } else {
+      if (errno != EAGAIN && errno != EWOULDBLOCK) CloseConnection(conn);
+      break;
+    }
+  }
+}
+
+void Server::HandleFrame(Connection* conn, const Frame& frame) {
+  if (!conn->authed && frame.type != FrameType::kHello) {
+    auth_failures_.fetch_add(1, std::memory_order_relaxed);
+    SendError(conn, ErrorCode::kAuthRequired, "first frame must be Hello");
+    conn->closing = true;
+    return;
+  }
+  switch (frame.type) {
+    case FrameType::kHello:
+      HandleHello(conn, frame);
+      return;
+    case FrameType::kBegin:
+      HandleBegin(conn, frame);
+      return;
+    case FrameType::kPush:
+      HandlePush(conn, frame);
+      return;
+    case FrameType::kEnd:
+      HandleEnd(conn, frame);
+      return;
+    case FrameType::kPoll:
+      HandlePoll(conn, frame);
+      return;
+    case FrameType::kScoreDelta:
+    case FrameType::kPushReject:
+    case FrameType::kError:
+      break;  // server-to-client frames are not valid requests
+  }
+  protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+  SendError(conn, ErrorCode::kProtocol, "client sent a server-only frame");
+  conn->closing = true;
+}
+
+void Server::HandleHello(Connection* conn, const Frame& frame) {
+  if (conn->authed) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    SendError(conn, ErrorCode::kProtocol, "duplicate Hello");
+    conn->closing = true;
+    return;
+  }
+  if (!options_.tenant_tokens.empty()) {
+    const auto it = options_.tenant_tokens.find(frame.tenant);
+    if (it == options_.tenant_tokens.end() ||
+        it->second != frame.auth_token) {
+      auth_failures_.fetch_add(1, std::memory_order_relaxed);
+      SendError(conn, ErrorCode::kAuthFailed,
+                "unknown tenant or bad token for '" + frame.tenant + "'");
+      conn->closing = true;
+      return;
+    }
+  }
+  conn->authed = true;
+  conn->tenant = frame.tenant;
+}
+
+void Server::HandleBegin(Connection* conn, const Frame& frame) {
+  if (conn->sessions.count(frame.session) != 0) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    SendError(conn, ErrorCode::kDuplicateSession,
+              "session " + std::to_string(frame.session) + " already open");
+    conn->closing = true;
+    return;
+  }
+  if (options_.network != nullptr) {
+    const int64_t n = options_.network->num_segments();
+    if (frame.source < 0 || frame.source >= n || frame.destination < 0 ||
+        frame.destination >= n) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      SendError(conn, ErrorCode::kInvalidSegment,
+                "Begin endpoints out of range");
+      conn->closing = true;
+      return;
+    }
+  }
+  SessionState state;
+  state.inner = service_->BeginSession(frame.source, frame.destination,
+                                       frame.time_slot);
+  conn->sessions.emplace(frame.session, state);
+}
+
+int64_t* Server::TenantPending(const std::string& tenant) {
+  return &tenant_pending_[tenant];
+}
+
+void Server::HandlePush(Connection* conn, const Frame& frame) {
+  const auto it = conn->sessions.find(frame.session);
+  if (it == conn->sessions.end()) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    SendError(conn, ErrorCode::kUnknownSession,
+              "Push for unknown session " + std::to_string(frame.session));
+    conn->closing = true;
+    return;
+  }
+  SessionState& state = it->second;
+  if (state.ended) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    SendError(conn, ErrorCode::kProtocol, "Push after End");
+    conn->closing = true;
+    return;
+  }
+  // In-order admission: once a push is rejected, every later in-flight push
+  // of the session bounces as out-of-order until the client resends from
+  // the gap — the session's accepted stream can never skip a point.
+  if (frame.seq != state.expected_seq) {
+    rejected_out_of_order_.fetch_add(1, std::memory_order_relaxed);
+    SendReject(conn, frame, RejectReason::kOutOfOrder);
+    return;
+  }
+  if (options_.network != nullptr) {
+    const int64_t n = options_.network->num_segments();
+    const bool in_range = frame.segment >= 0 && frame.segment < n;
+    if (!in_range || (state.has_last &&
+                      !options_.network->IsSuccessor(state.last,
+                                                     frame.segment))) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      SendError(conn, ErrorCode::kInvalidSegment,
+                in_range ? "segment is not a legal successor"
+                         : "segment id out of range");
+      conn->closing = true;
+      return;
+    }
+  }
+  // Tenant shed quota, checked before the push reaches a shard: points the
+  // tenant has pushed but not yet drained via Poll count against it.
+  int64_t* pending = TenantPending(conn->tenant);
+  if (options_.tenant_max_pending > 0 &&
+      *pending >= options_.tenant_max_pending) {
+    rejected_quota_.fetch_add(1, std::memory_order_relaxed);
+    SendReject(conn, frame, RejectReason::kQuota);
+    return;
+  }
+  switch (service_->Push(state.inner, frame.segment)) {
+    case serve::PushStatus::kAccepted:
+      ++state.expected_seq;
+      ++state.accepted;
+      ++*pending;
+      state.last = frame.segment;
+      state.has_last = true;
+      pushes_accepted_.fetch_add(1, std::memory_order_relaxed);
+      return;  // accepted pushes are not answered — scores are the ack
+    case serve::PushStatus::kSessionFull:
+      rejected_session_full_.fetch_add(1, std::memory_order_relaxed);
+      SendReject(conn, frame, RejectReason::kSessionFull);
+      return;
+    case serve::PushStatus::kShardFull:
+      rejected_shard_full_.fetch_add(1, std::memory_order_relaxed);
+      SendReject(conn, frame, RejectReason::kShardFull);
+      return;
+    case serve::PushStatus::kShutdown:
+      rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+      SendReject(conn, frame, RejectReason::kShutdown);
+      return;
+  }
+}
+
+void Server::HandleEnd(Connection* conn, const Frame& frame) {
+  const auto it = conn->sessions.find(frame.session);
+  if (it == conn->sessions.end()) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    SendError(conn, ErrorCode::kUnknownSession,
+              "End for unknown session " + std::to_string(frame.session));
+    conn->closing = true;
+    return;
+  }
+  if (it->second.ended) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    SendError(conn, ErrorCode::kProtocol, "duplicate End");
+    conn->closing = true;
+    return;
+  }
+  it->second.ended = true;
+  service_->End(it->second.inner);
+  MaybeForgetSession(conn, frame.session);
+}
+
+void Server::HandlePoll(Connection* conn, const Frame& frame) {
+  std::vector<double> scores;
+  const auto it = conn->sessions.find(frame.session);
+  const bool known = it != conn->sessions.end();
+  if (known) {
+    scores = service_->Poll(it->second.inner);
+    it->second.delivered += static_cast<int64_t>(scores.size());
+    *TenantPending(conn->tenant) -= static_cast<int64_t>(scores.size());
+  }
+  // Unknown sessions get an empty delta: a Poll is ALWAYS answered, so
+  // clients can use it as an ordering barrier (e.g. right after Hello).
+  // A large backlog is split across frames so no delta ever exceeds
+  // kMaxFramePayload; only the LAST chunk echoes the token, so the
+  // client's barrier still means "everything before this has arrived".
+  size_t sent = 0;
+  do {
+    Frame delta;
+    delta.type = FrameType::kScoreDelta;
+    delta.session = frame.session;
+    const size_t chunk = std::min(scores.size() - sent, kMaxScoresPerDelta);
+    delta.scores.assign(scores.begin() + static_cast<int64_t>(sent),
+                        scores.begin() + static_cast<int64_t>(sent + chunk));
+    sent += chunk;
+    if (sent == scores.size()) delta.token = frame.token;
+    SendFrame(conn, delta);
+    // SendFrame may have closed the connection (broken pipe / slow
+    // consumer), invalidating `it` and the session map — stop touching
+    // both.
+    if (conn->fd < 0) return;
+  } while (sent < scores.size());
+  if (known) MaybeForgetSession(conn, frame.session);
+}
+
+void Server::MaybeForgetSession(Connection* conn, uint64_t id) {
+  const auto it = conn->sessions.find(id);
+  if (it == conn->sessions.end()) return;
+  if (it->second.ended && it->second.delivered == it->second.accepted) {
+    conn->sessions.erase(it);
+  }
+}
+
+void Server::SendFrame(Connection* conn, const Frame& frame) {
+  if (conn->fd < 0) return;
+  EncodeFrame(frame, &conn->wbuf);
+  frames_sent_.fetch_add(1, std::memory_order_relaxed);
+  if (!FlushWrites(conn)) {
+    CloseConnection(conn);
+    return;
+  }
+  if (conn->wbuf.size() - conn->woff > options_.max_connection_backlog) {
+    // Slow consumer: it is not reading its deltas; cut it loose instead of
+    // buffering without bound.
+    CloseConnection(conn);
+  }
+}
+
+void Server::SendError(Connection* conn, ErrorCode code,
+                       const std::string& message) {
+  Frame frame;
+  frame.type = FrameType::kError;
+  frame.code = code;
+  frame.message = message;
+  SendFrame(conn, frame);
+}
+
+void Server::SendReject(Connection* conn, const Frame& push,
+                        RejectReason reason) {
+  Frame frame;
+  frame.type = FrameType::kPushReject;
+  frame.session = push.session;
+  frame.seq = push.seq;
+  frame.wire_seq = push.wire_seq;
+  frame.reason = reason;
+  SendFrame(conn, frame);
+}
+
+bool Server::FlushWrites(Connection* conn) {
+  while (conn->woff < conn->wbuf.size()) {
+    const ssize_t n =
+        send(conn->fd, conn->wbuf.data() + conn->woff,
+             conn->wbuf.size() - conn->woff, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->woff += static_cast<size_t>(n);
+      bytes_sent_.fetch_add(n, std::memory_order_relaxed);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    return false;  // broken pipe etc.
+  }
+  if (conn->woff == conn->wbuf.size()) {
+    conn->wbuf.clear();
+    conn->woff = 0;
+  } else if (conn->woff > (1u << 20)) {
+    conn->wbuf.erase(conn->wbuf.begin(),
+                     conn->wbuf.begin() + static_cast<int64_t>(conn->woff));
+    conn->woff = 0;
+  }
+  return true;
+}
+
+void Server::CloseConnection(Connection* conn) {
+  if (conn->fd < 0) return;
+  close(conn->fd);
+  conn->fd = -1;
+  connections_active_.fetch_add(-1, std::memory_order_relaxed);
+  // End the sessions the connection still owns. Their queued points are
+  // still scored; the orphan list keeps polling so the service forgets them
+  // and the tenant's quota drains back.
+  for (auto& [id, state] : conn->sessions) {
+    if (!state.ended) service_->End(state.inner);
+    if (state.accepted > state.delivered || !state.ended) {
+      orphans_.push_back(
+          {state.inner, conn->tenant, state.accepted - state.delivered});
+    }
+  }
+  conn->sessions.clear();
+}
+
+void Server::DrainOrphans() {
+  for (size_t i = 0; i < orphans_.size();) {
+    Orphan& orphan = orphans_[i];
+    const std::vector<double> scores = service_->Poll(orphan.inner);
+    const int64_t n = static_cast<int64_t>(scores.size());
+    orphan.remaining -= n;
+    *TenantPending(orphan.tenant) -= n;
+    if (orphan.remaining <= 0) {
+      orphans_[i] = orphans_.back();
+      orphans_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+}
+
+ServerStats Server::stats() const {
+  ServerStats stats;
+  stats.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  stats.connections_active =
+      connections_active_.load(std::memory_order_relaxed);
+  stats.frames_received = frames_received_.load(std::memory_order_relaxed);
+  stats.frames_sent = frames_sent_.load(std::memory_order_relaxed);
+  stats.bytes_received = bytes_received_.load(std::memory_order_relaxed);
+  stats.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+  stats.pushes_accepted = pushes_accepted_.load(std::memory_order_relaxed);
+  stats.rejected_session_full =
+      rejected_session_full_.load(std::memory_order_relaxed);
+  stats.rejected_shard_full =
+      rejected_shard_full_.load(std::memory_order_relaxed);
+  stats.rejected_quota = rejected_quota_.load(std::memory_order_relaxed);
+  stats.rejected_out_of_order =
+      rejected_out_of_order_.load(std::memory_order_relaxed);
+  stats.rejected_shutdown =
+      rejected_shutdown_.load(std::memory_order_relaxed);
+  stats.auth_failures = auth_failures_.load(std::memory_order_relaxed);
+  stats.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  stats.dispatch_mean_ms = dispatch_.MeanMs();
+  stats.dispatch_p50_ms = dispatch_.Percentile(50.0);
+  stats.dispatch_p95_ms = dispatch_.Percentile(95.0);
+  stats.dispatch_p99_ms = dispatch_.Percentile(99.0);
+  return stats;
+}
+
+}  // namespace net
+}  // namespace causaltad

@@ -1,0 +1,214 @@
+#ifndef CAUSALTAD_NET_SERVER_H_
+#define CAUSALTAD_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/frame.h"
+#include "roadnet/road_network.h"
+#include "serve/service.h"
+#include "util/latency_histogram.h"
+#include "util/status.h"
+
+namespace causaltad {
+namespace net {
+
+/// Wire server knobs. See src/net/README.md for the protocol contract.
+struct ServerOptions {
+  /// TCP listen port on listen_host (0 picks an ephemeral port, read it back
+  /// via port()); -1 disables the listener — loopback-only servers (tests,
+  /// benches) accept connections via AddLoopbackConnection() instead.
+  int listen_port = -1;
+  std::string listen_host = "127.0.0.1";
+  /// Per-tenant auth tokens checked against Hello{tenant, auth_token}. An
+  /// EMPTY map runs the server open (any tenant, any token) — tests and
+  /// local tools; production fills it.
+  std::unordered_map<std::string, std::string> tenant_tokens;
+  /// Per-tenant shed quota: a tenant may have at most this many accepted-
+  /// but-undelivered points (pushed, not yet returned in a ScoreDelta)
+  /// across ALL its connections and sessions. Enforced BEFORE the push
+  /// reaches a StreamingService shard; the rejected push is answered with
+  /// PushReject{quota}. <= 0 disables.
+  int64_t tenant_max_pending = 0;
+  /// Road network for input validation: Begin/Push segment ids are bounds-
+  /// checked and pushed transitions must be legal successors, so a garbage
+  /// producer gets an Error frame instead of CHECK-crashing the fused
+  /// decode. nullptr trusts the producers (map-matched feeds only).
+  const roadnet::RoadNetwork* network = nullptr;
+  /// A connection whose outbound queue exceeds this many bytes (client not
+  /// reading its ScoreDeltas) is dropped as a slow consumer.
+  size_t max_connection_backlog = 8u << 20;
+};
+
+/// Ops counters exported by Server::stats(). Counter fields are cumulative
+/// since construction; dispatch_*_ms summarize the frame-dispatch latency
+/// histogram (frame decoded -> fully handled, the wire-side cost excluding
+/// queue wait inside the service).
+struct ServerStats {
+  int64_t connections_accepted = 0;
+  int64_t connections_active = 0;
+  int64_t frames_received = 0;
+  int64_t frames_sent = 0;
+  int64_t bytes_received = 0;
+  int64_t bytes_sent = 0;
+  int64_t pushes_accepted = 0;
+  int64_t rejected_session_full = 0;
+  int64_t rejected_shard_full = 0;
+  int64_t rejected_quota = 0;
+  int64_t rejected_out_of_order = 0;
+  int64_t rejected_shutdown = 0;
+  int64_t auth_failures = 0;
+  int64_t protocol_errors = 0;
+  double dispatch_mean_ms = 0.0;
+  double dispatch_p50_ms = 0.0;
+  double dispatch_p95_ms = 0.0;
+  double dispatch_p99_ms = 0.0;
+};
+
+/// Wire front-end over a serve::StreamingService: accepts TCP and loopback
+/// (socketpair) connections on a small poll(2) event loop — ONE reader
+/// thread owns every socket, per-connection write queues drain as peers
+/// become writable — and translates frames into StreamingService calls.
+///
+/// Per-connection session namespaces: the client chooses its session ids,
+/// the server maps (connection, client id) -> service SessionId, so
+/// independent producers never coordinate id allocation. Tenant auth is the
+/// mandatory first frame (Hello); per-tenant shed quotas bound the points a
+/// tenant may have in flight before Push ever reaches a shard. Scores are
+/// pulled: a Poll frame is always answered with exactly one ScoreDelta
+/// (possibly empty), which doubles as the client's ordering barrier.
+///
+/// Score parity is exact relative to driving the StreamingService directly:
+/// the server adds no arithmetic, only transport (tests/net_test.cc asserts
+/// 1e-6 relative, the float-ULP bound shared with the other serving layers).
+///
+/// Thread-safety: Start/Stop/AddLoopbackConnection/stats/port may be called
+/// from any thread; all socket and session-map work happens on the loop
+/// thread. The StreamingService is shared and itself thread-safe.
+class Server {
+ public:
+  explicit Server(serve::StreamingService* service, ServerOptions options = {});
+  /// Calls Stop().
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the TCP listener (when listen_port >= 0) and launches the event
+  /// loop thread. Returns an error (and launches nothing) if the bind fails.
+  util::Status Start();
+
+  /// Stops the loop, closes every connection, and ends the sessions they
+  /// still own (their queued points are still scored by the service, then
+  /// drained and discarded). Idempotent.
+  void Stop();
+
+  /// The bound TCP port (valid after a successful Start with a listener).
+  int port() const { return port_; }
+
+  /// Creates a connected socketpair, hands one end to the event loop as a
+  /// new (unauthenticated) connection, and returns the other end for a
+  /// client — the in-process loopback transport used by tests and benches.
+  /// The caller owns the returned fd. Safe before or after Start().
+  int AddLoopbackConnection();
+
+  ServerStats stats() const;
+
+ private:
+  struct SessionState {
+    serve::SessionId inner = -1;
+    uint64_t expected_seq = 0;  // next client push seq accepted in order
+    int64_t accepted = 0;       // pushes the service accepted
+    int64_t delivered = 0;      // scores returned in ScoreDeltas
+    bool ended = false;
+    roadnet::SegmentId last = roadnet::kInvalidSegment;
+    bool has_last = false;
+  };
+
+  struct Connection {
+    int fd = -1;
+    FrameDecoder decoder;
+    std::vector<uint8_t> wbuf;
+    size_t woff = 0;
+    bool authed = false;
+    bool closing = false;  // flush wbuf, then close; reads stop
+    std::string tenant;
+    std::unordered_map<uint64_t, SessionState> sessions;
+  };
+
+  /// A session whose connection died before its scores drained: the loop
+  /// keeps polling it so the service can forget it (and the tenant's quota
+  /// is given back as the remaining scores surface).
+  struct Orphan {
+    serve::SessionId inner = -1;
+    std::string tenant;
+    int64_t remaining = 0;  // accepted - delivered at disconnect
+  };
+
+  void Loop();
+  void AdoptPending();
+  void AcceptTcp();
+  void ReadConnection(Connection* conn);
+  void HandleFrame(Connection* conn, const Frame& frame);
+  void HandleHello(Connection* conn, const Frame& frame);
+  void HandleBegin(Connection* conn, const Frame& frame);
+  void HandlePush(Connection* conn, const Frame& frame);
+  void HandleEnd(Connection* conn, const Frame& frame);
+  void HandlePoll(Connection* conn, const Frame& frame);
+  void SendFrame(Connection* conn, const Frame& frame);
+  void SendError(Connection* conn, ErrorCode code, const std::string& message);
+  void SendReject(Connection* conn, const Frame& push, RejectReason reason);
+  bool FlushWrites(Connection* conn);
+  void CloseConnection(Connection* conn);
+  void DrainOrphans();
+  void MaybeForgetSession(Connection* conn, uint64_t id);
+  int64_t* TenantPending(const std::string& tenant);
+
+  serve::StreamingService* service_;
+  ServerOptions options_;
+
+  int listen_fd_ = -1;
+  int port_ = -1;
+  int wake_fds_[2] = {-1, -1};  // loop wakeup pipe: [read, write]
+  std::thread loop_;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+  std::mutex lifecycle_mu_;  // Start/Stop/AddLoopbackConnection
+
+  std::mutex pending_mu_;
+  std::vector<int> pending_fds_;  // loopback ends awaiting adoption
+
+  // Loop-thread state.
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::unordered_map<std::string, int64_t> tenant_pending_;
+  std::deque<Orphan> orphans_;
+
+  // Stats (atomics: stats() races the loop thread by design).
+  std::atomic<int64_t> connections_accepted_{0};
+  std::atomic<int64_t> connections_active_{0};
+  std::atomic<int64_t> frames_received_{0};
+  std::atomic<int64_t> frames_sent_{0};
+  std::atomic<int64_t> bytes_received_{0};
+  std::atomic<int64_t> bytes_sent_{0};
+  std::atomic<int64_t> pushes_accepted_{0};
+  std::atomic<int64_t> rejected_session_full_{0};
+  std::atomic<int64_t> rejected_shard_full_{0};
+  std::atomic<int64_t> rejected_quota_{0};
+  std::atomic<int64_t> rejected_out_of_order_{0};
+  std::atomic<int64_t> rejected_shutdown_{0};
+  std::atomic<int64_t> auth_failures_{0};
+  std::atomic<int64_t> protocol_errors_{0};
+  util::LatencyHistogram dispatch_;
+};
+
+}  // namespace net
+}  // namespace causaltad
+
+#endif  // CAUSALTAD_NET_SERVER_H_

@@ -93,6 +93,12 @@ SessionId StreamingService::Begin(const traj::Trip& trip) {
 PushStatus StreamingService::Push(SessionId id, roadnet::SegmentId segment) {
   SessionId inner = 0;
   Shard* shard = ShardOf(id, &inner);
+  // The shared lock pins the pre-shutdown world: Shutdown() cannot proceed
+  // to join-and-flush until this enqueue has landed (so it gets scored), and
+  // once Shutdown() holds the lock exclusively every later Push sees
+  // accepting_ == false.
+  std::shared_lock<std::shared_mutex> accepting_lock(accepting_mu_);
+  if (!accepting_) return PushStatus::kShutdown;
   const PushStatus status =
       shard->batcher->TryPush(inner, segment, options_.max_session_pending,
                               options_.max_shard_queued);
@@ -106,6 +112,8 @@ PushStatus StreamingService::Push(SessionId id, roadnet::SegmentId segment) {
     case PushStatus::kShardFull:
       rejected_shard_full_.fetch_add(1, std::memory_order_relaxed);
       break;
+    case PushStatus::kShutdown:
+      break;  // unreachable: the batcher has no lifecycle
   }
   return status;
 }
@@ -139,6 +147,16 @@ void StreamingService::Shutdown() {
   std::lock_guard<std::mutex> lock(shutdown_mu_);
   if (shut_down_) return;
   shut_down_ = true;
+  {
+    // Close admission FIRST, before the pumps are joined and the final
+    // flush runs: any Push already past its accepting_ check finishes its
+    // enqueue before this exclusive lock is granted (so the flush below
+    // scores it), and every Push after it returns kShutdown. Without the
+    // barrier, a push landing between the pump join and the flush — or
+    // after the flush — would be accepted and never scored.
+    std::unique_lock<std::shared_mutex> accepting_lock(accepting_mu_);
+    accepting_ = false;
+  }
   stop_.store(true, std::memory_order_release);
   for (auto& shard : shards_) {
     {

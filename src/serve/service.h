@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <thread>
 #include <vector>
 
@@ -93,7 +94,10 @@ class StreamingService {
   SessionId Begin(const traj::Trip& trip);
 
   /// Queues the session's next observed point, subject to the
-  /// backpressure/shedding bounds. Only kAccepted enqueues.
+  /// backpressure/shedding bounds. Only kAccepted enqueues. After Shutdown()
+  /// has begun, returns the terminal kShutdown instead — a Push racing
+  /// Shutdown either lands before the final flush (and is scored) or is
+  /// rejected; it can never be accepted and then silently dropped.
   PushStatus Push(SessionId id, roadnet::SegmentId segment);
 
   void End(SessionId id);
@@ -134,6 +138,12 @@ class StreamingService {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<uint64_t> next_session_{0};
   std::atomic<bool> stop_{false};
+  // Push holds this shared; Shutdown takes it exclusive to flip accepting_
+  // BEFORE joining the pumps and flushing. An in-flight Push therefore
+  // either enqueues before the flush (scored) or observes accepting_ ==
+  // false (kShutdown) — accepted-but-never-scored is impossible.
+  std::shared_mutex accepting_mu_;
+  bool accepting_ = true;
   bool shut_down_ = false;
   mutable std::mutex shutdown_mu_;
   std::atomic<int64_t> sessions_begun_{0};

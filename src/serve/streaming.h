@@ -52,6 +52,10 @@ enum class PushStatus {
   kAccepted,
   kSessionFull,
   kShardFull,
+  /// Terminal: the StreamingService has shut down — the point was not
+  /// enqueued and never will be. Only the service returns this (the batcher
+  /// has no lifecycle); producers must stop feeding the session.
+  kShutdown,
 };
 
 class StreamingBatcher;

@@ -1,5 +1,6 @@
 #include "util/binary_io.h"
 
+#include <cstring>
 #include <limits>
 
 namespace causaltad {
@@ -148,6 +149,83 @@ std::vector<int64_t> BinaryReader::ReadI64s() {
   }
   std::vector<int64_t> v(n);
   ReadRaw(v.data(), n * sizeof(int64_t));
+  return v;
+}
+
+void BufferWriter::WriteRaw(const void* data, size_t n) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  out_->insert(out_->end(), bytes, bytes + n);
+}
+
+void BufferWriter::WriteString(const std::string& s) {
+  WriteU32(static_cast<uint32_t>(s.size()));
+  WriteRaw(s.data(), s.size());
+}
+
+void BufferWriter::WriteF64s(const std::vector<double>& v) {
+  WriteU32(static_cast<uint32_t>(v.size()));
+  WriteRaw(v.data(), v.size() * sizeof(double));
+}
+
+bool BufferReader::Take(void* out, size_t n) {
+  if (!ok_ || n > size_ - pos_) {
+    ok_ = false;
+    return false;
+  }
+  std::memcpy(out, data_ + pos_, n);
+  pos_ += n;
+  return true;
+}
+
+uint8_t BufferReader::ReadU8() {
+  uint8_t v = 0;
+  Take(&v, sizeof(v));
+  return v;
+}
+
+uint32_t BufferReader::ReadU32() {
+  uint32_t v = 0;
+  Take(&v, sizeof(v));
+  return v;
+}
+
+uint64_t BufferReader::ReadU64() {
+  uint64_t v = 0;
+  Take(&v, sizeof(v));
+  return v;
+}
+
+int32_t BufferReader::ReadI32() {
+  int32_t v = 0;
+  Take(&v, sizeof(v));
+  return v;
+}
+
+double BufferReader::ReadF64() {
+  double v = 0.0;
+  Take(&v, sizeof(v));
+  return v;
+}
+
+std::string BufferReader::ReadString() {
+  const uint32_t n = ReadU32();
+  if (!ok_ || n > remaining()) {
+    ok_ = false;
+    return "";
+  }
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+std::vector<double> BufferReader::ReadF64s() {
+  const uint32_t n = ReadU32();
+  if (!ok_ || static_cast<size_t>(n) * sizeof(double) > remaining()) {
+    ok_ = false;
+    return {};
+  }
+  std::vector<double> v(n);
+  Take(v.data(), static_cast<size_t>(n) * sizeof(double));
   return v;
 }
 

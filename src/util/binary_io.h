@@ -73,6 +73,59 @@ class BinaryReader {
   Status status_;
 };
 
+/// In-memory little-endian writer appending to a caller-owned byte buffer.
+/// The buffer twin of BinaryWriter, used where bytes go to a socket instead
+/// of a file (the src/net/ wire frames). Containers carry u32 length
+/// prefixes — wire messages are small and bounded, unlike checkpoints.
+class BufferWriter {
+ public:
+  explicit BufferWriter(std::vector<uint8_t>* out) : out_(out) {}
+
+  void WriteU8(uint8_t v) { out_->push_back(v); }
+  void WriteU32(uint32_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteU64(uint64_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteI32(int32_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteF64(double v) { WriteRaw(&v, sizeof(v)); }
+
+  /// u32 length prefix + raw bytes.
+  void WriteString(const std::string& s);
+  /// u32 count prefix + raw doubles.
+  void WriteF64s(const std::vector<double>& v);
+
+ private:
+  void WriteRaw(const void* data, size_t n);
+
+  std::vector<uint8_t>* out_;
+};
+
+/// Bounded in-memory reader over a byte span; the decode twin of
+/// BufferWriter. Never reads past the end: the first short or malformed read
+/// flips ok() and every later read returns a zero value, so frame decoding
+/// over untrusted network bytes cannot over-read or crash.
+class BufferReader {
+ public:
+  BufferReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return size_ - pos_; }
+
+  uint8_t ReadU8();
+  uint32_t ReadU32();
+  uint64_t ReadU64();
+  int32_t ReadI32();
+  double ReadF64();
+  std::string ReadString();
+  std::vector<double> ReadF64s();
+
+ private:
+  bool Take(void* out, size_t n);
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
 }  // namespace util
 }  // namespace causaltad
 

@@ -26,6 +26,14 @@ double BucketMidpoint(int bucket) {
 
 void LatencyHistogram::Add(double ms) {
   buckets_[BucketOf(ms)].fetch_add(1, std::memory_order_relaxed);
+  sum_us_.fetch_add(std::llround(std::max(ms, 0.0) * 1000.0),
+                    std::memory_order_relaxed);
+}
+
+double LatencyHistogram::MeanMs() const {
+  const int64_t total = TotalCount();
+  if (total == 0) return 0.0;
+  return sum_us_.load(std::memory_order_relaxed) / 1000.0 / total;
 }
 
 int64_t LatencyHistogram::TotalCount() const {
@@ -57,6 +65,7 @@ double LatencyHistogram::Percentile(double p) const {
 
 void LatencyHistogram::Reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  sum_us_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace util

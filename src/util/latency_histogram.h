@@ -25,6 +25,11 @@ class LatencyHistogram {
   /// Total samples recorded.
   int64_t TotalCount() const;
 
+  /// Exact mean of the recorded latencies in ms (µs resolution per sample,
+  /// unlike the bucketed percentiles). 0 when empty. The wire server reports
+  /// it next to the percentiles for per-frame dispatch accounting.
+  double MeanMs() const;
+
   /// Approximate value (ms) at percentile p in [0, 100]: the geometric
   /// midpoint of the bucket holding the p-th sample. 0 when empty.
   double Percentile(double p) const;
@@ -33,6 +38,7 @@ class LatencyHistogram {
 
  private:
   std::array<std::atomic<int64_t>, kNumBuckets> buckets_{};
+  std::atomic<int64_t> sum_us_{0};
 };
 
 }  // namespace util

@@ -202,6 +202,48 @@ TEST(BinaryIoTest, RejectsBadMagicAndVersion) {
   std::remove(path.c_str());
 }
 
+TEST(BufferIoTest, RoundTripAllTypes) {
+  std::vector<uint8_t> bytes;
+  BufferWriter w(&bytes);
+  w.WriteU8(0xab);
+  w.WriteU32(7);
+  w.WriteU64(1ull << 40);
+  w.WriteI32(-42);
+  w.WriteF64(3.5);
+  w.WriteString("hello");
+  w.WriteF64s({1.5, -2.5});
+
+  BufferReader r(bytes.data(), bytes.size());
+  EXPECT_EQ(r.ReadU8(), 0xab);
+  EXPECT_EQ(r.ReadU32(), 7u);
+  EXPECT_EQ(r.ReadU64(), 1ull << 40);
+  EXPECT_EQ(r.ReadI32(), -42);
+  EXPECT_EQ(r.ReadF64(), 3.5);
+  EXPECT_EQ(r.ReadString(), "hello");
+  EXPECT_EQ(r.ReadF64s(), (std::vector<double>{1.5, -2.5}));
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(BufferIoTest, NeverReadsPastTheEnd) {
+  std::vector<uint8_t> bytes;
+  BufferWriter w(&bytes);
+  w.WriteU32(5);  // looks like a 5-byte string length...
+  w.WriteU8('x');  // ...but only one byte follows
+
+  BufferReader r(bytes.data(), bytes.size());
+  EXPECT_EQ(r.ReadString(), "");
+  EXPECT_FALSE(r.ok());
+  // Every later read on a failed reader returns a zero value.
+  EXPECT_EQ(r.ReadU64(), 0u);
+  EXPECT_TRUE(r.ReadF64s().empty());
+
+  // A container length that would overflow the remaining bytes fails too.
+  BufferReader r2(bytes.data(), bytes.size());
+  EXPECT_TRUE(r2.ReadF64s().empty());
+  EXPECT_FALSE(r2.ok());
+}
+
 TEST(ParallelPoolTest, GrowsAfterSetParallelThreads) {
   // Regression: Pool::Instance() used to freeze its worker count at the
   // knob in force on the FIRST ParallelFor — raising the knob afterwards
@@ -246,8 +288,12 @@ TEST(LatencyHistogramTest, PercentilesWithinBucketResolution) {
   EXPECT_LE(hist.Percentile(50.0), hist.Percentile(95.0));
   EXPECT_LE(hist.Percentile(95.0), hist.Percentile(100.0));
 
+  // The mean is exact (µs resolution), not bucket-quantized.
+  EXPECT_NEAR(hist.MeanMs(), (99.0 * 1.0 + 100.0) / 100.0, 1e-9);
+
   hist.Reset();
   EXPECT_EQ(hist.TotalCount(), 0);
+  EXPECT_EQ(hist.MeanMs(), 0.0);
 
   // Out-of-range samples clamp to the end buckets instead of indexing out.
   hist.Add(-3.0);
