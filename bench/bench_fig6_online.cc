@@ -38,6 +38,15 @@
 // per-frame dispatch p99, and the same per-point parity bound (wire scores
 // must match Score(trip, k) like every other serving layer).
 //
+// A fifth section ("fig6_fault") reruns the wire path under the
+// deterministic net::FaultInjector at 0% / 1% / 5% per-operation fault
+// rates (drop + duplicate + truncate split evenly, kills at a tenth of the
+// rate, short writes and delays at the full rate) with a reconnecting
+// client: throughput under faults, reconnect count, go-back-N + resume
+// retransmissions, deduped redeliveries, and the last outage's recovery
+// time — with the SAME per-point parity bound as the clean runs, because
+// session continuity must not change a single score.
+//
 // Environment knobs:
 //   CAUSALTAD_BENCH_SCALE=smoke|default|full   experiment scale
 //   CAUSALTAD_FIG6_METHODS=a,b,c               quality-panel method filter
@@ -63,6 +72,7 @@
 #include "eval/metrics.h"
 #include "models/scorer.h"
 #include "net/client.h"
+#include "net/fault.h"
 #include "net/server.h"
 #include "serve/service.h"
 #include "serve/streaming.h"
@@ -493,10 +503,167 @@ WireRow MeasureWire(const std::string& city, const CausalTad* causal,
   return row;
 }
 
+// ---------------------------------------------------------------------------
+// Faulted wire path: the same client -> server -> service loopback, with a
+// deterministic FaultInjector at both socket boundaries and the client's
+// session continuity (reconnect + prefix replay) turned on.
+// ---------------------------------------------------------------------------
+
+struct FaultRow {
+  std::string city;
+  double fault_pct = 0.0;  // per-send fault probability, percent
+  int64_t trips = 0;
+  int64_t points = 0;
+  double pps = 0.0;           // client-observed, faults + recoveries included
+  int64_t faults_fired = 0;   // injector total (both endpoints)
+  int64_t reconnects = 0;     // outages survived
+  int64_t retransmits = 0;    // go-back-N + resume replays
+  int64_t dup_scores = 0;     // redeliveries dropped by the dedupe
+  double recovery_ms = 0.0;   // last outage: first failure -> resumed
+  double max_abs_diff = 0.0;  // faulted wire scores vs Score(trip, k)
+};
+
+FaultRow MeasureFault(const std::string& city, const CausalTad* causal,
+                      const causaltad::roadnet::RoadNetwork* network,
+                      const std::vector<Trip>& trips,
+                      const std::vector<std::vector<double>>& reference,
+                      double fault_pct) {
+  FaultRow row;
+  row.city = city;
+  row.fault_pct = fault_pct;
+  row.trips = static_cast<int64_t>(trips.size());
+  for (const Trip& trip : trips) row.points += trip.route.size();
+
+  const double f = fault_pct / 100.0;
+  constexpr int kReps = 2;
+  std::vector<std::vector<double>> streamed(trips.size());
+  double best = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    causaltad::net::FaultOptions fault_options;
+    fault_options.drop_rate = f / 3.0;
+    fault_options.dup_rate = f / 3.0;
+    fault_options.truncate_rate = f / 3.0;
+    fault_options.short_write_rate = f;
+    fault_options.kill_rate = f / 10.0;
+    fault_options.delay_rate = f;
+    fault_options.delay_ms = 0.05;
+    fault_options.seed = 0;  // CAUSALTAD_FAULT_SEED, or the fixed default
+    causaltad::net::FaultInjector injector(fault_options);
+
+    causaltad::serve::StreamingService service(causal,
+                                               BenchServiceOptions());
+    causaltad::net::ServerOptions server_options;
+    server_options.network = network;
+    server_options.detached_linger_ms = 60000.0;  // outages park, not expire
+    server_options.fault = &injector;
+    causaltad::net::Server server(&service, server_options);
+    if (!server.Start().ok()) {
+      std::fprintf(stderr, "fault bench: server failed to start\n");
+      row.max_abs_diff = 1.0;
+      return row;
+    }
+
+    causaltad::net::ClientOptions client_options;
+    client_options.max_inflight = 64;
+    client_options.timeout_ms = 60000.0;
+    client_options.reconnect = true;
+    client_options.client_id = 5;
+    client_options.max_reconnect_attempts = 64;
+    client_options.reconnect_base_ms = 1.0;
+    client_options.reconnect_max_ms = 50.0;
+    client_options.fault = &injector;
+    client_options.dialer = [&server] {
+      return server.AddLoopbackConnection();
+    };
+    auto client = causaltad::net::Client::FromFd(
+        server.AddLoopbackConnection(), client_options);
+    if (!client->Hello().ok()) {
+      std::fprintf(stderr, "fault bench: hello failed: %s\n",
+                   client->status().ToString().c_str());
+      row.max_abs_diff = 1.0;
+      return row;
+    }
+
+    // Waves of 8 concurrent sessions: a resume handshake re-establishes
+    // every live session, so unbounded concurrency makes the handshake
+    // itself long enough that at 5% some fault always lands inside it and
+    // no recovery attempt can ever complete. Real producers bound their
+    // in-flight trips for the same reason.
+    constexpr size_t kWave = 8;
+    causaltad::util::Stopwatch watch;
+    std::vector<std::vector<double>> rep_scores(trips.size());
+    for (size_t base = 0; base < trips.size(); base += kWave) {
+      const size_t end = std::min(base + kWave, trips.size());
+      std::vector<uint64_t> ids(end - base);
+      for (size_t i = base; i < end; ++i) {
+        ids[i - base] = client->Begin(trips[i].route.segments.front(),
+                                      trips[i].route.segments.back(),
+                                      trips[i].time_slot);
+      }
+      std::vector<size_t> fed(end - base, 0);
+      bool done = false;
+      while (!done) {
+        done = true;
+        for (size_t i = base; i < end; ++i) {
+          const auto& segments = trips[i].route.segments;
+          if (fed[i - base] >= segments.size()) continue;
+          if (!client->Push(ids[i - base], segments[fed[i - base]]).ok()) {
+            std::fprintf(stderr, "fault bench: push failed: %s\n",
+                         client->status().ToString().c_str());
+            row.max_abs_diff = 1.0;
+            return row;
+          }
+          if (++fed[i - base] < segments.size()) done = false;
+        }
+      }
+      for (size_t i = base; i < end; ++i) {
+        auto finished = client->Finish(ids[i - base]);
+        if (!finished.ok()) {
+          std::fprintf(stderr, "fault bench: finish failed: %s\n",
+                       finished.status().ToString().c_str());
+          row.max_abs_diff = 1.0;
+          return row;
+        }
+        rep_scores[i] = *std::move(finished);
+      }
+    }
+    const double elapsed = watch.ElapsedSeconds();
+    if (rep == 0 || elapsed < best) {
+      best = elapsed;
+      streamed = std::move(rep_scores);
+      const causaltad::net::ClientStats cs = client->stats();
+      row.reconnects = cs.reconnects;
+      row.retransmits = cs.retransmits;
+      row.dup_scores = cs.dup_scores;
+      row.recovery_ms = cs.last_recovery_ms;
+      const causaltad::net::FaultStats fs = injector.stats();
+      row.faults_fired = fs.drops + fs.dups + fs.truncates +
+                         fs.short_writes + fs.kills + fs.delays;
+    }
+    server.Stop();
+    service.Shutdown();
+  }
+  row.pps = row.points / std::max(best, 1e-12);
+  for (size_t i = 0; i < trips.size(); ++i) {
+    for (size_t k = 0; k < reference[i].size() && k < streamed[i].size();
+         ++k) {
+      row.max_abs_diff = std::max(
+          row.max_abs_diff, std::abs(streamed[i][k] - reference[i][k]));
+    }
+    if (streamed[i].size() != reference[i].size()) {
+      std::fprintf(stderr, "fault bench: trip %zu got %zu/%zu scores\n", i,
+                   streamed[i].size(), reference[i].size());
+      row.max_abs_diff = 1.0;  // poison the parity bound: scores were lost
+    }
+  }
+  return row;
+}
+
 void WriteJson(const std::string& path, causaltad::eval::Scale scale,
                const std::vector<ThroughputRow>& rows,
                const std::vector<ServiceRow>& service_rows,
-               const std::vector<WireRow>& wire_rows) {
+               const std::vector<WireRow>& wire_rows,
+               const std::vector<FaultRow>& fault_rows) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -554,6 +721,24 @@ void WriteJson(const std::string& path, causaltad::eval::Scale scale,
         static_cast<long long>(r.rejected_session_full), r.dispatch_p99_ms,
         r.max_abs_diff, i + 1 < wire_rows.size() ? "," : "");
   }
+  std::fprintf(f, "  ],\n  \"fig6_fault\": [\n");
+  for (size_t i = 0; i < fault_rows.size(); ++i) {
+    const FaultRow& r = fault_rows[i];
+    std::fprintf(
+        f,
+        "    {\"city\": \"%s\", \"fault_pct\": %.1f, \"trips\": %lld, "
+        "\"points\": %lld, \"pps\": %.0f, \"faults_fired\": %lld, "
+        "\"reconnects\": %lld, \"retransmits\": %lld, "
+        "\"dup_scores\": %lld, \"recovery_ms\": %.3f, "
+        "\"max_abs_diff\": %.3g}%s\n",
+        r.city.c_str(), r.fault_pct, static_cast<long long>(r.trips),
+        static_cast<long long>(r.points), r.pps,
+        static_cast<long long>(r.faults_fired),
+        static_cast<long long>(r.reconnects),
+        static_cast<long long>(r.retransmits),
+        static_cast<long long>(r.dup_scores), r.recovery_ms, r.max_abs_diff,
+        i + 1 < fault_rows.size() ? "," : "");
+  }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n", path.c_str());
@@ -582,6 +767,7 @@ int main() {
   std::vector<ThroughputRow> rows;
   std::vector<ServiceRow> service_rows;
   std::vector<WireRow> wire_rows;
+  std::vector<FaultRow> fault_rows;
   TablePrinter table({"City", "Method", "rescore p/s", "increm p/s",
                       "batcher p/s", "speedup", "max diff"});
   bool printed_header = false;
@@ -680,6 +866,23 @@ int main() {
     wire_rows.push_back(MeasureWire(panel.config.name, causal,
                                     &data.city.network, service_trips,
                                     service_reference, inproc_pps));
+
+    // Faulted reruns: a smaller trip set (recoveries stretch wall clock),
+    // its own checkpointed reference, 0% as the like-for-like baseline.
+    const auto fault_trips = Subsample(data.id_test, 40, 44);
+    std::vector<std::vector<int64_t>> fault_checkpoints(fault_trips.size());
+    for (size_t i = 0; i < fault_trips.size(); ++i) {
+      for (int64_t k = 1; k <= fault_trips[i].route.size(); ++k) {
+        fault_checkpoints[i].push_back(k);
+      }
+    }
+    const auto fault_reference =
+        causal->ScoreCheckpoints(fault_trips, fault_checkpoints);
+    for (const double pct : {0.0, 1.0, 5.0}) {
+      fault_rows.push_back(MeasureFault(panel.config.name, causal,
+                                        &data.city.network, fault_trips,
+                                        fault_reference, pct));
+    }
   }
   if (!wire_only) {
     std::printf("\n== Fig. 6 — StreamingService (sharded + pumped "
@@ -711,9 +914,25 @@ int main() {
          TablePrinter::Fmt(r.dispatch_p99_ms, 4),
          TablePrinter::Fmt(r.max_abs_diff, 7)});
   }
+  std::printf("\n== Fig. 6 — faulted wire path (deterministic fault "
+              "injection, reconnecting client) ==\n\n");
+  TablePrinter fault_table({"City", "fault %", "p/s", "faults", "reconn",
+                            "retx", "dup", "recov ms", "max diff"});
+  fault_table.PrintHeader();
+  for (const FaultRow& r : fault_rows) {
+    fault_table.PrintRow(
+        {r.city, TablePrinter::Fmt(r.fault_pct, 1),
+         TablePrinter::Fmt(r.pps, 0),
+         TablePrinter::Fmt(static_cast<double>(r.faults_fired), 0),
+         TablePrinter::Fmt(static_cast<double>(r.reconnects), 0),
+         TablePrinter::Fmt(static_cast<double>(r.retransmits), 0),
+         TablePrinter::Fmt(static_cast<double>(r.dup_scores), 0),
+         TablePrinter::Fmt(r.recovery_ms, 2),
+         TablePrinter::Fmt(r.max_abs_diff, 7)});
+  }
   std::printf("\n");
   const char* json_env = std::getenv("CAUSALTAD_FIG6_JSON");
   WriteJson(json_env != nullptr ? json_env : "BENCH_fig6.json", scale, rows,
-            service_rows, wire_rows);
+            service_rows, wire_rows, fault_rows);
   return 0;
 }

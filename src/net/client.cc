@@ -10,14 +10,61 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstring>
+#include <random>
 #include <thread>
 #include <utility>
 
+#include "net/socket_io.h"
 #include "util/stopwatch.h"
 
 namespace causaltad {
 namespace net {
+namespace {
+
+/// splitmix64, for deriving per-session resume keys from the client id.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Raw TCP connect, shared by ConnectTcp and the default redialer.
+int DialTcp(const std::string& host, int port, std::string* error) {
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    if (error) *error = "socket failed: " + std::string(std::strerror(errno));
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    if (error) *error = "bad host " + host;
+    return -1;
+  }
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error) {
+      *error = "connect to " + host + ":" + std::to_string(port) +
+               " failed: " + std::strerror(errno);
+    }
+    close(fd);
+    return -1;
+  }
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+/// While a barrier waits, its request is re-sent at this interval — a
+/// swallowed Poll/ping (fault injection) must not stall the barrier until
+/// the full timeout. Re-sends reuse the token, which is idempotent.
+constexpr double kBarrierResendMs = 250.0;
+
+}  // namespace
 
 const char* PushOutcomeName(PushOutcome outcome) {
   switch (outcome) {
@@ -35,29 +82,25 @@ const char* PushOutcomeName(PushOutcome outcome) {
   return "unknown";
 }
 
+double BackoffDelayMs(int attempt, double base_ms, double max_ms,
+                      double jitter, util::Rng* rng) {
+  double delay = base_ms * std::pow(2.0, std::max(attempt, 0));
+  delay = std::min(delay, max_ms);
+  if (jitter > 0.0 && rng != nullptr) {
+    delay *= 1.0 + jitter * (2.0 * rng->Uniform() - 1.0);
+  }
+  return std::max(delay, 0.0);
+}
+
 util::StatusOr<std::unique_ptr<Client>> Client::ConnectTcp(
     const std::string& host, int port, ClientOptions options) {
-  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (fd < 0) {
-    return util::Status::IoError("socket failed: " +
-                                 std::string(std::strerror(errno)));
-  }
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    close(fd);
-    return util::Status::InvalidArgument("bad host " + host);
-  }
-  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const std::string err = std::strerror(errno);
-    close(fd);
-    return util::Status::IoError("connect to " + host + ":" +
-                                 std::to_string(port) + " failed: " + err);
-  }
-  int one = 1;
-  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return std::unique_ptr<Client>(new Client(fd, std::move(options)));
+  std::string error;
+  const int fd = DialTcp(host, port, &error);
+  if (fd < 0) return util::Status::IoError(error);
+  std::unique_ptr<Client> client(new Client(fd, std::move(options)));
+  client->tcp_host_ = host;
+  client->tcp_port_ = port;
+  return client;
 }
 
 std::unique_ptr<Client> Client::FromFd(int fd, ClientOptions options) {
@@ -65,31 +108,51 @@ std::unique_ptr<Client> Client::FromFd(int fd, ClientOptions options) {
 }
 
 Client::Client(int fd, ClientOptions options)
-    : fd_(fd), options_(std::move(options)) {}
+    : fd_(fd), options_(std::move(options)) {
+  client_id_ = options_.client_id;
+  if (client_id_ == 0) {
+    std::random_device rd;
+    client_id_ = (static_cast<uint64_t>(rd()) << 32) ^ rd();
+    if (client_id_ == 0) client_id_ = 1;
+  }
+  rng_ = util::Rng(Mix(client_id_));
+  if (options_.fault != nullptr) fault_conn_ = options_.fault->Attach();
+}
 
 Client::~Client() {
   if (fd_ >= 0) close(fd_);
+}
+
+int Client::Dial() {
+  if (options_.dialer) return options_.dialer();
+  if (tcp_port_ >= 0) return DialTcp(tcp_host_, tcp_port_, nullptr);
+  return -1;  // adopted fd with no redial hook: reconnect impossible
+}
+
+void Client::SleepMs(double ms) {
+  if (ms <= 0.0) return;
+  if (options_.sleeper) {
+    options_.sleeper(ms);
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
 }
 
 util::Status Client::SendFrame(const Frame& frame) {
   if (!fatal_.ok()) return fatal_;
   std::vector<uint8_t> bytes;
   EncodeFrame(frame, &bytes);
-  size_t off = 0;
-  while (off < bytes.size()) {
-    const ssize_t n =
-        send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
-    if (n > 0) {
-      off += static_cast<size_t>(n);
-      continue;
-    }
-    if (errno == EINTR) continue;
-    fatal_ = util::Status::IoError("send failed: " +
-                                   std::string(std::strerror(errno)));
-    return fatal_;
+  const util::Status status =
+      SendAll(fd_, bytes.data(), bytes.size(), options_.timeout_ms,
+              fault_conn_.get());
+  if (status.ok()) {
+    stats_.bytes_sent += static_cast<int64_t>(bytes.size());
+    return util::Status::Ok();
   }
-  stats_.bytes_sent += static_cast<int64_t>(bytes.size());
-  return util::Status::Ok();
+  // The frame itself is NOT re-sent after a successful recovery: pushes are
+  // covered by the resume replay and barrier frames are re-issued by their
+  // epoch-watching wait loops.
+  return Recover(status);
 }
 
 util::Status Client::ReadOnce(double timeout_ms, bool* got_bytes) {
@@ -98,25 +161,39 @@ util::Status Client::ReadOnce(double timeout_ms, bool* got_bytes) {
   pollfd pfd{fd_, POLLIN, 0};
   const int ready =
       poll(&pfd, 1, std::max(0, static_cast<int>(timeout_ms)));
-  if (ready <= 0) return util::Status::Ok();  // timeout (or EINTR): no bytes
+  if (ready < 0 && errno != EINTR) {
+    return Recover(util::Status::IoError(
+        "poll failed: " + std::string(std::strerror(errno))));
+  }
+  if (ready <= 0) return util::Status::Ok();  // timeout / EINTR: no bytes
   uint8_t buf[64 * 1024];
-  const ssize_t n = recv(fd_, buf, sizeof(buf), 0);
-  if (n > 0) {
+  const IoResult r = RecvSome(fd_, buf, sizeof(buf), fault_conn_.get());
+  if (r.n > 0) {
     *got_bytes = true;
-    stats_.bytes_received += n;
-    decoder_.Feed(buf, static_cast<size_t>(n));
+    stats_.bytes_received += r.n;
+    decoder_.Feed(buf, static_cast<size_t>(r.n));
     Frame frame;
-    while (fatal_.ok() && decoder_.Next(&frame)) {
+    while (fatal_.ok() && !transport_broken_ && decoder_.Next(&frame)) {
       ++stats_.frames_received;
       HandleFrame(frame);
     }
-    if (fatal_.ok() && !decoder_.status().ok()) fatal_ = decoder_.status();
-  } else if (n == 0 || (errno != EINTR && errno != EAGAIN)) {
-    if (fatal_.ok()) {
-      fatal_ = util::Status::IoError("connection closed by server");
+    if (!fatal_.ok()) return fatal_;  // protocol latch (server Error frame)
+    if (transport_broken_) {
+      transport_broken_ = false;
+      return Recover(util::Status::IoError(transport_reason_));
     }
+    if (!decoder_.status().ok()) {
+      return Recover(util::Status::IoError(
+          "corrupt stream: " + decoder_.status().message()));
+    }
+    return util::Status::Ok();
   }
-  return fatal_;
+  if (r.would_block) return util::Status::Ok();
+  if (r.peer_closed) {
+    return Recover(util::Status::IoError("connection closed by server"));
+  }
+  return Recover(util::Status::IoError(
+      "recv failed: " + std::string(std::strerror(r.error))));
 }
 
 bool Client::Retryable(RejectReason reason) const {
@@ -141,18 +218,38 @@ void Client::HandleFrame(const Frame& frame) {
       const auto it = sessions_.find(frame.session);
       if (it == sessions_.end() || frame.scores.empty()) return;
       Session& session = it->second;
-      for (size_t k = 0; k < frame.scores.size(); ++k) {
+      // Offset dedupe: every delta is stamped with the cumulative index of
+      // its first score. Below the high-water mark is a redelivery
+      // (reconnect or duplicated frame) — dropped; above it is a gap the
+      // resume machinery must repair.
+      const int64_t offset = static_cast<int64_t>(frame.offset);
+      if (offset > session.delivered) {
+        transport_broken_ = true;
+        transport_reason_ =
+            "score stream gap: delta offset " + std::to_string(offset) +
+            " past high-water " + std::to_string(session.delivered);
+        return;
+      }
+      const size_t dup = std::min<size_t>(
+          static_cast<size_t>(session.delivered - offset),
+          frame.scores.size());
+      stats_.dup_scores += static_cast<int64_t>(dup);
+      if (dup == frame.scores.size()) return;
+      const std::vector<double> fresh(frame.scores.begin() + dup,
+                                      frame.scores.end());
+      for (size_t k = 0; k < fresh.size(); ++k) {
         // Scores acknowledge the oldest in-flight points in feed order.
         if (!session.pending.empty()) {
           session.pending.pop_front();
           --total_inflight_;
         }
       }
+      session.delivered += static_cast<int64_t>(fresh.size());
       if (score_cb_) {
-        score_cb_(frame.session, frame.scores);
+        score_cb_(frame.session, fresh);
       } else {
-        session.scores.insert(session.scores.end(), frame.scores.begin(),
-                              frame.scores.end());
+        session.scores.insert(session.scores.end(), fresh.begin(),
+                              fresh.end());
       }
       return;
     }
@@ -198,7 +295,42 @@ void Client::HandleFrame(const Frame& frame) {
       }
       return;
     }
+    case FrameType::kResumeAck: {
+      if (awaiting_resume_ack_ && frame.session == resume_ack_session_) {
+        resume_ack_offset_ = frame.offset;
+        awaiting_resume_ack_ = false;
+      }
+      return;  // unsolicited acks (duplicated frames) are harmless
+    }
+    case FrameType::kHeartbeat: {
+      if (frame.seq == 0 && frame.token != 0 &&
+          frame.token == waiting_token_) {
+        token_seen_ = true;  // the pong we are barriered on
+      }
+      return;
+    }
     case FrameType::kError: {
+      // With reconnect on, protocol-class errors are treated as transport
+      // damage: a corrupted stream can desync the server's decoder (or
+      // materialize a garbage-but-parseable frame), and the resume handshake
+      // revalidates everything from journaled state. A *genuine* client bug
+      // would recur on every attempt and exhaust the retry budget, which
+      // latches the underlying error — so nothing is silently swallowed.
+      // Auth failures and shutdown are deterministic verdicts; latch those.
+      const bool recoverable =
+          options_.reconnect && (frame.code == ErrorCode::kProtocol ||
+                                 frame.code == ErrorCode::kUnknownSession ||
+                                 frame.code == ErrorCode::kDuplicateSession ||
+                                 frame.code == ErrorCode::kInvalidSegment);
+      if (recoverable) {
+        if (!transport_broken_) {
+          transport_broken_ = true;
+          transport_reason_ = std::string("server error (") +
+                              ErrorCodeName(frame.code) + "): " +
+                              frame.message;
+        }
+        return;
+      }
       if (fatal_.ok()) {
         fatal_ = util::Status::FailedPrecondition(
             std::string("server error (") + ErrorCodeName(frame.code) +
@@ -237,33 +369,273 @@ util::Status Client::RunResends() {
 }
 
 util::Status Client::PollBarrier(uint64_t session) {
-  Frame poll_frame;
-  poll_frame.type = FrameType::kPoll;
-  poll_frame.session = session;
-  poll_frame.token = next_token_++;
-  ++stats_.polls_sent;
-  CAUSALTAD_RETURN_IF_ERROR(SendFrame(poll_frame));
-  waiting_token_ = poll_frame.token;
-  token_seen_ = false;
   util::Stopwatch watch;
-  while (!token_seen_) {
-    if (!fatal_.ok()) {
-      waiting_token_ = 0;
-      return fatal_;
+  while (true) {
+    Frame poll_frame;
+    poll_frame.type = FrameType::kPoll;
+    poll_frame.session = session;
+    poll_frame.token = next_token_++;
+    const auto it = sessions_.find(session);
+    if (it != sessions_.end()) {
+      poll_frame.offset = static_cast<uint64_t>(it->second.delivered);
     }
-    bool got = false;
-    const util::Status status =
-        ReadOnce(std::min(50.0, options_.timeout_ms), &got);
+    ++stats_.polls_sent;
+    waiting_token_ = poll_frame.token;
+    token_seen_ = false;
+    const uint64_t sent_epoch = epoch_;
+    util::Status status = SendFrame(poll_frame);
     if (!status.ok()) {
       waiting_token_ = 0;
       return status;
     }
-    if (!token_seen_ && watch.ElapsedMillis() > options_.timeout_ms) {
+    if (epoch_ != sent_epoch) continue;  // died with the old conn: re-send
+    double last_send_ms = watch.ElapsedMillis();
+    while (!token_seen_) {
+      if (!fatal_.ok()) {
+        waiting_token_ = 0;
+        return fatal_;
+      }
+      bool got = false;
+      status = ReadOnce(std::min(50.0, options_.timeout_ms), &got);
+      if (!status.ok()) {
+        waiting_token_ = 0;
+        return status;
+      }
+      if (epoch_ != sent_epoch) break;  // reconnected mid-wait: re-send
+      const double elapsed = watch.ElapsedMillis();
+      if (!token_seen_ && elapsed > options_.timeout_ms) {
+        waiting_token_ = 0;
+        return util::Status::IoError("timed out waiting for the server");
+      }
+      if (!token_seen_ && elapsed - last_send_ms > kBarrierResendMs) {
+        status = SendFrame(poll_frame);  // same token: idempotent
+        ++stats_.polls_sent;
+        if (!status.ok()) {
+          waiting_token_ = 0;
+          return status;
+        }
+        if (epoch_ != sent_epoch) break;
+        last_send_ms = elapsed;
+      }
+    }
+    if (token_seen_) {
       waiting_token_ = 0;
-      return util::Status::IoError("timed out waiting for the server");
+      return util::Status::Ok();
     }
   }
-  waiting_token_ = 0;
+}
+
+util::Status Client::Heartbeat() {
+  if (!fatal_.ok()) return fatal_;
+  util::Stopwatch watch;
+  while (true) {
+    Frame ping;
+    ping.type = FrameType::kHeartbeat;
+    ping.token = next_token_++;
+    ping.seq = 1;
+    waiting_token_ = ping.token;
+    token_seen_ = false;
+    const uint64_t sent_epoch = epoch_;
+    util::Status status = SendFrame(ping);
+    if (!status.ok()) {
+      waiting_token_ = 0;
+      return status;
+    }
+    if (epoch_ != sent_epoch) continue;
+    double last_send_ms = watch.ElapsedMillis();
+    while (!token_seen_) {
+      if (!fatal_.ok()) {
+        waiting_token_ = 0;
+        return fatal_;
+      }
+      bool got = false;
+      status = ReadOnce(std::min(50.0, options_.timeout_ms), &got);
+      if (!status.ok()) {
+        waiting_token_ = 0;
+        return status;
+      }
+      if (epoch_ != sent_epoch) break;
+      const double elapsed = watch.ElapsedMillis();
+      if (!token_seen_ && elapsed > options_.timeout_ms) {
+        waiting_token_ = 0;
+        return util::Status::IoError("timed out waiting for a pong");
+      }
+      if (!token_seen_ && elapsed - last_send_ms > kBarrierResendMs) {
+        status = SendFrame(ping);
+        if (!status.ok()) {
+          waiting_token_ = 0;
+          return status;
+        }
+        if (epoch_ != sent_epoch) break;
+        last_send_ms = elapsed;
+      }
+    }
+    if (token_seen_) {
+      waiting_token_ = 0;
+      return util::Status::Ok();
+    }
+  }
+}
+
+util::Status Client::Recover(util::Status cause) {
+  if (!options_.reconnect || in_recovery_) {
+    if (fatal_.ok()) fatal_ = std::move(cause);
+    return fatal_;
+  }
+  in_recovery_ = true;
+  util::Stopwatch watch;
+  util::Status last = std::move(cause);
+  for (int attempt = 0; attempt < options_.max_reconnect_attempts;
+       ++attempt) {
+    SleepMs(BackoffDelayMs(attempt, options_.reconnect_base_ms,
+                           options_.reconnect_max_ms,
+                           options_.reconnect_jitter, &rng_));
+    if (fd_ >= 0) {
+      close(fd_);
+      fd_ = -1;
+    }
+    const int fd = Dial();
+    if (fd < 0) {
+      last = util::Status::IoError("redial failed");
+      continue;
+    }
+    fd_ = fd;
+    decoder_ = FrameDecoder();
+    fatal_ = util::Status::Ok();
+    waiting_token_ = 0;
+    token_seen_ = false;
+    awaiting_resume_ack_ = false;
+    transport_broken_ = false;
+    if (options_.fault != nullptr) fault_conn_ = options_.fault->Attach();
+    ++epoch_;
+    const util::Status handshake = ResumeHandshake();
+    if (handshake.ok()) {
+      ++stats_.reconnects;
+      stats_.last_recovery_ms = watch.ElapsedMillis();
+      in_recovery_ = false;
+      return util::Status::Ok();
+    }
+    last = handshake;
+  }
+  in_recovery_ = false;
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+  fatal_ = util::Status::IoError(
+      "reconnect budget exhausted after " +
+      std::to_string(options_.max_reconnect_attempts) +
+      " attempts: " + last.message());
+  return fatal_;
+}
+
+util::Status Client::ResumeHandshake() {
+  Frame hello;
+  hello.type = FrameType::kHello;
+  hello.tenant = options_.tenant;
+  hello.auth_token = options_.auth_token;
+  CAUSALTAD_RETURN_IF_ERROR(SendFrame(hello));
+  CAUSALTAD_RETURN_IF_ERROR(PollBarrier(~uint64_t{0}));
+  for (auto& [id, session] : sessions_) {
+    if (session.broken || session.shutdown) continue;
+    if (session.ended && session.pending.empty()) continue;  // fully done
+    CAUSALTAD_RETURN_IF_ERROR(ResumeSession(id, &session));
+  }
+  total_inflight_ = 0;
+  for (const auto& [id, session] : sessions_) {
+    total_inflight_ += static_cast<int64_t>(session.pending.size());
+  }
+  return util::Status::Ok();
+}
+
+util::Status Client::ResumeSession(uint64_t id, Session* session) {
+  Frame resume;
+  resume.type = FrameType::kResume;
+  resume.session = id;
+  resume.resume_key = session->resume_key;
+  resume.source = session->source;
+  resume.destination = session->destination;
+  resume.time_slot = session->time_slot;
+  resume.offset = static_cast<uint64_t>(session->delivered);
+  awaiting_resume_ack_ = true;
+  resume_ack_session_ = id;
+  util::Status status = SendFrame(resume);
+  if (!status.ok()) {
+    awaiting_resume_ack_ = false;
+    return status;
+  }
+  util::Stopwatch watch;
+  while (awaiting_resume_ack_) {
+    if (!fatal_.ok()) {
+      awaiting_resume_ack_ = false;
+      return fatal_;
+    }
+    bool got = false;
+    status = ReadOnce(std::min(50.0, options_.timeout_ms), &got);
+    if (!status.ok()) {
+      awaiting_resume_ack_ = false;
+      return status;
+    }
+    if (awaiting_resume_ack_ && watch.ElapsedMillis() > options_.timeout_ms) {
+      // A Resume is NOT idempotent-resendable on the same connection, so a
+      // swallowed one fails the whole handshake attempt; the Recover loop
+      // retries on a fresh connection.
+      awaiting_resume_ack_ = false;
+      return util::Status::IoError("timed out waiting for ResumeAck");
+    }
+  }
+  const uint64_t replay_from = resume_ack_offset_;
+  // Acked-but-journaled prefix first (fresh rebuild asks for seq 0; these
+  // score into the server's emit-skip window and redeliver nothing).
+  for (uint64_t seq = replay_from;
+       seq < static_cast<uint64_t>(session->delivered); ++seq) {
+    if (seq >= session->journal.size()) {
+      // The needed prefix was discarded (journal overflow): this session
+      // cannot be rebuilt. End the server-side shell so it does not leak,
+      // mark the session broken, and let the other sessions continue.
+      session->broken = true;
+      break;
+    }
+    Frame push;
+    push.type = FrameType::kPush;
+    push.session = id;
+    push.seq = seq;
+    push.wire_seq = next_wire_seq_++;
+    push.segment = session->journal[seq];
+    ++stats_.pushes_sent;
+    ++stats_.retransmits;
+    CAUSALTAD_RETURN_IF_ERROR(SendFrame(push));
+  }
+  if (session->broken) {
+    total_inflight_ -= static_cast<int64_t>(session->pending.size());
+    session->pending.clear();
+    Frame end;
+    end.type = FrameType::kEnd;
+    end.session = id;
+    return SendFrame(end);
+  }
+  // Unscored tail from the in-flight buffer, with fresh wire seqs so any
+  // straggler rejects from the old transmissions read as stale.
+  for (SentPoint& point : session->pending) {
+    if (point.seq < replay_from) continue;
+    point.wire_seq = next_wire_seq_++;
+    Frame push;
+    push.type = FrameType::kPush;
+    push.session = id;
+    push.seq = point.seq;
+    push.wire_seq = point.wire_seq;
+    push.segment = point.segment;
+    ++stats_.pushes_sent;
+    ++stats_.retransmits;
+    CAUSALTAD_RETURN_IF_ERROR(SendFrame(push));
+  }
+  session->resend_from = -1;
+  if (session->end_sent) {
+    Frame end;
+    end.type = FrameType::kEnd;
+    end.session = id;
+    CAUSALTAD_RETURN_IF_ERROR(SendFrame(end));
+  }
   return util::Status::Ok();
 }
 
@@ -287,6 +659,8 @@ util::Status Client::DrainTo(int64_t target, uint64_t focus_session) {
       poll_frame.type = FrameType::kPoll;
       poll_frame.session = ids[i];
       poll_frame.token = next_token_++;
+      poll_frame.offset =
+          static_cast<uint64_t>(sessions_[ids[i]].delivered);
       ++stats_.polls_sent;
       CAUSALTAD_RETURN_IF_ERROR(SendFrame(poll_frame));
     }
@@ -318,13 +692,23 @@ util::Status Client::Hello() {
 uint64_t Client::Begin(roadnet::SegmentId source,
                        roadnet::SegmentId destination, int32_t time_slot) {
   const uint64_t id = next_session_++;
-  sessions_.emplace(id, Session{});
+  Session state;
+  state.source = source;
+  state.destination = destination;
+  state.time_slot = time_slot;
+  if (options_.reconnect) {
+    state.resume_key = Mix(client_id_ ^ Mix(id + 1));
+    if (state.resume_key == 0) state.resume_key = 1;
+  }
+  const uint64_t resume_key = state.resume_key;
+  sessions_.emplace(id, std::move(state));
   Frame begin;
   begin.type = FrameType::kBegin;
   begin.session = id;
   begin.source = source;
   begin.destination = destination;
   begin.time_slot = time_slot;
+  begin.resume_key = resume_key;
   (void)SendFrame(begin);  // pipelined; failures latch into status()
   return id;
 }
@@ -338,6 +722,10 @@ util::Status Client::Push(uint64_t session, roadnet::SegmentId segment) {
   if (it->second.shutdown) {
     return util::Status::FailedPrecondition("service shut down");
   }
+  if (it->second.broken) {
+    return util::Status::FailedPrecondition(
+        "session lost in reconnect (journal overflow)");
+  }
   Session& state = it->second;
   SentPoint point;
   point.seq = state.next_seq++;
@@ -345,6 +733,15 @@ util::Status Client::Push(uint64_t session, roadnet::SegmentId segment) {
   point.segment = segment;
   state.pending.push_back(point);
   ++total_inflight_;
+  if (options_.reconnect && !state.journal_overflow) {
+    state.journal.push_back(segment);
+    if (static_cast<int64_t>(state.journal.size()) >
+        options_.max_journal_points) {
+      state.journal_overflow = true;
+      state.journal.clear();
+      state.journal.shrink_to_fit();
+    }
+  }
   Frame push;
   push.type = FrameType::kPush;
   push.session = session;
@@ -372,6 +769,10 @@ util::StatusOr<PushOutcome> Client::TryPush(uint64_t session,
     return util::Status::InvalidArgument("unknown or ended session");
   }
   if (it->second.shutdown) return PushOutcome::kShutdown;
+  if (it->second.broken) {
+    return util::Status::FailedPrecondition(
+        "session lost in reconnect (journal overflow)");
+  }
   Session& state = it->second;
   SentPoint point;
   point.seq = state.next_seq;
@@ -387,6 +788,15 @@ util::StatusOr<PushOutcome> Client::TryPush(uint64_t session,
   ++state.next_seq;
   ++total_inflight_;
   ++stats_.pushes_sent;
+  if (options_.reconnect && !state.journal_overflow) {
+    state.journal.push_back(segment);
+    if (static_cast<int64_t>(state.journal.size()) >
+        options_.max_journal_points) {
+      state.journal_overflow = true;
+      state.journal.clear();
+      state.journal.shrink_to_fit();
+    }
+  }
   probe_wire_seq_ = point.wire_seq;
   probe_rejected_ = false;
   util::Status status = SendFrame(push);
@@ -396,6 +806,10 @@ util::StatusOr<PushOutcome> Client::TryPush(uint64_t session,
   if (!probe_rejected_) return PushOutcome::kAccepted;
   // The probe was rejected and dropped; un-assign its seq so the next push
   // of this session reuses it (the server never advanced past it).
+  if (options_.reconnect && !state.journal_overflow &&
+      state.journal.size() == state.next_seq) {
+    state.journal.pop_back();
+  }
   --state.next_seq;
   switch (probe_reason_) {
     case RejectReason::kSessionFull:
@@ -420,9 +834,17 @@ util::Status Client::End(uint64_t session) {
   if (it == sessions_.end() || it->second.ended) {
     return util::Status::InvalidArgument("unknown or ended session");
   }
+  if (it->second.broken) {
+    return util::Status::FailedPrecondition(
+        "session lost in reconnect (journal overflow)");
+  }
   util::Stopwatch watch;
   while (!it->second.pending.empty()) {
     if (it->second.shutdown) break;  // dropped tail: nothing more will score
+    if (it->second.broken) {
+      return util::Status::FailedPrecondition(
+          "session lost in reconnect (journal overflow)");
+    }
     CAUSALTAD_RETURN_IF_ERROR(RunResends());
     CAUSALTAD_RETURN_IF_ERROR(PollBarrier(session));
     if (!it->second.pending.empty()) {
@@ -434,6 +856,7 @@ util::Status Client::End(uint64_t session) {
     }
   }
   it->second.ended = true;
+  it->second.end_sent = true;  // before the send: a lost End is replayed
   Frame end;
   end.type = FrameType::kEnd;
   end.session = session;
@@ -453,6 +876,10 @@ util::StatusOr<std::vector<double>> Client::Poll(uint64_t session) {
   const auto it = sessions_.find(session);
   if (it == sessions_.end()) {
     return util::Status::InvalidArgument("unknown session");
+  }
+  if (it->second.broken) {
+    return util::Status::FailedPrecondition(
+        "session lost in reconnect (journal overflow)");
   }
   CAUSALTAD_RETURN_IF_ERROR(RunResends());
   CAUSALTAD_RETURN_IF_ERROR(PollBarrier(session));

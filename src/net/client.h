@@ -9,8 +9,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "net/fault.h"
 #include "net/frame.h"
 #include "roadnet/road_network.h"
+#include "util/random.h"
 #include "util/status.h"
 
 namespace causaltad {
@@ -36,6 +38,44 @@ struct ClientOptions {
   double poll_backoff_ms = 0.2;
   /// Bound on any single blocking wait (Hello barrier, drain, Finish).
   double timeout_ms = 30000.0;
+
+  // --- Fault tolerance (see src/net/README.md, "Failure semantics") ---
+
+  /// Master switch for transparent session continuity. On a transport
+  /// failure (send/recv error, EOF, corrupt stream) the client redials,
+  /// re-Hellos, Resumes every live session, replays the unacked journal
+  /// suffix, and the blocked call simply continues — the delivered score
+  /// stream has no gaps and no duplicates. OFF (the default) preserves the
+  /// original latch-fatal error model.
+  bool reconnect = false;
+  /// Reconnect retry budget per outage; exhausting it latches the fatal.
+  int max_reconnect_attempts = 8;
+  /// Exponential backoff schedule between redials: attempt k sleeps
+  /// base * 2^k, capped at max, with +/- jitter fraction (decorrelates the
+  /// reconnect stampede after a server restart).
+  double reconnect_base_ms = 10.0;
+  double reconnect_max_ms = 2000.0;
+  double reconnect_jitter = 0.1;
+  /// Identity mixed into every session's resume_key so two clients of the
+  /// same tenant can never collide in the server's detached table.
+  /// 0 draws one from std::random_device.
+  uint64_t client_id = 0;
+  /// Per-session journal bound (segments retained from seq 0 for full-prefix
+  /// replay when the server lost the session). A session that outgrows it
+  /// survives reattach-style resumes but is marked broken when a resume
+  /// would need the discarded prefix.
+  int64_t max_journal_points = 1 << 16;
+  /// Redial hook; returns a connected fd or a negative value on failure.
+  /// Defaults to re-dialing the original TCP endpoint (ConnectTcp clients);
+  /// FromFd clients MUST set it for reconnect to work (tests point it at
+  /// Server::AddLoopbackConnection).
+  std::function<int()> dialer;
+  /// Backoff sleep hook (milliseconds); tests capture the schedule instead
+  /// of sleeping. Null sleeps for real.
+  std::function<void(double)> sleeper;
+  /// Deterministic fault injection at this client's socket boundary.
+  /// nullptr = no faults. Must outlive the client.
+  FaultInjector* fault = nullptr;
 };
 
 /// Client-observed outcome of a single push attempt (TryPush).
@@ -49,15 +89,25 @@ enum class PushOutcome {
 
 const char* PushOutcomeName(PushOutcome outcome);
 
+/// The deterministic reconnect backoff schedule: attempt k (0-based) waits
+/// base_ms * 2^k, capped at max_ms, then scaled by a uniform factor in
+/// [1 - jitter, 1 + jitter] drawn from `rng` (pass nullptr for no jitter).
+/// Exposed for unit tests.
+double BackoffDelayMs(int attempt, double base_ms, double max_ms,
+                      double jitter, util::Rng* rng);
+
 /// Wire counters kept by the client.
 struct ClientStats {
   int64_t pushes_sent = 0;   // includes retransmissions
-  int64_t retransmits = 0;   // go-back-N resends
+  int64_t retransmits = 0;   // go-back-N + resume replays
   int64_t rejects_seen = 0;  // genuine (non-stale) PushRejects
   int64_t polls_sent = 0;
   int64_t frames_received = 0;
   int64_t bytes_sent = 0;
   int64_t bytes_received = 0;
+  int64_t reconnects = 0;       // outages survived (successful recoveries)
+  int64_t dup_scores = 0;       // redelivered scores dropped by the dedupe
+  double last_recovery_ms = 0.0;  // first failure -> handshake complete
 };
 
 /// Blocking client for the src/net wire protocol, one connection per
@@ -75,8 +125,20 @@ struct ClientStats {
 ///    ProcessIncoming(timeout) from your own loop; Poll(session) requests a
 ///    delta explicitly.
 ///
-/// Error model: protocol-fatal failures (Error frames, decode failures,
-/// disconnects) latch into status() and every later call returns it.
+/// Session continuity (options.reconnect): every session keeps a bounded
+/// journal of its pushed segments and a delivered-score high-water mark.
+/// When the transport fails mid-call, the client redials with exponential
+/// backoff, re-authenticates, and Resumes each session — the server either
+/// re-adopts its detached state (client replays only the unacked suffix) or
+/// asks for a full prefix replay into an emit-skip rebuild. Redelivered
+/// ScoreDeltas are deduped against the high-water mark via their offset
+/// stamp, so the caller-visible stream stays gap-free and duplicate-free
+/// across any number of outages.
+///
+/// Error model: protocol-fatal failures (server Error frames, auth
+/// rejection) latch into status() and every later call returns it;
+/// transport failures latch only when reconnect is off or the retry budget
+/// is exhausted.
 class Client {
  public:
   using ScoreCallback =
@@ -128,6 +190,11 @@ class Client {
   /// callback consumes them).
   util::StatusOr<std::vector<double>> Poll(uint64_t session);
 
+  /// One heartbeat round trip (ping, barrier on the pong). Keeps an
+  /// otherwise-idle connection from being reaped by the server's
+  /// heartbeat_timeout_ms and doubles as a liveness probe.
+  util::Status Heartbeat();
+
   /// Callback poll mode: processes whatever the server has sent, waiting at
   /// most timeout_ms for the first byte. Runs retransmissions. Returns the
   /// latched connection status.
@@ -154,7 +221,20 @@ class Client {
     std::vector<double> scores;     // delivered (when no score callback)
     int64_t resend_from = -1;       // pending index to retransmit from
     bool ended = false;
+    bool end_sent = false;  // End hit the wire at least once (resume replay)
     bool shutdown = false;  // saw a terminal kShutdown reject
+    // --- Continuity state (maintained only when options.reconnect) ---
+    uint64_t resume_key = 0;      // server-side identity across transports
+    int64_t delivered = 0;        // score high-water: dedupe + resume offset
+    roadnet::SegmentId source = roadnet::kInvalidSegment;
+    roadnet::SegmentId destination = roadnet::kInvalidSegment;
+    int32_t time_slot = 0;
+    // Full pushed prefix by seq, for fresh-resume replay (the acked part is
+    // not in `pending` anymore). Bounded by max_journal_points; overflow
+    // clears it and only reattach-style resumes remain possible.
+    std::vector<roadnet::SegmentId> journal;
+    bool journal_overflow = false;
+    bool broken = false;  // a resume needed the discarded prefix
   };
 
   explicit Client(int fd, ClientOptions options);
@@ -164,13 +244,23 @@ class Client {
   void HandleFrame(const Frame& frame);
   /// Sends Poll(session, fresh token) and processes replies until the
   /// matching ScoreDelta arrives (intervening deltas/rejects are processed
-  /// too).
+  /// too). Re-sends the Poll when a mid-wait reconnect invalidates it.
   util::Status PollBarrier(uint64_t session);
   /// Retransmits the marked tail of every session with a pending resend.
   util::Status RunResends();
   /// Blocks until total inflight <= target (Poll round trips + backoff).
   util::Status DrainTo(int64_t target, uint64_t focus_session);
   bool Retryable(RejectReason reason) const;
+  /// Transport-failure recovery: backoff-redial-resume until success or the
+  /// attempt budget runs out (then latches `cause` into fatal_). Returns
+  /// OK exactly when the connection is usable again.
+  util::Status Recover(util::Status cause);
+  /// Re-Hello + per-session Resume/replay on a freshly dialed fd.
+  util::Status ResumeHandshake();
+  /// One session's Resume round trip + journal replay.
+  util::Status ResumeSession(uint64_t id, Session* session);
+  int Dial();
+  void SleepMs(double ms);
 
   int fd_ = -1;
   ClientOptions options_;
@@ -179,8 +269,12 @@ class Client {
   uint64_t next_session_ = 0;
   uint64_t next_wire_seq_ = 1;
   uint64_t next_token_ = 1;
-  uint64_t waiting_token_ = 0;  // PollBarrier's outstanding token, 0 = none
+  uint64_t waiting_token_ = 0;  // barrier's outstanding token, 0 = none
   bool token_seen_ = false;
+  // ResumeHandshake's outstanding ResumeAck wait.
+  bool awaiting_resume_ack_ = false;
+  uint64_t resume_ack_session_ = 0;
+  uint64_t resume_ack_offset_ = 0;
   // TryPush probe: the wire_seq whose fate the barrier is watching.
   uint64_t probe_wire_seq_ = 0;
   bool probe_rejected_ = false;
@@ -190,6 +284,18 @@ class Client {
   int64_t total_inflight_ = 0;
   ScoreCallback score_cb_;
   RejectCallback reject_cb_;
+  // --- Continuity ---
+  // Set by HandleFrame when the stream itself proves the transport is bad
+  // (score offset gap); ReadOnce converts it into a Recover.
+  bool transport_broken_ = false;
+  std::string transport_reason_;
+  uint64_t client_id_ = 0;
+  uint64_t epoch_ = 0;  // bumped per successful redial; barriers re-send
+  bool in_recovery_ = false;
+  util::Rng rng_;
+  std::string tcp_host_;  // original endpoint for the default dialer
+  int tcp_port_ = -1;
+  std::shared_ptr<FaultConnection> fault_conn_;
 };
 
 }  // namespace net

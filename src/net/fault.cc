@@ -1,0 +1,116 @@
+#include "net/fault.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+namespace causaltad {
+namespace net {
+namespace {
+
+uint64_t ResolveSeed(uint64_t seed) {
+  if (seed != 0) return seed;
+  if (const char* env = std::getenv("CAUSALTAD_FAULT_SEED")) {
+    const uint64_t parsed = std::strtoull(env, nullptr, 10);
+    if (parsed != 0) return parsed;
+  }
+  return 0x66AC7B1D5ULL;  // fixed default: runs replay without any config
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultOptions options)
+    : options_(options), rng_(ResolveSeed(options.seed)) {}
+
+std::shared_ptr<FaultConnection> FaultInjector::Attach() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::shared_ptr<FaultConnection>(
+      new FaultConnection(this, rng_.Fork()));
+}
+
+FaultStats FaultInjector::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+FaultConnection::Action FaultConnection::Decide(size_t size,
+                                                size_t* keep_bytes,
+                                                bool send_side) {
+  const FaultOptions& opts = owner_->options_;
+  Action action = Action::kPass;
+  bool delayed = false;
+  size_t keep = size;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (opts.delay_rate > 0.0 && rng_.Bernoulli(opts.delay_rate)) {
+      delayed = true;
+    }
+    if (opts.kill_rate > 0.0 && rng_.Bernoulli(opts.kill_rate)) {
+      action = Action::kKill;
+    } else if (send_side && size > 0 && opts.drop_rate > 0.0 &&
+               rng_.Bernoulli(opts.drop_rate)) {
+      action = Action::kDrop;
+    } else if (send_side && size > 0 && opts.dup_rate > 0.0 &&
+               rng_.Bernoulli(opts.dup_rate)) {
+      action = Action::kDuplicate;
+    } else if (send_side && size > 1 && opts.truncate_rate > 0.0 &&
+               rng_.Bernoulli(opts.truncate_rate)) {
+      action = Action::kTruncate;
+      keep = 1 + static_cast<size_t>(
+                     rng_.UniformInt(static_cast<int64_t>(size - 1)));
+    } else if (size > 1 && opts.short_write_rate > 0.0 &&
+               rng_.Bernoulli(opts.short_write_rate)) {
+      action = Action::kShortWrite;
+      const size_t cap = std::min<size_t>(size - 1, 64);
+      keep = 1 + static_cast<size_t>(
+                     rng_.UniformInt(static_cast<int64_t>(cap)));
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(owner_->mu_);
+    FaultStats& stats = owner_->stats_;
+    (send_side ? stats.sends : stats.recvs) += 1;
+    switch (action) {
+      case Action::kPass:
+        break;
+      case Action::kDrop:
+        ++stats.drops;
+        break;
+      case Action::kDuplicate:
+        ++stats.dups;
+        break;
+      case Action::kTruncate:
+        ++stats.truncates;
+        break;
+      case Action::kShortWrite:
+        ++stats.short_writes;
+        break;
+      case Action::kKill:
+        ++stats.kills;
+        break;
+    }
+    if (delayed) ++stats.delays;
+  }
+  if (delayed) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(opts.delay_ms));
+  }
+  *keep_bytes = keep;
+  return action;
+}
+
+FaultConnection::Action FaultConnection::OnSend(size_t size,
+                                                size_t* keep_bytes) {
+  return Decide(size, keep_bytes, /*send_side=*/true);
+}
+
+FaultConnection::Action FaultConnection::OnRecv(size_t size,
+                                                size_t* keep_bytes) {
+  // Recv can only be capped, delayed, or killed; the stream-corrupting
+  // faults are send-side (Decide gates them on send_side).
+  return Decide(size, keep_bytes, /*send_side=*/false);
+}
+
+}  // namespace net
+}  // namespace causaltad

@@ -1,0 +1,122 @@
+#ifndef CAUSALTAD_NET_FAULT_H_
+#define CAUSALTAD_NET_FAULT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "util/random.h"
+
+namespace causaltad {
+namespace net {
+
+/// Per-operation fault probabilities, each in [0, 1] and evaluated in the
+/// order listed (the first that fires wins; `delay` composes with any of
+/// them). All default to 0 — an injector with default options is a no-op
+/// pass-through, so production paths can keep the hook unconditionally.
+struct FaultOptions {
+  /// Swallow the bytes, report success, then kill the connection: the peer
+  /// sees a clean transport failure with this payload lost in flight.
+  double drop_rate = 0.0;
+  /// Send the bytes twice: the peer's length-prefixed decoder desyncs and
+  /// poisons, which both endpoints treat as a transport failure.
+  double dup_rate = 0.0;
+  /// Send a strict prefix of the bytes, then kill the connection — a
+  /// mid-frame cut, the classic partial-delivery failure.
+  double truncate_rate = 0.0;
+  /// Deliver only a small prefix but stay alive: exercises the callers'
+  /// partial-write resume paths without ending the connection.
+  double short_write_rate = 0.0;
+  /// Kill the connection before transferring anything.
+  double kill_rate = 0.0;
+  /// Sleep delay_ms before the transfer (applied independently of the
+  /// verdict above).
+  double delay_rate = 0.0;
+  double delay_ms = 1.0;
+  /// PRNG seed. 0 reads CAUSALTAD_FAULT_SEED from the environment (falling
+  /// back to a fixed default), so CI soaks replay bit-identically.
+  uint64_t seed = 0;
+};
+
+/// Cumulative counts of the faults actually fired, all connections.
+struct FaultStats {
+  int64_t sends = 0;   // send-side decisions taken (incl. passes)
+  int64_t recvs = 0;   // recv-side decisions taken (incl. passes)
+  int64_t drops = 0;
+  int64_t dups = 0;
+  int64_t truncates = 0;
+  int64_t short_writes = 0;
+  int64_t kills = 0;
+  int64_t delays = 0;
+};
+
+class FaultInjector;
+
+/// One endpoint's fault state: an independent deterministic PRNG stream
+/// forked from the injector at Attach(), so a connection's fault schedule
+/// does not depend on what other connections do concurrently. Created by
+/// FaultInjector::Attach(); used by the socket_io helpers.
+///
+/// Thread-safe (each decision takes a short internal lock), though in
+/// practice one connection's I/O happens on one thread.
+class FaultConnection {
+ public:
+  enum class Action : uint8_t {
+    kPass,
+    kDrop,
+    kDuplicate,
+    kTruncate,
+    kShortWrite,
+    kKill,
+  };
+
+  /// Send-side verdict for a transfer of `size` bytes. On kTruncate and
+  /// kShortWrite, *keep_bytes is the prefix length to transfer (>= 1 when
+  /// size >= 1). May sleep (delay fault).
+  Action OnSend(size_t size, size_t* keep_bytes);
+
+  /// Recv-side verdict: kPass, kKill, or kShortWrite (cap the read size to
+  /// *keep_bytes). May sleep (delay fault).
+  Action OnRecv(size_t size, size_t* keep_bytes);
+
+ private:
+  friend class FaultInjector;
+  FaultConnection(FaultInjector* owner, util::Rng rng)
+      : owner_(owner), rng_(rng) {}
+
+  Action Decide(size_t size, size_t* keep_bytes, bool send_side);
+
+  FaultInjector* owner_;
+  std::mutex mu_;
+  util::Rng rng_;
+};
+
+/// Seeded, deterministic fault source hooked at the socket read/write
+/// boundary of net::Server and net::Client (via their Options). One
+/// injector is shared by any number of connections; each Attach() forks an
+/// independent PRNG stream. Must outlive every attached connection.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultOptions options = {});
+
+  /// Forks a per-connection deterministic fault stream. Attach order is the
+  /// only coupling between connections, so a fixed connect sequence replays
+  /// the exact same fault schedule.
+  std::shared_ptr<FaultConnection> Attach();
+
+  FaultStats stats() const;
+  const FaultOptions& options() const { return options_; }
+
+ private:
+  friend class FaultConnection;
+
+  FaultOptions options_;
+  mutable std::mutex mu_;
+  util::Rng rng_;  // fork source
+  FaultStats stats_;
+};
+
+}  // namespace net
+}  // namespace causaltad
+
+#endif  // CAUSALTAD_NET_FAULT_H_

@@ -72,6 +72,7 @@ void EncodeFrame(const Frame& frame, std::vector<uint8_t>* out) {
       w.WriteI32(frame.source);
       w.WriteI32(frame.destination);
       w.WriteI32(frame.time_slot);
+      w.WriteU64(frame.resume_key);
       break;
     case FrameType::kPush:
       w.WriteU64(frame.session);
@@ -85,10 +86,12 @@ void EncodeFrame(const Frame& frame, std::vector<uint8_t>* out) {
     case FrameType::kPoll:
       w.WriteU64(frame.session);
       w.WriteU64(frame.token);
+      w.WriteU64(frame.offset);
       break;
     case FrameType::kScoreDelta:
       w.WriteU64(frame.session);
       w.WriteU64(frame.token);
+      w.WriteU64(frame.offset);
       w.WriteF64s(frame.scores);
       break;
     case FrameType::kPushReject:
@@ -100,6 +103,22 @@ void EncodeFrame(const Frame& frame, std::vector<uint8_t>* out) {
     case FrameType::kError:
       w.WriteU8(static_cast<uint8_t>(frame.code));
       w.WriteString(frame.message);
+      break;
+    case FrameType::kResume:
+      w.WriteU64(frame.session);
+      w.WriteU64(frame.resume_key);
+      w.WriteI32(frame.source);
+      w.WriteI32(frame.destination);
+      w.WriteI32(frame.time_slot);
+      w.WriteU64(frame.offset);
+      break;
+    case FrameType::kResumeAck:
+      w.WriteU64(frame.session);
+      w.WriteU64(frame.offset);
+      break;
+    case FrameType::kHeartbeat:
+      w.WriteU64(frame.token);
+      w.WriteU64(frame.seq);
       break;
   }
   const uint32_t payload =
@@ -130,6 +149,7 @@ util::StatusOr<Frame> DecodeFramePayload(const uint8_t* payload, size_t size) {
       frame.source = r.ReadI32();
       frame.destination = r.ReadI32();
       frame.time_slot = r.ReadI32();
+      frame.resume_key = r.ReadU64();
       break;
     case FrameType::kPush:
       frame.session = r.ReadU64();
@@ -143,10 +163,12 @@ util::StatusOr<Frame> DecodeFramePayload(const uint8_t* payload, size_t size) {
     case FrameType::kPoll:
       frame.session = r.ReadU64();
       frame.token = r.ReadU64();
+      frame.offset = r.ReadU64();
       break;
     case FrameType::kScoreDelta:
       frame.session = r.ReadU64();
       frame.token = r.ReadU64();
+      frame.offset = r.ReadU64();
       frame.scores = r.ReadF64s();
       break;
     case FrameType::kPushReject: {
@@ -169,6 +191,22 @@ util::StatusOr<Frame> DecodeFramePayload(const uint8_t* payload, size_t size) {
       frame.message = r.ReadString();
       break;
     }
+    case FrameType::kResume:
+      frame.session = r.ReadU64();
+      frame.resume_key = r.ReadU64();
+      frame.source = r.ReadI32();
+      frame.destination = r.ReadI32();
+      frame.time_slot = r.ReadI32();
+      frame.offset = r.ReadU64();
+      break;
+    case FrameType::kResumeAck:
+      frame.session = r.ReadU64();
+      frame.offset = r.ReadU64();
+      break;
+    case FrameType::kHeartbeat:
+      frame.token = r.ReadU64();
+      frame.seq = r.ReadU64();
+      break;
     default:
       return util::Status::InvalidArgument("unknown frame type " +
                                            std::to_string(type));

@@ -14,7 +14,9 @@ namespace net {
 /// Wire protocol version emitted by EncodeFrame and required by the
 /// decoder. Bump on any payload layout change; the decoder rejects frames
 /// from other versions with a clean error instead of misparsing them.
-inline constexpr uint8_t kWireVersion = 1;
+/// v2: session continuity — Begin carries a resume key, ScoreDelta/Poll
+/// carry cumulative score offsets, and Resume/ResumeAck/Heartbeat exist.
+inline constexpr uint8_t kWireVersion = 2;
 
 /// Hard cap on a frame's payload (version + type + fields). An incoming
 /// length prefix above this is a protocol error — the decoder fails fast
@@ -26,13 +28,22 @@ inline constexpr uint32_t kMaxFramePayload = 1u << 20;  // 1 MiB
 /// the full wire-format table.
 enum class FrameType : uint8_t {
   kHello = 1,       // tenant handshake: {tenant, auth_token}
-  kBegin = 2,       // open session: {session, source, destination, time_slot}
+  kBegin = 2,       // open session: {session, source, destination,
+                    //  time_slot, resume_key} (resume_key 0 = not resumable)
   kPush = 3,        // next observed point: {session, seq, wire_seq, segment}
   kEnd = 4,         // no more pushes for {session}
-  kPoll = 5,        // request a ScoreDelta for {session}; echoes {token}
-  kScoreDelta = 6,  // {session, token, scores[]} — scores since last Poll
+  kPoll = 5,        // request a ScoreDelta for {session}; echoes {token};
+                    //  {offset} acks scores below it (resume history prune)
+  kScoreDelta = 6,  // {session, token, offset, scores[]} — scores since the
+                    //  last Poll; offset = cumulative index of scores[0]
   kPushReject = 7,  // {session, seq, wire_seq, reason} — point NOT enqueued
   kError = 8,       // {code, message} — connection closes after terminal ones
+  kResume = 9,      // re-adopt a session after reconnect: {session,
+                    //  resume_key, source, destination, time_slot,
+                    //  offset = client's delivered score high-water}
+  kResumeAck = 10,  // {session, offset = replay pushes from this seq}
+  kHeartbeat = 11,  // liveness probe: {token, seq} (seq 1 = ping, 0 = pong;
+                    //  the pong echoes the ping's token)
 };
 
 /// Why a Push was rejected (the wire mapping of serve::PushStatus plus the
@@ -65,17 +76,24 @@ const char* ErrorCodeName(ErrorCode code);
 struct Frame {
   FrameType type = FrameType::kError;
 
-  uint64_t session = 0;   // Begin/Push/End/Poll/ScoreDelta/PushReject
-  uint64_t seq = 0;       // Push/PushReject: per-session push sequence
+  uint64_t session = 0;   // Begin/Push/End/Poll/ScoreDelta/PushReject/Resume
+  uint64_t seq = 0;       // Push/PushReject: per-session push sequence;
+                          // Heartbeat: 1 = ping, 0 = pong
   uint64_t wire_seq = 0;  // Push/PushReject: unique per transmission (retries
                           // get a fresh one, so a client can drop stale
                           // rejects for points it has already resent)
-  uint64_t token = 0;     // Poll/ScoreDelta: client-chosen, echoed verbatim
+  uint64_t token = 0;     // Poll/ScoreDelta/Heartbeat: client-chosen, echoed
+                          // verbatim
+  uint64_t offset = 0;    // ScoreDelta: cumulative index of scores[0];
+                          // Poll/Resume: client's delivered high-water (acks
+                          // scores below it); ResumeAck: replay-from seq
+  uint64_t resume_key = 0;  // Begin/Resume: tenant-scoped session identity
+                            // surviving reconnects (0 = not resumable)
 
   roadnet::SegmentId segment = roadnet::kInvalidSegment;      // Push
-  roadnet::SegmentId source = roadnet::kInvalidSegment;       // Begin
-  roadnet::SegmentId destination = roadnet::kInvalidSegment;  // Begin
-  int32_t time_slot = 0;                                      // Begin
+  roadnet::SegmentId source = roadnet::kInvalidSegment;       // Begin/Resume
+  roadnet::SegmentId destination = roadnet::kInvalidSegment;  // Begin/Resume
+  int32_t time_slot = 0;                                      // Begin/Resume
 
   std::string tenant;      // Hello
   std::string auth_token;  // Hello

@@ -10,9 +10,12 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
+#include "net/socket_io.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -44,6 +47,18 @@ Server::Server(serve::StreamingService* service, ServerOptions options)
 }
 
 Server::~Server() { Stop(); }
+
+double Server::NowMs() const {
+  if (options_.now_ms) return options_.now_ms();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string Server::DetachedKey(const std::string& tenant,
+                                uint64_t resume_key) {
+  return tenant + '/' + std::to_string(resume_key);
+}
 
 util::Status Server::Start() {
   std::lock_guard<std::mutex> lock(lifecycle_mu_);
@@ -84,38 +99,73 @@ util::Status Server::Start() {
   }
   started_ = true;
   stop_.store(false, std::memory_order_release);
+  draining_.store(false, std::memory_order_release);
   loop_ = std::thread([this] { Loop(); });
   return util::Status::Ok();
 }
 
 void Server::Stop() {
   std::lock_guard<std::mutex> lock(lifecycle_mu_);
-  if (!started_) return;
-  stop_.store(true, std::memory_order_release);
-  const char byte = 1;
-  [[maybe_unused]] ssize_t n = write(wake_fds_[1], &byte, 1);
-  if (loop_.joinable()) loop_.join();
-  // Loop has exited: close everything it owned and end the sessions the
-  // dead connections still held, so the service releases their rows.
-  for (auto& conn : connections_) {
-    if (conn->fd >= 0) CloseConnection(conn.get());
+  if (started_) {
+    stop_.store(true, std::memory_order_release);
+    const char byte = 1;
+    [[maybe_unused]] ssize_t n = write(wake_fds_[1], &byte, 1);
+    if (loop_.joinable()) loop_.join();
+    // Loop has exited: close everything it owned and end the sessions the
+    // dead connections still held, so the service releases their rows.
+    for (auto& conn : connections_) {
+      if (conn->fd >= 0) CloseConnection(conn.get());
+    }
+    connections_.clear();
+    connections_active_.store(0, std::memory_order_relaxed);
+    // Detached sessions cannot outlive the server: end them so the service
+    // releases their rows, then drain like any other orphan.
+    for (auto& [key, detached] : detached_) AbandonDetachedLocked(&detached);
+    detached_.clear();
+    detached_live_.store(0, std::memory_order_relaxed);
+    // Best-effort orphan drain of scores already emitted (no waiting: the
+    // service may keep scoring queued points after we return).
+    DrainOrphans();
+    if (listen_fd_ >= 0) close(listen_fd_);
+    listen_fd_ = -1;
+    close(wake_fds_[0]);
+    close(wake_fds_[1]);
+    wake_fds_[0] = wake_fds_[1] = -1;
+    started_ = false;
   }
-  connections_.clear();
-  connections_active_.store(0, std::memory_order_relaxed);
-  // Best-effort orphan drain of scores already emitted (no waiting: the
-  // service may keep scoring queued points after we return).
-  DrainOrphans();
+  // ALWAYS reap queued loopback ends — including fds pushed before Start()
+  // or after Stop(), which the early-return path used to leak.
   {
     std::lock_guard<std::mutex> pending_lock(pending_mu_);
     for (const int fd : pending_fds_) close(fd);
     pending_fds_.clear();
   }
-  if (listen_fd_ >= 0) close(listen_fd_);
-  listen_fd_ = -1;
-  close(wake_fds_[0]);
-  close(wake_fds_[1]);
-  wake_fds_[0] = wake_fds_[1] = -1;
-  started_ = false;
+}
+
+bool Server::Drain(double timeout_ms) {
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    if (!started_) return true;
+    draining_.store(true, std::memory_order_release);
+    const char byte = 1;
+    [[maybe_unused]] ssize_t n = write(wake_fds_[1], &byte, 1);
+  }
+  util::Stopwatch watch;
+  while (true) {
+    bool pending_empty;
+    {
+      std::lock_guard<std::mutex> pending_lock(pending_mu_);
+      pending_empty = pending_fds_.empty();
+    }
+    const bool drained =
+        pending_empty &&
+        connections_active_.load(std::memory_order_acquire) == 0 &&
+        detached_live_.load(std::memory_order_acquire) == 0 &&
+        orphans_live_.load(std::memory_order_acquire) == 0;
+    if (drained) return true;
+    if (timeout_ms > 0.0 && watch.ElapsedMillis() > timeout_ms) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
 }
 
 int Server::AddLoopbackConnection() {
@@ -137,7 +187,7 @@ int Server::AddLoopbackConnection() {
   return fds[1];
 }
 
-void Server::AdoptPending() {
+void Server::AdoptPending(double now) {
   std::vector<int> adopted;
   {
     std::lock_guard<std::mutex> lock(pending_mu_);
@@ -146,13 +196,19 @@ void Server::AdoptPending() {
   for (const int fd : adopted) {
     auto conn = std::make_unique<Connection>();
     conn->fd = fd;
-    connections_.push_back(std::move(conn));
+    conn->last_activity_ms = now;
+    if (options_.fault != nullptr) conn->fault = options_.fault->Attach();
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
     connections_active_.fetch_add(1, std::memory_order_relaxed);
+    if (draining_.load(std::memory_order_acquire)) {
+      SendError(conn.get(), ErrorCode::kShuttingDown, "server is draining");
+      conn->closing = true;
+    }
+    connections_.push_back(std::move(conn));
   }
 }
 
-void Server::AcceptTcp() {
+void Server::AcceptTcp(double now) {
   while (true) {
     const int fd = accept4(listen_fd_, nullptr, nullptr,
                            SOCK_NONBLOCK | SOCK_CLOEXEC);
@@ -160,6 +216,8 @@ void Server::AcceptTcp() {
     SetNoDelay(fd);
     auto conn = std::make_unique<Connection>();
     conn->fd = fd;
+    conn->last_activity_ms = now;
+    if (options_.fault != nullptr) conn->fault = options_.fault->Attach();
     connections_.push_back(std::move(conn));
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
     connections_active_.fetch_add(1, std::memory_order_relaxed);
@@ -170,7 +228,14 @@ void Server::Loop() {
   std::vector<pollfd> fds;
   std::vector<Connection*> polled;
   while (!stop_.load(std::memory_order_acquire)) {
-    AdoptPending();
+    const double now = NowMs();
+    AdoptPending(now);
+    const bool draining = draining_.load(std::memory_order_acquire);
+    if (draining && listen_fd_ >= 0) {
+      // Stop admitting TCP connections; Stop() sees -1 and skips the close.
+      close(listen_fd_);
+      listen_fd_ = -1;
+    }
 
     fds.clear();
     polled.clear();
@@ -178,6 +243,23 @@ void Server::Loop() {
     if (listen_fd_ >= 0) fds.push_back({listen_fd_, POLLIN, 0});
     for (auto& conn : connections_) {
       if (conn->fd < 0) continue;
+      // Idle-peer reaping: a half-open connection (peer gone without FIN,
+      // or a wedged producer) stops pinning quota and shard rows. Its
+      // resumable sessions detach like any disconnect.
+      if (!conn->closing && options_.heartbeat_timeout_ms > 0.0 &&
+          now - conn->last_activity_ms > options_.heartbeat_timeout_ms) {
+        connections_reaped_.fetch_add(1, std::memory_order_relaxed);
+        CloseConnection(conn.get());
+        continue;
+      }
+      // Draining: once a connection owns no sessions it is told the server
+      // is going away and flushed out.
+      if (draining && !conn->closing && conn->sessions.empty()) {
+        SendError(conn.get(), ErrorCode::kShuttingDown,
+                  "server is draining");
+        conn->closing = true;
+        if (conn->fd < 0) continue;
+      }
       short events = conn->closing ? 0 : POLLIN;
       if (conn->woff < conn->wbuf.size()) events |= POLLOUT;
       if (events == 0) {  // closing and fully flushed
@@ -187,36 +269,39 @@ void Server::Loop() {
       fds.push_back({conn->fd, events, 0});
       polled.push_back(conn.get());
     }
-    // With orphans pending, tick fast enough to drain their scores as the
-    // service emits them; otherwise just often enough to notice Stop()
-    // races lost to the wake pipe.
-    const int timeout_ms = orphans_.empty() ? 50 : 2;
+    // With orphans or detached sessions pending (or a drain in flight),
+    // tick fast enough to move their scores as the service emits them;
+    // otherwise just often enough to notice Stop() races lost to the wake
+    // pipe.
+    const int timeout_ms =
+        (orphans_.empty() && detached_.empty() && !draining) ? 50 : 2;
     const int ready = poll(fds.data(), fds.size(), timeout_ms);
     if (ready < 0 && errno != EINTR) break;
-
-    size_t base = 1;
-    if (fds[0].revents & POLLIN) {
-      char buf[64];
-      while (read(wake_fds_[0], buf, sizeof(buf)) > 0) {
-      }
-    }
-    if (listen_fd_ >= 0) {
-      if (fds[base].revents & POLLIN) AcceptTcp();
-      ++base;
-    }
-    for (size_t i = 0; i < polled.size(); ++i) {
-      Connection* conn = polled[i];
-      const short revents = fds[base + i].revents;
-      if (revents & POLLOUT) {
-        if (!FlushWrites(conn)) {
-          CloseConnection(conn);
-          continue;
+    if (ready >= 0) {
+      size_t base = 1;
+      if (fds[0].revents & POLLIN) {
+        char buf[64];
+        while (read(wake_fds_[0], buf, sizeof(buf)) > 0) {
         }
       }
-      if (revents & POLLIN) ReadConnection(conn);
-      if ((revents & (POLLERR | POLLHUP)) && conn->fd >= 0 &&
-          conn->woff >= conn->wbuf.size()) {
-        CloseConnection(conn);
+      if (listen_fd_ >= 0) {
+        if (fds[base].revents & POLLIN) AcceptTcp(now);
+        ++base;
+      }
+      for (size_t i = 0; i < polled.size(); ++i) {
+        Connection* conn = polled[i];
+        const short revents = fds[base + i].revents;
+        if (revents & POLLOUT) {
+          if (!FlushWrites(conn)) {
+            CloseConnection(conn);
+            continue;
+          }
+        }
+        if (revents & POLLIN) ReadConnection(conn, NowMs());
+        if ((revents & (POLLERR | POLLHUP)) && conn->fd >= 0 &&
+            conn->woff >= conn->wbuf.size()) {
+          CloseConnection(conn);
+        }
       }
     }
     connections_.erase(
@@ -226,16 +311,19 @@ void Server::Loop() {
                        }),
         connections_.end());
     DrainOrphans();
+    DrainDetached(NowMs());
   }
 }
 
-void Server::ReadConnection(Connection* conn) {
+void Server::ReadConnection(Connection* conn, double now) {
   uint8_t buf[64 * 1024];
   while (conn->fd >= 0 && !conn->closing) {
-    const ssize_t n = recv(conn->fd, buf, sizeof(buf), 0);
-    if (n > 0) {
-      bytes_received_.fetch_add(n, std::memory_order_relaxed);
-      conn->decoder.Feed(buf, static_cast<size_t>(n));
+    const IoResult r = RecvSome(conn->fd, buf, sizeof(buf),
+                                conn->fault.get());
+    if (r.n > 0) {
+      conn->last_activity_ms = now;
+      bytes_received_.fetch_add(r.n, std::memory_order_relaxed);
+      conn->decoder.Feed(buf, static_cast<size_t>(r.n));
       Frame frame;
       while (conn->fd >= 0 && !conn->closing && conn->decoder.Next(&frame)) {
         frames_received_.fetch_add(1, std::memory_order_relaxed);
@@ -249,14 +337,14 @@ void Server::ReadConnection(Connection* conn) {
                   conn->decoder.status().message());
         conn->closing = true;
       }
-      if (static_cast<ssize_t>(sizeof(buf)) > n) break;  // drained
-    } else if (n == 0) {
-      CloseConnection(conn);  // peer closed
+      if (static_cast<ssize_t>(sizeof(buf)) > r.n) break;  // drained
+    } else if (r.peer_closed) {
+      CloseConnection(conn);
       break;
-    } else if (errno == EINTR) {
-      continue;
+    } else if (r.would_block) {
+      break;
     } else {
-      if (errno != EAGAIN && errno != EWOULDBLOCK) CloseConnection(conn);
+      CloseConnection(conn);  // hard error (incl. injected kill)
       break;
     }
   }
@@ -285,8 +373,15 @@ void Server::HandleFrame(Connection* conn, const Frame& frame) {
     case FrameType::kPoll:
       HandlePoll(conn, frame);
       return;
+    case FrameType::kResume:
+      HandleResume(conn, frame);
+      return;
+    case FrameType::kHeartbeat:
+      HandleHeartbeat(conn, frame);
+      return;
     case FrameType::kScoreDelta:
     case FrameType::kPushReject:
+    case FrameType::kResumeAck:
     case FrameType::kError:
       break;  // server-to-client frames are not valid requests
   }
@@ -297,8 +392,11 @@ void Server::HandleFrame(Connection* conn, const Frame& frame) {
 
 void Server::HandleHello(Connection* conn, const Frame& frame) {
   if (conn->authed) {
+    // A byte-identical duplicate (fault injection redelivers whole frames)
+    // is an idempotent re-auth; a DIFFERENT tenant mid-connection is not.
+    if (frame.tenant == conn->tenant) return;
     protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-    SendError(conn, ErrorCode::kProtocol, "duplicate Hello");
+    SendError(conn, ErrorCode::kProtocol, "Hello changed tenant");
     conn->closing = true;
     return;
   }
@@ -318,7 +416,19 @@ void Server::HandleHello(Connection* conn, const Frame& frame) {
 }
 
 void Server::HandleBegin(Connection* conn, const Frame& frame) {
-  if (conn->sessions.count(frame.session) != 0) {
+  if (draining_.load(std::memory_order_acquire)) {
+    SendError(conn, ErrorCode::kShuttingDown, "server is draining");
+    conn->closing = true;
+    return;
+  }
+  const auto existing = conn->sessions.find(frame.session);
+  if (existing != conn->sessions.end()) {
+    // A redelivered duplicate of the same resumable Begin is idempotent;
+    // reusing a live id for a different session is a protocol error.
+    if (frame.resume_key != 0 &&
+        existing->second.resume_key == frame.resume_key) {
+      return;
+    }
     protocol_errors_.fetch_add(1, std::memory_order_relaxed);
     SendError(conn, ErrorCode::kDuplicateSession,
               "session " + std::to_string(frame.session) + " already open");
@@ -339,6 +449,7 @@ void Server::HandleBegin(Connection* conn, const Frame& frame) {
   SessionState state;
   state.inner = service_->BeginSession(frame.source, frame.destination,
                                        frame.time_slot);
+  state.resume_key = frame.resume_key;
   conn->sessions.emplace(frame.session, state);
 }
 
@@ -356,6 +467,13 @@ void Server::HandlePush(Connection* conn, const Frame& frame) {
     return;
   }
   SessionState& state = it->second;
+  // A seq the session has already accepted is a resume replay crossing an
+  // ack the client never saw: idempotently ignore it — the accepted stream
+  // must have no duplicates.
+  if (frame.seq < state.expected_seq) {
+    duplicate_pushes_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   if (state.ended) {
     protocol_errors_.fetch_add(1, std::memory_order_relaxed);
     SendError(conn, ErrorCode::kProtocol, "Push after End");
@@ -386,8 +504,12 @@ void Server::HandlePush(Connection* conn, const Frame& frame) {
   }
   // Tenant shed quota, checked before the push reaches a shard: points the
   // tenant has pushed but not yet drained via Poll count against it.
+  // Emit-skipped replay pushes (seq < skip) never produce a deliverable
+  // score, so they are quota-exempt.
   int64_t* pending = TenantPending(conn->tenant);
-  if (options_.tenant_max_pending > 0 &&
+  const bool deliverable =
+      static_cast<int64_t>(frame.seq) >= state.skip;
+  if (deliverable && options_.tenant_max_pending > 0 &&
       *pending >= options_.tenant_max_pending) {
     rejected_quota_.fetch_add(1, std::memory_order_relaxed);
     SendReject(conn, frame, RejectReason::kQuota);
@@ -396,8 +518,7 @@ void Server::HandlePush(Connection* conn, const Frame& frame) {
   switch (service_->Push(state.inner, frame.segment)) {
     case serve::PushStatus::kAccepted:
       ++state.expected_seq;
-      ++state.accepted;
-      ++*pending;
+      if (deliverable) ++*pending;
       state.last = frame.segment;
       state.has_last = true;
       pushes_accepted_.fetch_add(1, std::memory_order_relaxed);
@@ -427,6 +548,10 @@ void Server::HandleEnd(Connection* conn, const Frame& frame) {
     return;
   }
   if (it->second.ended) {
+    // A resumed session may replay its End (the client cannot know whether
+    // the original landed) — idempotent. A duplicate End on a session that
+    // was never resumable is still a protocol error.
+    if (it->second.resume_key != 0) return;
     protocol_errors_.fetch_add(1, std::memory_order_relaxed);
     SendError(conn, ErrorCode::kProtocol, "duplicate End");
     conn->closing = true;
@@ -437,43 +562,193 @@ void Server::HandleEnd(Connection* conn, const Frame& frame) {
   MaybeForgetSession(conn, frame.session);
 }
 
-void Server::HandlePoll(Connection* conn, const Frame& frame) {
-  std::vector<double> scores;
-  const auto it = conn->sessions.find(frame.session);
-  const bool known = it != conn->sessions.end();
-  if (known) {
-    scores = service_->Poll(it->second.inner);
-    it->second.delivered += static_cast<int64_t>(scores.size());
-    *TenantPending(conn->tenant) -= static_cast<int64_t>(scores.size());
-  }
-  // Unknown sessions get an empty delta: a Poll is ALWAYS answered, so
-  // clients can use it as an ordering barrier (e.g. right after Hello).
+void Server::SendScoreChunks(Connection* conn, uint64_t session_id,
+                             SessionState* state,
+                             const std::vector<double>& scores, int64_t base,
+                             uint64_t token) {
   // A large backlog is split across frames so no delta ever exceeds
   // kMaxFramePayload; only the LAST chunk echoes the token, so the
   // client's barrier still means "everything before this has arrived".
+  // Every chunk is offset-stamped so the client can detect gaps and drop
+  // redelivered duplicates after a resume.
   size_t sent = 0;
   do {
     Frame delta;
     delta.type = FrameType::kScoreDelta;
-    delta.session = frame.session;
+    delta.session = session_id;
+    delta.offset = static_cast<uint64_t>(base) + sent;
     const size_t chunk = std::min(scores.size() - sent, kMaxScoresPerDelta);
     delta.scores.assign(scores.begin() + static_cast<int64_t>(sent),
                         scores.begin() + static_cast<int64_t>(sent + chunk));
     sent += chunk;
-    if (sent == scores.size()) delta.token = frame.token;
+    if (sent == scores.size()) delta.token = token;
     SendFrame(conn, delta);
     // SendFrame may have closed the connection (broken pipe / slow
-    // consumer), invalidating `it` and the session map — stop touching
+    // consumer), invalidating `state` and the session map — stop touching
     // both.
     if (conn->fd < 0) return;
   } while (sent < scores.size());
+  (void)state;
+}
+
+void Server::HandlePoll(Connection* conn, const Frame& frame) {
+  std::vector<double> scores;
+  int64_t base = 0;
+  const auto it = conn->sessions.find(frame.session);
+  const bool known = it != conn->sessions.end();
+  if (known) {
+    SessionState& state = it->second;
+    scores = service_->Poll(state.inner);
+    const int64_t n = static_cast<int64_t>(scores.size());
+    base = state.delivered;
+    state.delivered += n;
+    *TenantPending(conn->tenant) -= n;
+    if (state.resume_key != 0) {
+      // Retain for post-reconnect redelivery until the client acks them
+      // (frame.offset = its delivered high-water).
+      state.history.insert(state.history.end(), scores.begin(),
+                           scores.end());
+      while (!state.history.empty() &&
+             state.history_base < static_cast<int64_t>(frame.offset)) {
+        state.history.pop_front();
+        ++state.history_base;
+      }
+      if (static_cast<int64_t>(state.history.size()) >
+          options_.max_resume_history) {
+        // The client is not acking: cap memory by revoking resumability
+        // instead of growing without bound.
+        state.resume_key = 0;
+        state.history.clear();
+      }
+    }
+  }
+  // Unknown sessions get an empty delta: a Poll is ALWAYS answered, so
+  // clients can use it as an ordering barrier (e.g. right after Hello).
+  SendScoreChunks(conn, frame.session, known ? &it->second : nullptr, scores,
+                  base, frame.token);
+  if (conn->fd < 0) return;
   if (known) MaybeForgetSession(conn, frame.session);
+}
+
+void Server::HandleResume(Connection* conn, const Frame& frame) {
+  if (draining_.load(std::memory_order_acquire)) {
+    SendError(conn, ErrorCode::kShuttingDown, "server is draining");
+    conn->closing = true;
+    return;
+  }
+  if (frame.resume_key == 0) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    SendError(conn, ErrorCode::kProtocol, "Resume without a resume key");
+    conn->closing = true;
+    return;
+  }
+  const auto open = conn->sessions.find(frame.session);
+  if (open != conn->sessions.end()) {
+    if (open->second.resume_key == frame.resume_key) {
+      // Redelivered duplicate of a Resume already honored: re-ack with the
+      // current accepted high-water (the client ignores acks it is not
+      // waiting for, so this is harmless either way).
+      Frame ack;
+      ack.type = FrameType::kResumeAck;
+      ack.session = frame.session;
+      ack.offset = open->second.expected_seq;
+      SendFrame(conn, ack);
+      return;
+    }
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    SendError(conn, ErrorCode::kDuplicateSession,
+              "Resume for a session id already open on this connection");
+    conn->closing = true;
+    return;
+  }
+  const int64_t have = static_cast<int64_t>(frame.offset);
+  const auto det = detached_.find(DetachedKey(conn->tenant,
+                                              frame.resume_key));
+  if (det != detached_.end() && have >= det->second.state.history_base) {
+    // Re-adopt: the interrupted session continues where it left off. The
+    // ack tells the client to replay from the accepted high-water; the
+    // unacked history tail is redelivered first (offset-stamped, so a
+    // client that actually received some of it drops the duplicates).
+    SessionState state = std::move(det->second.state);
+    detached_.erase(det);
+    detached_live_.store(static_cast<int64_t>(detached_.size()),
+                         std::memory_order_release);
+    sessions_resumed_.fetch_add(1, std::memory_order_relaxed);
+    while (!state.history.empty() && state.history_base < have) {
+      state.history.pop_front();
+      ++state.history_base;
+    }
+    Frame ack;
+    ack.type = FrameType::kResumeAck;
+    ack.session = frame.session;
+    ack.offset = state.expected_seq;
+    SendFrame(conn, ack);
+    if (conn->fd < 0) return;
+    if (!state.history.empty()) {
+      const std::vector<double> redeliver(state.history.begin(),
+                                          state.history.end());
+      SendScoreChunks(conn, frame.session, &state, redeliver,
+                      state.history_base, /*token=*/0);
+      if (conn->fd < 0) return;
+    }
+    conn->sessions.emplace(frame.session, std::move(state));
+    MaybeForgetSession(conn, frame.session);
+    return;
+  }
+  if (det != detached_.end()) {
+    // The client's high-water predates the retained history (cannot happen
+    // with a well-behaved client, but a corrupt peer must not wedge the
+    // parked state): abandon the old incarnation and rebuild fresh below.
+    AbandonDetachedLocked(&det->second);
+    detached_.erase(det);
+    detached_live_.store(static_cast<int64_t>(detached_.size()),
+                         std::memory_order_release);
+  }
+  // Fresh rebuild: the server lost the session (restart, linger expiry).
+  // The client replays its full journaled prefix from seq 0; the first
+  // `have` scores are computed but not re-delivered (emit-skip), so
+  // delivery resumes exactly at the client's high-water.
+  if (options_.network != nullptr) {
+    const int64_t n = options_.network->num_segments();
+    if (frame.source < 0 || frame.source >= n || frame.destination < 0 ||
+        frame.destination >= n) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      SendError(conn, ErrorCode::kInvalidSegment,
+                "Resume endpoints out of range");
+      conn->closing = true;
+      return;
+    }
+  }
+  SessionState state;
+  state.inner = service_->BeginSessionAt(frame.source, frame.destination,
+                                         frame.time_slot, have);
+  state.resume_key = frame.resume_key;
+  state.skip = have;
+  state.delivered = have;
+  state.history_base = have;
+  conn->sessions.emplace(frame.session, state);
+  sessions_resumed_fresh_.fetch_add(1, std::memory_order_relaxed);
+  Frame ack;
+  ack.type = FrameType::kResumeAck;
+  ack.session = frame.session;
+  ack.offset = 0;  // replay everything
+  SendFrame(conn, ack);
+}
+
+void Server::HandleHeartbeat(Connection* conn, const Frame& frame) {
+  if (frame.seq != 1) return;  // not a ping: ignore stray pongs
+  heartbeats_.fetch_add(1, std::memory_order_relaxed);
+  Frame pong;
+  pong.type = FrameType::kHeartbeat;
+  pong.token = frame.token;
+  pong.seq = 0;
+  SendFrame(conn, pong);
 }
 
 void Server::MaybeForgetSession(Connection* conn, uint64_t id) {
   const auto it = conn->sessions.find(id);
   if (it == conn->sessions.end()) return;
-  if (it->second.ended && it->second.delivered == it->second.accepted) {
+  if (it->second.ended && it->second.Outstanding() == 0) {
     conn->sessions.erase(it);
   }
 }
@@ -515,17 +790,13 @@ void Server::SendReject(Connection* conn, const Frame& push,
 
 bool Server::FlushWrites(Connection* conn) {
   while (conn->woff < conn->wbuf.size()) {
-    const ssize_t n =
-        send(conn->fd, conn->wbuf.data() + conn->woff,
-             conn->wbuf.size() - conn->woff, MSG_NOSIGNAL);
-    if (n > 0) {
-      conn->woff += static_cast<size_t>(n);
-      bytes_sent_.fetch_add(n, std::memory_order_relaxed);
-      continue;
-    }
-    if (errno == EINTR) continue;
-    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-    return false;  // broken pipe etc.
+    const IoResult r =
+        SendSome(conn->fd, conn->wbuf.data() + conn->woff,
+                 conn->wbuf.size() - conn->woff, conn->fault.get());
+    if (!r.ok()) return false;  // broken pipe etc. (incl. injected kill)
+    if (r.would_block || r.n == 0) break;
+    conn->woff += static_cast<size_t>(r.n);
+    bytes_sent_.fetch_add(r.n, std::memory_order_relaxed);
   }
   if (conn->woff == conn->wbuf.size()) {
     conn->wbuf.clear();
@@ -543,17 +814,38 @@ void Server::CloseConnection(Connection* conn) {
   close(conn->fd);
   conn->fd = -1;
   connections_active_.fetch_add(-1, std::memory_order_relaxed);
-  // End the sessions the connection still owns. Their queued points are
-  // still scored; the orphan list keeps polling so the service forgets them
-  // and the tenant's quota drains back.
+  const bool draining = draining_.load(std::memory_order_acquire);
+  const double now = NowMs();
   for (auto& [id, state] : conn->sessions) {
+    if (state.resume_key != 0 && !draining) {
+      // Park for re-adoption: the service session stays live, its scores
+      // accrue to the retained history via DrainDetached, and the tenant's
+      // quota drains as those scores surface.
+      const std::string key = DetachedKey(conn->tenant, state.resume_key);
+      const auto stale = detached_.find(key);
+      if (stale != detached_.end()) {
+        // A previous incarnation with the same key was never resumed:
+        // abandon it rather than leak its service session.
+        AbandonDetachedLocked(&stale->second);
+        detached_.erase(stale);
+      }
+      sessions_detached_.fetch_add(1, std::memory_order_relaxed);
+      detached_.emplace(key,
+                        Detached{std::move(state), conn->tenant, now});
+      continue;
+    }
+    // Not resumable (or draining): end it and let the orphan drain give
+    // the quota back as the remaining scores surface.
     if (!state.ended) service_->End(state.inner);
-    if (state.accepted > state.delivered || !state.ended) {
-      orphans_.push_back(
-          {state.inner, conn->tenant, state.accepted - state.delivered});
+    if (state.Outstanding() > 0 || !state.ended) {
+      orphans_.push_back({state.inner, conn->tenant, state.Outstanding()});
     }
   }
   conn->sessions.clear();
+  detached_live_.store(static_cast<int64_t>(detached_.size()),
+                       std::memory_order_release);
+  orphans_live_.store(static_cast<int64_t>(orphans_.size()),
+                      std::memory_order_release);
 }
 
 void Server::DrainOrphans() {
@@ -570,6 +862,54 @@ void Server::DrainOrphans() {
       ++i;
     }
   }
+  orphans_live_.store(static_cast<int64_t>(orphans_.size()),
+                      std::memory_order_release);
+}
+
+void Server::AbandonDetachedLocked(Detached* detached) {
+  SessionState& state = detached->state;
+  if (!state.ended) {
+    service_->End(state.inner);
+    state.ended = true;
+  }
+  if (state.Outstanding() > 0) {
+    orphans_.push_back({state.inner, detached->tenant, state.Outstanding()});
+  }
+  state.history.clear();
+}
+
+void Server::DrainDetached(double now) {
+  const bool draining = draining_.load(std::memory_order_acquire);
+  for (auto it = detached_.begin(); it != detached_.end();) {
+    Detached& detached = it->second;
+    SessionState& state = detached.state;
+    // Keep collecting the scores the service emits for the parked session;
+    // they are what a reconnecting client is owed.
+    const std::vector<double> scores = service_->Poll(state.inner);
+    const int64_t n = static_cast<int64_t>(scores.size());
+    if (n > 0) {
+      state.delivered += n;
+      state.history.insert(state.history.end(), scores.begin(),
+                           scores.end());
+      *TenantPending(detached.tenant) -= n;
+    }
+    const bool history_overflow =
+        static_cast<int64_t>(state.history.size()) >
+        options_.max_resume_history;
+    const bool expired =
+        options_.detached_linger_ms > 0.0 &&
+        now - detached.detached_at_ms > options_.detached_linger_ms;
+    if (draining || history_overflow || expired) {
+      AbandonDetachedLocked(&detached);
+      it = detached_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  detached_live_.store(static_cast<int64_t>(detached_.size()),
+                       std::memory_order_release);
+  orphans_live_.store(static_cast<int64_t>(orphans_.size()),
+                      std::memory_order_release);
 }
 
 ServerStats Server::stats() const {
@@ -578,11 +918,15 @@ ServerStats Server::stats() const {
       connections_accepted_.load(std::memory_order_relaxed);
   stats.connections_active =
       connections_active_.load(std::memory_order_relaxed);
+  stats.connections_reaped =
+      connections_reaped_.load(std::memory_order_relaxed);
   stats.frames_received = frames_received_.load(std::memory_order_relaxed);
   stats.frames_sent = frames_sent_.load(std::memory_order_relaxed);
   stats.bytes_received = bytes_received_.load(std::memory_order_relaxed);
   stats.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
   stats.pushes_accepted = pushes_accepted_.load(std::memory_order_relaxed);
+  stats.duplicate_pushes =
+      duplicate_pushes_.load(std::memory_order_relaxed);
   stats.rejected_session_full =
       rejected_session_full_.load(std::memory_order_relaxed);
   stats.rejected_shard_full =
@@ -594,6 +938,14 @@ ServerStats Server::stats() const {
       rejected_shutdown_.load(std::memory_order_relaxed);
   stats.auth_failures = auth_failures_.load(std::memory_order_relaxed);
   stats.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  stats.heartbeats = heartbeats_.load(std::memory_order_relaxed);
+  stats.sessions_detached =
+      sessions_detached_.load(std::memory_order_relaxed);
+  stats.sessions_resumed = sessions_resumed_.load(std::memory_order_relaxed);
+  stats.sessions_resumed_fresh =
+      sessions_resumed_fresh_.load(std::memory_order_relaxed);
+  stats.sessions_detached_live =
+      detached_live_.load(std::memory_order_relaxed);
   stats.dispatch_mean_ms = dispatch_.MeanMs();
   stats.dispatch_p50_ms = dispatch_.Percentile(50.0);
   stats.dispatch_p95_ms = dispatch_.Percentile(95.0);

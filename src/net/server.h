@@ -1,9 +1,11 @@
 #ifndef CAUSALTAD_NET_SERVER_H_
 #define CAUSALTAD_NET_SERVER_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -11,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "net/fault.h"
 #include "net/frame.h"
 #include "roadnet/road_network.h"
 #include "serve/service.h"
@@ -20,7 +23,8 @@
 namespace causaltad {
 namespace net {
 
-/// Wire server knobs. See src/net/README.md for the protocol contract.
+/// Wire server knobs. See src/net/README.md for the protocol contract and
+/// the failure-semantics section for the resume/heartbeat/drain behavior.
 struct ServerOptions {
   /// TCP listen port on listen_host (0 picks an ephemeral port, read it back
   /// via port()); -1 disables the listener — loopback-only servers (tests,
@@ -45,6 +49,25 @@ struct ServerOptions {
   /// A connection whose outbound queue exceeds this many bytes (client not
   /// reading its ScoreDeltas) is dropped as a slow consumer.
   size_t max_connection_backlog = 8u << 20;
+  /// Idle-peer reaping: a connection that has sent NO bytes (frames or
+  /// heartbeat pings) for this long is treated as half-open and closed —
+  /// its resumable sessions detach, the rest orphan-drain, so a dead peer
+  /// stops pinning quota and shard rows. <= 0 disables.
+  double heartbeat_timeout_ms = 0.0;
+  /// How long a resumable session whose connection died is retained for
+  /// re-adoption (scores keep accruing to its retained history). On expiry
+  /// it is ended and orphan-drained like a non-resumable session.
+  double detached_linger_ms = 10000.0;
+  /// Cap on the per-session retained score history (delivered but not yet
+  /// client-acked, plus scores emitted while detached). Overflow silently
+  /// revokes the session's resumability instead of growing without bound.
+  int64_t max_resume_history = 1 << 16;
+  /// Injectable monotonic clock in ms for reaping/linger (tests fake it);
+  /// null uses the process steady clock.
+  std::function<double()> now_ms;
+  /// Deterministic fault injection at the socket read/write boundary (see
+  /// net::FaultInjector). nullptr = no faults. Must outlive the server.
+  FaultInjector* fault = nullptr;
 };
 
 /// Ops counters exported by Server::stats(). Counter fields are cumulative
@@ -54,11 +77,13 @@ struct ServerOptions {
 struct ServerStats {
   int64_t connections_accepted = 0;
   int64_t connections_active = 0;
+  int64_t connections_reaped = 0;  // idle peers closed by heartbeat timeout
   int64_t frames_received = 0;
   int64_t frames_sent = 0;
   int64_t bytes_received = 0;
   int64_t bytes_sent = 0;
   int64_t pushes_accepted = 0;
+  int64_t duplicate_pushes = 0;  // replayed seqs already accepted (resume)
   int64_t rejected_session_full = 0;
   int64_t rejected_shard_full = 0;
   int64_t rejected_quota = 0;
@@ -66,6 +91,11 @@ struct ServerStats {
   int64_t rejected_shutdown = 0;
   int64_t auth_failures = 0;
   int64_t protocol_errors = 0;
+  int64_t heartbeats = 0;          // pings answered
+  int64_t sessions_detached = 0;   // resumable sessions parked at disconnect
+  int64_t sessions_resumed = 0;    // re-adopted from the detached table
+  int64_t sessions_resumed_fresh = 0;  // rebuilt via emit-skip prefix replay
+  int64_t sessions_detached_live = 0;  // currently parked
   double dispatch_mean_ms = 0.0;
   double dispatch_p50_ms = 0.0;
   double dispatch_p95_ms = 0.0;
@@ -85,13 +115,23 @@ struct ServerStats {
 /// pulled: a Poll frame is always answered with exactly one ScoreDelta
 /// (possibly empty), which doubles as the client's ordering barrier.
 ///
+/// Session continuity: a Begin carrying a non-zero resume_key makes the
+/// session survive its transport — on disconnect it parks in a detached
+/// table (scores keep accruing to a retained, client-acked-pruned history)
+/// and a Resume on a later connection re-adopts it, redelivering the
+/// unacked history and telling the client which seq to replay from. A
+/// Resume that finds no detached state rebuilds the session from the
+/// client's journaled prefix through StreamingService::BeginSessionAt
+/// (emit-skip replay). Replayed pushes below the accepted seq are
+/// idempotently ignored, so the accepted stream has no gaps or duplicates.
+///
 /// Score parity is exact relative to driving the StreamingService directly:
 /// the server adds no arithmetic, only transport (tests/net_test.cc asserts
 /// 1e-6 relative, the float-ULP bound shared with the other serving layers).
 ///
-/// Thread-safety: Start/Stop/AddLoopbackConnection/stats/port may be called
-/// from any thread; all socket and session-map work happens on the loop
-/// thread. The StreamingService is shared and itself thread-safe.
+/// Thread-safety: Start/Stop/Drain/AddLoopbackConnection/stats/port may be
+/// called from any thread; all socket and session-map work happens on the
+/// loop thread. The StreamingService is shared and itself thread-safe.
 class Server {
  public:
   explicit Server(serve::StreamingService* service, ServerOptions options = {});
@@ -107,8 +147,18 @@ class Server {
 
   /// Stops the loop, closes every connection, and ends the sessions they
   /// still own (their queued points are still scored by the service, then
-  /// drained and discarded). Idempotent.
+  /// drained and discarded). Idempotent; also safe (and still closes any
+  /// queued loopback fds) when the server never started.
   void Stop();
+
+  /// Graceful drain: closes the listener, answers new connections, Begins,
+  /// and Resumes with Error{shutting_down}, abandons detached sessions
+  /// (ending them so the service releases their rows), and lets live
+  /// sessions run to completion — a connection is closed once it owns no
+  /// sessions. Blocks until everything has drained or timeout_ms elapses
+  /// (<= 0 waits forever); returns true when fully drained. Call Stop()
+  /// afterwards to join the loop.
+  bool Drain(double timeout_ms);
 
   /// The bound TCP port (valid after a successful Start with a listener).
   int port() const { return port_; }
@@ -125,11 +175,24 @@ class Server {
   struct SessionState {
     serve::SessionId inner = -1;
     uint64_t expected_seq = 0;  // next client push seq accepted in order
-    int64_t accepted = 0;       // pushes the service accepted
-    int64_t delivered = 0;      // scores returned in ScoreDeltas
+    int64_t delivered = 0;      // cumulative score index delivered so far
+    int64_t skip = 0;           // emit-skip base of a fresh-resume rebuild
+    uint64_t resume_key = 0;    // 0 = not resumable
     bool ended = false;
     roadnet::SegmentId last = roadnet::kInvalidSegment;
     bool has_last = false;
+    // Resumable sessions retain delivered-but-unacked scores for
+    // redelivery after reconnect; Poll{offset} acks prune the front.
+    std::deque<double> history;
+    int64_t history_base = 0;  // cumulative index of history.front()
+
+    /// Scores accepted (or committed to appear) but not yet delivered —
+    /// the tenant-quota and orphan-drain unit.
+    int64_t Outstanding() const {
+      const int64_t deliverable =
+          std::max<int64_t>(static_cast<int64_t>(expected_seq), skip);
+      return deliverable - delivered;
+    }
   };
 
   struct Connection {
@@ -139,7 +202,9 @@ class Server {
     size_t woff = 0;
     bool authed = false;
     bool closing = false;  // flush wbuf, then close; reads stop
+    double last_activity_ms = 0.0;
     std::string tenant;
+    std::shared_ptr<FaultConnection> fault;
     std::unordered_map<uint64_t, SessionState> sessions;
   };
 
@@ -149,27 +214,51 @@ class Server {
   struct Orphan {
     serve::SessionId inner = -1;
     std::string tenant;
-    int64_t remaining = 0;  // accepted - delivered at disconnect
+    int64_t remaining = 0;  // outstanding scores at disconnect
+  };
+
+  /// A resumable session parked between connections, keyed by
+  /// (tenant, resume_key). The loop keeps polling it into its history so a
+  /// reconnecting client can be caught up exactly.
+  struct Detached {
+    SessionState state;
+    std::string tenant;
+    double detached_at_ms = 0.0;
   };
 
   void Loop();
-  void AdoptPending();
-  void AcceptTcp();
-  void ReadConnection(Connection* conn);
+  double NowMs() const;
+  void AdoptPending(double now);
+  void AcceptTcp(double now);
+  void ReadConnection(Connection* conn, double now);
   void HandleFrame(Connection* conn, const Frame& frame);
   void HandleHello(Connection* conn, const Frame& frame);
   void HandleBegin(Connection* conn, const Frame& frame);
   void HandlePush(Connection* conn, const Frame& frame);
   void HandleEnd(Connection* conn, const Frame& frame);
   void HandlePoll(Connection* conn, const Frame& frame);
+  void HandleResume(Connection* conn, const Frame& frame);
+  void HandleHeartbeat(Connection* conn, const Frame& frame);
   void SendFrame(Connection* conn, const Frame& frame);
   void SendError(Connection* conn, ErrorCode code, const std::string& message);
   void SendReject(Connection* conn, const Frame& push, RejectReason reason);
+  /// Sends the session's score backlog as offset-stamped, chunked deltas;
+  /// only the last chunk echoes `token`. `state` may be invalidated when
+  /// the send closes the connection — callers must re-check conn->fd.
+  void SendScoreChunks(Connection* conn, uint64_t session_id,
+                       SessionState* state, const std::vector<double>& scores,
+                       int64_t base, uint64_t token);
   bool FlushWrites(Connection* conn);
   void CloseConnection(Connection* conn);
   void DrainOrphans();
+  void DrainDetached(double now);
+  /// Ends + orphan-drains a formerly-resumable session (linger expiry,
+  /// history overflow, or drain).
+  void AbandonDetachedLocked(Detached* detached);
   void MaybeForgetSession(Connection* conn, uint64_t id);
   int64_t* TenantPending(const std::string& tenant);
+  static std::string DetachedKey(const std::string& tenant,
+                                 uint64_t resume_key);
 
   serve::StreamingService* service_;
   ServerOptions options_;
@@ -179,6 +268,7 @@ class Server {
   int wake_fds_[2] = {-1, -1};  // loop wakeup pipe: [read, write]
   std::thread loop_;
   std::atomic<bool> stop_{false};
+  std::atomic<bool> draining_{false};
   bool started_ = false;
   std::mutex lifecycle_mu_;  // Start/Stop/AddLoopbackConnection
 
@@ -189,15 +279,18 @@ class Server {
   std::vector<std::unique_ptr<Connection>> connections_;
   std::unordered_map<std::string, int64_t> tenant_pending_;
   std::deque<Orphan> orphans_;
+  std::unordered_map<std::string, Detached> detached_;
 
   // Stats (atomics: stats() races the loop thread by design).
   std::atomic<int64_t> connections_accepted_{0};
   std::atomic<int64_t> connections_active_{0};
+  std::atomic<int64_t> connections_reaped_{0};
   std::atomic<int64_t> frames_received_{0};
   std::atomic<int64_t> frames_sent_{0};
   std::atomic<int64_t> bytes_received_{0};
   std::atomic<int64_t> bytes_sent_{0};
   std::atomic<int64_t> pushes_accepted_{0};
+  std::atomic<int64_t> duplicate_pushes_{0};
   std::atomic<int64_t> rejected_session_full_{0};
   std::atomic<int64_t> rejected_shard_full_{0};
   std::atomic<int64_t> rejected_quota_{0};
@@ -205,6 +298,12 @@ class Server {
   std::atomic<int64_t> rejected_shutdown_{0};
   std::atomic<int64_t> auth_failures_{0};
   std::atomic<int64_t> protocol_errors_{0};
+  std::atomic<int64_t> heartbeats_{0};
+  std::atomic<int64_t> sessions_detached_{0};
+  std::atomic<int64_t> sessions_resumed_{0};
+  std::atomic<int64_t> sessions_resumed_fresh_{0};
+  std::atomic<int64_t> detached_live_{0};
+  std::atomic<int64_t> orphans_live_{0};
   util::LatencyHistogram dispatch_;
 };
 

@@ -74,11 +74,17 @@ StreamingService::Shard* StreamingService::ShardOf(SessionId id,
 SessionId StreamingService::BeginSession(roadnet::SegmentId source,
                                          roadnet::SegmentId destination,
                                          int time_slot) {
+  return BeginSessionAt(source, destination, time_slot, /*emit_skip=*/0);
+}
+
+SessionId StreamingService::BeginSessionAt(roadnet::SegmentId source,
+                                           roadnet::SegmentId destination,
+                                           int time_slot, int64_t emit_skip) {
   const uint64_t seq = next_session_.fetch_add(1, std::memory_order_relaxed);
   const int64_t n = static_cast<int64_t>(shards_.size());
   const int64_t shard = static_cast<int64_t>(Mix(seq) % shards_.size());
-  const SessionId inner =
-      shards_[shard]->batcher->BeginSession(source, destination, time_slot);
+  const SessionId inner = shards_[shard]->batcher->BeginSessionAt(
+      source, destination, time_slot, emit_skip);
   sessions_begun_.fetch_add(1, std::memory_order_relaxed);
   // Bijective (inner, shard) -> service id; decoding needs no lock or map.
   return inner * n + shard;

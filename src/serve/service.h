@@ -93,6 +93,15 @@ class StreamingService {
                          roadnet::SegmentId destination, int time_slot);
   SessionId Begin(const traj::Trip& trip);
 
+  /// Rebuild-at-offset registration for resume/replay (the net server's
+  /// fault-recovery path): the session's first `emit_skip` scored points
+  /// advance its state but are not queued for Poll. Replaying a session's
+  /// journaled prefix through this reproduces the interrupted score stream
+  /// exactly, with delivery restarting at index emit_skip.
+  SessionId BeginSessionAt(roadnet::SegmentId source,
+                           roadnet::SegmentId destination, int time_slot,
+                           int64_t emit_skip);
+
   /// Queues the session's next observed point, subject to the
   /// backpressure/shedding bounds. Only kAccepted enqueues. After Shutdown()
   /// has begun, returns the terminal kShutdown instead — a Push racing

@@ -112,10 +112,17 @@ void StreamingBatcher::RefreshWeightsLocked() {
 SessionId StreamingBatcher::BeginSession(roadnet::SegmentId source,
                                          roadnet::SegmentId destination,
                                          int time_slot) {
+  return BeginSessionAt(source, destination, time_slot, /*emit_skip=*/0);
+}
+
+SessionId StreamingBatcher::BeginSessionAt(roadnet::SegmentId source,
+                                           roadnet::SegmentId destination,
+                                           int time_slot, int64_t emit_skip) {
   std::lock_guard<std::mutex> lock(mu_);
   RefreshWeightsLocked();
   const SessionId id = next_id_++;
   Session& s = sessions_[id];
+  s.emit_skip = std::max<int64_t>(emit_skip, 0);
   s.rp_slot = rp_->time_conditioned() ? time_slot : 0;
   if (variant_ == core::ScoreVariant::kScalingOnly) return id;
 
@@ -344,7 +351,13 @@ int64_t StreamingBatcher::StepLocked() {
     }
     s.last = points[a];
     s.has_last = true;
-    s.scores.push_back(s.base + s.nll - lambda_ * s.scaling);
+    if (s.emit_skip > 0) {
+      // Prefix replay: the consumer already holds this score — the state
+      // advance above is the whole point; queueing it would duplicate.
+      --s.emit_skip;
+    } else {
+      s.scores.push_back(s.base + s.nll - lambda_ * s.scaling);
+    }
     if (!s.pending.empty()) {
       s.in_ready = true;
       // Carry the oldest remaining point's original enqueue time, not the

@@ -103,6 +103,17 @@ class StreamingBatcher {
   /// context fixed when the order is placed.
   SessionId BeginSession(roadnet::SegmentId source,
                          roadnet::SegmentId destination, int time_slot);
+
+  /// BeginSession for a prefix REPLAY: the first `emit_skip` scored points
+  /// advance the session's state exactly as normal pushes but their scores
+  /// are not queued for Poll — the consumer already holds them. This is the
+  /// rebuild-session-at-offset path behind net resume: replaying a journaled
+  /// prefix through it reproduces the interrupted stream bit-identically
+  /// (per-row arithmetic is independent of batch composition) and delivery
+  /// restarts at score index emit_skip with no duplicates.
+  SessionId BeginSessionAt(roadnet::SegmentId source,
+                           roadnet::SegmentId destination, int time_slot,
+                           int64_t emit_skip);
   /// Convenience: BeginSession from a trip's route endpoints, wrapped in a
   /// handle.
   StreamingSession Begin(const traj::Trip& trip);
@@ -180,6 +191,7 @@ class StreamingBatcher {
     double base = 0.0;   // sd_nll + kl
     double nll = 0.0;
     double scaling = 0.0;
+    int64_t emit_skip = 0;  // scores still to compute-but-not-queue (replay)
     bool in_ready = false;
     std::deque<PendingPoint> pending;
     std::vector<double> scores;

@@ -153,6 +153,7 @@ std::vector<int64_t> BinaryReader::ReadI64s() {
 }
 
 void BufferWriter::WriteRaw(const void* data, size_t n) {
+  if (n == 0) return;  // empty vectors/strings hand out a null data()
   const uint8_t* bytes = static_cast<const uint8_t*>(data);
   out_->insert(out_->end(), bytes, bytes + n);
 }
@@ -172,7 +173,7 @@ bool BufferReader::Take(void* out, size_t n) {
     ok_ = false;
     return false;
   }
-  std::memcpy(out, data_ + pos_, n);
+  if (n != 0) std::memcpy(out, data_ + pos_, n);
   pos_ += n;
   return true;
 }

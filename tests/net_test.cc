@@ -52,7 +52,7 @@ using serve::StreamingSession;
 // ---------------------------------------------------------------------------
 
 Frame RandomFrame(std::mt19937* rng) {
-  std::uniform_int_distribution<int> type_dist(1, 8);
+  std::uniform_int_distribution<int> type_dist(1, 11);
   std::uniform_int_distribution<uint64_t> u64;
   std::uniform_int_distribution<int32_t> i32(-2, 1 << 20);
   std::uniform_int_distribution<int> len(0, 2048);
@@ -74,6 +74,7 @@ Frame RandomFrame(std::mt19937* rng) {
       frame.source = i32(*rng);
       frame.destination = i32(*rng);
       frame.time_slot = i32(*rng);
+      frame.resume_key = u64(*rng);
       break;
     case FrameType::kPush:
       frame.session = u64(*rng);
@@ -87,10 +88,12 @@ Frame RandomFrame(std::mt19937* rng) {
     case FrameType::kPoll:
       frame.session = u64(*rng);
       frame.token = u64(*rng);
+      frame.offset = u64(*rng);
       break;
     case FrameType::kScoreDelta: {
       frame.session = u64(*rng);
       frame.token = u64(*rng);
+      frame.offset = u64(*rng);
       frame.scores.resize(len(*rng));
       for (double& s : frame.scores) s = f64(*rng);
       break;
@@ -105,6 +108,22 @@ Frame RandomFrame(std::mt19937* rng) {
       frame.code = static_cast<ErrorCode>(1 + (u64(*rng) % 7));
       frame.message = random_string(1024);
       break;
+    case FrameType::kResume:
+      frame.session = u64(*rng);
+      frame.resume_key = u64(*rng);
+      frame.source = i32(*rng);
+      frame.destination = i32(*rng);
+      frame.time_slot = i32(*rng);
+      frame.offset = u64(*rng);
+      break;
+    case FrameType::kResumeAck:
+      frame.session = u64(*rng);
+      frame.offset = u64(*rng);
+      break;
+    case FrameType::kHeartbeat:
+      frame.token = u64(*rng);
+      frame.seq = u64(*rng) % 2;
+      break;
   }
   return frame;
 }
@@ -115,6 +134,8 @@ void ExpectFrameEq(const Frame& got, const Frame& want) {
   EXPECT_EQ(got.seq, want.seq);
   EXPECT_EQ(got.wire_seq, want.wire_seq);
   EXPECT_EQ(got.token, want.token);
+  EXPECT_EQ(got.offset, want.offset);
+  EXPECT_EQ(got.resume_key, want.resume_key);
   EXPECT_EQ(got.segment, want.segment);
   EXPECT_EQ(got.source, want.source);
   EXPECT_EQ(got.destination, want.destination);
@@ -181,8 +202,9 @@ TEST(FrameTest, EveryTruncationWaitsCleanly) {
 }
 
 TEST(FrameTest, MaxLengthPayloadRoundTripsAndOversizedFails) {
-  // Header: version u8 + type u8 + session u64 + token u64 + count u32.
-  const size_t max_scores = (net::kMaxFramePayload - 22) / sizeof(double);
+  // Header: version u8 + type u8 + session u64 + token u64 + offset u64 +
+  // count u32.
+  const size_t max_scores = (net::kMaxFramePayload - 30) / sizeof(double);
   Frame frame;
   frame.type = FrameType::kScoreDelta;
   frame.session = 7;
