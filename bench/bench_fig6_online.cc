@@ -47,19 +47,31 @@
 // time — with the SAME per-point parity bound as the clean runs, because
 // session continuity must not change a single score.
 //
+// A sixth section ("fig6_cluster") measures the multi-backend router tier:
+// a downstream client feeding net::Router in front of 1 vs 3 backend
+// Servers (steady-state routed throughput), then two robustness scenarios
+// against the 3-backend fleet — a backend killed mid-stream (failover +
+// journaled prefix replay; kill-to-recovered time) and a RollSwap under
+// load (stage / drain / commit / undrain across the fleet) — all under the
+// same per-point parity bound: routed, failed-over, and swapped-under-load
+// scores must match Score(trip, k) exactly.
+//
 // Environment knobs:
 //   CAUSALTAD_BENCH_SCALE=smoke|default|full   experiment scale
 //   CAUSALTAD_FIG6_METHODS=a,b,c               quality-panel method filter
 //   CAUSALTAD_FIG6_SKIP_PANELS=1               skip the quality panels
 //   CAUSALTAD_FIG6_SERVICE_SHARDS=N            sharded service configs (4)
 //   CAUSALTAD_FIG6_WIRE_ONLY=1                 only the fig6_wire section
+//   CAUSALTAD_FIG6_CLUSTER_ONLY=1              only the fig6_cluster section
 //   CAUSALTAD_FIG6_JSON=<path>                 output path (BENCH_fig6.json)
 
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -73,6 +85,7 @@
 #include "models/scorer.h"
 #include "net/client.h"
 #include "net/fault.h"
+#include "net/router.h"
 #include "net/server.h"
 #include "serve/service.h"
 #include "serve/streaming.h"
@@ -659,11 +672,243 @@ FaultRow MeasureFault(const std::string& city, const CausalTad* causal,
   return row;
 }
 
+// ---------------------------------------------------------------------------
+// Cluster path: downstream client -> net::Router -> N backend Servers, each
+// over its own pumped StreamingService. Scenarios: steady-state throughput
+// (1 vs N backends), kill-a-backend mid-stream (failover + prefix-replay
+// recovery time), and RollSwap under load (zero-downtime model swap; the
+// resolver hands back the same fitted model, so parity directly validates
+// the stage/drain/commit machinery).
+// ---------------------------------------------------------------------------
+
+struct ClusterRow {
+  std::string city;
+  std::string scenario;  // "steady" | "kill" | "swap"
+  int backends = 1;
+  int64_t trips = 0;
+  int64_t points = 0;
+  double pps = 0.0;           // client-observed, scenario event included
+  int64_t failovers = 0;      // upstream dials that landed off-home
+  int64_t migrations = 0;     // drain-triggered leg migrations
+  int64_t reconnects = 0;     // upstream outages survived
+  int64_t swaps_rolled = 0;   // backends staged+committed by RollSwap
+  double recovery_ms = 0.0;   // kill: kill -> every session re-polled
+  double max_abs_diff = 0.0;  // routed scores vs Score(trip, k)
+};
+
+ClusterRow MeasureCluster(const std::string& city, const CausalTad* causal,
+                          const causaltad::roadnet::RoadNetwork* network,
+                          const std::vector<Trip>& trips,
+                          const std::vector<std::vector<double>>& reference,
+                          int num_backends, const std::string& scenario) {
+  ClusterRow row;
+  row.city = city;
+  row.scenario = scenario;
+  row.backends = num_backends;
+  row.trips = static_cast<int64_t>(trips.size());
+  for (const Trip& trip : trips) row.points += trip.route.size();
+
+  struct Backend {
+    std::unique_ptr<causaltad::serve::StreamingService> service;
+    std::unique_ptr<causaltad::net::Server> server;
+  };
+  const int kReps = scenario == "steady" ? 2 : 1;
+  std::vector<std::vector<double>> streamed;
+  double best = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    std::mutex backends_mu;
+    std::vector<Backend> backends(num_backends);
+    causaltad::serve::ServiceOptions service_options = BenchServiceOptions();
+    service_options.num_shards = 2;
+    for (Backend& b : backends) {
+      b.service = std::make_unique<causaltad::serve::StreamingService>(
+          causal, service_options);
+      causaltad::net::ServerOptions server_options;
+      server_options.network = network;
+      server_options.detached_linger_ms = 60000.0;
+      server_options.model_resolver =
+          [causal](const std::string&) { return causal; };
+      b.server = std::make_unique<causaltad::net::Server>(b.service.get(),
+                                                          server_options);
+      if (!b.server->Start().ok()) {
+        std::fprintf(stderr, "cluster bench: backend failed to start\n");
+        row.max_abs_diff = 1.0;
+        return row;
+      }
+    }
+
+    std::vector<causaltad::net::RouterBackend> router_backends(num_backends);
+    for (int i = 0; i < num_backends; ++i) {
+      router_backends[i].dialer = [&backends, &backends_mu, i] {
+        std::lock_guard<std::mutex> lock(backends_mu);
+        return backends[i].server != nullptr
+                   ? backends[i].server->AddLoopbackConnection()
+                   : -1;
+      };
+    }
+    causaltad::net::RouterOptions router_options;
+    router_options.upstream.max_inflight = 64;
+    router_options.upstream.timeout_ms = 60000.0;
+    router_options.upstream.max_reconnect_attempts = 64;
+    router_options.upstream.reconnect_base_ms = 1.0;
+    router_options.upstream.reconnect_max_ms = 50.0;
+    router_options.health_interval_ms = 10.0;
+    router_options.health_failure_threshold = 2;
+    causaltad::net::Router router(std::move(router_backends),
+                                  router_options);
+    if (!router.Start().ok()) {
+      std::fprintf(stderr, "cluster bench: router failed to start\n");
+      row.max_abs_diff = 1.0;
+      return row;
+    }
+
+    causaltad::net::ClientOptions client_options;
+    client_options.max_inflight = 64;
+    client_options.timeout_ms = 60000.0;
+    auto client = causaltad::net::Client::FromFd(
+        router.AddLoopbackConnection(), client_options);
+    if (!client->Hello().ok()) {
+      std::fprintf(stderr, "cluster bench: hello failed: %s\n",
+                   client->status().ToString().c_str());
+      row.max_abs_diff = 1.0;
+      return row;
+    }
+
+    auto fail = [&row](const char* what, const causaltad::util::Status& s) {
+      std::fprintf(stderr, "cluster bench: %s failed: %s\n", what,
+                   s.ToString().c_str());
+      row.max_abs_diff = 1.0;
+    };
+
+    causaltad::util::Stopwatch watch;
+    std::vector<std::vector<double>> rep_scores(trips.size());
+    std::vector<uint64_t> ids(trips.size());
+    std::vector<size_t> fed(trips.size(), 0);
+    for (size_t i = 0; i < trips.size(); ++i) {
+      ids[i] = client->Begin(trips[i].route.segments.front(),
+                             trips[i].route.segments.back(),
+                             trips[i].time_slot);
+    }
+    // Round-robin feed up to `until(i)` points per trip; one pass = one
+    // point per unfinished trip, so sessions interleave across backends.
+    auto feed = [&](const std::function<size_t(size_t)>& until) -> bool {
+      bool done = false;
+      while (!done) {
+        done = true;
+        for (size_t i = 0; i < trips.size(); ++i) {
+          const auto& segments = trips[i].route.segments;
+          const size_t stop = std::min(until(i), segments.size());
+          if (fed[i] >= stop) continue;
+          if (!client->Push(ids[i], segments[fed[i]]).ok()) {
+            fail("push", client->status());
+            return false;
+          }
+          if (++fed[i] < stop) done = false;
+        }
+      }
+      return true;
+    };
+    // Poll round trips double as an ordering barrier: every score the
+    // backends have produced so far lands in rep_scores before we return.
+    auto poll_all = [&]() -> bool {
+      for (size_t i = 0; i < trips.size(); ++i) {
+        auto polled = client->Poll(ids[i]);
+        if (!polled.ok()) {
+          fail("poll", polled.status());
+          return false;
+        }
+        rep_scores[i].insert(rep_scores[i].end(), polled->begin(),
+                             polled->end());
+      }
+      return true;
+    };
+
+    // First half, then the scenario event mid-stream, then the rest.
+    if (!feed([&](size_t i) { return trips[i].route.segments.size() / 2; }))
+      return row;
+    if (!poll_all()) return row;
+    if (scenario == "kill") {
+      int victim = 0;
+      int64_t most = -1;
+      for (int i = 0; i < num_backends; ++i) {
+        const int64_t begun = backends[i].service->stats().sessions_begun;
+        if (begun > most) {
+          most = begun;
+          victim = i;
+        }
+      }
+      Backend killed;
+      {
+        std::lock_guard<std::mutex> lock(backends_mu);
+        killed = std::move(backends[victim]);
+      }
+      causaltad::util::Stopwatch recovery;
+      killed.server->Stop();
+      killed.server.reset();
+      killed.service->Shutdown();
+      killed.service.reset();
+      // Recovery = every surviving session answers a Poll again, which
+      // forces the failover dial + journaled prefix replay on each leg.
+      if (!poll_all()) return row;
+      row.recovery_ms = recovery.ElapsedSeconds() * 1000.0;
+    } else if (scenario == "swap") {
+      const causaltad::util::Status swapped = router.RollSwap("bench-v1");
+      if (!swapped.ok()) {
+        fail("roll swap", swapped);
+        return row;
+      }
+    }
+    if (!feed([&](size_t i) { return trips[i].route.segments.size(); }))
+      return row;
+    for (size_t i = 0; i < trips.size(); ++i) {
+      auto finished = client->Finish(ids[i]);
+      if (!finished.ok()) {
+        fail("finish", finished.status());
+        return row;
+      }
+      rep_scores[i].insert(rep_scores[i].end(), finished->begin(),
+                           finished->end());
+    }
+    const double elapsed = watch.ElapsedSeconds();
+    if (rep == 0 || elapsed < best) {
+      best = elapsed;
+      streamed = std::move(rep_scores);
+      const causaltad::net::RouterStats rs = router.stats();
+      row.failovers = rs.failovers;
+      row.migrations = rs.migrations;
+      row.reconnects = rs.upstream_reconnects;
+      row.swaps_rolled = rs.swaps_rolled;
+      if (scenario != "kill") row.recovery_ms = 0.0;
+    }
+    router.Stop();
+    for (Backend& b : backends) {
+      std::lock_guard<std::mutex> lock(backends_mu);
+      if (b.server != nullptr) b.server->Stop();
+      if (b.service != nullptr) b.service->Shutdown();
+    }
+  }
+  row.pps = row.points / std::max(best, 1e-12);
+  for (size_t i = 0; i < trips.size(); ++i) {
+    for (size_t k = 0; k < reference[i].size() && k < streamed[i].size();
+         ++k) {
+      row.max_abs_diff = std::max(
+          row.max_abs_diff, std::abs(streamed[i][k] - reference[i][k]));
+    }
+    if (streamed[i].size() != reference[i].size()) {
+      std::fprintf(stderr, "cluster bench: trip %zu got %zu/%zu scores\n",
+                   i, streamed[i].size(), reference[i].size());
+      row.max_abs_diff = 1.0;  // poison the parity bound: scores were lost
+    }
+  }
+  return row;
+}
+
 void WriteJson(const std::string& path, causaltad::eval::Scale scale,
                const std::vector<ThroughputRow>& rows,
                const std::vector<ServiceRow>& service_rows,
                const std::vector<WireRow>& wire_rows,
-               const std::vector<FaultRow>& fault_rows) {
+               const std::vector<FaultRow>& fault_rows,
+               const std::vector<ClusterRow>& cluster_rows) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -739,6 +984,24 @@ void WriteJson(const std::string& path, causaltad::eval::Scale scale,
         static_cast<long long>(r.dup_scores), r.recovery_ms, r.max_abs_diff,
         i + 1 < fault_rows.size() ? "," : "");
   }
+  std::fprintf(f, "  ],\n  \"fig6_cluster\": [\n");
+  for (size_t i = 0; i < cluster_rows.size(); ++i) {
+    const ClusterRow& r = cluster_rows[i];
+    std::fprintf(
+        f,
+        "    {\"city\": \"%s\", \"scenario\": \"%s\", \"backends\": %d, "
+        "\"trips\": %lld, \"points\": %lld, \"pps\": %.0f, "
+        "\"failovers\": %lld, \"migrations\": %lld, "
+        "\"reconnects\": %lld, \"swaps_rolled\": %lld, "
+        "\"recovery_ms\": %.3f, \"max_abs_diff\": %.3g}%s\n",
+        r.city.c_str(), r.scenario.c_str(), r.backends,
+        static_cast<long long>(r.trips), static_cast<long long>(r.points),
+        r.pps, static_cast<long long>(r.failovers),
+        static_cast<long long>(r.migrations),
+        static_cast<long long>(r.reconnects),
+        static_cast<long long>(r.swaps_rolled), r.recovery_ms,
+        r.max_abs_diff, i + 1 < cluster_rows.size() ? "," : "");
+  }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n", path.c_str());
@@ -776,18 +1039,21 @@ int main() {
     const int v = std::atoi(env);
     if (v > 0) sharded = v;
   }
+  std::vector<ClusterRow> cluster_rows;
   const bool wire_only = EnvFlag("CAUSALTAD_FIG6_WIRE_ONLY");
+  const bool cluster_only = EnvFlag("CAUSALTAD_FIG6_CLUSTER_ONLY");
   for (const Panel& panel : panels) {
     const ExperimentData data =
         causaltad::eval::BuildExperiment(panel.config);
-    if (!wire_only && !EnvFlag("CAUSALTAD_FIG6_SKIP_PANELS")) {
+    if (!wire_only && !cluster_only &&
+        !EnvFlag("CAUSALTAD_FIG6_SKIP_PANELS")) {
       RunPanel(panel.config, data, scale, panel.ood, panel.title);
     }
 
     const auto causal_owner = causaltad::eval::FitOrLoad(
         causaltad::eval::kCausalTadName, data, panel.config.name, scale);
     const auto* causal = dynamic_cast<const CausalTad*>(causal_owner.get());
-    if (!wire_only) {
+    if (!wire_only && !cluster_only) {
       // Online serving throughput, both cities. GM-VSAE stands in for the
       // RnnVae family (carried encoder, O(prefix) fused re-decode); TG-VAE
       // / RP-VAE / CausalTAD carry O(1)-per-point state.
@@ -830,6 +1096,7 @@ int main() {
       }
     }
 
+    if (!cluster_only) {
     // StreamingService grid (CausalTAD full score): 1 vs N shards, pump
     // on/off, fed with backpressure engaged. Per-point reference scores
     // come from one checkpointed roll per trip; the wire section reuses
@@ -883,8 +1150,35 @@ int main() {
                                         &data.city.network, fault_trips,
                                         fault_reference, pct));
     }
+    }  // !cluster_only
+
+    if (!wire_only) {
+      // Cluster path: router in front of 1 vs 3 backends, then the two
+      // robustness scenarios against the 3-backend fleet.
+      const auto cluster_trips = Subsample(data.id_test, 24, 45);
+      std::vector<std::vector<int64_t>> cluster_checkpoints(
+          cluster_trips.size());
+      for (size_t i = 0; i < cluster_trips.size(); ++i) {
+        for (int64_t k = 1; k <= cluster_trips[i].route.size(); ++k) {
+          cluster_checkpoints[i].push_back(k);
+        }
+      }
+      const auto cluster_reference =
+          causal->ScoreCheckpoints(cluster_trips, cluster_checkpoints);
+      struct ClusterConfig {
+        int backends;
+        const char* scenario;
+      };
+      const std::vector<ClusterConfig> cluster_grid = {
+          {1, "steady"}, {3, "steady"}, {3, "kill"}, {3, "swap"}};
+      for (const ClusterConfig& cfg : cluster_grid) {
+        cluster_rows.push_back(MeasureCluster(
+            panel.config.name, causal, &data.city.network, cluster_trips,
+            cluster_reference, cfg.backends, cfg.scenario));
+      }
+    }
   }
-  if (!wire_only) {
+  if (!wire_only && !cluster_only) {
     std::printf("\n== Fig. 6 — StreamingService (sharded + pumped "
                 "front-end) ==\n\n");
     TablePrinter service_table({"City", "Shards", "Pump", "p/s", "occup",
@@ -899,6 +1193,7 @@ int main() {
            TablePrinter::Fmt(r.max_abs_diff, 7)});
     }
   }
+  if (!cluster_only) {
   std::printf("\n== Fig. 6 — wire front-end (net::Client -> net::Server "
               "loopback -> StreamingService) ==\n\n");
   TablePrinter wire_table({"City", "wire p/s", "in-proc p/s", "ratio",
@@ -930,9 +1225,30 @@ int main() {
          TablePrinter::Fmt(r.recovery_ms, 2),
          TablePrinter::Fmt(r.max_abs_diff, 7)});
   }
+  }  // !cluster_only
+  if (!wire_only) {
+    std::printf("\n== Fig. 6 — cluster path (net::Router -> N backend "
+                "servers; failover, drain, hot swap) ==\n\n");
+    TablePrinter cluster_table({"City", "scenario", "backends", "p/s",
+                                "failov", "migr", "reconn", "swaps",
+                                "recov ms", "max diff"});
+    cluster_table.PrintHeader();
+    for (const ClusterRow& r : cluster_rows) {
+      cluster_table.PrintRow(
+          {r.city, r.scenario,
+           TablePrinter::Fmt(static_cast<double>(r.backends), 0),
+           TablePrinter::Fmt(r.pps, 0),
+           TablePrinter::Fmt(static_cast<double>(r.failovers), 0),
+           TablePrinter::Fmt(static_cast<double>(r.migrations), 0),
+           TablePrinter::Fmt(static_cast<double>(r.reconnects), 0),
+           TablePrinter::Fmt(static_cast<double>(r.swaps_rolled), 0),
+           TablePrinter::Fmt(r.recovery_ms, 2),
+           TablePrinter::Fmt(r.max_abs_diff, 7)});
+    }
+  }
   std::printf("\n");
   const char* json_env = std::getenv("CAUSALTAD_FIG6_JSON");
   WriteJson(json_env != nullptr ? json_env : "BENCH_fig6.json", scale, rows,
-            service_rows, wire_rows, fault_rows);
+            service_rows, wire_rows, fault_rows, cluster_rows);
   return 0;
 }

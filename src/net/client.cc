@@ -92,6 +92,15 @@ double BackoffDelayMs(int attempt, double base_ms, double max_ms,
   return std::max(delay, 0.0);
 }
 
+double DecorrelatedBackoffMs(double prev_ms, double base_ms, double max_ms,
+                             util::Rng* rng) {
+  const double base = std::max(base_ms, 0.0);
+  const double prev = std::max(prev_ms, base);
+  const double span = 3.0 * prev - base;
+  const double u = rng != nullptr ? rng->Uniform() : 0.5;
+  return std::min(std::max(base + u * span, base), std::max(max_ms, base));
+}
+
 util::StatusOr<std::unique_ptr<Client>> Client::ConnectTcp(
     const std::string& host, int port, ClientOptions options) {
   std::string error;
@@ -237,6 +246,13 @@ void Client::HandleFrame(const Frame& frame) {
       if (dup == frame.scores.size()) return;
       const std::vector<double> fresh(frame.scores.begin() + dup,
                                       frame.scores.end());
+      if (!session.replay_wire.empty()) {
+        // A fresh score implies the server admitted every seq before it —
+        // in particular the whole replayed prefix. Retire the replay state
+        // so lingering rejects from superseded transmissions read as stale.
+        session.replay_wire.clear();
+        session.replay_resend_from = -1;
+      }
       for (size_t k = 0; k < fresh.size(); ++k) {
         // Scores acknowledge the oldest in-flight points in feed order.
         if (!session.pending.empty()) {
@@ -265,6 +281,33 @@ void Client::HandleFrame(const Frame& frame) {
       }
       if (entry == session.pending.end() ||
           entry->wire_seq != frame.wire_seq) {
+        // Not an in-flight point. It may be a replayed-prefix transmission
+        // from a fresh rebuild: those carry seqs below the delivered
+        // high-water (disjoint from `pending`), emit no scores, and still
+        // hit server backpressure — dropping their rejects as stale would
+        // leave a permanent admission gap. Recognize them by wire_seq and
+        // schedule a journal re-replay from the gap.
+        const auto rit = session.replay_wire.find(frame.seq);
+        if (rit == session.replay_wire.end() ||
+            rit->second != frame.wire_seq) {
+          return;  // genuinely stale: a transmission we already resent
+        }
+        ++stats_.rejects_seen;
+        if (reject_cb_) reject_cb_(frame.session, frame.reason);
+        if (frame.reason == RejectReason::kShutdown || !options_.auto_retry) {
+          total_inflight_ -= static_cast<int64_t>(session.pending.size());
+          session.pending.clear();
+          session.replay_wire.clear();
+          session.replay_resend_from = -1;
+          if (frame.reason == RejectReason::kShutdown) {
+            session.shutdown = true;
+          }
+          return;
+        }
+        if (session.replay_resend_from < 0 ||
+            static_cast<uint64_t>(session.replay_resend_from) > frame.seq) {
+          session.replay_resend_from = static_cast<int64_t>(frame.seq);
+        }
         return;
       }
       ++stats_.rejects_seen;
@@ -309,6 +352,14 @@ void Client::HandleFrame(const Frame& frame) {
       }
       return;
     }
+    case FrameType::kAdminAck: {
+      if (awaiting_admin_ && frame.token == admin_token_) {
+        admin_result_ = frame.seq;
+        admin_message_ = frame.message;
+        awaiting_admin_ = false;
+      }
+      return;  // stale acks (duplicated frames) are harmless
+    }
     case FrameType::kError: {
       // With reconnect on, protocol-class errors are treated as transport
       // damage: a corrupted stream can desync the server's decoder (or
@@ -348,7 +399,34 @@ void Client::HandleFrame(const Frame& frame) {
 
 util::Status Client::RunResends() {
   for (auto& [id, session] : sessions_) {
-    if (session.resend_from < 0 || session.shutdown) continue;
+    if (session.shutdown) continue;
+    if (session.replay_resend_from >= 0) {
+      // Refill the replayed prefix from the backpressure gap, then force
+      // the in-flight tail to follow in seq order (the server bounced it
+      // out_of_order while the gap was open).
+      const uint64_t from = static_cast<uint64_t>(session.replay_resend_from);
+      session.replay_resend_from = -1;
+      for (uint64_t seq = from;
+           seq < static_cast<uint64_t>(session.delivered) &&
+           seq < session.journal.size();
+           ++seq) {
+        Frame push;
+        push.type = FrameType::kPush;
+        push.session = id;
+        push.seq = seq;
+        push.wire_seq = next_wire_seq_++;
+        push.segment = session.journal[seq];
+        session.replay_wire[seq] = push.wire_seq;
+        ++stats_.pushes_sent;
+        ++stats_.retransmits;
+        CAUSALTAD_RETURN_IF_ERROR(SendFrame(push));
+      }
+      if (session.resend_from < 0 && !session.pending.empty()) {
+        session.resend_from =
+            static_cast<int64_t>(session.pending.front().seq);
+      }
+    }
+    if (session.resend_from < 0) continue;
     const uint64_t from = static_cast<uint64_t>(session.resend_from);
     session.resend_from = -1;
     for (SentPoint& point : session.pending) {
@@ -477,6 +555,73 @@ util::Status Client::Heartbeat() {
   }
 }
 
+util::Status Client::Admin(const std::string& command, uint64_t* result,
+                           std::string* message) {
+  if (!fatal_.ok()) return fatal_;
+  util::Stopwatch watch;
+  while (true) {
+    Frame admin;
+    admin.type = FrameType::kAdmin;
+    admin.token = next_token_++;
+    admin.message = command;
+    awaiting_admin_ = true;
+    admin_token_ = admin.token;
+    const uint64_t sent_epoch = epoch_;
+    util::Status status = SendFrame(admin);
+    if (!status.ok()) {
+      awaiting_admin_ = false;
+      return status;
+    }
+    if (epoch_ != sent_epoch) continue;  // died with the old conn: re-send
+    double last_send_ms = watch.ElapsedMillis();
+    while (awaiting_admin_) {
+      if (!fatal_.ok()) {
+        awaiting_admin_ = false;
+        return fatal_;
+      }
+      bool got = false;
+      status = ReadOnce(std::min(50.0, options_.timeout_ms), &got);
+      if (!status.ok()) {
+        awaiting_admin_ = false;
+        return status;
+      }
+      if (epoch_ != sent_epoch) break;  // reconnected mid-wait: re-send
+      const double elapsed = watch.ElapsedMillis();
+      if (awaiting_admin_ && elapsed > options_.timeout_ms) {
+        awaiting_admin_ = false;
+        return util::Status::IoError("timed out waiting for an admin ack");
+      }
+      if (awaiting_admin_ && elapsed - last_send_ms > kBarrierResendMs) {
+        // Same token: the server's replay cache makes the resend idempotent.
+        status = SendFrame(admin);
+        if (!status.ok()) {
+          awaiting_admin_ = false;
+          return status;
+        }
+        if (epoch_ != sent_epoch) break;
+        last_send_ms = elapsed;
+      }
+    }
+    if (!awaiting_admin_ && epoch_ == sent_epoch) {
+      if (result != nullptr) *result = admin_result_;
+      if (message != nullptr) *message = admin_message_;
+      return util::Status::Ok();
+    }
+  }
+}
+
+util::Status Client::Migrate() {
+  if (!fatal_.ok()) return fatal_;
+  if (!options_.reconnect) {
+    return util::Status::FailedPrecondition(
+        "Migrate requires options.reconnect");
+  }
+  // The existing recovery machinery IS the migration: close, redial (the
+  // dialer picks the new destination), resume every session with journal
+  // replay and offset dedupe.
+  return Recover(util::Status::IoError("administrative migration"));
+}
+
 util::Status Client::Recover(util::Status cause) {
   if (!options_.reconnect || in_recovery_) {
     if (fatal_.ok()) fatal_ = std::move(cause);
@@ -485,11 +630,21 @@ util::Status Client::Recover(util::Status cause) {
   in_recovery_ = true;
   util::Stopwatch watch;
   util::Status last = std::move(cause);
+  // Decorrelated-jitter state: each outage restarts from base and wanders
+  // independently per client (the rng is seeded from client_id).
+  double prev_delay_ms = options_.reconnect_base_ms;
   for (int attempt = 0; attempt < options_.max_reconnect_attempts;
        ++attempt) {
-    SleepMs(BackoffDelayMs(attempt, options_.reconnect_base_ms,
-                           options_.reconnect_max_ms,
-                           options_.reconnect_jitter, &rng_));
+    if (options_.decorrelated_backoff) {
+      prev_delay_ms =
+          DecorrelatedBackoffMs(prev_delay_ms, options_.reconnect_base_ms,
+                                options_.reconnect_max_ms, &rng_);
+      SleepMs(prev_delay_ms);
+    } else {
+      SleepMs(BackoffDelayMs(attempt, options_.reconnect_base_ms,
+                             options_.reconnect_max_ms,
+                             options_.reconnect_jitter, &rng_));
+    }
     if (fd_ >= 0) {
       close(fd_);
       fd_ = -1;
@@ -585,8 +740,12 @@ util::Status Client::ResumeSession(uint64_t id, Session* session) {
     }
   }
   const uint64_t replay_from = resume_ack_offset_;
+  session->replay_wire.clear();
+  session->replay_resend_from = -1;
   // Acked-but-journaled prefix first (fresh rebuild asks for seq 0; these
   // score into the server's emit-skip window and redeliver nothing).
+  // Tracked in replay_wire: they can still bounce off server backpressure,
+  // and those rejects must trigger a journal re-replay from the gap.
   for (uint64_t seq = replay_from;
        seq < static_cast<uint64_t>(session->delivered); ++seq) {
     if (seq >= session->journal.size()) {
@@ -602,6 +761,7 @@ util::Status Client::ResumeSession(uint64_t id, Session* session) {
     push.seq = seq;
     push.wire_seq = next_wire_seq_++;
     push.segment = session->journal[seq];
+    session->replay_wire[seq] = push.wire_seq;
     ++stats_.pushes_sent;
     ++stats_.retransmits;
     CAUSALTAD_RETURN_IF_ERROR(SendFrame(push));
@@ -609,6 +769,7 @@ util::Status Client::ResumeSession(uint64_t id, Session* session) {
   if (session->broken) {
     total_inflight_ -= static_cast<int64_t>(session->pending.size());
     session->pending.clear();
+    session->replay_wire.clear();
     Frame end;
     end.type = FrameType::kEnd;
     end.session = id;

@@ -50,12 +50,19 @@ struct ClientOptions {
   bool reconnect = false;
   /// Reconnect retry budget per outage; exhausting it latches the fatal.
   int max_reconnect_attempts = 8;
-  /// Exponential backoff schedule between redials: attempt k sleeps
-  /// base * 2^k, capped at max, with +/- jitter fraction (decorrelates the
-  /// reconnect stampede after a server restart).
+  /// Backoff schedule bounds between redials (see decorrelated_backoff for
+  /// the schedule itself; jitter applies only to the legacy schedule).
   double reconnect_base_ms = 10.0;
   double reconnect_max_ms = 2000.0;
   double reconnect_jitter = 0.1;
+  /// Decorrelated-jitter backoff (the default): attempt k sleeps
+  /// min(max, base + U·(3·prev − base)) where prev is the previous sleep —
+  /// each client's schedule wanders independently of every other's, so N
+  /// clients failing over to the same peer at once do NOT retry in
+  /// lockstep the way a shared exponential ladder makes them (even a
+  /// ±jitter band keeps the herd bunched around base·2^k). Off: the legacy
+  /// BackoffDelayMs exponential ladder with its ±jitter band.
+  bool decorrelated_backoff = true;
   /// Identity mixed into every session's resume_key so two clients of the
   /// same tenant can never collide in the server's detached table.
   /// 0 draws one from std::random_device.
@@ -89,12 +96,22 @@ enum class PushOutcome {
 
 const char* PushOutcomeName(PushOutcome outcome);
 
-/// The deterministic reconnect backoff schedule: attempt k (0-based) waits
-/// base_ms * 2^k, capped at max_ms, then scaled by a uniform factor in
-/// [1 - jitter, 1 + jitter] drawn from `rng` (pass nullptr for no jitter).
-/// Exposed for unit tests.
+/// The legacy deterministic reconnect backoff schedule: attempt k (0-based)
+/// waits base_ms * 2^k, capped at max_ms, then scaled by a uniform factor
+/// in [1 - jitter, 1 + jitter] drawn from `rng` (pass nullptr for no
+/// jitter). Exposed for unit tests.
 double BackoffDelayMs(int attempt, double base_ms, double max_ms,
                       double jitter, util::Rng* rng);
+
+/// One step of the decorrelated-jitter schedule (AWS-style): returns a
+/// delay drawn uniformly from [base_ms, 3 * prev_ms], capped at max_ms —
+/// feed the return value back as the next prev_ms (start at base_ms). With
+/// a per-client rng the schedules decorrelate: the spread across clients
+/// covers the whole band instead of bunching at base * 2^k, which is what
+/// breaks the reconnect thundering-herd. nullptr rng takes the midpoint
+/// (deterministic, tests only). Exposed for unit tests.
+double DecorrelatedBackoffMs(double prev_ms, double base_ms, double max_ms,
+                             util::Rng* rng);
 
 /// Wire counters kept by the client.
 struct ClientStats {
@@ -195,6 +212,23 @@ class Client {
   /// heartbeat_timeout_ms and doubles as a liveness probe.
   util::Status Heartbeat();
 
+  /// One admin command round trip ("stage:<tag>" / "commit"): sends an
+  /// Admin frame and barriers on its AdminAck. On success *result holds
+  /// the ack's AdminStatus and *message its detail text (either may be
+  /// null). The returned Status reflects the TRANSPORT; a kError /
+  /// kBusy verdict is carried in *result. Commands must be idempotent
+  /// under resend (the server replays the last ack on a duplicate token).
+  util::Status Admin(const std::string& command, uint64_t* result,
+                     std::string* message);
+
+  /// Administrative migration: force a reconnect through the dialer even
+  /// though the current transport is healthy — the dialer picks the new
+  /// destination, and every live session is carried over by the normal
+  /// resume/replay machinery (no gaps, no duplicate scores). This is how a
+  /// router moves sessions off a draining backend. Requires
+  /// options.reconnect; counts as a reconnect in stats().
+  util::Status Migrate();
+
   /// Callback poll mode: processes whatever the server has sent, waiting at
   /// most timeout_ms for the first byte. Runs retransmissions. Returns the
   /// latched connection status.
@@ -235,6 +269,13 @@ class Client {
     std::vector<roadnet::SegmentId> journal;
     bool journal_overflow = false;
     bool broken = false;  // a resume needed the discarded prefix
+    // Prefix-replay transmissions from the last fresh rebuild: seq ->
+    // wire_seq of the latest send. Replayed-prefix pushes are not in
+    // `pending` (their scores were already delivered), but they are still
+    // subject to server backpressure — a reject must be recognized here and
+    // re-sent from the journal, or the rebuilt session gaps forever.
+    std::unordered_map<uint64_t, uint64_t> replay_wire;
+    int64_t replay_resend_from = -1;  // journal seq to re-replay from
   };
 
   explicit Client(int fd, ClientOptions options);
@@ -279,6 +320,11 @@ class Client {
   uint64_t probe_wire_seq_ = 0;
   bool probe_rejected_ = false;
   RejectReason probe_reason_ = RejectReason::kSessionFull;
+  // Admin barrier: the outstanding command's token and its ack payload.
+  bool awaiting_admin_ = false;
+  uint64_t admin_token_ = 0;
+  uint64_t admin_result_ = 0;
+  std::string admin_message_;
   util::Status fatal_;
   ClientStats stats_;
   int64_t total_inflight_ = 0;

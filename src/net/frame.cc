@@ -120,6 +120,15 @@ void EncodeFrame(const Frame& frame, std::vector<uint8_t>* out) {
       w.WriteU64(frame.token);
       w.WriteU64(frame.seq);
       break;
+    case FrameType::kAdmin:
+      w.WriteU64(frame.token);
+      w.WriteString(frame.message);
+      break;
+    case FrameType::kAdminAck:
+      w.WriteU64(frame.token);
+      w.WriteU64(frame.seq);
+      w.WriteString(frame.message);
+      break;
   }
   const uint32_t payload =
       static_cast<uint32_t>(out->size() - length_at - sizeof(uint32_t));
@@ -206,6 +215,15 @@ util::StatusOr<Frame> DecodeFramePayload(const uint8_t* payload, size_t size) {
     case FrameType::kHeartbeat:
       frame.token = r.ReadU64();
       frame.seq = r.ReadU64();
+      break;
+    case FrameType::kAdmin:
+      frame.token = r.ReadU64();
+      frame.message = r.ReadString();
+      break;
+    case FrameType::kAdminAck:
+      frame.token = r.ReadU64();
+      frame.seq = r.ReadU64();
+      frame.message = r.ReadString();
       break;
     default:
       return util::Status::InvalidArgument("unknown frame type " +

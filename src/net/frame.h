@@ -16,7 +16,9 @@ namespace net {
 /// from other versions with a clean error instead of misparsing them.
 /// v2: session continuity — Begin carries a resume key, ScoreDelta/Poll
 /// carry cumulative score offsets, and Resume/ResumeAck/Heartbeat exist.
-inline constexpr uint8_t kWireVersion = 2;
+/// v3: fleet administration — Admin/AdminAck carry staged model swaps and
+/// drain commands so a router can roll changes across backends.
+inline constexpr uint8_t kWireVersion = 3;
 
 /// Hard cap on a frame's payload (version + type + fields). An incoming
 /// length prefix above this is a protocol error — the decoder fails fast
@@ -44,6 +46,18 @@ enum class FrameType : uint8_t {
   kResumeAck = 10,  // {session, offset = replay pushes from this seq}
   kHeartbeat = 11,  // liveness probe: {token, seq} (seq 1 = ping, 0 = pong;
                     //  the pong echoes the ping's token)
+  kAdmin = 12,      // operator command: {token, message} — message is a
+                    //  command string, e.g. "stage:<tag>" or "commit"
+  kAdminAck = 13,   // {token, seq, message} — seq is an AdminStatus; the ack
+                    //  echoes the Admin's token (stage acks are deferred
+                    //  until the background load finishes)
+};
+
+/// Result of an Admin command, carried in kAdminAck's seq field.
+enum class AdminStatus : uint64_t {
+  kOk = 0,     // command completed (stage: weights resident; commit: flipped)
+  kBusy = 1,   // a stage is still loading — retry the commit later
+  kError = 2,  // command failed; message explains why
 };
 
 /// Why a Push was rejected (the wire mapping of serve::PushStatus plus the

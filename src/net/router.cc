@@ -1,0 +1,810 @@
+#include "net/router.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "net/socket_io.h"
+#include "util/logging.h"
+
+namespace causaltad {
+namespace net {
+namespace {
+
+// splitmix64 finalizer — same mix the client/server use for resume keys and
+// shard spread, reused here for the vnode ring so placement quality does
+// not depend on the quality of the inputs.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+// Mirrors the server's delta chunking: 64 KiB of scores per frame, far
+// under the 1 MiB cap.
+constexpr size_t kMaxScoresPerDelta = 8192;
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int DialTcpFd(const std::string& host, int port) {
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return -1;
+  }
+  SetNoDelay(fd);
+  return fd;
+}
+
+}  // namespace
+
+// Downstream connection state, owned by its handler thread.
+struct Router::DsConn {
+  int fd = -1;
+  uint64_t id = 0;
+  FrameDecoder decoder;
+  bool hello_done = false;
+  std::string tenant;
+  // Home backend -> upstream leg. std::map keeps Leg addresses stable for
+  // the dialer closures (unique_ptr would too; the map is tiny either way).
+  std::map<int, std::unique_ptr<Leg>> legs;
+  std::unordered_map<uint64_t, DsSession> sessions;
+  double last_tick_ms = 0.0;
+};
+
+Router::Leg::~Leg() {
+  if (router != nullptr && current >= 0) {
+    router->legs_on_[current].fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+Router::Router(std::vector<RouterBackend> backends, RouterOptions options)
+    : backends_(std::move(backends)), options_(std::move(options)) {
+  CAUSALTAD_CHECK(!backends_.empty());
+  const int n = num_backends();
+  dead_ = std::make_unique<std::atomic<bool>[]>(n);
+  draining_ = std::make_unique<std::atomic<bool>[]>(n);
+  legs_on_ = std::make_unique<std::atomic<int64_t>[]>(n);
+  for (int i = 0; i < n; ++i) {
+    dead_[i].store(false, std::memory_order_relaxed);
+    draining_[i].store(false, std::memory_order_relaxed);
+    legs_on_[i].store(0, std::memory_order_relaxed);
+  }
+  probe_failures_consecutive_.assign(n, 0);
+  const int vnodes = std::max(1, options_.virtual_nodes);
+  ring_.reserve(static_cast<size_t>(n) * vnodes);
+  for (int i = 0; i < n; ++i) {
+    for (int v = 0; v < vnodes; ++v) {
+      ring_.emplace_back(
+          Mix(Mix(static_cast<uint64_t>(i) + 1) ^
+              (static_cast<uint64_t>(v) * 0x100000001b3ull)),
+          i);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+Router::~Router() { Stop(); }
+
+util::Status Router::Start() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (started_) return util::Status::FailedPrecondition("already started");
+  if (options_.listen_port >= 0) {
+    listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+    if (listen_fd_ < 0) {
+      return util::Status::IoError("socket failed: " +
+                                   std::string(std::strerror(errno)));
+    }
+    int one = 1;
+    setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(options_.listen_port));
+    if (inet_pton(AF_INET, options_.listen_host.c_str(), &addr.sin_addr) !=
+        1) {
+      return util::Status::InvalidArgument("bad listen_host " +
+                                           options_.listen_host);
+    }
+    if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+            0 ||
+        listen(listen_fd_, 64) != 0) {
+      const std::string err = std::strerror(errno);
+      close(listen_fd_);
+      listen_fd_ = -1;
+      return util::Status::IoError("bind/listen failed: " + err);
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+    port_ = ntohs(bound.sin_port);
+  }
+  started_ = true;
+  stop_.store(false, std::memory_order_release);
+  if (listen_fd_ >= 0) accept_thread_ = std::thread([this] { AcceptMain(); });
+  if (options_.health_interval_ms > 0) {
+    health_thread_ = std::thread([this] { HealthMain(); });
+  }
+  return util::Status::Ok();
+}
+
+void Router::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    if (!started_) return;
+    started_ = false;
+  }
+  stop_.store(true, std::memory_order_release);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (health_thread_.joinable()) health_thread_.join();
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  {
+    // Kick every handler out of its downstream poll; handlers own the
+    // close, Stop only shuts the transport down.
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    for (int fd : live_ds_fds_) shutdown(fd, SHUT_RDWR);
+  }
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    threads.swap(handler_threads_);
+  }
+  for (auto& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+int Router::AddLoopbackConnection() {
+  int fds[2] = {-1, -1};
+  if (socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, fds) != 0) {
+    return -1;
+  }
+  SpawnHandler(fds[0]);
+  return fds[1];
+}
+
+void Router::SpawnHandler(int fd) {
+  const uint64_t id = next_conn_id_.fetch_add(1, std::memory_order_relaxed);
+  connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+  connections_active_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(threads_mu_);
+  live_ds_fds_.insert(fd);
+  handler_threads_.emplace_back([this, fd, id] { HandlerMain(fd, id); });
+}
+
+void Router::AcceptMain() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int rc = poll(&pfd, 1, 50);
+    if (rc <= 0) continue;
+    const int fd = accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) continue;
+    SetNoDelay(fd);
+    SpawnHandler(fd);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Health and placement
+
+bool Router::Eligible(int backend) const {
+  return !dead_[backend].load(std::memory_order_acquire) &&
+         !draining_[backend].load(std::memory_order_acquire);
+}
+
+bool Router::BackendAlive(int backend) const {
+  return !dead_[backend].load(std::memory_order_acquire);
+}
+
+bool Router::BackendDraining(int backend) const {
+  return draining_[backend].load(std::memory_order_acquire);
+}
+
+void Router::MarkDead(int backend, bool dead) {
+  dead_[backend].store(dead, std::memory_order_release);
+}
+
+int Router::PickBackend(uint64_t hash) const {
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), hash,
+      [](const std::pair<uint64_t, int>& e, uint64_t h) { return e.first < h; });
+  for (size_t step = 0; step < ring_.size(); ++step) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (Eligible(it->second)) return it->second;
+    ++it;
+  }
+  return -1;
+}
+
+int Router::DialBackendFd(int backend) {
+  const RouterBackend& b = backends_[backend];
+  if (b.dialer) return b.dialer();
+  if (b.port < 0) return -1;
+  return DialTcpFd(b.host, b.port);
+}
+
+int Router::DialUpstream(Leg* leg) {
+  if (stop_.load(std::memory_order_acquire)) return -1;
+  const int n = num_backends();
+  for (int k = 0; k < n; ++k) {
+    const int cand = (leg->home + k) % n;
+    if (!Eligible(cand)) continue;
+    const int fd = DialBackendFd(cand);
+    if (fd < 0) continue;  // unreachable before health noticed: next peer
+    if (leg->current != cand) {
+      if (cand != leg->home) {
+        failovers_.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (leg->current >= 0) {
+        legs_on_[leg->current].fetch_sub(1, std::memory_order_acq_rel);
+      }
+      legs_on_[cand].fetch_add(1, std::memory_order_acq_rel);
+      leg->current = cand;
+    }
+    return fd;
+  }
+  return -1;
+}
+
+Router::Leg* Router::LegForBackend(DsConn* conn, int home,
+                                   util::Status* error) {
+  auto it = conn->legs.find(home);
+  if (it != conn->legs.end()) return it->second.get();
+  auto leg = std::make_unique<Leg>();
+  Leg* raw = leg.get();
+  raw->router = this;
+  raw->home = home;
+  raw->last_heartbeat_ms = NowMs();
+  const int fd = DialUpstream(raw);
+  if (fd < 0) {
+    *error = util::Status::IoError("no live backend for session");
+    return nullptr;
+  }
+  ClientOptions copts = options_.upstream;
+  copts.reconnect = true;
+  copts.fault = options_.upstream_fault;
+  copts.dialer = [this, raw] { return DialUpstream(raw); };
+  copts.client_id = Mix(conn->id * 1000003ull + static_cast<uint64_t>(home) + 1);
+  if (copts.client_id == 0) copts.client_id = 1;
+  raw->client = Client::FromFd(fd, std::move(copts));
+  const util::Status hello = raw->client->Hello();
+  if (!hello.ok()) {
+    *error = hello;
+    return nullptr;  // leg destructor releases the legs_on_ count
+  }
+  conn->legs.emplace(home, std::move(leg));
+  return raw;
+}
+
+void Router::HealthMain() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    for (int i = 0; i < num_backends(); ++i) {
+      if (stop_.load(std::memory_order_acquire)) return;
+      ProbeBackend(i);
+    }
+    // Sleep in small slices so Stop() is prompt.
+    double left = options_.health_interval_ms;
+    while (left > 0 && !stop_.load(std::memory_order_acquire)) {
+      const double slice = std::min(left, 10.0);
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(slice));
+      left -= slice;
+    }
+  }
+}
+
+void Router::ProbeBackend(int backend) {
+  health_probes_.fetch_add(1, std::memory_order_relaxed);
+  bool ok = false;
+  const int fd = DialBackendFd(backend);
+  if (fd >= 0) {
+    ClientOptions popts;
+    popts.tenant = options_.admin_tenant.empty() ? options_.upstream.tenant
+                                                 : options_.admin_tenant;
+    popts.auth_token = options_.admin_tenant.empty()
+                           ? options_.upstream.auth_token
+                           : options_.admin_token;
+    popts.reconnect = false;
+    popts.timeout_ms = options_.health_timeout_ms;
+    auto probe = Client::FromFd(fd, std::move(popts));
+    ok = probe->Hello().ok() && probe->Heartbeat().ok();
+  }
+  if (ok) {
+    probe_failures_consecutive_[backend] = 0;
+    dead_[backend].store(false, std::memory_order_release);
+  } else {
+    probe_failures_.fetch_add(1, std::memory_order_relaxed);
+    if (++probe_failures_consecutive_[backend] >=
+        options_.health_failure_threshold) {
+      dead_[backend].store(true, std::memory_order_release);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Drain and fleet-wide swap
+
+util::Status Router::DrainBackend(int backend) {
+  if (backend < 0 || backend >= num_backends()) {
+    return util::Status::InvalidArgument("no such backend");
+  }
+  // Refuse a drain nothing could absorb: need one other eligible backend.
+  bool have_peer = false;
+  for (int i = 0; i < num_backends(); ++i) {
+    if (i != backend && Eligible(i)) have_peer = true;
+  }
+  if (!have_peer) {
+    return util::Status::FailedPrecondition(
+        "no live peer to drain backend " + std::to_string(backend) + " onto");
+  }
+  draining_[backend].store(true, std::memory_order_release);
+  const double deadline = NowMs() + options_.drain_timeout_ms;
+  while (legs_on_[backend].load(std::memory_order_acquire) > 0) {
+    if (NowMs() > deadline) {
+      return util::Status::IoError(
+          "drain of backend " + std::to_string(backend) + " timed out with " +
+          std::to_string(legs_on_[backend].load()) + " legs attached");
+    }
+    if (stop_.load(std::memory_order_acquire)) {
+      return util::Status::FailedPrecondition("router stopping");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return util::Status::Ok();
+}
+
+void Router::UndrainBackend(int backend) {
+  if (backend < 0 || backend >= num_backends()) return;
+  draining_[backend].store(false, std::memory_order_release);
+}
+
+util::Status Router::RollSwap(const std::string& tag) {
+  std::lock_guard<std::mutex> lock(swap_mu_);
+  for (int i = 0; i < num_backends(); ++i) {
+    if (dead_[i].load(std::memory_order_acquire)) continue;
+    const int fd = DialBackendFd(i);
+    if (fd < 0) {
+      return util::Status::IoError("cannot reach backend " +
+                                       std::to_string(i) + " for swap");
+    }
+    ClientOptions aopts;
+    aopts.tenant = options_.admin_tenant.empty() ? options_.upstream.tenant
+                                                 : options_.admin_tenant;
+    aopts.auth_token = options_.admin_tenant.empty()
+                           ? options_.upstream.auth_token
+                           : options_.admin_token;
+    aopts.reconnect = false;
+    aopts.timeout_ms = options_.upstream.timeout_ms;
+    auto admin = Client::FromFd(fd, std::move(aopts));
+    CAUSALTAD_RETURN_IF_ERROR(admin->Hello());
+
+    uint64_t result = 0;
+    std::string message;
+    // Stage blocks until the background load settles (deferred ack).
+    CAUSALTAD_RETURN_IF_ERROR(admin->Admin("stage:" + tag, &result, &message));
+    if (result != static_cast<uint64_t>(AdminStatus::kOk)) {
+      return util::Status::Internal("stage failed on backend " +
+                                    std::to_string(i) + ": " + message);
+    }
+
+    // Drain sessions onto peers before the flip; a single-backend fleet
+    // commits live (sessions on the old generation finish on it anyway).
+    bool drained = false;
+    util::Status drain = DrainBackend(i);
+    if (drain.ok()) {
+      drained = true;
+    } else if (drain.code() != util::StatusCode::kFailedPrecondition) {
+      UndrainBackend(i);
+      return drain;
+    }
+
+    util::Status commit = admin->Admin("commit", &result, &message);
+    if (commit.ok() &&
+        result == static_cast<uint64_t>(AdminStatus::kBusy)) {
+      // The stage ack already reported ready, but tolerate a busy verdict
+      // from an interleaved operator stage: one bounded retry.
+      commit = admin->Admin("commit", &result, &message);
+    }
+    if (drained) UndrainBackend(i);
+    CAUSALTAD_RETURN_IF_ERROR(commit);
+    if (result != static_cast<uint64_t>(AdminStatus::kOk)) {
+      return util::Status::Internal("commit failed on backend " +
+                                    std::to_string(i) + ": " + message);
+    }
+    swaps_rolled_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return util::Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Downstream handler
+
+void Router::HandlerMain(int fd, uint64_t conn_id) {
+  DsConn conn;
+  conn.fd = fd;
+  conn.id = conn_id;
+  conn.last_tick_ms = NowMs();
+  std::vector<uint8_t> buf(64 * 1024);
+  bool open = true;
+  while (open && !stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{conn.fd, POLLIN, 0};
+    const int timeout =
+        std::max(1, static_cast<int>(options_.idle_tick_ms));
+    const int rc = poll(&pfd, 1, timeout);
+    if (rc > 0) {
+      const IoResult io =
+          RecvSome(conn.fd, buf.data(), buf.size(), nullptr);
+      if (io.error || io.peer_closed) break;
+      if (io.n > 0) {
+        conn.decoder.Feed(buf.data(), static_cast<size_t>(io.n));
+        Frame frame;
+        while (open && conn.decoder.Next(&frame)) {
+          open = DispatchFrame(&conn, frame);
+        }
+        if (open && !conn.decoder.status().ok()) {
+          SendError(&conn, ErrorCode::kProtocol,
+                    conn.decoder.status().message());
+          open = false;
+        }
+      }
+    }
+    if (open) Housekeeping(&conn);
+  }
+  // Upstream legs close with the handler; the backends park resumable
+  // sessions in their detached tables until the linger expires.
+  for (auto& entry : conn.legs) RetireLegStats(*entry.second);
+  conn.legs.clear();
+  {
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    live_ds_fds_.erase(fd);
+  }
+  close(fd);
+  connections_active_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Router::RetireLegStats(const Leg& leg) {
+  if (!leg.client) return;
+  const ClientStats& s = leg.client->stats();
+  upstream_reconnects_.fetch_add(s.reconnects, std::memory_order_relaxed);
+  dup_scores_dropped_.fetch_add(s.dup_scores, std::memory_order_relaxed);
+}
+
+void Router::Housekeeping(DsConn* conn) {
+  const double now = NowMs();
+  if (now - conn->last_tick_ms < options_.idle_tick_ms) return;
+  conn->last_tick_ms = now;
+  for (auto& entry : conn->legs) {
+    Leg* leg = entry.second.get();
+    if (!leg->client->status().ok()) continue;
+    if (leg->current >= 0 &&
+        draining_[leg->current].load(std::memory_order_acquire)) {
+      // Administrative migration: the dialer avoids draining backends, so
+      // Migrate carries every session of this leg onto a live peer.
+      migrations_.fetch_add(1, std::memory_order_relaxed);
+      (void)leg->client->Migrate();  // failure latches into the leg status
+      leg->last_heartbeat_ms = now;
+      continue;
+    }
+    if (options_.upstream_heartbeat_ms > 0 &&
+        now - leg->last_heartbeat_ms >= options_.upstream_heartbeat_ms) {
+      leg->last_heartbeat_ms = now;
+      (void)leg->client->Heartbeat();  // reconnects (or latches) on failure
+    }
+  }
+}
+
+bool Router::SendDs(DsConn* conn, const Frame& frame) {
+  std::vector<uint8_t> bytes;
+  EncodeFrame(frame, &bytes);
+  const util::Status st = SendAll(conn->fd, bytes.data(), bytes.size(),
+                                  options_.downstream_timeout_ms, nullptr);
+  return st.ok();
+}
+
+bool Router::SendError(DsConn* conn, ErrorCode code,
+                       const std::string& message) {
+  Frame err;
+  err.type = FrameType::kError;
+  err.code = code;
+  err.message = message;
+  SendDs(conn, err);
+  return false;  // callers `return SendError(...)` to close the connection
+}
+
+bool Router::SendScoreChunks(DsConn* conn, uint64_t session, uint64_t token,
+                             int64_t base, const std::vector<double>& scores) {
+  size_t sent = 0;
+  do {
+    const size_t chunk =
+        std::min(scores.size() - sent, kMaxScoresPerDelta);
+    Frame delta;
+    delta.type = FrameType::kScoreDelta;
+    delta.session = session;
+    delta.token = token;
+    delta.offset = static_cast<uint64_t>(base) + sent;
+    delta.scores.assign(scores.begin() + sent, scores.begin() + sent + chunk);
+    if (!SendDs(conn, delta)) return false;
+    sent += chunk;
+  } while (sent < scores.size());
+  return true;
+}
+
+bool Router::DispatchFrame(DsConn* conn, const Frame& frame) {
+  if (!conn->hello_done) {
+    if (frame.type != FrameType::kHello) {
+      return SendError(conn, ErrorCode::kAuthRequired,
+                       "first frame must be Hello");
+    }
+    if (!options_.tenant_tokens.empty()) {
+      const auto it = options_.tenant_tokens.find(frame.tenant);
+      if (it == options_.tenant_tokens.end() ||
+          it->second != frame.auth_token) {
+        auth_failures_.fetch_add(1, std::memory_order_relaxed);
+        return SendError(conn, ErrorCode::kAuthFailed,
+                         "unknown tenant or bad token");
+      }
+    }
+    conn->tenant = frame.tenant;
+    conn->hello_done = true;
+    return true;
+  }
+  switch (frame.type) {
+    case FrameType::kHello:
+      return true;  // idempotent re-Hello (client resume handshakes)
+    case FrameType::kBegin:
+      return HandleBegin(conn, frame);
+    case FrameType::kPush:
+      return HandlePush(conn, frame);
+    case FrameType::kEnd:
+      return HandleEnd(conn, frame);
+    case FrameType::kPoll:
+      return HandlePoll(conn, frame);
+    case FrameType::kResume:
+      return HandleResume(conn, frame);
+    case FrameType::kHeartbeat: {
+      if (frame.seq != 1) return true;  // stray pong: ignore
+      Frame pong;
+      pong.type = FrameType::kHeartbeat;
+      pong.token = frame.token;
+      pong.seq = 0;
+      return SendDs(conn, pong);
+    }
+    case FrameType::kAdmin: {
+      // Model administration is a backend concern; the router's own control
+      // plane (drain, roll-swap) is API-driven, not wire-driven.
+      Frame ack;
+      ack.type = FrameType::kAdminAck;
+      ack.token = frame.token;
+      ack.seq = static_cast<uint64_t>(AdminStatus::kError);
+      ack.message = "admin commands are not routed; use the router API";
+      return SendDs(conn, ack);
+    }
+    case FrameType::kScoreDelta:
+    case FrameType::kPushReject:
+    case FrameType::kError:
+    case FrameType::kResumeAck:
+    case FrameType::kAdminAck:
+      return SendError(conn, ErrorCode::kProtocol,
+                       "server-only frame from client");
+  }
+  return SendError(conn, ErrorCode::kProtocol, "unknown frame type");
+}
+
+bool Router::HandleBegin(DsConn* conn, const Frame& frame) {
+  if (conn->sessions.count(frame.session) != 0) {
+    return SendError(conn, ErrorCode::kDuplicateSession,
+                     "session id already live");
+  }
+  const uint64_t hash =
+      frame.resume_key != 0
+          ? Mix(frame.resume_key)
+          : Mix(Mix(conn->id) ^ Mix(frame.session + 0xa5a5ull));
+  const int home = PickBackend(hash);
+  if (home < 0) {
+    return SendError(conn, ErrorCode::kShuttingDown, "no live backends");
+  }
+  util::Status err = util::Status::Ok();
+  Leg* leg = LegForBackend(conn, home, &err);
+  if (leg == nullptr) {
+    return SendError(conn, ErrorCode::kShuttingDown, err.message());
+  }
+  DsSession s;
+  s.leg = leg;
+  s.up_id = leg->client->Begin(frame.source, frame.destination,
+                               frame.time_slot);
+  conn->sessions.emplace(frame.session, std::move(s));
+  sessions_opened_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool Router::HandlePush(DsConn* conn, const Frame& frame) {
+  const auto it = conn->sessions.find(frame.session);
+  if (it == conn->sessions.end()) {
+    return SendError(conn, ErrorCode::kUnknownSession,
+                     "push for unknown session");
+  }
+  DsSession& s = it->second;
+  if (s.ended) {
+    return SendError(conn, ErrorCode::kProtocol, "push after end");
+  }
+  if (frame.seq < s.expected_seq) return true;  // duplicate: drop
+  if (frame.seq > s.expected_seq) {
+    Frame reject;
+    reject.type = FrameType::kPushReject;
+    reject.session = frame.session;
+    reject.seq = frame.seq;
+    reject.wire_seq = frame.wire_seq;
+    reject.reason = RejectReason::kOutOfOrder;
+    return SendDs(conn, reject);
+  }
+  // Blocking upstream push: window flow control and go-back-N live in the
+  // leg client, so retryable rejects never surface downstream — they show
+  // up as this call (and therefore this connection) applying backpressure.
+  const util::Status st = s.leg->client->Push(s.up_id, frame.segment);
+  if (!st.ok()) {
+    if (st.code() == util::StatusCode::kFailedPrecondition) {
+      // The backend's service shut the session down (terminal reject).
+      Frame reject;
+      reject.type = FrameType::kPushReject;
+      reject.session = frame.session;
+      reject.seq = frame.seq;
+      reject.wire_seq = frame.wire_seq;
+      reject.reason = RejectReason::kShutdown;
+      return SendDs(conn, reject);
+    }
+    return SendError(conn, ErrorCode::kProtocol,
+                     "upstream push failed: " + st.message());
+  }
+  ++s.expected_seq;
+  return true;
+}
+
+bool Router::HandlePoll(DsConn* conn, const Frame& frame) {
+  const auto it = conn->sessions.find(frame.session);
+  if (it == conn->sessions.end()) {
+    // A Poll is ALWAYS answered (ordering barrier), mirroring the server.
+    return SendScoreChunks(conn, frame.session, frame.token, 0, {});
+  }
+  DsSession& s = it->second;
+  std::vector<double> scores;
+  if (s.ended) {
+    scores.swap(s.tail);
+  } else {
+    auto polled = s.leg->client->Poll(s.up_id);
+    if (!polled.ok()) {
+      return SendError(conn, ErrorCode::kProtocol,
+                       "upstream poll failed: " + polled.status().message());
+    }
+    scores = std::move(*polled);
+  }
+  if (s.drop_scores > 0 && !scores.empty()) {
+    // Resume rebuild: the upstream session replays from seq 0 but the
+    // downstream already holds this prefix — drop it so the re-stamped
+    // stream continues exactly at the client's high-water mark.
+    const int64_t k =
+        std::min<int64_t>(s.drop_scores, static_cast<int64_t>(scores.size()));
+    scores.erase(scores.begin(), scores.begin() + k);
+    s.drop_scores -= k;
+  }
+  const int64_t base = s.delivered;
+  s.delivered += static_cast<int64_t>(scores.size());
+  scores_forwarded_.fetch_add(static_cast<int64_t>(scores.size()),
+                              std::memory_order_relaxed);
+  if (!SendScoreChunks(conn, frame.session, frame.token, base, scores)) {
+    return false;
+  }
+  ForgetIfDone(conn, frame.session);
+  return true;
+}
+
+bool Router::HandleEnd(DsConn* conn, const Frame& frame) {
+  const auto it = conn->sessions.find(frame.session);
+  if (it == conn->sessions.end()) return true;  // idempotent
+  DsSession& s = it->second;
+  if (s.ended) return true;
+  // Finish drains every in-flight point upstream and returns whatever tail
+  // was not yet polled; downstream clients drain before sending End, so
+  // the tail is normally empty, but a resume rebuild can leave one.
+  auto tail = s.leg->client->Finish(s.up_id);
+  if (!tail.ok()) {
+    return SendError(conn, ErrorCode::kProtocol,
+                     "upstream end failed: " + tail.status().message());
+  }
+  s.tail = std::move(*tail);
+  s.ended = true;
+  ForgetIfDone(conn, frame.session);
+  return true;
+}
+
+void Router::ForgetIfDone(DsConn* conn, uint64_t session) {
+  const auto it = conn->sessions.find(session);
+  if (it == conn->sessions.end()) return;
+  const DsSession& s = it->second;
+  if (s.ended && s.tail.empty()) conn->sessions.erase(it);
+}
+
+bool Router::HandleResume(DsConn* conn, const Frame& frame) {
+  if (frame.resume_key == 0) {
+    return SendError(conn, ErrorCode::kProtocol, "resume without key");
+  }
+  // The router keeps no cross-connection session state: every downstream
+  // resume is a fresh rebuild. A new upstream session is opened on the
+  // key's ring owner, the ResumeAck asks the client for a full prefix
+  // replay (offset 0), and drop_scores discards the prefix the client
+  // already delivered — no gaps, no duplicates, wherever the old backend
+  // session ended up (its parked state expires via the backend linger).
+  conn->sessions.erase(frame.session);
+  const int home = PickBackend(Mix(frame.resume_key));
+  if (home < 0) {
+    return SendError(conn, ErrorCode::kShuttingDown, "no live backends");
+  }
+  util::Status err = util::Status::Ok();
+  Leg* leg = LegForBackend(conn, home, &err);
+  if (leg == nullptr) {
+    return SendError(conn, ErrorCode::kShuttingDown, err.message());
+  }
+  DsSession s;
+  s.leg = leg;
+  s.up_id = leg->client->Begin(frame.source, frame.destination,
+                               frame.time_slot);
+  s.delivered = static_cast<int64_t>(frame.offset);
+  s.drop_scores = static_cast<int64_t>(frame.offset);
+  conn->sessions.emplace(frame.session, std::move(s));
+  sessions_resumed_.fetch_add(1, std::memory_order_relaxed);
+  Frame ack;
+  ack.type = FrameType::kResumeAck;
+  ack.session = frame.session;
+  ack.offset = 0;  // replay the full prefix
+  return SendDs(conn, ack);
+}
+
+RouterStats Router::stats() const {
+  RouterStats s;
+  s.connections_accepted = connections_accepted_.load();
+  s.connections_active = connections_active_.load();
+  s.sessions_opened = sessions_opened_.load();
+  s.sessions_resumed = sessions_resumed_.load();
+  s.failovers = failovers_.load();
+  s.migrations = migrations_.load();
+  s.upstream_reconnects = upstream_reconnects_.load();
+  s.dup_scores_dropped = dup_scores_dropped_.load();
+  s.scores_forwarded = scores_forwarded_.load();
+  s.health_probes = health_probes_.load();
+  s.probe_failures = probe_failures_.load();
+  s.swaps_rolled = swaps_rolled_.load();
+  s.auth_failures = auth_failures_.load();
+  for (int i = 0; i < num_backends(); ++i) {
+    if (dead_[i].load(std::memory_order_acquire)) ++s.backends_dead;
+  }
+  return s;
+}
+
+}  // namespace net
+}  // namespace causaltad

@@ -1,0 +1,266 @@
+#ifndef CAUSALTAD_NET_ROUTER_H_
+#define CAUSALTAD_NET_ROUTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/client.h"
+#include "net/fault.h"
+#include "net/frame.h"
+#include "util/status.h"
+
+namespace causaltad {
+namespace net {
+
+/// One upstream backend the router can place sessions on. Either a TCP
+/// endpoint (host/port) or a dial hook (tests point it at a backend
+/// Server's AddLoopbackConnection; returning a negative fd means the
+/// backend is unreachable right now).
+struct RouterBackend {
+  std::string host = "127.0.0.1";
+  int port = -1;
+  std::function<int()> dialer;  // overrides host/port when set
+};
+
+/// Router knobs.
+struct RouterOptions {
+  /// TCP listener port for downstream clients (0 = ephemeral, query via
+  /// port()); -1 disables the listener — loopback-only routers (tests)
+  /// accept downstream connections via AddLoopbackConnection() instead.
+  int listen_port = -1;
+  std::string listen_host = "127.0.0.1";
+
+  /// Downstream tenant -> auth token. Empty = open router (any Hello
+  /// accepted). This is the router's OWN auth check; upstream legs
+  /// authenticate separately with `upstream`'s tenant/token.
+  std::unordered_map<std::string, std::string> tenant_tokens;
+
+  /// Template for upstream data legs. `reconnect` is forced on (failover
+  /// IS the reconnect machinery landing on a different backend), and
+  /// `dialer`/`fault`/`client_id` are overwritten per leg.
+  ClientOptions upstream;
+
+  /// Tenant identity for admin control connections (RollSwap) and health
+  /// probes that need auth. Empty = reuse `upstream.tenant`.
+  std::string admin_tenant;
+  std::string admin_token;
+
+  /// Consistent-hash ring: virtual nodes per backend. More vnodes = more
+  /// uniform session spread at the cost of a bigger (static) ring.
+  int virtual_nodes = 64;
+
+  /// Health checking: every interval the health thread dials each backend,
+  /// Hellos, and exchanges one heartbeat. `health_failure_threshold`
+  /// consecutive probe failures mark the backend dead (new sessions and
+  /// failover dials skip it); one success marks it live again.
+  /// interval <= 0 disables the thread (tests drive MarkDead directly).
+  double health_interval_ms = 25.0;
+  int health_failure_threshold = 3;
+  double health_timeout_ms = 500.0;
+
+  /// Handler housekeeping cadence: the downstream read loop wakes at least
+  /// this often to notice drains (and to observe Stop()).
+  double idle_tick_ms = 20.0;
+
+  /// Optional keepalive on idle upstream legs: when > 0, a leg that has
+  /// been quiet this long exchanges a heartbeat, which both defeats the
+  /// backend's idle reaper and detects a dead backend while no pushes are
+  /// flowing (triggering failover early). 0 = off.
+  double upstream_heartbeat_ms = 0.0;
+
+  /// Bound on DrainBackend's wait for legs to migrate off.
+  double drain_timeout_ms = 10000.0;
+  /// Bound on any single blocking downstream send.
+  double downstream_timeout_ms = 5000.0;
+
+  /// Deterministic fault injection on the UPSTREAM legs (the router's
+  /// client sockets). nullptr = no faults. Must outlive the router.
+  FaultInjector* upstream_fault = nullptr;
+};
+
+/// Router counters (point-in-time snapshot via stats()).
+struct RouterStats {
+  int64_t connections_accepted = 0;
+  int64_t connections_active = 0;
+  int64_t sessions_opened = 0;   // downstream Begins placed upstream
+  int64_t sessions_resumed = 0;  // downstream Resumes rebuilt upstream
+  int64_t failovers = 0;         // upstream dials that landed off-home
+  int64_t migrations = 0;        // drain-triggered Client::Migrate calls
+  int64_t upstream_reconnects = 0;  // outages survived by retired legs
+  int64_t dup_scores_dropped = 0;   // upstream redeliveries deduped
+  int64_t scores_forwarded = 0;     // scores delivered downstream
+  int64_t health_probes = 0;
+  int64_t probe_failures = 0;
+  int64_t backends_dead = 0;  // currently marked dead
+  int64_t swaps_rolled = 0;   // backends stage+commit'ed by RollSwap
+  int64_t auth_failures = 0;
+};
+
+/// Multi-backend router: speaks the src/net wire protocol downstream
+/// (clients connect to it exactly as they would to a single Server) and
+/// fans sessions out across N backend Servers over net::Client upstream
+/// legs.
+///
+///  * Placement: sessions are consistent-hashed (vnode ring) onto a home
+///    backend; each downstream connection lazily opens one upstream leg
+///    per home backend it touches.
+///  * Failover: a leg's dialer prefers its home backend and falls through
+///    to the next live, non-draining backend — so when a backend dies
+///    mid-stream, Client::Recover's journaled prefix replay rebuilds every
+///    session on a peer and the downstream score stream continues with no
+///    gaps and no duplicates (the router re-stamps deltas with its own
+///    cumulative offsets).
+///  * Drain: DrainBackend marks a backend ineligible and waits while
+///    handler threads Migrate() their legs off it; UndrainBackend restores
+///    eligibility. RollSwap composes admin stage/commit with drains for a
+///    zero-downtime fleet-wide model swap.
+///
+/// Threading: one thread per downstream connection (each owning its
+/// single-threaded upstream Clients), plus a health-probe thread.
+class Router {
+ public:
+  Router(std::vector<RouterBackend> backends, RouterOptions options = {});
+  ~Router();
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Binds the listener (if configured) and starts the health thread.
+  util::Status Start();
+  /// Stops accepting, wakes every handler, and joins all threads. Live
+  /// downstream connections are shut down; upstream sessions are left to
+  /// the backends' detached-session linger.
+  void Stop();
+
+  /// Downstream attach without TCP: returns the client end of a connected
+  /// socketpair whose server end is handled by a fresh handler thread.
+  int AddLoopbackConnection();
+  int port() const { return port_; }
+  int num_backends() const { return static_cast<int>(backends_.size()); }
+
+  /// Health/drain control plane.
+  bool BackendAlive(int backend) const;
+  bool BackendDraining(int backend) const;
+  /// Manual health override (tests; the health thread will re-mark on its
+  /// next probe unless disabled).
+  void MarkDead(int backend, bool dead);
+  /// Marks the backend ineligible for new placements and failover dials,
+  /// then blocks until every leg has migrated off it (or drain_timeout_ms
+  /// expires). Fails fast when no other live backend could absorb the
+  /// sessions. The backend stays draining until UndrainBackend.
+  util::Status DrainBackend(int backend);
+  void UndrainBackend(int backend);
+
+  /// Zero-downtime fleet-wide model swap: for each live backend, stage the
+  /// tagged model over an admin connection (blocks until the background
+  /// load finishes), drain the backend's sessions onto its peers, commit
+  /// the flip, and undrain. Single-backend fleets skip the drain (the
+  /// commit itself is safe under load: live sessions finish on the old
+  /// model). `tag` is resolved by the backends' model_resolver.
+  util::Status RollSwap(const std::string& tag);
+
+  RouterStats stats() const;
+
+ private:
+  // One upstream client leg: created per (downstream connection, home
+  // backend), single-threaded with its owning handler.
+  struct Leg {
+    Router* router = nullptr;
+    int home = -1;     // ring placement this leg was created for
+    int current = -1;  // backend the last successful dial landed on
+    double last_heartbeat_ms = 0.0;
+    std::unique_ptr<Client> client;
+    ~Leg();
+  };
+  // Downstream session state (router side of the translation).
+  struct DsSession {
+    Leg* leg = nullptr;
+    uint64_t up_id = 0;        // session id on the upstream leg
+    uint64_t expected_seq = 0;  // next downstream push seq
+    int64_t delivered = 0;      // scores delivered downstream (offset base)
+    int64_t drop_scores = 0;    // resume rebuild: upstream prefix to drop
+    bool ended = false;
+    std::vector<double> tail;  // scores drained by Finish, not yet polled
+  };
+  struct DsConn;
+
+  void HandlerMain(int fd, uint64_t conn_id);
+  bool DispatchFrame(DsConn* conn, const Frame& frame);  // false = close
+  bool HandleBegin(DsConn* conn, const Frame& frame);
+  bool HandlePush(DsConn* conn, const Frame& frame);
+  bool HandlePoll(DsConn* conn, const Frame& frame);
+  bool HandleEnd(DsConn* conn, const Frame& frame);
+  bool HandleResume(DsConn* conn, const Frame& frame);
+  void Housekeeping(DsConn* conn);
+  bool SendDs(DsConn* conn, const Frame& frame);
+  bool SendError(DsConn* conn, ErrorCode code, const std::string& message);
+  bool SendScoreChunks(DsConn* conn, uint64_t session, uint64_t token,
+                       int64_t base, const std::vector<double>& scores);
+  void ForgetIfDone(DsConn* conn, uint64_t session);
+
+  Leg* LegForBackend(DsConn* conn, int home, util::Status* error);
+  /// The failover dialer: home backend if eligible, else the next live,
+  /// non-draining backend; tries every candidate before giving up.
+  int DialUpstream(Leg* leg);
+  int DialBackendFd(int backend);
+  bool Eligible(int backend) const;
+  /// Ring owner of `hash` among eligible backends (-1 when none).
+  int PickBackend(uint64_t hash) const;
+
+  void HealthMain();
+  void ProbeBackend(int backend);
+  void AcceptMain();
+  void SpawnHandler(int fd);
+  void RetireLegStats(const Leg& leg);
+
+  std::vector<RouterBackend> backends_;
+  RouterOptions options_;
+  std::vector<std::pair<uint64_t, int>> ring_;  // (point, backend), sorted
+
+  // Shared health/drain view (handlers, health thread, control plane).
+  std::unique_ptr<std::atomic<bool>[]> dead_;
+  std::unique_ptr<std::atomic<bool>[]> draining_;
+  std::unique_ptr<std::atomic<int64_t>[]> legs_on_;  // legs per backend
+  std::vector<int> probe_failures_consecutive_;  // health thread only
+
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+  int listen_fd_ = -1;
+  int port_ = -1;
+  std::thread health_thread_;
+  std::thread accept_thread_;
+  std::mutex threads_mu_;
+  std::vector<std::thread> handler_threads_;
+  std::unordered_set<int> live_ds_fds_;  // for Stop() to shutdown()
+  std::mutex lifecycle_mu_;
+  std::mutex swap_mu_;  // serializes RollSwap
+  std::atomic<uint64_t> next_conn_id_{1};
+
+  // Counters (see RouterStats).
+  std::atomic<int64_t> connections_accepted_{0};
+  std::atomic<int64_t> connections_active_{0};
+  std::atomic<int64_t> sessions_opened_{0};
+  std::atomic<int64_t> sessions_resumed_{0};
+  std::atomic<int64_t> failovers_{0};
+  std::atomic<int64_t> migrations_{0};
+  std::atomic<int64_t> upstream_reconnects_{0};
+  std::atomic<int64_t> dup_scores_dropped_{0};
+  std::atomic<int64_t> scores_forwarded_{0};
+  std::atomic<int64_t> health_probes_{0};
+  std::atomic<int64_t> probe_failures_{0};
+  std::atomic<int64_t> swaps_rolled_{0};
+  std::atomic<int64_t> auth_failures_{0};
+};
+
+}  // namespace net
+}  // namespace causaltad
+
+#endif  // CAUSALTAD_NET_ROUTER_H_

@@ -126,6 +126,10 @@ void Server::Stop() {
     // Best-effort orphan drain of scores already emitted (no waiting: the
     // service may keep scoring queued points after we return).
     DrainOrphans();
+    // A stage still loading finishes into the void (its waiters' acks are
+    // moot); the worker must be joined before the server is destroyed.
+    if (stage_worker_.joinable()) stage_worker_.join();
+    stage_waiters_.clear();
     if (listen_fd_ >= 0) close(listen_fd_);
     listen_fd_ = -1;
     close(wake_fds_[0]);
@@ -304,6 +308,7 @@ void Server::Loop() {
         }
       }
     }
+    PumpStaging();
     connections_.erase(
         std::remove_if(connections_.begin(), connections_.end(),
                        [](const std::unique_ptr<Connection>& c) {
@@ -379,10 +384,14 @@ void Server::HandleFrame(Connection* conn, const Frame& frame) {
     case FrameType::kHeartbeat:
       HandleHeartbeat(conn, frame);
       return;
+    case FrameType::kAdmin:
+      HandleAdmin(conn, frame);
+      return;
     case FrameType::kScoreDelta:
     case FrameType::kPushReject:
     case FrameType::kResumeAck:
     case FrameType::kError:
+    case FrameType::kAdminAck:
       break;  // server-to-client frames are not valid requests
   }
   protocol_errors_.fetch_add(1, std::memory_order_relaxed);
@@ -745,6 +754,134 @@ void Server::HandleHeartbeat(Connection* conn, const Frame& frame) {
   SendFrame(conn, pong);
 }
 
+void Server::SendAdminAck(Connection* conn, uint64_t token, AdminStatus status,
+                          const std::string& message) {
+  Frame ack;
+  ack.type = FrameType::kAdminAck;
+  ack.token = token;
+  ack.seq = static_cast<uint64_t>(status);
+  ack.message = message;
+  last_admin_ack_ = ack;
+  has_last_admin_ack_ = true;
+  SendFrame(conn, ack);
+}
+
+void Server::HandleAdmin(Connection* conn, const Frame& frame) {
+  // Authorization: a configured admin_tenant gates the surface; without
+  // one, only an OPEN server (no tenant tokens) accepts admin commands.
+  const bool authorized = options_.admin_tenant.empty()
+                              ? options_.tenant_tokens.empty()
+                              : conn->tenant == options_.admin_tenant;
+  if (!authorized) {
+    auth_failures_.fetch_add(1, std::memory_order_relaxed);
+    SendAdminAck(conn, frame.token, AdminStatus::kError,
+                 "admin not authorized for tenant '" + conn->tenant + "'");
+    return;
+  }
+  // Idempotent replay: a resent Admin (barrier resend, fault redelivery)
+  // whose token matches the last ack re-receives that ack verbatim — a
+  // duplicate commit must not re-run and mis-report "nothing staged".
+  if (has_last_admin_ack_ && frame.token == last_admin_ack_.token) {
+    SendFrame(conn, last_admin_ack_);
+    return;
+  }
+  const std::string& command = frame.message;
+  if (command.rfind("stage:", 0) == 0) {
+    const std::string tag = command.substr(6);
+    if (!options_.model_resolver) {
+      SendAdminAck(conn, frame.token, AdminStatus::kError,
+                   "no model resolver configured");
+      return;
+    }
+    const int state = stage_state_.load(std::memory_order_acquire);
+    if (state == kStageLoading) {
+      if (tag == stage_tag_) {
+        // Same tag already loading (or this frame was resent while we
+        // load): join the waiters for the deferred ack.
+        for (const auto& [waiter, token] : stage_waiters_) {
+          if (waiter == conn && token == frame.token) return;
+        }
+        stage_waiters_.emplace_back(conn, frame.token);
+        return;
+      }
+      SendAdminAck(conn, frame.token, AdminStatus::kBusy,
+                   "stage '" + stage_tag_ + "' still loading");
+      return;
+    }
+    if (state == kStageReady && tag == stage_tag_) {
+      // Re-staging resident weights is idempotent.
+      SendAdminAck(conn, frame.token, AdminStatus::kOk, tag);
+      return;
+    }
+    if (stage_worker_.joinable()) stage_worker_.join();
+    stage_tag_ = tag;
+    staged_model_ = nullptr;
+    stage_error_.clear();
+    stage_waiters_.emplace_back(conn, frame.token);
+    stage_state_.store(kStageLoading, std::memory_order_release);
+    stage_worker_ = std::thread([this, tag] {
+      const core::CausalTad* model = options_.model_resolver(tag);
+      if (model != nullptr) {
+        staged_model_ = model;
+        models_staged_.fetch_add(1, std::memory_order_relaxed);
+        stage_state_.store(kStageReady, std::memory_order_release);
+      } else {
+        stage_error_ = "stage '" + tag + "' failed to load";
+        stage_state_.store(kStageFailed, std::memory_order_release);
+      }
+    });
+    return;  // ack deferred: PumpStaging answers when the load settles
+  }
+  if (command == "commit") {
+    switch (stage_state_.load(std::memory_order_acquire)) {
+      case kStageLoading:
+        SendAdminAck(conn, frame.token, AdminStatus::kBusy,
+                     "stage '" + stage_tag_ + "' still loading");
+        return;
+      case kStageReady: {
+        if (stage_worker_.joinable()) stage_worker_.join();
+        if (!service_->SwapModel(staged_model_)) {
+          SendAdminAck(conn, frame.token, AdminStatus::kError,
+                       "service has shut down");
+          return;
+        }
+        models_committed_.fetch_add(1, std::memory_order_relaxed);
+        stage_state_.store(kStageIdle, std::memory_order_release);
+        SendAdminAck(conn, frame.token, AdminStatus::kOk, stage_tag_);
+        return;
+      }
+      case kStageFailed:
+        SendAdminAck(conn, frame.token, AdminStatus::kError, stage_error_);
+        return;
+      default:
+        SendAdminAck(conn, frame.token, AdminStatus::kError,
+                     "nothing staged");
+        return;
+    }
+  }
+  SendAdminAck(conn, frame.token, AdminStatus::kError,
+               "unknown admin command: " + command);
+}
+
+void Server::PumpStaging() {
+  if (stage_waiters_.empty()) return;
+  const int state = stage_state_.load(std::memory_order_acquire);
+  if (state == kStageLoading) return;  // still loading: acks stay deferred
+  if (stage_worker_.joinable()) stage_worker_.join();
+  // Swap out first: SendAdminAck can close a connection, which purges
+  // stage_waiters_ via CloseConnection — do not iterate the live vector.
+  std::vector<std::pair<Connection*, uint64_t>> waiters;
+  waiters.swap(stage_waiters_);
+  for (const auto& [conn, token] : waiters) {
+    if (conn->fd < 0) continue;
+    if (state == kStageReady) {
+      SendAdminAck(conn, token, AdminStatus::kOk, stage_tag_);
+    } else {
+      SendAdminAck(conn, token, AdminStatus::kError, stage_error_);
+    }
+  }
+}
+
 void Server::MaybeForgetSession(Connection* conn, uint64_t id) {
   const auto it = conn->sessions.find(id);
   if (it == conn->sessions.end()) return;
@@ -814,6 +951,14 @@ void Server::CloseConnection(Connection* conn) {
   close(conn->fd);
   conn->fd = -1;
   connections_active_.fetch_add(-1, std::memory_order_relaxed);
+  // Forget any stage ack owed to this connection — the Connection object
+  // is reclaimed by the loop and the waiter list must never dangle.
+  stage_waiters_.erase(
+      std::remove_if(stage_waiters_.begin(), stage_waiters_.end(),
+                     [conn](const std::pair<Connection*, uint64_t>& w) {
+                       return w.first == conn;
+                     }),
+      stage_waiters_.end());
   const bool draining = draining_.load(std::memory_order_acquire);
   const double now = NowMs();
   for (auto& [id, state] : conn->sessions) {
@@ -946,6 +1091,8 @@ ServerStats Server::stats() const {
       sessions_resumed_fresh_.load(std::memory_order_relaxed);
   stats.sessions_detached_live =
       detached_live_.load(std::memory_order_relaxed);
+  stats.models_staged = models_staged_.load(std::memory_order_relaxed);
+  stats.models_committed = models_committed_.load(std::memory_order_relaxed);
   stats.dispatch_mean_ms = dispatch_.MeanMs();
   stats.dispatch_p50_ms = dispatch_.Percentile(50.0);
   stats.dispatch_p95_ms = dispatch_.Percentile(95.0);

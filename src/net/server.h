@@ -68,6 +68,19 @@ struct ServerOptions {
   /// Deterministic fault injection at the socket read/write boundary (see
   /// net::FaultInjector). nullptr = no faults. Must outlive the server.
   FaultInjector* fault = nullptr;
+  /// Admin authorization: Admin frames ("stage:<tag>" / "commit") are
+  /// accepted only from connections authed as this tenant. Empty string
+  /// disables the admin surface on a token-checked server; an OPEN server
+  /// (empty tenant_tokens) with an empty admin_tenant accepts admin from
+  /// any authed connection (tests, local tools).
+  std::string admin_tenant;
+  /// Stage-tag resolver behind the hot model swap: maps an Admin
+  /// "stage:<tag>" command to loaded weights. Called on a BACKGROUND
+  /// thread — slow weight loading must never stall the event loop; the
+  /// stage ack is deferred until the load finishes. Returns nullptr on
+  /// failure. Every model it returns must outlive the server AND the
+  /// service (generations keep raw pointers). nullptr disables staging.
+  std::function<const core::CausalTad*(const std::string&)> model_resolver;
 };
 
 /// Ops counters exported by Server::stats(). Counter fields are cumulative
@@ -96,6 +109,8 @@ struct ServerStats {
   int64_t sessions_resumed = 0;    // re-adopted from the detached table
   int64_t sessions_resumed_fresh = 0;  // rebuilt via emit-skip prefix replay
   int64_t sessions_detached_live = 0;  // currently parked
+  int64_t models_staged = 0;     // background weight loads completed
+  int64_t models_committed = 0;  // staged models flipped live via commit
   double dispatch_mean_ms = 0.0;
   double dispatch_p50_ms = 0.0;
   double dispatch_p95_ms = 0.0;
@@ -239,6 +254,11 @@ class Server {
   void HandlePoll(Connection* conn, const Frame& frame);
   void HandleResume(Connection* conn, const Frame& frame);
   void HandleHeartbeat(Connection* conn, const Frame& frame);
+  void HandleAdmin(Connection* conn, const Frame& frame);
+  /// Delivers deferred stage acks once the background load settles.
+  void PumpStaging();
+  void SendAdminAck(Connection* conn, uint64_t token, AdminStatus status,
+                    const std::string& message);
   void SendFrame(Connection* conn, const Frame& frame);
   void SendError(Connection* conn, ErrorCode code, const std::string& message);
   void SendReject(Connection* conn, const Frame& push, RejectReason reason);
@@ -281,6 +301,25 @@ class Server {
   std::deque<Orphan> orphans_;
   std::unordered_map<std::string, Detached> detached_;
 
+  // Model staging (hot swap). stage_state_ is the publication point: the
+  // background worker fills staged_model_ / stage_error_ then stores
+  // kStageReady/kStageFailed with release; the loop thread reads the state
+  // with acquire before touching either. Everything else is loop-only.
+  enum StageState { kStageIdle = 0, kStageLoading, kStageReady, kStageFailed };
+  std::atomic<int> stage_state_{kStageIdle};
+  std::thread stage_worker_;
+  std::string stage_tag_;
+  const core::CausalTad* staged_model_ = nullptr;
+  std::string stage_error_;
+  /// Connections owed a stage ack (deduped on conn+token; CloseConnection
+  /// purges its entries so no waiter ever dangles).
+  std::vector<std::pair<Connection*, uint64_t>> stage_waiters_;
+  /// Replay cache for Admin idempotence: a redelivered/resent Admin whose
+  /// token matches the last ack gets that ack again instead of re-running
+  /// the command (a duplicate "commit" must not mis-report an error).
+  Frame last_admin_ack_;
+  bool has_last_admin_ack_ = false;
+
   // Stats (atomics: stats() races the loop thread by design).
   std::atomic<int64_t> connections_accepted_{0};
   std::atomic<int64_t> connections_active_{0};
@@ -304,6 +343,8 @@ class Server {
   std::atomic<int64_t> sessions_resumed_fresh_{0};
   std::atomic<int64_t> detached_live_{0};
   std::atomic<int64_t> orphans_live_{0};
+  std::atomic<int64_t> models_staged_{0};
+  std::atomic<int64_t> models_committed_{0};
   util::LatencyHistogram dispatch_;
 };
 

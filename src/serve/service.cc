@@ -1,6 +1,7 @@
 #include "serve/service.h"
 
 #include <algorithm>
+#include <iterator>
 #include <utility>
 
 #include "util/logging.h"
@@ -23,21 +24,29 @@ uint64_t Mix(uint64_t x) {
 StreamingService::StreamingService(const core::CausalTad* model,
                                    ServiceOptions options)
     : StreamingService(model, core::ScoreVariant::kFull, model->lambda(),
-                       std::move(options)) {}
+                       std::move(options)) {
+  lambda_from_model_ = true;
+}
 
 StreamingService::StreamingService(const core::CausalTad* model,
                                    core::ScoreVariant variant, double lambda,
                                    ServiceOptions options)
-    : options_(std::move(options)), start_(std::chrono::steady_clock::now()) {
+    : options_(std::move(options)),
+      variant_(variant),
+      lambda_(lambda),
+      start_(std::chrono::steady_clock::now()) {
   CAUSALTAD_CHECK_GT(options_.num_shards, 0);
-  options_.batcher.queue_wait = &queue_wait_;
+  model_.store(model, std::memory_order_relaxed);
   shards_.reserve(options_.num_shards);
   for (int i = 0; i < options_.num_shards; ++i) {
     auto shard = std::make_unique<Shard>();
-    shard->batcher = std::make_unique<StreamingBatcher>(
-        model, variant, lambda, options_.batcher);
+    shard->gens.push_back(
+        MakeBatcher(model, shard.get(), options_.batcher.max_delay_ms));
+    shard->adapt_base = shard->queue_wait.TakeSnapshot();
     shards_.push_back(std::move(shard));
   }
+  const double now = NowMs();
+  for (auto& shard : shards_) shard->last_adapt_ms = now;
   if (options_.pump) {
     for (auto& shard : shards_) {
       shard->pump = std::thread([this, s = shard.get()] { PumpLoop(s); });
@@ -47,15 +56,45 @@ StreamingService::StreamingService(const core::CausalTad* model,
 
 StreamingService::~StreamingService() { Shutdown(); }
 
+double StreamingService::NowMs() const {
+  if (options_.batcher.now_ms) return options_.batcher.now_ms();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::unique_ptr<StreamingBatcher> StreamingService::MakeBatcher(
+    const core::CausalTad* model, Shard* shard, double max_delay_ms) const {
+  StreamingOptions batcher_options = options_.batcher;
+  batcher_options.queue_wait = &shard->queue_wait;
+  batcher_options.max_delay_ms = max_delay_ms;
+  const double lambda = lambda_from_model_ ? model->lambda() : lambda_;
+  return std::make_unique<StreamingBatcher>(model, variant_, lambda,
+                                            batcher_options);
+}
+
 void StreamingService::PumpLoop(Shard* shard) {
-  // Idle poll period: a fraction of the admission deadline, so a partial
-  // batch is picked up well within max_delay_ms of becoming due.
-  const double delay_ms = std::max(options_.batcher.max_delay_ms, 0.1);
-  const auto idle_wait =
-      std::chrono::microseconds(std::max<int64_t>(
-          50, static_cast<int64_t>(delay_ms * 1000.0 / 4.0)));
+  std::vector<StreamingBatcher*> gens;
   while (!stop_.load(std::memory_order_acquire)) {
-    if (shard->batcher->StepIfReady() > 0) continue;  // hot: step again
+    gens.clear();
+    {
+      std::shared_lock<std::shared_mutex> lock(shard->gens_mu);
+      for (const auto& g : shard->gens) gens.push_back(g.get());
+    }
+    int64_t scored = 0;
+    for (StreamingBatcher* g : gens) scored += g->StepIfReady();
+    if (options_.target_queue_wait_p95_ms > 0.0) AdaptShard(shard);
+    if (gens.size() > 1) MaybeRetire(shard);
+    if (scored > 0) continue;  // hot: step again
+    // Idle poll period: a fraction of the admission deadline, so a partial
+    // batch is picked up well within max_delay_ms of becoming due. Reads
+    // the live (possibly adapted) deadline each pass.
+    const double delay_ms =
+        std::max(gens.empty() ? options_.batcher.max_delay_ms
+                              : gens.back()->max_delay_ms(),
+                 0.1);
+    const auto idle_wait = std::chrono::microseconds(
+        std::max<int64_t>(50, static_cast<int64_t>(delay_ms * 1000.0 / 4.0)));
     std::unique_lock<std::mutex> lock(shard->mu);
     shard->cv.wait_for(lock, idle_wait, [this] {
       return stop_.load(std::memory_order_acquire);
@@ -82,12 +121,23 @@ SessionId StreamingService::BeginSessionAt(roadnet::SegmentId source,
                                            int time_slot, int64_t emit_skip) {
   const uint64_t seq = next_session_.fetch_add(1, std::memory_order_relaxed);
   const int64_t n = static_cast<int64_t>(shards_.size());
-  const int64_t shard = static_cast<int64_t>(Mix(seq) % shards_.size());
-  const SessionId inner = shards_[shard]->batcher->BeginSessionAt(
-      source, destination, time_slot, emit_skip);
+  const int64_t shard_index = static_cast<int64_t>(Mix(seq) % shards_.size());
+  Shard* shard = shards_[shard_index].get();
+  SessionId inner = -1;
+  {
+    // Exclusive: binds the session to the CURRENT generation and claims a
+    // shard-unique inner id. A SwapModel cannot interleave, so a session
+    // never splits across models.
+    std::unique_lock<std::shared_mutex> lock(shard->gens_mu);
+    StreamingBatcher* batcher = shard->gens.back().get();
+    const SessionId batcher_id =
+        batcher->BeginSessionAt(source, destination, time_slot, emit_skip);
+    inner = shard->next_inner++;
+    shard->route.emplace(inner, Route{batcher, batcher_id});
+  }
   sessions_begun_.fetch_add(1, std::memory_order_relaxed);
   // Bijective (inner, shard) -> service id; decoding needs no lock or map.
-  return inner * n + shard;
+  return inner * n + shard_index;
 }
 
 SessionId StreamingService::Begin(const traj::Trip& trip) {
@@ -105,9 +155,15 @@ PushStatus StreamingService::Push(SessionId id, roadnet::SegmentId segment) {
   // accepting_ == false.
   std::shared_lock<std::shared_mutex> accepting_lock(accepting_mu_);
   if (!accepting_) return PushStatus::kShutdown;
-  const PushStatus status =
-      shard->batcher->TryPush(inner, segment, options_.max_session_pending,
-                              options_.max_shard_queued);
+  PushStatus status = PushStatus::kShutdown;
+  {
+    std::shared_lock<std::shared_mutex> lock(shard->gens_mu);
+    auto it = shard->route.find(inner);
+    CAUSALTAD_CHECK(it != shard->route.end()) << "unknown session " << id;
+    status = it->second.batcher->TryPush(it->second.id, segment,
+                                         options_.max_session_pending,
+                                         options_.max_shard_queued);
+  }
   switch (status) {
     case PushStatus::kAccepted:
       points_accepted_.fetch_add(1, std::memory_order_relaxed);
@@ -127,23 +183,151 @@ PushStatus StreamingService::Push(SessionId id, roadnet::SegmentId segment) {
 void StreamingService::End(SessionId id) {
   SessionId inner = 0;
   Shard* shard = ShardOf(id, &inner);
-  shard->batcher->End(inner);
+  std::shared_lock<std::shared_mutex> lock(shard->gens_mu);
+  auto it = shard->route.find(inner);
+  // Ending an already-forgotten session is a no-op (mirrors Poll).
+  if (it == shard->route.end()) return;
+  it->second.batcher->End(it->second.id);
 }
 
 std::vector<double> StreamingService::Poll(SessionId id) {
   SessionId inner = 0;
   Shard* shard = ShardOf(id, &inner);
-  return shard->batcher->Poll(inner);
+  bool forgotten = false;
+  std::vector<double> scores;
+  StreamingBatcher* batcher = nullptr;
+  {
+    std::shared_lock<std::shared_mutex> lock(shard->gens_mu);
+    auto it = shard->route.find(inner);
+    if (it == shard->route.end()) return {};
+    batcher = it->second.batcher;
+    scores = batcher->Poll(it->second.id, &forgotten);
+  }
+  if (forgotten) {
+    // The batcher no longer tracks the session; drop our route entry so a
+    // drained old generation can retire. Inner ids are never reused, so
+    // re-finding after the lock drop cannot alias a different session.
+    std::unique_lock<std::shared_mutex> lock(shard->gens_mu);
+    auto it = shard->route.find(inner);
+    if (it != shard->route.end() && it->second.batcher == batcher) {
+      shard->route.erase(it);
+    }
+  }
+  return scores;
 }
 
 int64_t StreamingService::StepAll() {
   int64_t points = 0;
-  for (auto& shard : shards_) points += shard->batcher->StepIfReady();
+  for (auto& shard : shards_) {
+    std::vector<StreamingBatcher*> gens;
+    {
+      std::shared_lock<std::shared_mutex> lock(shard->gens_mu);
+      for (const auto& g : shard->gens) gens.push_back(g.get());
+    }
+    for (StreamingBatcher* g : gens) points += g->StepIfReady();
+    if (options_.target_queue_wait_p95_ms > 0.0) AdaptShard(shard.get());
+    if (gens.size() > 1) MaybeRetire(shard.get());
+  }
   return points;
 }
 
 void StreamingService::Flush() {
-  for (auto& shard : shards_) shard->batcher->Flush();
+  for (auto& shard : shards_) {
+    std::vector<StreamingBatcher*> gens;
+    {
+      std::shared_lock<std::shared_mutex> lock(shard->gens_mu);
+      for (const auto& g : shard->gens) gens.push_back(g.get());
+    }
+    for (StreamingBatcher* g : gens) g->Flush();
+  }
+}
+
+bool StreamingService::SwapModel(const core::CausalTad* model) {
+  CAUSALTAD_CHECK(model != nullptr);
+  std::lock_guard<std::mutex> swap_lock(swap_mu_);
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    if (shut_down_) return false;
+  }
+  for (auto& shard : shards_) {
+    // Carry the shard's live (possibly adapted) deadline into the new
+    // generation so a swap does not reset the controller's work.
+    double delay = options_.batcher.max_delay_ms;
+    {
+      std::shared_lock<std::shared_mutex> lock(shard->gens_mu);
+      if (!shard->gens.empty()) delay = shard->gens.back()->max_delay_ms();
+    }
+    auto batcher = MakeBatcher(model, shard.get(), delay);
+    std::unique_lock<std::shared_mutex> lock(shard->gens_mu);
+    shard->gens.push_back(std::move(batcher));
+  }
+  model_.store(model, std::memory_order_release);
+  model_swaps_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+const core::CausalTad* StreamingService::current_model() const {
+  return model_.load(std::memory_order_acquire);
+}
+
+void StreamingService::AdaptDeadlines() {
+  if (options_.target_queue_wait_p95_ms <= 0.0) return;
+  for (auto& shard : shards_) AdaptShard(shard.get());
+}
+
+void StreamingService::AdaptShard(Shard* shard) {
+  std::lock_guard<std::mutex> adapt_lock(shard->adapt_mu);
+  const double now = NowMs();
+  if (now - shard->last_adapt_ms < options_.adapt_interval_ms) return;
+  const int64_t samples = shard->queue_wait.CountSince(shard->adapt_base);
+  if (samples < options_.adapt_min_samples) return;  // window keeps growing
+  const double p95 = shard->queue_wait.PercentileSince(shard->adapt_base, 95.0);
+  shard->adapt_base = shard->queue_wait.TakeSnapshot();
+  shard->last_adapt_ms = now;
+  std::shared_lock<std::shared_mutex> lock(shard->gens_mu);
+  if (shard->gens.empty()) return;
+  const double current = shard->gens.back()->max_delay_ms();
+  // Multiplicative controller, at most a 2x move per interval: queue waits
+  // above target shrink the deadline (admit sooner), waits comfortably
+  // below it grow the deadline (fuller batches, better occupancy).
+  const double ratio = std::clamp(
+      options_.target_queue_wait_p95_ms / std::max(p95, 1e-6), 0.5, 2.0);
+  const double next = std::clamp(current * ratio, options_.min_delay_ms,
+                                 options_.max_delay_ms_cap);
+  for (const auto& g : shard->gens) g->set_max_delay_ms(next);
+}
+
+void StreamingService::MaybeRetire(Shard* shard) {
+  // Cheap shared-lock probe first: retirement is rare (only after a swap),
+  // Push/Poll traffic should not stall behind an exclusive lock each pass.
+  bool candidate = false;
+  {
+    std::shared_lock<std::shared_mutex> lock(shard->gens_mu);
+    for (size_t i = 0; i + 1 < shard->gens.size(); ++i) {
+      if (shard->gens[i]->tracked_sessions() == 0 &&
+          shard->gens[i]->queued_points() == 0) {
+        candidate = true;
+        break;
+      }
+    }
+  }
+  if (!candidate) return;
+  std::unique_lock<std::shared_mutex> lock(shard->gens_mu);
+  for (size_t i = 0; i + 1 < shard->gens.size();) {
+    StreamingBatcher* g = shard->gens[i].get();
+    if (g->tracked_sessions() != 0 || g->queued_points() != 0) {
+      ++i;
+      continue;
+    }
+    // Route entries can outlive the batcher's own bookkeeping (End with
+    // everything already polled forgets server-side without a final Poll);
+    // sweep them so the map does not hold dangling batcher pointers.
+    for (auto it = shard->route.begin(); it != shard->route.end();) {
+      it = it->second.batcher == g ? shard->route.erase(it) : std::next(it);
+    }
+    shard->gens.erase(shard->gens.begin() + static_cast<int64_t>(i));
+    generations_retired_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 void StreamingService::Shutdown() {
@@ -179,6 +363,15 @@ void StreamingService::Shutdown() {
   stop_time_ = std::chrono::steady_clock::now();
 }
 
+double StreamingService::shard_delay_ms(int shard) const {
+  CAUSALTAD_CHECK_GE(shard, 0);
+  CAUSALTAD_CHECK_LT(shard, static_cast<int>(shards_.size()));
+  const Shard* s = shards_[static_cast<size_t>(shard)].get();
+  std::shared_lock<std::shared_mutex> lock(s->gens_mu);
+  if (s->gens.empty()) return options_.batcher.max_delay_ms;
+  return s->gens.back()->max_delay_ms();
+}
+
 ServiceStats StreamingService::stats() const {
   ServiceStats stats;
   stats.sessions_begun = sessions_begun_.load(std::memory_order_relaxed);
@@ -187,10 +380,20 @@ ServiceStats StreamingService::stats() const {
       rejected_session_full_.load(std::memory_order_relaxed);
   stats.rejected_shard_full =
       rejected_shard_full_.load(std::memory_order_relaxed);
+  stats.model_swaps = model_swaps_.load(std::memory_order_relaxed);
+  stats.generations_retired =
+      generations_retired_.load(std::memory_order_relaxed);
+  std::vector<const util::LatencyHistogram*> hists;
+  hists.reserve(shards_.size());
   for (const auto& shard : shards_) {
-    const StreamingBatcher::Counters counters = shard->batcher->counters();
-    stats.steps += counters.steps;
-    stats.points_scored += counters.points;
+    hists.push_back(&shard->queue_wait);
+    std::shared_lock<std::shared_mutex> lock(shard->gens_mu);
+    stats.generations_live += static_cast<int64_t>(shard->gens.size());
+    for (const auto& g : shard->gens) {
+      const StreamingBatcher::Counters counters = g->counters();
+      stats.steps += counters.steps;
+      stats.points_scored += counters.points;
+    }
   }
   if (stats.steps > 0) {
     stats.step_occupancy =
@@ -207,22 +410,30 @@ ServiceStats StreamingService::stats() const {
   const double seconds =
       std::chrono::duration<double>(end - start_).count();
   if (seconds > 0.0) stats.points_per_sec = stats.points_scored / seconds;
-  stats.queue_wait_p50_ms = queue_wait_.Percentile(50.0);
-  stats.queue_wait_p95_ms = queue_wait_.Percentile(95.0);
-  stats.queue_wait_p99_ms = queue_wait_.Percentile(99.0);
+  const int n = static_cast<int>(hists.size());
+  stats.queue_wait_p50_ms =
+      util::LatencyHistogram::MergedPercentile(hists.data(), n, 50.0);
+  stats.queue_wait_p95_ms =
+      util::LatencyHistogram::MergedPercentile(hists.data(), n, 95.0);
+  stats.queue_wait_p99_ms =
+      util::LatencyHistogram::MergedPercentile(hists.data(), n, 99.0);
   return stats;
 }
 
 int64_t StreamingService::queued_points() const {
   int64_t total = 0;
-  for (const auto& shard : shards_) total += shard->batcher->queued_points();
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->gens_mu);
+    for (const auto& g : shard->gens) total += g->queued_points();
+  }
   return total;
 }
 
 int64_t StreamingService::tracked_sessions() const {
   int64_t total = 0;
   for (const auto& shard : shards_) {
-    total += shard->batcher->tracked_sessions();
+    std::shared_lock<std::shared_mutex> lock(shard->gens_mu);
+    for (const auto& g : shard->gens) total += g->tracked_sessions();
   }
   return total;
 }

@@ -230,15 +230,35 @@ void StreamingBatcher::End(SessionId id) {
 }
 
 std::vector<double> StreamingBatcher::Poll(SessionId id) {
+  return Poll(id, nullptr);
+}
+
+std::vector<double> StreamingBatcher::Poll(SessionId id, bool* forgotten) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = sessions_.find(id);
   // A fully-drained ended session is forgotten by its last Poll; polling
   // again is normal for a periodic pump loop and just yields nothing.
-  if (it == sessions_.end()) return {};
+  if (it == sessions_.end()) {
+    if (forgotten != nullptr) *forgotten = true;
+    return {};
+  }
   std::vector<double> scores = std::move(it->second.scores);
   it->second.scores.clear();
   MaybeForgetLocked(id);
+  if (forgotten != nullptr) {
+    *forgotten = sessions_.find(id) == sessions_.end();
+  }
   return scores;
+}
+
+double StreamingBatcher::max_delay_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return options_.max_delay_ms;
+}
+
+void StreamingBatcher::set_max_delay_ms(double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_.max_delay_ms = ms;
 }
 
 void StreamingBatcher::MaybeForgetLocked(SessionId id) {

@@ -154,6 +154,18 @@ class StreamingBatcher {
   /// order. A fully-polled ended session is forgotten.
   std::vector<double> Poll(SessionId id);
 
+  /// Poll that also reports whether this call (or an earlier one) forgot
+  /// the session — i.e. the batcher no longer tracks `id`. A caller that
+  /// keeps its own id→batcher routing table (StreamingService generations)
+  /// uses this to drop its entry in the same step.
+  std::vector<double> Poll(SessionId id, bool* forgotten);
+
+  /// Live view/control of the deadline-admission knob, for the adaptive
+  /// controller in StreamingService. Takes the batcher lock; the new value
+  /// applies from the next StepIfReady().
+  double max_delay_ms() const;
+  void set_max_delay_ms(double ms);
+
   /// Sessions holding a live state row / allocated rows / queued points —
   /// introspection for tests and ops dashboards.
   int64_t active_rows() const;

@@ -22,6 +22,26 @@ double BucketMidpoint(int bucket) {
   return kFloorMs * std::exp2((bucket - 0.5) / 4.0);
 }
 
+// Shared rank-walk over an explicit bucket array: the k-th sample in rank
+// order, 1-based, p=0 mapping to the first — identical semantics to
+// Percentile() so windowed and merged views agree with the lifetime view.
+double PercentileOfCounts(const std::array<int64_t, LatencyHistogram::kNumBuckets>& counts,
+                          double p) {
+  int64_t total = 0;
+  for (int64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const int64_t rank =
+      std::max<int64_t>(1, static_cast<int64_t>(std::ceil(clamped / 100.0 *
+                                                          total)));
+  int64_t seen = 0;
+  for (int b = 0; b < LatencyHistogram::kNumBuckets; ++b) {
+    seen += counts[b];
+    if (seen >= rank) return BucketMidpoint(b);
+  }
+  return BucketMidpoint(LatencyHistogram::kNumBuckets - 1);
+}
+
 }  // namespace
 
 void LatencyHistogram::Add(double ms) {
@@ -66,6 +86,43 @@ double LatencyHistogram::Percentile(double p) const {
 void LatencyHistogram::Reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   sum_us_.store(0, std::memory_order_relaxed);
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::TakeSnapshot() const {
+  Snapshot snap;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    snap.counts[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+int64_t LatencyHistogram::CountSince(const Snapshot& base) const {
+  int64_t total = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    total += std::max<int64_t>(
+        0, buckets_[b].load(std::memory_order_relaxed) - base.counts[b]);
+  }
+  return total;
+}
+
+double LatencyHistogram::PercentileSince(const Snapshot& base, double p) const {
+  std::array<int64_t, kNumBuckets> delta;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    delta[b] = std::max<int64_t>(
+        0, buckets_[b].load(std::memory_order_relaxed) - base.counts[b]);
+  }
+  return PercentileOfCounts(delta, p);
+}
+
+double LatencyHistogram::MergedPercentile(const LatencyHistogram* const* hists,
+                                          int n, double p) {
+  std::array<int64_t, kNumBuckets> merged{};
+  for (int i = 0; i < n; ++i) {
+    for (int b = 0; b < kNumBuckets; ++b) {
+      merged[b] += hists[i]->buckets_[b].load(std::memory_order_relaxed);
+    }
+  }
+  return PercentileOfCounts(merged, p);
 }
 
 }  // namespace util

@@ -36,6 +36,30 @@ class LatencyHistogram {
 
   void Reset();
 
+  /// A point-in-time copy of the bucket counts. Used as the baseline for
+  /// windowed percentiles: take one at the start of a control interval and
+  /// PercentileSince() sees only samples added after it. Copyable value
+  /// type (unlike the histogram itself, whose atomics pin it in place).
+  struct Snapshot {
+    std::array<int64_t, kNumBuckets> counts{};
+  };
+
+  Snapshot TakeSnapshot() const;
+
+  /// Samples recorded after `base` was taken.
+  int64_t CountSince(const Snapshot& base) const;
+
+  /// Percentile over only the samples recorded after `base` was taken.
+  /// 0 when no new samples. Same bucket-midpoint resolution as
+  /// Percentile(); counts that raced below the baseline clamp to 0.
+  double PercentileSince(const Snapshot& base, double p) const;
+
+  /// Percentile over the union of `n` histograms' samples, as if they were
+  /// one population — the service-level view over per-shard histograms.
+  /// 0 when all are empty.
+  static double MergedPercentile(const LatencyHistogram* const* hists, int n,
+                                 double p);
+
  private:
   std::array<std::atomic<int64_t>, kNumBuckets> buckets_{};
   std::atomic<int64_t> sum_us_{0};

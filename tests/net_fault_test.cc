@@ -13,6 +13,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -307,12 +308,14 @@ TEST(NetFaultTest, BackoffScheduleDeterministicAndBudgetLatches) {
   }
 
   // A client whose redials all fail sleeps the schedule exactly
-  // max_reconnect_attempts times, then latches the fatal.
+  // max_reconnect_attempts times, then latches the fatal. This pins the
+  // LEGACY exponential ladder, so decorrelated backoff is off.
   int fds[2];
   ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
   close(fds[1]);  // peer gone: the first send hits EPIPE
   ClientOptions options;
   options.reconnect = true;
+  options.decorrelated_backoff = false;
   options.max_reconnect_attempts = 5;
   options.reconnect_base_ms = 1.0;
   options.reconnect_max_ms = 8.0;
@@ -331,6 +334,78 @@ TEST(NetFaultTest, BackoffScheduleDeterministicAndBudgetLatches) {
     EXPECT_GE(sleeps[k], nominal * 0.75 - 1e-9) << "attempt " << k;
     EXPECT_LE(sleeps[k], nominal * 1.25 + 1e-9) << "attempt " << k;
   }
+}
+
+// Decorrelated-jitter backoff: bounds, determinism, and — the point of the
+// schedule — cross-client spread. A fleet failing over together must NOT
+// retry in lockstep the way a shared exponential ladder makes it.
+TEST(NetFaultTest, DecorrelatedBackoffBoundsAndSpread) {
+  using net::DecorrelatedBackoffMs;
+  // nullptr rng takes the deterministic midpoint of [base, 3*prev].
+  EXPECT_DOUBLE_EQ(DecorrelatedBackoffMs(10.0, 10.0, 2000.0, nullptr),
+                   20.0);  // base + 0.5 * (3*10 - 10)
+  EXPECT_DOUBLE_EQ(DecorrelatedBackoffMs(20.0, 10.0, 2000.0, nullptr),
+                   35.0);  // base + 0.5 * (3*20 - 10)
+  // The cap binds; prev below base is lifted to base.
+  EXPECT_DOUBLE_EQ(DecorrelatedBackoffMs(5000.0, 10.0, 2000.0, nullptr),
+                   2000.0);
+  EXPECT_DOUBLE_EQ(DecorrelatedBackoffMs(1.0, 10.0, 2000.0, nullptr), 20.0);
+
+  // Same seed -> same wandering schedule; every step within [base, max].
+  util::Rng rng_a(7);
+  util::Rng rng_b(7);
+  double prev_a = 10.0;
+  double prev_b = 10.0;
+  for (int k = 0; k < 20; ++k) {
+    prev_a = DecorrelatedBackoffMs(prev_a, 10.0, 2000.0, &rng_a);
+    prev_b = DecorrelatedBackoffMs(prev_b, 10.0, 2000.0, &rng_b);
+    EXPECT_DOUBLE_EQ(prev_a, prev_b) << "step " << k;
+    EXPECT_GE(prev_a, 10.0) << "step " << k;
+    EXPECT_LE(prev_a, 2000.0) << "step " << k;
+  }
+
+  // 200 clients, 4 attempts into a shared outage. The legacy ladder bunches
+  // every client inside nominal*(1 +/- jitter); the decorrelated schedules
+  // must spread across the band instead of re-converging on one instant.
+  constexpr int kClients = 200;
+  constexpr double kBase = 10.0;
+  constexpr double kMax = 2000.0;
+  std::vector<double> fourth(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    util::Rng rng(1000 + c);
+    double prev = kBase;
+    for (int k = 0; k < 4; ++k) {
+      prev = DecorrelatedBackoffMs(prev, kBase, kMax, &rng);
+      EXPECT_GE(prev, kBase);
+      EXPECT_LE(prev, kMax);
+    }
+    fourth[c] = prev;
+  }
+  // Herd metric: the share inside the legacy +/-25% band around the
+  // equivalent exponential nominal (base * 2^4, where EVERY legacy client
+  // sits) must be a minority.
+  const double nominal = std::min(kBase * 16.0, kMax);
+  int in_band = 0;
+  for (const double d : fourth) {
+    if (d >= nominal * 0.75 && d <= nominal * 1.25) ++in_band;
+  }
+  EXPECT_LT(in_band, kClients / 2)
+      << "decorrelated schedules re-bunched around the exponential nominal";
+  // Coverage: samples land across the whole band, not one octave. Split
+  // [base, max] into 8 geometric bins; no bin may hold > 60% of clients
+  // and at least 3 distinct bins must be populated.
+  std::array<int, 8> bins{};
+  for (const double d : fourth) {
+    const double t = std::log(d / kBase) / std::log(kMax / kBase);
+    const int bin = std::min(7, std::max(0, static_cast<int>(t * 8)));
+    ++bins[bin];
+  }
+  int populated = 0;
+  for (const int count : bins) {
+    if (count > 0) ++populated;
+    EXPECT_LE(count, (kClients * 6) / 10) << "one bin holds the herd";
+  }
+  EXPECT_GE(populated, 3);
 }
 
 // ---------------------------------------------------------------------------
@@ -610,6 +685,114 @@ TEST(NetFaultTest, KillServerMidStreamSoakExactParity) {
   }
   EXPECT_GE(total_reconnects.load(), 1)
       << "no producer ever saw a kill: soak did not exercise recovery";
+}
+
+// Regression: a fresh rebuild replays the journaled prefix as ordinary
+// pushes, and those are subject to the service's admission backpressure
+// like any other push. With a prefix much longer than max_session_pending,
+// part of the replay bounces with kSessionFull — and since replayed-prefix
+// points are not in `pending` (their scores were already delivered), the
+// pre-fix client dropped those rejects as stale. The admission gap then
+// bounced every later seq as out_of_order forever: the rebuilt session
+// stalled and Finish timed out. The fix tracks replay transmissions per
+// seq and re-replays the journal from the rejected gap.
+TEST(NetFaultTest, LongPrefixRebuildSurvivesAdmissionBackpressure) {
+  const CausalTad* causal = FittedCausal();
+  ASSERT_NE(causal, nullptr);
+  const auto trips = ParityTrips();
+  const auto reference = BatcherReference(causal, trips);
+  size_t longest = 0;
+  for (size_t i = 1; i < trips.size(); ++i) {
+    if (trips[i].route.size() > trips[longest].route.size()) longest = i;
+  }
+  const auto& segments = trips[longest].route.segments;
+
+  ServiceOptions tight = PumpedServiceOptions();
+  tight.num_shards = 1;
+  tight.max_session_pending = 2;  // the replayed prefix MUST bounce
+  ASSERT_GE(segments.size(),
+            4 * static_cast<size_t>(tight.max_session_pending) + 4)
+      << "trip too short to overflow the admission window on replay";
+
+  struct Generation {
+    std::unique_ptr<StreamingService> service;
+    std::unique_ptr<Server> server;
+  };
+  std::mutex live_mu;
+  Server* live = nullptr;
+  auto make_generation = [&]() {
+    Generation gen;
+    gen.service = std::make_unique<StreamingService>(causal, tight);
+    ServerOptions server_options;
+    server_options.network = &Data().city.network;
+    gen.server = std::make_unique<Server>(gen.service.get(), server_options);
+    CAUSALTAD_CHECK(gen.server->Start().ok());
+    return gen;
+  };
+  Generation gen = make_generation();
+  live = gen.server.get();
+
+  ClientOptions options;
+  options.reconnect = true;
+  options.client_id = 77;
+  options.max_inflight = 64;
+  options.max_reconnect_attempts = 32;
+  options.reconnect_base_ms = 1.0;
+  options.reconnect_max_ms = 20.0;
+  options.timeout_ms = 30000.0;
+  options.dialer = [&live_mu, &live] {
+    std::lock_guard<std::mutex> lock(live_mu);
+    return live != nullptr ? live->AddLoopbackConnection() : -1;
+  };
+  auto client = Client::FromFd(options.dialer(), options);
+  ASSERT_TRUE(client->Hello().ok()) << client->status().ToString();
+
+  const uint64_t id = client->Begin(segments.front(), segments.back(),
+                                    trips[longest].time_slot);
+  const size_t tail_start = segments.size() - 3;
+  std::vector<double> got;
+  for (size_t k = 0; k < tail_start; ++k) {
+    ASSERT_TRUE(client->Push(id, segments[k]).ok())
+        << client->status().ToString();
+  }
+  // Drain every prefix score so the journal is the ONLY copy of the prefix
+  // (the rebuild cannot lean on in-flight go-back-N retransmits).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (got.size() < tail_start) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "prefix scores never drained";
+    auto polled = client->Poll(id);
+    ASSERT_TRUE(polled.ok()) << polled.status().ToString();
+    got.insert(got.end(), polled->begin(), polled->end());
+  }
+
+  // Kill the whole serving side and bring up a fresh generation: no
+  // detached state survives, so the resume is a fresh rebuild that must
+  // re-push the entire journaled prefix through the window of 2.
+  {
+    std::lock_guard<std::mutex> lock(live_mu);
+    live = nullptr;
+  }
+  gen.server.reset();
+  gen.service.reset();
+  gen = make_generation();
+  {
+    std::lock_guard<std::mutex> lock(live_mu);
+    live = gen.server.get();
+  }
+
+  for (size_t k = tail_start; k < segments.size(); ++k) {
+    ASSERT_TRUE(client->Push(id, segments[k]).ok())
+        << client->status().ToString();
+  }
+  auto finished = client->Finish(id);
+  ASSERT_TRUE(finished.ok()) << finished.status().ToString();
+  got.insert(got.end(), finished->begin(), finished->end());
+  ExpectScoresMatch(got, reference[longest], "long-prefix rebuild");
+  EXPECT_GE(client->stats().reconnects, 1);
+  // The rebuild re-pushed the whole journaled prefix at least once.
+  EXPECT_GE(client->stats().retransmits, static_cast<int64_t>(tail_start));
 }
 
 // ---------------------------------------------------------------------------

@@ -52,7 +52,7 @@ using serve::StreamingSession;
 // ---------------------------------------------------------------------------
 
 Frame RandomFrame(std::mt19937* rng) {
-  std::uniform_int_distribution<int> type_dist(1, 11);
+  std::uniform_int_distribution<int> type_dist(1, 13);
   std::uniform_int_distribution<uint64_t> u64;
   std::uniform_int_distribution<int32_t> i32(-2, 1 << 20);
   std::uniform_int_distribution<int> len(0, 2048);
@@ -123,6 +123,15 @@ Frame RandomFrame(std::mt19937* rng) {
     case FrameType::kHeartbeat:
       frame.token = u64(*rng);
       frame.seq = u64(*rng) % 2;
+      break;
+    case FrameType::kAdmin:
+      frame.token = u64(*rng);
+      frame.message = random_string(1024);
+      break;
+    case FrameType::kAdminAck:
+      frame.token = u64(*rng);
+      frame.seq = u64(*rng) % 3;
+      frame.message = random_string(1024);
       break;
   }
   return frame;

@@ -423,5 +423,175 @@ TEST(ServiceTest, ShutdownRaceNeverLosesAcceptedPushes) {
   }
 }
 
+// A second, differently-fitted model for hot-swap tests.
+const CausalTad* FittedCausalV2() {
+  static const models::TrajectoryScorer* scorer = [] {
+    auto owned = eval::MakeScorer("CausalTAD", Data(), Scale::kSmoke);
+    models::FitOptions options;
+    options.epochs = 3;
+    options.lr = 2e-3f;
+    options.seed = 99;
+    owned->Fit(Data().train, options);
+    return owned.release();
+  }();
+  return dynamic_cast<const CausalTad*>(scorer);
+}
+
+// Zero-downtime hot swap under live load: sessions begun before SwapModel
+// stay pinned to the old generation and finish on the OLD weights; sessions
+// begun after it score on the NEW weights — both at exact parity with
+// single-model runs. Once the old sessions drain, the pump retires the old
+// generation on every shard.
+TEST(ServiceTest, HotSwapUnderLoadPinsSessionsToGenerations) {
+  const CausalTad* old_model = FittedCausal();
+  const CausalTad* new_model = FittedCausalV2();
+  ASSERT_NE(old_model, nullptr);
+  ASSERT_NE(new_model, nullptr);
+  ASSERT_NE(old_model, new_model);
+  const auto trips = ParityTrips();
+  const auto old_reference = BatcherReference(old_model, trips);
+  const auto new_reference = BatcherReference(new_model, trips);
+
+  ServiceOptions options;
+  options.num_shards = 2;
+  options.pump = true;
+  options.max_session_pending = 0;  // unbounded: no backpressure here
+  options.max_shard_queued = 0;
+  options.batcher.max_batch_rows = 8;
+  options.batcher.max_delay_ms = 0.25;
+  StreamingService service(old_model, options);
+  EXPECT_EQ(service.current_model(), old_model);
+
+  // Pre-swap sessions, half fed while the old model serves.
+  std::vector<SessionId> pre;
+  for (const auto& trip : trips) pre.push_back(service.Begin(trip));
+  for (size_t i = 0; i < trips.size(); ++i) {
+    const auto& segs = trips[i].route.segments;
+    for (size_t k = 0; k < segs.size() / 2; ++k) {
+      ASSERT_EQ(service.Push(pre[i], segs[k]), PushStatus::kAccepted);
+    }
+  }
+
+  ASSERT_TRUE(service.SwapModel(new_model));
+  EXPECT_EQ(service.current_model(), new_model);
+  EXPECT_EQ(service.stats().model_swaps, 1);
+  EXPECT_EQ(service.stats().generations_live, 2 * 2);  // 2 gens x 2 shards
+
+  // Post-swap sessions interleave with the pre-swap tails.
+  std::vector<SessionId> post;
+  for (const auto& trip : trips) post.push_back(service.Begin(trip));
+  for (size_t i = 0; i < trips.size(); ++i) {
+    const auto& segs = trips[i].route.segments;
+    for (size_t k = segs.size() / 2; k < segs.size(); ++k) {
+      ASSERT_EQ(service.Push(pre[i], segs[k]), PushStatus::kAccepted);
+    }
+    for (const auto segment : segs) {
+      ASSERT_EQ(service.Push(post[i], segment), PushStatus::kAccepted);
+    }
+    service.End(pre[i]);
+    service.End(post[i]);
+  }
+
+  // Drain both generations through the live pump.
+  auto collect = [&](SessionId id, size_t want) {
+    std::vector<double> scores;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (scores.size() < want &&
+           std::chrono::steady_clock::now() < deadline) {
+      const auto polled = service.Poll(id);
+      scores.insert(scores.end(), polled.begin(), polled.end());
+      if (polled.empty()) std::this_thread::yield();
+    }
+    return scores;
+  };
+  for (size_t i = 0; i < trips.size(); ++i) {
+    const auto pre_scores = collect(pre[i], old_reference[i].size());
+    ASSERT_EQ(pre_scores.size(), old_reference[i].size()) << "pre " << i;
+    for (size_t k = 0; k < pre_scores.size(); ++k) {
+      EXPECT_NEAR(pre_scores[k], old_reference[i][k],
+                  Tol(old_reference[i][k]))
+          << "pre-swap trip " << i << " k=" << k;
+    }
+    const auto post_scores = collect(post[i], new_reference[i].size());
+    ASSERT_EQ(post_scores.size(), new_reference[i].size()) << "post " << i;
+    for (size_t k = 0; k < post_scores.size(); ++k) {
+      EXPECT_NEAR(post_scores[k], new_reference[i][k],
+                  Tol(new_reference[i][k]))
+          << "post-swap trip " << i << " k=" << k;
+    }
+  }
+
+  // With every pre-swap session ended and fully polled, the pump retires
+  // the drained old generation on each shard.
+  const auto retire_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (service.stats().generations_retired < 2 &&
+         std::chrono::steady_clock::now() < retire_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(service.stats().generations_retired, 2);
+  EXPECT_EQ(service.stats().generations_live, 2);
+  service.Shutdown();
+  EXPECT_FALSE(service.SwapModel(old_model)) << "swap after shutdown";
+}
+
+// The adaptive deadline controller on a fake clock: sustained queue waits
+// above the p95 target halve the shard deadline (down to min_delay_ms),
+// waits far below it double the deadline back toward the cap. Each move is
+// bounded to 2x per adapt interval.
+TEST(ServiceTest, AdaptiveDeadlineTracksQueueWaitP95) {
+  const CausalTad* causal = FittedCausal();
+  const auto trips = ParityTrips();
+  const traj::Trip& trip = trips[0];
+  ASSERT_GE(trip.route.size(), 4);
+
+  double now_ms = 0.0;
+  ServiceOptions options;
+  options.num_shards = 1;
+  options.pump = false;  // the test is the pump; the clock is fake
+  options.batcher.max_batch_rows = 1;  // admission wait == queue wait
+  options.batcher.max_delay_ms = 8.0;
+  options.batcher.now_ms = [&now_ms] { return now_ms; };
+  options.target_queue_wait_p95_ms = 1.0;
+  options.adapt_interval_ms = 10.0;
+  options.adapt_min_samples = 4;
+  options.min_delay_ms = 0.5;
+  options.max_delay_ms_cap = 50.0;
+  StreamingService service(causal, options);
+  EXPECT_DOUBLE_EQ(service.shard_delay_ms(0), 8.0);
+
+  // Four points enqueued at t, admitted 20ms late: p95 >> target.
+  auto slow_interval = [&] {
+    const SessionId id = service.Begin(trip);
+    for (int k = 0; k < 4; ++k) {
+      EXPECT_EQ(service.Push(id, trip.route.segments[k]),
+                PushStatus::kAccepted);
+    }
+    now_ms += 20.0;
+    for (int k = 0; k < 4; ++k) EXPECT_EQ(service.StepAll(), 1);
+    service.AdaptDeadlines();
+  };
+  slow_interval();
+  EXPECT_DOUBLE_EQ(service.shard_delay_ms(0), 4.0);  // halved, not jumped
+
+  // Four points admitted with ~zero wait: p95 far below target, deadline
+  // doubles back.
+  const SessionId fast = service.Begin(trip);
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_EQ(service.Push(fast, trip.route.segments[k]),
+              PushStatus::kAccepted);
+    EXPECT_EQ(service.StepAll(), 1);  // batch_rows=1: admits immediately
+  }
+  now_ms += 10.0;
+  service.AdaptDeadlines();
+  EXPECT_DOUBLE_EQ(service.shard_delay_ms(0), 8.0);
+
+  // Sustained overload walks the deadline down to the floor and holds.
+  for (int round = 0; round < 5; ++round) slow_interval();
+  EXPECT_DOUBLE_EQ(service.shard_delay_ms(0), 0.5);
+  service.Shutdown();
+}
+
 }  // namespace
 }  // namespace causaltad
