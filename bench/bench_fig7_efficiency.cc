@@ -47,6 +47,8 @@
 #include "core/causal_tad.h"
 #include "eval/datasets.h"
 #include "eval/harness.h"
+#include "nn/kernels/kernels.h"
+#include "nn/modules.h"
 #include "util/parallel.h"
 #include "util/stopwatch.h"
 
@@ -113,9 +115,11 @@ struct TrainRow {
   int64_t trips = 0;
   double per_trip_epoch_s = 0.0;
   double batched_epoch_s = 0.0;
+  double data_parallel_epoch_s = 0.0;  // batched + FitOptions::data_parallel
   double per_trip_tps = 0.0;  // trips per second
   double batched_tps = 0.0;
-  double speedup = 0.0;
+  double data_parallel_tps = 0.0;
+  double speedup = 0.0;  // per-trip tape -> batched
 };
 
 TrainRow MeasureTraining(const CityExperimentConfig& config,
@@ -136,15 +140,19 @@ TrainRow MeasureTraining(const CityExperimentConfig& config,
   }
 
   options.epochs = 1;
-  double epoch_s[2];
-  for (const bool per_trip : {true, false}) {
+  // Index 0: per-trip tape, 1: batched minibatch, 2: batched data-parallel
+  // (FitOptions::data_parallel — a no-op for the trainers that do not honor
+  // it, which then just repeat the batched timing).
+  double epoch_s[3];
+  for (const int mode : {0, 1, 2}) {
     auto scorer = causaltad::eval::MakeScorer(method, data, scale);
-    options.per_trip_tape = per_trip;
+    options.per_trip_tape = mode == 0;
+    options.data_parallel = mode == 2;
     causaltad::util::Stopwatch watch;
     scorer->Fit(data.train, options);
-    epoch_s[per_trip ? 0 : 1] =
-        std::max(watch.ElapsedSeconds() - setup_s, 1e-9);
+    epoch_s[mode] = std::max(watch.ElapsedSeconds() - setup_s, 1e-9);
   }
+  options.data_parallel = false;
 
   TrainRow row;
   row.city = config.name;
@@ -152,8 +160,10 @@ TrainRow MeasureTraining(const CityExperimentConfig& config,
   row.trips = static_cast<int64_t>(data.train.size());
   row.per_trip_epoch_s = epoch_s[0];
   row.batched_epoch_s = epoch_s[1];
+  row.data_parallel_epoch_s = epoch_s[2];
   row.per_trip_tps = row.trips / row.per_trip_epoch_s;
   row.batched_tps = row.trips / row.batched_epoch_s;
+  row.data_parallel_tps = row.trips / row.data_parallel_epoch_s;
   row.speedup = row.per_trip_epoch_s / row.batched_epoch_s;
   return row;
 }
@@ -289,10 +299,65 @@ BucketRow MeasureBucketing(const std::string& city, const std::string& method,
   return row;
 }
 
+// ---------------------------------------------------------------------------
+// Kernel-substrate A/B: ISA dispatch + int8 embeddings (emitted as JSON).
+// ---------------------------------------------------------------------------
+
+struct IsaRow {
+  std::string city;
+  std::string isa;    // kernel table pinned for this row
+  bool int8 = false;  // int8 embedding tables served
+  double batched_us = 0.0;
+  double max_rel_diff = 0.0;  // scores vs the native fp32 reference row
+};
+
+std::vector<IsaRow> MeasureIsaRows(
+    const std::string& city, CausalTad* causal,
+    const std::vector<causaltad::traj::Trip>& trips) {
+  namespace kernels = causaltad::nn::kernels;
+  const kernels::Isa native = kernels::ActiveIsa();
+  std::vector<double> reference;
+  std::vector<IsaRow> rows;
+  const auto emit = [&](kernels::Isa isa, bool int8) {
+    kernels::SetIsa(isa);
+    causaltad::nn::SetInt8Embeddings(int8);
+    causal->RebuildServingCache();
+    std::vector<double> scores;
+    IsaRow row;
+    row.city = city;
+    row.isa = kernels::IsaName(isa);
+    row.int8 = int8;
+    row.batched_us =
+        BestOf(5, [&] { scores = causal->ScoreBatch(trips, {}); }) * 1e6 /
+        trips.size();
+    if (reference.empty()) {
+      reference = scores;
+    } else {
+      for (size_t i = 0; i < scores.size(); ++i) {
+        row.max_rel_diff = std::max(
+            row.max_rel_diff, std::abs(scores[i] - reference[i]) /
+                                  std::max(1.0, std::abs(reference[i])));
+      }
+    }
+    rows.push_back(row);
+  };
+  emit(native, false);  // reference: best ISA, fp32
+  if (native != kernels::Isa::kBaseline) {
+    emit(kernels::Isa::kBaseline, false);
+  }
+  emit(native, true);  // best ISA, int8 embeddings
+  // Restore the native fp32 serving configuration.
+  kernels::SetIsa(native);
+  causaltad::nn::SetInt8Embeddings(false);
+  causal->RebuildServingCache();
+  return rows;
+}
+
 void WriteJson(const std::string& path, Scale scale,
                const std::vector<TrainRow>& train_rows,
                const std::vector<BatchedRow>& rows,
-               const std::vector<BucketRow>& bucket_rows) {
+               const std::vector<BucketRow>& bucket_rows,
+               const std::vector<IsaRow>& isa_rows) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -307,11 +372,16 @@ void WriteJson(const std::string& path, Scale scale,
     std::fprintf(f,
                  "    {\"city\": \"%s\", \"method\": \"%s\", "
                  "\"trips\": %lld, \"per_trip_epoch_s\": %.3f, "
-                 "\"batched_epoch_s\": %.3f, \"per_trip_trips_per_s\": %.0f, "
-                 "\"batched_trips_per_s\": %.0f, \"speedup\": %.2f}%s\n",
+                 "\"batched_epoch_s\": %.3f, "
+                 "\"data_parallel_epoch_s\": %.3f, "
+                 "\"per_trip_trips_per_s\": %.0f, "
+                 "\"batched_trips_per_s\": %.0f, "
+                 "\"data_parallel_trips_per_s\": %.0f, "
+                 "\"speedup\": %.2f}%s\n",
                  r.city.c_str(), r.method.c_str(),
                  static_cast<long long>(r.trips), r.per_trip_epoch_s,
-                 r.batched_epoch_s, r.per_trip_tps, r.batched_tps, r.speedup,
+                 r.batched_epoch_s, r.data_parallel_epoch_s, r.per_trip_tps,
+                 r.batched_tps, r.data_parallel_tps, r.speedup,
                  i + 1 < train_rows.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
@@ -342,6 +412,18 @@ void WriteJson(const std::string& path, Scale scale,
                  r.bucketed_us, r.speedup, r.max_abs_diff,
                  i + 1 < bucket_rows.size() ? "," : "");
   }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"fig7_isa\": [\n");
+  for (size_t i = 0; i < isa_rows.size(); ++i) {
+    const IsaRow& r = isa_rows[i];
+    std::fprintf(f,
+                 "    {\"city\": \"%s\", \"method\": \"CausalTAD\", "
+                 "\"isa\": \"%s\", \"int8\": %s, \"batched_us\": %.2f, "
+                 "\"max_rel_diff\": %.3g}%s\n",
+                 r.city.c_str(), r.isa.c_str(), r.int8 ? "true" : "false",
+                 r.batched_us, r.max_rel_diff,
+                 i + 1 < isa_rows.size() ? "," : "");
+  }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n", path.c_str());
@@ -370,7 +452,7 @@ int main(int argc, char** argv) {
     std::printf("== Fig. 7(a) — per-trip tape vs batched minibatch "
                 "training, one epoch at 100%% ==\n\n");
     TablePrinter train_table({"City", "Method", "tape t/s", "batch t/s",
-                              "speedup"});
+                              "dp t/s", "speedup"});
     train_table.PrintHeader();
     for (const CityExperimentConfig& city : cities) {
       for (const std::string& method :
@@ -381,6 +463,7 @@ int main(int argc, char** argv) {
         train_table.PrintRow({r.city, r.method,
                               TablePrinter::Fmt(r.per_trip_tps, 0),
                               TablePrinter::Fmt(r.batched_tps, 0),
+                              TablePrinter::Fmt(r.data_parallel_tps, 0),
                               TablePrinter::Fmt(r.speedup, 1) + "x"});
       }
     }
@@ -393,6 +476,7 @@ int main(int argc, char** argv) {
               "path (40 trips) ==\n\n");
   std::vector<BatchedRow> rows;
   std::vector<BucketRow> bucket_rows;
+  std::vector<IsaRow> isa_rows;
   TablePrinter batched_table(
       {"City", "Method", "ratio", "tape us", "batched us", "speedup"});
   batched_table.PrintHeader();
@@ -425,6 +509,22 @@ int main(int argc, char** argv) {
                                 TablePrinter::Fmt(r.speedup, 1) + "x"});
       }
     }
+    // Quantized serving row: int8 embedding tables behind the same batched
+    // fast path (dequantizing gather + int8 gate-projection matmul).
+    {
+      auto* causal_tad = dynamic_cast<CausalTad*>(causal.get());
+      causaltad::nn::SetInt8Embeddings(true);
+      causal_tad->RebuildServingCache();
+      rows.push_back(MeasureBatched(city.name, "CausalTAD-int8", causal.get(),
+                                    batch_trips, 1.0));
+      causaltad::nn::SetInt8Embeddings(false);
+      causal_tad->RebuildServingCache();
+      const BatchedRow& r = rows.back();
+      batched_table.PrintRow({r.city, r.method, TablePrinter::Fmt(r.ratio, 1),
+                              TablePrinter::Fmt(r.per_trip_us, 1),
+                              TablePrinter::Fmt(r.batched_us, 1),
+                              TablePrinter::Fmt(r.speedup, 1) + "x"});
+    }
     // Length-bucketed ScoreBatch sharding A/B on a mixed-length batch.
     const auto bucket_trips = Subsample(data.id_test, 200, 43);
     for (const auto& [name, scorer] :
@@ -433,6 +533,13 @@ int main(int argc, char** argv) {
              {"GM-VSAE", gmvsae.get()}, {"CausalTAD", causal.get()}}) {
       bucket_rows.push_back(
           MeasureBucketing(city.name, name, scorer, bucket_trips));
+    }
+    // Kernel-substrate A/B: baseline vs best-ISA dispatch and int8
+    // embeddings, on the same mixed-length batch.
+    for (IsaRow& row : MeasureIsaRows(
+             city.name, dynamic_cast<CausalTad*>(causal.get()),
+             bucket_trips)) {
+      isa_rows.push_back(std::move(row));
     }
     if (&city == &cities.front()) {
       xian_gmvsae = std::move(gmvsae);
@@ -449,10 +556,19 @@ int main(int argc, char** argv) {
                            TablePrinter::Fmt(r.bucketed_us, 1),
                            TablePrinter::Fmt(r.speedup, 2) + "x"});
   }
+  std::printf("\n== Kernel substrate: ISA dispatch + int8 embeddings "
+              "(full routes) ==\n\n");
+  TablePrinter isa_table({"City", "ISA", "int8", "batched us", "max rel diff"});
+  isa_table.PrintHeader();
+  for (const IsaRow& r : isa_rows) {
+    isa_table.PrintRow({r.city, r.isa, r.int8 ? "yes" : "no",
+                        TablePrinter::Fmt(r.batched_us, 1),
+                        TablePrinter::Fmt(r.max_rel_diff, 6)});
+  }
   std::printf("\n");
   const char* json_env = std::getenv("CAUSALTAD_BENCH_JSON");
   WriteJson(json_env != nullptr ? json_env : "BENCH_fig7.json", scale,
-            train_rows, rows, bucket_rows);
+            train_rows, rows, bucket_rows, isa_rows);
 
   // Part (b), comparison 2: the paper's online-session latency protocol
   // (Xi'an; per-trajectory latency is a method property, not a city one).

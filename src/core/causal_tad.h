@@ -126,6 +126,13 @@ class CausalTad : public models::TrajectoryScorer {
   };
   SegmentDecomposition Decompose(const traj::Trip& trip) const;
 
+  /// Re-derives the no-grad serving caches (packed TG output weights and,
+  /// when the int8-embedding switch is on, the quantized tables) from the
+  /// current fp32 parameters. Fit/Load call it automatically; call it after
+  /// flipping nn::SetInt8Embeddings at runtime so serving reads see fresh
+  /// quantized rows.
+  void RebuildServingCache();
+
   void set_lambda(float lambda) { config_.lambda = lambda; }
   float lambda() const { return config_.lambda; }
   const ScalingTable& scaling_table() const { return scaling_table_; }
@@ -139,7 +146,6 @@ class CausalTad : public models::TrajectoryScorer {
   double RpOnlyScore(const traj::Trip& trip, int64_t prefix_len) const;
 
   void RebuildScalingTable();
-  void RebuildServingCache();
 
   const roadnet::RoadNetwork* network_;
   CausalTadConfig config_;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "nn/init.h"
+#include "nn/kernels/kernels.h"
 #include "nn/ops.h"
 #include "util/logging.h"
 #include "util/parallel.h"
@@ -116,6 +117,11 @@ nn::Var RpVae::Loss(std::span<const roadnet::SegmentId> segments,
   return LossBatch(segments, slots, rng);
 }
 
+void RpVae::RefreshQuantizedEmbeddings() {
+  emb_.RefreshQuantized();
+  if (slot_emb_ != nullptr) slot_emb_->RefreshQuantized();
+}
+
 double RpVae::SegmentNll(roadnet::SegmentId segment, int time_slot) const {
   const std::vector<roadnet::SegmentId> one = {segment};
   return Loss(one, /*rng=*/nullptr, time_slot).value().Item();
@@ -139,6 +145,7 @@ std::vector<double> RpVae::SegmentNllBatch(
       shards > 1 ? static_cast<int>(shards) : 1,
       [&](int64_t shard_begin, int64_t shard_end) {
         const nn::InferenceGuard no_grad;
+        const nn::kernels::Kernels& kern = nn::kernels::Active();
         for (size_t begin = static_cast<size_t>(shard_begin);
              begin < static_cast<size_t>(shard_end); begin += kChunk) {
           const size_t count =
@@ -149,10 +156,10 @@ std::vector<double> RpVae::SegmentNllBatch(
           const nn::Var logits = dec_.Forward(post.mu);  // [count, vocab]
           for (size_t i = 0; i < count; ++i) {
             out[begin + i] =
-                static_cast<double>(nn::internal::SoftmaxNllRow(
+                static_cast<double>(kern.softmax_nll_row(
                     logits.value().data() + i * config_.vocab, config_.vocab,
                     ids[i])) +
-                static_cast<double>(nn::internal::KlStandardNormalRow(
+                static_cast<double>(kern.kl_standard_normal_row(
                     post.mu.value().data() + i * latent,
                     post.logvar.value().data() + i * latent, latent));
           }

@@ -6,15 +6,13 @@
 #include <unordered_map>
 
 #include "nn/init.h"
+#include "nn/kernels/kernels.h"
 #include "nn/ops.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 
 namespace causaltad {
 namespace core {
-
-using nn::internal::KlStandardNormalRow;
-using nn::internal::SoftmaxNllRow;
 
 TgVae::TgVae(const roadnet::RoadNetwork* network, const TgVaeConfig& config,
              util::Rng* rng)
@@ -282,6 +280,7 @@ void TgVae::ScoreBatchChunk(std::span<const traj::Trip> all_trips,
   const int64_t batch = static_cast<int64_t>(rows.size());
   if (batch == 0) return;
   const nn::InferenceGuard no_grad;
+  const nn::kernels::Kernels& kern = nn::kernels::Active();
   // Local views of this shard's rows; `parts` aliases the caller's output
   // slots so the body below reads like the contiguous-chunk original.
   std::vector<const traj::Trip*> trips(batch);
@@ -325,9 +324,9 @@ void TgVae::ScoreBatchChunk(std::span<const traj::Trip> all_trips,
   const int64_t latent = config_.latent_dim;
   std::vector<double> pair_kl(unique), pair_sd_nll(unique, 0.0);
   for (int64_t u = 0; u < unique; ++u) {
-    pair_kl[u] = KlStandardNormalRow(mu.value().data() + u * latent,
-                                     logvar.value().data() + u * latent,
-                                     latent);
+    pair_kl[u] = kern.kl_standard_normal_row(
+        mu.value().data() + u * latent, logvar.value().data() + u * latent,
+        latent);
   }
   if (config_.use_sd_decoder) {
     const nn::Var dec_hidden = nn::Tanh(dec_fc_.Forward(mu));
@@ -335,10 +334,10 @@ void TgVae::ScoreBatchChunk(std::span<const traj::Trip> all_trips,
     const nn::Var logits_d = head_d_.Forward(dec_hidden);  // [U, vocab]
     for (int64_t u = 0; u < unique; ++u) {
       pair_sd_nll[u] =
-          SoftmaxNllRow(logits_s.value().data() + u * config_.vocab,
-                        config_.vocab, u_s[u]) +
-          SoftmaxNllRow(logits_d.value().data() + u * config_.vocab,
-                        config_.vocab, u_d[u]);
+          kern.softmax_nll_row(logits_s.value().data() + u * config_.vocab,
+                               config_.vocab, u_s[u]) +
+          kern.softmax_nll_row(logits_d.value().data() + u * config_.vocab,
+                               config_.vocab, u_d[u]);
     }
   }
   for (int64_t i = 0; i < batch; ++i) {
@@ -357,8 +356,7 @@ void TgVae::ScoreBatchChunk(std::span<const traj::Trip> all_trips,
   float* wt = nullptr;  // out_.w() transposed: [vocab, hidden]
   if (config_.road_constrained) {
     wt = nn::internal::ArenaAlloc(config_.vocab * hd);
-    nn::internal::PackTranspose(out_.w().value().data(), hd, config_.vocab,
-                                wt);
+    kern.pack_transpose(out_.w().value().data(), hd, config_.vocab, wt);
   }
 
   // steps[i] = number of step NLLs row i needs (per-row prefix budget);
@@ -390,8 +388,20 @@ void TgVae::ScoreBatchChunk(std::span<const traj::Trip> all_trips,
       }
     }
   }
-  const nn::Tensor xw_table = gru_.ProjectInputs(
-      nn::GatherRows(route_emb_.table(), unique_segs).value());
+  // When the int8 serving path is active the projection runs directly over
+  // the quantized rows (one int8 matmul per unique segment); otherwise it
+  // gathers fp32 rows as before. Both scorers (this batched chunk and the
+  // streaming StepNllRows) route through the same pair of code paths, so
+  // their per-step NLLs stay bit-identical for a given embedding mode.
+  nn::Tensor xw_table;
+  if (route_emb_.Int8Active()) {
+    xw_table = gru_.ProjectInputsQuantized(route_emb_.quantized_rows(),
+                                           route_emb_.row_scales(),
+                                           unique_segs, config_.emb_dim);
+  } else {
+    xw_table = gru_.ProjectInputs(
+        nn::GatherRows(route_emb_.table(), unique_segs).value());
+  }
 
   const nn::Var pair_h0 = nn::Tanh(h0_proj_.Forward(mu));  // [U, hidden]
   nn::Tensor h0_rows({batch, hd});
@@ -437,10 +447,10 @@ void TgVae::ScoreBatchChunk(std::span<const traj::Trip> all_trips,
     if (!config_.road_constrained) {
       full_logits = nn::internal::ArenaAlloc(
           static_cast<int64_t>(active.size()) * config_.vocab);
-      nn::internal::MatMulPacked(h.value().data(), out_.w().value().data(),
-                                 full_logits,
-                                 static_cast<int64_t>(active.size()), hd,
-                                 config_.vocab);
+      kern.matmul_packed(h.value().data(), out_.w().value().data(),
+                         full_logits, static_cast<int64_t>(active.size()), hd,
+                         config_.vocab, /*accumulate=*/false,
+                         /*b_pretransposed=*/false);
     }
     for (size_t a = 0; a < active.size(); ++a) {
       const int64_t i = active[a];
@@ -455,16 +465,16 @@ void TgVae::ScoreBatchChunk(std::span<const traj::Trip> all_trips,
         for (int64_t c = 0; c < k; ++c) {
           const int32_t col = successors[c];
           if (col == segs[j + 1]) target_pos = c;
-          logits[c] =
-              b[col] + nn::internal::DotUnrolled(hrow, wt + col * hd, hd);
+          logits[c] = b[col] + kern.dot(hrow, wt + col * hd, hd);
         }
         CAUSALTAD_CHECK_GE(target_pos, 0) << "route is not network-valid";
-        parts[i]->step_nll.push_back(SoftmaxNllRow(logits, k, target_pos));
+        parts[i]->step_nll.push_back(kern.softmax_nll_row(logits, k,
+                                                          target_pos));
       } else {
         float* logits = full_logits + a * config_.vocab;
         for (int64_t c = 0; c < config_.vocab; ++c) logits[c] += b[c];
         parts[i]->step_nll.push_back(
-            SoftmaxNllRow(logits, config_.vocab, segs[j + 1]));
+            kern.softmax_nll_row(logits, config_.vocab, segs[j + 1]));
       }
     }
   }
@@ -491,10 +501,16 @@ double TgVae::StepNll(roadnet::SegmentId current, roadnet::SegmentId next,
   return StepCe(*hidden, current, next).value().Item();
 }
 
+void TgVae::RefreshQuantizedEmbeddings() {
+  route_emb_.RefreshQuantized();
+  sd_emb_.RefreshQuantized();
+}
+
 std::vector<float> TgVae::PackedOutWeightsTransposed() const {
   std::vector<float> wt(config_.vocab * config_.hidden_dim);
-  nn::internal::PackTranspose(out_.w().value().data(), config_.hidden_dim,
-                              config_.vocab, wt.data());
+  nn::kernels::Active().pack_transpose(out_.w().value().data(),
+                                       config_.hidden_dim, config_.vocab,
+                                       wt.data());
   return wt;
 }
 
@@ -514,19 +530,28 @@ void TgVae::StepNllRows(std::span<const roadnet::SegmentId> current,
       n, shards > 1 ? static_cast<int>(shards) : 1,
       [&](int64_t begin, int64_t end) {
         const nn::InferenceGuard no_grad;
+        const nn::kernels::Kernels& kern = nn::kernels::Active();
         const int64_t count = end - begin;
 
-        // Gather this slice's input embeddings and state rows into
-        // contiguous blocks, project the inputs through all three gate
-        // weights at once, and take one fused batched step.
-        nn::Tensor x({count, emb_dim});
-        const float* emb = route_emb_.table().value().data();
+        // Project this slice's input embeddings through all three gate
+        // weights at once, then take one fused batched step. With int8
+        // embeddings active the projection multiplies the quantized rows
+        // directly (mirroring ScoreBatchChunk, so streaming and batched
+        // scoring agree bit-for-bit); otherwise it gathers fp32 rows.
+        std::vector<int32_t> ids(count);
         for (int64_t k = 0; k < count; ++k) {
-          const roadnet::SegmentId seg = current[begin + k];
-          std::copy(emb + seg * emb_dim, emb + (seg + 1) * emb_dim,
-                    x.data() + k * emb_dim);
+          ids[k] = static_cast<int32_t>(current[begin + k]);
         }
-        const nn::Tensor xw = gru_.ProjectInputs(x);
+        nn::Tensor xw;
+        if (route_emb_.Int8Active()) {
+          xw = gru_.ProjectInputsQuantized(route_emb_.quantized_rows(),
+                                           route_emb_.row_scales(), ids,
+                                           emb_dim);
+        } else {
+          nn::Tensor x({count, emb_dim});
+          route_emb_.GatherRowValues(ids, x.data());
+          xw = gru_.ProjectInputs(x);
+        }
         nn::Tensor h({count, hd});
         for (int64_t k = 0; k < count; ++k) {
           const float* src = states + rows[begin + k] * hd;
@@ -555,23 +580,23 @@ void TgVae::StepNllRows(std::span<const roadnet::SegmentId> current,
             for (int64_t c = 0; c < deg; ++c) {
               const int32_t col = successors[c];
               if (col == next[begin + k]) target_pos = c;
-              logits[c] =
-                  b[col] + nn::internal::DotUnrolled(hrow, wt + col * hd, hd);
+              logits[c] = b[col] + kern.dot(hrow, wt + col * hd, hd);
             }
             CAUSALTAD_CHECK_GE(target_pos, 0)
                 << "transition is not network-valid";
-            nll[begin + k] = SoftmaxNllRow(logits, deg, target_pos);
+            nll[begin + k] = kern.softmax_nll_row(logits, deg, target_pos);
           }
         } else {
           nn::internal::ArenaScope scope;
           float* logits = nn::internal::ArenaAlloc(count * config_.vocab);
-          nn::internal::MatMulPacked(hnew, out_.w().value().data(), logits,
-                                     count, hd, config_.vocab);
+          kern.matmul_packed(hnew, out_.w().value().data(), logits, count, hd,
+                             config_.vocab, /*accumulate=*/false,
+                             /*b_pretransposed=*/false);
           for (int64_t k = 0; k < count; ++k) {
             float* row = logits + k * config_.vocab;
             for (int64_t c = 0; c < config_.vocab; ++c) row[c] += b[c];
             nll[begin + k] =
-                SoftmaxNllRow(row, config_.vocab, next[begin + k]);
+                kern.softmax_nll_row(row, config_.vocab, next[begin + k]);
           }
         }
       });

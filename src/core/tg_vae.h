@@ -124,6 +124,13 @@ class TgVae : public nn::Module {
   double StepNllFused(roadnet::SegmentId current, roadnet::SegmentId next,
                       nn::Tensor* hidden, const float* wt) const;
 
+  /// Re-quantizes the int8 serving copies of the embedding tables from the
+  /// current fp32 weights (no-op cost-wise beyond the copy; tables stay
+  /// unused until nn::Int8EmbeddingsEnabled()). Serving caches call this
+  /// whenever the weights may have changed (CausalTad rebuilds it next to
+  /// the transposed output weights).
+  void RefreshQuantizedEmbeddings();
+
   const TgVaeConfig& config() const { return config_; }
 
  private:

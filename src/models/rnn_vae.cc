@@ -6,6 +6,7 @@
 
 #include "nn/fastmath.h"
 #include "nn/init.h"
+#include "nn/kernels/kernels.h"
 #include "nn/ops.h"
 #include "util/logging.h"
 #include "util/parallel.h"
@@ -579,7 +580,7 @@ double RnnVae::PosteriorKlRow(const float* mu_row, const float* lv_row) const {
     }
     return log_q - (max_v + std::log(total));
   }
-  return nn::internal::KlStandardNormalRow(mu_row, lv_row, latent);
+  return nn::kernels::Active().kl_standard_normal_row(mu_row, lv_row, latent);
 }
 
 /// Carried state of one incremental session: the encoder's [1, hidden] GRU
@@ -664,8 +665,9 @@ double RnnVae::OnlineUpdate(OnlineState* state,
                                : state->dec_xw.data() + (j - 1) * 3 * hd;
     dh = net_->dec_gru.StepFusedProjected(step_xw, 1, dh);
     const nn::Var logits = net_->out.Forward(dh);  // [1, vocab]
-    recon += nn::internal::SoftmaxNllRow(logits.value().data(), config_.vocab,
-                                         state->segments[j]);
+    recon += nn::kernels::Active().softmax_nll_row(logits.value().data(),
+                                                   config_.vocab,
+                                                   state->segments[j]);
   }
   return config_.variational ? static_cast<double>(recon + config_.beta * kl)
                              : static_cast<double>(recon);
@@ -902,7 +904,7 @@ void RnnVae::ScoreBatchChunk(std::span<const traj::Trip> all_trips,
     const nn::Var logits = net_->out.Forward(dh);  // [A, vocab]
     for (size_t a = 0; a < active.size(); ++a) {
       const int64_t i = active[a];
-      recon[i] += nn::internal::SoftmaxNllRow(
+      recon[i] += nn::kernels::Active().softmax_nll_row(
           logits.value().data() + a * config_.vocab, config_.vocab,
           trips[i]->route.segments[j]);
     }

@@ -34,6 +34,21 @@ struct FitOptions {
   /// accumulated across batch_size trips. Kept for A/B benchmarking
   /// (bench_fig7_efficiency's fig7a section) and gradient-parity tests.
   bool per_trip_tape = false;
+  /// Data-parallel batched training (honored by CausalTad::Fit): groups of
+  /// data_parallel_width minibatches build their forward tapes concurrently
+  /// — each minibatch samples from its own Rng seeded by the global batch
+  /// index, so losses and gradients are independent of worker count — then
+  /// the backward passes run serially in minibatch order and one clipped
+  /// optimizer step consumes the group's summed gradients. Effective rows
+  /// per step are batch_size * data_parallel_width. Ignored with
+  /// per_trip_tape.
+  bool data_parallel = false;
+  /// Minibatches per data-parallel group. The group width fixes the
+  /// optimizer trajectory (one step per group), so it is an explicit option
+  /// rather than a thread-count read: the same width trains to bit-identical
+  /// weights whether ParallelFor runs it on 1 thread or 16. <= 0 snapshots
+  /// util::ParallelThreads() at Fit entry.
+  int data_parallel_width = 0;
 };
 
 /// Epoch iteration plan for minibatched training: trip indices are

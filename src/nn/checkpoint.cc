@@ -8,10 +8,29 @@ namespace causaltad {
 namespace nn {
 namespace {
 constexpr uint32_t kMagic = 0xCA057AD0;
-constexpr uint32_t kVersion = 1;
+// v1: (name, shape, f32 data) records. v2: records carry a u32 dtype tag
+// between shape and data — 0 = f32, 1 = int8 rows + per-row f32 scales.
+constexpr uint32_t kMinVersion = 1;
+constexpr uint32_t kVersion = 2;
+
+constexpr uint32_t kDtypeF32 = 0;
+constexpr uint32_t kDtypeI8 = 1;
+
+/// The embedding whose int8 copy backs this param, or null. Only an
+/// Embedding's own "table" parameter qualifies (an Embedding registers
+/// exactly that one param).
+const Embedding* QuantizedSourceOf(const NamedParam& p) {
+  const auto* emb = dynamic_cast<const Embedding*>(p.owner);
+  if (emb == nullptr || !emb->has_quantized()) return nullptr;
+  // Owner identity is enough today, but guard on the node too so a future
+  // Embedding with extra params cannot mis-tag them.
+  return p.var.node() == emb->table().node() ? emb : nullptr;
+}
+
 }  // namespace
 
-util::Status SaveCheckpoint(const std::string& path, const Module& module) {
+util::Status SaveCheckpoint(const std::string& path, const Module& module,
+                            const SaveOptions& options) {
   util::BinaryWriter writer(path, kMagic, kVersion);
   if (!writer.ok()) return util::Status::IoError("cannot open " + path);
   const auto params = module.NamedParameters();
@@ -21,13 +40,26 @@ util::Status SaveCheckpoint(const std::string& path, const Module& module) {
     const auto& shape = p.var.value().shape();
     writer.WriteU64(shape.size());
     for (int64_t d : shape) writer.WriteI64(d);
-    writer.WriteFloats(p.var.value().vec());
+    const Embedding* emb =
+        options.quantize_embeddings ? QuantizedSourceOf(p) : nullptr;
+    if (emb != nullptr) {
+      const int64_t rows = p.var.value().dim(0);
+      const int64_t dim = p.var.value().dim(1);
+      writer.WriteU32(kDtypeI8);
+      writer.WriteBytes(std::vector<int8_t>(
+          emb->quantized_rows(), emb->quantized_rows() + rows * dim));
+      writer.WriteFloats(
+          std::vector<float>(emb->row_scales(), emb->row_scales() + rows));
+    } else {
+      writer.WriteU32(kDtypeF32);
+      writer.WriteFloats(p.var.value().vec());
+    }
   }
   return writer.Close();
 }
 
 util::Status LoadCheckpoint(const std::string& path, Module* module) {
-  util::BinaryReader reader(path, kMagic, kVersion);
+  util::BinaryReader reader(path, kMagic, kMinVersion, kVersion);
   if (!reader.ok()) return reader.status();
 
   std::map<std::string, std::pair<std::vector<int64_t>, std::vector<float>>>
@@ -38,7 +70,33 @@ util::Status LoadCheckpoint(const std::string& path, Module* module) {
     const uint64_t ndim = reader.ReadU64();
     std::vector<int64_t> shape(ndim);
     for (uint64_t d = 0; d < ndim; ++d) shape[d] = reader.ReadI64();
-    records[name] = {std::move(shape), reader.ReadFloats()};
+    const uint32_t dtype =
+        reader.version() >= 2 ? reader.ReadU32() : kDtypeF32;
+    if (dtype == kDtypeF32) {
+      records[name] = {std::move(shape), reader.ReadFloats()};
+    } else if (dtype == kDtypeI8) {
+      const std::vector<int8_t> q = reader.ReadBytes();
+      const std::vector<float> scales = reader.ReadFloats();
+      if (!reader.ok()) break;
+      if (shape.size() != 2 ||
+          static_cast<int64_t>(q.size()) != shape[0] * shape[1] ||
+          static_cast<int64_t>(scales.size()) != shape[0]) {
+        return util::Status::InvalidArgument(
+            "malformed int8 record for " + name + " in " + path);
+      }
+      std::vector<float> values(q.size());
+      const int64_t dim = shape[1];
+      for (int64_t r = 0; r < shape[0]; ++r) {
+        for (int64_t c = 0; c < dim; ++c) {
+          values[r * dim + c] =
+              static_cast<float>(q[r * dim + c]) * scales[r];
+        }
+      }
+      records[name] = {std::move(shape), std::move(values)};
+    } else {
+      return util::Status::InvalidArgument(
+          "unknown dtype tag for " + name + " in " + path);
+    }
   }
   if (!reader.ok()) return reader.status();
 

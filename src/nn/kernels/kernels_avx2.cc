@@ -1,0 +1,10 @@
+// AVX2+FMA backend: same generic source as baseline, compiled with
+// -mavx2 -mfma (set per-file in CMakeLists.txt). Only referenced after a
+// CPUID check, so the binary still loads on older hosts.
+
+#define CAUSALTAD_KERNELS_NS avx2
+#define CAUSALTAD_KERNELS_NAME "avx2"
+#define CAUSALTAD_KERNELS_ISA ::causaltad::nn::kernels::Isa::kAvx2
+#define CAUSALTAD_KERNELS_LANES 8
+
+#include "nn/kernels/kernel_impl.inc"

@@ -1,0 +1,10 @@
+// AVX-512 backend: 16 accumulator lanes so each lane-loop pass is one
+// 512-bit FMA. Compiled with -mavx512f/bw/vl/dq -mfma (set per-file in
+// CMakeLists.txt); only referenced after a CPUID check.
+
+#define CAUSALTAD_KERNELS_NS avx512
+#define CAUSALTAD_KERNELS_NAME "avx512"
+#define CAUSALTAD_KERNELS_ISA ::causaltad::nn::kernels::Isa::kAvx512
+#define CAUSALTAD_KERNELS_LANES 16
+
+#include "nn/kernels/kernel_impl.inc"

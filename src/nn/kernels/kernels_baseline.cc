@@ -1,0 +1,9 @@
+// Portable scalar/SSE2 backend: compiled with the project's plain -O2
+// flags only, so the binary's floor runs on any x86-64 (or non-x86) host.
+
+#define CAUSALTAD_KERNELS_NS baseline
+#define CAUSALTAD_KERNELS_NAME "baseline"
+#define CAUSALTAD_KERNELS_ISA ::causaltad::nn::kernels::Isa::kBaseline
+#define CAUSALTAD_KERNELS_LANES 8
+
+#include "nn/kernels/kernel_impl.inc"

@@ -1,13 +1,38 @@
 #include "nn/modules.h"
 
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
 
-#include "nn/fastmath.h"
 #include "nn/init.h"
+#include "nn/kernels/kernels.h"
 #include "util/logging.h"
 
 namespace causaltad {
 namespace nn {
+
+namespace {
+
+using kernels::Kernels;
+
+// -1 = read CAUSALTAD_INT8_EMB on first query, 0/1 = explicit.
+std::atomic<int> g_int8_embeddings{-1};
+
+}  // namespace
+
+bool Int8EmbeddingsEnabled() {
+  int v = g_int8_embeddings.load(std::memory_order_relaxed);
+  if (v < 0) {
+    const char* env = std::getenv("CAUSALTAD_INT8_EMB");
+    v = (env != nullptr && env[0] != '\0' && env[0] != '0') ? 1 : 0;
+    g_int8_embeddings.store(v, std::memory_order_relaxed);
+  }
+  return v != 0;
+}
+
+void SetInt8Embeddings(bool enabled) {
+  g_int8_embeddings.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
 
 std::vector<Var> Module::Parameters() const {
   std::vector<Var> out;
@@ -23,7 +48,7 @@ void Module::CollectNamed(const std::string& prefix,
                           std::vector<NamedParam>* out) const {
   const std::string base = prefix.empty() ? name_ : prefix + "." + name_;
   for (const NamedParam& p : params_) {
-    out->push_back({base + "." + p.name, p.var});
+    out->push_back({base + "." + p.name, p.var, this});
   }
   for (const Module* m : submodules_) m->CollectNamed(base, out);
 }
@@ -64,6 +89,46 @@ Embedding::Embedding(std::string name, int64_t vocab, int64_t dim,
   table_ = RegisterParameter("table", GaussianInit({vocab, dim}, 0.1, rng));
 }
 
+bool Embedding::Int8Active() const {
+  return quant_valid_ && Int8EmbeddingsEnabled();
+}
+
+void Embedding::RefreshQuantized() {
+  const Tensor& t = table_.value();
+  quant_.resize(t.numel());
+  scales_.resize(t.dim(0));
+  kernels::QuantizeRowsI8(t.data(), t.dim(0), t.dim(1), quant_.data(),
+                          scales_.data());
+  quant_valid_ = true;
+}
+
+Var Embedding::Forward(std::span<const int32_t> ids) const {
+  // Tape-recording lookups must gather fp32 so gradients scatter into the
+  // master table at full precision; only no-grad reads serve int8.
+  const bool taping = !InferenceGuard::active() && table_.requires_grad();
+  if (!taping && Int8Active()) {
+    const int64_t d = dim();
+    Tensor out({static_cast<int64_t>(ids.size()), d});
+    kernels::Active().dequant_rows_i8(quant_.data(), scales_.data(), d,
+                                      ids.data(), ids.size(), out.data());
+    return Var(std::move(out), /*requires_grad=*/false);
+  }
+  return GatherRows(table_, ids);
+}
+
+void Embedding::GatherRowValues(std::span<const int32_t> ids,
+                                float* out) const {
+  const Kernels& kern = kernels::Active();
+  const int64_t d = dim();
+  if (Int8Active()) {
+    kern.dequant_rows_i8(quant_.data(), scales_.data(), d, ids.data(),
+                         ids.size(), out);
+  } else {
+    kern.gather_rows_f32(table_.value().data(), d, ids.data(), ids.size(),
+                         out);
+  }
+}
+
 GruCell::GruCell(std::string name, int64_t in_dim, int64_t hidden_dim,
                  util::Rng* rng)
     : Module(std::move(name)), hidden_dim_(hidden_dim) {
@@ -100,25 +165,27 @@ Var GruCell::StepFused(const Var& x, const Var& h) const {
   const int64_t in = tx.dim(1);
   const int64_t hd = hidden_dim_;
 
+  const Kernels& kern = kernels::Active();
   internal::ArenaScope scope;
   float* z = internal::ArenaAlloc(batch * hd);
   float* r = internal::ArenaAlloc(batch * hd);
   float* c = internal::ArenaAlloc(batch * hd);
 
   // Input halves of the gate pre-activations: z = xWz, r = xWr, c = xWh.
-  internal::MatMulPacked(tx.data(), wz_.value().data(), z, batch, in, hd);
-  internal::MatMulPacked(tx.data(), wr_.value().data(), r, batch, in, hd);
-  internal::MatMulPacked(tx.data(), wh_.value().data(), c, batch, in, hd);
+  kern.matmul_packed(tx.data(), wz_.value().data(), z, batch, in, hd, false,
+                     false);
+  kern.matmul_packed(tx.data(), wr_.value().data(), r, batch, in, hd, false,
+                     false);
+  kern.matmul_packed(tx.data(), wh_.value().data(), c, batch, in, hd, false,
+                     false);
   return FusedGateTail(th, batch, z, r, c);
 }
 
-Tensor GruCell::ProjectInputs(const Tensor& xs) const {
-  const int64_t n = xs.dim(0);
-  const int64_t in = xs.dim(1);
+float* GruCell::PackedGateWeights(int64_t in) const {
+  // [Wz | Wr | Wh] packed side by side in arena scratch (caller holds the
+  // ArenaScope): one gemm against it is identical math to three separate
+  // input-weight gemms, amortized over every unique row.
   const int64_t hd = hidden_dim_;
-  // One gemm against [Wz | Wr | Wh] packed side by side: identical math to
-  // three separate input-weight gemms, amortized over every unique row.
-  internal::ArenaScope scope;
   float* fused = internal::ArenaAlloc(in * 3 * hd);
   for (int64_t p = 0; p < in; ++p) {
     std::copy(wz_.value().data() + p * hd, wz_.value().data() + (p + 1) * hd,
@@ -128,8 +195,41 @@ Tensor GruCell::ProjectInputs(const Tensor& xs) const {
     std::copy(wh_.value().data() + p * hd, wh_.value().data() + (p + 1) * hd,
               fused + p * 3 * hd + 2 * hd);
   }
+  return fused;
+}
+
+Tensor GruCell::ProjectInputs(const Tensor& xs) const {
+  const int64_t n = xs.dim(0);
+  const int64_t in = xs.dim(1);
+  const int64_t hd = hidden_dim_;
+  internal::ArenaScope scope;
+  float* fused = PackedGateWeights(in);
   Tensor out({n, 3 * hd});
-  internal::MatMulPacked(xs.data(), fused, out.data(), n, in, 3 * hd);
+  kernels::Active().matmul_packed(xs.data(), fused, out.data(), n, in, 3 * hd,
+                                  false, false);
+  return out;
+}
+
+Tensor GruCell::ProjectInputsQuantized(const int8_t* q, const float* scales,
+                                       std::span<const int32_t> ids,
+                                       int64_t in_dim) const {
+  const int64_t n = static_cast<int64_t>(ids.size());
+  const int64_t hd = hidden_dim_;
+  const Kernels& kern = kernels::Active();
+  internal::ArenaScope scope;
+  float* fused = PackedGateWeights(in_dim);
+  // Gather the quantized rows contiguously (int8: a quarter of the fp32
+  // gather traffic) with their per-row scales, then one int8 gemm.
+  std::vector<int8_t> rows(n * in_dim);
+  std::vector<float> row_scales(n);
+  for (int64_t i = 0; i < n; ++i) {
+    const int8_t* src = q + static_cast<int64_t>(ids[i]) * in_dim;
+    std::copy(src, src + in_dim, rows.data() + i * in_dim);
+    row_scales[i] = scales[ids[i]];
+  }
+  Tensor out({n, 3 * hd});
+  kern.matmul_i8(rows.data(), row_scales.data(), fused, out.data(), n, in_dim,
+                 3 * hd);
   return out;
 }
 
@@ -172,48 +272,28 @@ Var GruCell::StepBatched(const Var& x, const Var& h,
   float* r = z + batch * hd;
   float* c = r + batch * hd;
 
+  const Kernels& kern = kernels::Active();
   internal::ArenaScope scope;
   // Input halves, then recurrent halves accumulated on top.
-  internal::MatMulPacked(tx.data(), wz_.value().data(), z, batch, in, hd);
-  internal::MatMulPacked(tx.data(), wr_.value().data(), r, batch, in, hd);
-  internal::MatMulPacked(tx.data(), wh_.value().data(), c, batch, in, hd);
-  internal::MatMulPacked(th.data(), uz_.value().data(), z, batch, hd, hd,
-                         /*accumulate=*/true);
-  internal::MatMulPacked(th.data(), ur_.value().data(), r, batch, hd, hd,
-                         /*accumulate=*/true);
-  const float* bz = bz_.value().data();
-  const float* br = br_.value().data();
+  kern.matmul_packed(tx.data(), wz_.value().data(), z, batch, in, hd, false,
+                     false);
+  kern.matmul_packed(tx.data(), wr_.value().data(), r, batch, in, hd, false,
+                     false);
+  kern.matmul_packed(tx.data(), wh_.value().data(), c, batch, in, hd, false,
+                     false);
+  kern.matmul_packed(th.data(), uz_.value().data(), z, batch, hd, hd,
+                     /*accumulate=*/true, false);
+  kern.matmul_packed(th.data(), ur_.value().data(), r, batch, hd, hd,
+                     /*accumulate=*/true, false);
   float* rh = internal::ArenaAlloc(batch * hd);
-  for (int64_t b = 0; b < batch; ++b) {
-    const float* hrow = th.data() + b * hd;
-    float* zrow = z + b * hd;
-    float* rrow = r + b * hd;
-    float* rhrow = rh + b * hd;
-    for (int64_t j = 0; j < hd; ++j) {
-      zrow[j] = fastmath::Sigmoid(zrow[j] + bz[j]);
-      rrow[j] = fastmath::Sigmoid(rrow[j] + br[j]);
-      rhrow[j] = rrow[j] * hrow[j];
-    }
-  }
-  internal::MatMulPacked(rh, uh_.value().data(), c, batch, hd, hd,
-                         /*accumulate=*/true);
+  kern.gru_gates_zr(th.data(), bz_.value().data(), br_.value().data(), z, r,
+                    rh, batch, hd);
+  kern.matmul_packed(rh, uh_.value().data(), c, batch, hd, hd,
+                     /*accumulate=*/true, false);
 
   Tensor out({batch, hd});
-  const float* bh = bh_.value().data();
-  for (int64_t b = 0; b < batch; ++b) {
-    const float* hrow = th.data() + b * hd;
-    float* orow = out.data() + b * hd;
-    if (!finished.empty() && finished[b]) {
-      std::copy(hrow, hrow + hd, orow);
-      continue;
-    }
-    const float* zrow = z + b * hd;
-    float* crow = c + b * hd;
-    for (int64_t j = 0; j < hd; ++j) {
-      crow[j] = fastmath::Tanh(crow[j] + bh[j]);
-      orow[j] = hrow[j] + zrow[j] * (crow[j] - hrow[j]);
-    }
-  }
+  kern.gru_out_blend(th.data(), bh_.value().data(), z, c, out.data(),
+                     finished.empty() ? nullptr : finished.data(), batch, hd);
 
   std::function<void()>* slot = nullptr;
   Node* self = nullptr;
@@ -236,6 +316,7 @@ Var GruCell::StepBatched(const Var& x, const Var& h,
   std::vector<uint8_t> fin(finished.begin(), finished.end());
   *slot = [self, nx, nh, nwz, nuz, nbz, nwr, nur, nbr, nwh, nuh, nbh, acts,
            fin, batch, in, hd]() {
+    const Kernels& kern = kernels::Active();
     const float* g = self->grad.data();
     const float* z = acts->data();
     const float* r = z + batch * hd;
@@ -272,8 +353,8 @@ Var GruCell::StepBatched(const Var& x, const Var& h,
 
     // d(r⊙h) = da_c · Uhᵀ (Uh row-major is already the pretransposed
     // layout the packed kernel wants).
-    internal::MatMulPacked(da_c, nuh->value.data(), drh, batch, hd, hd,
-                           /*accumulate=*/false, /*b_pretransposed=*/true);
+    kern.matmul_packed(da_c, nuh->value.data(), drh, batch, hd, hd,
+                       /*accumulate=*/false, /*b_pretransposed=*/true);
 
     // Pass 2 — da_r = (drh ⊙ h) · r(1-r), the r⊙h operand for dUh, and the
     // elementwise parts of dh: g ⊙ (1-z) + drh ⊙ r (finished rows pass g
@@ -309,32 +390,27 @@ Var GruCell::StepBatched(const Var& x, const Var& h,
 
     // Matrix halves of dh and dx, then the weight/bias accumulations.
     if (need_dh) {
-      internal::MatMulPacked(da_z, nuz->value.data(), nh->grad.data(), batch,
-                             hd, hd, /*accumulate=*/true,
-                             /*b_pretransposed=*/true);
-      internal::MatMulPacked(da_r, nur->value.data(), nh->grad.data(), batch,
-                             hd, hd, /*accumulate=*/true,
-                             /*b_pretransposed=*/true);
+      kern.matmul_packed(da_z, nuz->value.data(), nh->grad.data(), batch, hd,
+                         hd, /*accumulate=*/true, /*b_pretransposed=*/true);
+      kern.matmul_packed(da_r, nur->value.data(), nh->grad.data(), batch, hd,
+                         hd, /*accumulate=*/true, /*b_pretransposed=*/true);
     }
     if (nx->requires_grad) {
       nx->EnsureGrad();
-      internal::MatMulPacked(da_z, nwz->value.data(), nx->grad.data(), batch,
-                             hd, in, /*accumulate=*/true,
-                             /*b_pretransposed=*/true);
-      internal::MatMulPacked(da_r, nwr->value.data(), nx->grad.data(), batch,
-                             hd, in, /*accumulate=*/true,
-                             /*b_pretransposed=*/true);
-      internal::MatMulPacked(da_c, nwh->value.data(), nx->grad.data(), batch,
-                             hd, in, /*accumulate=*/true,
-                             /*b_pretransposed=*/true);
+      kern.matmul_packed(da_z, nwz->value.data(), nx->grad.data(), batch, hd,
+                         in, /*accumulate=*/true, /*b_pretransposed=*/true);
+      kern.matmul_packed(da_r, nwr->value.data(), nx->grad.data(), batch, hd,
+                         in, /*accumulate=*/true, /*b_pretransposed=*/true);
+      kern.matmul_packed(da_c, nwh->value.data(), nx->grad.data(), batch, hd,
+                         in, /*accumulate=*/true, /*b_pretransposed=*/true);
     }
     const float* xv = nx->value.data();
     const auto weight_grad = [&](Node* nw, const float* da, const float* lhs,
                                  int64_t lhs_cols) {
       if (!nw->requires_grad) return;
       nw->EnsureGrad();
-      internal::AddMatMulTransposedA(lhs, da, nw->grad.data(), batch,
-                                     lhs_cols, hd);
+      kern.add_matmul_transposed_a(lhs, da, nw->grad.data(), batch, lhs_cols,
+                                   hd);
     };
     weight_grad(nwz, da_z, xv, in);
     weight_grad(nwr, da_r, xv, in);
@@ -360,42 +436,26 @@ Var GruCell::StepBatched(const Var& x, const Var& h,
 Var GruCell::FusedGateTail(const Tensor& th, int64_t batch, float* z,
                            float* r, float* c) const {
   const int64_t hd = hidden_dim_;
+  const Kernels& kern = kernels::Active();
   // Recurrent halves: z += hUz, r += hUr (the candidate's hU term needs the
   // finished r first).
-  internal::MatMulPacked(th.data(), uz_.value().data(), z, batch, hd, hd,
-                         /*accumulate=*/true);
-  internal::MatMulPacked(th.data(), ur_.value().data(), r, batch, hd, hd,
-                         /*accumulate=*/true);
+  kern.matmul_packed(th.data(), uz_.value().data(), z, batch, hd, hd,
+                     /*accumulate=*/true, false);
+  kern.matmul_packed(th.data(), ur_.value().data(), r, batch, hd, hd,
+                     /*accumulate=*/true, false);
 
-  // One fused pass: bias + sigmoid for z and r, then r ⊙ h (reusing r as
-  // the buffer) for the candidate's recurrent matmul.
-  const float* bz = bz_.value().data();
-  const float* br = br_.value().data();
-  for (int64_t b = 0; b < batch; ++b) {
-    const float* hrow = th.data() + b * hd;
-    float* zrow = z + b * hd;
-    float* rrow = r + b * hd;
-    for (int64_t j = 0; j < hd; ++j) {
-      zrow[j] = fastmath::Sigmoid(zrow[j] + bz[j]);
-      rrow[j] = hrow[j] * fastmath::Sigmoid(rrow[j] + br[j]);
-    }
-  }
-  internal::MatMulPacked(r, uh_.value().data(), c, batch, hd, hd,
-                         /*accumulate=*/true);
+  // One fused pass: bias + sigmoid for z and r, then r ⊙ h (rh aliases the
+  // r buffer — inference never needs the post-sigmoid r again) for the
+  // candidate's recurrent matmul.
+  kern.gru_gates_zr(th.data(), bz_.value().data(), br_.value().data(), z, r,
+                    /*rh=*/r, batch, hd);
+  kern.matmul_packed(r, uh_.value().data(), c, batch, hd, hd,
+                     /*accumulate=*/true, false);
 
   // h' = h + z ⊙ (tanh(c + bh) - h), written straight into the output.
   Tensor out({batch, hd});
-  const float* bh = bh_.value().data();
-  for (int64_t b = 0; b < batch; ++b) {
-    const float* hrow = th.data() + b * hd;
-    const float* zrow = z + b * hd;
-    const float* crow = c + b * hd;
-    float* orow = out.data() + b * hd;
-    for (int64_t j = 0; j < hd; ++j) {
-      const float cand = fastmath::Tanh(crow[j] + bh[j]);
-      orow[j] = hrow[j] + zrow[j] * (cand - hrow[j]);
-    }
-  }
+  kern.gru_out_blend(th.data(), bh_.value().data(), z, c, out.data(),
+                     /*finished=*/nullptr, batch, hd);
   return Var(std::move(out), /*requires_grad=*/false);
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "nn/fastmath.h"
+#include "nn/kernels/kernels.h"
 #include "util/logging.h"
 
 namespace causaltad {
@@ -11,6 +12,7 @@ namespace nn {
 namespace {
 
 using internal::MakeOp;
+using kernels::Kernels;
 
 // True when b should be broadcast across a's rows: b is [1, a.cols] (or a
 // has rank 2 and b is a 1-element scalar).
@@ -111,179 +113,7 @@ Var ElementwiseUnary(const Var& a, Fwd fwd, Bwd bwd_factor) {
   return result;
 }
 
-void SoftmaxRow(const float* logits, int64_t n, float* out) {
-  float max_v = logits[0];
-  for (int64_t i = 1; i < n; ++i) max_v = std::max(max_v, logits[i]);
-  float total = 0.0f;
-  for (int64_t i = 0; i < n; ++i) {
-    out[i] = fastmath::Exp(logits[i] - max_v);
-    total += out[i];
-  }
-  const float inv = 1.0f / total;
-  for (int64_t i = 0; i < n; ++i) out[i] *= inv;
-}
-
 }  // namespace
-
-namespace internal {
-
-void PackTranspose(const float* src, int64_t r, int64_t c, float* dst) {
-  for (int64_t i = 0; i < r; ++i) {
-    const float* row = src + i * c;
-    for (int64_t j = 0; j < c; ++j) dst[j * r + i] = row[j];
-  }
-}
-
-float DotUnrolled(const float* a, const float* b, int64_t k) {
-  // Eight independent accumulator lanes: the fixed-width inner loop has no
-  // cross-iteration dependence, so the compiler turns it into one SIMD FMA
-  // per 8 floats (a plain `acc +=` reduction cannot be vectorized without
-  // reassociation).
-  float lanes[8] = {0, 0, 0, 0, 0, 0, 0, 0};
-  int64_t i = 0;
-  for (; i + 8 <= k; i += 8) {
-    for (int l = 0; l < 8; ++l) lanes[l] += a[i + l] * b[i + l];
-  }
-  float acc = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) +
-              ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
-  for (; i < k; ++i) acc += a[i] * b[i];
-  return acc;
-}
-
-void MatMulPacked(const float* a, const float* b, float* out, int64_t m,
-                  int64_t k, int64_t n, bool accumulate,
-                  bool b_pretransposed) {
-  // Packing B transposed costs one extra pass over B, which only pays for
-  // itself when amortized over enough output rows. Small m (the per-step
-  // training path works on single rows) streams B row-major instead.
-  if (m < 4 && !b_pretransposed) {
-    for (int64_t i = 0; i < m; ++i) {
-      const float* arow = a + i * k;
-      float* orow = out + i * n;
-      if (!accumulate) std::fill(orow, orow + n, 0.0f);
-      for (int64_t p = 0; p < k; ++p) {
-        const float av = arow[p];
-        if (av == 0.0f) continue;
-        const float* brow = b + p * n;
-        for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-      }
-    }
-    return;
-  }
-  ArenaScope scope;
-  const float* bt = b;
-  if (!b_pretransposed) {
-    float* packed = ArenaAlloc(k * n);
-    PackTranspose(b, k, n, packed);
-    bt = packed;
-  }
-  // 2x4 register-blocked kernel over the packed operands: each pass of the
-  // 8-wide lane loop feeds eight accumulator tiles from two a-rows and four
-  // bt-rows, so every load is shared by 2-4 FMAs. Larger tiles spill.
-  const auto emit = [accumulate](float* slot, float dot) {
-    *slot = accumulate ? *slot + dot : dot;
-  };
-  int64_t i = 0;
-  for (; i + 2 <= m; i += 2) {
-    const float* a0 = a + i * k;
-    const float* a1 = a0 + k;
-    int64_t j = 0;
-    for (; j + 4 <= n; j += 4) {
-      const float* b0 = bt + j * k;
-      const float* b1 = b0 + k;
-      const float* b2 = b1 + k;
-      const float* b3 = b2 + k;
-      float l00[8] = {0}, l01[8] = {0}, l02[8] = {0}, l03[8] = {0};
-      float l10[8] = {0}, l11[8] = {0}, l12[8] = {0}, l13[8] = {0};
-      int64_t p = 0;
-      for (; p + 8 <= k; p += 8) {
-        for (int l = 0; l < 8; ++l) {
-          const float av0 = a0[p + l], av1 = a1[p + l];
-          const float bv0 = b0[p + l], bv1 = b1[p + l];
-          const float bv2 = b2[p + l], bv3 = b3[p + l];
-          l00[l] += av0 * bv0;
-          l01[l] += av0 * bv1;
-          l02[l] += av0 * bv2;
-          l03[l] += av0 * bv3;
-          l10[l] += av1 * bv0;
-          l11[l] += av1 * bv1;
-          l12[l] += av1 * bv2;
-          l13[l] += av1 * bv3;
-        }
-      }
-      float s[2][4] = {};
-      for (int l = 0; l < 8; ++l) {
-        s[0][0] += l00[l];
-        s[0][1] += l01[l];
-        s[0][2] += l02[l];
-        s[0][3] += l03[l];
-        s[1][0] += l10[l];
-        s[1][1] += l11[l];
-        s[1][2] += l12[l];
-        s[1][3] += l13[l];
-      }
-      for (; p < k; ++p) {
-        s[0][0] += a0[p] * b0[p];
-        s[0][1] += a0[p] * b1[p];
-        s[0][2] += a0[p] * b2[p];
-        s[0][3] += a0[p] * b3[p];
-        s[1][0] += a1[p] * b0[p];
-        s[1][1] += a1[p] * b1[p];
-        s[1][2] += a1[p] * b2[p];
-        s[1][3] += a1[p] * b3[p];
-      }
-      for (int bi = 0; bi < 2; ++bi) {
-        for (int bj = 0; bj < 4; ++bj) {
-          emit(out + (i + bi) * n + j + bj, s[bi][bj]);
-        }
-      }
-    }
-    for (; j < n; ++j) {
-      emit(out + i * n + j, DotUnrolled(a0, bt + j * k, k));
-      emit(out + (i + 1) * n + j, DotUnrolled(a1, bt + j * k, k));
-    }
-  }
-  for (; i < m; ++i) {
-    const float* arow = a + i * k;
-    for (int64_t j = 0; j < n; ++j) {
-      emit(out + i * n + j, DotUnrolled(arow, bt + j * k, k));
-    }
-  }
-}
-
-void AddMatMulTransposedA(const float* a, const float* g, float* out,
-                          int64_t m, int64_t k, int64_t n) {
-  ArenaScope scope;
-  float* at = ArenaAlloc(m * k);
-  float* gt = ArenaAlloc(m * n);
-  PackTranspose(a, m, k, at);
-  PackTranspose(g, m, n, gt);
-  for (int64_t p = 0; p < k; ++p) {
-    float* orow = out + p * n;
-    for (int64_t j = 0; j < n; ++j) {
-      orow[j] += DotUnrolled(at + p * m, gt + j * m, m);
-    }
-  }
-}
-
-float SoftmaxNllRow(const float* row, int64_t n, int64_t target) {
-  float max_v = row[0];
-  for (int64_t j = 1; j < n; ++j) max_v = std::max(max_v, row[j]);
-  float total = 0.0f;
-  for (int64_t j = 0; j < n; ++j) total += fastmath::Exp(row[j] - max_v);
-  const float p = std::max(fastmath::Exp(row[target] - max_v) / total, 1e-12f);
-  return -std::log(p);
-}
-
-float KlStandardNormalRow(const float* mu, const float* lv, int64_t n) {
-  float total = 0.0f;
-  for (int64_t i = 0; i < n; ++i) {
-    total += mu[i] * mu[i] + fastmath::Exp(lv[i]) - 1.0f - lv[i];
-  }
-  return 0.5f * total;
-}
-
-}  // namespace internal
 
 Var Constant(Tensor value) { return Var(std::move(value), false); }
 
@@ -363,7 +193,9 @@ Var MatMul(const Var& a, const Var& b) {
   CAUSALTAD_CHECK_EQ(ta.dim(1), tb.dim(0));
   const int64_t m = ta.dim(0), k = ta.dim(1), n = tb.dim(1);
   Tensor out({m, n});
-  internal::MatMulPacked(ta.data(), tb.data(), out.data(), m, k, n);
+  kernels::Active().matmul_packed(ta.data(), tb.data(), out.data(), m, k, n,
+                                  /*accumulate=*/false,
+                                  /*b_pretransposed=*/false);
 
   std::function<void()>* slot = nullptr;
   Node* self = nullptr;
@@ -372,20 +204,20 @@ Var MatMul(const Var& a, const Var& b) {
     Node* na = a.node().get();
     Node* nb = b.node().get();
     *slot = [self, na, nb, m, k, n]() {
+      const Kernels& kern = kernels::Active();
       const Tensor& g = self->grad;
       if (na->requires_grad) {
         na->EnsureGrad();
         // dA += G · Bᵀ: B ([k,n] row-major) is exactly the pretransposed
         // layout the packed kernel wants for the [m,n]x[n,k] product.
-        internal::MatMulPacked(g.data(), nb->value.data(),
-                               na->grad.data(), m, n, k,
-                               /*accumulate=*/true, /*b_pretransposed=*/true);
+        kern.matmul_packed(g.data(), nb->value.data(), na->grad.data(), m, n,
+                           k, /*accumulate=*/true, /*b_pretransposed=*/true);
       }
       if (nb->requires_grad) {
         nb->EnsureGrad();
         // dB += Aᵀ · G.
-        internal::AddMatMulTransposedA(na->value.data(), g.data(),
-                                       nb->grad.data(), m, k, n);
+        kern.add_matmul_transposed_a(na->value.data(), g.data(),
+                                     nb->grad.data(), m, k, n);
       }
     };
   }
@@ -398,16 +230,43 @@ Var Affine(const Var& x, const Var& w, const Var& b) {
   return Add(y, b);
 }
 
+namespace {
+
+// Transcendental unaries dispatch their forward through the registry's
+// vector kernels (the backward closures only need (input, output) pairs, so
+// they stay local lambdas like every other ElementwiseUnary).
+template <typename Bwd>
+Var TranscendentalUnary(const Var& a,
+                        void (*const vec)(const float*, float*, int64_t),
+                        Bwd bwd_factor) {
+  Tensor out(a.value().shape());
+  vec(a.value().data(), out.data(), out.numel());
+  std::function<void()>* slot = nullptr;
+  Node* self = nullptr;
+  Var result = MakeOp(std::move(out), {a}, &slot, &self);
+  if (slot) {
+    Node* na = a.node().get();
+    *slot = [self, na, bwd_factor]() {
+      na->EnsureGrad();
+      for (int64_t i = 0; i < self->grad.numel(); ++i) {
+        na->grad[i] +=
+            self->grad[i] * bwd_factor(na->value[i], self->value[i]);
+      }
+    };
+  }
+  return result;
+}
+
+}  // namespace
+
 Var Tanh(const Var& a) {
-  return ElementwiseUnary(
-      a, [](float v) { return fastmath::Tanh(v); },
-      [](float, float y) { return 1.0f - y * y; });
+  return TranscendentalUnary(a, kernels::Active().tanh_vec,
+                             [](float, float y) { return 1.0f - y * y; });
 }
 
 Var Sigmoid(const Var& a) {
-  return ElementwiseUnary(
-      a, [](float v) { return fastmath::Sigmoid(v); },
-      [](float, float y) { return y * (1.0f - y); });
+  return TranscendentalUnary(a, kernels::Active().sigmoid_vec,
+                             [](float, float y) { return y * (1.0f - y); });
 }
 
 Var Relu(const Var& a) {
@@ -417,9 +276,8 @@ Var Relu(const Var& a) {
 }
 
 Var Exp(const Var& a) {
-  return ElementwiseUnary(
-      a, [](float v) { return fastmath::Exp(v); },
-      [](float, float y) { return y; });
+  return TranscendentalUnary(a, kernels::Active().exp_vec,
+                             [](float, float y) { return y; });
 }
 
 Var Neg(const Var& a) { return ScalarMul(a, -1.0f); }
@@ -596,8 +454,9 @@ Var Softmax(const Var& a) {
   CAUSALTAD_CHECK_EQ(t.ndim(), 2);
   const int64_t rows = t.dim(0), cols = t.dim(1);
   Tensor out({rows, cols});
+  const Kernels& kern = kernels::Active();
   for (int64_t r = 0; r < rows; ++r) {
-    SoftmaxRow(t.data() + r * cols, cols, out.data() + r * cols);
+    kern.softmax_row(t.data() + r * cols, cols, out.data() + r * cols);
   }
 
   std::function<void()>* slot = nullptr;
@@ -633,10 +492,11 @@ Var SoftmaxCrossEntropy(const Var& logits, std::span<const int32_t> targets,
   // target) keep zeroed probs, so their backward contribution vanishes.
   auto probs = std::make_shared<Tensor>(Tensor({rows, cols}));
   float loss = 0.0f;
+  const Kernels& kern = kernels::Active();
   for (int64_t r = 0; r < rows; ++r) {
     const int32_t target = targets[r];
     if (target < 0) continue;
-    SoftmaxRow(t.data() + r * cols, cols, probs->data() + r * cols);
+    kern.softmax_row(t.data() + r * cols, cols, probs->data() + r * cols);
     CAUSALTAD_DCHECK(target < cols);
     const float p = std::max((*probs)[r * cols + target], 1e-12f);
     loss -= (row_weights.empty() ? 1.0f : row_weights[r]) * std::log(p);
@@ -895,9 +755,10 @@ Var SubsetSoftmaxCrossEntropy(const Var& h, const Var& w, const Var& b,
   auto probs = std::make_shared<std::vector<float>>(ids.size(), 0.0f);
   float loss = 0.0f;
   {
+    const Kernels& kern = kernels::Active();
     internal::ArenaScope scope;
     float* wt = internal::ArenaAlloc(big_c * d);
-    internal::PackTranspose(tw.data(), d, big_c, wt);
+    kern.pack_transpose(tw.data(), d, big_c, wt);
     const float* bias = b.defined() ? b.value().data() : nullptr;
     for (int64_t r = 0; r < rows; ++r) {
       const int64_t begin = offsets[r], end = offsets[r + 1];
@@ -909,9 +770,9 @@ Var SubsetSoftmaxCrossEntropy(const Var& h, const Var& w, const Var& b,
         const int32_t col = ids[begin + j];
         CAUSALTAD_DCHECK(col >= 0 && col < big_c);
         p[j] = (bias != nullptr ? bias[col] : 0.0f) +
-               internal::DotUnrolled(hrow, wt + col * d, d);
+               kern.dot(hrow, wt + col * d, d);
       }
-      SoftmaxRow(p, k, p);  // in place: logits -> probabilities
+      kern.softmax_row(p, k, p);  // in place: logits -> probabilities
       loss -= std::log(std::max(p[targets[r]], 1e-12f));
     }
   }
@@ -937,7 +798,7 @@ Var SubsetSoftmaxCrossEntropy(const Var& h, const Var& w, const Var& b,
       const float* wt = nullptr;
       if (nh->requires_grad) {
         float* packed = internal::ArenaAlloc(big_c * d);
-        internal::PackTranspose(nw->value.data(), d, big_c, packed);
+        kernels::Active().pack_transpose(nw->value.data(), d, big_c, packed);
         wt = packed;
       }
       if (nh->requires_grad) nh->EnsureGrad();

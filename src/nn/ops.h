@@ -121,41 +121,10 @@ Var LogSumExpRows(const Var& a);
 /// Convenience: wraps a constant (no-grad) tensor.
 Var Constant(Tensor value);
 
-namespace internal {
-// Value-level kernels shared by MatMul (forward and backward), the fused
-// GRU step, and the batched scorers. All operate on raw row-major buffers.
-
-/// SIMD-friendly (8-lane) dot product of two contiguous length-k vectors.
-float DotUnrolled(const float* a, const float* b, int64_t k);
-
-/// Packs src [r,c] (row-major) transposed into dst [c,r].
-void PackTranspose(const float* src, int64_t r, int64_t c, float* dst);
-
-/// out[m,n] = a[m,k] @ b[k,n] (+= when `accumulate`). Packs b transposed
-/// into thread-local arena scratch so the inner kernel reads both operands
-/// contiguously. When `b_pretransposed`, b is already laid out as [n,k]
-/// row-major (e.g. a weight matrix multiplied from the right by its
-/// transpose, as every dX = dY·Wᵀ backward term is) and the packing pass
-/// is skipped — the register-blocked kernel reads it directly.
-void MatMulPacked(const float* a, const float* b, float* out, int64_t m,
-                  int64_t k, int64_t n, bool accumulate = false,
-                  bool b_pretransposed = false);
-
-/// grad-accumulate helper: out[k,n] += a[m,k]ᵀ @ g[m,n]. Packs both
-/// operands transposed into arena scratch so each output element is one
-/// contiguous dot over m — the dW = Xᵀ·dY half of every affine/GRU
-/// backward, shared by MatMul and the fused GRU step.
-void AddMatMulTransposedA(const float* a, const float* g, float* out,
-                          int64_t m, int64_t k, int64_t n);
-
-/// -log softmax(row)[target] for one length-n logits row — the per-row
-/// inference twin of SoftmaxCrossEntropy (max-shifted, 1e-12 prob floor).
-float SoftmaxNllRow(const float* row, int64_t n, int64_t target);
-
-/// KL( N(mu, diag(exp(lv))) || N(0,I) ) of one length-n row — the per-row
-/// inference twin of KlStandardNormal.
-float KlStandardNormalRow(const float* mu, const float* lv, int64_t n);
-}  // namespace internal
+// The value-level buffer kernels that used to live here (DotUnrolled,
+// PackTranspose, MatMulPacked, AddMatMulTransposedA, SoftmaxNllRow,
+// KlStandardNormalRow) moved to the runtime-dispatched backend tables in
+// nn/kernels/kernels.h — call kernels::Active().<kernel> instead.
 
 }  // namespace nn
 }  // namespace causaltad

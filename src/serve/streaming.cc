@@ -191,7 +191,9 @@ PushStatus StreamingBatcher::PushLocked(SessionId id,
   ++queued_points_;
   if (!it->second.in_ready) {
     it->second.in_ready = true;
-    ReadyPushLocked(id, now);
+    // Oldest pending point's time, not this push's: with the session in
+    // flight elsewhere, a leftover burst point may be older than we are.
+    ReadyPushLocked(id, it->second.pending.front().enqueued_ms);
   }
   return PushStatus::kAccepted;
 }
@@ -222,7 +224,11 @@ void StreamingBatcher::End(SessionId id) {
   auto it = sessions_.find(id);
   CAUSALTAD_CHECK(it != sessions_.end()) << "unknown session " << id;
   it->second.ended = true;
-  if (it->second.pending.empty()) ReleaseRowLocked(&it->second);
+  // An in-flight session keeps its row until the commit writes the advanced
+  // state back and emits the score; the commit then releases it.
+  if (it->second.pending.empty() && !it->second.in_flight) {
+    ReleaseRowLocked(&it->second);
+  }
   // A fire-and-forget caller (End with everything already polled) would
   // otherwise leave the entry behind forever — Poll() was the only
   // forgetting path.
@@ -265,28 +271,46 @@ void StreamingBatcher::MaybeForgetLocked(SessionId id) {
   auto it = sessions_.find(id);
   if (it == sessions_.end()) return;
   const Session& s = it->second;
-  if (s.ended && s.pending.empty() && s.scores.empty() && !s.in_ready) {
+  if (s.ended && s.pending.empty() && s.scores.empty() && !s.in_ready &&
+      !s.in_flight) {
     CAUSALTAD_CHECK_EQ(s.row, -1);
     sessions_.erase(it);
   }
 }
 
 int64_t StreamingBatcher::Step() {
+  // Three-phase step: admission and commit hold the mutex, the kernel pass
+  // between them does not — concurrent producers keep pushing (and other
+  // Steps keep admitting disjoint sessions) while this batch computes.
+  BatchPlan plan;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    AdmitLocked(&plan);
+  }
+  if (plan.admitted.empty()) return 0;
+  ComputeUnlocked(&plan);
   std::lock_guard<std::mutex> lock(mu_);
-  return StepLocked();
+  return CommitLocked(plan);
 }
 
 int64_t StreamingBatcher::StepIfReady() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (ready_.empty()) return 0;
-  // Deadline on the OLDEST waiting point anywhere in the queue (the
-  // min-queue front), not the FIFO front: re-queued burst sessions sit at
-  // the back with older carried timestamps.
-  if (static_cast<int64_t>(ready_.size()) < options_.max_batch_rows &&
-      Now() - ready_min_.front() < options_.max_delay_ms) {
-    return 0;
+  BatchPlan plan;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ready_.empty()) return 0;
+    // Deadline on the OLDEST waiting point anywhere in the queue (the
+    // min-queue front), not the FIFO front: re-queued burst sessions sit at
+    // the back with older carried timestamps.
+    if (static_cast<int64_t>(ready_.size()) < options_.max_batch_rows &&
+        Now() - ready_min_.front() < options_.max_delay_ms) {
+      return 0;
+    }
+    AdmitLocked(&plan);
   }
-  return StepLocked();
+  if (plan.admitted.empty()) return 0;
+  ComputeUnlocked(&plan);
+  std::lock_guard<std::mutex> lock(mu_);
+  return CommitLocked(plan);
 }
 
 void StreamingBatcher::Flush() {
@@ -294,82 +318,119 @@ void StreamingBatcher::Flush() {
   }
 }
 
-int64_t StreamingBatcher::StepLocked() {
+void StreamingBatcher::AdmitLocked(BatchPlan* plan) {
   // Admit up to max_batch_rows sessions, FIFO, one queued point each.
+  // Bounded scan of the current queue: sessions another Step still holds in
+  // flight are re-queued, not admitted (feed order — their next point must
+  // see the committed state), and must not make this loop spin.
   const double now = Now();
-  std::vector<SessionId> admitted;
-  std::vector<roadnet::SegmentId> points;
-  while (!ready_.empty() &&
-         static_cast<int64_t>(admitted.size()) < options_.max_batch_rows) {
+  const int64_t hd = tg_->config().hidden_dim;
+  const size_t scan = ready_.size();
+  for (size_t iter = 0;
+       iter < scan && static_cast<int64_t>(plan->admitted.size()) <
+                          options_.max_batch_rows;
+       ++iter) {
     const SessionId id = ready_.front();
-    ReadyPopLocked();
+    const double since = ReadyPopLocked();
     Session& s = sessions_.at(id);
+    if (s.in_flight) {
+      ReadyPushLocked(id, since);
+      continue;
+    }
     s.in_ready = false;
     if (s.pending.empty()) continue;
-    admitted.push_back(id);
-    points.push_back(s.pending.front().segment);
+    s.in_flight = true;
+    plan->admitted.push_back(id);
+    plan->points.push_back(s.pending.front().segment);
     if (options_.queue_wait != nullptr) {
       options_.queue_wait->Add(now - s.pending.front().enqueued_ms);
     }
     s.pending.pop_front();
     --queued_points_;
   }
-  if (admitted.empty()) return 0;
+  if (plan->admitted.empty()) return;
 
   // Partition: GRU transitions advance together through one fused batched
-  // step over the shared state matrix; first points have no transition yet;
-  // kScalingOnly points batch through the RP-VAE by slot.
-  std::vector<roadnet::SegmentId> tr_current, tr_next;
-  std::vector<int64_t> tr_rows;
-  std::vector<size_t> tr_admitted;
-  std::vector<std::vector<roadnet::SegmentId>> slot_segments;
-  std::vector<std::vector<size_t>> slot_owners;
-  std::vector<int> slot_of;
-  for (size_t a = 0; a < admitted.size(); ++a) {
-    Session& s = sessions_.at(admitted[a]);
+  // step; first points have no transition yet; kScalingOnly points batch
+  // through the RP-VAE by slot. Transition state rows are copied out of the
+  // shared matrix — it may be reallocated or compacted while we compute.
+  for (size_t a = 0; a < plan->admitted.size(); ++a) {
+    Session& s = sessions_.at(plan->admitted[a]);
     if (variant_ == core::ScoreVariant::kScalingOnly) {
       size_t dense = 0;
-      while (dense < slot_of.size() && slot_of[dense] != s.rp_slot) ++dense;
-      if (dense == slot_of.size()) {
-        slot_of.push_back(s.rp_slot);
-        slot_segments.emplace_back();
-        slot_owners.emplace_back();
+      while (dense < plan->slot_of.size() &&
+             plan->slot_of[dense] != s.rp_slot) {
+        ++dense;
       }
-      slot_segments[dense].push_back(points[a]);
-      slot_owners[dense].push_back(a);
+      if (dense == plan->slot_of.size()) {
+        plan->slot_of.push_back(s.rp_slot);
+        plan->slot_segments.emplace_back();
+        plan->slot_owners.emplace_back();
+      }
+      plan->slot_segments[dense].push_back(plan->points[a]);
+      plan->slot_owners[dense].push_back(a);
     } else if (s.has_last) {
-      tr_current.push_back(s.last);
-      tr_next.push_back(points[a]);
-      tr_rows.push_back(s.row);
-      tr_admitted.push_back(a);
+      plan->tr_current.push_back(s.last);
+      plan->tr_next.push_back(plan->points[a]);
+      plan->tr_admitted.push_back(a);
+      plan->tr_states.insert(plan->tr_states.end(),
+                             states_.begin() + s.row * hd,
+                             states_.begin() + (s.row + 1) * hd);
     }
   }
+  plan->wt = wt_;
+}
 
-  std::vector<double> tr_nll(tr_current.size(), 0.0);
-  if (!tr_current.empty()) {
-    tg_->StepNllRows(tr_current, tr_next, tr_rows, states_.data(),
-                     wt_->data(), tr_nll.data());
+void StreamingBatcher::ComputeUnlocked(BatchPlan* plan) const {
+  plan->tr_nll.assign(plan->tr_current.size(), 0.0);
+  if (!plan->tr_current.empty()) {
+    // The snapshot is dense: transition k advances row k of tr_states.
+    std::vector<int64_t> rows(plan->tr_current.size());
+    for (size_t k = 0; k < rows.size(); ++k) {
+      rows[k] = static_cast<int64_t>(k);
+    }
+    tg_->StepNllRows(plan->tr_current, plan->tr_next, rows,
+                     plan->tr_states.data(), plan->wt->data(),
+                     plan->tr_nll.data());
   }
-  for (size_t k = 0; k < tr_admitted.size(); ++k) {
-    sessions_.at(admitted[tr_admitted[k]]).nll += tr_nll[k];
+  plan->slot_nll.resize(plan->slot_of.size());
+  for (size_t dense = 0; dense < plan->slot_of.size(); ++dense) {
+    plan->slot_nll[dense] =
+        rp_->SegmentNllBatch(plan->slot_segments[dense],
+                             plan->slot_of[dense]);
   }
-  for (size_t dense = 0; dense < slot_of.size(); ++dense) {
-    const std::vector<double> nll =
-        rp_->SegmentNllBatch(slot_segments[dense], slot_of[dense]);
+}
+
+int64_t StreamingBatcher::CommitLocked(const BatchPlan& plan) {
+  const int64_t hd = tg_->config().hidden_dim;
+  // Write the advanced state rows back through a fresh row lookup — End()s
+  // of other sessions may have compacted the matrix (relocating rows) while
+  // we computed. In-flight rows themselves cannot have been released.
+  for (size_t k = 0; k < plan.tr_admitted.size(); ++k) {
+    Session& s = sessions_.at(plan.admitted[plan.tr_admitted[k]]);
+    s.nll += plan.tr_nll[k];
+    CAUSALTAD_CHECK_GE(s.row, 0);
+    std::copy(plan.tr_states.begin() + static_cast<int64_t>(k) * hd,
+              plan.tr_states.begin() + static_cast<int64_t>(k + 1) * hd,
+              states_.begin() + s.row * hd);
+  }
+  for (size_t dense = 0; dense < plan.slot_of.size(); ++dense) {
+    const std::vector<double>& nll = plan.slot_nll[dense];
     for (size_t k = 0; k < nll.size(); ++k) {
-      sessions_.at(admitted[slot_owners[dense][k]]).nll += nll[k];
+      sessions_.at(plan.admitted[plan.slot_owners[dense][k]]).nll += nll[k];
     }
   }
 
   // Emit scores, re-queue sessions with more points, release ended rows.
   const core::ScalingTable& table = model_->scaling_table();
-  for (size_t a = 0; a < admitted.size(); ++a) {
-    const SessionId id = admitted[a];
+  for (size_t a = 0; a < plan.admitted.size(); ++a) {
+    const SessionId id = plan.admitted[a];
     Session& s = sessions_.at(id);
+    s.in_flight = false;
     if (variant_ == core::ScoreVariant::kFull) {
-      s.scaling += table.log_scaling(points[a], s.table_slot);
+      s.scaling += table.log_scaling(plan.points[a], s.table_slot);
     }
-    s.last = points[a];
+    s.last = plan.points[a];
     s.has_last = true;
     if (s.emit_skip > 0) {
       // Prefix replay: the consumer already holds this score — the state
@@ -379,18 +440,25 @@ int64_t StreamingBatcher::StepLocked() {
       s.scores.push_back(s.base + s.nll - lambda_ * s.scaling);
     }
     if (!s.pending.empty()) {
-      s.in_ready = true;
-      // Carry the oldest remaining point's original enqueue time, not the
-      // re-queue time: a k-point burst must drain within ~max_delay_ms of
-      // each point's arrival, not wait k·max_delay_ms for its tail.
-      ReadyPushLocked(id, s.pending.front().enqueued_ms);
+      // A Push that landed while we computed may have re-queued the session
+      // already (it saw in_ready false); only queue it once.
+      if (!s.in_ready) {
+        s.in_ready = true;
+        // Carry the oldest remaining point's original enqueue time, not the
+        // re-queue time: a k-point burst must drain within ~max_delay_ms of
+        // each point's arrival, not wait k·max_delay_ms for its tail.
+        ReadyPushLocked(id, s.pending.front().enqueued_ms);
+      }
     } else if (s.ended) {
       ReleaseRowLocked(&s);
+      // End() during our compute could not forget the session (in flight);
+      // mirror its cleanup now that the score is committed.
+      MaybeForgetLocked(id);
     }
   }
   steps_fired_ += 1;
-  points_scored_ += static_cast<int64_t>(admitted.size());
-  return static_cast<int64_t>(admitted.size());
+  points_scored_ += static_cast<int64_t>(plan.admitted.size());
+  return static_cast<int64_t>(plan.admitted.size());
 }
 
 int64_t StreamingBatcher::active_rows() const {

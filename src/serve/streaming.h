@@ -205,8 +205,36 @@ class StreamingBatcher {
     double scaling = 0.0;
     int64_t emit_skip = 0;  // scores still to compute-but-not-queue (replay)
     bool in_ready = false;
+    /// A Step() admitted one of this session's points and has not committed
+    /// it yet. While set: the session cannot be admitted again (feed order),
+    /// its state row cannot be released, and the entry cannot be forgotten
+    /// — the in-flight compute still writes back through it.
+    bool in_flight = false;
     std::deque<PendingPoint> pending;
     std::vector<double> scores;
+  };
+
+  /// One admitted batch between AdmitLocked and CommitLocked. Everything
+  /// the kernel pass reads is snapshotted or pinned here, so the compute
+  /// runs with the batcher mutex RELEASED: admitted ids and points, the
+  /// transition partition with a local copy of the involved state rows
+  /// (the shared matrix may be reallocated or compacted by concurrent
+  /// Begin/End while we compute), and a shared_ptr pin on the packed
+  /// output weights (a concurrent re-Fit may swap them).
+  struct BatchPlan {
+    std::vector<SessionId> admitted;
+    std::vector<roadnet::SegmentId> points;
+    // GRU-transition partition (row k of tr_states is transition k's state).
+    std::vector<roadnet::SegmentId> tr_current, tr_next;
+    std::vector<size_t> tr_admitted;
+    std::vector<float> tr_states;
+    std::vector<double> tr_nll;
+    std::shared_ptr<const std::vector<float>> wt;
+    // kScalingOnly partition, batched per departure slot.
+    std::vector<std::vector<roadnet::SegmentId>> slot_segments;
+    std::vector<std::vector<size_t>> slot_owners;
+    std::vector<int> slot_of;
+    std::vector<std::vector<double>> slot_nll;
   };
 
   double Now() const;
@@ -215,7 +243,16 @@ class StreamingBatcher {
   PushStatus PushLocked(SessionId id, roadnet::SegmentId segment,
                         int64_t max_session_pending,
                         int64_t max_queued_points);
-  int64_t StepLocked();
+  /// Step phase 1 (under mu_): pop up to max_batch_rows ready sessions,
+  /// mark them in flight, and snapshot their compute inputs into `plan`.
+  void AdmitLocked(BatchPlan* plan);
+  /// Step phase 2 (NO lock held): the fused GRU advance + NLL kernels over
+  /// the snapshot. Touches no batcher state.
+  void ComputeUnlocked(BatchPlan* plan) const;
+  /// Step phase 3 (under mu_): write advanced state rows back (rows are
+  /// re-looked-up — compaction may have moved them), emit scores, requeue
+  /// or release sessions, clear in-flight marks. Returns points scored.
+  int64_t CommitLocked(const BatchPlan& plan);
   int64_t AllocRowLocked();
   void ReleaseRowLocked(Session* session);
   void MaybeForgetLocked(SessionId id);

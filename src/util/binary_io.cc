@@ -42,6 +42,11 @@ void BinaryWriter::WriteI64s(const std::vector<int64_t>& v) {
   WriteRaw(v.data(), v.size() * sizeof(int64_t));
 }
 
+void BinaryWriter::WriteBytes(const std::vector<int8_t>& v) {
+  WriteU64(v.size());
+  WriteRaw(v.data(), v.size());
+}
+
 Status BinaryWriter::Close() {
   out_.flush();
   if (!out_.good()) return Status::IoError("write failed for " + path_);
@@ -51,6 +56,10 @@ Status BinaryWriter::Close() {
 
 BinaryReader::BinaryReader(const std::string& path, uint32_t magic,
                            uint32_t expected_version)
+    : BinaryReader(path, magic, expected_version, expected_version) {}
+
+BinaryReader::BinaryReader(const std::string& path, uint32_t magic,
+                           uint32_t min_version, uint32_t max_version)
     : in_(path, std::ios::binary), path_(path) {
   if (!in_.good()) {
     Fail("cannot open");
@@ -62,7 +71,7 @@ BinaryReader::BinaryReader(const std::string& path, uint32_t magic,
   if (!ok_) return;
   if (got_magic != magic) {
     Fail("bad magic");
-  } else if (version_ != expected_version) {
+  } else if (version_ < min_version || version_ > max_version) {
     Fail("unsupported version");
   }
 }
@@ -149,6 +158,17 @@ std::vector<int64_t> BinaryReader::ReadI64s() {
   }
   std::vector<int64_t> v(n);
   ReadRaw(v.data(), n * sizeof(int64_t));
+  return v;
+}
+
+std::vector<int8_t> BinaryReader::ReadBytes() {
+  const uint64_t n = ReadU64();
+  if (!ok_ || n > kMaxContainer) {
+    Fail("bad vector length");
+    return {};
+  }
+  std::vector<int8_t> v(n);
+  ReadRaw(v.data(), n);
   return v;
 }
 

@@ -31,6 +31,7 @@ class BinaryWriter {
   void WriteFloats(const std::vector<float>& v);
   void WriteInts(const std::vector<int32_t>& v);
   void WriteI64s(const std::vector<int64_t>& v);
+  void WriteBytes(const std::vector<int8_t>& v);
 
   /// Flushes and reports any accumulated stream error.
   Status Close();
@@ -48,6 +49,12 @@ class BinaryReader {
   BinaryReader(const std::string& path, uint32_t magic,
                uint32_t expected_version);
 
+  /// Accepts any on-disk version in [min_version, max_version] — the opener
+  /// for formats that keep reading their older revisions (checkpoints).
+  /// Callers branch on version() for per-revision decoding.
+  BinaryReader(const std::string& path, uint32_t magic, uint32_t min_version,
+               uint32_t max_version);
+
   bool ok() const { return ok_; }
   const Status& status() const { return status_; }
   uint32_t version() const { return version_; }
@@ -61,6 +68,7 @@ class BinaryReader {
   std::vector<float> ReadFloats();
   std::vector<int32_t> ReadInts();
   std::vector<int64_t> ReadI64s();
+  std::vector<int8_t> ReadBytes();
 
  private:
   void ReadRaw(void* data, size_t n);

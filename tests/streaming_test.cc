@@ -8,9 +8,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/causal_tad.h"
@@ -481,6 +484,93 @@ TEST(StreamingBatcherTest, RowsRecycleAndCompactOnTripEnd) {
   ASSERT_EQ(scores.size(), 2u);
   EXPECT_NEAR(scores[1], causal->Score(trip, 2),
               Tol(causal->Score(trip, 2)));
+}
+
+TEST(StreamingBatcherTest, EightProducerSoakMatchesReference) {
+  // The Step lock split runs the fused kernels outside the batcher mutex:
+  // 8 producer threads push/end/poll their own sessions while two stepper
+  // threads drive Step() concurrently. Every session must receive exactly
+  // one score per pushed point, in order, matching Score(trip, k) — no
+  // loss, duplication, or cross-session corruption under contention.
+  const CausalTad* causal = FittedCausal();
+  ASSERT_NE(causal, nullptr);
+  std::vector<traj::Trip> pool = eval::Subsample(Data().id_test, 8, 13);
+  const auto detours = eval::Subsample(Data().id_detour, 4, 14);
+  pool.insert(pool.end(), detours.begin(), detours.end());
+
+  StreamingOptions options;
+  options.max_batch_rows = 8;  // forces many partial, contended batches
+  StreamingBatcher batcher(causal, options);
+
+  constexpr int kProducers = 8;
+  constexpr int kTripsPerProducer = 3;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(120);
+
+  std::atomic<bool> done{false};
+  std::atomic<bool> timed_out{false};
+  std::vector<std::thread> steppers;
+  for (int s = 0; s < 2; ++s) {
+    steppers.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        if (batcher.Step() == 0) std::this_thread::yield();
+      }
+      batcher.Flush();
+    });
+  }
+
+  // results[p][t] = scores for producer p's t-th trip.
+  std::vector<std::vector<std::vector<double>>> results(kProducers);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      results[p].resize(kTripsPerProducer);
+      for (int t = 0; t < kTripsPerProducer; ++t) {
+        const traj::Trip& trip =
+            pool[(p * kTripsPerProducer + t) % pool.size()];
+        StreamingSession session = batcher.Begin(trip);
+        for (int64_t k = 0; k < trip.route.size(); ++k) {
+          session.Push(trip.route.segments[k]);
+          if ((k & 3) == 0) std::this_thread::yield();
+        }
+        session.End();
+        std::vector<double>& out = results[p][t];
+        while (static_cast<int64_t>(out.size()) < trip.route.size()) {
+          const std::vector<double> scores = session.Poll();
+          out.insert(out.end(), scores.begin(), scores.end());
+          if (scores.empty()) {
+            if (std::chrono::steady_clock::now() > deadline) {
+              timed_out.store(true);
+              return;
+            }
+            std::this_thread::yield();
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : steppers) t.join();
+
+  ASSERT_FALSE(timed_out.load()) << "scores never drained within 120s";
+  EXPECT_EQ(batcher.tracked_sessions(), 0);
+  EXPECT_EQ(batcher.active_rows(), 0);
+  for (int p = 0; p < kProducers; ++p) {
+    for (int t = 0; t < kTripsPerProducer; ++t) {
+      const traj::Trip& trip =
+          pool[(p * kTripsPerProducer + t) % pool.size()];
+      const std::vector<double>& scores = results[p][t];
+      ASSERT_EQ(static_cast<int64_t>(scores.size()), trip.route.size())
+          << "producer " << p << " trip " << t;
+      for (size_t k = 0; k < scores.size(); ++k) {
+        const double reference =
+            causal->Score(trip, static_cast<int64_t>(k) + 1);
+        EXPECT_NEAR(scores[k], reference, Tol(reference))
+            << "producer " << p << " trip " << t << " k=" << k + 1;
+      }
+    }
+  }
 }
 
 }  // namespace
