@@ -87,6 +87,7 @@
 #include "net/fault.h"
 #include "net/router.h"
 #include "net/server.h"
+#include "obs/metrics.h"
 #include "serve/service.h"
 #include "serve/streaming.h"
 #include "util/stopwatch.h"
@@ -392,6 +393,62 @@ ServiceRow MeasureService(const std::string& city, const CausalTad* causal,
           row.max_abs_diff, std::abs(streamed[i][k] - reference[i][k]));
     }
   }
+  return row;
+}
+
+// ---------------------------------------------------------------------------
+// Metrics-overhead A/B ("fig6_metrics"): the identical 1-shard pumped
+// service run with the obs registry live vs obs::SetEnabled(false). The
+// instrumented hot path is one relaxed atomic per event, so the published
+// overhead_pct is the ceiling guard for src/obs/ (budget: <= 2%).
+// ---------------------------------------------------------------------------
+
+struct MetricsRow {
+  std::string city;
+  int64_t trips = 0;
+  int64_t points = 0;
+  double metrics_on_pps = 0.0;
+  double metrics_off_pps = 0.0;
+  double overhead_pct = 0.0;  // (off - on) / off, percent
+  double max_abs_diff = 0.0;
+};
+
+MetricsRow MeasureMetricsOverhead(
+    const std::string& city, const CausalTad* causal,
+    const std::vector<Trip>& trips,
+    const std::vector<std::vector<double>>& reference) {
+  MetricsRow row;
+  row.city = city;
+  // The per-event cost under test is one relaxed atomic, so the A/B needs
+  // a run long enough that scheduler noise does not swamp it: repeat the
+  // trip set so each timed run is tens of ms, not single-digit (each
+  // repeat is its own set of sessions; scores stay parity-checked).
+  constexpr int kRepeat = 8;
+  std::vector<Trip> big_trips;
+  std::vector<std::vector<double>> big_reference;
+  big_trips.reserve(trips.size() * kRepeat);
+  big_reference.reserve(reference.size() * kRepeat);
+  for (int r = 0; r < kRepeat; ++r) {
+    big_trips.insert(big_trips.end(), trips.begin(), trips.end());
+    big_reference.insert(big_reference.end(), reference.begin(),
+                         reference.end());
+  }
+  causaltad::obs::SetEnabled(true);
+  const ServiceRow on = MeasureService(city, causal, big_trips,
+                                       big_reference,
+                                       /*shards=*/1, /*pump=*/true);
+  causaltad::obs::SetEnabled(false);
+  const ServiceRow off = MeasureService(city, causal, big_trips,
+                                        big_reference,
+                                        /*shards=*/1, /*pump=*/true);
+  causaltad::obs::SetEnabled(true);
+  row.trips = on.trips;
+  row.points = on.points;
+  row.metrics_on_pps = on.pps;
+  row.metrics_off_pps = off.pps;
+  row.overhead_pct =
+      (off.pps - on.pps) / std::max(off.pps, 1e-12) * 100.0;
+  row.max_abs_diff = std::max(on.max_abs_diff, off.max_abs_diff);
   return row;
 }
 
@@ -906,6 +963,7 @@ ClusterRow MeasureCluster(const std::string& city, const CausalTad* causal,
 void WriteJson(const std::string& path, causaltad::eval::Scale scale,
                const std::vector<ThroughputRow>& rows,
                const std::vector<ServiceRow>& service_rows,
+               const std::vector<MetricsRow>& metrics_rows,
                const std::vector<WireRow>& wire_rows,
                const std::vector<FaultRow>& fault_rows,
                const std::vector<ClusterRow>& cluster_rows) {
@@ -949,6 +1007,19 @@ void WriteJson(const std::string& path, causaltad::eval::Scale scale,
         static_cast<long long>(r.rejected_session_full),
         static_cast<long long>(r.rejected_shard_full), r.max_abs_diff,
         i + 1 < service_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"fig6_metrics\": [\n");
+  for (size_t i = 0; i < metrics_rows.size(); ++i) {
+    const MetricsRow& r = metrics_rows[i];
+    std::fprintf(
+        f,
+        "    {\"city\": \"%s\", \"trips\": %lld, \"points\": %lld, "
+        "\"metrics_on_pps\": %.0f, \"metrics_off_pps\": %.0f, "
+        "\"overhead_pct\": %.2f, \"max_abs_diff\": %.3g}%s\n",
+        r.city.c_str(), static_cast<long long>(r.trips),
+        static_cast<long long>(r.points), r.metrics_on_pps,
+        r.metrics_off_pps, r.overhead_pct, r.max_abs_diff,
+        i + 1 < metrics_rows.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n  \"fig6_wire\": [\n");
   for (size_t i = 0; i < wire_rows.size(); ++i) {
@@ -1029,6 +1100,7 @@ int main() {
 
   std::vector<ThroughputRow> rows;
   std::vector<ServiceRow> service_rows;
+  std::vector<MetricsRow> metrics_rows;
   std::vector<WireRow> wire_rows;
   std::vector<FaultRow> fault_rows;
   TablePrinter table({"City", "Method", "rescore p/s", "increm p/s",
@@ -1129,6 +1201,10 @@ int main() {
                                               pump));
         if (shards == 1 && pump) inproc_pps = service_rows.back().pps;
       }
+      // Metrics on/off A/B on the same trips and reference: the published
+      // overhead must stay within the src/obs/ budget (<= 2%).
+      metrics_rows.push_back(MeasureMetricsOverhead(
+          panel.config.name, causal, service_trips, service_reference));
     }
     wire_rows.push_back(MeasureWire(panel.config.name, causal,
                                     &data.city.network, service_trips,
@@ -1193,6 +1269,19 @@ int main() {
            TablePrinter::Fmt(r.max_abs_diff, 7)});
     }
   }
+  if (!wire_only && !cluster_only && !metrics_rows.empty()) {
+    std::printf("\n== Fig. 6 — metrics overhead A/B (registry live vs "
+                "obs::SetEnabled(false); 1 shard, pump on) ==\n\n");
+    TablePrinter metrics_table({"City", "on p/s", "off p/s", "overhead %",
+                                "max diff"});
+    metrics_table.PrintHeader();
+    for (const MetricsRow& r : metrics_rows) {
+      metrics_table.PrintRow({r.city, TablePrinter::Fmt(r.metrics_on_pps, 0),
+                              TablePrinter::Fmt(r.metrics_off_pps, 0),
+                              TablePrinter::Fmt(r.overhead_pct, 2),
+                              TablePrinter::Fmt(r.max_abs_diff, 7)});
+    }
+  }
   if (!cluster_only) {
   std::printf("\n== Fig. 6 — wire front-end (net::Client -> net::Server "
               "loopback -> StreamingService) ==\n\n");
@@ -1249,6 +1338,6 @@ int main() {
   std::printf("\n");
   const char* json_env = std::getenv("CAUSALTAD_FIG6_JSON");
   WriteJson(json_env != nullptr ? json_env : "BENCH_fig6.json", scale, rows,
-            service_rows, wire_rows, fault_rows, cluster_rows);
+            service_rows, metrics_rows, wire_rows, fault_rows, cluster_rows);
   return 0;
 }

@@ -126,6 +126,39 @@ Client::Client(int fd, ClientOptions options)
   }
   rng_ = util::Rng(Mix(client_id_));
   if (options_.fault != nullptr) fault_conn_ = options_.fault->Attach();
+  obs::Registry* registry = options_.registry != nullptr
+                                ? options_.registry
+                                : obs::Registry::Default();
+  m_pushes_sent_ = registry->GetCounter("client_pushes_sent_total");
+  m_retransmits_ = registry->GetCounter("client_retransmits_total");
+  m_rejects_seen_ = registry->GetCounter("client_rejects_seen_total");
+  m_polls_sent_ = registry->GetCounter("client_polls_sent_total");
+  m_frames_received_ = registry->GetCounter("client_frames_received_total");
+  m_bytes_sent_ = registry->GetCounter("client_bytes_sent_total");
+  m_bytes_received_ = registry->GetCounter("client_bytes_received_total");
+  m_reconnects_ = registry->GetCounter("client_reconnects_total");
+  m_dup_scores_ = registry->GetCounter("client_dup_scores_total");
+  if (options_.tracer != nullptr && options_.trace_slow_ms > 0.0) {
+    options_.tracer->set_slow_threshold_ms(options_.trace_slow_ms);
+  }
+}
+
+uint64_t Client::MaybeMintTraceId() {
+  if (options_.tracer == nullptr || options_.trace_sample_period <= 0) {
+    return 0;
+  }
+  if (--trace_countdown_ > 0) return 0;
+  trace_countdown_ = options_.trace_sample_period;
+  uint64_t id = Mix(client_id_ ^ Mix(++trace_nonce_));
+  if (id == 0) id = 1;
+  return id;
+}
+
+void Client::RecordRootSpan(const SentPoint& point) {
+  if (point.trace_id == 0 || options_.tracer == nullptr) return;
+  const double now = obs::TraceNowMs();
+  options_.tracer->Record(point.trace_id, "client_push_rtt", "client",
+                          point.sent_ms, now - point.sent_ms, /*root=*/true);
 }
 
 Client::~Client() {
@@ -156,6 +189,7 @@ util::Status Client::SendFrame(const Frame& frame) {
               fault_conn_.get());
   if (status.ok()) {
     stats_.bytes_sent += static_cast<int64_t>(bytes.size());
+    m_bytes_sent_->Inc(static_cast<int64_t>(bytes.size()));
     return util::Status::Ok();
   }
   // The frame itself is NOT re-sent after a successful recovery: pushes are
@@ -180,10 +214,12 @@ util::Status Client::ReadOnce(double timeout_ms, bool* got_bytes) {
   if (r.n > 0) {
     *got_bytes = true;
     stats_.bytes_received += r.n;
+    m_bytes_received_->Inc(r.n);
     decoder_.Feed(buf, static_cast<size_t>(r.n));
     Frame frame;
     while (fatal_.ok() && !transport_broken_ && decoder_.Next(&frame)) {
       ++stats_.frames_received;
+      m_frames_received_->Inc();
       HandleFrame(frame);
     }
     if (!fatal_.ok()) return fatal_;  // protocol latch (server Error frame)
@@ -243,6 +279,7 @@ void Client::HandleFrame(const Frame& frame) {
           static_cast<size_t>(session.delivered - offset),
           frame.scores.size());
       stats_.dup_scores += static_cast<int64_t>(dup);
+      m_dup_scores_->Inc(static_cast<int64_t>(dup));
       if (dup == frame.scores.size()) return;
       const std::vector<double> fresh(frame.scores.begin() + dup,
                                       frame.scores.end());
@@ -256,6 +293,7 @@ void Client::HandleFrame(const Frame& frame) {
       for (size_t k = 0; k < fresh.size(); ++k) {
         // Scores acknowledge the oldest in-flight points in feed order.
         if (!session.pending.empty()) {
+          RecordRootSpan(session.pending.front());
           session.pending.pop_front();
           --total_inflight_;
         }
@@ -293,6 +331,7 @@ void Client::HandleFrame(const Frame& frame) {
           return;  // genuinely stale: a transmission we already resent
         }
         ++stats_.rejects_seen;
+        m_rejects_seen_->Inc();
         if (reject_cb_) reject_cb_(frame.session, frame.reason);
         if (frame.reason == RejectReason::kShutdown || !options_.auto_retry) {
           total_inflight_ -= static_cast<int64_t>(session.pending.size());
@@ -311,6 +350,7 @@ void Client::HandleFrame(const Frame& frame) {
         return;
       }
       ++stats_.rejects_seen;
+      m_rejects_seen_->Inc();
       if (reject_cb_) reject_cb_(frame.session, frame.reason);
       if (frame.wire_seq == probe_wire_seq_) {
         // TryPush probe: record the verdict and drop the point — a probe is
@@ -419,6 +459,8 @@ util::Status Client::RunResends() {
         session.replay_wire[seq] = push.wire_seq;
         ++stats_.pushes_sent;
         ++stats_.retransmits;
+        m_pushes_sent_->Inc();
+        m_retransmits_->Inc();
         CAUSALTAD_RETURN_IF_ERROR(SendFrame(push));
       }
       if (session.resend_from < 0 && !session.pending.empty()) {
@@ -438,8 +480,11 @@ util::Status Client::RunResends() {
       push.seq = point.seq;
       push.wire_seq = point.wire_seq;
       push.segment = point.segment;
+      push.trace_id = point.trace_id;  // the trace follows the point
       ++stats_.pushes_sent;
       ++stats_.retransmits;
+      m_pushes_sent_->Inc();
+      m_retransmits_->Inc();
       CAUSALTAD_RETURN_IF_ERROR(SendFrame(push));
     }
   }
@@ -458,6 +503,7 @@ util::Status Client::PollBarrier(uint64_t session) {
       poll_frame.offset = static_cast<uint64_t>(it->second.delivered);
     }
     ++stats_.polls_sent;
+    m_polls_sent_->Inc();
     waiting_token_ = poll_frame.token;
     token_seen_ = false;
     const uint64_t sent_epoch = epoch_;
@@ -488,6 +534,7 @@ util::Status Client::PollBarrier(uint64_t session) {
       if (!token_seen_ && elapsed - last_send_ms > kBarrierResendMs) {
         status = SendFrame(poll_frame);  // same token: idempotent
         ++stats_.polls_sent;
+        m_polls_sent_->Inc();
         if (!status.ok()) {
           waiting_token_ = 0;
           return status;
@@ -610,6 +657,63 @@ util::Status Client::Admin(const std::string& command, uint64_t* result,
   }
 }
 
+util::Status Client::ScrapeStats(std::string* text) {
+  if (!fatal_.ok()) return fatal_;
+  util::Stopwatch watch;
+  while (true) {
+    Frame scrape;
+    scrape.type = FrameType::kStats;
+    scrape.token = next_token_++;
+    // The reply is an AdminAck, so the scrape rides the Admin barrier state
+    // (one outstanding command per connection, same as Admin itself).
+    awaiting_admin_ = true;
+    admin_token_ = scrape.token;
+    const uint64_t sent_epoch = epoch_;
+    util::Status status = SendFrame(scrape);
+    if (!status.ok()) {
+      awaiting_admin_ = false;
+      return status;
+    }
+    if (epoch_ != sent_epoch) continue;  // died with the old conn: re-send
+    double last_send_ms = watch.ElapsedMillis();
+    while (awaiting_admin_) {
+      if (!fatal_.ok()) {
+        awaiting_admin_ = false;
+        return fatal_;
+      }
+      bool got = false;
+      status = ReadOnce(std::min(50.0, options_.timeout_ms), &got);
+      if (!status.ok()) {
+        awaiting_admin_ = false;
+        return status;
+      }
+      if (epoch_ != sent_epoch) break;  // reconnected mid-wait: re-send
+      const double elapsed = watch.ElapsedMillis();
+      if (awaiting_admin_ && elapsed > options_.timeout_ms) {
+        awaiting_admin_ = false;
+        return util::Status::IoError("timed out waiting for a stats ack");
+      }
+      if (awaiting_admin_ && elapsed - last_send_ms > kBarrierResendMs) {
+        status = SendFrame(scrape);  // same token: a re-scrape is harmless
+        if (!status.ok()) {
+          awaiting_admin_ = false;
+          return status;
+        }
+        if (epoch_ != sent_epoch) break;
+        last_send_ms = elapsed;
+      }
+    }
+    if (!awaiting_admin_ && epoch_ == sent_epoch) {
+      if (admin_result_ != static_cast<uint64_t>(AdminStatus::kOk)) {
+        return util::Status::FailedPrecondition("stats scrape refused: " +
+                                                admin_message_);
+      }
+      if (text != nullptr) *text = admin_message_;
+      return util::Status::Ok();
+    }
+  }
+}
+
 util::Status Client::Migrate() {
   if (!fatal_.ok()) return fatal_;
   if (!options_.reconnect) {
@@ -666,6 +770,7 @@ util::Status Client::Recover(util::Status cause) {
     const util::Status handshake = ResumeHandshake();
     if (handshake.ok()) {
       ++stats_.reconnects;
+      m_reconnects_->Inc();
       stats_.last_recovery_ms = watch.ElapsedMillis();
       in_recovery_ = false;
       return util::Status::Ok();
@@ -764,6 +869,8 @@ util::Status Client::ResumeSession(uint64_t id, Session* session) {
     session->replay_wire[seq] = push.wire_seq;
     ++stats_.pushes_sent;
     ++stats_.retransmits;
+    m_pushes_sent_->Inc();
+    m_retransmits_->Inc();
     CAUSALTAD_RETURN_IF_ERROR(SendFrame(push));
   }
   if (session->broken) {
@@ -786,8 +893,11 @@ util::Status Client::ResumeSession(uint64_t id, Session* session) {
     push.seq = point.seq;
     push.wire_seq = point.wire_seq;
     push.segment = point.segment;
+    push.trace_id = point.trace_id;  // the trace follows the point
     ++stats_.pushes_sent;
     ++stats_.retransmits;
+    m_pushes_sent_->Inc();
+    m_retransmits_->Inc();
     CAUSALTAD_RETURN_IF_ERROR(SendFrame(push));
   }
   session->resend_from = -1;
@@ -823,6 +933,7 @@ util::Status Client::DrainTo(int64_t target, uint64_t focus_session) {
       poll_frame.offset =
           static_cast<uint64_t>(sessions_[ids[i]].delivered);
       ++stats_.polls_sent;
+      m_polls_sent_->Inc();
       CAUSALTAD_RETURN_IF_ERROR(SendFrame(poll_frame));
     }
     CAUSALTAD_RETURN_IF_ERROR(PollBarrier(ids.back()));
@@ -874,7 +985,8 @@ uint64_t Client::Begin(roadnet::SegmentId source,
   return id;
 }
 
-util::Status Client::Push(uint64_t session, roadnet::SegmentId segment) {
+util::Status Client::Push(uint64_t session, roadnet::SegmentId segment,
+                          uint64_t trace_id) {
   if (!fatal_.ok()) return fatal_;
   const auto it = sessions_.find(session);
   if (it == sessions_.end() || it->second.ended) {
@@ -892,6 +1004,8 @@ util::Status Client::Push(uint64_t session, roadnet::SegmentId segment) {
   point.seq = state.next_seq++;
   point.wire_seq = next_wire_seq_++;
   point.segment = segment;
+  point.trace_id = trace_id != 0 ? trace_id : MaybeMintTraceId();
+  if (point.trace_id != 0) point.sent_ms = obs::TraceNowMs();
   state.pending.push_back(point);
   ++total_inflight_;
   if (options_.reconnect && !state.journal_overflow) {
@@ -909,7 +1023,9 @@ util::Status Client::Push(uint64_t session, roadnet::SegmentId segment) {
   push.seq = point.seq;
   push.wire_seq = point.wire_seq;
   push.segment = segment;
+  push.trace_id = point.trace_id;
   ++stats_.pushes_sent;
+  m_pushes_sent_->Inc();
   CAUSALTAD_RETURN_IF_ERROR(SendFrame(push));
   if (total_inflight_ >= options_.max_inflight) {
     // Window full: drain to half so pushes batch between drains.
@@ -939,16 +1055,20 @@ util::StatusOr<PushOutcome> Client::TryPush(uint64_t session,
   point.seq = state.next_seq;
   point.wire_seq = next_wire_seq_++;
   point.segment = segment;
+  point.trace_id = MaybeMintTraceId();
+  if (point.trace_id != 0) point.sent_ms = obs::TraceNowMs();
   Frame push;
   push.type = FrameType::kPush;
   push.session = session;
   push.seq = point.seq;
   push.wire_seq = point.wire_seq;
   push.segment = segment;
+  push.trace_id = point.trace_id;
   state.pending.push_back(point);
   ++state.next_seq;
   ++total_inflight_;
   ++stats_.pushes_sent;
+  m_pushes_sent_->Inc();
   if (options_.reconnect && !state.journal_overflow) {
     state.journal.push_back(segment);
     if (static_cast<int64_t>(state.journal.size()) >

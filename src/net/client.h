@@ -11,6 +11,8 @@
 
 #include "net/fault.h"
 #include "net/frame.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "roadnet/road_network.h"
 #include "util/random.h"
 #include "util/status.h"
@@ -83,6 +85,24 @@ struct ClientOptions {
   /// Deterministic fault injection at this client's socket boundary.
   /// nullptr = no faults. Must outlive the client.
   FaultInjector* fault = nullptr;
+
+  // --- Observability (see src/obs/README.md) ---
+
+  /// Metrics registry the client_* counters register into.
+  /// Null = obs::Registry::Default().
+  obs::Registry* registry = nullptr;
+  /// Span sink for sampled traces. Null disables tracing entirely (no ids
+  /// are minted, pushes stay v3-sized on the wire).
+  obs::Tracer* tracer = nullptr;
+  /// Mint a trace id on every Nth Push/TryPush (1 = every push, 0 = never).
+  /// The id rides the v4 Push extension through routers to backend shards;
+  /// the client records the root client_push_rtt span when the point's
+  /// score arrives.
+  int64_t trace_sample_period = 0;
+  /// Convenience: when > 0 and tracer is set, forwarded to
+  /// tracer->set_slow_threshold_ms() at construction — root spans past it
+  /// capture their full chains into the tracer's slow log.
+  double trace_slow_ms = 0.0;
 };
 
 /// Client-observed outcome of a single push attempt (TryPush).
@@ -113,7 +133,10 @@ double BackoffDelayMs(int attempt, double base_ms, double max_ms,
 double DecorrelatedBackoffMs(double prev_ms, double base_ms, double max_ms,
                              util::Rng* rng);
 
-/// Wire counters kept by the client.
+/// Wire counters kept by the client. The struct is the per-instance
+/// snapshot (stats() returns it by reference); every increment is mirrored
+/// into client_* registry counters for the exposition, so fleet scrapes and
+/// per-client assertions read the same events.
 struct ClientStats {
   int64_t pushes_sent = 0;   // includes retransmissions
   int64_t retransmits = 0;   // go-back-N + resume replays
@@ -185,8 +208,11 @@ class Client {
   /// Feeds the session's next observed point under window flow control;
   /// blocks draining scores while the window is full. With auto_retry,
   /// retryable rejects are retransmitted in order and the call only fails
-  /// on terminal conditions (shutdown, connection error).
-  util::Status Push(uint64_t session, roadnet::SegmentId segment);
+  /// on terminal conditions (shutdown, connection error). A nonzero
+  /// `trace_id` forwards an existing trace (router legs); 0 lets the
+  /// client's own sampling mint one.
+  util::Status Push(uint64_t session, roadnet::SegmentId segment,
+                    uint64_t trace_id = 0);
 
   /// One push attempt, synchronously barriered: returns what the server did
   /// with exactly this point. Never retransmits (regardless of auto_retry);
@@ -221,6 +247,13 @@ class Client {
   util::Status Admin(const std::string& command, uint64_t* result,
                      std::string* message);
 
+  /// One metrics scrape round trip: sends a Stats frame and barriers on the
+  /// AdminAck carrying the peer's text exposition (a server answers with
+  /// its own registry; a router answers with the aggregated fleet view).
+  /// Requires the connection's tenant to be admin-authorized. Idempotent
+  /// under resend like Admin.
+  util::Status ScrapeStats(std::string* text);
+
   /// Administrative migration: force a reconnect through the dialer even
   /// though the current transport is healthy — the dialer picks the new
   /// destination, and every live session is carried over by the normal
@@ -248,6 +281,9 @@ class Client {
     uint64_t seq = 0;
     uint64_t wire_seq = 0;  // latest transmission; stale rejects mismatch
     roadnet::SegmentId segment = roadnet::kInvalidSegment;
+    uint64_t trace_id = 0;  // nonzero on sampled points; survives resends
+    double sent_ms = 0.0;   // first-transmission time: the root span's
+                            // start, so retries count into the RTT
   };
   struct Session {
     uint64_t next_seq = 0;
@@ -302,6 +338,11 @@ class Client {
   util::Status ResumeSession(uint64_t id, Session* session);
   int Dial();
   void SleepMs(double ms);
+  /// Mints a nonzero trace id for this push when sampling selects it
+  /// (options.tracer set, trace_sample_period > 0), else returns 0.
+  uint64_t MaybeMintTraceId();
+  /// Records the root client_push_rtt span for a scored point.
+  void RecordRootSpan(const SentPoint& point);
 
   int fd_ = -1;
   ClientOptions options_;
@@ -327,6 +368,22 @@ class Client {
   std::string admin_message_;
   util::Status fatal_;
   ClientStats stats_;
+  // Registry mirrors of the ClientStats counters (client_* series). The
+  // struct stays authoritative for the per-instance stats() snapshot; the
+  // mirrors feed the shared exposition. Bound in the constructor.
+  obs::Counter* m_pushes_sent_ = nullptr;
+  obs::Counter* m_retransmits_ = nullptr;
+  obs::Counter* m_rejects_seen_ = nullptr;
+  obs::Counter* m_polls_sent_ = nullptr;
+  obs::Counter* m_frames_received_ = nullptr;
+  obs::Counter* m_bytes_sent_ = nullptr;
+  obs::Counter* m_bytes_received_ = nullptr;
+  obs::Counter* m_reconnects_ = nullptr;
+  obs::Counter* m_dup_scores_ = nullptr;
+  // Trace sampling state: pushes since the last minted id, and a nonce
+  // mixed with client_id so two clients never collide on trace ids.
+  int64_t trace_countdown_ = 0;
+  uint64_t trace_nonce_ = 0;
   int64_t total_inflight_ = 0;
   ScoreCallback score_cb_;
   RejectCallback reject_cb_;

@@ -56,6 +56,40 @@ const char* ErrorCodeName(ErrorCode code) {
   return "unknown";
 }
 
+const char* FrameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kHello:
+      return "hello";
+    case FrameType::kBegin:
+      return "begin";
+    case FrameType::kPush:
+      return "push";
+    case FrameType::kEnd:
+      return "end";
+    case FrameType::kPoll:
+      return "poll";
+    case FrameType::kScoreDelta:
+      return "score_delta";
+    case FrameType::kPushReject:
+      return "push_reject";
+    case FrameType::kError:
+      return "error";
+    case FrameType::kResume:
+      return "resume";
+    case FrameType::kResumeAck:
+      return "resume_ack";
+    case FrameType::kHeartbeat:
+      return "heartbeat";
+    case FrameType::kAdmin:
+      return "admin";
+    case FrameType::kAdminAck:
+      return "admin_ack";
+    case FrameType::kStats:
+      return "stats";
+  }
+  return "unknown";
+}
+
 void EncodeFrame(const Frame& frame, std::vector<uint8_t>* out) {
   const size_t length_at = out->size();
   util::BufferWriter w(out);
@@ -79,6 +113,9 @@ void EncodeFrame(const Frame& frame, std::vector<uint8_t>* out) {
       w.WriteU64(frame.seq);
       w.WriteU64(frame.wire_seq);
       w.WriteI32(frame.segment);
+      // Optional trace extension: appended only for sampled pushes, so the
+      // common un-traced frame keeps its v3 size.
+      if (frame.trace_id != 0) w.WriteU64(frame.trace_id);
       break;
     case FrameType::kEnd:
       w.WriteU64(frame.session);
@@ -129,6 +166,9 @@ void EncodeFrame(const Frame& frame, std::vector<uint8_t>* out) {
       w.WriteU64(frame.seq);
       w.WriteString(frame.message);
       break;
+    case FrameType::kStats:
+      w.WriteU64(frame.token);
+      break;
   }
   const uint32_t payload =
       static_cast<uint32_t>(out->size() - length_at - sizeof(uint32_t));
@@ -165,6 +205,10 @@ util::StatusOr<Frame> DecodeFramePayload(const uint8_t* payload, size_t size) {
       frame.seq = r.ReadU64();
       frame.wire_seq = r.ReadU64();
       frame.segment = r.ReadI32();
+      // Optional trace extension: a v4 Push may carry a trailing trace id.
+      // A partial tail (1-7 bytes) fails ReadU64 and falls through to the
+      // truncation error below — garbage never parses as a trace.
+      if (r.ok() && r.remaining() > 0) frame.trace_id = r.ReadU64();
       break;
     case FrameType::kEnd:
       frame.session = r.ReadU64();
@@ -224,6 +268,9 @@ util::StatusOr<Frame> DecodeFramePayload(const uint8_t* payload, size_t size) {
       frame.token = r.ReadU64();
       frame.seq = r.ReadU64();
       frame.message = r.ReadString();
+      break;
+    case FrameType::kStats:
+      frame.token = r.ReadU64();
       break;
     default:
       return util::Status::InvalidArgument("unknown frame type " +

@@ -18,7 +18,11 @@ namespace net {
 /// carry cumulative score offsets, and Resume/ResumeAck/Heartbeat exist.
 /// v3: fleet administration — Admin/AdminAck carry staged model swaps and
 /// drain commands so a router can roll changes across backends.
-inline constexpr uint8_t kWireVersion = 3;
+/// v4: observability — Push carries an OPTIONAL trailing trace id (absent
+/// when 0, so un-sampled traffic pays zero wire bytes) and Stats asks for a
+/// metrics exposition (answered with an AdminAck whose message is the
+/// exposition text).
+inline constexpr uint8_t kWireVersion = 4;
 
 /// Hard cap on a frame's payload (version + type + fields). An incoming
 /// length prefix above this is a protocol error — the decoder fails fast
@@ -51,6 +55,9 @@ enum class FrameType : uint8_t {
   kAdminAck = 13,   // {token, seq, message} — seq is an AdminStatus; the ack
                     //  echoes the Admin's token (stage acks are deferred
                     //  until the background load finishes)
+  kStats = 14,      // scrape request: {token} — answered with an AdminAck
+                    //  whose message is the obs::Registry text exposition
+                    //  (the router answers with its aggregated fleet view)
 };
 
 /// Result of an Admin command, carried in kAdminAck's seq field.
@@ -83,6 +90,8 @@ enum class ErrorCode : uint8_t {
 
 const char* RejectReasonName(RejectReason reason);
 const char* ErrorCodeName(ErrorCode code);
+/// snake_case name for metric labels ("push", "score_delta", ...).
+const char* FrameTypeName(FrameType type);
 
 /// One decoded wire message: the type tag plus the union of all message
 /// fields (unused fields keep their defaults — a tagged struct keeps the
@@ -103,6 +112,11 @@ struct Frame {
                           // scores below it); ResumeAck: replay-from seq
   uint64_t resume_key = 0;  // Begin/Resume: tenant-scoped session identity
                             // surviving reconnects (0 = not resumable)
+  uint64_t trace_id = 0;  // Push: sampled trace identity, carried through
+                          // router legs to the backend shard. OPTIONAL on
+                          // the wire: encoded only when nonzero (a trailing
+                          // extension v4 decoders read when present), so
+                          // un-sampled pushes cost nothing extra.
 
   roadnet::SegmentId segment = roadnet::kInvalidSegment;      // Push
   roadnet::SegmentId source = roadnet::kInvalidSegment;       // Begin/Resume

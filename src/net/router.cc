@@ -96,6 +96,22 @@ Router::Router(std::vector<RouterBackend> backends, RouterOptions options)
     legs_on_[i].store(0, std::memory_order_relaxed);
   }
   probe_failures_consecutive_.assign(n, 0);
+  registry_ = options_.registry != nullptr ? options_.registry
+                                           : obs::Registry::Default();
+  connections_accepted_.Bind(registry_, "router_connections_accepted_total");
+  connections_active_.Bind(registry_, "router_connections_active");
+  sessions_opened_.Bind(registry_, "router_sessions_opened_total");
+  sessions_resumed_.Bind(registry_, "router_sessions_resumed_total");
+  failovers_.Bind(registry_, "router_failovers_total");
+  migrations_.Bind(registry_, "router_migrations_total");
+  upstream_reconnects_.Bind(registry_, "router_upstream_reconnects_total");
+  dup_scores_dropped_.Bind(registry_, "router_dup_scores_dropped_total");
+  scores_forwarded_.Bind(registry_, "router_scores_forwarded_total");
+  health_probes_.Bind(registry_, "router_health_probes_total");
+  probe_failures_.Bind(registry_, "router_probe_failures_total");
+  swaps_rolled_.Bind(registry_, "router_swaps_rolled_total");
+  auth_failures_.Bind(registry_, "router_auth_failures_total");
+  backends_dead_gauge_ = registry_->GetGauge("router_backends_dead");
   const int vnodes = std::max(1, options_.virtual_nodes);
   ring_.reserve(static_cast<size_t>(n) * vnodes);
   for (int i = 0; i < n; ++i) {
@@ -193,8 +209,8 @@ int Router::AddLoopbackConnection() {
 
 void Router::SpawnHandler(int fd) {
   const uint64_t id = next_conn_id_.fetch_add(1, std::memory_order_relaxed);
-  connections_accepted_.fetch_add(1, std::memory_order_relaxed);
-  connections_active_.fetch_add(1, std::memory_order_relaxed);
+  connections_accepted_.Inc();
+  connections_active_.Add(1);
   std::lock_guard<std::mutex> lock(threads_mu_);
   live_ds_fds_.insert(fd);
   handler_threads_.emplace_back([this, fd, id] { HandlerMain(fd, id); });
@@ -230,6 +246,11 @@ bool Router::BackendDraining(int backend) const {
 
 void Router::MarkDead(int backend, bool dead) {
   dead_[backend].store(dead, std::memory_order_release);
+  int64_t dead_count = 0;
+  for (int i = 0; i < num_backends(); ++i) {
+    if (dead_[i].load(std::memory_order_acquire)) ++dead_count;
+  }
+  backends_dead_gauge_->Set(dead_count);
 }
 
 int Router::PickBackend(uint64_t hash) const {
@@ -261,7 +282,7 @@ int Router::DialUpstream(Leg* leg) {
     if (fd < 0) continue;  // unreachable before health noticed: next peer
     if (leg->current != cand) {
       if (cand != leg->home) {
-        failovers_.fetch_add(1, std::memory_order_relaxed);
+        failovers_.Inc();
       }
       if (leg->current >= 0) {
         legs_on_[leg->current].fetch_sub(1, std::memory_order_acq_rel);
@@ -321,7 +342,7 @@ void Router::HealthMain() {
 }
 
 void Router::ProbeBackend(int backend) {
-  health_probes_.fetch_add(1, std::memory_order_relaxed);
+  health_probes_.Inc();
   bool ok = false;
   const int fd = DialBackendFd(backend);
   if (fd >= 0) {
@@ -338,12 +359,12 @@ void Router::ProbeBackend(int backend) {
   }
   if (ok) {
     probe_failures_consecutive_[backend] = 0;
-    dead_[backend].store(false, std::memory_order_release);
+    MarkDead(backend, false);
   } else {
-    probe_failures_.fetch_add(1, std::memory_order_relaxed);
+    probe_failures_.Inc();
     if (++probe_failures_consecutive_[backend] >=
         options_.health_failure_threshold) {
-      dead_[backend].store(true, std::memory_order_release);
+      MarkDead(backend, true);
     }
   }
 }
@@ -438,9 +459,76 @@ util::Status Router::RollSwap(const std::string& tag) {
       return util::Status::Internal("commit failed on backend " +
                                     std::to_string(i) + ": " + message);
     }
-    swaps_rolled_.fetch_add(1, std::memory_order_relaxed);
+    swaps_rolled_.Inc();
   }
   return util::Status::Ok();
+}
+
+namespace {
+
+// Re-labels one backend's exposition for the fleet view: every series line
+// gains backend="<i>" as its first label; the backend's own header comment
+// is dropped (the fleet view carries one).
+std::string InjectBackendLabel(const std::string& text, int backend) {
+  const std::string label = "backend=\"" + std::to_string(backend) + "\"";
+  std::string out;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const size_t brace = line.find('{');
+    const size_t space = line.find(' ');
+    if (brace != std::string::npos &&
+        (space == std::string::npos || brace < space)) {
+      out += line.substr(0, brace + 1) + label + "," + line.substr(brace + 1);
+    } else if (space != std::string::npos) {
+      out += line.substr(0, space) + "{" + label + "}" + line.substr(space);
+    } else {
+      out += line;  // unrecognized line shape: pass through untouched
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Router::ScrapeFleet() {
+  std::string out = "# causaltad_metrics v1\n";
+  for (int i = 0; i < num_backends(); ++i) {
+    const int fd = DialBackendFd(i);
+    if (fd < 0) {
+      out += "# backend " + std::to_string(i) + ": unreachable\n";
+      continue;
+    }
+    ClientOptions sopts;
+    sopts.tenant = options_.admin_tenant.empty() ? options_.upstream.tenant
+                                                 : options_.admin_tenant;
+    sopts.auth_token = options_.admin_tenant.empty()
+                           ? options_.upstream.auth_token
+                           : options_.admin_token;
+    sopts.reconnect = false;
+    sopts.timeout_ms = options_.scrape_timeout_ms;
+    auto scraper = Client::FromFd(fd, std::move(sopts));
+    std::string text;
+    util::Status st = scraper->Hello();
+    if (st.ok()) st = scraper->ScrapeStats(&text);
+    if (!st.ok()) {
+      out += "# backend " + std::to_string(i) +
+             ": scrape failed: " + st.message() + "\n";
+      continue;
+    }
+    out += InjectBackendLabel(text, i);
+  }
+  // The router's own series, unlabeled — router_* names are disjoint from
+  // the backends' server_*/service_* names, so the fleet view stays flat.
+  const std::string own = registry_->ExpositionText();
+  const size_t first_nl = own.find('\n');
+  out += first_nl == std::string::npos ? own : own.substr(first_nl + 1);
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -486,14 +574,14 @@ void Router::HandlerMain(int fd, uint64_t conn_id) {
     live_ds_fds_.erase(fd);
   }
   close(fd);
-  connections_active_.fetch_sub(1, std::memory_order_relaxed);
+  connections_active_.Add(-1);
 }
 
 void Router::RetireLegStats(const Leg& leg) {
   if (!leg.client) return;
   const ClientStats& s = leg.client->stats();
-  upstream_reconnects_.fetch_add(s.reconnects, std::memory_order_relaxed);
-  dup_scores_dropped_.fetch_add(s.dup_scores, std::memory_order_relaxed);
+  upstream_reconnects_.Inc(s.reconnects);
+  dup_scores_dropped_.Inc(s.dup_scores);
 }
 
 void Router::Housekeeping(DsConn* conn) {
@@ -507,7 +595,7 @@ void Router::Housekeeping(DsConn* conn) {
         draining_[leg->current].load(std::memory_order_acquire)) {
       // Administrative migration: the dialer avoids draining backends, so
       // Migrate carries every session of this leg onto a live peer.
-      migrations_.fetch_add(1, std::memory_order_relaxed);
+      migrations_.Inc();
       (void)leg->client->Migrate();  // failure latches into the leg status
       leg->last_heartbeat_ms = now;
       continue;
@@ -566,7 +654,7 @@ bool Router::DispatchFrame(DsConn* conn, const Frame& frame) {
       const auto it = options_.tenant_tokens.find(frame.tenant);
       if (it == options_.tenant_tokens.end() ||
           it->second != frame.auth_token) {
-        auth_failures_.fetch_add(1, std::memory_order_relaxed);
+        auth_failures_.Inc();
         return SendError(conn, ErrorCode::kAuthFailed,
                          "unknown tenant or bad token");
       }
@@ -606,6 +694,17 @@ bool Router::DispatchFrame(DsConn* conn, const Frame& frame) {
       ack.message = "admin commands are not routed; use the router API";
       return SendDs(conn, ack);
     }
+    case FrameType::kStats: {
+      // Fleet scrape: one downstream Stats frame reads every backend plus
+      // the router itself. Authorization is the downstream Hello (the
+      // router's tenant_tokens); backend scrapes use the admin credentials.
+      Frame ack;
+      ack.type = FrameType::kAdminAck;
+      ack.token = frame.token;
+      ack.seq = static_cast<uint64_t>(AdminStatus::kOk);
+      ack.message = ScrapeFleet();
+      return SendDs(conn, ack);
+    }
     case FrameType::kScoreDelta:
     case FrameType::kPushReject:
     case FrameType::kError:
@@ -640,7 +739,7 @@ bool Router::HandleBegin(DsConn* conn, const Frame& frame) {
   s.up_id = leg->client->Begin(frame.source, frame.destination,
                                frame.time_slot);
   conn->sessions.emplace(frame.session, std::move(s));
-  sessions_opened_.fetch_add(1, std::memory_order_relaxed);
+  sessions_opened_.Inc();
   return true;
 }
 
@@ -667,7 +766,16 @@ bool Router::HandlePush(DsConn* conn, const Frame& frame) {
   // Blocking upstream push: window flow control and go-back-N live in the
   // leg client, so retryable rejects never surface downstream — they show
   // up as this call (and therefore this connection) applying backpressure.
-  const util::Status st = s.leg->client->Push(s.up_id, frame.segment);
+  // A v4 trace id rides along to the backend; the router's leg span wraps
+  // the forward (including any backpressure drain it absorbed).
+  const bool traced = frame.trace_id != 0 && options_.tracer != nullptr;
+  const double trace_t0 = traced ? obs::TraceNowMs() : 0.0;
+  const util::Status st =
+      s.leg->client->Push(s.up_id, frame.segment, frame.trace_id);
+  if (traced && st.ok()) {
+    options_.tracer->Record(frame.trace_id, "router_leg", options_.trace_where,
+                            trace_t0, obs::TraceNowMs() - trace_t0);
+  }
   if (!st.ok()) {
     if (st.code() == util::StatusCode::kFailedPrecondition) {
       // The backend's service shut the session down (terminal reject).
@@ -715,8 +823,7 @@ bool Router::HandlePoll(DsConn* conn, const Frame& frame) {
   }
   const int64_t base = s.delivered;
   s.delivered += static_cast<int64_t>(scores.size());
-  scores_forwarded_.fetch_add(static_cast<int64_t>(scores.size()),
-                              std::memory_order_relaxed);
+  scores_forwarded_.Inc(static_cast<int64_t>(scores.size()));
   if (!SendScoreChunks(conn, frame.session, frame.token, base, scores)) {
     return false;
   }
@@ -777,7 +884,7 @@ bool Router::HandleResume(DsConn* conn, const Frame& frame) {
   s.delivered = static_cast<int64_t>(frame.offset);
   s.drop_scores = static_cast<int64_t>(frame.offset);
   conn->sessions.emplace(frame.session, std::move(s));
-  sessions_resumed_.fetch_add(1, std::memory_order_relaxed);
+  sessions_resumed_.Inc();
   Frame ack;
   ack.type = FrameType::kResumeAck;
   ack.session = frame.session;
@@ -787,19 +894,19 @@ bool Router::HandleResume(DsConn* conn, const Frame& frame) {
 
 RouterStats Router::stats() const {
   RouterStats s;
-  s.connections_accepted = connections_accepted_.load();
-  s.connections_active = connections_active_.load();
-  s.sessions_opened = sessions_opened_.load();
-  s.sessions_resumed = sessions_resumed_.load();
-  s.failovers = failovers_.load();
-  s.migrations = migrations_.load();
-  s.upstream_reconnects = upstream_reconnects_.load();
-  s.dup_scores_dropped = dup_scores_dropped_.load();
-  s.scores_forwarded = scores_forwarded_.load();
-  s.health_probes = health_probes_.load();
-  s.probe_failures = probe_failures_.load();
-  s.swaps_rolled = swaps_rolled_.load();
-  s.auth_failures = auth_failures_.load();
+  s.connections_accepted = connections_accepted_.value();
+  s.connections_active = connections_active_.value();
+  s.sessions_opened = sessions_opened_.value();
+  s.sessions_resumed = sessions_resumed_.value();
+  s.failovers = failovers_.value();
+  s.migrations = migrations_.value();
+  s.upstream_reconnects = upstream_reconnects_.value();
+  s.dup_scores_dropped = dup_scores_dropped_.value();
+  s.scores_forwarded = scores_forwarded_.value();
+  s.health_probes = health_probes_.value();
+  s.probe_failures = probe_failures_.value();
+  s.swaps_rolled = swaps_rolled_.value();
+  s.auth_failures = auth_failures_.value();
   for (int i = 0; i < num_backends(); ++i) {
     if (dead_[i].load(std::memory_order_acquire)) ++s.backends_dead;
   }

@@ -85,6 +85,21 @@ struct RouterOptions {
   /// Deterministic fault injection on the UPSTREAM legs (the router's
   /// client sockets). nullptr = no faults. Must outlive the router.
   FaultInjector* upstream_fault = nullptr;
+
+  // --- Observability (see src/obs/README.md) ---
+
+  /// Metrics registry the router_* series register into.
+  /// Null = obs::Registry::Default().
+  obs::Registry* registry = nullptr;
+  /// Span sink for forwarded traces: a downstream Push carrying a v4 trace
+  /// id gets a router_leg span recorded around its upstream forward, and
+  /// the id rides the upstream Push to the backend. Null = spans off (the
+  /// trace id is still forwarded).
+  obs::Tracer* tracer = nullptr;
+  /// `where` tag on this router's spans (distinguishes tiers in a dump).
+  std::string trace_where = "router";
+  /// Bound on one backend's scrape during a fleet Stats aggregation.
+  double scrape_timeout_ms = 2000.0;
 };
 
 /// Router counters (point-in-time snapshot via stats()).
@@ -167,6 +182,13 @@ class Router {
   /// model). `tag` is resolved by the backends' model_resolver.
   util::Status RollSwap(const std::string& tag);
 
+  /// Fleet-wide metrics view: scrapes every reachable backend's exposition
+  /// over a fresh admin connection, prefixes each of its series with a
+  /// backend="<i>" label, and appends the router's own router_* series.
+  /// This is what a downstream Stats frame is answered with, so one scrape
+  /// of the router reads the whole fleet.
+  std::string ScrapeFleet();
+
   RouterStats stats() const;
 
  private:
@@ -244,20 +266,23 @@ class Router {
   std::mutex swap_mu_;  // serializes RollSwap
   std::atomic<uint64_t> next_conn_id_{1};
 
-  // Counters (see RouterStats).
-  std::atomic<int64_t> connections_accepted_{0};
-  std::atomic<int64_t> connections_active_{0};
-  std::atomic<int64_t> sessions_opened_{0};
-  std::atomic<int64_t> sessions_resumed_{0};
-  std::atomic<int64_t> failovers_{0};
-  std::atomic<int64_t> migrations_{0};
-  std::atomic<int64_t> upstream_reconnects_{0};
-  std::atomic<int64_t> dup_scores_dropped_{0};
-  std::atomic<int64_t> scores_forwarded_{0};
-  std::atomic<int64_t> health_probes_{0};
-  std::atomic<int64_t> probe_failures_{0};
-  std::atomic<int64_t> swaps_rolled_{0};
-  std::atomic<int64_t> auth_failures_{0};
+  // Counters (see RouterStats): registry-backed router_* series; the
+  // Scoped wrappers keep stats() per-instance when registries are shared.
+  obs::Registry* registry_ = nullptr;
+  obs::ScopedCounter connections_accepted_;
+  obs::ScopedGauge connections_active_;
+  obs::ScopedCounter sessions_opened_;
+  obs::ScopedCounter sessions_resumed_;
+  obs::ScopedCounter failovers_;
+  obs::ScopedCounter migrations_;
+  obs::ScopedCounter upstream_reconnects_;
+  obs::ScopedCounter dup_scores_dropped_;
+  obs::ScopedCounter scores_forwarded_;
+  obs::ScopedCounter health_probes_;
+  obs::ScopedCounter probe_failures_;
+  obs::ScopedCounter swaps_rolled_;
+  obs::ScopedCounter auth_failures_;
+  obs::Gauge* backends_dead_gauge_ = nullptr;  // refreshed on probe/scrape
 };
 
 }  // namespace net

@@ -44,6 +44,41 @@ constexpr size_t kMaxScoresPerDelta = 8192;
 Server::Server(serve::StreamingService* service, ServerOptions options)
     : service_(service), options_(std::move(options)) {
   CAUSALTAD_CHECK(service != nullptr);
+  registry_ =
+      options_.registry != nullptr ? options_.registry : obs::Registry::Default();
+  connections_accepted_.Bind(registry_, "server_connections_accepted_total");
+  connections_active_.Bind(registry_, "server_connections_active");
+  connections_reaped_.Bind(registry_, "server_connections_reaped_total");
+  frames_received_.Bind(registry_, "server_frames_received_total");
+  frames_sent_.Bind(registry_, "server_frames_sent_total");
+  bytes_received_.Bind(registry_, "server_bytes_received_total");
+  bytes_sent_.Bind(registry_, "server_bytes_sent_total");
+  pushes_accepted_.Bind(registry_, "server_pushes_accepted_total");
+  duplicate_pushes_.Bind(registry_, "server_duplicate_pushes_total");
+  rejected_session_full_.Bind(registry_,
+                              "server_rejected_session_full_total");
+  rejected_shard_full_.Bind(registry_, "server_rejected_shard_full_total");
+  rejected_quota_.Bind(registry_, "server_rejected_quota_total");
+  rejected_out_of_order_.Bind(registry_,
+                              "server_rejected_out_of_order_total");
+  rejected_shutdown_.Bind(registry_, "server_rejected_shutdown_total");
+  auth_failures_.Bind(registry_, "server_auth_failures_total");
+  protocol_errors_.Bind(registry_, "server_protocol_errors_total");
+  heartbeats_.Bind(registry_, "server_heartbeats_total");
+  sessions_detached_.Bind(registry_, "server_sessions_detached_total");
+  sessions_resumed_.Bind(registry_, "server_sessions_resumed_total");
+  sessions_resumed_fresh_.Bind(registry_,
+                               "server_sessions_resumed_fresh_total");
+  detached_live_.Bind(registry_, "server_sessions_detached_live");
+  orphans_live_.Bind(registry_, "server_orphans_live");
+  models_staged_.Bind(registry_, "server_models_staged_total");
+  models_committed_.Bind(registry_, "server_models_committed_total");
+  for (uint8_t t = 1; t <= 14; ++t) {
+    dispatch_frame_[t] = registry_->GetHistogram(
+        "server_dispatch_ms",
+        {{"frame", FrameTypeName(static_cast<FrameType>(t))}});
+    dispatch_base_[t] = dispatch_frame_[t]->raw()->TakeSnapshot();
+  }
 }
 
 Server::~Server() { Stop(); }
@@ -117,12 +152,12 @@ void Server::Stop() {
       if (conn->fd >= 0) CloseConnection(conn.get());
     }
     connections_.clear();
-    connections_active_.store(0, std::memory_order_relaxed);
+    connections_active_.Set(0);
     // Detached sessions cannot outlive the server: end them so the service
     // releases their rows, then drain like any other orphan.
     for (auto& [key, detached] : detached_) AbandonDetachedLocked(&detached);
     detached_.clear();
-    detached_live_.store(0, std::memory_order_relaxed);
+    detached_live_.Set(0);
     // Best-effort orphan drain of scores already emitted (no waiting: the
     // service may keep scoring queued points after we return).
     DrainOrphans();
@@ -163,9 +198,9 @@ bool Server::Drain(double timeout_ms) {
     }
     const bool drained =
         pending_empty &&
-        connections_active_.load(std::memory_order_acquire) == 0 &&
-        detached_live_.load(std::memory_order_acquire) == 0 &&
-        orphans_live_.load(std::memory_order_acquire) == 0;
+        connections_active_.value() == 0 &&
+        detached_live_.value() == 0 &&
+        orphans_live_.value() == 0;
     if (drained) return true;
     if (timeout_ms > 0.0 && watch.ElapsedMillis() > timeout_ms) return false;
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
@@ -202,8 +237,8 @@ void Server::AdoptPending(double now) {
     conn->fd = fd;
     conn->last_activity_ms = now;
     if (options_.fault != nullptr) conn->fault = options_.fault->Attach();
-    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
-    connections_active_.fetch_add(1, std::memory_order_relaxed);
+    connections_accepted_.Inc();
+    connections_active_.Add(1);
     if (draining_.load(std::memory_order_acquire)) {
       SendError(conn.get(), ErrorCode::kShuttingDown, "server is draining");
       conn->closing = true;
@@ -223,8 +258,8 @@ void Server::AcceptTcp(double now) {
     conn->last_activity_ms = now;
     if (options_.fault != nullptr) conn->fault = options_.fault->Attach();
     connections_.push_back(std::move(conn));
-    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
-    connections_active_.fetch_add(1, std::memory_order_relaxed);
+    connections_accepted_.Inc();
+    connections_active_.Add(1);
   }
 }
 
@@ -252,7 +287,7 @@ void Server::Loop() {
       // resumable sessions detach like any disconnect.
       if (!conn->closing && options_.heartbeat_timeout_ms > 0.0 &&
           now - conn->last_activity_ms > options_.heartbeat_timeout_ms) {
-        connections_reaped_.fetch_add(1, std::memory_order_relaxed);
+        connections_reaped_.Inc();
         CloseConnection(conn.get());
         continue;
       }
@@ -327,17 +362,20 @@ void Server::ReadConnection(Connection* conn, double now) {
                                 conn->fault.get());
     if (r.n > 0) {
       conn->last_activity_ms = now;
-      bytes_received_.fetch_add(r.n, std::memory_order_relaxed);
+      bytes_received_.Inc(r.n);
       conn->decoder.Feed(buf, static_cast<size_t>(r.n));
       Frame frame;
       while (conn->fd >= 0 && !conn->closing && conn->decoder.Next(&frame)) {
-        frames_received_.fetch_add(1, std::memory_order_relaxed);
+        frames_received_.Inc();
+        const uint8_t kind = static_cast<uint8_t>(frame.type);
         util::Stopwatch dispatch_watch;
         HandleFrame(conn, frame);
-        dispatch_.Add(dispatch_watch.ElapsedMillis());
+        if (kind >= 1 && kind <= 14) {
+          dispatch_frame_[kind]->Observe(dispatch_watch.ElapsedMillis());
+        }
       }
       if (!conn->decoder.status().ok() && conn->fd >= 0 && !conn->closing) {
-        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        protocol_errors_.Inc();
         SendError(conn, ErrorCode::kProtocol,
                   conn->decoder.status().message());
         conn->closing = true;
@@ -357,7 +395,7 @@ void Server::ReadConnection(Connection* conn, double now) {
 
 void Server::HandleFrame(Connection* conn, const Frame& frame) {
   if (!conn->authed && frame.type != FrameType::kHello) {
-    auth_failures_.fetch_add(1, std::memory_order_relaxed);
+    auth_failures_.Inc();
     SendError(conn, ErrorCode::kAuthRequired, "first frame must be Hello");
     conn->closing = true;
     return;
@@ -387,6 +425,9 @@ void Server::HandleFrame(Connection* conn, const Frame& frame) {
     case FrameType::kAdmin:
       HandleAdmin(conn, frame);
       return;
+    case FrameType::kStats:
+      HandleStats(conn, frame);
+      return;
     case FrameType::kScoreDelta:
     case FrameType::kPushReject:
     case FrameType::kResumeAck:
@@ -394,7 +435,7 @@ void Server::HandleFrame(Connection* conn, const Frame& frame) {
     case FrameType::kAdminAck:
       break;  // server-to-client frames are not valid requests
   }
-  protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+  protocol_errors_.Inc();
   SendError(conn, ErrorCode::kProtocol, "client sent a server-only frame");
   conn->closing = true;
 }
@@ -404,7 +445,7 @@ void Server::HandleHello(Connection* conn, const Frame& frame) {
     // A byte-identical duplicate (fault injection redelivers whole frames)
     // is an idempotent re-auth; a DIFFERENT tenant mid-connection is not.
     if (frame.tenant == conn->tenant) return;
-    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    protocol_errors_.Inc();
     SendError(conn, ErrorCode::kProtocol, "Hello changed tenant");
     conn->closing = true;
     return;
@@ -413,7 +454,7 @@ void Server::HandleHello(Connection* conn, const Frame& frame) {
     const auto it = options_.tenant_tokens.find(frame.tenant);
     if (it == options_.tenant_tokens.end() ||
         it->second != frame.auth_token) {
-      auth_failures_.fetch_add(1, std::memory_order_relaxed);
+      auth_failures_.Inc();
       SendError(conn, ErrorCode::kAuthFailed,
                 "unknown tenant or bad token for '" + frame.tenant + "'");
       conn->closing = true;
@@ -438,7 +479,7 @@ void Server::HandleBegin(Connection* conn, const Frame& frame) {
         existing->second.resume_key == frame.resume_key) {
       return;
     }
-    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    protocol_errors_.Inc();
     SendError(conn, ErrorCode::kDuplicateSession,
               "session " + std::to_string(frame.session) + " already open");
     conn->closing = true;
@@ -448,7 +489,7 @@ void Server::HandleBegin(Connection* conn, const Frame& frame) {
     const int64_t n = options_.network->num_segments();
     if (frame.source < 0 || frame.source >= n || frame.destination < 0 ||
         frame.destination >= n) {
-      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      protocol_errors_.Inc();
       SendError(conn, ErrorCode::kInvalidSegment,
                 "Begin endpoints out of range");
       conn->closing = true;
@@ -469,7 +510,7 @@ int64_t* Server::TenantPending(const std::string& tenant) {
 void Server::HandlePush(Connection* conn, const Frame& frame) {
   const auto it = conn->sessions.find(frame.session);
   if (it == conn->sessions.end()) {
-    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    protocol_errors_.Inc();
     SendError(conn, ErrorCode::kUnknownSession,
               "Push for unknown session " + std::to_string(frame.session));
     conn->closing = true;
@@ -480,11 +521,11 @@ void Server::HandlePush(Connection* conn, const Frame& frame) {
   // ack the client never saw: idempotently ignore it — the accepted stream
   // must have no duplicates.
   if (frame.seq < state.expected_seq) {
-    duplicate_pushes_.fetch_add(1, std::memory_order_relaxed);
+    duplicate_pushes_.Inc();
     return;
   }
   if (state.ended) {
-    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    protocol_errors_.Inc();
     SendError(conn, ErrorCode::kProtocol, "Push after End");
     conn->closing = true;
     return;
@@ -493,7 +534,7 @@ void Server::HandlePush(Connection* conn, const Frame& frame) {
   // of the session bounces as out-of-order until the client resends from
   // the gap — the session's accepted stream can never skip a point.
   if (frame.seq != state.expected_seq) {
-    rejected_out_of_order_.fetch_add(1, std::memory_order_relaxed);
+    rejected_out_of_order_.Inc();
     SendReject(conn, frame, RejectReason::kOutOfOrder);
     return;
   }
@@ -503,7 +544,7 @@ void Server::HandlePush(Connection* conn, const Frame& frame) {
     if (!in_range || (state.has_last &&
                       !options_.network->IsSuccessor(state.last,
                                                      frame.segment))) {
-      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      protocol_errors_.Inc();
       SendError(conn, ErrorCode::kInvalidSegment,
                 in_range ? "segment is not a legal successor"
                          : "segment id out of range");
@@ -520,28 +561,37 @@ void Server::HandlePush(Connection* conn, const Frame& frame) {
       static_cast<int64_t>(frame.seq) >= state.skip;
   if (deliverable && options_.tenant_max_pending > 0 &&
       *pending >= options_.tenant_max_pending) {
-    rejected_quota_.fetch_add(1, std::memory_order_relaxed);
+    rejected_quota_.Inc();
     SendReject(conn, frame, RejectReason::kQuota);
     return;
   }
-  switch (service_->Push(state.inner, frame.segment)) {
+  // Traced push: time the service hand-off as the backend's dispatch leg of
+  // the span chain (the shard batcher records queue_wait/compute/emit).
+  const bool traced = frame.trace_id != 0 && options_.tracer != nullptr;
+  const double trace_t0 = traced ? obs::TraceNowMs() : 0.0;
+  switch (service_->Push(state.inner, frame.segment, frame.trace_id)) {
     case serve::PushStatus::kAccepted:
       ++state.expected_seq;
       if (deliverable) ++*pending;
       state.last = frame.segment;
       state.has_last = true;
-      pushes_accepted_.fetch_add(1, std::memory_order_relaxed);
+      pushes_accepted_.Inc();
+      if (traced) {
+        options_.tracer->Record(frame.trace_id, "server_dispatch",
+                                options_.trace_where, trace_t0,
+                                obs::TraceNowMs() - trace_t0);
+      }
       return;  // accepted pushes are not answered — scores are the ack
     case serve::PushStatus::kSessionFull:
-      rejected_session_full_.fetch_add(1, std::memory_order_relaxed);
+      rejected_session_full_.Inc();
       SendReject(conn, frame, RejectReason::kSessionFull);
       return;
     case serve::PushStatus::kShardFull:
-      rejected_shard_full_.fetch_add(1, std::memory_order_relaxed);
+      rejected_shard_full_.Inc();
       SendReject(conn, frame, RejectReason::kShardFull);
       return;
     case serve::PushStatus::kShutdown:
-      rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+      rejected_shutdown_.Inc();
       SendReject(conn, frame, RejectReason::kShutdown);
       return;
   }
@@ -550,7 +600,7 @@ void Server::HandlePush(Connection* conn, const Frame& frame) {
 void Server::HandleEnd(Connection* conn, const Frame& frame) {
   const auto it = conn->sessions.find(frame.session);
   if (it == conn->sessions.end()) {
-    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    protocol_errors_.Inc();
     SendError(conn, ErrorCode::kUnknownSession,
               "End for unknown session " + std::to_string(frame.session));
     conn->closing = true;
@@ -561,7 +611,7 @@ void Server::HandleEnd(Connection* conn, const Frame& frame) {
     // the original landed) — idempotent. A duplicate End on a session that
     // was never resumable is still a protocol error.
     if (it->second.resume_key != 0) return;
-    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    protocol_errors_.Inc();
     SendError(conn, ErrorCode::kProtocol, "duplicate End");
     conn->closing = true;
     return;
@@ -646,7 +696,7 @@ void Server::HandleResume(Connection* conn, const Frame& frame) {
     return;
   }
   if (frame.resume_key == 0) {
-    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    protocol_errors_.Inc();
     SendError(conn, ErrorCode::kProtocol, "Resume without a resume key");
     conn->closing = true;
     return;
@@ -664,7 +714,7 @@ void Server::HandleResume(Connection* conn, const Frame& frame) {
       SendFrame(conn, ack);
       return;
     }
-    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    protocol_errors_.Inc();
     SendError(conn, ErrorCode::kDuplicateSession,
               "Resume for a session id already open on this connection");
     conn->closing = true;
@@ -680,9 +730,8 @@ void Server::HandleResume(Connection* conn, const Frame& frame) {
     // client that actually received some of it drops the duplicates).
     SessionState state = std::move(det->second.state);
     detached_.erase(det);
-    detached_live_.store(static_cast<int64_t>(detached_.size()),
-                         std::memory_order_release);
-    sessions_resumed_.fetch_add(1, std::memory_order_relaxed);
+    detached_live_.Set(static_cast<int64_t>(detached_.size()));
+    sessions_resumed_.Inc();
     while (!state.history.empty() && state.history_base < have) {
       state.history.pop_front();
       ++state.history_base;
@@ -710,8 +759,7 @@ void Server::HandleResume(Connection* conn, const Frame& frame) {
     // parked state): abandon the old incarnation and rebuild fresh below.
     AbandonDetachedLocked(&det->second);
     detached_.erase(det);
-    detached_live_.store(static_cast<int64_t>(detached_.size()),
-                         std::memory_order_release);
+    detached_live_.Set(static_cast<int64_t>(detached_.size()));
   }
   // Fresh rebuild: the server lost the session (restart, linger expiry).
   // The client replays its full journaled prefix from seq 0; the first
@@ -721,7 +769,7 @@ void Server::HandleResume(Connection* conn, const Frame& frame) {
     const int64_t n = options_.network->num_segments();
     if (frame.source < 0 || frame.source >= n || frame.destination < 0 ||
         frame.destination >= n) {
-      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      protocol_errors_.Inc();
       SendError(conn, ErrorCode::kInvalidSegment,
                 "Resume endpoints out of range");
       conn->closing = true;
@@ -736,7 +784,7 @@ void Server::HandleResume(Connection* conn, const Frame& frame) {
   state.delivered = have;
   state.history_base = have;
   conn->sessions.emplace(frame.session, state);
-  sessions_resumed_fresh_.fetch_add(1, std::memory_order_relaxed);
+  sessions_resumed_fresh_.Inc();
   Frame ack;
   ack.type = FrameType::kResumeAck;
   ack.session = frame.session;
@@ -746,7 +794,7 @@ void Server::HandleResume(Connection* conn, const Frame& frame) {
 
 void Server::HandleHeartbeat(Connection* conn, const Frame& frame) {
   if (frame.seq != 1) return;  // not a ping: ignore stray pongs
-  heartbeats_.fetch_add(1, std::memory_order_relaxed);
+  heartbeats_.Inc();
   Frame pong;
   pong.type = FrameType::kHeartbeat;
   pong.token = frame.token;
@@ -773,7 +821,7 @@ void Server::HandleAdmin(Connection* conn, const Frame& frame) {
                               ? options_.tenant_tokens.empty()
                               : conn->tenant == options_.admin_tenant;
   if (!authorized) {
-    auth_failures_.fetch_add(1, std::memory_order_relaxed);
+    auth_failures_.Inc();
     SendAdminAck(conn, frame.token, AdminStatus::kError,
                  "admin not authorized for tenant '" + conn->tenant + "'");
     return;
@@ -823,7 +871,7 @@ void Server::HandleAdmin(Connection* conn, const Frame& frame) {
       const core::CausalTad* model = options_.model_resolver(tag);
       if (model != nullptr) {
         staged_model_ = model;
-        models_staged_.fetch_add(1, std::memory_order_relaxed);
+        models_staged_.Inc();
         stage_state_.store(kStageReady, std::memory_order_release);
       } else {
         stage_error_ = "stage '" + tag + "' failed to load";
@@ -845,7 +893,7 @@ void Server::HandleAdmin(Connection* conn, const Frame& frame) {
                        "service has shut down");
           return;
         }
-        models_committed_.fetch_add(1, std::memory_order_relaxed);
+        models_committed_.Inc();
         stage_state_.store(kStageIdle, std::memory_order_release);
         SendAdminAck(conn, frame.token, AdminStatus::kOk, stage_tag_);
         return;
@@ -861,6 +909,33 @@ void Server::HandleAdmin(Connection* conn, const Frame& frame) {
   }
   SendAdminAck(conn, frame.token, AdminStatus::kError,
                "unknown admin command: " + command);
+}
+
+void Server::HandleStats(Connection* conn, const Frame& frame) {
+  // Same authorization gate as Admin: the exposition names tenants and
+  // internals, so it is an operator surface, not a client one.
+  const bool authorized = options_.admin_tenant.empty()
+                              ? options_.tenant_tokens.empty()
+                              : conn->tenant == options_.admin_tenant;
+  if (!authorized) {
+    auth_failures_.Inc();
+    Frame nack;
+    nack.type = FrameType::kAdminAck;
+    nack.token = frame.token;
+    nack.seq = static_cast<uint64_t>(AdminStatus::kError);
+    nack.message = "stats not authorized for tenant '" + conn->tenant + "'";
+    SendFrame(conn, nack);
+    return;
+  }
+  // Answered directly (NOT via SendAdminAck): a scrape is idempotent and
+  // must not disturb the Admin replay cache — a duplicate commit arriving
+  // after a scrape still has to re-receive its cached ack, not re-run.
+  Frame ack;
+  ack.type = FrameType::kAdminAck;
+  ack.token = frame.token;
+  ack.seq = static_cast<uint64_t>(AdminStatus::kOk);
+  ack.message = registry_->ExpositionText();
+  SendFrame(conn, ack);
 }
 
 void Server::PumpStaging() {
@@ -893,7 +968,7 @@ void Server::MaybeForgetSession(Connection* conn, uint64_t id) {
 void Server::SendFrame(Connection* conn, const Frame& frame) {
   if (conn->fd < 0) return;
   EncodeFrame(frame, &conn->wbuf);
-  frames_sent_.fetch_add(1, std::memory_order_relaxed);
+  frames_sent_.Inc();
   if (!FlushWrites(conn)) {
     CloseConnection(conn);
     return;
@@ -933,7 +1008,7 @@ bool Server::FlushWrites(Connection* conn) {
     if (!r.ok()) return false;  // broken pipe etc. (incl. injected kill)
     if (r.would_block || r.n == 0) break;
     conn->woff += static_cast<size_t>(r.n);
-    bytes_sent_.fetch_add(r.n, std::memory_order_relaxed);
+    bytes_sent_.Inc(r.n);
   }
   if (conn->woff == conn->wbuf.size()) {
     conn->wbuf.clear();
@@ -950,7 +1025,7 @@ void Server::CloseConnection(Connection* conn) {
   if (conn->fd < 0) return;
   close(conn->fd);
   conn->fd = -1;
-  connections_active_.fetch_add(-1, std::memory_order_relaxed);
+  connections_active_.Add(-1);
   // Forget any stage ack owed to this connection — the Connection object
   // is reclaimed by the loop and the waiter list must never dangle.
   stage_waiters_.erase(
@@ -974,7 +1049,7 @@ void Server::CloseConnection(Connection* conn) {
         AbandonDetachedLocked(&stale->second);
         detached_.erase(stale);
       }
-      sessions_detached_.fetch_add(1, std::memory_order_relaxed);
+      sessions_detached_.Inc();
       detached_.emplace(key,
                         Detached{std::move(state), conn->tenant, now});
       continue;
@@ -987,10 +1062,8 @@ void Server::CloseConnection(Connection* conn) {
     }
   }
   conn->sessions.clear();
-  detached_live_.store(static_cast<int64_t>(detached_.size()),
-                       std::memory_order_release);
-  orphans_live_.store(static_cast<int64_t>(orphans_.size()),
-                      std::memory_order_release);
+  detached_live_.Set(static_cast<int64_t>(detached_.size()));
+  orphans_live_.Set(static_cast<int64_t>(orphans_.size()));
 }
 
 void Server::DrainOrphans() {
@@ -1007,8 +1080,7 @@ void Server::DrainOrphans() {
       ++i;
     }
   }
-  orphans_live_.store(static_cast<int64_t>(orphans_.size()),
-                      std::memory_order_release);
+  orphans_live_.Set(static_cast<int64_t>(orphans_.size()));
 }
 
 void Server::AbandonDetachedLocked(Detached* detached) {
@@ -1051,52 +1123,68 @@ void Server::DrainDetached(double now) {
       ++it;
     }
   }
-  detached_live_.store(static_cast<int64_t>(detached_.size()),
-                       std::memory_order_release);
-  orphans_live_.store(static_cast<int64_t>(orphans_.size()),
-                      std::memory_order_release);
+  detached_live_.Set(static_cast<int64_t>(detached_.size()));
+  orphans_live_.Set(static_cast<int64_t>(orphans_.size()));
 }
 
 ServerStats Server::stats() const {
   ServerStats stats;
   stats.connections_accepted =
-      connections_accepted_.load(std::memory_order_relaxed);
+      connections_accepted_.value();
   stats.connections_active =
-      connections_active_.load(std::memory_order_relaxed);
+      connections_active_.value();
   stats.connections_reaped =
-      connections_reaped_.load(std::memory_order_relaxed);
-  stats.frames_received = frames_received_.load(std::memory_order_relaxed);
-  stats.frames_sent = frames_sent_.load(std::memory_order_relaxed);
-  stats.bytes_received = bytes_received_.load(std::memory_order_relaxed);
-  stats.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
-  stats.pushes_accepted = pushes_accepted_.load(std::memory_order_relaxed);
+      connections_reaped_.value();
+  stats.frames_received = frames_received_.value();
+  stats.frames_sent = frames_sent_.value();
+  stats.bytes_received = bytes_received_.value();
+  stats.bytes_sent = bytes_sent_.value();
+  stats.pushes_accepted = pushes_accepted_.value();
   stats.duplicate_pushes =
-      duplicate_pushes_.load(std::memory_order_relaxed);
+      duplicate_pushes_.value();
   stats.rejected_session_full =
-      rejected_session_full_.load(std::memory_order_relaxed);
+      rejected_session_full_.value();
   stats.rejected_shard_full =
-      rejected_shard_full_.load(std::memory_order_relaxed);
-  stats.rejected_quota = rejected_quota_.load(std::memory_order_relaxed);
+      rejected_shard_full_.value();
+  stats.rejected_quota = rejected_quota_.value();
   stats.rejected_out_of_order =
-      rejected_out_of_order_.load(std::memory_order_relaxed);
+      rejected_out_of_order_.value();
   stats.rejected_shutdown =
-      rejected_shutdown_.load(std::memory_order_relaxed);
-  stats.auth_failures = auth_failures_.load(std::memory_order_relaxed);
-  stats.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
-  stats.heartbeats = heartbeats_.load(std::memory_order_relaxed);
+      rejected_shutdown_.value();
+  stats.auth_failures = auth_failures_.value();
+  stats.protocol_errors = protocol_errors_.value();
+  stats.heartbeats = heartbeats_.value();
   stats.sessions_detached =
-      sessions_detached_.load(std::memory_order_relaxed);
-  stats.sessions_resumed = sessions_resumed_.load(std::memory_order_relaxed);
+      sessions_detached_.value();
+  stats.sessions_resumed = sessions_resumed_.value();
   stats.sessions_resumed_fresh =
-      sessions_resumed_fresh_.load(std::memory_order_relaxed);
+      sessions_resumed_fresh_.value();
   stats.sessions_detached_live =
-      detached_live_.load(std::memory_order_relaxed);
-  stats.models_staged = models_staged_.load(std::memory_order_relaxed);
-  stats.models_committed = models_committed_.load(std::memory_order_relaxed);
-  stats.dispatch_mean_ms = dispatch_.MeanMs();
-  stats.dispatch_p50_ms = dispatch_.Percentile(50.0);
-  stats.dispatch_p95_ms = dispatch_.Percentile(95.0);
-  stats.dispatch_p99_ms = dispatch_.Percentile(99.0);
+      detached_live_.value();
+  stats.models_staged = models_staged_.value();
+  stats.models_committed = models_committed_.value();
+  // Dispatch latency across every frame type, windowed to this instance via
+  // the construction-time baselines (the registry series are cumulative).
+  const util::LatencyHistogram* hists[15];
+  util::LatencyHistogram::Snapshot bases[15];
+  int n = 0;
+  int64_t count = 0;
+  double sum_ms = 0.0;
+  for (uint8_t t = 1; t <= 14; ++t) {
+    hists[n] = dispatch_frame_[t]->raw();
+    bases[n] = dispatch_base_[t];
+    const int64_t c = hists[n]->TotalCount();
+    count += c;
+    sum_ms += hists[n]->MeanMs() * static_cast<double>(c);
+    ++n;
+  }
+  if (count > 0) stats.dispatch_mean_ms = sum_ms / static_cast<double>(count);
+  stats.dispatch_p50_ms =
+      util::LatencyHistogram::MergedPercentileSince(hists, bases, n, 50.0);
+  stats.dispatch_p95_ms =
+      util::LatencyHistogram::MergedPercentileSince(hists, bases, n, 95.0);
+  stats.dispatch_p99_ms =
+      util::LatencyHistogram::MergedPercentileSince(hists, bases, n, 99.0);
   return stats;
 }
 

@@ -15,6 +15,8 @@
 
 #include "net/fault.h"
 #include "net/frame.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "roadnet/road_network.h"
 #include "serve/service.h"
 #include "util/latency_histogram.h"
@@ -81,6 +83,16 @@ struct ServerOptions {
   /// failure. Every model it returns must outlive the server AND the
   /// service (generations keep raw pointers). nullptr disables staging.
   std::function<const core::CausalTad*(const std::string&)> model_resolver;
+  /// Metrics sink for the server's ops counters and per-frame dispatch
+  /// histograms (null = obs::Registry::Default()). A kStats frame is
+  /// answered with THIS registry's text exposition, so a backend's scrape
+  /// covers the server and (when it shares the registry) its service.
+  obs::Registry* registry = nullptr;
+  /// Span sink for traced pushes (null = tracing off): a Push carrying a
+  /// nonzero trace id gets a "server_dispatch" span here.
+  obs::Tracer* tracer = nullptr;
+  /// The "where" tag on this server's spans, e.g. "backend=1".
+  std::string trace_where = "server";
 };
 
 /// Ops counters exported by Server::stats(). Counter fields are cumulative
@@ -111,6 +123,9 @@ struct ServerStats {
   int64_t sessions_detached_live = 0;  // currently parked
   int64_t models_staged = 0;     // background weight loads completed
   int64_t models_committed = 0;  // staged models flipped live via commit
+  /// Frame-dispatch latency merged across the per-frame-type histograms
+  /// (the registry exposes each frame type's own percentiles under
+  /// server_dispatch_ms{frame="..."}).
   double dispatch_mean_ms = 0.0;
   double dispatch_p50_ms = 0.0;
   double dispatch_p95_ms = 0.0;
@@ -255,6 +270,9 @@ class Server {
   void HandleResume(Connection* conn, const Frame& frame);
   void HandleHeartbeat(Connection* conn, const Frame& frame);
   void HandleAdmin(Connection* conn, const Frame& frame);
+  /// kStats scrape: answered with an AdminAck carrying the registry's text
+  /// exposition (same authorization gate as Admin).
+  void HandleStats(Connection* conn, const Frame& frame);
   /// Delivers deferred stage acks once the background load settles.
   void PumpStaging();
   void SendAdminAck(Connection* conn, uint64_t token, AdminStatus status,
@@ -320,32 +338,40 @@ class Server {
   Frame last_admin_ack_;
   bool has_last_admin_ack_ = false;
 
-  // Stats (atomics: stats() races the loop thread by design).
-  std::atomic<int64_t> connections_accepted_{0};
-  std::atomic<int64_t> connections_active_{0};
-  std::atomic<int64_t> connections_reaped_{0};
-  std::atomic<int64_t> frames_received_{0};
-  std::atomic<int64_t> frames_sent_{0};
-  std::atomic<int64_t> bytes_received_{0};
-  std::atomic<int64_t> bytes_sent_{0};
-  std::atomic<int64_t> pushes_accepted_{0};
-  std::atomic<int64_t> duplicate_pushes_{0};
-  std::atomic<int64_t> rejected_session_full_{0};
-  std::atomic<int64_t> rejected_shard_full_{0};
-  std::atomic<int64_t> rejected_quota_{0};
-  std::atomic<int64_t> rejected_out_of_order_{0};
-  std::atomic<int64_t> rejected_shutdown_{0};
-  std::atomic<int64_t> auth_failures_{0};
-  std::atomic<int64_t> protocol_errors_{0};
-  std::atomic<int64_t> heartbeats_{0};
-  std::atomic<int64_t> sessions_detached_{0};
-  std::atomic<int64_t> sessions_resumed_{0};
-  std::atomic<int64_t> sessions_resumed_fresh_{0};
-  std::atomic<int64_t> detached_live_{0};
-  std::atomic<int64_t> orphans_live_{0};
-  std::atomic<int64_t> models_staged_{0};
-  std::atomic<int64_t> models_committed_{0};
-  util::LatencyHistogram dispatch_;
+  // Stats: registry-backed counters (stats() races the loop thread by
+  // design; both sides are lock-free atomics). ScopedCounter keeps stats()
+  // per-instance; the registry series are process-cumulative.
+  obs::Registry* registry_ = nullptr;  // options_.registry or Default()
+  obs::ScopedCounter connections_accepted_;
+  obs::ScopedGauge connections_active_;
+  obs::ScopedCounter connections_reaped_;
+  obs::ScopedCounter frames_received_;
+  obs::ScopedCounter frames_sent_;
+  obs::ScopedCounter bytes_received_;
+  obs::ScopedCounter bytes_sent_;
+  obs::ScopedCounter pushes_accepted_;
+  obs::ScopedCounter duplicate_pushes_;
+  obs::ScopedCounter rejected_session_full_;
+  obs::ScopedCounter rejected_shard_full_;
+  obs::ScopedCounter rejected_quota_;
+  obs::ScopedCounter rejected_out_of_order_;
+  obs::ScopedCounter rejected_shutdown_;
+  obs::ScopedCounter auth_failures_;
+  obs::ScopedCounter protocol_errors_;
+  obs::ScopedCounter heartbeats_;
+  obs::ScopedCounter sessions_detached_;
+  obs::ScopedCounter sessions_resumed_;
+  obs::ScopedCounter sessions_resumed_fresh_;
+  obs::ScopedGauge detached_live_;
+  obs::ScopedGauge orphans_live_;
+  obs::ScopedCounter models_staged_;
+  obs::ScopedCounter models_committed_;
+  /// Per-frame-type dispatch latency (frame decoded -> fully handled),
+  /// indexed by the FrameType wire value; registered as
+  /// server_dispatch_ms{frame="push"} etc. The paired baseline snapshots
+  /// keep stats() windowed to this server instance.
+  obs::Histogram* dispatch_frame_[15] = {};
+  util::LatencyHistogram::Snapshot dispatch_base_[15];
 };
 
 }  // namespace net

@@ -1,0 +1,239 @@
+#include "obs/metrics.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace causaltad {
+namespace obs {
+namespace {
+
+std::atomic<bool> g_enabled{true};
+
+/// Series key and exposition label block: {a="b",c="d"} or "" when
+/// unlabeled. Quotes and backslashes in values are escaped, so a value can
+/// never break the line grammar.
+std::string RenderLabels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += labels[i].first;
+    out += "=\"";
+    for (const char c : labels[i].second) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+std::string FmtDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void SetEnabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+Registry* Registry::Default() {
+  static Registry* registry = new Registry();
+  return registry;
+}
+
+Registry::Entry* Registry::FindOrCreateLocked(const std::string& name,
+                                              const Labels& labels,
+                                              Kind kind) {
+  const std::string key = name + RenderLabels(labels);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    CAUSALTAD_CHECK(it->second.kind == kind)
+        << "metric " << key << " re-registered as a different type";
+    return &it->second;
+  }
+  Entry entry;
+  entry.name = name;
+  entry.labels = labels;
+  entry.kind = kind;
+  switch (kind) {
+    case Kind::kCounter:
+      entry.counter = std::make_unique<Counter>();
+      break;
+    case Kind::kGauge:
+      entry.gauge = std::make_unique<Gauge>();
+      break;
+    case Kind::kHistogram:
+      entry.histogram = std::make_unique<Histogram>();
+      break;
+  }
+  return &entries_.emplace(key, std::move(entry)).first->second;
+}
+
+Counter* Registry::GetCounter(const std::string& name, const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindOrCreateLocked(name, labels, Kind::kCounter)->counter.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name, const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindOrCreateLocked(name, labels, Kind::kGauge)->gauge.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name,
+                                  const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindOrCreateLocked(name, labels, Kind::kHistogram)->histogram.get();
+}
+
+std::string Registry::ExpositionText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out =
+      "# causaltad_metrics v" + std::to_string(kExpositionVersion) + "\n";
+  for (const auto& [key, entry] : entries_) {
+    const std::string labels = RenderLabels(entry.labels);
+    switch (entry.kind) {
+      case Kind::kCounter:
+        out += entry.name + labels + " " +
+               std::to_string(entry.counter->value()) + "\n";
+        break;
+      case Kind::kGauge:
+        out += entry.name + labels + " " +
+               std::to_string(entry.gauge->value()) + "\n";
+        break;
+      case Kind::kHistogram: {
+        const Histogram* h = entry.histogram.get();
+        out += entry.name + "_count" + labels + " " +
+               std::to_string(h->count()) + "\n";
+        out += entry.name + "_mean_ms" + labels + " " +
+               FmtDouble(h->mean_ms()) + "\n";
+        out += entry.name + "_p50_ms" + labels + " " +
+               FmtDouble(h->percentile(50.0)) + "\n";
+        out += entry.name + "_p95_ms" + labels + " " +
+               FmtDouble(h->percentile(95.0)) + "\n";
+        out += entry.name + "_p99_ms" + labels + " " +
+               FmtDouble(h->percentile(99.0)) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string Registry::JsonSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"version\": " + std::to_string(kExpositionVersion) +
+                    ", \"metrics\": [";
+  bool first = true;
+  for (const auto& [key, entry] : entries_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n  {\"name\": \"" + JsonEscape(entry.name) + "\", \"labels\": {";
+    for (size_t i = 0; i < entry.labels.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "\"" + JsonEscape(entry.labels[i].first) + "\": \"" +
+             JsonEscape(entry.labels[i].second) + "\"";
+    }
+    out += "}, ";
+    switch (entry.kind) {
+      case Kind::kCounter:
+        out += "\"type\": \"counter\", \"value\": " +
+               std::to_string(entry.counter->value());
+        break;
+      case Kind::kGauge:
+        out += "\"type\": \"gauge\", \"value\": " +
+               std::to_string(entry.gauge->value());
+        break;
+      case Kind::kHistogram: {
+        const Histogram* h = entry.histogram.get();
+        out += "\"type\": \"histogram\", \"count\": " +
+               std::to_string(h->count()) +
+               ", \"mean_ms\": " + FmtDouble(h->mean_ms()) +
+               ", \"p50_ms\": " + FmtDouble(h->percentile(50.0)) +
+               ", \"p95_ms\": " + FmtDouble(h->percentile(95.0)) +
+               ", \"p99_ms\": " + FmtDouble(h->percentile(99.0));
+        break;
+      }
+    }
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+int64_t Registry::series() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(entries_.size());
+}
+
+PeriodicJsonWriter::PeriodicJsonWriter(const Registry* registry,
+                                       std::string path, double interval_ms)
+    : registry_(registry), path_(std::move(path)), interval_ms_(interval_ms) {
+  CAUSALTAD_CHECK(registry_ != nullptr);
+  thread_ = std::thread([this] { Main(); });
+}
+
+PeriodicJsonWriter::~PeriodicJsonWriter() {
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  WriteOnce();  // final snapshot, so a clean exit never loses the tail
+}
+
+std::unique_ptr<PeriodicJsonWriter> PeriodicJsonWriter::FromEnv(
+    const Registry* registry) {
+  const char* path = std::getenv("CAUSALTAD_METRICS_JSON");
+  if (path == nullptr || path[0] == '\0') return nullptr;
+  double interval_ms = 1000.0;
+  if (const char* env = std::getenv("CAUSALTAD_METRICS_JSON_INTERVAL_MS")) {
+    const double v = std::atof(env);
+    if (v > 0) interval_ms = v;
+  }
+  return std::make_unique<PeriodicJsonWriter>(registry, path, interval_ms);
+}
+
+void PeriodicJsonWriter::Main() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    WriteOnce();
+    // Sleep in small slices so destruction is prompt.
+    double left = interval_ms_;
+    while (left > 0 && !stop_.load(std::memory_order_acquire)) {
+      const double slice = left < 10.0 ? left : 10.0;
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(slice));
+      left -= slice;
+    }
+  }
+}
+
+void PeriodicJsonWriter::WriteOnce() {
+  const std::string snapshot = registry_->JsonSnapshot();
+  const std::string tmp = path_ + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return;  // transient (dir missing, perms): retry next tick
+  const size_t n = std::fwrite(snapshot.data(), 1, snapshot.size(), f);
+  std::fclose(f);
+  if (n != snapshot.size() || std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return;
+  }
+  writes_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+}  // namespace obs
+}  // namespace causaltad

@@ -1,0 +1,218 @@
+#ifndef CAUSALTAD_OBS_METRICS_H_
+#define CAUSALTAD_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/latency_histogram.h"
+
+namespace causaltad {
+namespace obs {
+
+/// Version stamped into every text exposition and JSON snapshot. Bump when
+/// the exposition grammar (not the metric set) changes — scrapers key their
+/// parsers on it.
+inline constexpr int kExpositionVersion = 1;
+
+/// Process-wide metrics switch. On (the default), every Counter/Gauge/
+/// Histogram update runs; off, updates early-return after one relaxed load,
+/// which is as close to "compiled out" as a runtime toggle gets — the
+/// bench_fig6_online metrics A/B flips this around the streaming path.
+/// Disabling freezes every registered value (stats snapshots read 0s for
+/// anything counted while off), so production keeps it on.
+bool Enabled();
+void SetEnabled(bool on);
+
+/// Ordered label set, e.g. {{"tenant", "t0"}, {"shard", "2"}}. Order is
+/// preserved into the exposition; keep cardinality low (see
+/// src/obs/README.md — labels multiply series, they are not a log).
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonic counter: one relaxed atomic increment on the hot path. Handles
+/// come from Registry::GetCounter and stay valid for the registry's life.
+class Counter {
+ public:
+  void Inc(int64_t n = 1) {
+    if (Enabled()) v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Last-write-wins instantaneous value (live sessions, generations, queue
+/// depth). Add() for delta-tracked gauges.
+class Gauge {
+ public:
+  void Set(int64_t v) {
+    if (Enabled()) v_.store(v, std::memory_order_relaxed);
+  }
+  void Add(int64_t d) {
+    if (Enabled()) v_.fetch_add(d, std::memory_order_relaxed);
+  }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Latency distribution over util::LatencyHistogram (quarter-octave
+/// geometric buckets, lock-free Add). The exposition emits count, mean, and
+/// p50/p95/p99. raw() exposes the underlying histogram for sinks that
+/// record through a util::LatencyHistogram* (the batcher queue-wait path);
+/// those writes bypass the Enabled() gate, so gate them at the sink.
+class Histogram {
+ public:
+  void Observe(double ms) {
+    if (Enabled()) h_.Add(ms);
+  }
+  util::LatencyHistogram* raw() { return &h_; }
+  const util::LatencyHistogram* raw() const { return &h_; }
+  int64_t count() const { return h_.TotalCount(); }
+  double mean_ms() const { return h_.MeanMs(); }
+  double percentile(double p) const { return h_.Percentile(p); }
+
+ private:
+  util::LatencyHistogram h_;
+};
+
+/// Name + label-set keyed registry of Counters, Gauges, and Histograms.
+/// Get* registers on first use and returns the same stable handle for the
+/// same (name, labels) afterwards; handles are the hot-path interface — the
+/// registry lock is only taken at registration and export time.
+///
+/// Every component takes an injectable Registry* (null = Default()), so a
+/// test hosting several backends in one process can give each its own
+/// registry and a kStats scrape returns only that backend's series.
+class Registry {
+ public:
+  /// The shared process-wide registry.
+  static Registry* Default();
+
+  Counter* GetCounter(const std::string& name, const Labels& labels = {});
+  Gauge* GetGauge(const std::string& name, const Labels& labels = {});
+  Histogram* GetHistogram(const std::string& name, const Labels& labels = {});
+
+  /// Versioned Prometheus-style text exposition:
+  ///   # causaltad_metrics v1
+  ///   name{key="value",...} value
+  /// Histograms expand into name_count / name_mean_ms / name_p50_ms /
+  /// name_p95_ms / name_p99_ms series. Lines are sorted by series name, so
+  /// the output is diffable and the format is testable byte-for-byte.
+  std::string ExpositionText() const;
+
+  /// The same snapshot as one JSON object (for the periodic snapshot
+  /// writer and ad-hoc dashboards).
+  std::string JsonSnapshot() const;
+
+  /// Registered series count (counters + gauges + histograms).
+  int64_t series() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    std::string name;
+    Labels labels;
+    Kind kind = Kind::kCounter;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* FindOrCreateLocked(const std::string& name, const Labels& labels,
+                            Kind kind);
+
+  mutable std::mutex mu_;
+  // Keyed by name + rendered labels; std::map keeps the exposition sorted.
+  std::map<std::string, Entry> entries_;
+};
+
+/// Instance-owned counter mirrored into a registry series. The local atomic
+/// is authoritative for value() and is NOT gated by Enabled(), so a
+/// component's stats() snapshot stays scoped to that component — and stays
+/// exact — even when several concurrent instances in one process share a
+/// registry (Registry::Default()): the shared series accumulates across all
+/// of them (what a fleet exposition wants), the local value does not.
+class ScopedCounter {
+ public:
+  void Bind(Registry* registry, const std::string& name,
+            const Labels& labels = {}) {
+    c_ = registry->GetCounter(name, labels);
+  }
+  void Inc(int64_t n = 1) {
+    v_.fetch_add(n, std::memory_order_relaxed);
+    if (c_ != nullptr) c_->Inc(n);
+  }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+  Counter* c_ = nullptr;
+};
+
+/// Instance-owned gauge mirrored into a registry series. The local atomic
+/// is the source of truth and is NOT gated by Enabled() — gauge values like
+/// active-connection counts drive functional decisions (drain completion),
+/// which must not change when metrics are toggled off. The registry mirror
+/// is best-effort telemetry.
+class ScopedGauge {
+ public:
+  void Bind(Registry* registry, const std::string& name,
+            const Labels& labels = {}) {
+    g_ = registry->GetGauge(name, labels);
+  }
+  void Set(int64_t v) {
+    v_.store(v, std::memory_order_relaxed);
+    if (g_ != nullptr) g_->Set(v);
+  }
+  void Add(int64_t d) {
+    v_.fetch_add(d, std::memory_order_relaxed);
+    if (g_ != nullptr) g_->Add(d);
+  }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+  Gauge* g_ = nullptr;
+};
+
+/// Background thread writing Registry::JsonSnapshot() to `path` every
+/// `interval_ms` (atomically: temp file + rename), plus once at shutdown.
+/// FromEnv() starts one when CAUSALTAD_METRICS_JSON=<path> is set
+/// (CAUSALTAD_METRICS_JSON_INTERVAL_MS overrides the 1000ms default) and
+/// returns null otherwise — deployments opt in per process.
+class PeriodicJsonWriter {
+ public:
+  PeriodicJsonWriter(const Registry* registry, std::string path,
+                     double interval_ms);
+  ~PeriodicJsonWriter();
+
+  static std::unique_ptr<PeriodicJsonWriter> FromEnv(const Registry* registry);
+
+  /// Snapshots written so far (tests poll this instead of sleeping).
+  int64_t writes() const { return writes_.load(std::memory_order_acquire); }
+
+ private:
+  void Main();
+  void WriteOnce();
+
+  const Registry* registry_;
+  std::string path_;
+  double interval_ms_;
+  std::atomic<bool> stop_{false};
+  std::atomic<int64_t> writes_{0};
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace causaltad
+
+#endif  // CAUSALTAD_OBS_METRICS_H_

@@ -1,0 +1,148 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+namespace causaltad {
+namespace obs {
+namespace {
+
+// The slow log is a forensic aid, not a database: keep the most recent
+// chains and drop the oldest once full.
+constexpr size_t kMaxSlowChains = 64;
+
+std::string Escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+double TraceNowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Tracer::Tracer(size_t capacity) : capacity_(capacity < 16 ? 16 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+Tracer* Tracer::Default() {
+  static Tracer* tracer = new Tracer();
+  return tracer;
+}
+
+void Tracer::Record(uint64_t trace_id, const std::string& stage,
+                    const std::string& where, double start_ms,
+                    double duration_ms, bool root) {
+  if (trace_id == 0 || !Enabled()) return;
+  Span span;
+  span.trace_id = trace_id;
+  span.stage = stage;
+  span.where = where;
+  span.start_ms = start_ms;
+  span.duration_ms = duration_ms;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (root && slow_threshold_ms_ > 0.0 && duration_ms >= slow_threshold_ms_) {
+    SlowChain chain;
+    chain.root = span;
+    for (const Span& s : ring_) {
+      if (s.trace_id == trace_id) chain.spans.push_back(s);
+    }
+    if (slow_.size() >= kMaxSlowChains) slow_.erase(slow_.begin());
+    slow_.push_back(std::move(chain));
+  }
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(span));
+  } else {
+    ring_[next_] = std::move(span);
+    next_ = (next_ + 1) % capacity_;
+  }
+  ++recorded_;
+}
+
+void Tracer::set_slow_threshold_ms(double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  slow_threshold_ms_ = ms;
+}
+
+std::vector<Span> Tracer::SpansFor(uint64_t trace_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Span> out;
+  for (const Span& s : ring_) {
+    if (s.trace_id == trace_id) out.push_back(s);
+  }
+  return out;
+}
+
+std::string Tracer::SpanJson(const Span& span) {
+  char num[64];
+  std::string out = "{\"trace_id\": ";
+  std::snprintf(num, sizeof(num), "%llu",
+                static_cast<unsigned long long>(span.trace_id));
+  out += num;
+  out += ", \"stage\": \"" + Escape(span.stage) + "\"";
+  out += ", \"where\": \"" + Escape(span.where) + "\"";
+  std::snprintf(num, sizeof(num), "%.4f", span.start_ms);
+  out += std::string(", \"start_ms\": ") + num;
+  std::snprintf(num, sizeof(num), "%.4f", span.duration_ms);
+  out += std::string(", \"duration_ms\": ") + num;
+  out += "}";
+  return out;
+}
+
+std::string Tracer::DumpJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "[";
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\n  " + SpanJson(ring_[i]);
+  }
+  out += "\n]\n";
+  return out;
+}
+
+std::string Tracer::SlowLogJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "[";
+  for (size_t i = 0; i < slow_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\n  {\"root\": " + SpanJson(slow_[i].root) + ", \"spans\": [";
+    for (size_t k = 0; k < slow_[i].spans.size(); ++k) {
+      if (k > 0) out += ", ";
+      out += SpanJson(slow_[i].spans[k]);
+    }
+    out += "]}";
+  }
+  out += "\n]\n";
+  return out;
+}
+
+int64_t Tracer::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+int64_t Tracer::slow_chains() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(slow_.size());
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  slow_.clear();
+}
+
+}  // namespace obs
+}  // namespace causaltad

@@ -1,0 +1,92 @@
+#ifndef CAUSALTAD_OBS_TRACE_H_
+#define CAUSALTAD_OBS_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace causaltad {
+namespace obs {
+
+/// One recorded span of a traced point's journey. A trace id is minted at
+/// the client on a sampled Push, carried in the protocol v4 Push extension
+/// through router legs to the backend shard, and every tier appends its
+/// span: client_push_rtt (root), router_leg, server_dispatch, queue_wait,
+/// compute, emit. `where` is free-form placement detail ("backend=1",
+/// "shard=0"); timestamps are process-steady-clock milliseconds.
+struct Span {
+  uint64_t trace_id = 0;
+  std::string stage;
+  std::string where;
+  double start_ms = 0.0;
+  double duration_ms = 0.0;
+};
+
+/// Steady-clock now in milliseconds — the shared span timebase.
+double TraceNowMs();
+
+/// Bounded ring buffer of spans plus a slow-request log. Record() is a
+/// short critical section; traces are sampled, so the lock is off the
+/// un-sampled hot path entirely (trace_id == 0 returns before it).
+///
+/// The slow log: when a ROOT span (the client's push→score round trip)
+/// finishes over slow_threshold_ms, the full span chain for that trace is
+/// copied out of the ring into a bounded side log — the flight recorder
+/// for tail-latency forensics.
+class Tracer {
+ public:
+  explicit Tracer(size_t capacity = 4096);
+
+  /// The shared process-wide tracer (what every component defaults to, so
+  /// one dump holds the whole in-process chain).
+  static Tracer* Default();
+
+  /// Records one span. No-op when trace_id is 0 or obs::Enabled() is off.
+  /// `root = true` marks the trace's end-to-end span and triggers the slow
+  /// log check.
+  void Record(uint64_t trace_id, const std::string& stage,
+              const std::string& where, double start_ms, double duration_ms,
+              bool root = false);
+
+  /// Root spans slower than this are captured into the slow log with their
+  /// full chains; <= 0 disables (the default).
+  void set_slow_threshold_ms(double ms);
+
+  /// All spans recorded for `trace_id` still in the ring, in record order.
+  std::vector<Span> SpansFor(uint64_t trace_id) const;
+
+  /// Every span in the ring as a JSON array — the single dump a span chain
+  /// is reconstructed from: [{"trace_id": ..., "stage": ..., "where": ...,
+  /// "start_ms": ..., "duration_ms": ...}, ...].
+  std::string DumpJson() const;
+
+  /// The slow log as a JSON array of {root, spans[]} chains.
+  std::string SlowLogJson() const;
+
+  /// Spans recorded since construction (ring overwrites do not decrement).
+  int64_t recorded() const;
+  int64_t slow_chains() const;
+
+  void Clear();
+
+ private:
+  static std::string SpanJson(const Span& span);
+
+  mutable std::mutex mu_;
+  std::vector<Span> ring_;
+  size_t capacity_;
+  size_t next_ = 0;
+  int64_t recorded_ = 0;
+  double slow_threshold_ms_ = 0.0;
+  struct SlowChain {
+    Span root;
+    std::vector<Span> spans;
+  };
+  std::vector<SlowChain> slow_;
+};
+
+}  // namespace obs
+}  // namespace causaltad
+
+#endif  // CAUSALTAD_OBS_TRACE_H_

@@ -32,17 +32,30 @@ StreamingService::StreamingService(const core::CausalTad* model,
                                    core::ScoreVariant variant, double lambda,
                                    ServiceOptions options)
     : options_(std::move(options)),
+      registry_(options_.registry ? options_.registry
+                                  : obs::Registry::Default()),
       variant_(variant),
       lambda_(lambda),
       start_(std::chrono::steady_clock::now()) {
   CAUSALTAD_CHECK_GT(options_.num_shards, 0);
+  sessions_begun_.Bind(registry_, "service_sessions_begun_total");
+  points_accepted_.Bind(registry_, "service_points_accepted_total");
+  rejected_session_full_.Bind(registry_,
+                              "service_rejected_session_full_total");
+  rejected_shard_full_.Bind(registry_, "service_rejected_shard_full_total");
+  model_swaps_.Bind(registry_, "service_model_swaps_total");
+  generations_retired_.Bind(registry_, "service_generations_retired_total");
   model_.store(model, std::memory_order_relaxed);
   shards_.reserve(options_.num_shards);
   for (int i = 0; i < options_.num_shards; ++i) {
     auto shard = std::make_unique<Shard>();
+    shard->index = i;
+    shard->queue_wait = registry_->GetHistogram(
+        "service_queue_wait_ms", {{"shard", std::to_string(i)}});
+    shard->stats_base = shard->queue_wait->raw()->TakeSnapshot();
     shard->gens.push_back(
         MakeBatcher(model, shard.get(), options_.batcher.max_delay_ms));
-    shard->adapt_base = shard->queue_wait.TakeSnapshot();
+    shard->adapt_base = shard->queue_wait->raw()->TakeSnapshot();
     shards_.push_back(std::move(shard));
   }
   const double now = NowMs();
@@ -66,8 +79,10 @@ double StreamingService::NowMs() const {
 std::unique_ptr<StreamingBatcher> StreamingService::MakeBatcher(
     const core::CausalTad* model, Shard* shard, double max_delay_ms) const {
   StreamingOptions batcher_options = options_.batcher;
-  batcher_options.queue_wait = &shard->queue_wait;
+  batcher_options.queue_wait = shard->queue_wait->raw();
   batcher_options.max_delay_ms = max_delay_ms;
+  batcher_options.tracer = options_.tracer;
+  batcher_options.trace_where = "shard=" + std::to_string(shard->index);
   const double lambda = lambda_from_model_ ? model->lambda() : lambda_;
   return std::make_unique<StreamingBatcher>(model, variant_, lambda,
                                             batcher_options);
@@ -135,7 +150,7 @@ SessionId StreamingService::BeginSessionAt(roadnet::SegmentId source,
     inner = shard->next_inner++;
     shard->route.emplace(inner, Route{batcher, batcher_id});
   }
-  sessions_begun_.fetch_add(1, std::memory_order_relaxed);
+  sessions_begun_.Inc();
   // Bijective (inner, shard) -> service id; decoding needs no lock or map.
   return inner * n + shard_index;
 }
@@ -147,6 +162,11 @@ SessionId StreamingService::Begin(const traj::Trip& trip) {
 }
 
 PushStatus StreamingService::Push(SessionId id, roadnet::SegmentId segment) {
+  return Push(id, segment, /*trace_id=*/0);
+}
+
+PushStatus StreamingService::Push(SessionId id, roadnet::SegmentId segment,
+                                  uint64_t trace_id) {
   SessionId inner = 0;
   Shard* shard = ShardOf(id, &inner);
   // The shared lock pins the pre-shutdown world: Shutdown() cannot proceed
@@ -162,17 +182,17 @@ PushStatus StreamingService::Push(SessionId id, roadnet::SegmentId segment) {
     CAUSALTAD_CHECK(it != shard->route.end()) << "unknown session " << id;
     status = it->second.batcher->TryPush(it->second.id, segment,
                                          options_.max_session_pending,
-                                         options_.max_shard_queued);
+                                         options_.max_shard_queued, trace_id);
   }
   switch (status) {
     case PushStatus::kAccepted:
-      points_accepted_.fetch_add(1, std::memory_order_relaxed);
+      points_accepted_.Inc();
       break;
     case PushStatus::kSessionFull:
-      rejected_session_full_.fetch_add(1, std::memory_order_relaxed);
+      rejected_session_full_.Inc();
       break;
     case PushStatus::kShardFull:
-      rejected_shard_full_.fetch_add(1, std::memory_order_relaxed);
+      rejected_shard_full_.Inc();
       break;
     case PushStatus::kShutdown:
       break;  // unreachable: the batcher has no lifecycle
@@ -262,7 +282,7 @@ bool StreamingService::SwapModel(const core::CausalTad* model) {
     shard->gens.push_back(std::move(batcher));
   }
   model_.store(model, std::memory_order_release);
-  model_swaps_.fetch_add(1, std::memory_order_relaxed);
+  model_swaps_.Inc();
   return true;
 }
 
@@ -279,10 +299,11 @@ void StreamingService::AdaptShard(Shard* shard) {
   std::lock_guard<std::mutex> adapt_lock(shard->adapt_mu);
   const double now = NowMs();
   if (now - shard->last_adapt_ms < options_.adapt_interval_ms) return;
-  const int64_t samples = shard->queue_wait.CountSince(shard->adapt_base);
+  const util::LatencyHistogram* qw = shard->queue_wait->raw();
+  const int64_t samples = qw->CountSince(shard->adapt_base);
   if (samples < options_.adapt_min_samples) return;  // window keeps growing
-  const double p95 = shard->queue_wait.PercentileSince(shard->adapt_base, 95.0);
-  shard->adapt_base = shard->queue_wait.TakeSnapshot();
+  const double p95 = qw->PercentileSince(shard->adapt_base, 95.0);
+  shard->adapt_base = qw->TakeSnapshot();
   shard->last_adapt_ms = now;
   std::shared_lock<std::shared_mutex> lock(shard->gens_mu);
   if (shard->gens.empty()) return;
@@ -326,7 +347,7 @@ void StreamingService::MaybeRetire(Shard* shard) {
       it = it->second.batcher == g ? shard->route.erase(it) : std::next(it);
     }
     shard->gens.erase(shard->gens.begin() + static_cast<int64_t>(i));
-    generations_retired_.fetch_add(1, std::memory_order_relaxed);
+    generations_retired_.Inc();
   }
 }
 
@@ -374,19 +395,22 @@ double StreamingService::shard_delay_ms(int shard) const {
 
 ServiceStats StreamingService::stats() const {
   ServiceStats stats;
-  stats.sessions_begun = sessions_begun_.load(std::memory_order_relaxed);
-  stats.points_accepted = points_accepted_.load(std::memory_order_relaxed);
+  stats.sessions_begun = sessions_begun_.value();
+  stats.points_accepted = points_accepted_.value();
   stats.rejected_session_full =
-      rejected_session_full_.load(std::memory_order_relaxed);
+      rejected_session_full_.value();
   stats.rejected_shard_full =
-      rejected_shard_full_.load(std::memory_order_relaxed);
-  stats.model_swaps = model_swaps_.load(std::memory_order_relaxed);
+      rejected_shard_full_.value();
+  stats.model_swaps = model_swaps_.value();
   stats.generations_retired =
-      generations_retired_.load(std::memory_order_relaxed);
+      generations_retired_.value();
   std::vector<const util::LatencyHistogram*> hists;
+  std::vector<util::LatencyHistogram::Snapshot> bases;
   hists.reserve(shards_.size());
+  bases.reserve(shards_.size());
   for (const auto& shard : shards_) {
-    hists.push_back(&shard->queue_wait);
+    hists.push_back(shard->queue_wait->raw());
+    bases.push_back(shard->stats_base);
     std::shared_lock<std::shared_mutex> lock(shard->gens_mu);
     stats.generations_live += static_cast<int64_t>(shard->gens.size());
     for (const auto& g : shard->gens) {
@@ -411,12 +435,12 @@ ServiceStats StreamingService::stats() const {
       std::chrono::duration<double>(end - start_).count();
   if (seconds > 0.0) stats.points_per_sec = stats.points_scored / seconds;
   const int n = static_cast<int>(hists.size());
-  stats.queue_wait_p50_ms =
-      util::LatencyHistogram::MergedPercentile(hists.data(), n, 50.0);
-  stats.queue_wait_p95_ms =
-      util::LatencyHistogram::MergedPercentile(hists.data(), n, 95.0);
-  stats.queue_wait_p99_ms =
-      util::LatencyHistogram::MergedPercentile(hists.data(), n, 99.0);
+  stats.queue_wait_p50_ms = util::LatencyHistogram::MergedPercentileSince(
+      hists.data(), bases.data(), n, 50.0);
+  stats.queue_wait_p95_ms = util::LatencyHistogram::MergedPercentileSince(
+      hists.data(), bases.data(), n, 95.0);
+  stats.queue_wait_p99_ms = util::LatencyHistogram::MergedPercentileSince(
+      hists.data(), bases.data(), n, 99.0);
   return stats;
 }
 

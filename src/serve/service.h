@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "serve/streaming.h"
 #include "util/latency_histogram.h"
 
@@ -61,6 +62,15 @@ struct ServiceOptions {
   double min_delay_ms = 0.05;
   double max_delay_ms_cap = 50.0;
   int64_t adapt_min_samples = 32;
+
+  /// Metrics sink: the service registers its ops counters and per-shard
+  /// queue-wait histograms here (null = obs::Registry::Default()). Inject a
+  /// private registry when several services share one process and need
+  /// separate expositions (the router fleet tests do).
+  obs::Registry* registry = nullptr;
+  /// Span sink for traced points (null = tracing off). Forwarded to every
+  /// shard batcher with trace_where = "shard=<i>".
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Ops counters exported by StreamingService::stats().
@@ -144,6 +154,11 @@ class StreamingService {
   /// rejected; it can never be accepted and then silently dropped.
   PushStatus Push(SessionId id, roadnet::SegmentId segment);
 
+  /// Push carrying a sampled trace identity: a nonzero trace_id rides the
+  /// point through admission and the shard batcher records
+  /// queue_wait/compute/emit spans for it into options.tracer.
+  PushStatus Push(SessionId id, roadnet::SegmentId segment, uint64_t trace_id);
+
   void End(SessionId id);
 
   /// Drains the session's scores emitted since the last Poll, feed order.
@@ -210,13 +225,19 @@ class StreamingService {
     std::vector<std::unique_ptr<StreamingBatcher>> gens;
     std::unordered_map<SessionId, Route> route;
     SessionId next_inner = 0;
-    util::LatencyHistogram queue_wait;
+    int index = 0;  // position in shards_, for the "shard" metric label
+    /// Registry-owned queue-wait histogram (label shard="<i>") — the same
+    /// series backs the exposition, stats(), and the adaptive controller.
+    obs::Histogram* queue_wait = nullptr;
     std::thread pump;
     std::mutex mu;
     std::condition_variable cv;  // wakes the pump early on Shutdown
     /// Adaptive-deadline controller state (guarded by adapt_mu).
     std::mutex adapt_mu;
     util::LatencyHistogram::Snapshot adapt_base;
+    /// Histogram state at service construction: stats() windows the
+    /// registry-owned histogram to this instance's samples.
+    util::LatencyHistogram::Snapshot stats_base;
     double last_adapt_ms = 0.0;
   };
 
@@ -231,6 +252,7 @@ class StreamingService {
   void MaybeRetire(Shard* shard);
 
   ServiceOptions options_;
+  obs::Registry* registry_ = nullptr;  // options_.registry or Default()
   core::ScoreVariant variant_;
   double lambda_ = 0.0;
   /// True when constructed via the model-λ constructor: a swap then adopts
@@ -249,12 +271,16 @@ class StreamingService {
   bool shut_down_ = false;
   mutable std::mutex shutdown_mu_;
   std::mutex swap_mu_;  // serializes SwapModel calls
-  std::atomic<int64_t> sessions_begun_{0};
-  std::atomic<int64_t> points_accepted_{0};
-  std::atomic<int64_t> rejected_session_full_{0};
-  std::atomic<int64_t> rejected_shard_full_{0};
-  std::atomic<int64_t> model_swaps_{0};
-  std::atomic<int64_t> generations_retired_{0};
+  // Ops counters: instance-owned atomics mirrored into service_* registry
+  // series (ScopedCounter), so stats() stays per-instance and exact even
+  // when several concurrent services share one registry (Default()), while
+  // the exposition accumulates across all of them.
+  obs::ScopedCounter sessions_begun_;
+  obs::ScopedCounter points_accepted_;
+  obs::ScopedCounter rejected_session_full_;
+  obs::ScopedCounter rejected_shard_full_;
+  obs::ScopedCounter model_swaps_;
+  obs::ScopedCounter generations_retired_;
   std::chrono::steady_clock::time_point start_;
   std::chrono::steady_clock::time_point stop_time_;
 };

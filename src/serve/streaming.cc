@@ -161,20 +161,24 @@ StreamingSession StreamingBatcher::Begin(const traj::Trip& trip) {
 
 void StreamingBatcher::Push(SessionId id, roadnet::SegmentId segment) {
   std::lock_guard<std::mutex> lock(mu_);
-  PushLocked(id, segment, /*max_session_pending=*/0, /*max_queued_points=*/0);
+  PushLocked(id, segment, /*max_session_pending=*/0, /*max_queued_points=*/0,
+             /*trace_id=*/0);
 }
 
 PushStatus StreamingBatcher::TryPush(SessionId id, roadnet::SegmentId segment,
                                      int64_t max_session_pending,
-                                     int64_t max_queued_points) {
+                                     int64_t max_queued_points,
+                                     uint64_t trace_id) {
   std::lock_guard<std::mutex> lock(mu_);
-  return PushLocked(id, segment, max_session_pending, max_queued_points);
+  return PushLocked(id, segment, max_session_pending, max_queued_points,
+                    trace_id);
 }
 
 PushStatus StreamingBatcher::PushLocked(SessionId id,
                                         roadnet::SegmentId segment,
                                         int64_t max_session_pending,
-                                        int64_t max_queued_points) {
+                                        int64_t max_queued_points,
+                                        uint64_t trace_id) {
   auto it = sessions_.find(id);
   CAUSALTAD_CHECK(it != sessions_.end()) << "unknown session " << id;
   CAUSALTAD_CHECK(!it->second.ended) << "session " << id << " already ended";
@@ -187,7 +191,7 @@ PushStatus StreamingBatcher::PushLocked(SessionId id,
     return PushStatus::kSessionFull;
   }
   const double now = Now();
-  it->second.pending.push_back({segment, now});
+  it->second.pending.push_back({segment, now, trace_id});
   ++queued_points_;
   if (!it->second.in_ready) {
     it->second.in_ready = true;
@@ -288,7 +292,7 @@ int64_t StreamingBatcher::Step() {
     AdmitLocked(&plan);
   }
   if (plan.admitted.empty()) return 0;
-  ComputeUnlocked(&plan);
+  ComputePhase(&plan);
   std::lock_guard<std::mutex> lock(mu_);
   return CommitLocked(plan);
 }
@@ -308,9 +312,25 @@ int64_t StreamingBatcher::StepIfReady() {
     AdmitLocked(&plan);
   }
   if (plan.admitted.empty()) return 0;
-  ComputeUnlocked(&plan);
+  ComputePhase(&plan);
   std::lock_guard<std::mutex> lock(mu_);
   return CommitLocked(plan);
+}
+
+void StreamingBatcher::ComputePhase(BatchPlan* plan) const {
+  // Span timing only when this batch carries a traced point — the untraced
+  // fast path runs the kernels with zero extra clock reads.
+  bool traced = false;
+  if (options_.tracer != nullptr) {
+    for (const uint64_t id : plan->trace_ids) traced |= id != 0;
+  }
+  if (!traced) {
+    ComputeUnlocked(plan);
+    return;
+  }
+  plan->compute_start_ms = Now();
+  ComputeUnlocked(plan);
+  plan->compute_dur_ms = Now() - plan->compute_start_ms;
 }
 
 void StreamingBatcher::Flush() {
@@ -342,8 +362,15 @@ void StreamingBatcher::AdmitLocked(BatchPlan* plan) {
     s.in_flight = true;
     plan->admitted.push_back(id);
     plan->points.push_back(s.pending.front().segment);
+    plan->trace_ids.push_back(s.pending.front().trace_id);
     if (options_.queue_wait != nullptr) {
       options_.queue_wait->Add(now - s.pending.front().enqueued_ms);
+    }
+    if (options_.tracer != nullptr && s.pending.front().trace_id != 0) {
+      options_.tracer->Record(s.pending.front().trace_id, "queue_wait",
+                              options_.trace_where,
+                              s.pending.front().enqueued_ms,
+                              now - s.pending.front().enqueued_ms);
     }
     s.pending.pop_front();
     --queued_points_;
@@ -432,12 +459,21 @@ int64_t StreamingBatcher::CommitLocked(const BatchPlan& plan) {
     }
     s.last = plan.points[a];
     s.has_last = true;
+    if (options_.tracer != nullptr && plan.trace_ids[a] != 0) {
+      options_.tracer->Record(plan.trace_ids[a], "compute",
+                              options_.trace_where, plan.compute_start_ms,
+                              plan.compute_dur_ms);
+    }
     if (s.emit_skip > 0) {
       // Prefix replay: the consumer already holds this score — the state
       // advance above is the whole point; queueing it would duplicate.
       --s.emit_skip;
     } else {
       s.scores.push_back(s.base + s.nll - lambda_ * s.scaling);
+      if (options_.tracer != nullptr && plan.trace_ids[a] != 0) {
+        options_.tracer->Record(plan.trace_ids[a], "emit",
+                                options_.trace_where, Now(), 0.0);
+      }
     }
     if (!s.pending.empty()) {
       // A Push that landed while we computed may have re-queued the session

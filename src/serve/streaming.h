@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/causal_tad.h"
+#include "obs/trace.h"
 #include "roadnet/road_network.h"
 #include "traj/trajectory.h"
 #include "util/latency_histogram.h"
@@ -38,6 +39,12 @@ struct StreamingOptions {
   /// lock-free, so the StreamingService shares one histogram across all
   /// its shards' pump threads.
   util::LatencyHistogram* queue_wait = nullptr;
+  /// Span sink for sampled traced points (null = no tracing). A push that
+  /// carries a nonzero trace id records queue_wait / compute / emit spans
+  /// here, tagged with trace_where ("shard=2") — the backend-shard legs of
+  /// the cross-tier span chain. Must outlive the batcher.
+  obs::Tracer* tracer = nullptr;
+  std::string trace_where;
 };
 
 using SessionId = int64_t;
@@ -128,9 +135,11 @@ class StreamingBatcher {
   /// already has max_session_pending unscored points, and with kShardFull
   /// once the batcher holds max_queued_points in total (<= 0 disables
   /// either bound). The check and the enqueue are one critical section.
+  /// A nonzero trace_id rides the point through admission and records
+  /// queue_wait/compute/emit spans into StreamingOptions::tracer.
   PushStatus TryPush(SessionId id, roadnet::SegmentId segment,
                      int64_t max_session_pending,
-                     int64_t max_queued_points = 0);
+                     int64_t max_queued_points = 0, uint64_t trace_id = 0);
 
   /// Marks the trip finished. Its state row is released (and the state
   /// matrix compacted when mostly free) once every queued point has been
@@ -191,6 +200,7 @@ class StreamingBatcher {
   struct PendingPoint {
     roadnet::SegmentId segment = roadnet::kInvalidSegment;
     double enqueued_ms = 0.0;
+    uint64_t trace_id = 0;  // sampled trace identity, 0 = untraced
   };
 
   struct Session {
@@ -224,6 +234,9 @@ class StreamingBatcher {
   struct BatchPlan {
     std::vector<SessionId> admitted;
     std::vector<roadnet::SegmentId> points;
+    std::vector<uint64_t> trace_ids;  // parallel to admitted (0 = untraced)
+    double compute_start_ms = 0.0;    // set around ComputeUnlocked when any
+    double compute_dur_ms = 0.0;      // admitted point is traced
     // GRU-transition partition (row k of tr_states is transition k's state).
     std::vector<roadnet::SegmentId> tr_current, tr_next;
     std::vector<size_t> tr_admitted;
@@ -242,7 +255,10 @@ class StreamingBatcher {
   double ReadyPopLocked();
   PushStatus PushLocked(SessionId id, roadnet::SegmentId segment,
                         int64_t max_session_pending,
-                        int64_t max_queued_points);
+                        int64_t max_queued_points, uint64_t trace_id);
+  /// ComputeUnlocked plus the traced-batch compute-span timing — the shared
+  /// middle phase of Step/StepIfReady.
+  void ComputePhase(BatchPlan* plan) const;
   /// Step phase 1 (under mu_): pop up to max_batch_rows ready sessions,
   /// mark them in flight, and snapshot their compute inputs into `plan`.
   void AdmitLocked(BatchPlan* plan);

@@ -125,5 +125,19 @@ double LatencyHistogram::MergedPercentile(const LatencyHistogram* const* hists,
   return PercentileOfCounts(merged, p);
 }
 
+double LatencyHistogram::MergedPercentileSince(
+    const LatencyHistogram* const* hists, const Snapshot* bases, int n,
+    double p) {
+  std::array<int64_t, kNumBuckets> merged{};
+  for (int i = 0; i < n; ++i) {
+    for (int b = 0; b < kNumBuckets; ++b) {
+      merged[b] += std::max<int64_t>(
+          0, hists[i]->buckets_[b].load(std::memory_order_relaxed) -
+                 bases[i].counts[b]);
+    }
+  }
+  return PercentileOfCounts(merged, p);
+}
+
 }  // namespace util
 }  // namespace causaltad

@@ -60,6 +60,13 @@ class LatencyHistogram {
   static double MergedPercentile(const LatencyHistogram* const* hists, int n,
                                  double p);
 
+  /// MergedPercentile restricted to samples each histogram recorded after
+  /// its paired baseline in `bases` (bases[i] belongs to hists[i]) — the
+  /// per-instance window when the histograms are registry-owned and outlive
+  /// any one owner. Counts that raced below a baseline clamp to 0.
+  static double MergedPercentileSince(const LatencyHistogram* const* hists,
+                                      const Snapshot* bases, int n, double p);
+
  private:
   std::array<std::atomic<int64_t>, kNumBuckets> buckets_{};
   std::atomic<int64_t> sum_us_{0};

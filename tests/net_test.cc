@@ -52,7 +52,7 @@ using serve::StreamingSession;
 // ---------------------------------------------------------------------------
 
 Frame RandomFrame(std::mt19937* rng) {
-  std::uniform_int_distribution<int> type_dist(1, 13);
+  std::uniform_int_distribution<int> type_dist(1, 14);
   std::uniform_int_distribution<uint64_t> u64;
   std::uniform_int_distribution<int32_t> i32(-2, 1 << 20);
   std::uniform_int_distribution<int> len(0, 2048);
@@ -81,6 +81,8 @@ Frame RandomFrame(std::mt19937* rng) {
       frame.seq = u64(*rng);
       frame.wire_seq = u64(*rng);
       frame.segment = i32(*rng);
+      // Half the pushes carry the optional v4 trace extension.
+      if (u64(*rng) % 2 == 0) frame.trace_id = u64(*rng) | 1;
       break;
     case FrameType::kEnd:
       frame.session = u64(*rng);
@@ -133,6 +135,9 @@ Frame RandomFrame(std::mt19937* rng) {
       frame.seq = u64(*rng) % 3;
       frame.message = random_string(1024);
       break;
+    case FrameType::kStats:
+      frame.token = u64(*rng);
+      break;
   }
   return frame;
 }
@@ -145,6 +150,7 @@ void ExpectFrameEq(const Frame& got, const Frame& want) {
   EXPECT_EQ(got.token, want.token);
   EXPECT_EQ(got.offset, want.offset);
   EXPECT_EQ(got.resume_key, want.resume_key);
+  EXPECT_EQ(got.trace_id, want.trace_id);
   EXPECT_EQ(got.segment, want.segment);
   EXPECT_EQ(got.source, want.source);
   EXPECT_EQ(got.destination, want.destination);
